@@ -1,0 +1,196 @@
+//! Banerjee's uniform-distance unimodular framework [1–3].
+//!
+//! Requires every dependence to have a **constant** distance vector
+//! (Corollary 5 of the paper: subscript matrices square and nonsingular
+//! with an integral offset image). Parallelism:
+//!
+//! * a zero column of the distance matrix makes that loop `doall`;
+//! * otherwise wavefront (hyperplane) skewing makes every transformed
+//!   distance carried by the outermost loop, leaving the inner `n − 1`
+//!   loops parallel *between barriers*.
+//!
+//! On variable-distance loops the method is simply **not applicable** —
+//! the gap the PDM paper fills.
+
+use crate::report::{MethodReport, Parallelizer};
+use crate::Result;
+use pdm_core::pdm::analyze;
+use pdm_loopir::nest::LoopNest;
+use pdm_matrix::lex::{is_lex_negative, is_lex_positive};
+use pdm_matrix::mat::IMat;
+use pdm_matrix::vec::IVec;
+
+/// The Banerjee-style uniform-distance method.
+pub struct Banerjee;
+
+/// Extract the set of constant (uniform) lex-positive distance vectors of
+/// a nest, or `None` when any pair has variable distances.
+pub fn uniform_distances(nest: &LoopNest) -> Result<Option<Vec<IVec>>> {
+    let analysis = analyze(nest)?;
+    let mut out: Vec<IVec> = Vec::new();
+    for p in analysis.pairs() {
+        if !p.lattice.solvable {
+            continue;
+        }
+        if p.lattice.hom_rank > 0 {
+            return Ok(None); // variable distance
+        }
+        let Some(d0) = p.lattice.particular.clone() else {
+            continue;
+        };
+        if d0.is_zero() {
+            continue; // loop-independent
+        }
+        let d = if is_lex_negative(&d0) { d0.neg()? } else { d0 };
+        debug_assert!(is_lex_positive(&d));
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    Ok(Some(out))
+}
+
+impl Parallelizer for Banerjee {
+    fn name(&self) -> &'static str {
+        "banerjee"
+    }
+
+    fn analyze(&self, nest: &LoopNest) -> Result<MethodReport> {
+        let n = nest.depth();
+        let Some(dists) = uniform_distances(nest)? else {
+            return Ok(MethodReport {
+                method: self.name(),
+                dependence_repr: "U",
+                applicable: false,
+                reason: "variable dependence distances".into(),
+                outer_doall: 0,
+                inner_doall: 0,
+                partitions: 1,
+                order_preserving: true,
+            });
+        };
+        if dists.is_empty() {
+            return Ok(MethodReport {
+                method: self.name(),
+                dependence_repr: "U",
+                applicable: true,
+                reason: "no dependences".into(),
+                outer_doall: n,
+                inner_doall: 0,
+                partitions: 1,
+                order_preserving: true,
+            });
+        }
+        let d = IMat::from_rows(&dists.iter().map(|v| v.0.clone()).collect::<Vec<_>>())
+            .map_err(crate::BaselineError::Matrix)?;
+        let zero_cols = d.zero_cols().len();
+        // Wavefront: all other loops run in parallel between barriers.
+        let inner = n - zero_cols - 1;
+        Ok(MethodReport {
+            method: self.name(),
+            dependence_repr: "U",
+            applicable: true,
+            reason: format!("{} uniform distance vector(s)", dists.len()),
+            outer_doall: zero_cols,
+            inner_doall: inner,
+            partitions: 1,
+            order_preserving: true,
+        })
+    }
+}
+
+/// Find a wavefront (hyperplane) vector `t` with `t·d ≥ 1` for all
+/// distances — the schedule direction of the skewing transformation.
+/// Searches small integer vectors; the classic result guarantees one
+/// exists for any finite lex-positive distance set.
+pub fn wavefront_vector(dists: &[IVec], bound: i64) -> Option<IVec> {
+    let n = dists.first()?.dim();
+    for cand in pdm_matrix::lex::small_vectors(n, bound) {
+        let t = IVec(cand);
+        if t.is_zero() {
+            continue;
+        }
+        if dists.iter().all(|d| matches!(t.dot(d), Ok(v) if v >= 1)) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_loopir::parse::parse_loop;
+
+    #[test]
+    fn uniform_stencil_applicable() {
+        let nest = parse_loop(
+            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
+        )
+        .unwrap();
+        let r = Banerjee.analyze(&nest).unwrap();
+        assert!(r.applicable);
+        assert_eq!(r.outer_doall, 0);
+        assert_eq!(r.inner_doall, 1); // wavefront over (1,0),(0,1)
+    }
+
+    #[test]
+    fn variable_distance_not_applicable() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let r = Banerjee.analyze(&nest).unwrap();
+        assert!(!r.applicable);
+        assert!(r.reason.contains("variable"));
+    }
+
+    #[test]
+    fn independent_loop_fully_parallel() {
+        let nest = parse_loop("for i = 0..=9 { A[i] = i; }").unwrap();
+        let r = Banerjee.analyze(&nest).unwrap();
+        assert!(r.applicable);
+        assert_eq!(r.outer_doall, 1);
+    }
+
+    #[test]
+    fn zero_column_found() {
+        let nest = parse_loop(
+            "for i = 1..=9 { for j = 0..=9 { A[i, j] = A[i - 1, j] + 1; } }",
+        )
+        .unwrap();
+        let r = Banerjee.analyze(&nest).unwrap();
+        assert_eq!(r.outer_doall, 1); // j column zero
+        assert_eq!(r.inner_doall, 0);
+    }
+
+    #[test]
+    fn uniform_distance_extraction() {
+        let nest = parse_loop("for i = 3..=20 { A[i] = A[i - 3] + 1; }").unwrap();
+        let d = uniform_distances(&nest).unwrap().unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].as_slice(), &[3]);
+    }
+
+    #[test]
+    fn wavefront_vector_exists_for_stencil() {
+        let dists = vec![IVec::from_slice(&[1, 0]), IVec::from_slice(&[0, 1])];
+        let t = wavefront_vector(&dists, 2).unwrap();
+        for d in &dists {
+            assert!(t.dot(d).unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn wavefront_vector_none_for_conflicting() {
+        // (1,-1) and (-1,1) can never both be >= 1 ... but (-1,1) is not
+        // lex positive; use (1,-1),(1,1) which does admit (1,0).
+        let ok = vec![IVec::from_slice(&[1, -1]), IVec::from_slice(&[1, 1])];
+        assert!(wavefront_vector(&ok, 2).is_some());
+        // Degenerate: zero distance admits no t with t·0 >= 1.
+        let bad = vec![IVec::from_slice(&[0, 0])];
+        assert!(wavefront_vector(&bad, 2).is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! D'Hollander's partitioning and labeling of loops [6] (1992).
+//!
+//! The direct ancestor of the paper's Theorem 2, restricted to **constant**
+//! distance matrices: HNF-reduce the (uniform) distance vectors, expose
+//! zero columns as `doall` loops via the unimodular machinery, and split
+//! the rest into `det` independent partitions. The PDM paper generalizes
+//! exactly this construction to variable distances; on uniform loops the
+//! two coincide — a property the tests exploit.
+
+use crate::banerjee::uniform_distances;
+use crate::report::{MethodReport, Parallelizer};
+use crate::Result;
+use pdm_core::algorithm1::algorithm1;
+use pdm_core::partition::Partitioning;
+use pdm_loopir::nest::LoopNest;
+use pdm_matrix::hnf::hermite_normal_form;
+use pdm_matrix::mat::IMat;
+
+/// The D'Hollander '92 constant-distance partitioning method.
+pub struct DHollander;
+
+impl Parallelizer for DHollander {
+    fn name(&self) -> &'static str {
+        "dhollander92"
+    }
+
+    fn analyze(&self, nest: &LoopNest) -> Result<MethodReport> {
+        let n = nest.depth();
+        let Some(dists) = uniform_distances(nest)? else {
+            return Ok(MethodReport {
+                method: self.name(),
+                dependence_repr: "U",
+                applicable: false,
+                reason: "variable dependence distances".into(),
+                outer_doall: 0,
+                inner_doall: 0,
+                partitions: 1,
+                order_preserving: true,
+            });
+        };
+        if dists.is_empty() {
+            return Ok(MethodReport {
+                method: self.name(),
+                dependence_repr: "U",
+                applicable: true,
+                reason: "no dependences".into(),
+                outer_doall: n,
+                inner_doall: 0,
+                partitions: 1,
+                order_preserving: true,
+            });
+        }
+        let d = IMat::from_rows(&dists.iter().map(|v| v.0.clone()).collect::<Vec<_>>())
+            .map_err(crate::BaselineError::Matrix)?;
+        let h = hermite_normal_form(&d)
+            .map_err(crate::BaselineError::Matrix)?
+            .hnf;
+        let zeroed = algorithm1(&h).map_err(|e| crate::BaselineError::Core(e.to_string()))?;
+        let rho = h.rows();
+        let sub = zeroed
+            .transformed
+            .submatrix(0, rho, zeroed.zero_cols, n);
+        let partitions = Partitioning::new(sub)
+            .map_err(|e| crate::BaselineError::Core(e.to_string()))?
+            .count();
+        Ok(MethodReport {
+            method: self.name(),
+            dependence_repr: "U",
+            applicable: true,
+            reason: format!("distance matrix rank {rho}"),
+            outer_doall: zeroed.zero_cols,
+            inner_doall: 0,
+            partitions,
+            order_preserving: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_core::parallelize;
+    use pdm_loopir::parse::parse_loop;
+
+    #[test]
+    fn strided_uniform_loop_partitions() {
+        // A[i] = A[i-3]: distance 3 -> 3 partitions.
+        let nest = parse_loop("for i = 3..=30 { A[i] = A[i - 3] + 1; }").unwrap();
+        let r = DHollander.analyze(&nest).unwrap();
+        assert!(r.applicable);
+        assert_eq!(r.partitions, 3);
+        assert_eq!(r.outer_doall, 0);
+    }
+
+    #[test]
+    fn agrees_with_pdm_on_uniform_loops() {
+        // On uniform loops the PDM pipeline must match '92 exactly.
+        for src in [
+            "for i = 3..=30 { A[i] = A[i - 3] + 1; }",
+            "for i = 2..=20 { for j = 3..=20 { A[i, j] = A[i - 2, j - 3] + 1; } }",
+            "for i = 1..=9 { for j = 0..=9 { A[i, j] = A[i - 1, j] + 1; } }",
+            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
+        ] {
+            let nest = parse_loop(src).unwrap();
+            let r = DHollander.analyze(&nest).unwrap();
+            let plan = parallelize(&nest).unwrap();
+            assert!(r.applicable, "{src}");
+            assert_eq!(r.outer_doall, plan.doall_count(), "{src}");
+            assert_eq!(r.partitions, plan.partition_count(), "{src}");
+        }
+    }
+
+    #[test]
+    fn mixed_distance_2d() {
+        // Distances (1,0) and (0,2): HNF [[1,0],[0,2]] -> 2 partitions.
+        let nest = parse_loop(
+            "for i = 1..=9 { for j = 2..=9 {
+               A[i, j] = A[i - 1, j] + 1;
+               B[i, j] = B[i, j - 2] + 1;
+             } }",
+        )
+        .unwrap();
+        let r = DHollander.analyze(&nest).unwrap();
+        assert_eq!(r.partitions, 2);
+    }
+
+    #[test]
+    fn variable_distance_rejected() {
+        let nest = parse_loop("for i = 0..=20 { A[2*i] = A[i] + 1; }").unwrap();
+        let r = DHollander.analyze(&nest).unwrap();
+        assert!(!r.applicable);
+    }
+}

@@ -1,0 +1,78 @@
+//! # pdm-baselines — the related-work methods of the paper's Table 1
+//!
+//! From-scratch implementations of the comparison points the paper
+//! positions itself against, behind one [`report::Parallelizer`] trait so
+//! the Table-1 reproduction can *run* every method on a common loop suite
+//! and report measured applicability and extracted parallelism:
+//!
+//! * [`banerjee`] — the classic **uniform distance** unimodular framework
+//!   (Banerjee [1–3]): constant distance vectors only; parallelism through
+//!   wavefront skewing (inner `doall`s separated by barriers).
+//! * [`dhollander`] — **partitioning and labeling** of loops with constant
+//!   distance matrices (D'Hollander '92 [6]): `det(HNF(D))` independent
+//!   partitions, again uniform-only.
+//! * [`wolf_lam`] — **dependence/direction vectors** (Wolf & Lam [14, 15]):
+//!   applicable to any loop, but the sign-abstraction collapses variable
+//!   distances to directions, losing the lattice structure the PDM keeps.
+//! * [`shang`] — **BDV uniformization** (Shang et al. [17]): distance sets
+//!   as nonnegative combinations of basic dependence vectors; rank-based
+//!   parallelism but no lexicographic order, so a linear schedule must be
+//!   added.
+//! * [`pdm_method`] — this paper, wrapped in the same trait.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod banerjee;
+pub mod dhollander;
+pub mod pdm_method;
+pub mod report;
+pub mod shang;
+pub mod suite;
+pub mod wolf_lam;
+
+pub use report::{MethodReport, Parallelizer};
+
+/// Errors from baseline analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Exact arithmetic failure.
+    Matrix(pdm_matrix::MatrixError),
+    /// Loop IR failure.
+    Ir(pdm_loopir::IrError),
+    /// Core failure.
+    Core(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Matrix(e) => write!(f, "matrix error: {e}"),
+            BaselineError::Ir(e) => write!(f, "loop IR error: {e}"),
+            BaselineError::Core(m) => write!(f, "core error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<pdm_matrix::MatrixError> for BaselineError {
+    fn from(e: pdm_matrix::MatrixError) -> Self {
+        BaselineError::Matrix(e)
+    }
+}
+
+impl From<pdm_loopir::IrError> for BaselineError {
+    fn from(e: pdm_loopir::IrError) -> Self {
+        BaselineError::Ir(e)
+    }
+}
+
+impl From<pdm_core::CoreError> for BaselineError {
+    fn from(e: pdm_core::CoreError) -> Self {
+        BaselineError::Core(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;

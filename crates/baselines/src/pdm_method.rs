@@ -1,0 +1,64 @@
+//! This paper's method wrapped in the common [`Parallelizer`] trait.
+
+use crate::report::{MethodReport, Parallelizer};
+use crate::Result;
+use pdm_core::parallelize;
+use pdm_loopir::nest::LoopNest;
+
+/// The PDM method (Yu & D'Hollander 2000).
+pub struct PdmMethod;
+
+impl Parallelizer for PdmMethod {
+    fn name(&self) -> &'static str {
+        "pdm"
+    }
+
+    fn analyze(&self, nest: &LoopNest) -> Result<MethodReport> {
+        let plan = parallelize(nest).map_err(|e| crate::BaselineError::Core(e.to_string()))?;
+        Ok(MethodReport {
+            method: self.name(),
+            dependence_repr: "P",
+            applicable: true,
+            reason: format!(
+                "PDM rank {} of depth {}",
+                plan.analysis().rank(),
+                plan.depth()
+            ),
+            outer_doall: plan.doall_count(),
+            inner_doall: 0,
+            partitions: plan.partition_count(),
+            order_preserving: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_loopir::parse::parse_loop;
+
+    #[test]
+    fn pdm_wins_on_variable_distance_loops() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let pdm = PdmMethod.analyze(&nest).unwrap();
+        let ban = crate::banerjee::Banerjee.analyze(&nest).unwrap();
+        let wl = crate::wolf_lam::WolfLam.analyze(&nest).unwrap();
+        assert!(pdm.applicable && !ban.applicable);
+        assert!(pdm.outer_doall > wl.outer_doall);
+        assert!(pdm.partitions > wl.partitions);
+    }
+
+    #[test]
+    fn pdm_matches_uniform_baselines_on_uniform_loops() {
+        let nest = parse_loop("for i = 3..=30 { A[i] = A[i - 3] + 1; }").unwrap();
+        let pdm = PdmMethod.analyze(&nest).unwrap();
+        let dh = crate::dhollander::DHollander.analyze(&nest).unwrap();
+        assert_eq!(pdm.outer_doall, dh.outer_doall);
+        assert_eq!(pdm.partitions, dh.partitions);
+    }
+}

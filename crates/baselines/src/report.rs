@@ -1,0 +1,98 @@
+//! The common interface all methods implement for the Table-1 shootout.
+
+use crate::Result;
+use pdm_loopir::nest::LoopNest;
+
+/// What a parallelization method reports about one loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodReport {
+    /// Method name (matches the paper's Table 1 rows).
+    pub method: &'static str,
+    /// Dependence representation, Table 1 column 2: `U`niform distance
+    /// vectors, `D`ependence (direction) vectors, `B`asic dependence
+    /// vectors, `P`seudo distance matrix.
+    pub dependence_repr: &'static str,
+    /// Can the method handle this loop at all?
+    pub applicable: bool,
+    /// Why / why not (human readable).
+    pub reason: String,
+    /// Outer `doall` loops requiring no synchronization.
+    pub outer_doall: usize,
+    /// Inner parallel loops that need a barrier per outer (wavefront)
+    /// step.
+    pub inner_doall: usize,
+    /// Independent partitions of the remaining sequential part (1 = none).
+    pub partitions: i64,
+    /// Does the emitted schedule preserve lexicographic order by itself
+    /// (`true`), or does it need an extra scheduling step (`false`, e.g.
+    /// BDV uniformization)?
+    pub order_preserving: bool,
+}
+
+impl MethodReport {
+    /// A single scalar used to compare extracted parallelism across
+    /// methods: log2 of the multiplicative parallel degree proxy
+    /// `(N^outer_doall · partitions)` with symbolic N — encoded as the
+    /// pair (loop-power, constant factor).
+    pub fn degree(&self) -> (usize, i64) {
+        (self.outer_doall, self.partitions.max(1))
+    }
+
+    /// Pretty single-line summary.
+    pub fn summary(&self) -> String {
+        if !self.applicable {
+            return format!("{:<12} n/a ({})", self.method, self.reason);
+        }
+        format!(
+            "{:<12} repr={} doall={} wavefront-inner={} partitions={}{}",
+            self.method,
+            self.dependence_repr,
+            self.outer_doall,
+            self.inner_doall,
+            self.partitions,
+            if self.order_preserving {
+                ""
+            } else {
+                " (+needs scheduling)"
+            }
+        )
+    }
+}
+
+/// A loop parallelization method.
+pub trait Parallelizer {
+    /// Method name.
+    fn name(&self) -> &'static str;
+    /// Analyze a nest and report.
+    fn analyze(&self, nest: &LoopNest) -> Result<MethodReport>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_formats() {
+        let r = MethodReport {
+            method: "pdm",
+            dependence_repr: "P",
+            applicable: true,
+            reason: String::new(),
+            outer_doall: 1,
+            inner_doall: 0,
+            partitions: 2,
+            order_preserving: true,
+        };
+        let s = r.summary();
+        assert!(s.contains("doall=1"));
+        assert!(s.contains("partitions=2"));
+        assert_eq!(r.degree(), (1, 2));
+
+        let na = MethodReport {
+            applicable: false,
+            reason: "variable distances".into(),
+            ..r
+        };
+        assert!(na.summary().contains("n/a"));
+    }
+}

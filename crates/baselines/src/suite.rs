@@ -1,0 +1,133 @@
+//! The common loop suite for the Table-1 shootout and benchmarks.
+//!
+//! Eight nests spanning the design space: uniform vs variable distances,
+//! carried vs free loops, full-rank vs rank-deficient lattices — including
+//! both worked examples of the paper (§4.1, §4.2, reconstructed per
+//! DESIGN.md).
+
+use pdm_loopir::nest::LoopNest;
+use pdm_loopir::parse::parse_loop_with;
+
+/// One suite entry.
+pub struct SuiteLoop {
+    /// Short identifier.
+    pub name: &'static str,
+    /// What it exercises.
+    pub description: &'static str,
+    /// DSL source with parameter `N`.
+    pub source: &'static str,
+}
+
+/// The suite definition.
+pub const SUITE: &[SuiteLoop] = &[
+    SuiteLoop {
+        name: "paper-4.1",
+        description: "variable distance, rank-1 PDM [[2,2]] (reconstructed §4.1)",
+        source: "for i1 = 0..N { for i2 = 0..N {
+                   A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+                 } }",
+    },
+    SuiteLoop {
+        name: "paper-4.2",
+        description: "variable distance, full-rank PDM [[2,1],[0,2]] (reconstructed §4.2)",
+        source: "for i1 = 0..N { for i2 = 0..N {
+                   A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+                   B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+                 } }",
+    },
+    SuiteLoop {
+        name: "indep",
+        description: "no dependences at all",
+        source: "for i1 = 0..N { for i2 = 0..N { A[i1, i2] = i1 + i2; } }",
+    },
+    SuiteLoop {
+        name: "chain",
+        description: "fully sequential uniform chain",
+        source: "for i1 = 1..N { for i2 = 0..N { A[i1, i2] = A[i1 - 1, i2 + 1] + A[i1 - 1, i2] + 1; } }",
+    },
+    SuiteLoop {
+        name: "stencil",
+        description: "classic (1,0)/(0,1) stencil — wavefront territory",
+        source: "for i1 = 1..N { for i2 = 1..N { A[i1, i2] = A[i1 - 1, i2] + A[i1, i2 - 1]; } }",
+    },
+    SuiteLoop {
+        name: "inner-par",
+        description: "uniform, zero column: inner loop parallel",
+        source: "for i1 = 1..N { for i2 = 0..N { A[i1, i2] = A[i1 - 1, i2] + 1; } }",
+    },
+    SuiteLoop {
+        name: "strided",
+        description: "uniform strides (2,0)/(0,3): 6 partitions",
+        source: "for i1 = 2..N { for i2 = 3..N {
+                   A[i1, i2] = A[i1 - 2, i2] + 1;
+                   B[i1, i2] = B[i1, i2 - 3] + 1;
+                 } }",
+    },
+    SuiteLoop {
+        name: "var-scan",
+        description: "variable distance 1-D scan A[2i] = A[i]",
+        source: "for i1 = 0..N { for i2 = 0..N { A[2*i1, i2] = A[i1, i2] + 1; } }",
+    },
+];
+
+/// Instantiate a suite loop at size `N`.
+pub fn instantiate(entry: &SuiteLoop, n: i64) -> LoopNest {
+    parse_loop_with(entry.source, &[("N", n)]).expect("suite sources parse")
+}
+
+/// Instantiate the whole suite.
+pub fn all(n: i64) -> Vec<(&'static str, LoopNest)> {
+    SUITE.iter().map(|e| (e.name, instantiate(e, n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Parallelizer;
+
+    #[test]
+    fn all_sources_parse_and_run_every_method() {
+        let methods: Vec<Box<dyn Parallelizer>> = vec![
+            Box::new(crate::banerjee::Banerjee),
+            Box::new(crate::dhollander::DHollander),
+            Box::new(crate::wolf_lam::WolfLam),
+            Box::new(crate::shang::ShangBdv),
+            Box::new(crate::pdm_method::PdmMethod),
+        ];
+        for (name, nest) in all(10) {
+            for m in &methods {
+                let r = m.analyze(&nest).unwrap_or_else(|e| panic!("{name}/{}: {e}", m.name()));
+                assert_eq!(r.method, m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn suite_has_both_uniform_and_variable_loops() {
+        let mut uniform = 0;
+        let mut variable = 0;
+        for (_, nest) in all(10) {
+            let a = pdm_core::analyze(&nest).unwrap();
+            if a.has_dependences() {
+                if a.is_uniform() {
+                    uniform += 1;
+                } else {
+                    variable += 1;
+                }
+            }
+        }
+        assert!(uniform >= 3, "uniform loops: {uniform}");
+        assert!(variable >= 3, "variable loops: {variable}");
+    }
+
+    #[test]
+    fn paper_loops_have_expected_plans() {
+        let p41 = instantiate(&SUITE[0], 10);
+        let plan41 = pdm_core::parallelize(&p41).unwrap();
+        assert_eq!(plan41.doall_count(), 1);
+        assert_eq!(plan41.partition_count(), 2);
+        let p42 = instantiate(&SUITE[1], 10);
+        let plan42 = pdm_core::parallelize(&p42).unwrap();
+        assert_eq!(plan42.partition_count(), 4);
+    }
+}

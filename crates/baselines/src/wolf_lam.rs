@@ -1,0 +1,261 @@
+//! Wolf & Lam's dependence (direction) vectors [14, 15].
+//!
+//! Distances are abstracted to per-component *signs*; a component that
+//! varies across the solution family becomes `*` (unknown). The
+//! abstraction handles any loop, but on variable-distance loops it cannot
+//! see the lattice structure: where the PDM proves "all distances are
+//! multiples of (2,2)", direction vectors only record `(+,+)` — so no
+//! outer `doall` and no partitioning, only level-based parallelism
+//! (loops not carrying any dependence).
+
+use crate::report::{MethodReport, Parallelizer};
+use crate::Result;
+use pdm_core::pdm::analyze;
+use pdm_loopir::nest::LoopNest;
+
+/// A direction-vector component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Strictly positive.
+    Pos,
+    /// Zero.
+    Zero,
+    /// Strictly negative.
+    Neg,
+    /// Unknown / varying.
+    Any,
+}
+
+/// The Wolf–Lam style direction-vector method.
+pub struct WolfLam;
+
+/// Abstract the distance family `d0 + span(D)` of one pair into a
+/// direction vector over lex-positive members.
+pub fn direction_vector(
+    d0: &pdm_matrix::vec::IVec,
+    generators: &pdm_matrix::mat::IMat,
+) -> Vec<Dir> {
+    let n = d0.dim();
+    (0..n)
+        .map(|k| {
+            let varies = (0..generators.rows()).any(|r| generators.get(r, k) != 0);
+            if varies {
+                Dir::Any
+            } else if d0[k] > 0 {
+                Dir::Pos
+            } else if d0[k] < 0 {
+                Dir::Neg
+            } else {
+                Dir::Zero
+            }
+        })
+        .collect()
+}
+
+/// Can this direction vector represent a dependence *carried at* level
+/// `k` (prefix zero-able, component `k` positive-able)? Lex-negative
+/// realizations correspond to the reversed dependence, so signs are
+/// considered in both orientations.
+pub fn can_carry(dv: &[Dir], k: usize) -> bool {
+    // Forward orientation: components 0..k can be zero, dv[k] can be > 0.
+    let fwd = dv[..k]
+        .iter()
+        .all(|d| matches!(d, Dir::Zero | Dir::Any))
+        && matches!(dv[k], Dir::Pos | Dir::Any);
+    // Reversed orientation (the anti/flow twin): prefix zero-able and
+    // dv[k] negative-able.
+    let rev = dv[..k]
+        .iter()
+        .all(|d| matches!(d, Dir::Zero | Dir::Any))
+        && matches!(dv[k], Dir::Neg | Dir::Any);
+    fwd || rev
+}
+
+impl Parallelizer for WolfLam {
+    fn name(&self) -> &'static str {
+        "wolf-lam"
+    }
+
+    fn analyze(&self, nest: &LoopNest) -> Result<MethodReport> {
+        let n = nest.depth();
+        let analysis = analyze(nest)?;
+        let mut dvs: Vec<Vec<Dir>> = Vec::new();
+        for p in analysis.pairs() {
+            if !p.lattice.solvable {
+                continue;
+            }
+            let d0 = p.lattice.particular.clone().expect("solvable has d0");
+            let dv = direction_vector(&d0, &p.lattice.hom_generators);
+            if dv.iter().all(|d| *d == Dir::Zero) {
+                continue; // loop-independent
+            }
+            if !dvs.contains(&dv) {
+                dvs.push(dv);
+            }
+        }
+        if dvs.is_empty() {
+            return Ok(MethodReport {
+                method: self.name(),
+                dependence_repr: "D",
+                applicable: true,
+                reason: "no dependences".into(),
+                outer_doall: n,
+                inner_doall: 0,
+                partitions: 1,
+                order_preserving: true,
+            });
+        }
+        // Outer doall needs a completely dependence-free direction: a
+        // column that is Zero in every direction vector (the sign-level
+        // analogue of Lemma 1).
+        let outer = (0..n)
+            .filter(|&k| dvs.iter().all(|dv| dv[k] == Dir::Zero))
+            .count();
+        // Level parallelism: loops never *carried* (every dependence
+        // resolved by an outer level) run doall at their own level.
+        let level_parallel = (0..n)
+            .filter(|&k| {
+                dvs.iter().all(|dv| !can_carry(dv, k))
+                    && dvs.iter().any(|dv| dv[k] != Dir::Zero)
+            })
+            .count();
+        // Wavefront skewing: a hyperplane guaranteeing t·d >= 1 for every
+        // distance matching some direction vector leaves n-1 loops
+        // parallel between barriers.
+        let wavefront_inner = if wavefront_for_directions(&dvs, 2).is_some() {
+            n - 1 - outer.min(n - 1)
+        } else {
+            0
+        };
+        let inner = level_parallel.max(wavefront_inner);
+        Ok(MethodReport {
+            method: self.name(),
+            dependence_repr: "D",
+            applicable: true,
+            reason: format!("{} direction vector(s)", dvs.len()),
+            outer_doall: outer,
+            inner_doall: inner,
+            partitions: 1,
+            order_preserving: true,
+        })
+    }
+}
+
+/// Search a small integer hyperplane `t` with `t·d ≥ 1` *guaranteed* for
+/// every distance whose signs match one of the direction vectors. `Any`
+/// or magnitude-unbounded components force the corresponding `t` entry
+/// toward zero, which is what makes direction vectors weaker than
+/// distances.
+pub fn wavefront_for_directions(dvs: &[Vec<Dir>], bound: i64) -> Option<Vec<i64>> {
+    let n = dvs.first()?.len();
+    'cand: for t in pdm_matrix::lex::small_vectors(n, bound) {
+        if t.iter().all(|&x| x == 0) {
+            continue;
+        }
+        for dv in dvs {
+            // Guaranteed lower bound of t·d over all d matching dv
+            // (component magnitudes >= 1 where signed, unbounded above).
+            let mut lo: i64 = 0;
+            for (k, dir) in dv.iter().enumerate() {
+                match dir {
+                    Dir::Zero => {}
+                    Dir::Pos => {
+                        if t[k] >= 0 {
+                            lo += t[k]; // minimal at d_k = 1
+                        } else {
+                            continue 'cand; // unbounded below
+                        }
+                    }
+                    Dir::Neg => {
+                        if t[k] <= 0 {
+                            lo += -t[k];
+                        } else {
+                            continue 'cand;
+                        }
+                    }
+                    Dir::Any => {
+                        if t[k] != 0 {
+                            continue 'cand;
+                        }
+                    }
+                }
+            }
+            if lo < 1 {
+                continue 'cand;
+            }
+        }
+        return Some(t);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_loopir::parse::parse_loop;
+    use pdm_matrix::mat::IMat;
+    use pdm_matrix::vec::IVec;
+
+    #[test]
+    fn direction_abstraction() {
+        // Family (2,2) + k(2,2): both components vary -> (*,*).
+        let dv = direction_vector(
+            &IVec::from_slice(&[2, 2]),
+            &IMat::from_rows(&[vec![2, 2]]).unwrap(),
+        );
+        assert_eq!(dv, vec![Dir::Any, Dir::Any]);
+        // Constant (0,3): (0,+).
+        let dv2 = direction_vector(&IVec::from_slice(&[0, 3]), &IMat::zeros(0, 2));
+        assert_eq!(dv2, vec![Dir::Zero, Dir::Pos]);
+    }
+
+    #[test]
+    fn loses_partition_parallelism_on_paper_41() {
+        // The PDM method finds 1 doall + 2 partitions; direction vectors
+        // see (*,*) and find nothing.
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let r = WolfLam.analyze(&nest).unwrap();
+        assert!(r.applicable);
+        assert_eq!(r.outer_doall, 0);
+        assert_eq!(r.partitions, 1);
+    }
+
+    #[test]
+    fn finds_level_parallelism_on_uniform_loops() {
+        let nest = parse_loop(
+            "for i = 1..=9 { for j = 0..=9 { A[i, j] = A[i - 1, j] + 1; } }",
+        )
+        .unwrap();
+        let r = WolfLam.analyze(&nest).unwrap();
+        assert_eq!(r.outer_doall, 1); // j never carries
+    }
+
+    #[test]
+    fn wavefront_on_definite_carried_outer() {
+        let nest = parse_loop(
+            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j - 1] + 1; } }",
+        )
+        .unwrap();
+        let r = WolfLam.analyze(&nest).unwrap();
+        // dv = (+,+): carried at level 0 -> inner loop parallel.
+        assert_eq!(r.outer_doall, 0);
+        assert_eq!(r.inner_doall, 1);
+    }
+
+    #[test]
+    fn can_carry_logic() {
+        use Dir::*;
+        assert!(can_carry(&[Pos, Zero], 0));
+        assert!(!can_carry(&[Pos, Zero], 1)); // prefix not zero-able
+        assert!(can_carry(&[Zero, Pos], 1));
+        assert!(can_carry(&[Any, Any], 0));
+        assert!(can_carry(&[Any, Any], 1));
+        assert!(!can_carry(&[Zero, Zero], 1));
+        assert!(can_carry(&[Neg, Zero], 0)); // reversed orientation
+    }
+}

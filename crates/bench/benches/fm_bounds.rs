@@ -1,0 +1,69 @@
+//! Code-generation cost: Fourier–Motzkin bound derivation for the
+//! transformed iteration spaces (the paper's §4.1 cites FM [1, 13] for
+//! the transformed loop limits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_poly::bounds::LoopBounds;
+use pdm_poly::expr::AffineExpr;
+use pdm_poly::system::System;
+use pdm_matrix::vec::IVec;
+
+/// A skewed n-dimensional box: 0 <= x_k + x_{k-1} <= N.
+fn skewed_box(n: usize, size: i64) -> System {
+    let mut s = System::universe(n);
+    for k in 0..n {
+        let mut coeffs = vec![0i64; n];
+        coeffs[k] = 1;
+        if k > 0 {
+            coeffs[k - 1] = 1;
+        }
+        s.add_ge0(AffineExpr::new(IVec(coeffs.clone()), 0)).unwrap();
+        let neg: Vec<i64> = coeffs.iter().map(|c| -c).collect();
+        s.add_ge0(AffineExpr::new(IVec(neg), size)).unwrap();
+    }
+    s
+}
+
+fn bench_fm_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/bounds_by_depth");
+    for n in [2usize, 3, 4, 6] {
+        let sys = skewed_box(n, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, sys| {
+            b.iter(|| LoopBounds::from_system(sys).unwrap().dim())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fm_transformed_plan(c: &mut Criterion) {
+    // The real workload: bounds of the paper's transformed loops.
+    let nest = pdm_bench::paper41(-100, 100);
+    c.bench_function("fm/paper41_plan_bounds", |b| {
+        b.iter(|| pdm_core::parallelize(&nest).unwrap().bounds().dim())
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let sys = skewed_box(2, 100);
+    let bounds = LoopBounds::from_system(&sys).unwrap();
+    c.bench_function("fm/enumerate_skewed_100x100", |b| {
+        b.iter(|| bounds.count_points().unwrap())
+    });
+}
+
+
+/// Time-bounded criterion config so the full workspace bench run stays
+/// tractable while remaining statistically useful.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_fm_depth, bench_fm_transformed_plan, bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! EXTRA-PARTS: Theorem-2 machinery costs — offset enumeration, group
+//! construction, and the per-iteration overhead of the partitioned walk
+//! compared to a plain sequential walk over the same space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_bench::{paper41, paper42};
+use pdm_core::partition::Partitioning;
+use pdm_matrix::mat::IMat;
+use pdm_matrix::vec::IVec;
+
+fn bench_offsets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/offsets");
+    for (label, rows) in [
+        ("det4", vec![vec![2i64, 1], vec![0, 2]]),
+        ("det36", vec![vec![6, 1], vec![0, 6]]),
+        ("det512", vec![vec![8, 0, 1], vec![0, 8, 3], vec![0, 0, 8]]),
+    ] {
+        let p = Partitioning::new(IMat::from_rows(&rows).unwrap()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &p, |b, p| {
+            b.iter(|| p.offsets().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_offset_of(c: &mut Criterion) {
+    let p = Partitioning::new(IMat::from_rows(&[vec![2, 1], vec![0, 2]]).unwrap()).unwrap();
+    c.bench_function("partition/offset_of", |b| {
+        let x = IVec::from_slice(&[123, -457]);
+        b.iter(|| p.offset_of(&x).unwrap())
+    });
+}
+
+fn bench_group_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/groups");
+    for (label, nest) in [("paper41", paper41(0, 199)), ("paper42", paper42(0, 199))] {
+        let plan = pdm_core::parallelize(&nest).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
+            b.iter(|| pdm_runtime::exec::groups(plan).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk_overhead(c: &mut Criterion) {
+    // Compare iterating the §4.2 space via the partitioned group walker
+    // (strides + residues) against a plain nested loop of equal size.
+    let nest = paper42(0, 199);
+    let plan = pdm_core::parallelize(&nest).unwrap();
+    let gs = pdm_runtime::exec::groups(&plan).unwrap();
+    c.bench_function("partition/walk_partitioned_200x200", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            for g in &gs {
+                pdm_runtime::exec::walk_group(&nest, &plan, g, |_| {
+                    count += 1;
+                    Ok(())
+                })
+                .unwrap();
+            }
+            count
+        })
+    });
+    c.bench_function("partition/walk_plain_200x200", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            for i1 in 0..200i64 {
+                for i2 in 0..200i64 {
+                    std::hint::black_box((i1, i2));
+                    count += 1;
+                }
+            }
+            count
+        })
+    });
+}
+
+
+/// Time-bounded criterion config so the full workspace bench run stays
+/// tractable while remaining statistically useful.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_offsets,
+    bench_offset_of,
+    bench_group_enumeration,
+    bench_walk_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! EXTRA-SPEEDUP: sequential vs rayon-parallel execution of the generated
+//! schedules (the practical payoff the paper's transformations target).
+//!
+//! Absolute numbers depend on the host; the *shape* to reproduce is:
+//! loops where the PDM finds doall/partition parallelism speed up with
+//! cores, fully sequential chains do not.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdm_bench::{paper41, paper42};
+use pdm_loopir::parse::parse_loop_with;
+use pdm_runtime::memory::Memory;
+
+fn bench_pair(c: &mut Criterion, label: &str, nest: &pdm_loopir::nest::LoopNest) {
+    let plan = pdm_core::parallelize(nest).unwrap();
+    let iters = nest.iterations().unwrap().len() as u64;
+    let mut group = c.benchmark_group(format!("speedup/{label}"));
+    group.throughput(Throughput::Elements(iters));
+    group.bench_function("sequential", |b| {
+        let mut m = Memory::for_nest(nest).unwrap();
+        m.init_deterministic(1);
+        b.iter(|| pdm_runtime::run_sequential(nest, &m).unwrap())
+    });
+    group.bench_function("parallel", |b| {
+        let mut m = Memory::for_nest(nest).unwrap();
+        m.init_deterministic(1);
+        b.iter(|| pdm_runtime::run_parallel(nest, &plan, &m).unwrap())
+    });
+    group.bench_function("transformed_serial", |b| {
+        let mut m = Memory::for_nest(nest).unwrap();
+        m.init_deterministic(1);
+        b.iter(|| pdm_runtime::run_transformed_sequential(nest, &plan, &m).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_speedups(c: &mut Criterion) {
+    bench_pair(c, "paper41_n200", &paper41(0, 199));
+    bench_pair(c, "paper42_n200", &paper42(0, 199));
+    let inner_par = parse_loop_with(
+        "for i = 1..N { for j = 0..N { A[i, j] = A[i - 1, j] + 1; } }",
+        &[("N", 200)],
+    )
+    .unwrap();
+    bench_pair(c, "inner_parallel_n200", &inner_par);
+    let chain = parse_loop_with(
+        "for i = 1..N { for j = 0..N { A[i, j] = A[i - 1, j + 1] + A[i - 1, j] + 1; } }",
+        &[("N", 200)],
+    )
+    .unwrap();
+    bench_pair(c, "sequential_chain_n200", &chain);
+}
+
+
+/// Time-bounded criterion config so the full workspace bench run stays
+/// tractable while remaining statistically useful.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_speedups
+}
+criterion_main!(benches);

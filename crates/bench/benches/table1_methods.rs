@@ -1,0 +1,43 @@
+//! TAB1 quantitative side: analysis cost of every method over the suite
+//! (the table's content itself is printed by the `table1` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_baselines::report::Parallelizer;
+use pdm_baselines::suite;
+
+fn bench_methods(c: &mut Criterion) {
+    let methods: Vec<Box<dyn Parallelizer>> = vec![
+        Box::new(pdm_baselines::banerjee::Banerjee),
+        Box::new(pdm_baselines::dhollander::DHollander),
+        Box::new(pdm_baselines::wolf_lam::WolfLam),
+        Box::new(pdm_baselines::shang::ShangBdv),
+        Box::new(pdm_baselines::pdm_method::PdmMethod),
+    ];
+    for entry in [&suite::SUITE[0], &suite::SUITE[4]] {
+        let nest = suite::instantiate(entry, 50);
+        let mut group = c.benchmark_group(format!("table1/{}", entry.name));
+        for m in &methods {
+            group.bench_with_input(BenchmarkId::from_parameter(m.name()), &nest, |b, nest| {
+                b.iter(|| m.analyze(nest).unwrap().applicable)
+            });
+        }
+        group.finish();
+    }
+}
+
+
+/// Time-bounded criterion config so the full workspace bench run stays
+/// tractable while remaining statistically useful.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! EXTRA-SPEEDUP companion: how the generated schedules scale with the
+//! number of rayon workers (1, 2, 4) — the closest modern analogue of the
+//! paper's shared-memory multiprocessor target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdm_bench::{paper41, paper42};
+use pdm_runtime::memory::Memory;
+
+fn bench_threads(c: &mut Criterion) {
+    for (label, nest) in [("paper41", paper41(0, 249)), ("paper42", paper42(0, 249))] {
+        let plan = pdm_core::parallelize(&nest).unwrap();
+        let iters = nest.iterations().unwrap().len() as u64;
+        let mut group = c.benchmark_group(format!("threads/{label}"));
+        group.throughput(Throughput::Elements(iters));
+        for t in [1usize, 2, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+                let mut m = Memory::for_nest(&nest).unwrap();
+                m.init_deterministic(1);
+                b.iter(|| {
+                    pdm_runtime::exec::run_parallel_with_threads(&nest, &plan, &m, t).unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Time-bounded criterion config (see other benches).
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_threads
+}
+criterion_main!(benches);

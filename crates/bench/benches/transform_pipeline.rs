@@ -1,0 +1,59 @@
+//! Analysis + transformation cost of the full pipeline (PDM derivation,
+//! Algorithm 1, partitioning, Fourier–Motzkin bounds) over the loop
+//! suite. The paper's efficiency claim: the transformation needs no loop
+//! bounds until code generation and is "quite efficient".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_baselines::suite;
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/analyze");
+    for entry in suite::SUITE {
+        let nest = suite::instantiate(entry, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &nest, |b, nest| {
+            b.iter(|| pdm_core::analyze(nest).unwrap().rank())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallelize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/parallelize");
+    for entry in suite::SUITE {
+        let nest = suite::instantiate(entry, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &nest, |b, nest| {
+            b.iter(|| pdm_core::parallelize(nest).unwrap().partition_count())
+        });
+    }
+    group.finish();
+}
+
+/// Analysis cost is independent of the loop bounds (the paper's point):
+/// time the same loop at very different N.
+fn bench_bounds_independence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/bounds_independence");
+    for n in [10i64, 1_000, 1_000_000] {
+        let nest = suite::instantiate(&suite::SUITE[0], n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &nest, |b, nest| {
+            b.iter(|| pdm_core::analyze(nest).unwrap().rank())
+        });
+    }
+    group.finish();
+}
+
+
+/// Time-bounded criterion config so the full workspace bench run stays
+/// tractable while remaining statistically useful.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_analyze, bench_parallelize, bench_bounds_independence
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 2 reproduction: ISDG of the (reconstructed) §4.1 loop, N = 10.
+//!
+//! The paper plots the iteration space over −10..10 on both axes, marks
+//! dependent iterations (solid) vs independent (empty), numbers the
+//! dependence chains, and draws the variable-stride arrows. We print the
+//! same content: an ASCII grid with per-chain digits, the distance
+//! histogram (all multiples of (2,2) — the variable distances), and the
+//! chain metrics.
+
+use pdm_bench::paper41;
+use pdm_isdg::metrics::metrics;
+use pdm_isdg::render::{ascii_grid, distance_histogram};
+
+fn main() {
+    let nest = paper41(-10, 10);
+    let g = pdm_isdg::build(&nest).expect("ISDG");
+    println!("=== Figure 2: ISDG of the original Section 4.1 loop (N = 10) ===\n");
+    println!("{}", pdm_loopir::pretty::render(&nest));
+    println!("{}", ascii_grid(&g));
+    let m = metrics(&g);
+    println!("iterations       : {}", m.iterations);
+    println!("dependent        : {}", m.dependent);
+    println!("independent      : {}", m.independent);
+    println!("direct edges     : {}", m.edges);
+    println!("chains/components: {}", m.components);
+    println!("critical path    : {}", m.critical_path);
+    println!("avg parallelism  : {:.2}", m.avg_parallelism);
+    println!("\ndistance histogram (variable distances, all in L([[2,2]])):");
+    for (d, c) in distance_histogram(&g) {
+        println!("  d = {d:?}  x{c}");
+    }
+    let analysis = pdm_core::analyze(&nest).expect("analysis");
+    println!("\nPDM:\n{}", analysis.pdm());
+    pdm_bench::claim(
+        "variable (non-uniform) distances",
+        "yes",
+        format!("{}", !analysis.is_uniform()),
+        !analysis.is_uniform(),
+    );
+    pdm_bench::claim(
+        "all distances in PDM lattice",
+        "yes",
+        "verified",
+        g.distances()
+            .iter()
+            .all(|d| analysis.lattice().unwrap().contains(d).unwrap()),
+    );
+}

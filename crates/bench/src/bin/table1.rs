@@ -1,0 +1,70 @@
+//! Table 1 reproduction: the related-work comparison, **measured**.
+//!
+//! The paper's Table 1 compares methods along dependence-information
+//! accuracy, parallelism, applicable loop types and code generation.
+//! Instead of restating the qualitative table we *run* every implemented
+//! method over the common loop suite and print what each one actually
+//! extracts — the quantitative counterpart of the same claims.
+
+use pdm_baselines::report::Parallelizer;
+use pdm_baselines::suite;
+
+fn main() {
+    let methods: Vec<Box<dyn Parallelizer>> = vec![
+        Box::new(pdm_baselines::banerjee::Banerjee),
+        Box::new(pdm_baselines::dhollander::DHollander),
+        Box::new(pdm_baselines::wolf_lam::WolfLam),
+        Box::new(pdm_baselines::shang::ShangBdv),
+        Box::new(pdm_baselines::pdm_method::PdmMethod),
+    ];
+
+    println!("=== Table 1 (measured): method comparison over the loop suite, N = 16 ===\n");
+    println!("representations: U = uniform distances, D = direction vectors, B = BDV, P = PDM\n");
+
+    for entry in suite::SUITE {
+        let nest = suite::instantiate(entry, 16);
+        println!("loop `{}` — {}", entry.name, entry.description);
+        for m in &methods {
+            let r = m.analyze(&nest).expect("method");
+            println!("    {}", r.summary());
+        }
+        println!();
+    }
+
+    // The paper's headline claims, checked on the variable-distance loops.
+    println!("--- headline checks ---");
+    let p41 = suite::instantiate(&suite::SUITE[0], 16);
+    let uniform_only_na = !pdm_baselines::banerjee::Banerjee
+        .analyze(&p41)
+        .unwrap()
+        .applicable;
+    pdm_bench::claim(
+        "uniform-distance methods inapplicable on variable distances",
+        "yes",
+        uniform_only_na,
+        uniform_only_na,
+    );
+    let pdm = pdm_baselines::pdm_method::PdmMethod.analyze(&p41).unwrap();
+    let wl = pdm_baselines::wolf_lam::WolfLam.analyze(&p41).unwrap();
+    pdm_bench::claim(
+        "PDM extracts strictly more parallelism than direction vectors (§4.1)",
+        "yes",
+        format!(
+            "pdm: doall={} partitions={} vs wolf-lam: doall={} partitions={}",
+            pdm.outer_doall, pdm.partitions, wl.outer_doall, wl.partitions
+        ),
+        pdm.outer_doall > wl.outer_doall && pdm.partitions > wl.partitions,
+    );
+    let every_loop_handled = suite::all(16).iter().all(|(_, nest)| {
+        pdm_baselines::pdm_method::PdmMethod
+            .analyze(nest)
+            .map(|r| r.applicable)
+            .unwrap_or(false)
+    });
+    pdm_bench::claim(
+        "PDM applicable to every suite loop (uniform is a special case)",
+        "yes",
+        every_loop_handled,
+        every_loop_handled,
+    );
+}

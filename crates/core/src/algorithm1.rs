@@ -1,0 +1,261 @@
+//! Algorithm 1 — transforming a non-full-rank PDM (§3.2).
+//!
+//! Given the PDM `H` (HNF, `ρ × n`, `ρ ≤ n`), find a **legal** unimodular
+//! `T` such that `H·T` has its first `n − ρ` columns zero: by Lemma 1 the
+//! corresponding (outermost) transformed loops carry no dependence and run
+//! as `doall`s.
+//!
+//! The construction uses only the legal elementary column operations of
+//! §3.1 and maintains, after every step, the Theorem-1 invariant that the
+//! working matrix stays *echelon with lexicographically positive rows*:
+//!
+//! * scanning columns left to right, a column is **independent** iff it is
+//!   a pivot (level) column of the echelon matrix — it stays;
+//! * a dependent column `c` is annihilated row-by-row (bottom-most
+//!   relevant row first) by a Euclidean cascade of **right skewings**
+//!   `col_c −= k·col_p` (always legal, Corollary 2) interleaved with
+//!   pivot/column **interchanges** that keep the smaller positive entry in
+//!   the pivot column (legal here by Corollary 4: the column being swapped
+//!   in is, at that point, linearly dependent on its left neighbours and
+//!   the leading entries keep their sign and level);
+//! * finally the zero columns are **shifted** to the front (Corollary 3).
+//!
+//! Cost: each Euclidean cascade on a row shrinks the pivot like the GCD
+//! iteration, giving the paper's `O(n² · ln M)` column-operation bound for
+//! maximum entry `M` (measured in the `analysis_scaling` bench).
+
+use crate::{CoreError, Result};
+use pdm_matrix::lex::is_lex_positive_echelon;
+use pdm_matrix::mat::IMat;
+use pdm_matrix::num::floor_div;
+use pdm_matrix::unimodular::Unimodular;
+
+/// Outcome of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ZeroedPdm {
+    /// The legal unimodular transformation `T`.
+    pub t: Unimodular,
+    /// `H·T` — first `zero_cols` columns zero, trailing block upper
+    /// triangular with positive diagonal.
+    pub transformed: IMat,
+    /// Number of leading zero columns (= `n − rank H`).
+    pub zero_cols: usize,
+}
+
+/// Run Algorithm 1 on an HNF pseudo distance matrix.
+pub fn algorithm1(pdm: &IMat) -> Result<ZeroedPdm> {
+    let n = pdm.cols();
+    let rho = pdm.rows();
+    if !is_lex_positive_echelon(pdm) || pdm.rows_iter().any(|r| r.iter().all(|&x| x == 0)) {
+        return Err(CoreError::Invariant(
+            "algorithm1 requires a full-row-rank lex-positive echelon PDM",
+        ));
+    }
+
+    let mut w = pdm.clone();
+    let mut t = IMat::identity(n);
+
+    for c in 0..n {
+        let levels: Vec<usize> = (0..rho)
+            .map(|r| w.row_vec(r).level().expect("rows stay nonzero"))
+            .collect();
+        if levels.contains(&c) {
+            continue; // pivot column: independent of its left neighbours
+        }
+        // Zero the column bottom-up. The working set must be re-scanned
+        // after each row: a column swap while clearing row j also swaps
+        // the entries of the rows *above* j, which can turn a zero entry
+        // in column c nonzero again. Rows strictly below the one being
+        // processed are never touched (their entries in both involved
+        // columns are structurally zero), so taking the bottom-most dirty
+        // row each time terminates.
+        while let Some(j) = (0..rho)
+            .filter(|&r| {
+                w.row_vec(r).level().expect("rows stay nonzero") < c && w.get(r, c) != 0
+            })
+            .max()
+        {
+            loop {
+                let p = w.row_vec(j).level().expect("row stays nonzero");
+                debug_assert!(p < c, "pivot must sit left of the target column");
+                let v = w.get(j, p);
+                debug_assert!(v > 0, "pivot positive by invariant");
+                let e = w.get(j, c);
+                if e == 0 {
+                    break;
+                }
+                // Right skewing: col_c -= floor(e/v) * col_p (Corollary 2).
+                let k = floor_div(e, v)?;
+                if k != 0 {
+                    w.add_scaled_col(c, -k, p)?;
+                    t.add_scaled_col(c, -k, p)?;
+                }
+                let e2 = w.get(j, c);
+                debug_assert!((0..v).contains(&e2), "remainder out of range");
+                if e2 == 0 {
+                    break;
+                }
+                // Interchange p <-> c brings the smaller positive entry
+                // into the pivot position (Corollary 4 situation).
+                w.swap_cols(p, c);
+                t.swap_cols(p, c);
+            }
+            debug_assert!(
+                is_lex_positive_echelon(&w),
+                "invariant lost while zeroing column {c}:\n{w}"
+            );
+        }
+    }
+
+    // Shift zero columns to the front (stable), Corollary 3.
+    let zero: Vec<usize> = w.zero_cols();
+    let nonzero: Vec<usize> = (0..n).filter(|c| !zero.contains(c)).collect();
+    let mut perm = IMat::zeros(n, n);
+    for (newpos, &old) in zero.iter().chain(nonzero.iter()).enumerate() {
+        perm.set(old, newpos, 1);
+    }
+    w = w.mul(&perm)?;
+    t = t.mul(&perm)?;
+
+    // Hard verification — never emit an unproven schedule.
+    let t = Unimodular::new(t).map_err(CoreError::Matrix)?;
+    if pdm.mul(t.mat())? != w {
+        return Err(CoreError::Invariant("algorithm1: H·T mismatch"));
+    }
+    if !is_lex_positive_echelon(&w) {
+        return Err(CoreError::Invariant(
+            "algorithm1: result not lex-positive echelon (illegal transform)",
+        ));
+    }
+    if zero.len() != n - rho {
+        return Err(CoreError::Invariant(
+            "algorithm1: wrong number of zero columns",
+        ));
+    }
+    for c in 0..zero.len() {
+        if (0..rho).any(|r| w.get(r, c) != 0) {
+            return Err(CoreError::Invariant("algorithm1: zero block not leading"));
+        }
+    }
+    Ok(ZeroedPdm {
+        t,
+        transformed: w,
+        zero_cols: zero.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legal::is_legal;
+    use pdm_matrix::hnf::hermite_normal_form;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    fn check(pdm: &IMat) -> ZeroedPdm {
+        let z = algorithm1(pdm).unwrap();
+        let n = pdm.cols();
+        let rho = pdm.rows();
+        assert_eq!(z.zero_cols, n - rho, "zero column count");
+        assert_eq!(pdm.mul(z.t.mat()).unwrap(), z.transformed);
+        assert!(is_legal(pdm, &z.t).unwrap(), "Theorem 1 violated");
+        // Leading zero block.
+        for c in 0..z.zero_cols {
+            for r in 0..rho {
+                assert_eq!(z.transformed.get(r, c), 0);
+            }
+        }
+        // Trailing block upper triangular with positive diagonal.
+        for r in 0..rho {
+            assert!(z.transformed.get(r, z.zero_cols + r) > 0);
+            for cc in 0..r {
+                assert_eq!(z.transformed.get(r, z.zero_cols + cc), 0);
+            }
+        }
+        z
+    }
+
+    #[test]
+    fn paper_41_single_row() {
+        // PDM [[2,2]]: one skew + shift. T = [[-1,1],[1,0]] (up to sign
+        // conventions), H·T = [[0,2]].
+        let z = check(&m(&[vec![2, 2]]));
+        assert_eq!(z.transformed, m(&[vec![0, 2]]));
+        assert_eq!(z.zero_cols, 1);
+    }
+
+    #[test]
+    fn full_rank_is_noop_rotation() {
+        // Full-rank PDM: no zero columns possible; T must keep all columns
+        // nonzero (identity permutation of pivots).
+        let z = check(&m(&[vec![2, 1], vec![0, 2]]));
+        assert_eq!(z.zero_cols, 0);
+        assert_eq!(z.transformed, m(&[vec![2, 1], vec![0, 2]]));
+        assert_eq!(z.t.mat(), &IMat::identity(2));
+    }
+
+    #[test]
+    fn rational_dependence_needs_euclid() {
+        // Column 1 = (1/2)·column 0: requires the interchange cascade.
+        let z = check(&m(&[vec![2, 1]]));
+        assert_eq!(z.transformed, m(&[vec![0, 1]]));
+    }
+
+    #[test]
+    fn already_zero_columns_pass_through() {
+        let z = check(&m(&[vec![0, 3, 1]]));
+        assert_eq!(z.zero_cols, 2);
+        assert_eq!(z.transformed.get(0, 2) > 0, true);
+    }
+
+    #[test]
+    fn deeper_nests() {
+        check(&m(&[vec![1, 2, 3]]));
+        check(&m(&[vec![2, 0, 1], vec![0, 3, 5]]));
+        check(&m(&[vec![1, 0, 7], vec![0, 1, 4]]));
+        check(&m(&[vec![3, 1, 4, 1], vec![0, 5, 9, 2]]));
+        check(&m(&[vec![2, 7, 1, 8], vec![0, 2, 8, 1], vec![0, 0, 3, 6]]));
+    }
+
+    #[test]
+    fn random_hnf_inputs() {
+        let mut state = 0x7F4A7C159E3779B9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 9) as i64 - 4
+        };
+        let mut nontrivial = 0;
+        for _ in 0..300 {
+            let n = 2 + (next().unsigned_abs() as usize % 3);
+            let rows = 1 + (next().unsigned_abs() as usize % n);
+            let data: Vec<i64> = (0..rows * n).map(|_| next()).collect();
+            let g = IMat::from_flat(rows, n, &data).unwrap();
+            let h = hermite_normal_form(&g).unwrap().hnf;
+            if h.rows() == 0 {
+                continue;
+            }
+            let z = check(&h);
+            if z.zero_cols > 0 && h.rows() < n {
+                nontrivial += 1;
+            }
+        }
+        assert!(nontrivial > 20, "need non-trivial cases, got {nontrivial}");
+    }
+
+    #[test]
+    fn rejects_non_hnf_input() {
+        assert!(algorithm1(&m(&[vec![0, 0], vec![1, 0]])).is_err());
+        assert!(algorithm1(&m(&[vec![-1, 0]])).is_err());
+    }
+
+    #[test]
+    fn empty_pdm_all_columns_zero() {
+        let z = algorithm1(&IMat::zeros(0, 3)).unwrap();
+        assert_eq!(z.zero_cols, 3);
+        assert_eq!(z.t.mat(), &IMat::identity(3));
+    }
+}

@@ -1,0 +1,197 @@
+//! Rendering a [`crate::plan::ParallelPlan`] as paper-style pseudo-code.
+//!
+//! The output mirrors the transformed loops of the paper's §4: outer
+//! `doall` loops for the zero PDM columns, a `doall` over partition
+//! offsets, inner sequential loops with `max(⌈…⌉)/min(⌊…⌋)` bounds and
+//! stride `H[k][k]`, and the back-substitution `i = y·T⁻¹` feeding the
+//! original body.
+
+use crate::plan::ParallelPlan;
+use crate::Result;
+use pdm_loopir::nest::LoopNest;
+use pdm_loopir::pretty::render_ref;
+use std::fmt::Write as _;
+
+/// Render the complete transformed program.
+pub fn render_plan(nest: &LoopNest, plan: &ParallelPlan) -> Result<String> {
+    let n = plan.depth();
+    let mut out = String::new();
+    let ynames: Vec<String> = (1..=n).map(|k| format!("y{k}")).collect();
+
+    let _ = writeln!(out, "// pseudo distance matrix (PDM):");
+    for line in format!("{}", plan.analysis().pdm()).lines() {
+        let _ = writeln!(out, "//   {line}");
+    }
+    let _ = writeln!(out, "// transformation T (y = i * T):");
+    for line in format!("{}", plan.transform()).lines() {
+        let _ = writeln!(out, "//   {line}");
+    }
+    let _ = writeln!(
+        out,
+        "// doall loops: {}   partitions: {}",
+        plan.doall_count(),
+        plan.partition_count()
+    );
+
+    let mut indent = 0usize;
+    let pad = |d: usize| "  ".repeat(d);
+
+    // Doall prefix loops.
+    for k in 0..plan.doall_count() {
+        let lb = bound_text(plan, k, &ynames, true);
+        let ub = bound_text(plan, k, &ynames, false);
+        let _ = writeln!(
+            out,
+            "{}doall {} = {}..={} {{",
+            pad(indent),
+            ynames[k],
+            lb,
+            ub
+        );
+        indent += 1;
+    }
+
+    // Partition offset doalls.
+    if let Some(p) = plan.partition() {
+        for (k, s) in p.steps().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{}doall o{} = 0..{s} {{   // partition offsets, det = {}",
+                pad(indent),
+                plan.doall_count() + k + 1,
+                p.count()
+            );
+            indent += 1;
+        }
+    }
+
+    // Sequential (possibly strided) loops.
+    for k in plan.doall_count()..n {
+        let lb = bound_text(plan, k, &ynames, true);
+        let ub = bound_text(plan, k, &ynames, false);
+        match plan.partition() {
+            Some(p) => {
+                let kk = k - plan.doall_count();
+                let s = p.steps()[kk];
+                let _ = writeln!(
+                    out,
+                    "{}for {} = first_ge({lb}, r{}) ..= {ub} step {s} {{",
+                    pad(indent),
+                    ynames[k],
+                    k + 1,
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{}for {} = {lb}..={ub} {{",
+                    pad(indent),
+                    ynames[k]
+                );
+            }
+        }
+        indent += 1;
+    }
+
+    // Back-substitution and body.
+    let inames = nest.index_names();
+    let tinv = plan.inverse().mat();
+    let mut subs: Vec<String> = Vec::new();
+    for i in 0..n {
+        let col = tinv.col_vec(i);
+        let expr = pdm_poly::expr::AffineExpr::new(col, 0);
+        subs.push(format!("{} = {}", inames[i], expr.display_with(&ynames)));
+    }
+    let _ = writeln!(out, "{}// {}", pad(indent), subs.join(", "));
+    for stmt in nest.body() {
+        let _ = writeln!(
+            out,
+            "{}{} = {};",
+            pad(indent),
+            render_ref(nest, &stmt.lhs),
+            render_rhs(nest, &stmt.rhs)
+        );
+    }
+    while indent > 0 {
+        indent -= 1;
+        let _ = writeln!(out, "{}}}", pad(indent));
+    }
+    Ok(out)
+}
+
+fn bound_text(plan: &ParallelPlan, k: usize, ynames: &[String], lower: bool) -> String {
+    let lv = plan.bounds().level(k);
+    let exprs = if lower { &lv.lowers } else { &lv.uppers };
+    if exprs.is_empty() {
+        return "?".into();
+    }
+    let parts: Vec<String> = exprs
+        .iter()
+        .map(|b| b.display_with(ynames, lower))
+        .collect();
+    if parts.len() == 1 {
+        parts.into_iter().next().unwrap()
+    } else if lower {
+        format!("max({})", parts.join(", "))
+    } else {
+        format!("min({})", parts.join(", "))
+    }
+}
+
+fn render_rhs(nest: &LoopNest, e: &pdm_loopir::expr::Expr) -> String {
+    use pdm_loopir::expr::Expr;
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Index(k) => nest.index_names()[*k].clone(),
+        Expr::Read(r) => render_ref(nest, r),
+        Expr::Add(a, b) => format!("({} + {})", render_rhs(nest, a), render_rhs(nest, b)),
+        Expr::Sub(a, b) => format!("({} - {})", render_rhs(nest, a), render_rhs(nest, b)),
+        Expr::Mul(a, b) => format!("({} * {})", render_rhs(nest, a), render_rhs(nest, b)),
+        Expr::Neg(a) => format!("(-{})", render_rhs(nest, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::parallelize;
+    use pdm_loopir::parse::parse_loop;
+
+    #[test]
+    fn renders_paper_41_shape() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let text = render_plan(&nest, &plan).unwrap();
+        assert!(text.contains("doall y1"), "{text}");
+        assert!(text.contains("step 2"), "{text}");
+        assert!(text.contains("partition offsets, det = 2"), "{text}");
+        assert!(text.contains("A["), "{text}");
+    }
+
+    #[test]
+    fn renders_fully_parallel_loop() {
+        let nest = parse_loop("for i = 0..=9 { A[i] = i; }").unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let text = render_plan(&nest, &plan).unwrap();
+        assert!(text.contains("doall y1 = 0..=9"), "{text}");
+        assert!(!text.contains("step"), "{text}");
+    }
+
+    #[test]
+    fn renders_sequential_stencil() {
+        let nest = parse_loop(
+            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
+        )
+        .unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let text = render_plan(&nest, &plan).unwrap();
+        // Full Z^2 lattice: no doall, no partitions.
+        assert!(text.contains("doall loops: 0   partitions: 1"), "{text}");
+        assert!(text.contains("for y1"), "{text}");
+    }
+}

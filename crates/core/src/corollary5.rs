@@ -1,0 +1,136 @@
+//! Corollary 5: when is a dependence distance constant?
+//!
+//! The paper closes the loop with its predecessors by characterising the
+//! uniform-distance case: the distance between dependent iterations
+//! `d = j − i` is a **constant** vector iff the subscript matrices
+//! `A₁, A₂` are square and nonsingular and `(b₁ − b₂)·A₂⁻¹`-style offset
+//! image is integral — in which case the classic frameworks
+//! (Banerjee [1], D'Hollander [6]) apply directly and the PDM degenerates
+//! to their distance matrix.
+//!
+//! This module implements the predicate exactly and cross-validates it
+//! against the general lattice machinery (a pair is uniform iff its
+//! homogeneous generator set is empty).
+
+use crate::depeq::DepEquation;
+use crate::Result;
+use pdm_loopir::stmt::ArrayRef;
+use pdm_matrix::det::det;
+use pdm_matrix::vec::IVec;
+
+/// The constant distance of a reference pair, when one exists.
+///
+/// Returns:
+/// * `Ok(Some(d))` — every dependence between the two references has the
+///   one distance `d` (which may be zero for loop-independent overlap);
+/// * `Ok(None)` — either the distances vary with the iteration, or no
+///   dependence exists at all.
+pub fn constant_distance(a: &ArrayRef, b: &ArrayRef) -> Result<Option<IVec>> {
+    let a1 = &a.access.matrix;
+    let a2 = &b.access.matrix;
+    // Corollary 5 condition: both subscript matrices square and
+    // nonsingular. (Rectangular or singular matrices leave free
+    // directions -> variable distances or higher-dimensional solutions.)
+    if !a1.is_square() || !a2.is_square() {
+        return Ok(None);
+    }
+    if det(a1)? == 0 || det(a2)? == 0 {
+        return Ok(None);
+    }
+    // With both nonsingular the dependence equation i·A1 + b1 = j·A2 + b2
+    // has at most a one-parameter family tied rigidly: homogeneous
+    // solutions satisfy i·A1 = j·A2 with unique j per i, but a *constant*
+    // d additionally needs A1 == A2 (else d depends on i). Check via the
+    // general solver for exactness.
+    let eq = crate::depeq::dependence_equation(a, b)?;
+    let pl = crate::pairlat::pair_distance_lattice(&eq)?;
+    if !pl.solvable {
+        return Ok(None);
+    }
+    if pl.hom_rank != 0 {
+        return Ok(None); // variable distances
+    }
+    Ok(pl.particular)
+}
+
+/// Is the whole equation system of a pair "uniform" in Corollary 5's
+/// sense (no free distance directions)?
+pub fn is_uniform_pair(eq: &DepEquation) -> Result<bool> {
+    let pl = crate::pairlat::pair_distance_lattice(eq)?;
+    Ok(!pl.solvable || pl.hom_rank == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_loopir::parse::parse_loop;
+
+    fn flow_refs(src: &str) -> (pdm_loopir::stmt::ArrayRef, pdm_loopir::stmt::ArrayRef) {
+        let nest = parse_loop(src).unwrap();
+        let pairs = nest.dependence_pairs();
+        let p = pairs.iter().find(|p| p.ref_a != p.ref_b).expect("pair");
+        (p.ref_a.clone(), p.ref_b.clone())
+    }
+
+    #[test]
+    fn uniform_shift_detected() {
+        let (w, r) = flow_refs("for i = 1..=9 { A[i] = A[i - 1] + 1; }");
+        let d = constant_distance(&w, &r).unwrap().unwrap();
+        assert_eq!(d.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn two_dim_uniform() {
+        let (w, r) = flow_refs(
+            "for i = 2..=9 { for j = 3..=9 { A[i, j] = A[i - 2, j - 3] + 1; } }",
+        );
+        let d = constant_distance(&w, &r).unwrap().unwrap();
+        assert_eq!(d.as_slice(), &[2, 3]);
+    }
+
+    #[test]
+    fn variable_distance_rejected() {
+        // A[2i] = A[i]: write matrix [2] nonsingular, read [1]
+        // nonsingular, but distances vary (d = i).
+        let (w, r) = flow_refs("for i = 0..=9 { A[2*i] = A[i] + 1; }");
+        assert_eq!(constant_distance(&w, &r).unwrap(), None);
+    }
+
+    #[test]
+    fn rank_deficient_access_rejected() {
+        // Both subscripts i1 + i2: singular 2x2 matrices.
+        let (w, r) = flow_refs(
+            "for i1 = 0..=5 { for i2 = 0..=5 {
+               A[i1 + i2, i1 + i2] = A[i1 + i2 + 1, i1 + i2 + 1] + 1;
+             } }",
+        );
+        assert_eq!(constant_distance(&w, &r).unwrap(), None);
+    }
+
+    #[test]
+    fn no_dependence_gives_none() {
+        let (w, r) = flow_refs("for i = 0..=9 { A[2*i] = A[2*i + 1] + 1; }");
+        assert_eq!(constant_distance(&w, &r).unwrap(), None);
+    }
+
+    #[test]
+    fn agrees_with_analysis_uniformity_flag() {
+        for (src, expect_uniform) in [
+            ("for i = 1..=9 { A[i] = A[i - 1] + 1; }", true),
+            ("for i = 0..=9 { A[2*i] = A[i] + 1; }", false),
+            (
+                "for i1 = 0..=9 { for i2 = 0..=9 {
+                   A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+                 } }",
+                false,
+            ),
+        ] {
+            let nest = parse_loop(src).unwrap();
+            let analysis = crate::pdm::analyze(&nest).unwrap();
+            let (w, r) = flow_refs(src);
+            let c5 = constant_distance(&w, &r).unwrap().is_some();
+            assert_eq!(c5, expect_uniform, "{src}");
+            assert_eq!(analysis.is_uniform(), expect_uniform, "{src}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Dependence equations for a pair of array references (eq. 2.4–2.6).
+//!
+//! Two references `X[i·A₁ + b₁]` and `X[j·A₂ + b₂]` touch the same element
+//! exactly when `i·A₁ + b₁ = j·A₂ + b₂`, i.e. when the concatenated vector
+//! `x = (i, j) ∈ Z²ⁿ` solves the linear diophantine system
+//!
+//! ```text
+//! x · M = c,    M = [ A₁ ; −A₂ ]  (2n × m),    c = b₂ − b₁.
+//! ```
+
+use crate::Result;
+use pdm_loopir::stmt::ArrayRef;
+use pdm_matrix::mat::IMat;
+use pdm_matrix::vec::IVec;
+
+/// The diophantine system of one reference pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEquation {
+    /// Stacked coefficient matrix `M = [A₁; −A₂]`, `2n × m`.
+    pub m: IMat,
+    /// Right-hand side `c = b₂ − b₁`, length `m`.
+    pub c: IVec,
+    /// Loop depth `n`.
+    pub depth: usize,
+}
+
+/// Build the dependence equation system for references `a` (iteration `i`)
+/// and `b` (iteration `j`) of the same array.
+pub fn dependence_equation(a: &ArrayRef, b: &ArrayRef) -> Result<DepEquation> {
+    debug_assert_eq!(a.array, b.array, "pair must reference one array");
+    let n = a.access.depth();
+    let neg_b = b.access.matrix.scale(-1)?;
+    let m = a.access.matrix.vstack(&neg_b)?;
+    let c = b.access.offset.sub(&a.access.offset)?;
+    Ok(DepEquation { m, c, depth: n })
+}
+
+impl DepEquation {
+    /// Evaluate: do iterations `i` and `j` access the same element?
+    /// (Direct check used by tests and the brute-force ISDG oracle.)
+    pub fn holds(&self, i: &IVec, j: &IVec) -> Result<bool> {
+        let mut x = i.0.clone();
+        x.extend_from_slice(j);
+        Ok(self.m.vec_mul(&IVec(x))? == self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_loopir::parse::parse_loop;
+
+    #[test]
+    fn equation_shape_and_content() {
+        // Reconstructed §4.1 loop (see DESIGN.md): write A[5i1+i2, 7i1+2i2],
+        // read A[i1+i2+4, i1+2i2+6].
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let pairs = nest.dependence_pairs();
+        // Find the write/read pair.
+        let wr = pairs
+            .iter()
+            .find(|p| p.ref_a != p.ref_b)
+            .expect("flow pair exists");
+        let eq = dependence_equation(wr.ref_a, wr.ref_b).unwrap();
+        assert_eq!(eq.m.rows(), 4);
+        assert_eq!(eq.m.cols(), 2);
+        // M = [A1; -A2]: A1 rows (5,7),(1,2); -A2 rows (-1,-1),(-1,-2).
+        assert_eq!(eq.m.row(0), &[5, 7]);
+        assert_eq!(eq.m.row(1), &[1, 2]);
+        assert_eq!(eq.m.row(2), &[-1, -1]);
+        assert_eq!(eq.m.row(3), &[-1, -2]);
+        assert_eq!(eq.c.as_slice(), &[4, 6]);
+    }
+
+    #[test]
+    fn holds_matches_subscript_evaluation() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let pairs = nest.dependence_pairs();
+        let wr = pairs.iter().find(|p| p.ref_a != p.ref_b).unwrap();
+        let eq = dependence_equation(wr.ref_a, wr.ref_b).unwrap();
+        for i1 in 0..6i64 {
+            for i2 in 0..6i64 {
+                for j1 in -6..6i64 {
+                    for j2 in -6..6i64 {
+                        let i = IVec::from_slice(&[i1, i2]);
+                        let j = IVec::from_slice(&[j1, j2]);
+                        let direct = wr.ref_a.access.eval(&i).unwrap()
+                            == wr.ref_b.access.eval(&j).unwrap();
+                        assert_eq!(eq.holds(&i, &j).unwrap(), direct);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_pair_equation() {
+        let nest = parse_loop("for i = 0..=9 { A[2*i] = 1; }").unwrap();
+        let pairs = nest.dependence_pairs();
+        let eq = dependence_equation(pairs[0].ref_a, pairs[0].ref_b).unwrap();
+        // Output self-dependence: M = [2; -2], c = 0.
+        assert_eq!(eq.m.rows(), 2);
+        assert_eq!(eq.c.as_slice(), &[0]);
+        // Only i == j solves 2i = 2j.
+        assert!(eq
+            .holds(&IVec::from_slice(&[3]), &IVec::from_slice(&[3]))
+            .unwrap());
+        assert!(!eq
+            .holds(&IVec::from_slice(&[3]), &IVec::from_slice(&[4]))
+            .unwrap());
+    }
+}

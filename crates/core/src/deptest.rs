@@ -1,0 +1,241 @@
+//! Classic dependence tests as pre-filters: GCD and Banerjee bounds.
+//!
+//! The paper positions its exact echelon solve against the approximate
+//! tests of the literature (Banerjee–Wolfe, GCD — see Psarris [11]).
+//! These are implemented here both as cheap filters a production compiler
+//! would run first and as a measurable precision comparison:
+//!
+//! * **GCD test** — per subscript dimension, the single diophantine
+//!   equation is solvable only when the gcd of its coefficients divides
+//!   the constant. Ignores bounds *and* cross-dimension coupling.
+//! * **Banerjee test** — per dimension, interval-evaluate the subscript
+//!   difference over the loop bounds; no dependence when the constant
+//!   falls outside. Uses bounds, still ignores coupling.
+//! * **Exact test** — the paper's echelon solve ([`crate::pairlat`]):
+//!   decides solvability of the full coupled system (still ignoring
+//!   bounds, which only the ISDG oracle applies).
+
+use crate::depeq::DepEquation;
+use crate::Result;
+use pdm_loopir::nest::LoopNest;
+use pdm_matrix::gcd::{divides, gcd_slice};
+
+/// Outcome of an approximate dependence test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestResult {
+    /// The test *proves* independence.
+    Independent,
+    /// The test cannot rule a dependence out.
+    MaybeDependent,
+}
+
+/// GCD test over every subscript dimension.
+pub fn gcd_test(eq: &DepEquation) -> TestResult {
+    for d in 0..eq.m.cols() {
+        let col = eq.m.col_vec(d);
+        let g = gcd_slice(col.as_slice());
+        if !divides(g, eq.c[d]) {
+            return TestResult::Independent;
+        }
+    }
+    TestResult::MaybeDependent
+}
+
+/// Banerjee bounds test: interval evaluation of `x·M_col − c_d` over the
+/// concatenated iteration ranges (`ranges` are the per-variable global
+/// bounds of the nest, applied to both `i` and `j` halves of `x`).
+pub fn banerjee_test(eq: &DepEquation, ranges: &[(i64, i64)]) -> Result<TestResult> {
+    let n = eq.depth;
+    debug_assert_eq!(ranges.len(), n);
+    for d in 0..eq.m.cols() {
+        let mut lo: i128 = 0;
+        let mut hi: i128 = 0;
+        for x in 0..2 * n {
+            let coef = eq.m.get(x, d) as i128;
+            let (rl, rh) = ranges[x % n];
+            let a = coef * rl as i128;
+            let b = coef * rh as i128;
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        let c = eq.c[d] as i128;
+        if c < lo || c > hi {
+            return Ok(TestResult::Independent);
+        }
+    }
+    Ok(TestResult::MaybeDependent)
+}
+
+/// Exact (unbounded) test: the paper's echelon solve.
+pub fn exact_test(eq: &DepEquation) -> Result<TestResult> {
+    Ok(match crate::pairlat::pair_distance_lattice(eq)? {
+        l if l.solvable => TestResult::MaybeDependent,
+        _ => TestResult::Independent,
+    })
+}
+
+/// Precision comparison of the three tests over every dependence pair of
+/// a nest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrecisionReport {
+    /// Total reference pairs examined.
+    pub pairs: usize,
+    /// Pairs disproved by the GCD test.
+    pub gcd_independent: usize,
+    /// Pairs disproved by the Banerjee test.
+    pub banerjee_independent: usize,
+    /// Pairs disproved by the exact echelon solve.
+    pub exact_independent: usize,
+}
+
+/// Run all three tests over the nest's pairs.
+pub fn compare_tests(nest: &LoopNest) -> Result<PrecisionReport> {
+    let ranges = nest.index_ranges()?;
+    let mut rep = PrecisionReport::default();
+    for p in nest.dependence_pairs() {
+        let eq = crate::depeq::dependence_equation(p.ref_a, p.ref_b)?;
+        rep.pairs += 1;
+        if gcd_test(&eq) == TestResult::Independent {
+            rep.gcd_independent += 1;
+        }
+        if banerjee_test(&eq, &ranges)? == TestResult::Independent {
+            rep.banerjee_independent += 1;
+        }
+        if exact_test(&eq)? == TestResult::Independent {
+            rep.exact_independent += 1;
+        }
+    }
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depeq::dependence_equation;
+    use pdm_loopir::parse::parse_loop;
+
+    fn eq_of(src: &str) -> (DepEquation, Vec<(i64, i64)>) {
+        let nest = parse_loop(src).unwrap();
+        let pairs = nest.dependence_pairs();
+        let wr = pairs
+            .iter()
+            .find(|p| p.ref_a != p.ref_b)
+            .expect("flow pair");
+        (
+            dependence_equation(wr.ref_a, wr.ref_b).unwrap(),
+            nest.index_ranges().unwrap(),
+        )
+    }
+
+    #[test]
+    fn gcd_disproves_parity_conflicts() {
+        let (eq, _) = eq_of("for i = 0..=20 { A[2*i] = A[2*i + 1] + 1; }");
+        assert_eq!(gcd_test(&eq), TestResult::Independent);
+        assert_eq!(exact_test(&eq).unwrap(), TestResult::Independent);
+    }
+
+    #[test]
+    fn gcd_blind_to_bounds_banerjee_is_not() {
+        // Distance 100 in a loop of extent 10: gcd says maybe, Banerjee
+        // proves independence.
+        let (eq, ranges) = eq_of("for i = 0..=10 { A[i] = A[i + 100] + 1; }");
+        assert_eq!(gcd_test(&eq), TestResult::MaybeDependent);
+        assert_eq!(
+            banerjee_test(&eq, &ranges).unwrap(),
+            TestResult::Independent
+        );
+        // The unbounded exact test also says maybe (correctly: with wider
+        // bounds there WOULD be a dependence).
+        assert_eq!(exact_test(&eq).unwrap(), TestResult::MaybeDependent);
+    }
+
+    #[test]
+    fn exact_sees_coupling_the_others_miss() {
+        // A[i, i] vs A[j, j+1]: each dimension alone is satisfiable
+        // (gcd 1; ranges overlap), but the coupled system i = j and
+        // i = j + 1 is contradictory.
+        let (eq, ranges) = eq_of(
+            "for i = 0..=10 { A[i, i] = A[i, i + 1] + 1; }",
+        );
+        assert_eq!(gcd_test(&eq), TestResult::MaybeDependent);
+        assert_eq!(
+            banerjee_test(&eq, &ranges).unwrap(),
+            TestResult::MaybeDependent
+        );
+        assert_eq!(exact_test(&eq).unwrap(), TestResult::Independent);
+    }
+
+    #[test]
+    fn dependent_pairs_never_disproved() {
+        // Soundness: a loop with a real dependence must pass all tests.
+        for src in [
+            "for i = 1..=10 { A[i] = A[i - 1] + 1; }",
+            "for i = 0..=10 { A[2*i] = A[i] + 1; }",
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        ] {
+            let (eq, ranges) = eq_of(src);
+            assert_eq!(gcd_test(&eq), TestResult::MaybeDependent, "{src}");
+            assert_eq!(
+                banerjee_test(&eq, &ranges).unwrap(),
+                TestResult::MaybeDependent,
+                "{src}"
+            );
+            assert_eq!(exact_test(&eq).unwrap(), TestResult::MaybeDependent, "{src}");
+        }
+    }
+
+    #[test]
+    fn precision_report_orders_tests() {
+        // A nest mixing disprovable and real dependences.
+        let nest = parse_loop(
+            "for i = 0..=10 {
+               A[2*i] = A[2*i + 1] + 1;
+               B[i] = B[i + 100] + 1;
+               C[i, i] = C[i, i + 1] + 1;
+               D[i] = D[i - 1] + 1;
+             }",
+        )
+        .unwrap();
+        let rep = compare_tests(&nest).unwrap();
+        assert!(rep.pairs >= 4);
+        assert!(rep.gcd_independent >= 1);
+        assert!(rep.banerjee_independent >= 1);
+        // The exact test catches the coupled case the others can't;
+        // Banerjee catches the bounded case the exact (unbounded) can't.
+        assert!(rep.exact_independent >= 2);
+    }
+
+    #[test]
+    fn soundness_against_ground_truth() {
+        // Any pair disproved by any test must have zero ISDG edges.
+        for src in [
+            "for i = 0..=12 { A[2*i] = A[2*i + 1] + 1; }",
+            "for i = 0..=12 { A[i] = A[i + 100] + 1; }",
+            "for i = 0..=12 { A[i, i] = A[i, i + 1] + 1; }",
+        ] {
+            let nest = parse_loop(src).unwrap();
+            let rep = compare_tests(&nest).unwrap();
+            let any_disproved = rep.gcd_independent
+                + rep.banerjee_independent
+                + rep.exact_independent
+                > 0;
+            assert!(any_disproved, "{src}");
+            // Ground truth: no dependent iterations at all.
+            let its = nest.iterations().unwrap();
+            let w = &nest.body()[0].lhs;
+            let mut reads = Vec::new();
+            nest.body()[0].rhs.reads(&mut reads);
+            for i in &its {
+                for j in &its {
+                    assert_ne!(
+                        w.access.eval(i).unwrap(),
+                        reads[0].access.eval(j).unwrap(),
+                        "{src}: real conflict found despite disproof"
+                    );
+                }
+            }
+        }
+    }
+}

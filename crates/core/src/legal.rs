@@ -1,0 +1,177 @@
+//! Legality of unimodular transformations (§3.1: Theorem 1,
+//! Corollaries 1–4).
+//!
+//! A loop transformation is legal when it is a bijection of the iteration
+//! space that preserves the execution order of every pair of dependent
+//! iterations. For a unimodular `T` acting on row index vectors
+//! (`y = i·T`), Theorem 1 reduces legality to a *finite* check on the PDM:
+//!
+//! > If `H·T` is an echelon matrix with lexicographically positive rows,
+//! > then `T` is legal.
+//!
+//! (Every distance is `d = z·H` with `z ≻ 0` by Lemma 2; then
+//! `d·T = z·(H·T) ≻ 0` by Lemma 2 again.)
+
+use crate::Result;
+use pdm_matrix::lex::{is_lex_positive, is_lex_positive_echelon, lex_cmp};
+use pdm_matrix::mat::IMat;
+use pdm_matrix::unimodular::Unimodular;
+use pdm_matrix::vec::IVec;
+
+/// Theorem 1: is `t` legal for the loop whose PDM is `pdm`?
+///
+/// `pdm` must be the HNF pseudo distance matrix (`rank × n`). An empty PDM
+/// (no dependences) makes every unimodular transformation legal.
+pub fn is_legal(pdm: &IMat, t: &Unimodular) -> Result<bool> {
+    if pdm.rows() == 0 {
+        return Ok(true);
+    }
+    let ht = pdm.mul(t.mat())?;
+    Ok(is_lex_positive_echelon(&ht))
+}
+
+/// Direct legality check against an explicit set of distance vectors:
+/// every lexicographically positive distance must stay positive after the
+/// transformation. This is the *definition* of legality restricted to the
+/// given sample — used to cross-validate Theorem 1 and by the brute-force
+/// ISDG oracle in integration tests.
+pub fn preserves_distances(distances: &[IVec], t: &Unimodular) -> Result<bool> {
+    for d in distances {
+        if is_lex_positive(d) {
+            let td = t.apply(d)?;
+            if !is_lex_positive(&td) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Corollary 2: right skewing `skewing(i, j, k)` with `i < j` is always
+/// legal for an HNF PDM. Provided as a checked constructor.
+pub fn legal_skewing(pdm: &IMat, n: usize, i: usize, j: usize, k: i64) -> Result<Unimodular> {
+    assert!(i < j, "right skewing requires i < j (Corollary 2)");
+    let t = Unimodular::skewing(n, i, j, k).map_err(crate::CoreError::Matrix)?;
+    debug_assert!(is_legal(pdm, &t)?, "Corollary 2 violated — bug");
+    Ok(t)
+}
+
+/// Corollary 3: shifting a zero column of the PDM is legal. Returns the
+/// shift transformation after verifying column `from` is zero.
+pub fn legal_shift_zero_col(pdm: &IMat, n: usize, from: usize, to: usize) -> Result<Unimodular> {
+    let col_zero = pdm.rows() == 0 || (0..pdm.rows()).all(|r| pdm.get(r, from) == 0);
+    if !col_zero {
+        return Err(crate::CoreError::Invariant(
+            "shift source column is not zero (Corollary 3 precondition)",
+        ));
+    }
+    let t = Unimodular::shift(n, from, to).map_err(crate::CoreError::Matrix)?;
+    debug_assert!(is_legal(pdm, &t)?, "Corollary 3 violated — bug");
+    Ok(t)
+}
+
+/// Check the ordering property on two concrete iterations: dependent
+/// iterations `i ≺ j` must map to `i·T ≺ j·T`.
+pub fn preserves_pair_order(i: &IVec, j: &IVec, t: &Unimodular) -> Result<bool> {
+    let ti = t.apply(i)?;
+    let tj = t.apply(j)?;
+    Ok(lex_cmp(i, j) == lex_cmp(&ti, &tj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn theorem1_on_paper_41_transform() {
+        // PDM [[2,2]]; the pipeline's transform is skew(0,1,-1) then the
+        // column shift: T = [[-1,1],[1,0]]. H·T = [(0,2)]: echelon,
+        // lex-positive -> legal.
+        let pdm = m(&[vec![2, 2]]);
+        let t = Unimodular::new(m(&[vec![-1, 1], vec![1, 0]])).unwrap();
+        assert!(is_legal(&pdm, &t).unwrap());
+        // Loop reversal on the carrying direction is illegal.
+        let rev = Unimodular::reversal(2, 0).unwrap();
+        assert!(!is_legal(&pdm, &rev).unwrap());
+    }
+
+    #[test]
+    fn empty_pdm_everything_legal() {
+        let pdm = IMat::zeros(0, 2);
+        let rev = Unimodular::reversal(2, 0).unwrap();
+        assert!(is_legal(&pdm, &rev).unwrap());
+    }
+
+    #[test]
+    fn interchange_legality_depends_on_pdm() {
+        // PDM [[1,0],[0,1]] (both directions carried): interchange maps it
+        // to itself-with-swapped-columns = [[0,1],[1,0]] -> not echelon ->
+        // Theorem 1 does not certify it (indeed it breaks (0,1)->(1,0)?
+        // no: (0,1)->(1,0) stays positive; but (1,0)->(0,1) also positive;
+        // interchange IS legal here by the definition, Theorem 1 is only
+        // sufficient).
+        let pdm = m(&[vec![1, 0], vec![0, 1]]);
+        let ic = Unimodular::interchange(2, 0, 1).unwrap();
+        assert!(!is_legal(&pdm, &ic).unwrap());
+        // The definitional check on sample distances says legal:
+        let ds = vec![IVec::from_slice(&[1, 0]), IVec::from_slice(&[0, 1])];
+        assert!(preserves_distances(&ds, &ic).unwrap());
+        // ... which shows Theorem 1 is sufficient, not necessary.
+    }
+
+    #[test]
+    fn skewing_always_legal_corollary2() {
+        // For several HNF PDMs and skewing parameters, Corollary 2 holds.
+        let pdms = [
+            m(&[vec![2, 2]]),
+            m(&[vec![1, 0], vec![0, 1]]),
+            m(&[vec![2, 1], vec![0, 2]]),
+            m(&[vec![1, 5, 0], vec![0, 6, 2], vec![0, 0, 3]]),
+        ];
+        for pdm in &pdms {
+            let n = pdm.cols();
+            for i in 0..n {
+                for j in i + 1..n {
+                    for k in -3..=3 {
+                        let t = legal_skewing(pdm, n, i, j, k).unwrap();
+                        assert!(is_legal(pdm, &t).unwrap(), "skew({i},{j},{k}) on\n{pdm}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_zero_col_checked() {
+        let pdm = m(&[vec![0, 2, 1], vec![0, 0, 3]]);
+        // Column 0 is zero: shifting it anywhere is legal.
+        let t = legal_shift_zero_col(&pdm, 3, 0, 2).unwrap();
+        assert!(is_legal(&pdm, &t).unwrap());
+        // Column 1 is not zero: constructor refuses.
+        assert!(legal_shift_zero_col(&pdm, 3, 1, 0).is_err());
+    }
+
+    #[test]
+    fn composition_stays_legal_corollary1() {
+        let pdm = m(&[vec![2, 2]]);
+        let t1 = legal_skewing(&pdm, 2, 0, 1, -1).unwrap(); // H·T1 = [(2,0)]
+        let h1 = pdm.mul(t1.mat()).unwrap();
+        let t2 = legal_shift_zero_col(&h1, 2, 1, 0).unwrap();
+        let t = t1.compose(&t2).unwrap();
+        assert!(is_legal(&pdm, &t).unwrap());
+        let ht = pdm.mul(t.mat()).unwrap();
+        assert_eq!(ht, m(&[vec![0, 2]]));
+    }
+
+    #[test]
+    fn pair_order_preservation() {
+        let t = Unimodular::new(m(&[vec![-1, 1], vec![1, 0]])).unwrap();
+        let i = IVec::from_slice(&[1, 2]);
+        let j = IVec::from_slice(&[3, 4]); // j - i = (2,2): carried distance
+        assert!(preserves_pair_order(&i, &j, &t).unwrap());
+    }
+}

@@ -1,0 +1,85 @@
+//! # pdm-core — the pseudo distance matrix loop parallelizer
+//!
+//! Implementation of *Yu & D'Hollander, "Partitioning Loops with Variable
+//! Dependence Distances", ICPP 2000*: analysis and transformation of
+//! perfectly nested loops whose affine array subscripts induce **variable**
+//! (non-uniform) dependence distances.
+//!
+//! Pipeline (paper section in parentheses):
+//!
+//! 1. [`depeq`] — build the linear diophantine dependence equations for
+//!    every array reference pair (§2.2, eq. 2.4–2.6).
+//! 2. [`pairlat`] — solve them and characterise all distance vectors of a
+//!    pair as a lattice: homogeneous generators plus, when it falls outside
+//!    their span, the particular solution (§2.3, eq. 2.13–2.17).
+//! 3. [`pdm`] — merge the per-pair generators over the whole loop and
+//!    reduce to Hermite normal form: the **pseudo distance matrix** (eq.
+//!    2.18–2.21). Zero columns are parallel loops (Lemma 1).
+//! 4. [`legal`] — Theorem 1: a unimodular `T` is legal iff `H·T` is an
+//!    echelon matrix with lexicographically positive rows; plus the legal
+//!    elementary transformations of Corollaries 2–4.
+//! 5. [`algorithm1`] — the paper's Algorithm 1: for a non-full-rank PDM,
+//!    a legal unimodular `T` zeroing `n − rank` columns → outer `doall`s.
+//! 6. [`partition`] — Theorem 2: a full-rank (sub-)PDM splits the
+//!    iteration space into `det(H)` independent partitions.
+//! 7. [`plan`] — the end-to-end [`plan::parallelize`] driver combining all
+//!    of the above and deriving transformed loop bounds by Fourier–Motzkin.
+//! 8. [`codegen`] — render the plan as paper-style `doall` pseudo-code.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm1;
+pub mod codegen;
+pub mod corollary5;
+pub mod depeq;
+pub mod deptest;
+pub mod legal;
+pub mod pairlat;
+pub mod partition;
+pub mod pdm;
+pub mod pipeline;
+pub mod plan;
+
+pub use pdm::{analyze, PdmAnalysis};
+pub use plan::{parallelize, ParallelPlan};
+
+/// Errors of the analysis/transformation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Exact arithmetic failure.
+    Matrix(pdm_matrix::MatrixError),
+    /// Loop IR failure.
+    Ir(pdm_loopir::IrError),
+    /// An internal invariant of a transformation algorithm was violated —
+    /// always a bug, surfaced loudly instead of emitting an illegal
+    /// schedule.
+    Invariant(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Matrix(e) => write!(f, "matrix error: {e}"),
+            CoreError::Ir(e) => write!(f, "loop IR error: {e}"),
+            CoreError::Invariant(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<pdm_matrix::MatrixError> for CoreError {
+    fn from(e: pdm_matrix::MatrixError) -> Self {
+        CoreError::Matrix(e)
+    }
+}
+
+impl From<pdm_loopir::IrError> for CoreError {
+    fn from(e: pdm_loopir::IrError) -> Self {
+        CoreError::Ir(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

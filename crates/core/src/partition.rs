@@ -1,0 +1,274 @@
+//! Iteration-space partitioning for a full-rank PDM (§3.3, Theorem 2).
+//!
+//! With a full-rank upper-triangular lattice basis `H` (`ρ × ρ`, positive
+//! diagonal), every dependence distance lies in the lattice `L(H)`, so two
+//! dependent iterations always fall in the **same coset** of `L(H)` in
+//! `Zᵨ`. The `det(H) = ∏ H[k][k]` cosets are therefore mutually
+//! independent: the paper's Loop (3.2) runs them as a `doall` over offset
+//! vectors `o` (`o_k ∈ [0, H[k][k])`) and walks each coset sequentially in
+//! lexicographic order — a subset of the original order, hence legal.
+//!
+//! The coset of a point is computed by forward substitution on the
+//! triangular basis (eq. 3.4): `q_k = (x_k − r_k) / H[k][k]` with the
+//! running residue `r_k = o_k + Σ_{p<k} q_p·H[p][k]`.
+
+use crate::{CoreError, Result};
+use pdm_matrix::mat::IMat;
+use pdm_matrix::num::emod;
+use pdm_matrix::vec::IVec;
+
+/// A Theorem-2 partitioning induced by a triangular lattice basis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    h: IMat,
+    steps: Vec<i64>,
+}
+
+impl Partitioning {
+    /// Validate and wrap a full-rank upper-triangular basis with positive
+    /// diagonal.
+    pub fn new(h: IMat) -> Result<Self> {
+        if !h.is_square() {
+            return Err(CoreError::Invariant("partition basis must be square"));
+        }
+        let n = h.rows();
+        let mut steps = Vec::with_capacity(n);
+        for r in 0..n {
+            for c in 0..r {
+                if h.get(r, c) != 0 {
+                    return Err(CoreError::Invariant(
+                        "partition basis must be upper triangular",
+                    ));
+                }
+            }
+            let d = h.get(r, r);
+            if d <= 0 {
+                return Err(CoreError::Invariant(
+                    "partition basis needs a positive diagonal",
+                ));
+            }
+            steps.push(d);
+        }
+        Ok(Partitioning { h, steps })
+    }
+
+    /// The basis matrix.
+    pub fn basis(&self) -> &IMat {
+        &self.h
+    }
+
+    /// Dimension `ρ` of the partitioned block.
+    pub fn dim(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Per-level strides (the diagonal of `H`).
+    pub fn steps(&self) -> &[i64] {
+        &self.steps
+    }
+
+    /// Number of independent partitions, `det(H)`.
+    pub fn count(&self) -> i64 {
+        self.steps.iter().product()
+    }
+
+    /// Enumerate all offset vectors `o` with `o_k ∈ [0, steps[k])`.
+    pub fn offsets(&self) -> Vec<IVec> {
+        let mut out = vec![IVec::zeros(self.dim())];
+        for (k, &s) in self.steps.iter().enumerate() {
+            let mut next = Vec::with_capacity(out.len() * s as usize);
+            for base in &out {
+                for v in 0..s {
+                    let mut o = base.clone();
+                    o[k] = v;
+                    next.push(o);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// Running residue for level `k` inside a partition: the congruence
+    /// class `x_k ≡ r_k (mod steps[k])` given the offset `o` and the `q`
+    /// coordinates already fixed for levels `< k`.
+    pub fn residue(&self, o: &IVec, q: &[i64], k: usize) -> Result<i64> {
+        debug_assert!(q.len() >= k);
+        let mut r = o[k] as i128;
+        for p in 0..k {
+            r += q[p] as i128 * self.h.get(p, k) as i128;
+        }
+        i64::try_from(r).map_err(|_| CoreError::Matrix(pdm_matrix::MatrixError::Overflow))
+    }
+
+    /// The lattice coordinate at level `k`: `q_k = (x_k − r_k) / s_k`
+    /// (always exact for points of the partition).
+    pub fn q_of(&self, x_k: i64, r_k: i64, k: usize) -> Result<i64> {
+        let s = self.steps[k];
+        let diff = x_k
+            .checked_sub(r_k)
+            .ok_or(CoreError::Matrix(pdm_matrix::MatrixError::Overflow))?;
+        if diff % s != 0 {
+            return Err(CoreError::Invariant(
+                "point does not belong to the claimed partition",
+            ));
+        }
+        Ok(diff / s)
+    }
+
+    /// Smallest `x ≥ lb` with `x ≡ r (mod s)` — the start expression of
+    /// the paper's transformed Loop (3.2).
+    pub fn first_at_least(lb: i64, r: i64, s: i64) -> Result<i64> {
+        let m = emod(r - lb, s).map_err(CoreError::Matrix)?;
+        lb.checked_add(m)
+            .ok_or(CoreError::Matrix(pdm_matrix::MatrixError::Overflow))
+    }
+
+    /// The offset (partition id) containing point `x`, via forward
+    /// substitution (eq. 3.4).
+    pub fn offset_of(&self, x: &IVec) -> Result<IVec> {
+        if x.dim() != self.dim() {
+            return Err(CoreError::Matrix(pdm_matrix::MatrixError::DimMismatch {
+                op: "offset_of",
+                lhs: (1, self.dim()),
+                rhs: (1, x.dim()),
+            }));
+        }
+        let mut o = IVec::zeros(self.dim());
+        let mut q = Vec::with_capacity(self.dim());
+        for k in 0..self.dim() {
+            // residue from already-fixed q's with o_k unknown: r_k = o_k + acc.
+            let mut acc: i128 = 0;
+            for p in 0..k {
+                acc += q[p] as i128 * self.h.get(p, k) as i128;
+            }
+            let acc = i64::try_from(acc)
+                .map_err(|_| CoreError::Matrix(pdm_matrix::MatrixError::Overflow))?;
+            let ok = emod(x[k] - acc, self.steps[k]).map_err(CoreError::Matrix)?;
+            o[k] = ok;
+            let r_k = acc + ok;
+            q.push(self.q_of(x[k], r_k, k)?);
+        }
+        Ok(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_matrix::lattice::Lattice;
+    use pdm_matrix::lex::small_vectors;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn paper_42_partitioning() {
+        // H = [[2,1],[0,2]]: det 4, offsets {0,1}x{0,1} (Figure 5).
+        let p = Partitioning::new(m(&[vec![2, 1], vec![0, 2]])).unwrap();
+        assert_eq!(p.count(), 4);
+        assert_eq!(p.steps(), &[2, 2]);
+        let offs = p.offsets();
+        assert_eq!(offs.len(), 4);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Partitioning::new(m(&[vec![2, 1], vec![1, 2]])).is_err()); // not triangular
+        assert!(Partitioning::new(m(&[vec![0, 1], vec![0, 2]])).is_err()); // zero diagonal
+        assert!(Partitioning::new(IMat::zeros(1, 2)).is_err()); // not square
+        assert!(Partitioning::new(m(&[vec![-2]])).is_err()); // negative diag
+    }
+
+    #[test]
+    fn lattice_translates_stay_in_one_partition() {
+        // Theorem 2 core property: x and x + (lattice member) share offset.
+        let h = m(&[vec![2, 1], vec![0, 2]]);
+        let p = Partitioning::new(h.clone()).unwrap();
+        let lat = Lattice::from_generators(&h).unwrap();
+        for x in small_vectors(2, 5) {
+            let xo = p.offset_of(&IVec::from_slice(&x)).unwrap();
+            for g in small_vectors(2, 2) {
+                let shift = lat.basis().vec_mul(&IVec::from_slice(&g)).unwrap();
+                let y = IVec::from_slice(&x).add(&shift).unwrap();
+                assert_eq!(
+                    p.offset_of(&y).unwrap(),
+                    xo,
+                    "x={x:?} shifted by {shift} changed partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_cosets_different_offsets() {
+        let h = m(&[vec![2, 1], vec![0, 2]]);
+        let p = Partitioning::new(h.clone()).unwrap();
+        let lat = Lattice::from_generators(&h).unwrap();
+        for x in small_vectors(2, 3) {
+            for y in small_vectors(2, 3) {
+                let xv = IVec::from_slice(&x);
+                let yv = IVec::from_slice(&y);
+                let same_coset = lat.contains(&yv.sub(&xv).unwrap()).unwrap();
+                let same_offset = p.offset_of(&xv).unwrap() == p.offset_of(&yv).unwrap();
+                assert_eq!(same_coset, same_offset, "x={x:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_count_matches_det() {
+        for h in [
+            m(&[vec![2, 1], vec![0, 2]]),
+            m(&[vec![3, 2], vec![0, 1]]),
+            m(&[vec![1, 0], vec![0, 5]]),
+            m(&[vec![2, 1, 1], vec![0, 3, 2], vec![0, 0, 2]]),
+        ] {
+            let p = Partitioning::new(h).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for x in small_vectors(p.dim(), 6) {
+                seen.insert(p.offset_of(&IVec::from_slice(&x)).unwrap());
+            }
+            assert_eq!(seen.len() as i64, p.count());
+        }
+    }
+
+    #[test]
+    fn first_at_least_congruence() {
+        for lb in -7..=7 {
+            for r in -7..=7 {
+                for s in 1..=5 {
+                    let x = Partitioning::first_at_least(lb, r, s).unwrap();
+                    assert!(x >= lb && x < lb + s);
+                    assert_eq!((x - r).rem_euclid(s), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residue_and_q_roundtrip() {
+        let p = Partitioning::new(m(&[vec![2, 1], vec![0, 2]])).unwrap();
+        // Walk partition o = (1, 0) explicitly.
+        let o = IVec::from_slice(&[1, 0]);
+        for x1 in -6..=6i64 {
+            if (x1 - 1).rem_euclid(2) != 0 {
+                continue;
+            }
+            let q1 = p.q_of(x1, 1, 0).unwrap();
+            let r2 = p.residue(&o, &[q1], 1).unwrap();
+            for x2 in -6..=6i64 {
+                if (x2 - r2).rem_euclid(2) != 0 {
+                    continue;
+                }
+                // (x1, x2) must be in partition o.
+                assert_eq!(
+                    p.offset_of(&IVec::from_slice(&[x1, x2])).unwrap(),
+                    o,
+                    "({x1},{x2})"
+                );
+            }
+        }
+    }
+}

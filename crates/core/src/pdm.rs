@@ -1,0 +1,290 @@
+//! The pseudo distance matrix of a whole loop (eq. 2.18–2.21).
+//!
+//! Each dependence pair contributes its distance-lattice generators; the
+//! union of all generators, reduced to Hermite normal form, is the **PDM**
+//! `H` of the loop: every dependence distance (of any pair, direct or
+//! transitive) is an integer combination of the rows of `H`. The PDM drives
+//! everything downstream:
+//!
+//! * zero columns ⇒ those loops carry no dependence and are parallel
+//!   (Lemma 1),
+//! * non-full rank ⇒ Algorithm 1 can expose `n − rank` parallel loops,
+//! * full rank ⇒ Theorem 2 partitioning extracts `det(H)` parallelism.
+
+use crate::depeq::dependence_equation;
+use crate::pairlat::{pair_distance_lattice, PairLattice};
+use crate::Result;
+use pdm_loopir::access::ArrayId;
+use pdm_loopir::nest::LoopNest;
+use pdm_loopir::stmt::AccessKind;
+use pdm_matrix::hnf::hermite_normal_form;
+use pdm_matrix::lattice::Lattice;
+use pdm_matrix::mat::IMat;
+
+/// Analysis record for one reference pair.
+#[derive(Debug, Clone)]
+pub struct PairReport {
+    /// Statement index of the first reference.
+    pub stmt_a: usize,
+    /// Statement index of the second reference.
+    pub stmt_b: usize,
+    /// Kind of the first reference.
+    pub kind_a: AccessKind,
+    /// Kind of the second reference.
+    pub kind_b: AccessKind,
+    /// The shared array.
+    pub array: ArrayId,
+    /// The distance-lattice summary.
+    pub lattice: PairLattice,
+}
+
+/// The full PDM analysis of a loop nest.
+#[derive(Debug, Clone)]
+pub struct PdmAnalysis {
+    depth: usize,
+    pdm: IMat,
+    pairs: Vec<PairReport>,
+}
+
+/// Analyze a nest: solve every pair's dependence equations and reduce the
+/// merged distance generators to the pseudo distance matrix.
+pub fn analyze(nest: &LoopNest) -> Result<PdmAnalysis> {
+    let n = nest.depth();
+    let mut pairs = Vec::new();
+    let mut all_gens = IMat::zeros(0, n);
+    for p in nest.dependence_pairs() {
+        let eq = dependence_equation(p.ref_a, p.ref_b)?;
+        let pl = pair_distance_lattice(&eq)?;
+        if pl.solvable {
+            all_gens = all_gens.vstack(&pl.generators)?;
+        }
+        pairs.push(PairReport {
+            stmt_a: p.stmt_a,
+            stmt_b: p.stmt_b,
+            kind_a: p.kind_a,
+            kind_b: p.kind_b,
+            array: p.ref_a.array,
+            lattice: pl,
+        });
+    }
+    let pdm = hermite_normal_form(&all_gens)?.hnf;
+    Ok(PdmAnalysis {
+        depth: n,
+        pdm,
+        pairs,
+    })
+}
+
+impl PdmAnalysis {
+    /// Loop depth `n`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The pseudo distance matrix (HNF, `rank × n`).
+    pub fn pdm(&self) -> &IMat {
+        &self.pdm
+    }
+
+    /// Rank of the PDM.
+    pub fn rank(&self) -> usize {
+        self.pdm.rows()
+    }
+
+    /// Is the PDM full rank (rank = depth)?
+    pub fn is_full_rank(&self) -> bool {
+        self.rank() == self.depth
+    }
+
+    /// Does the loop carry any dependence at all?
+    pub fn has_dependences(&self) -> bool {
+        self.rank() > 0
+            || self.pairs.iter().any(|p| {
+                p.lattice.solvable
+                    && p.lattice
+                        .particular
+                        .as_ref()
+                        .is_some_and(|d| !d.is_zero())
+            })
+    }
+
+    /// Zero columns of the PDM — by Lemma 1, those loops can run in
+    /// parallel without any transformation.
+    pub fn zero_cols(&self) -> Vec<usize> {
+        if self.pdm.rows() == 0 {
+            (0..self.depth).collect()
+        } else {
+            self.pdm.zero_cols()
+        }
+    }
+
+    /// The distance lattice `L(H)`.
+    pub fn lattice(&self) -> Result<Lattice> {
+        if self.pdm.rows() == 0 {
+            return Ok(Lattice::zero(self.depth));
+        }
+        Ok(Lattice::from_generators(&self.pdm)?)
+    }
+
+    /// Per-pair reports.
+    pub fn pairs(&self) -> &[PairReport] {
+        &self.pairs
+    }
+
+    /// Are all realized distances constant (uniform)? True when every
+    /// solvable pair has homogeneous rank zero (Corollary 5's situation).
+    pub fn is_uniform(&self) -> bool {
+        self.pairs
+            .iter()
+            .filter(|p| p.lattice.solvable)
+            .all(|p| p.lattice.hom_rank == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_loopir::parse::parse_loop;
+    use pdm_matrix::vec::IVec;
+
+    /// Reconstructed §4.1 (see DESIGN.md): PDM must be [[2, 2]].
+    #[test]
+    fn paper_41_pdm() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let a = analyze(&nest).unwrap();
+        assert_eq!(a.pdm(), &IMat::from_rows(&[vec![2, 2]]).unwrap());
+        assert_eq!(a.rank(), 1);
+        assert!(!a.is_full_rank());
+        assert!(a.zero_cols().is_empty());
+        assert!(!a.is_uniform());
+    }
+
+    /// Reconstructed §4.2 (see DESIGN.md): PDM must be [[2,1],[0,2]],
+    /// det 4 -> four partitions.
+    #[test]
+    fn paper_42_pdm() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+               B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+             } }",
+        )
+        .unwrap();
+        let a = analyze(&nest).unwrap();
+        assert_eq!(
+            a.pdm(),
+            &IMat::from_rows(&[vec![2, 1], vec![0, 2]]).unwrap()
+        );
+        assert!(a.is_full_rank());
+        assert_eq!(a.lattice().unwrap().index(), Some(4));
+    }
+
+    #[test]
+    fn independent_loop_has_empty_pdm() {
+        let nest = parse_loop("for i = 0..=9 { A[i] = i + 1; }").unwrap();
+        let a = analyze(&nest).unwrap();
+        assert_eq!(a.rank(), 0);
+        assert_eq!(a.zero_cols(), vec![0]);
+        assert!(!a.has_dependences());
+    }
+
+    #[test]
+    fn zero_column_detected_for_inner_parallel_loop() {
+        // Dependence only along i1: A[i1][i2] depends on A[i1-1][i2].
+        let nest = parse_loop(
+            "for i1 = 1..=9 { for i2 = 0..=9 {
+               A[i1, i2] = A[i1 - 1, i2] + 1;
+             } }",
+        )
+        .unwrap();
+        let a = analyze(&nest).unwrap();
+        assert_eq!(a.pdm(), &IMat::from_rows(&[vec![1, 0]]).unwrap());
+        assert_eq!(a.zero_cols(), vec![1]); // i2 is parallel (Lemma 1)
+        assert!(a.is_uniform());
+    }
+
+    #[test]
+    fn uniform_skewed_stencil() {
+        // Classic 2-D recurrence: distances (1,0) and (0,1).
+        let nest = parse_loop(
+            "for i = 1..=9 { for j = 1..=9 {
+               A[i, j] = A[i - 1, j] + A[i, j - 1];
+             } }",
+        )
+        .unwrap();
+        let a = analyze(&nest).unwrap();
+        assert_eq!(
+            a.pdm(),
+            &IMat::from_rows(&[vec![1, 0], vec![0, 1]]).unwrap()
+        );
+        assert!(a.is_uniform());
+        assert!(a.is_full_rank());
+        // Full Z^2 lattice: index 1 -> no partition parallelism either.
+        assert_eq!(a.lattice().unwrap().index(), Some(1));
+    }
+
+    #[test]
+    fn pdm_covers_all_bruteforce_distances() {
+        // Ground-truth validation on the reconstructed §4.2 loop: every
+        // realized dependence distance must lie in L(PDM).
+        let nest = parse_loop(
+            "for i1 = 0..=7 { for i2 = 0..=7 {
+               A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+               B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+             } }",
+        )
+        .unwrap();
+        let a = analyze(&nest).unwrap();
+        let lat = a.lattice().unwrap();
+        let its = nest.iterations().unwrap();
+        let accs = nest.accesses();
+        let mut checked = 0;
+        for (sa, ka, ra) in &accs {
+            for (sb, kb, rb) in &accs {
+                if ra.array != rb.array {
+                    continue;
+                }
+                if *ka == AccessKind::Read && *kb == AccessKind::Read {
+                    continue;
+                }
+                let _ = (sa, sb);
+                for i in &its {
+                    for j in &its {
+                        if ra.access.eval(i).unwrap() == rb.access.eval(j).unwrap() {
+                            let d: IVec = j.sub(i).unwrap();
+                            assert!(
+                                lat.contains(&d).unwrap(),
+                                "distance {d} not covered by PDM"
+                            );
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn multi_pair_union() {
+        // Two pairs contributing (2,0) and (0,3): PDM = [[2,0],[0,3]].
+        let nest = parse_loop(
+            "for i = 2..=9 { for j = 3..=9 {
+               A[i, j] = A[i - 2, j] + 1;
+               B[i, j] = B[i, j - 3] + 1;
+             } }",
+        )
+        .unwrap();
+        let a = analyze(&nest).unwrap();
+        assert_eq!(
+            a.pdm(),
+            &IMat::from_rows(&[vec![2, 0], vec![0, 3]]).unwrap()
+        );
+        assert_eq!(a.lattice().unwrap().index(), Some(6));
+    }
+}

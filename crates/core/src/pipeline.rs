@@ -1,0 +1,15 @@
+//! Convenience façade: one-call analysis and parallelization.
+
+pub use crate::pdm::analyze;
+pub use crate::plan::parallelize;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_resolve() {
+        let nest =
+            pdm_loopir::parse::parse_loop("for i = 0..=3 { A[i] = i; }").unwrap();
+        assert_eq!(super::analyze(&nest).unwrap().rank(), 0);
+        assert!(super::parallelize(&nest).unwrap().is_fully_parallel());
+    }
+}

@@ -1,0 +1,74 @@
+//! # pdm-isdg — iteration-space dependence graphs
+//!
+//! The ground-truth oracle of the workspace: enumerate a bounded nest's
+//! iterations, replay its memory accesses in sequential order, and record
+//! every **direct** dependence (flow, anti, output) between iterations —
+//! the graph the paper draws in Figures 2–5.
+//!
+//! Uses:
+//! * [`graph::build`] — the ISDG itself (direct arrows, like the figures),
+//! * [`graph::build_all_pairs`] — every dependent pair, including
+//!   transitively implied ones (used to validate analyses),
+//! * [`metrics`] — dependent/independent counts, weakly connected
+//!   components, critical path, max parallel width,
+//! * [`render`] — ASCII grids reproducing the paper's figures and DOT
+//!   export,
+//! * [`validate`] — check a parallel schedule against the graph: every
+//!   edge must stay inside one parallel group with its order preserved.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod graph;
+pub mod metrics;
+pub mod render;
+pub mod validate;
+
+pub use graph::{build, DepEdge, EdgeKind, Isdg};
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsdgError {
+    /// Exact arithmetic failure.
+    Matrix(pdm_matrix::MatrixError),
+    /// Loop IR failure.
+    Ir(pdm_loopir::IrError),
+    /// The nest is too large to enumerate (guard against accidental
+    /// quadratic blow-ups in tests).
+    TooLarge {
+        /// Number of iterations found.
+        iterations: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for IsdgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsdgError::Matrix(e) => write!(f, "matrix error: {e}"),
+            IsdgError::Ir(e) => write!(f, "loop IR error: {e}"),
+            IsdgError::TooLarge { iterations, limit } => write!(
+                f,
+                "iteration space too large for ISDG: {iterations} > {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IsdgError {}
+
+impl From<pdm_matrix::MatrixError> for IsdgError {
+    fn from(e: pdm_matrix::MatrixError) -> Self {
+        IsdgError::Matrix(e)
+    }
+}
+
+impl From<pdm_loopir::IrError> for IsdgError {
+    fn from(e: pdm_loopir::IrError) -> Self {
+        IsdgError::Ir(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, IsdgError>;

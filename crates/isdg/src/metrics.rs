@@ -1,0 +1,277 @@
+//! Parallelism metrics of an ISDG.
+//!
+//! These quantify what the paper's figures show qualitatively: how many
+//! iterations are constrained, how many independent chains exist
+//! (weakly connected components ≈ the numbered chains of Figures 2/4),
+//! how long the longest chain is (the critical path bounding any
+//! schedule), and the resulting average parallelism.
+
+use crate::graph::Isdg;
+
+/// Summary metrics of a dependence graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsdgMetrics {
+    /// Total iterations.
+    pub iterations: usize,
+    /// Iterations participating in at least one dependence.
+    pub dependent: usize,
+    /// Iterations with no dependence at all.
+    pub independent: usize,
+    /// Number of dependence edges.
+    pub edges: usize,
+    /// Weakly connected components among *dependent* iterations.
+    pub components: usize,
+    /// Longest dependence chain, in iterations (1 when no edges).
+    pub critical_path: usize,
+    /// `iterations / critical_path` — the average parallelism an ideal
+    /// scheduler can extract.
+    pub avg_parallelism: f64,
+}
+
+/// Compute all metrics.
+pub fn metrics(g: &Isdg) -> IsdgMetrics {
+    let n = g.iterations().len();
+    let dependent = g.dependent_iterations().len();
+    let comps = components(g);
+    let cp = critical_path(g);
+    IsdgMetrics {
+        iterations: n,
+        dependent,
+        independent: n - dependent,
+        edges: g.edges().len(),
+        components: comps,
+        critical_path: cp,
+        avg_parallelism: if cp == 0 { n as f64 } else { n as f64 / cp as f64 },
+    }
+}
+
+/// Weakly connected components among dependent iterations (union-find).
+pub fn components(g: &Isdg) -> usize {
+    let n = g.iterations().len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    let mut touched = vec![false; n];
+    for e in g.edges() {
+        let a = g.index_of(&e.from).expect("edge endpoint");
+        let b = g.index_of(&e.to).expect("edge endpoint");
+        touched[a] = true;
+        touched[b] = true;
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut roots = std::collections::HashSet::new();
+    for x in 0..n {
+        if touched[x] {
+            let r = find(&mut parent, x);
+            roots.insert(r);
+        }
+    }
+    roots.len()
+}
+
+/// Longest path (in nodes) through the dependence DAG; 1 when edges are
+/// absent but iterations exist, 0 for an empty graph.
+pub fn critical_path(g: &Isdg) -> usize {
+    let n = g.iterations().len();
+    if n == 0 {
+        return 0;
+    }
+    // Edges always point lexicographically forward, so iteration order is
+    // a topological order.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        let a = g.index_of(&e.from).expect("edge endpoint");
+        let b = g.index_of(&e.to).expect("edge endpoint");
+        adj[a].push(b);
+    }
+    let mut depth = vec![1usize; n];
+    let mut best = 1usize;
+    for u in 0..n {
+        for &v in &adj[u] {
+            if depth[u] + 1 > depth[v] {
+                depth[v] = depth[u] + 1;
+                best = best.max(depth[v]);
+            }
+        }
+    }
+    best
+}
+
+/// Per-component chain labels (like the numbered chains in Figures 2/4):
+/// component id per dependent iteration index, `None` for independent.
+pub fn component_labels(g: &Isdg) -> Vec<Option<usize>> {
+    let n = g.iterations().len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        r
+    }
+    let mut touched = vec![false; n];
+    for e in g.edges() {
+        let a = g.index_of(&e.from).expect("edge endpoint");
+        let b = g.index_of(&e.to).expect("edge endpoint");
+        touched[a] = true;
+        touched[b] = true;
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    // Densely renumber roots in first-seen order.
+    let mut ids = std::collections::HashMap::new();
+    let mut out = vec![None; n];
+    for x in 0..n {
+        if touched[x] {
+            let r = find(&mut parent, x);
+            let next_id = ids.len() + 1;
+            let id = *ids.entry(r).or_insert(next_id);
+            out[x] = Some(id);
+        }
+    }
+    out
+}
+
+/// Wavefront (level) schedule: the earliest parallel step at which each
+/// iteration can run, i.e. its longest-path depth in the dependence DAG.
+/// Returns per-iteration levels (0-based) plus the width of every level —
+/// the max width is the peak parallelism of the ideal schedule.
+pub fn level_schedule(g: &Isdg) -> (Vec<usize>, Vec<usize>) {
+    let n = g.iterations().len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        let a = g.index_of(&e.from).expect("edge endpoint");
+        let b = g.index_of(&e.to).expect("edge endpoint");
+        adj[a].push(b);
+    }
+    let mut level = vec![0usize; n];
+    for u in 0..n {
+        for &v in &adj[u] {
+            level[v] = level[v].max(level[u] + 1);
+        }
+    }
+    let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+    let mut widths = vec![0usize; depth];
+    for &l in &level {
+        widths[l] += 1;
+    }
+    (level, widths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build;
+    use pdm_loopir::parse::parse_loop;
+
+    #[test]
+    fn chain_metrics() {
+        let nest = parse_loop("for i = 0..=9 { A[i + 1] = A[i] + 1; }").unwrap();
+        let g = build(&nest).unwrap();
+        let m = metrics(&g);
+        assert_eq!(m.iterations, 10);
+        assert_eq!(m.dependent, 10);
+        assert_eq!(m.components, 1);
+        assert_eq!(m.critical_path, 10);
+        assert!((m.avg_parallelism - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_metrics() {
+        let nest = parse_loop("for i = 0..=9 { A[i] = i; }").unwrap();
+        let g = build(&nest).unwrap();
+        let m = metrics(&g);
+        assert_eq!(m.dependent, 0);
+        assert_eq!(m.independent, 10);
+        assert_eq!(m.components, 0);
+        assert_eq!(m.critical_path, 1);
+        assert!((m.avg_parallelism - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_chains() {
+        // Stride-2 chain: even and odd cells form 2 components.
+        let nest = parse_loop("for i = 0..=9 { A[i + 2] = A[i] + 1; }").unwrap();
+        let g = build(&nest).unwrap();
+        let m = metrics(&g);
+        assert_eq!(m.components, 2);
+        assert_eq!(m.critical_path, 5); // chain 0 -> 2 -> 4 -> 6 -> 8
+    }
+
+    #[test]
+    fn component_labels_consistent() {
+        let nest = parse_loop("for i = 0..=9 { A[i + 2] = A[i] + 1; }").unwrap();
+        let g = build(&nest).unwrap();
+        let labels = component_labels(&g);
+        // Iterations 0,2,4,... share a label; 1,3,5,... share another.
+        let l0 = labels[0].unwrap();
+        let l1 = labels[1].unwrap();
+        assert_ne!(l0, l1);
+        assert_eq!(labels[2], Some(l0));
+        assert_eq!(labels[3], Some(l1));
+    }
+
+    #[test]
+    fn level_schedule_of_chain_and_independent() {
+        let chain = parse_loop("for i = 0..=4 { A[i + 1] = A[i] + 1; }").unwrap();
+        let g = build(&chain).unwrap();
+        let (levels, widths) = level_schedule(&g);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(widths, vec![1, 1, 1, 1, 1]);
+
+        let indep = parse_loop("for i = 0..=4 { A[i] = i; }").unwrap();
+        let g2 = build(&indep).unwrap();
+        let (levels2, widths2) = level_schedule(&g2);
+        assert!(levels2.iter().all(|&l| l == 0));
+        assert_eq!(widths2, vec![5]);
+    }
+
+    #[test]
+    fn level_schedule_consistent_with_critical_path() {
+        let nest = parse_loop(
+            "for i = 1..=6 { for j = 1..=6 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
+        )
+        .unwrap();
+        let g = build(&nest).unwrap();
+        let (_, widths) = level_schedule(&g);
+        assert_eq!(widths.len(), critical_path(&g));
+        assert_eq!(widths.iter().sum::<usize>(), g.iterations().len());
+        // Diagonal wavefronts of the stencil peak at the space diagonal.
+        assert_eq!(*widths.iter().max().unwrap(), 6);
+    }
+
+    #[test]
+    fn paper_42_reconstruction_has_partitionable_structure() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+               B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+             } }",
+        )
+        .unwrap();
+        let g = build(&nest).unwrap();
+        let m = metrics(&g);
+        assert!(m.edges > 0);
+        // At least det(PDM) = 4 independent components must exist
+        // (partitions never merge chains).
+        assert!(m.components >= 4, "components = {}", m.components);
+    }
+}

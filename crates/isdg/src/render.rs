@@ -1,0 +1,173 @@
+//! ASCII and DOT rendering of 2-D ISDGs (the paper's Figures 2–5).
+
+use crate::graph::Isdg;
+use crate::metrics::component_labels;
+use std::fmt::Write as _;
+
+/// Render a depth-2 ISDG as an ASCII grid, paper style: one cell per
+/// iteration, `.` for independent iterations, the component label (mod
+/// 10) for dependent ones. The first index grows rightward, the second
+/// upward (like the paper's axes).
+pub fn ascii_grid(g: &Isdg) -> String {
+    assert!(
+        g.iterations().first().map_or(true, |i| i.dim() == 2),
+        "ascii_grid renders 2-D spaces"
+    );
+    let Some(first) = g.iterations().first() else {
+        return String::from("(empty iteration space)\n");
+    };
+    let mut min = [first[0], first[1]];
+    let mut max = min;
+    for it in g.iterations() {
+        for d in 0..2 {
+            min[d] = min[d].min(it[d]);
+            max[d] = max[d].max(it[d]);
+        }
+    }
+    let labels = component_labels(g);
+    let mut grid: std::collections::HashMap<(i64, i64), char> =
+        std::collections::HashMap::new();
+    for (idx, it) in g.iterations().iter().enumerate() {
+        let ch = match labels[idx] {
+            Some(c) => char::from_digit((c % 10) as u32, 10).unwrap(),
+            None => '.',
+        };
+        grid.insert((it[0], it[1]), ch);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "i2 ^  (i1 -> right: {}..{}, i2 -> up: {}..{})",
+        min[0], max[0], min[1], max[1]
+    );
+    for i2 in (min[1]..=max[1]).rev() {
+        let _ = write!(out, "{i2:>4} |");
+        for i1 in min[0]..=max[0] {
+            let c = grid.get(&(i1, i2)).copied().unwrap_or(' ');
+            let _ = write!(out, " {c}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "      ");
+    for _ in min[0]..=max[0] {
+        let _ = write!(out, "--");
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Summarize the edges as distance-vector counts (what the arrows of the
+/// figures encode), sorted by frequency.
+pub fn distance_histogram(g: &Isdg) -> Vec<(Vec<i64>, usize)> {
+    let mut hist: std::collections::HashMap<Vec<i64>, usize> =
+        std::collections::HashMap::new();
+    for d in g.distances() {
+        *hist.entry(d.0).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = hist.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// GraphViz DOT output (any depth).
+pub fn dot(g: &Isdg) -> String {
+    let mut out = String::from("digraph isdg {\n  rankdir=BT;\n");
+    for it in g.iterations() {
+        let name = node_name(it);
+        let _ = writeln!(out, "  {name} [label=\"{}\"];", label(it));
+    }
+    for e in g.edges() {
+        let style = match e.kind {
+            crate::graph::EdgeKind::Flow => "solid",
+            crate::graph::EdgeKind::Anti => "dashed",
+            crate::graph::EdgeKind::Output => "dotted",
+        };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style={style}];",
+            node_name(&e.from),
+            node_name(&e.to)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn node_name(it: &pdm_matrix::vec::IVec) -> String {
+    let mut s = String::from("n");
+    for (k, v) in it.iter().enumerate() {
+        if k > 0 {
+            s.push('_');
+        }
+        if *v < 0 {
+            let _ = write!(s, "m{}", -v);
+        } else {
+            let _ = write!(s, "{v}");
+        }
+    }
+    s
+}
+
+fn label(it: &pdm_matrix::vec::IVec) -> String {
+    let parts: Vec<String> = it.iter().map(|v| v.to_string()).collect();
+    format!("({})", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build;
+    use pdm_loopir::parse::parse_loop;
+
+    #[test]
+    fn grid_marks_dependent_cells() {
+        let nest = parse_loop(
+            "for i1 = 0..=3 { for i2 = 0..=3 { A[i1 + 1, i2] = A[i1, i2] + 1; } }",
+        )
+        .unwrap();
+        let g = build(&nest).unwrap();
+        let s = ascii_grid(&g);
+        // All cells dependent (chains along i1): no dots in the grid rows.
+        let body: String = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .skip(1)
+            .collect();
+        assert!(!body.contains('.'), "{s}");
+        // 4 chains (one per i2): labels 1..=4 appear.
+        assert!(s.contains('1') && s.contains('4'), "{s}");
+    }
+
+    #[test]
+    fn grid_shows_independent_dots() {
+        let nest =
+            parse_loop("for i1 = 0..=2 { for i2 = 0..=2 { A[i1, i2] = 1; } }").unwrap();
+        let g = build(&nest).unwrap();
+        let s = ascii_grid(&g);
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let nest = parse_loop("for i = 0..=9 { A[i + 2] = A[i] + 1; }").unwrap();
+        let g = build(&nest).unwrap();
+        let h = distance_histogram(&g);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].0, vec![2]);
+        assert_eq!(h[0].1, 8);
+    }
+
+    #[test]
+    fn dot_output_well_formed() {
+        let nest = parse_loop("for i = 0..=3 { A[i + 1] = A[i] + 1; }").unwrap();
+        let g = build(&nest).unwrap();
+        let d = dot(&g);
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("->"));
+        assert!(d.ends_with("}\n"));
+        // Negative indices must produce valid node names.
+        let neg = parse_loop("for i = -2..=2 { A[i + 2] = A[i] + 1; }").unwrap();
+        let gd = dot(&build(&neg).unwrap());
+        assert!(gd.contains("nm2"), "{gd}");
+    }
+}

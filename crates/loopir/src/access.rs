@@ -1,0 +1,118 @@
+//! Affine array access functions `s(i) = i·A + b`.
+
+use pdm_matrix::mat::IMat;
+use pdm_matrix::vec::IVec;
+use crate::{IrError, Result};
+
+/// Identifier of an array within a [`crate::nest::LoopNest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// An affine subscript map from iteration vectors to array indices.
+///
+/// Row-vector convention, matching the paper's eq. (2.3): an iteration
+/// `i ∈ Zⁿ` accesses element `i·A + b` of an `m`-dimensional array, where
+/// `A` is `n × m` (one *column* per subscript position) and `b ∈ Zᵐ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineAccess {
+    /// Coefficient matrix, `n × m`.
+    pub matrix: IMat,
+    /// Constant offsets, length `m`.
+    pub offset: IVec,
+}
+
+impl AffineAccess {
+    /// Build and validate shape consistency.
+    pub fn new(matrix: IMat, offset: IVec) -> Result<Self> {
+        if matrix.cols() != offset.dim() {
+            return Err(IrError::Invalid(format!(
+                "access matrix has {} subscript columns but offset has {}",
+                matrix.cols(),
+                offset.dim()
+            )));
+        }
+        Ok(AffineAccess { matrix, offset })
+    }
+
+    /// Identity access `A[i1, …, in]`.
+    pub fn identity(n: usize) -> Self {
+        AffineAccess {
+            matrix: IMat::identity(n),
+            offset: IVec::zeros(n),
+        }
+    }
+
+    /// Loop depth `n` this access expects.
+    pub fn depth(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Array dimensionality `m`.
+    pub fn dims(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Evaluate the subscripts at iteration `i`.
+    pub fn eval(&self, i: &IVec) -> Result<IVec> {
+        Ok(self.matrix.vec_mul(i)?.add(&self.offset)?)
+    }
+
+    /// Is the access *uniform enough* for a constant-distance method —
+    /// i.e. square (`m == n`) and nonsingular (Corollary 5's condition)?
+    pub fn is_nonsingular(&self) -> bool {
+        self.matrix.is_square()
+            && matches!(pdm_matrix::det::det(&self.matrix), Ok(d) if d != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_row_convention() {
+        // Paper §4.1 write access: (i1+i2, 3 i1 + i2 + 3).
+        // A is 2x2 with columns (subscripts): col0 = (1,1), col1 = (3,1).
+        let a = AffineAccess::new(
+            IMat::from_rows(&[vec![1, 3], vec![1, 1]]).unwrap(),
+            IVec::from_slice(&[0, 3]),
+        )
+        .unwrap();
+        let s = a.eval(&IVec::from_slice(&[2, 5])).unwrap();
+        assert_eq!(s.as_slice(), &[7, 14]); // (2+5, 6+5+3)
+        assert_eq!(a.depth(), 2);
+        assert_eq!(a.dims(), 2);
+    }
+
+    #[test]
+    fn identity_access() {
+        let a = AffineAccess::identity(3);
+        let i = IVec::from_slice(&[4, -1, 7]);
+        assert_eq!(a.eval(&i).unwrap(), i);
+        assert!(a.is_nonsingular());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let err = AffineAccess::new(IMat::identity(2), IVec::zeros(3));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nonsingularity() {
+        // Rank-deficient access (both subscripts i1+i2).
+        let a = AffineAccess::new(
+            IMat::from_rows(&[vec![1, 1], vec![1, 1]]).unwrap(),
+            IVec::zeros(2),
+        )
+        .unwrap();
+        assert!(!a.is_nonsingular());
+        // Rectangular access (1-D array in a 2-deep loop).
+        let b = AffineAccess::new(
+            IMat::from_rows(&[vec![1], vec![2]]).unwrap(),
+            IVec::zeros(1),
+        )
+        .unwrap();
+        assert!(!b.is_nonsingular());
+    }
+}

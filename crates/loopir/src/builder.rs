@@ -1,0 +1,167 @@
+//! Programmatic construction of loop nests.
+//!
+//! The text DSL ([`crate::parse`]) is the usual front door; the builder is
+//! for tests, benchmarks and generated workloads that assemble nests from
+//! matrices directly.
+
+use crate::access::{AffineAccess, ArrayId};
+use crate::expr::Expr;
+use crate::nest::{ArrayDecl, LoopNest};
+use crate::stmt::{ArrayRef, Statement};
+use crate::{IrError, Result};
+use pdm_matrix::mat::IMat;
+use pdm_matrix::vec::IVec;
+use pdm_poly::expr::AffineExpr;
+
+/// Fluent builder for [`LoopNest`].
+#[derive(Debug, Clone)]
+pub struct NestBuilder {
+    names: Vec<String>,
+    lower: Vec<AffineExpr>,
+    upper: Vec<AffineExpr>,
+    arrays: Vec<ArrayDecl>,
+    body: Vec<Statement>,
+}
+
+impl NestBuilder {
+    /// Start a nest with the given index names (outermost first); bounds
+    /// default to `0..=0`.
+    pub fn new(names: &[&str]) -> Self {
+        let n = names.len();
+        NestBuilder {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            lower: vec![AffineExpr::constant(n, 0); n],
+            upper: vec![AffineExpr::constant(n, 0); n],
+            arrays: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Set constant bounds `lo..=hi` for level `k`.
+    pub fn bounds_const(mut self, k: usize, lo: i64, hi: i64) -> Self {
+        let n = self.names.len();
+        self.lower[k] = AffineExpr::constant(n, lo);
+        self.upper[k] = AffineExpr::constant(n, hi);
+        self
+    }
+
+    /// Set affine bounds for level `k`.
+    pub fn bounds_expr(mut self, k: usize, lo: AffineExpr, hi: AffineExpr) -> Self {
+        self.lower[k] = lo;
+        self.upper[k] = hi;
+        self
+    }
+
+    /// Declare an array.
+    pub fn array(mut self, name: &str, dims: usize) -> Self {
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            dims,
+        });
+        self
+    }
+
+    /// Build an [`ArrayRef`] for a declared array from
+    /// `(row-coefficients, offset)` per subscript: subscript `j` is
+    /// `coeffs·i + offset`.
+    pub fn aref(&self, name: &str, subs: &[(Vec<i64>, i64)]) -> Result<ArrayRef> {
+        let id = self
+            .arrays
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| IrError::Invalid(format!("unknown array {name}")))?;
+        let n = self.names.len();
+        let m = subs.len();
+        let mut mat = IMat::zeros(n, m);
+        let mut off = IVec::zeros(m);
+        for (j, (coeffs, b)) in subs.iter().enumerate() {
+            if coeffs.len() != n {
+                return Err(IrError::Invalid(format!(
+                    "subscript {j} of {name} has {} coefficients, depth is {n}",
+                    coeffs.len()
+                )));
+            }
+            for (k, &c) in coeffs.iter().enumerate() {
+                mat.set(k, j, c);
+            }
+            off[j] = *b;
+        }
+        Ok(ArrayRef {
+            array: ArrayId(id),
+            access: AffineAccess::new(mat, off)?,
+        })
+    }
+
+    /// Append a raw statement.
+    pub fn stmt(mut self, lhs: ArrayRef, rhs: Expr) -> Self {
+        self.body.push(Statement { lhs, rhs });
+        self
+    }
+
+    /// Append `lhs_array[lhs_subs] = sum(reads) + 1;` — the common shape
+    /// for dependence-focused tests.
+    pub fn stmt_simple(
+        mut self,
+        lhs_array: &str,
+        lhs_subs: &[(Vec<i64>, i64)],
+        reads: &[(&str, Vec<(Vec<i64>, i64)>)],
+    ) -> Self {
+        let lhs = self
+            .aref(lhs_array, lhs_subs)
+            .expect("stmt_simple: bad lhs");
+        let mut rhs = Expr::Const(1);
+        for (name, subs) in reads {
+            let r = self.aref(name, subs).expect("stmt_simple: bad read");
+            rhs = Expr::add(rhs, Expr::Read(r));
+        }
+        self.body.push(Statement { lhs, rhs });
+        self
+    }
+
+    /// Finish, running full validation.
+    pub fn build(self) -> Result<LoopNest> {
+        LoopNest::new(self.names, self.lower, self.upper, self.arrays, self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_nest() {
+        let b = NestBuilder::new(&["i", "j"])
+            .bounds_const(0, 0, 3)
+            .bounds_const(1, 1, 2)
+            .array("A", 2);
+        let lhs = b.aref("A", &[(vec![1, 0], 0), (vec![0, 1], 0)]).unwrap();
+        let nest = b.stmt(lhs, Expr::Const(7)).build().unwrap();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.iterations().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn unknown_array_rejected() {
+        let b = NestBuilder::new(&["i"]);
+        assert!(b.aref("Z", &[(vec![1], 0)]).is_err());
+    }
+
+    #[test]
+    fn wrong_coeff_count_rejected() {
+        let b = NestBuilder::new(&["i", "j"]).array("A", 1);
+        assert!(b.aref("A", &[(vec![1], 0)]).is_err());
+    }
+
+    #[test]
+    fn stmt_simple_reads() {
+        let nest = NestBuilder::new(&["i"])
+            .bounds_const(0, 0, 9)
+            .array("A", 1)
+            .stmt_simple("A", &[(vec![2], 0)], &[("A", vec![(vec![1], 0)])])
+            .build()
+            .unwrap();
+        assert_eq!(nest.body().len(), 1);
+        let accs = nest.accesses();
+        assert_eq!(accs.len(), 2);
+    }
+}

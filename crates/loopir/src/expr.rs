@@ -1,0 +1,117 @@
+//! Scalar expressions for loop bodies.
+//!
+//! Bodies compute over `i64` arrays with wrapping arithmetic — the
+//! executor's job is to witness *ordering* (dependences), not numerics, and
+//! wrapping keeps sequential and parallel runs bit-identical even under
+//! adversarial workloads.
+
+use crate::access::ArrayId;
+use crate::stmt::ArrayRef;
+use std::fmt;
+
+/// A scalar integer expression over loop indices and array reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Loop index `i_k` (0-based level).
+    Index(usize),
+    /// Array element read.
+    Read(ArrayRef),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Collect every array read in evaluation order.
+    pub fn reads<'a>(&'a self, out: &mut Vec<&'a ArrayRef>) {
+        match self {
+            Expr::Const(_) | Expr::Index(_) => {}
+            Expr::Read(r) => out.push(r),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+            Expr::Neg(a) => a.reads(out),
+        }
+    }
+
+    /// Does the expression read the given array anywhere?
+    pub fn reads_array(&self, id: ArrayId) -> bool {
+        let mut v = Vec::new();
+        self.reads(&mut v);
+        v.iter().any(|r| r.array == id)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Index(k) => write!(f, "i{}", k + 1),
+            Expr::Read(r) => write!(f, "{r}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AffineAccess;
+    use pdm_matrix::mat::IMat;
+    use pdm_matrix::vec::IVec;
+
+    fn aref(id: usize) -> ArrayRef {
+        ArrayRef {
+            array: ArrayId(id),
+            access: AffineAccess::new(IMat::identity(1), IVec::zeros(1)).unwrap(),
+        }
+    }
+
+    #[test]
+    fn reads_collection() {
+        let e = Expr::add(
+            Expr::Read(aref(0)),
+            Expr::mul(Expr::Read(aref(1)), Expr::Const(2)),
+        );
+        let mut v = Vec::new();
+        e.reads(&mut v);
+        assert_eq!(v.len(), 2);
+        assert!(e.reads_array(ArrayId(0)));
+        assert!(e.reads_array(ArrayId(1)));
+        assert!(!e.reads_array(ArrayId(2)));
+    }
+
+    #[test]
+    fn display_nested() {
+        let e = Expr::sub(Expr::Index(0), Expr::Neg(Box::new(Expr::Const(3))));
+        let s = e.to_string();
+        assert!(s.contains("i1"));
+        assert!(s.contains('3'));
+    }
+}

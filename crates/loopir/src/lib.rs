@@ -1,0 +1,86 @@
+//! # pdm-loopir — perfect loop-nest IR with affine accesses
+//!
+//! The analysis of the paper consumes exactly this shape of program
+//! (its eq. 2.1): an `n`-fold **perfectly nested** loop whose bounds are
+//! affine in the outer indices and whose array subscripts are **arbitrary
+//! affine functions of all loop indices** — the generality that produces
+//! *variable* dependence distances.
+//!
+//! The crate supplies:
+//! * [`access::AffineAccess`] — subscript maps `s(i) = i·A + b` (row-vector
+//!   convention, matching the paper),
+//! * [`expr::Expr`] / [`stmt::Statement`] — executable loop bodies over
+//!   integer arrays,
+//! * [`nest::LoopNest`] — the nest itself: bounds, arrays, body, iteration
+//!   polyhedron,
+//! * [`parse`] — a small text DSL so examples, tests and benchmarks can
+//!   state loops as readably as the paper does,
+//! * [`pretty`] — the inverse: render a nest (or a transformed schedule)
+//!   back to text.
+//!
+//! ```
+//! use pdm_loopir::parse::parse_loop;
+//!
+//! let nest = parse_loop(
+//!     "for i1 = 0..=9 { for i2 = 0..=9 {
+//!        A[i1 + i2, 3*i1 + i2 + 3] = A[i1 + i2 + 1, i1 + 2*i2] + 1;
+//!     } }",
+//! ).unwrap();
+//! assert_eq!(nest.depth(), 2);
+//! assert_eq!(nest.iterations().unwrap().len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod access;
+pub mod builder;
+pub mod expr;
+pub mod generator;
+pub mod nest;
+pub mod normalize;
+pub mod parse;
+pub mod pretty;
+pub mod stmt;
+
+pub use access::{AffineAccess, ArrayId};
+pub use expr::Expr;
+pub use nest::{ArrayDecl, LoopNest};
+pub use stmt::{AccessKind, ArrayRef, Statement};
+
+/// Errors from IR construction, validation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Underlying exact-arithmetic failure.
+    Matrix(pdm_matrix::MatrixError),
+    /// Malformed IR (dimension clash, unknown array, …).
+    Invalid(String),
+    /// DSL syntax error with a byte offset and message.
+    Parse {
+        /// Byte offset in the source text.
+        at: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::Matrix(e) => write!(f, "matrix error: {e}"),
+            IrError::Invalid(m) => write!(f, "invalid loop IR: {m}"),
+            IrError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<pdm_matrix::MatrixError> for IrError {
+    fn from(e: pdm_matrix::MatrixError) -> Self {
+        IrError::Matrix(e)
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, IrError>;

@@ -1,0 +1,374 @@
+//! The perfect loop nest (the paper's eq. 2.1).
+
+use crate::access::ArrayId;
+use crate::stmt::{AccessKind, ArrayRef, Statement};
+use crate::{IrError, Result};
+use pdm_matrix::vec::IVec;
+use pdm_poly::bounds::LoopBounds;
+use pdm_poly::expr::AffineExpr;
+use pdm_poly::system::System;
+
+/// Declaration of an array used by the nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Dimensionality.
+    pub dims: usize,
+}
+
+/// An `n`-fold perfectly nested loop.
+///
+/// Loop `k` runs from `lower[k]` to `upper[k]` **inclusive**, both affine
+/// expressions over the *outer* indices `i_0 … i_{k−1}` (the paper's
+/// `l_j, u_j` integer functions of outer indices; integer-constant bounds
+/// are the common special case). The body is a sequence of assignments
+/// executed for every iteration in lexicographic order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    index_names: Vec<String>,
+    lower: Vec<AffineExpr>,
+    upper: Vec<AffineExpr>,
+    arrays: Vec<ArrayDecl>,
+    body: Vec<Statement>,
+}
+
+impl LoopNest {
+    /// Build a nest, validating every shape constraint.
+    pub fn new(
+        index_names: Vec<String>,
+        lower: Vec<AffineExpr>,
+        upper: Vec<AffineExpr>,
+        arrays: Vec<ArrayDecl>,
+        body: Vec<Statement>,
+    ) -> Result<Self> {
+        let n = index_names.len();
+        if n == 0 {
+            return Err(IrError::Invalid("loop nest must have depth >= 1".into()));
+        }
+        if lower.len() != n || upper.len() != n {
+            return Err(IrError::Invalid(format!(
+                "expected {n} bounds, got {} lower / {} upper",
+                lower.len(),
+                upper.len()
+            )));
+        }
+        for (k, b) in lower.iter().chain(upper.iter()).enumerate() {
+            let k = k % n;
+            if b.dim() != n {
+                return Err(IrError::Invalid(format!(
+                    "bound of loop {k} has dimension {} != depth {n}",
+                    b.dim()
+                )));
+            }
+            // A bound may only mention outer indices.
+            for inner in k..n {
+                if b.coeff(inner) != 0 {
+                    return Err(IrError::Invalid(format!(
+                        "bound of loop {k} mentions index i{} (not outer)",
+                        inner + 1
+                    )));
+                }
+            }
+        }
+        let nest = LoopNest {
+            index_names,
+            lower,
+            upper,
+            arrays,
+            body,
+        };
+        nest.validate_body()?;
+        Ok(nest)
+    }
+
+    fn validate_body(&self) -> Result<()> {
+        let n = self.depth();
+        for (si, stmt) in self.body.iter().enumerate() {
+            for (_, r) in stmt.accesses() {
+                if r.access.depth() != n {
+                    return Err(IrError::Invalid(format!(
+                        "statement {si}: access expects depth {}, nest has {n}",
+                        r.access.depth()
+                    )));
+                }
+                let Some(decl) = self.arrays.get(r.array.0) else {
+                    return Err(IrError::Invalid(format!(
+                        "statement {si}: unknown array id {}",
+                        r.array.0
+                    )));
+                };
+                if decl.dims != r.access.dims() {
+                    return Err(IrError::Invalid(format!(
+                        "statement {si}: array {} has {} dims, access uses {}",
+                        decl.name,
+                        decl.dims,
+                        r.access.dims()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loop depth `n`.
+    pub fn depth(&self) -> usize {
+        self.index_names.len()
+    }
+
+    /// Index variable names, outermost first.
+    pub fn index_names(&self) -> &[String] {
+        &self.index_names
+    }
+
+    /// Lower bound expression of level `k`.
+    pub fn lower(&self, k: usize) -> &AffineExpr {
+        &self.lower[k]
+    }
+
+    /// Upper bound expression of level `k` (inclusive).
+    pub fn upper(&self, k: usize) -> &AffineExpr {
+        &self.upper[k]
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Body statements.
+    pub fn body(&self) -> &[Statement] {
+        &self.body
+    }
+
+    /// Look up an array by source name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(ArrayId)
+    }
+
+    /// The iteration polyhedron `{ i : l_k ≤ i_k ≤ u_k }` as a constraint
+    /// system over the `n` indices.
+    pub fn iteration_system(&self) -> Result<System> {
+        let n = self.depth();
+        let mut sys = System::universe(n);
+        for k in 0..n {
+            // i_k - lower_k >= 0
+            let ik = AffineExpr::var(n, k);
+            sys.add_ge0(ik.sub(&self.lower[k]).map_err(IrError::Matrix)?)
+                .map_err(IrError::Matrix)?;
+            // upper_k - i_k >= 0
+            sys.add_ge0(self.upper[k].sub(&ik).map_err(IrError::Matrix)?)
+                .map_err(IrError::Matrix)?;
+        }
+        Ok(sys)
+    }
+
+    /// Global inclusive `(min, max)` range of every loop variable over the
+    /// iteration polyhedron, computed by Fourier–Motzkin projection.
+    /// Errors with `Unbounded` when a direction has no finite bound.
+    pub fn index_ranges(&self) -> Result<Vec<(i64, i64)>> {
+        let n = self.depth();
+        let sys = self.iteration_system()?;
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let others: Vec<usize> = (0..n).filter(|&v| v != k).collect();
+            let proj = others
+                .iter()
+                .try_fold(sys.clone(), |s, &v| pdm_poly::fm::eliminate(&s, v))
+                .map_err(IrError::Matrix)?;
+            let mut lo: Option<i64> = None;
+            let mut hi: Option<i64> = None;
+            for e in proj.constraints() {
+                let a = e.coeff(k);
+                if a > 0 {
+                    let b = pdm_matrix::num::ceil_div(-e.constant, a)
+                        .map_err(IrError::Matrix)?;
+                    lo = Some(lo.map_or(b, |c: i64| c.max(b)));
+                } else if a < 0 {
+                    let b = pdm_matrix::num::floor_div(e.constant, -a)
+                        .map_err(IrError::Matrix)?;
+                    hi = Some(hi.map_or(b, |c: i64| c.min(b)));
+                }
+            }
+            match (lo, hi) {
+                (Some(l), Some(h)) => out.push((l, h)),
+                _ => return Err(IrError::Matrix(pdm_matrix::MatrixError::Unbounded)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enumerate the iteration vectors in lexicographic (execution) order.
+    pub fn iterations(&self) -> Result<Vec<IVec>> {
+        let sys = self.iteration_system()?;
+        let b = LoopBounds::from_system(&sys).map_err(IrError::Matrix)?;
+        Ok(b.enumerate()
+            .map_err(IrError::Matrix)?
+            .into_iter()
+            .map(IVec)
+            .collect())
+    }
+
+    /// Every access of the body, tagged with its statement index and kind.
+    pub fn accesses(&self) -> Vec<(usize, AccessKind, &ArrayRef)> {
+        let mut out = Vec::new();
+        for (si, stmt) in self.body.iter().enumerate() {
+            for (kind, r) in stmt.accesses() {
+                out.push((si, kind, r));
+            }
+        }
+        out
+    }
+
+    /// All ordered reference pairs that can induce a dependence: same
+    /// array, at least one of the two is a write. Pairs are returned as
+    /// `(from, to)` with their statement indices and kinds; both
+    /// orientations of distinct accesses appear once (the analysis decides
+    /// direction from the solution's lexicographic sign).
+    pub fn dependence_pairs(&self) -> Vec<DependencePair<'_>> {
+        let accs = self.accesses();
+        let mut out = Vec::new();
+        for (a_idx, &(s1, k1, r1)) in accs.iter().enumerate() {
+            for &(s2, k2, r2) in accs.iter().skip(a_idx) {
+                if r1.array != r2.array {
+                    continue;
+                }
+                if k1 == AccessKind::Read && k2 == AccessKind::Read {
+                    continue;
+                }
+                out.push(DependencePair {
+                    stmt_a: s1,
+                    kind_a: k1,
+                    ref_a: r1,
+                    stmt_b: s2,
+                    kind_b: k2,
+                    ref_b: r2,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A pair of references that may be dependent (same array, ≥ 1 write).
+#[derive(Debug, Clone, Copy)]
+pub struct DependencePair<'a> {
+    /// Statement index of the first reference.
+    pub stmt_a: usize,
+    /// Kind of the first reference.
+    pub kind_a: AccessKind,
+    /// First reference.
+    pub ref_a: &'a ArrayRef,
+    /// Statement index of the second reference.
+    pub stmt_b: usize,
+    /// Kind of the second reference.
+    pub kind_b: AccessKind,
+    /// Second reference.
+    pub ref_b: &'a ArrayRef,
+}
+
+impl DependencePair<'_> {
+    /// Classify: flow (W→R), anti (R→W), output (W→W) — direction resolved
+    /// later by the solver; this is the unordered classification.
+    pub fn class(&self) -> &'static str {
+        match (self.kind_a, self.kind_b) {
+            (AccessKind::Write, AccessKind::Write) => "output",
+            (AccessKind::Write, AccessKind::Read) => "flow/anti",
+            (AccessKind::Read, AccessKind::Write) => "flow/anti",
+            (AccessKind::Read, AccessKind::Read) => unreachable!("filtered"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NestBuilder;
+
+    fn paper41() -> LoopNest {
+        crate::parse::parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[i1 + i2, 3*i1 + i2 + 3] = A[i1 + i2 + 1, i1 + 2*i2] + 1;
+             } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn depth_and_iterations() {
+        let nest = paper41();
+        assert_eq!(nest.depth(), 2);
+        let its = nest.iterations().unwrap();
+        assert_eq!(its.len(), 100);
+        assert_eq!(its[0].as_slice(), &[0, 0]);
+        assert_eq!(its[99].as_slice(), &[9, 9]);
+        // Lexicographic order.
+        for w in its.windows(2) {
+            assert!(pdm_matrix::lex::lex_cmp(&w[0], &w[1]).is_lt());
+        }
+    }
+
+    #[test]
+    fn dependence_pairs_filter_read_read() {
+        let nest = paper41();
+        // Accesses: write A, read A => pairs: (W,W) self and (W,R);
+        // the (R,R) pair is filtered out.
+        let pairs = nest.dependence_pairs();
+        assert_eq!(pairs.len(), 2);
+        let classes: Vec<_> = pairs.iter().map(|p| p.class()).collect();
+        assert!(classes.contains(&"output"));
+        assert!(classes.contains(&"flow/anti"));
+    }
+
+    #[test]
+    fn triangular_bounds_nest() {
+        // for i1 = 0..=5 { for i2 = 0..=i1 { ... } }
+        let nest = NestBuilder::new(&["i1", "i2"])
+            .bounds_const(0, 0, 5)
+            .bounds_expr(
+                1,
+                AffineExpr::constant(2, 0),
+                AffineExpr::var(2, 0),
+            )
+            .array("A", 1)
+            .stmt_simple("A", &[(vec![1, 0], 0)], &[("A", vec![(vec![0, 1], 0)])])
+            .build()
+            .unwrap();
+        let its = nest.iterations().unwrap();
+        assert_eq!(its.len(), 6 + 5 + 4 + 3 + 2 + 1);
+        for it in &its {
+            assert!(it[1] <= it[0]);
+        }
+    }
+
+    #[test]
+    fn invalid_nests_rejected() {
+        // Bound referencing an inner index.
+        let bad = LoopNest::new(
+            vec!["i1".into(), "i2".into()],
+            vec![AffineExpr::constant(2, 0), AffineExpr::constant(2, 0)],
+            vec![AffineExpr::var(2, 1), AffineExpr::constant(2, 3)],
+            vec![],
+            vec![],
+        );
+        assert!(bad.is_err());
+        // Zero depth.
+        assert!(LoopNest::new(vec![], vec![], vec![], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn self_dependence_pair_present() {
+        // A single write access must still form a W-W self pair (output
+        // dependence candidacy, as the paper's §4.1 uses).
+        let nest = crate::parse::parse_loop(
+            "for i = 0..=4 { A[2*i] = 1; }",
+        )
+        .unwrap();
+        let pairs = nest.dependence_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].class(), "output");
+    }
+}

@@ -1,0 +1,790 @@
+//! A small text DSL for perfect loop nests.
+//!
+//! Grammar (whitespace-insensitive, `#` line comments):
+//!
+//! ```text
+//! nest   := loop
+//! loop   := 'for' IDENT '=' affine ('..' | '..=') affine '{' (loop | stmt+) '}'
+//! stmt   := IDENT '[' affine (',' affine)* ']' '=' expr ';'
+//! expr   := term (('+'|'-') term)*
+//! term   := unary ('*' unary)*
+//! unary  := '-' unary | atom
+//! atom   := INT | IDENT ('[' affine,* ']')? | '(' expr ')'
+//! ```
+//!
+//! `affine` positions (bounds, subscripts) must reduce to linear forms in
+//! the loop indices plus named parameters; body expressions are arbitrary
+//! `+ - *` arithmetic. `a..b` is exclusive, `a..=b` inclusive (the paper's
+//! `do i = l, u`). Parameters let workloads stay symbolic:
+//!
+//! ```
+//! use pdm_loopir::parse::parse_loop_with;
+//! let nest = parse_loop_with(
+//!     "for i = 0..N { A[2*i] = A[i] + 1; }",
+//!     &[("N", 100)],
+//! ).unwrap();
+//! assert_eq!(nest.iterations().unwrap().len(), 100);
+//! ```
+
+use crate::access::{AffineAccess, ArrayId};
+use crate::expr::Expr;
+use crate::nest::{ArrayDecl, LoopNest};
+use crate::stmt::{ArrayRef, Statement};
+use crate::{IrError, Result};
+use pdm_matrix::mat::IMat;
+use pdm_matrix::vec::IVec;
+use pdm_poly::expr::AffineExpr;
+use std::collections::HashMap;
+
+/// Parse a nest with no parameters. Loops with `step k` clauses are
+/// normalized to unit strides (see [`crate::normalize`]).
+pub fn parse_loop(src: &str) -> Result<LoopNest> {
+    parse_loop_with(src, &[])
+}
+
+/// Parse a nest, substituting the named integer parameters in bounds and
+/// subscripts; `step` clauses are normalized away.
+pub fn parse_loop_with(src: &str, params: &[(&str, i64)]) -> Result<LoopNest> {
+    let stepped = parse_loop_stepped_with(src, params)?;
+    crate::normalize::normalize(&stepped)
+}
+
+/// Parse a nest keeping `step` clauses explicit (for tools that want to
+/// inspect or re-render the original strides).
+pub fn parse_loop_stepped(src: &str) -> Result<crate::normalize::SteppedNest> {
+    parse_loop_stepped_with(src, &[])
+}
+
+/// [`parse_loop_stepped`] with parameters.
+pub fn parse_loop_stepped_with(
+    src: &str,
+    params: &[(&str, i64)],
+) -> Result<crate::normalize::SteppedNest> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+        params: params
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        index_names: Vec::new(),
+        headers: Vec::new(),
+        arrays: Vec::new(),
+    };
+    p.parse_nest()
+}
+
+// ----------------------------- lexer -----------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    For,
+    Assign,
+    DotDot,
+    DotDotEq,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Plus,
+    Minus,
+    Star,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    at: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Token { tok: Tok::LBrace, at: i });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { tok: Tok::RBrace, at: i });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { tok: Tok::LBracket, at: i });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { tok: Tok::RBracket, at: i });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { tok: Tok::LParen, at: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { tok: Tok::RParen, at: i });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { tok: Tok::Comma, at: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { tok: Tok::Semi, at: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { tok: Tok::Plus, at: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { tok: Tok::Minus, at: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { tok: Tok::Star, at: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { tok: Tok::Assign, at: i });
+                i += 1;
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    if bytes.get(i + 2) == Some(&b'=') {
+                        out.push(Token { tok: Tok::DotDotEq, at: i });
+                        i += 3;
+                    } else {
+                        out.push(Token { tok: Tok::DotDot, at: i });
+                        i += 2;
+                    }
+                } else {
+                    return Err(IrError::Parse {
+                        at: i,
+                        msg: "unexpected '.'".into(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| IrError::Parse {
+                    at: start,
+                    msg: format!("integer literal '{text}' out of range"),
+                })?;
+                out.push(Token { tok: Tok::Int(v), at: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let tok = if text == "for" { Tok::For } else { Tok::Ident(text.to_string()) };
+                out.push(Token { tok, at: start });
+            }
+            other => {
+                return Err(IrError::Parse {
+                    at: i,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        at: src.len(),
+    });
+    Ok(out)
+}
+
+// ----------------------- linear-form sub-parser -------------------------
+
+/// A linear form over *named* variables plus a constant; converted to an
+/// [`AffineExpr`] once the loop depth is known.
+#[derive(Debug, Clone, Default)]
+struct LinForm {
+    coeffs: HashMap<String, i64>,
+    constant: i64,
+}
+
+impl LinForm {
+    fn constant(c: i64) -> Self {
+        LinForm {
+            coeffs: HashMap::new(),
+            constant: c,
+        }
+    }
+    fn var(name: &str) -> Self {
+        let mut coeffs = HashMap::new();
+        coeffs.insert(name.to_string(), 1);
+        LinForm {
+            coeffs,
+            constant: 0,
+        }
+    }
+    fn add(mut self, other: &LinForm, sign: i64) -> Self {
+        for (k, v) in &other.coeffs {
+            *self.coeffs.entry(k.clone()).or_insert(0) += sign * v;
+        }
+        self.constant += sign * other.constant;
+        self
+    }
+    fn scale(mut self, k: i64) -> Self {
+        for v in self.coeffs.values_mut() {
+            *v *= k;
+        }
+        self.constant *= k;
+        self
+    }
+    fn is_const(&self) -> bool {
+        self.coeffs.values().all(|&v| v == 0)
+    }
+}
+
+// ------------------------------ parser ----------------------------------
+
+struct Header {
+    name: String,
+    lo: LinForm,
+    hi: LinForm,
+    inclusive: bool,
+    step: i64,
+    at: usize,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    src_len: usize,
+    params: HashMap<String, i64>,
+    index_names: Vec<String>,
+    headers: Vec<Header>,
+    arrays: Vec<ArrayDecl>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+    fn at(&self) -> usize {
+        self.tokens[self.pos].at
+    }
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn expect(&mut self, want: Tok, what: &str) -> Result<()> {
+        if std::mem::discriminant(self.peek()) == std::mem::discriminant(&want) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+    fn err(&self, msg: String) -> IrError {
+        IrError::Parse {
+            at: self.at().min(self.src_len),
+            msg,
+        }
+    }
+
+    fn parse_nest(&mut self) -> Result<crate::normalize::SteppedNest> {
+        // Collect nested 'for' headers.
+        self.parse_for_header()?;
+        while matches!(self.peek(), Tok::For) {
+            self.parse_for_header()?;
+        }
+        // Body statements.
+        let mut body = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            body.push(self.parse_statement()?);
+        }
+        if body.is_empty() {
+            return Err(self.err("loop body has no statements".into()));
+        }
+        // Closing braces, one per loop level.
+        for _ in 0..self.headers.len() {
+            self.expect(Tok::RBrace, "'}'")?;
+        }
+        if !matches!(self.peek(), Tok::Eof) {
+            return Err(self.err("trailing input after loop nest".into()));
+        }
+
+        // Convert headers to affine bounds.
+        let n = self.index_names.len();
+        let mut lower = Vec::with_capacity(n);
+        let mut upper = Vec::with_capacity(n);
+        for k in 0..n {
+            let h = &self.headers[k];
+            let lo = self.lin_to_affine(&h.lo, n, Some(k), h.at)?;
+            let mut hi = self.lin_to_affine(&h.hi, n, Some(k), h.at)?;
+            if !h.inclusive {
+                // a..b means <= b-1.
+                hi.constant -= 1;
+            }
+            lower.push(lo);
+            upper.push(hi);
+        }
+
+        let steps: Vec<i64> = self.headers.iter().map(|h| h.step).collect();
+        let nest = LoopNest::new(
+            self.index_names.clone(),
+            lower,
+            upper,
+            std::mem::take(&mut self.arrays),
+            body,
+        )?;
+        Ok(crate::normalize::SteppedNest { nest, steps })
+    }
+
+    fn parse_for_header(&mut self) -> Result<()> {
+        let at = self.at();
+        self.expect(Tok::For, "'for'")?;
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            _ => return Err(self.err("expected loop index name".into())),
+        };
+        if self.index_names.contains(&name) {
+            return Err(self.err(format!("duplicate loop index '{name}'")));
+        }
+        if self.params.contains_key(&name) {
+            return Err(self.err(format!("loop index '{name}' shadows a parameter")));
+        }
+        self.expect(Tok::Assign, "'='")?;
+        let lo = self.parse_linform()?;
+        let inclusive = match self.bump() {
+            Tok::DotDot => false,
+            Tok::DotDotEq => true,
+            _ => return Err(self.err("expected '..' or '..='".into())),
+        };
+        let hi = self.parse_linform()?;
+        // Optional `step <positive constant>` clause.
+        let mut step = 1i64;
+        if let Tok::Ident(word) = self.peek() {
+            if word == "step" {
+                self.bump();
+                let lf = self.parse_linform()?;
+                step = self.lin_const(&lf)?;
+                if step < 1 {
+                    return Err(self.err(format!("step must be positive, got {step}")));
+                }
+            }
+        }
+        self.expect(Tok::LBrace, "'{'")?;
+        self.index_names.push(name.clone());
+        self.headers.push(Header {
+            name,
+            lo,
+            hi,
+            inclusive,
+            step,
+            at,
+        });
+        Ok(())
+    }
+
+    /// Evaluate a linear form that must be constant (params resolved).
+    fn lin_const(&self, lf: &LinForm) -> Result<i64> {
+        let mut c = lf.constant;
+        for (name, &coef) in &lf.coeffs {
+            if coef == 0 {
+                continue;
+            }
+            match self.params.get(name) {
+                Some(&v) => c += coef * v,
+                None => {
+                    return Err(self.err(format!(
+                        "'{name}' is not a constant in a step clause"
+                    )))
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Convert a named linear form to an [`AffineExpr`] over the loop
+    /// indices. `bound_level` restricts which indices may appear (only
+    /// strictly-outer ones for a bound at that level; `None` = all).
+    fn lin_to_affine(
+        &self,
+        lf: &LinForm,
+        n: usize,
+        bound_level: Option<usize>,
+        at: usize,
+    ) -> Result<AffineExpr> {
+        let mut coeffs = IVec::zeros(n);
+        let mut constant = lf.constant;
+        for (name, &c) in &lf.coeffs {
+            if c == 0 {
+                continue;
+            }
+            if let Some(k) = self.index_names.iter().position(|x| x == name) {
+                if let Some(level) = bound_level {
+                    if k >= level {
+                        return Err(IrError::Parse {
+                            at,
+                            msg: format!(
+                                "bound of loop '{}' may not use index '{name}'",
+                                self.headers
+                                    .get(level)
+                                    .map(|h| h.name.as_str())
+                                    .unwrap_or("?")
+                            ),
+                        });
+                    }
+                }
+                coeffs[k] += c;
+            } else if let Some(&v) = self.params.get(name) {
+                constant += c * v;
+            } else {
+                return Err(IrError::Parse {
+                    at,
+                    msg: format!("unknown identifier '{name}' in affine position"),
+                });
+            }
+        }
+        Ok(AffineExpr::new(coeffs, constant))
+    }
+
+    // linform := lterm (('+'|'-') lterm)*
+    fn parse_linform(&mut self) -> Result<LinForm> {
+        let mut acc = self.parse_lterm()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    let t = self.parse_lterm()?;
+                    acc = acc.add(&t, 1);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    let t = self.parse_lterm()?;
+                    acc = acc.add(&t, -1);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    // lterm := lunary ('*' lunary)*   -- at most one non-constant side
+    fn parse_lterm(&mut self) -> Result<LinForm> {
+        let mut acc = self.parse_lunary()?;
+        while matches!(self.peek(), Tok::Star) {
+            let at = self.at();
+            self.bump();
+            let rhs = self.parse_lunary()?;
+            acc = if rhs.is_const() {
+                acc.scale(rhs.constant)
+            } else if acc.is_const() {
+                rhs.scale(acc.constant)
+            } else {
+                return Err(IrError::Parse {
+                    at,
+                    msg: "product of two non-constant terms is not affine".into(),
+                });
+            };
+        }
+        Ok(acc)
+    }
+
+    fn parse_lunary(&mut self) -> Result<LinForm> {
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                Ok(self.parse_lunary()?.scale(-1))
+            }
+            Tok::Int(v) => {
+                self.bump();
+                Ok(LinForm::constant(v))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(LinForm::var(&name))
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.parse_linform()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            other => Err(self.err(format!("expected affine term, found {other:?}"))),
+        }
+    }
+
+    // ------------------------- statements --------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            other => return Err(self.err(format!("expected array name, found {other:?}"))),
+        };
+        let subs = self.parse_subscripts()?;
+        let lhs = self.make_ref(&name, subs)?;
+        self.expect(Tok::Assign, "'='")?;
+        let rhs = self.parse_expr()?;
+        self.expect(Tok::Semi, "';'")?;
+        Ok(Statement { lhs, rhs })
+    }
+
+    fn parse_subscripts(&mut self) -> Result<Vec<LinForm>> {
+        self.expect(Tok::LBracket, "'['")?;
+        let mut subs = vec![self.parse_linform()?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.bump();
+            subs.push(self.parse_linform()?);
+        }
+        self.expect(Tok::RBracket, "']'")?;
+        Ok(subs)
+    }
+
+    fn make_ref(&mut self, name: &str, subs: Vec<LinForm>) -> Result<ArrayRef> {
+        let at = self.at();
+        let n = self.index_names.len();
+        let m = subs.len();
+        // Register or check the array.
+        let id = if let Some(pos) = self.arrays.iter().position(|a| a.name == name) {
+            if self.arrays[pos].dims != m {
+                return Err(IrError::Parse {
+                    at,
+                    msg: format!(
+                        "array '{name}' used with {m} subscripts, earlier with {}",
+                        self.arrays[pos].dims
+                    ),
+                });
+            }
+            pos
+        } else {
+            self.arrays.push(ArrayDecl {
+                name: name.to_string(),
+                dims: m,
+            });
+            self.arrays.len() - 1
+        };
+        let mut mat = IMat::zeros(n, m);
+        let mut off = IVec::zeros(m);
+        for (j, lf) in subs.iter().enumerate() {
+            let ae = self.lin_to_affine(lf, n, None, at)?;
+            for k in 0..n {
+                mat.set(k, j, ae.coeff(k));
+            }
+            off[j] = ae.constant;
+        }
+        Ok(ArrayRef {
+            array: ArrayId(id),
+            access: AffineAccess::new(mat, off)?,
+        })
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut acc = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    self.bump();
+                    acc = Expr::add(acc, self.parse_term()?);
+                }
+                Tok::Minus => {
+                    self.bump();
+                    acc = Expr::sub(acc, self.parse_term()?);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr> {
+        let mut acc = self.parse_unary()?;
+        while matches!(self.peek(), Tok::Star) {
+            self.bump();
+            acc = Expr::mul(acc, self.parse_unary()?);
+        }
+        Ok(acc)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+            }
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), Tok::LBracket) {
+                    let subs = self.parse_subscripts()?;
+                    Ok(Expr::Read(self.make_ref(&name, subs)?))
+                } else if let Some(k) = self.index_names.iter().position(|x| x == &name) {
+                    Ok(Expr::Index(k))
+                } else if let Some(&v) = self.params.get(&name) {
+                    Ok(Expr::Const(v))
+                } else {
+                    Err(self.err(format!("unknown identifier '{name}' in expression")))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_41() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[i1 + i2, 3*i1 + i2 + 3] = A[i1 + i2 + 1, i1 + 2*i2] + 1;
+             } }",
+        )
+        .unwrap();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.arrays().len(), 1);
+        assert_eq!(nest.arrays()[0].dims, 2);
+        let w = &nest.body()[0].lhs;
+        assert_eq!(w.access.matrix.get(0, 1), 3); // coefficient of i1 in subscript 2
+        assert_eq!(w.access.offset.as_slice(), &[0, 3]);
+    }
+
+    #[test]
+    fn parses_paper_42() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               B[2*i1 + 2, i1 + i2 + 1] = A[2*i1, i1 + i2] + 1;
+               A[2*i1 + 1, i1 + i2 + 2] = B[2*i1, i1 + i2] + 2;
+             } }",
+        )
+        .unwrap();
+        assert_eq!(nest.body().len(), 2);
+        assert_eq!(nest.arrays().len(), 2);
+    }
+
+    #[test]
+    fn exclusive_and_inclusive_ranges() {
+        let ex = parse_loop("for i = 0..10 { A[i] = 0; }").unwrap();
+        assert_eq!(ex.iterations().unwrap().len(), 10);
+        let inc = parse_loop("for i = 0..=10 { A[i] = 0; }").unwrap();
+        assert_eq!(inc.iterations().unwrap().len(), 11);
+    }
+
+    #[test]
+    fn parameters_substitute() {
+        let nest = parse_loop_with(
+            "for i = 1..=N { A[i] = A[i - 1] + N; }",
+            &[("N", 5)],
+        )
+        .unwrap();
+        assert_eq!(nest.iterations().unwrap().len(), 5);
+        // N inside the body becomes the constant 5.
+        assert!(format!("{:?}", nest.body()[0].rhs).contains("Const(5)"));
+    }
+
+    #[test]
+    fn triangular_bounds_parse() {
+        let nest = parse_loop("for i = 0..=4 { for j = 0..=i { A[i, j] = 1; } }").unwrap();
+        assert_eq!(nest.iterations().unwrap().len(), 15);
+    }
+
+    #[test]
+    fn bound_using_inner_index_rejected() {
+        let err = parse_loop("for i = 0..=j { for j = 0..=3 { A[i] = 0; } }");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nonlinear_subscript_rejected() {
+        let err = parse_loop("for i = 0..=3 { A[i * i] = 0; }");
+        assert!(matches!(err, Err(IrError::Parse { .. })));
+    }
+
+    #[test]
+    fn inconsistent_array_arity_rejected() {
+        let err = parse_loop("for i = 0..=3 { A[i] = A[i, i] + 1; }");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let nest = parse_loop(
+            "# the paper's simplest example\nfor i = 0..=3 {\n  A[2*i] = A[i] + 1; # doubling\n}",
+        )
+        .unwrap();
+        assert_eq!(nest.depth(), 1);
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_loop("for i = 0..=3 { A[i] = @; }");
+        match err {
+            Err(IrError::Parse { at, .. }) => assert!(at > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        assert!(parse_loop("for i = 0..2 { for i = 0..2 { A[i] = 0; } }").is_err());
+    }
+
+    #[test]
+    fn negative_and_parenthesized_bounds() {
+        let nest = parse_loop("for i = -3..=(2 + 1) { A[i + 3] = 1; }").unwrap();
+        let its = nest.iterations().unwrap();
+        assert_eq!(its.len(), 7);
+        assert_eq!(its[0].as_slice(), &[-3]);
+        assert_eq!(its[6].as_slice(), &[3]);
+    }
+
+    #[test]
+    fn body_expression_shapes() {
+        let nest = parse_loop(
+            "for i = 1..=4 { A[i] = 2 * A[i - 1] - (A[i] + i) * 3; }",
+        )
+        .unwrap();
+        let mut reads = Vec::new();
+        nest.body()[0].rhs.reads(&mut reads);
+        assert_eq!(reads.len(), 2);
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        assert!(parse_loop("for i = 0..=3 { }").is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Pretty-printing loop nests back to DSL/paper-style text.
+
+use crate::nest::LoopNest;
+use crate::stmt::ArrayRef;
+use std::fmt::Write as _;
+
+/// Render a nest as indented `for`-loop text with the original index and
+/// array names (the inverse of [`crate::parse::parse_loop`] up to layout).
+pub fn render(nest: &LoopNest) -> String {
+    let names: Vec<String> = nest.index_names().to_vec();
+    let mut out = String::new();
+    for k in 0..nest.depth() {
+        let indent = "  ".repeat(k);
+        let lo = nest.lower(k).display_with(&names);
+        let hi = nest.upper(k).display_with(&names);
+        let _ = writeln!(out, "{indent}for {} = {lo}..={hi} {{", names[k]);
+    }
+    let body_indent = "  ".repeat(nest.depth());
+    for stmt in nest.body() {
+        let _ = writeln!(
+            out,
+            "{body_indent}{} = {};",
+            render_ref(nest, &stmt.lhs),
+            render_expr(nest, &stmt.rhs)
+        );
+    }
+    for k in (0..nest.depth()).rev() {
+        let _ = writeln!(out, "{}}}", "  ".repeat(k));
+    }
+    out
+}
+
+/// Render an array reference with real names.
+pub fn render_ref(nest: &LoopNest, r: &ArrayRef) -> String {
+    let names = nest.index_names();
+    let arr = &nest.arrays()[r.array.0].name;
+    let mut out = format!("{arr}[");
+    for c in 0..r.access.dims() {
+        if c > 0 {
+            out.push_str(", ");
+        }
+        let mut first = true;
+        for k in 0..r.access.depth() {
+            let coef = r.access.matrix.get(k, c);
+            if coef == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(if coef > 0 { " + " } else { " - " });
+            } else if coef < 0 {
+                out.push('-');
+            }
+            if coef.abs() != 1 {
+                let _ = write!(out, "{}*", coef.abs());
+            }
+            out.push_str(&names[k]);
+            first = false;
+        }
+        let b = r.access.offset[c];
+        if first {
+            let _ = write!(out, "{b}");
+        } else if b > 0 {
+            let _ = write!(out, " + {b}");
+        } else if b < 0 {
+            let _ = write!(out, " - {}", -b);
+        }
+    }
+    out.push(']');
+    out
+}
+
+fn render_expr(nest: &LoopNest, e: &crate::expr::Expr) -> String {
+    use crate::expr::Expr;
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Index(k) => nest.index_names()[*k].clone(),
+        Expr::Read(r) => render_ref(nest, r),
+        Expr::Add(a, b) => format!("({} + {})", render_expr(nest, a), render_expr(nest, b)),
+        Expr::Sub(a, b) => format!("({} - {})", render_expr(nest, a), render_expr(nest, b)),
+        Expr::Mul(a, b) => format!("({} * {})", render_expr(nest, a), render_expr(nest, b)),
+        Expr::Neg(a) => format!("(-{})", render_expr(nest, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_loop;
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let src = "for i1 = 0..=9 { for i2 = 0..=9 {
+            A[i1 + i2, 3*i1 + i2 + 3] = A[i1 + i2 + 1, i1 + 2*i2] + 1;
+        } }";
+        let nest = parse_loop(src).unwrap();
+        let text = render(&nest);
+        // The rendered text parses back to the identical nest.
+        let nest2 = parse_loop(&text).unwrap();
+        assert_eq!(nest, nest2);
+    }
+
+    #[test]
+    fn render_contains_names_and_bounds() {
+        let nest = parse_loop("for i = 2..=7 { for j = 0..=i { X[i, j] = j; } }").unwrap();
+        let text = render(&nest);
+        assert!(text.contains("for i = 2..=7 {"));
+        assert!(text.contains("for j = 0..=i {"));
+        assert!(text.contains("X[i, j]"));
+    }
+
+    #[test]
+    fn negative_offsets_render() {
+        let nest = parse_loop("for i = 1..=5 { A[i - 1] = A[i] - 2; }").unwrap();
+        let text = render(&nest);
+        assert!(text.contains("A[i - 1]"), "got: {text}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Statements and array references.
+
+use crate::access::{AffineAccess, ArrayId};
+use crate::expr::Expr;
+use std::fmt;
+
+/// Read or write classification of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The access stores into the array.
+    Write,
+    /// The access loads from the array.
+    Read,
+}
+
+/// A reference `Array[s(i)]` with an affine subscript map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Which array.
+    pub array: ArrayId,
+    /// The subscript map.
+    pub access: AffineAccess,
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr{}[", self.array.0)?;
+        // Render each subscript as an affine combination of i1..in.
+        let n = self.access.depth();
+        for c in 0..self.access.dims() {
+            if c > 0 {
+                write!(f, ", ")?;
+            }
+            let mut first = true;
+            for k in 0..n {
+                let coef = self.access.matrix.get(k, c);
+                if coef == 0 {
+                    continue;
+                }
+                if !first {
+                    write!(f, "{}", if coef > 0 { " + " } else { " - " })?;
+                } else if coef < 0 {
+                    write!(f, "-")?;
+                }
+                if coef.abs() != 1 {
+                    write!(f, "{}*", coef.abs())?;
+                }
+                write!(f, "i{}", k + 1)?;
+                first = false;
+            }
+            let b = self.access.offset[c];
+            if first {
+                write!(f, "{b}")?;
+            } else if b > 0 {
+                write!(f, " + {b}")?;
+            } else if b < 0 {
+                write!(f, " - {}", -b)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An assignment `lhs = rhs;` inside the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Destination reference (the single write of the statement).
+    pub lhs: ArrayRef,
+    /// Right-hand side expression.
+    pub rhs: Expr,
+}
+
+impl Statement {
+    /// All accesses of this statement: the write plus every read.
+    pub fn accesses(&self) -> Vec<(AccessKind, &ArrayRef)> {
+        let mut out = vec![(AccessKind::Write, &self.lhs)];
+        let mut reads = Vec::new();
+        self.rhs.reads(&mut reads);
+        out.extend(reads.into_iter().map(|r| (AccessKind::Read, r)));
+        out
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {};", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_matrix::mat::IMat;
+    use pdm_matrix::vec::IVec;
+
+    fn access(rows: &[Vec<i64>], off: &[i64]) -> AffineAccess {
+        AffineAccess::new(
+            IMat::from_rows(rows).unwrap(),
+            IVec::from_slice(off),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accesses_lists_write_then_reads() {
+        let w = ArrayRef {
+            array: ArrayId(0),
+            access: access(&[vec![1], vec![0]], &[0]),
+        };
+        let r = ArrayRef {
+            array: ArrayId(0),
+            access: access(&[vec![1], vec![1]], &[1]),
+        };
+        let s = Statement {
+            lhs: w.clone(),
+            rhs: Expr::add(Expr::Read(r.clone()), Expr::Const(1)),
+        };
+        let acc = s.accesses();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].0, AccessKind::Write);
+        assert_eq!(acc[0].1, &w);
+        assert_eq!(acc[1].0, AccessKind::Read);
+        assert_eq!(acc[1].1, &r);
+    }
+
+    #[test]
+    fn display_subscripts_paper_style() {
+        // A[i1 + i2, 3*i1 + i2 + 3]
+        let w = ArrayRef {
+            array: ArrayId(0),
+            access: access(&[vec![1, 3], vec![1, 1]], &[0, 3]),
+        };
+        assert_eq!(w.to_string(), "arr0[i1 + i2, 3*i1 + i2 + 3]");
+        // Constant-only and negative-coefficient subscripts.
+        let c = ArrayRef {
+            array: ArrayId(1),
+            access: access(&[vec![0, -2], vec![0, 1]], &[5, -1]),
+        };
+        assert_eq!(c.to_string(), "arr1[5, -2*i1 + i2 - 1]");
+    }
+}

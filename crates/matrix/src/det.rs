@@ -1,0 +1,199 @@
+//! Exact determinants via the Bareiss fraction-free algorithm.
+//!
+//! Bareiss keeps every intermediate value an exact integer (each division is
+//! provably exact), avoiding both floating point and rational arithmetic.
+//! Intermediates are carried in `i128`; the result is checked back into
+//! `i64`. Determinants decide unimodularity (`|det| = 1`) and give the
+//! partition count `det(H)` of Theorem 2.
+
+use crate::mat::IMat;
+use crate::{MatrixError, Result};
+
+/// Determinant of a square integer matrix.
+pub fn det(a: &IMat) -> Result<i64> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            dims: (a.rows(), a.cols()),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(1); // det of the empty matrix
+    }
+    // Work in i128 to survive intermediate growth.
+    let mut m: Vec<i128> = (0..n)
+        .flat_map(|r| a.row(r).iter().map(|&x| x as i128).collect::<Vec<_>>())
+        .collect();
+    let idx = |r: usize, c: usize| r * n + c;
+    let mut sign = 1i128;
+    let mut prev = 1i128;
+
+    for k in 0..n - 1 {
+        // Pivot search.
+        if m[idx(k, k)] == 0 {
+            let Some(swap) = (k + 1..n).find(|&r| m[idx(r, k)] != 0) else {
+                return Ok(0);
+            };
+            for c in 0..n {
+                m.swap(idx(k, c), idx(swap, c));
+            }
+            sign = -sign;
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = m[idx(i, j)]
+                    .checked_mul(m[idx(k, k)])
+                    .and_then(|x| {
+                        m[idx(i, k)]
+                            .checked_mul(m[idx(k, j)])
+                            .and_then(|y| x.checked_sub(y))
+                    })
+                    .ok_or(MatrixError::Overflow)?;
+                debug_assert_eq!(num % prev, 0, "Bareiss division not exact");
+                m[idx(i, j)] = num / prev;
+            }
+            m[idx(i, k)] = 0;
+        }
+        prev = m[idx(k, k)];
+    }
+
+    let d = sign * m[idx(n - 1, n - 1)];
+    i64::try_from(d).map_err(|_| MatrixError::Overflow)
+}
+
+/// Is `a` unimodular (square with determinant ±1)?
+pub fn is_unimodular(a: &IMat) -> bool {
+    matches!(det(a), Ok(1) | Ok(-1))
+}
+
+/// Naive cofactor-expansion determinant (exponential). Retained as an
+/// independent oracle for testing Bareiss and as the ablation baseline for
+/// the `analysis_scaling` bench.
+pub fn det_cofactor(a: &IMat) -> Result<i64> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            dims: (a.rows(), a.cols()),
+        });
+    }
+    fn go(a: &IMat) -> Result<i128> {
+        let n = a.rows();
+        if n == 0 {
+            return Ok(1);
+        }
+        if n == 1 {
+            return Ok(a.get(0, 0) as i128);
+        }
+        let mut acc: i128 = 0;
+        for c in 0..n {
+            let x = a.get(0, c) as i128;
+            if x == 0 {
+                continue;
+            }
+            // Minor without row 0 and column c.
+            let rows: Vec<Vec<i64>> = (1..n)
+                .map(|r| {
+                    (0..n)
+                        .filter(|&cc| cc != c)
+                        .map(|cc| a.get(r, cc))
+                        .collect()
+                })
+                .collect();
+            let minor = IMat::from_rows(&rows).expect("square minor");
+            let sub = go(&minor)?;
+            let term = x.checked_mul(sub).ok_or(MatrixError::Overflow)?;
+            acc = if c % 2 == 0 {
+                acc.checked_add(term)
+            } else {
+                acc.checked_sub(term)
+            }
+            .ok_or(MatrixError::Overflow)?;
+        }
+        Ok(acc)
+    }
+    i64::try_from(go(a)?).map_err(|_| MatrixError::Overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn known_determinants() {
+        assert_eq!(det(&IMat::identity(4)).unwrap(), 1);
+        assert_eq!(det(&m(&[vec![2]])).unwrap(), 2);
+        assert_eq!(det(&m(&[vec![1, 2], vec![3, 4]])).unwrap(), -2);
+        assert_eq!(det(&m(&[vec![2, 0], vec![0, 2]])).unwrap(), 4);
+        assert_eq!(det(&IMat::zeros(3, 3)).unwrap(), 0);
+        assert_eq!(det(&IMat::zeros(0, 0)).unwrap(), 1);
+        // Paper §4.2: PDM [[2,1],[0,2]] has det 4 -> 4 partitions.
+        assert_eq!(det(&m(&[vec![2, 1], vec![0, 2]])).unwrap(), 4);
+    }
+
+    #[test]
+    fn zero_pivot_needs_swap() {
+        assert_eq!(det(&m(&[vec![0, 1], vec![1, 0]])).unwrap(), -1);
+        assert_eq!(
+            det(&m(&[vec![0, 0, 1], vec![0, 1, 0], vec![1, 0, 0]])).unwrap(),
+            -1
+        );
+    }
+
+    #[test]
+    fn singular_detected() {
+        assert_eq!(det(&m(&[vec![1, 2], vec![2, 4]])).unwrap(), 0);
+        assert_eq!(
+            det(&m(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]])).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        assert!(matches!(
+            det(&IMat::zeros(2, 3)),
+            Err(MatrixError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn bareiss_matches_cofactor_oracle() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 11) as i64 - 5
+        };
+        for n in 1..=5usize {
+            for _ in 0..60 {
+                let data: Vec<i64> = (0..n * n).map(|_| next()).collect();
+                let a = IMat::from_flat(n, n, &data).unwrap();
+                assert_eq!(
+                    det(&a).unwrap(),
+                    det_cofactor(&a).unwrap(),
+                    "mismatch on\n{a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unimodular_predicate() {
+        assert!(is_unimodular(&IMat::identity(3)));
+        assert!(is_unimodular(&m(&[vec![1, 5], vec![0, -1]])));
+        assert!(!is_unimodular(&m(&[vec![2, 0], vec![0, 1]])));
+        assert!(!is_unimodular(&IMat::zeros(2, 3)));
+    }
+
+    #[test]
+    fn multiplicativity_spot_check() {
+        let a = m(&[vec![1, 2], vec![3, 5]]);
+        let b = m(&[vec![2, 1], vec![1, 1]]);
+        let ab = a.mul(&b).unwrap();
+        assert_eq!(det(&ab).unwrap(), det(&a).unwrap() * det(&b).unwrap());
+    }
+}

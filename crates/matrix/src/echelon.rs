@@ -1,0 +1,245 @@
+//! Unimodular row echelon reduction (eq. 2.7–2.9 of the paper).
+//!
+//! Given an `m × n` integer matrix `A`, compute a unimodular `U` (`m × m`)
+//! such that `E = U·A` is an *echelon matrix*: only the first `rank` rows
+//! are nonzero and their levels strictly increase. This is the "common
+//! algorithm" the paper cites from Banerjee for solving the linear
+//! diophantine dependence system `x·A = c`: the system becomes `t·E = c`
+//! with `t = x·U⁻¹`, solvable by forward substitution.
+//!
+//! The reduction uses only integer row swaps, negations and additions of
+//! integer multiples of one row to another — all determinant-preserving up
+//! to sign, so `U` is unimodular by construction (and verified in tests).
+
+use crate::mat::IMat;
+use crate::Result;
+
+/// Outcome of a row echelon reduction: `u * a == echelon`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Echelon {
+    /// The unimodular row-transformation matrix `U`.
+    pub u: IMat,
+    /// The echelon form `E = U·A`.
+    pub echelon: IMat,
+    /// Number of nonzero rows of `E`.
+    pub rank: usize,
+    /// Sign of `det(U)`: `+1` or `-1` (tracks row swaps and negations).
+    pub det_u_sign: i64,
+}
+
+/// Reduce `a` to row echelon form by a unimodular transformation.
+///
+/// Pivoting strategy: for each pivot column, repeatedly subtract multiples
+/// of the row with the smallest nonzero absolute entry from the others
+/// (a Euclidean cascade), until a single nonzero entry remains; the pivot is
+/// then the (positive) gcd of the original column segment.
+pub fn row_echelon(a: &IMat) -> Result<Echelon> {
+    let m = a.rows();
+    let n = a.cols();
+    let mut e = a.clone();
+    let mut u = IMat::identity(m);
+    let mut det_sign = 1i64;
+    let mut pivot_row = 0usize;
+
+    for col in 0..n {
+        if pivot_row == m {
+            break;
+        }
+        // Euclidean elimination below `pivot_row` in `col`.
+        loop {
+            // Find the row (>= pivot_row) with minimal nonzero |entry|.
+            let mut best: Option<(usize, i64)> = None;
+            for r in pivot_row..m {
+                let v = e.get(r, col);
+                if v != 0 && best.map_or(true, |(_, bv)| v.abs() < bv.abs()) {
+                    best = Some((r, v));
+                }
+            }
+            let Some((br, _)) = best else {
+                break; // column is zero below pivot_row
+            };
+            if br != pivot_row {
+                e.swap_rows(pivot_row, br);
+                u.swap_rows(pivot_row, br);
+                det_sign = -det_sign;
+            }
+            let p = e.get(pivot_row, col);
+            // Reduce all other rows modulo the pivot.
+            let mut all_zero = true;
+            for r in pivot_row + 1..m {
+                let v = e.get(r, col);
+                if v != 0 {
+                    let q = crate::num::floor_div(v, p)?;
+                    if q != 0 {
+                        e.add_scaled_row(r, -q, pivot_row)?;
+                        u.add_scaled_row(r, -q, pivot_row)?;
+                    }
+                    if e.get(r, col) != 0 {
+                        all_zero = false;
+                    }
+                }
+            }
+            if all_zero {
+                // Normalize the pivot to be positive.
+                if e.get(pivot_row, col) < 0 {
+                    e.negate_row(pivot_row)?;
+                    u.negate_row(pivot_row)?;
+                    det_sign = -det_sign;
+                }
+                pivot_row += 1;
+                break;
+            }
+        }
+    }
+
+    Ok(Echelon {
+        u,
+        echelon: e,
+        rank: pivot_row,
+        det_u_sign: det_sign,
+    })
+}
+
+/// Column echelon reduction: find unimodular `V` (`n × n`) with `A·V` in
+/// *column* echelon form (the transpose notion). Returns the transform and
+/// the reduced matrix.
+///
+/// Implemented by transposing, reducing rows, and transposing back; the
+/// rank is shared with the row reduction.
+pub fn col_echelon(a: &IMat) -> Result<ColEchelon> {
+    let red = row_echelon(&a.transpose())?;
+    Ok(ColEchelon {
+        v: red.u.transpose(),
+        echelon: red.echelon.transpose(),
+        rank: red.rank,
+    })
+}
+
+/// Outcome of a column echelon reduction: `a * v == echelon`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColEchelon {
+    /// The unimodular column-transformation matrix `V`.
+    pub v: IMat,
+    /// The column echelon form `A·V`.
+    pub echelon: IMat,
+    /// Number of nonzero columns.
+    pub rank: usize,
+}
+
+/// Rank of an integer matrix (via echelon reduction).
+pub fn rank(a: &IMat) -> Result<usize> {
+    Ok(row_echelon(a)?.rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::det;
+    use crate::lex::is_echelon;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    fn check_reduction(a: &IMat) {
+        let r = row_echelon(a).unwrap();
+        // U·A == E.
+        assert_eq!(r.u.mul(a).unwrap(), r.echelon, "U*A != E for\n{a}");
+        // E is echelon.
+        assert!(is_echelon(&r.echelon), "not echelon:\n{}", r.echelon);
+        // U is unimodular.
+        let d = det(&r.u).unwrap();
+        assert_eq!(d.abs(), 1, "U not unimodular, det={d}");
+        assert_eq!(d, r.det_u_sign, "recorded sign wrong");
+        // Nonzero rows count equals rank; pivots positive.
+        for i in 0..r.rank {
+            let lead = r.echelon.row_vec(i).leading().unwrap();
+            assert!(lead > 0, "pivot not positive");
+        }
+        for i in r.rank..a.rows() {
+            assert!(r.echelon.row_vec(i).is_zero());
+        }
+    }
+
+    #[test]
+    fn paper_eq_4_2_coefficient_matrix() {
+        // §4.1: subscripts (i1+i2, 3i1+i2+3) vs (i1+i2+1, i1+2i2).
+        // Row-vector convention: x·M = c with M = [A1; -A2] (4×2).
+        let mm = m(&[
+            vec![1, 3],
+            vec![1, 1],
+            vec![-1, -1],
+            vec![-1, -2],
+        ]);
+        let r = row_echelon(&mm).unwrap();
+        assert_eq!(r.rank, 2);
+        check_reduction(&mm);
+        // The echelon form the paper reports (up to a unimodular choice)
+        // has pivots 1 and 1 in columns 0 and 1, e.g. rows (1,1),(0,1)
+        // after gcd reduction — verify pivot columns and gcds instead of
+        // one specific matrix.
+        assert_eq!(r.echelon.row_vec(0).level(), Some(0));
+        assert_eq!(r.echelon.row_vec(1).level(), Some(1));
+    }
+
+    #[test]
+    fn simple_known_forms() {
+        check_reduction(&m(&[vec![2, 4], vec![4, 2]]));
+        check_reduction(&m(&[vec![0, 0], vec![0, 0]]));
+        check_reduction(&m(&[vec![6], vec![4], vec![10]]));
+        check_reduction(&m(&[vec![1, 2, 3]]));
+        // gcd pivot: column (6,4,10) reduces to gcd 2.
+        let r = row_echelon(&m(&[vec![6], vec![4], vec![10]])).unwrap();
+        assert_eq!(r.echelon.get(0, 0), 2);
+        assert_eq!(r.rank, 1);
+    }
+
+    #[test]
+    fn rank_examples() {
+        assert_eq!(rank(&m(&[vec![1, 2], vec![2, 4]])).unwrap(), 1);
+        assert_eq!(rank(&m(&[vec![1, 0], vec![0, 1]])).unwrap(), 2);
+        assert_eq!(rank(&IMat::zeros(3, 3)).unwrap(), 0);
+        assert_eq!(rank(&m(&[vec![0, 5, 0], vec![0, 3, 0]])).unwrap(), 1);
+    }
+
+    #[test]
+    fn col_echelon_mirror() {
+        let a = m(&[vec![2, 4, 6], vec![1, 3, 5]]);
+        let r = col_echelon(&a).unwrap();
+        assert_eq!(a.mul(&r.v).unwrap(), r.echelon);
+        assert_eq!(det(&r.v).unwrap().abs(), 1);
+        assert_eq!(r.rank, 2);
+        // Column echelon: transposed result is row echelon.
+        assert!(is_echelon(&r.echelon.transpose()));
+    }
+
+    #[test]
+    fn randomized_reductions_hold_invariants() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 21) as i64 - 10
+        };
+        for _ in 0..200 {
+            let rows = 1 + (next().unsigned_abs() as usize % 4);
+            let cols = 1 + (next().unsigned_abs() as usize % 4);
+            let data: Vec<i64> = (0..rows * cols).map(|_| next()).collect();
+            let a = IMat::from_flat(rows, cols, &data).unwrap();
+            check_reduction(&a);
+        }
+    }
+
+    #[test]
+    fn wide_and_tall_matrices() {
+        check_reduction(&m(&[vec![3, 1, 4, 1, 5], vec![9, 2, 6, 5, 3]]));
+        check_reduction(&m(&[
+            vec![2],
+            vec![7],
+            vec![1],
+            vec![8],
+        ]));
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type shared by all exact-arithmetic routines.
+
+use std::fmt;
+
+/// Errors produced by exact integer linear algebra.
+///
+/// Every public routine in this crate returns `Result<_, MatrixError>`
+/// rather than panicking: dependence analysis is run over user-supplied
+/// loop nests, and a malformed nest (or an overflowing reduction) must be
+/// reported, not crash the compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// An intermediate value exceeded the `i64` range.
+    Overflow,
+    /// Two operands had incompatible dimensions.
+    DimMismatch {
+        /// Human-readable description of the failing operation.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Actual dimensions.
+        dims: (usize, usize),
+    },
+    /// A matrix expected to be unimodular had `|det| != 1`.
+    NotUnimodular {
+        /// The offending determinant.
+        det: i64,
+    },
+    /// A full-rank matrix was required (e.g. for partitioning).
+    Singular,
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index (row, col).
+        index: (usize, usize),
+        /// Matrix dimensions.
+        dims: (usize, usize),
+    },
+    /// A matrix or vector with at least one row/element was required.
+    Empty,
+    /// A linear diophantine system has no integral solution.
+    NoIntegerSolution,
+    /// An iteration space or polyhedron is unbounded where a finite bound
+    /// is required (e.g. for enumeration or execution).
+    Unbounded,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Overflow => write!(f, "integer overflow in exact arithmetic"),
+            MatrixError::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::NotSquare { dims } => {
+                write!(f, "square matrix required, got {}x{}", dims.0, dims.1)
+            }
+            MatrixError::NotUnimodular { det } => {
+                write!(f, "unimodular matrix required, determinant is {det}")
+            }
+            MatrixError::Singular => write!(f, "full-rank matrix required"),
+            MatrixError::IndexOutOfBounds { index, dims } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, dims.0, dims.1
+            ),
+            MatrixError::Empty => write!(f, "non-empty matrix or vector required"),
+            MatrixError::NoIntegerSolution => {
+                write!(f, "linear diophantine system has no integer solution")
+            }
+            MatrixError::Unbounded => {
+                write!(f, "polyhedron is unbounded where a finite bound is required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MatrixError::DimMismatch {
+            op: "mul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("mul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MatrixError::Overflow);
+        assert!(e.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn eq_and_clone() {
+        let e = MatrixError::NotUnimodular { det: 2 };
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, MatrixError::Overflow);
+    }
+}

@@ -1,0 +1,189 @@
+//! Greatest common divisors and the extended Euclidean algorithm.
+//!
+//! The extended GCD is the workhorse of every unimodular reduction: a single
+//! `ext_gcd` step builds the 2×2 unimodular block that annihilates one
+//! matrix entry against another (Banerjee's echelon reduction, HNF, SNF).
+
+use crate::num::{cmul, cneg, csub};
+use crate::Result;
+
+/// Nonnegative greatest common divisor; `gcd(0, 0) == 0`.
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// GCD of a slice; zero for an empty slice.
+pub fn gcd_slice(xs: &[i64]) -> i64 {
+    xs.iter().fold(0, |g, &x| gcd(g, x))
+}
+
+/// Least common multiple; `lcm(0, x) == 0`.
+pub fn lcm(a: i64, b: i64) -> Result<i64> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    cmul((a / gcd(a, b)).abs(), b.abs())
+}
+
+/// Result of the extended Euclidean algorithm: `a*x + b*y = g` with
+/// `g = gcd(a, b) >= 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtGcd {
+    /// The nonnegative gcd.
+    pub g: i64,
+    /// Bézout coefficient of `a`.
+    pub x: i64,
+    /// Bézout coefficient of `b`.
+    pub y: i64,
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `ExtGcd { g, x, y }` with `a*x + b*y == g == gcd(a, b)` and
+/// `g >= 0`. The coefficients are the minimal ones produced by the standard
+/// iteration, so they stay well inside `i64` for any input.
+pub fn ext_gcd(a: i64, b: i64) -> Result<ExtGcd> {
+    // Iterative version maintaining (r, x, y) triples.
+    let (mut r0, mut r1) = (a, b);
+    let (mut x0, mut x1) = (1i64, 0i64);
+    let (mut y0, mut y1) = (0i64, 1i64);
+    while r1 != 0 {
+        let q = r0 / r1; // truncated is fine: invariants hold for any q
+        let r2 = csub(r0, cmul(q, r1)?)?;
+        let x2 = csub(x0, cmul(q, x1)?)?;
+        let y2 = csub(y0, cmul(q, y1)?)?;
+        r0 = r1;
+        r1 = r2;
+        x0 = x1;
+        x1 = x2;
+        y0 = y1;
+        y1 = y2;
+    }
+    if r0 < 0 {
+        r0 = cneg(r0)?;
+        x0 = cneg(x0)?;
+        y0 = cneg(y0)?;
+    }
+    Ok(ExtGcd { g: r0, x: x0, y: y0 })
+}
+
+/// Does `d` divide `a` (with the convention that only 0 is divisible by 0)?
+#[inline]
+pub fn divides(d: i64, a: i64) -> bool {
+    if d == 0 {
+        a == 0
+    } else {
+        a % d == 0
+    }
+}
+
+/// Solve the single-variable congruence `a*x ≡ c (mod m)`, returning the
+/// smallest nonnegative solution if one exists.
+///
+/// Used by the single-subscript exact dependence test.
+pub fn solve_congruence(a: i64, c: i64, m: i64) -> Result<Option<i64>> {
+    if m == 0 {
+        // Degenerates to a*x = c.
+        if a == 0 {
+            return Ok(if c == 0 { Some(0) } else { None });
+        }
+        return Ok(if c % a == 0 { Some(c / a) } else { None });
+    }
+    let e = ext_gcd(a, m)?;
+    if !divides(e.g, c) {
+        return Ok(None);
+    }
+    let m_red = (m / e.g).abs();
+    if m_red == 0 {
+        return Ok(Some(0));
+    }
+    let x = cmul(e.x, c / e.g)?;
+    Ok(Some(crate::num::emod(x, m_red)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(i64::MIN, i64::MIN), i64::MIN.unsigned_abs() as i64);
+    }
+
+    #[test]
+    fn gcd_slice_basic() {
+        assert_eq!(gcd_slice(&[4, 6, 8]), 2);
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[0, 0, 7]), 7);
+        assert_eq!(gcd_slice(&[9]), 9);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6).unwrap(), 12);
+        assert_eq!(lcm(0, 6).unwrap(), 0);
+        assert_eq!(lcm(-4, 6).unwrap(), 12);
+    }
+
+    #[test]
+    fn ext_gcd_bezout_identity() {
+        for a in -50..=50 {
+            for b in -50..=50 {
+                let e = ext_gcd(a, b).unwrap();
+                assert_eq!(e.g, gcd(a, b), "gcd mismatch for ({a},{b})");
+                assert_eq!(a * e.x + b * e.y, e.g, "Bezout fails for ({a},{b})");
+                assert!(e.g >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn divides_convention() {
+        assert!(divides(3, 9));
+        assert!(!divides(3, 10));
+        assert!(divides(0, 0));
+        assert!(!divides(0, 1));
+        assert!(divides(-3, 9));
+    }
+
+    #[test]
+    fn congruence_solutions_verify() {
+        for a in -10..=10i64 {
+            for c in -10..=10i64 {
+                for m in 1..=10i64 {
+                    match solve_congruence(a, c, m).unwrap() {
+                        Some(x) => {
+                            assert_eq!((a * x - c).rem_euclid(m), 0, "a={a} c={c} m={m} x={x}")
+                        }
+                        None => {
+                            // Verify exhaustively that no solution exists.
+                            for x in 0..m {
+                                assert_ne!((a * x - c).rem_euclid(m), 0, "missed x={x}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn congruence_zero_modulus() {
+        assert_eq!(solve_congruence(3, 9, 0).unwrap(), Some(3));
+        assert_eq!(solve_congruence(3, 10, 0).unwrap(), None);
+        assert_eq!(solve_congruence(0, 0, 0).unwrap(), Some(0));
+        assert_eq!(solve_congruence(0, 1, 0).unwrap(), None);
+    }
+}

@@ -1,0 +1,327 @@
+//! Integer row lattices.
+//!
+//! A lattice `L(G) = { x·G : x ∈ Zᵏ }` (eq. 2.14) is the closure of a set of
+//! generator rows under integer combination. The paper's central observation
+//! is that the set of *all* dependence distance vectors of a loop — direct
+//! and transitive — is contained in such a lattice, and the lattice has a
+//! canonical basis: the Hermite normal form, i.e. the **pseudo distance
+//! matrix**. Two generator sets are interchangeable iff their HNFs agree.
+
+use crate::hnf::hermite_normal_form;
+use crate::mat::IMat;
+use crate::vec::IVec;
+use crate::{MatrixError, Result};
+use std::fmt;
+
+/// An integer lattice of row vectors, stored via its canonical HNF basis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lattice {
+    /// Canonical basis: HNF, full row rank (`rank × dim`).
+    basis: IMat,
+    /// Ambient dimension.
+    dim: usize,
+}
+
+impl Lattice {
+    /// The zero lattice `{0}` in dimension `n`.
+    pub fn zero(n: usize) -> Self {
+        Lattice {
+            basis: IMat::zeros(0, n),
+            dim: n,
+        }
+    }
+
+    /// The full lattice `Zⁿ`.
+    pub fn full(n: usize) -> Self {
+        Lattice {
+            basis: IMat::identity(n),
+            dim: n,
+        }
+    }
+
+    /// Build the lattice spanned by the rows of `g`.
+    pub fn from_generators(g: &IMat) -> Result<Self> {
+        let h = hermite_normal_form(g)?;
+        Ok(Lattice {
+            basis: h.hnf,
+            dim: g.cols(),
+        })
+    }
+
+    /// Canonical HNF basis (full row rank).
+    pub fn basis(&self) -> &IMat {
+        &self.basis
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Rank (number of independent generators).
+    pub fn rank(&self) -> usize {
+        self.basis.rows()
+    }
+
+    /// Is this the zero lattice?
+    pub fn is_zero(&self) -> bool {
+        self.rank() == 0
+    }
+
+    /// Does the lattice span all of `Qⁿ` (rank = dim)?
+    pub fn is_full_rank(&self) -> bool {
+        self.rank() == self.dim
+    }
+
+    /// Integer coordinates of `v` in the basis, if `v` is a lattice member.
+    ///
+    /// Solves `x·H = v` by forward substitution over the strictly
+    /// increasing levels of the HNF rows.
+    pub fn coordinates(&self, v: &IVec) -> Result<Option<IVec>> {
+        if v.dim() != self.dim {
+            return Err(MatrixError::DimMismatch {
+                op: "lattice coordinates",
+                lhs: (self.basis.rows(), self.dim),
+                rhs: (1, v.dim()),
+            });
+        }
+        let mut residual = v.clone();
+        let mut coords = IVec::zeros(self.rank());
+        for j in 0..self.rank() {
+            let row = self.basis.row_vec(j);
+            let lj = row.level().expect("HNF rows are nonzero");
+            let pivot = self.basis.get(j, lj);
+            let rhs = residual[lj];
+            if rhs % pivot != 0 {
+                return Ok(None);
+            }
+            let xj = rhs / pivot;
+            coords[j] = xj;
+            if xj != 0 {
+                residual = residual.add_scaled(-xj, &row)?;
+            }
+        }
+        Ok(if residual.is_zero() { Some(coords) } else { None })
+    }
+
+    /// Lattice membership.
+    pub fn contains(&self, v: &IVec) -> Result<bool> {
+        Ok(self.coordinates(v)?.is_some())
+    }
+
+    /// Is `other` a sublattice of `self`?
+    pub fn includes(&self, other: &Lattice) -> Result<bool> {
+        for j in 0..other.rank() {
+            if !self.contains(&other.basis.row_vec(j))? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Lattice sum `L(self) + L(other)` (union of generators).
+    pub fn join(&self, other: &Lattice) -> Result<Lattice> {
+        if self.dim != other.dim {
+            return Err(MatrixError::DimMismatch {
+                op: "lattice join",
+                lhs: (self.rank(), self.dim),
+                rhs: (other.rank(), other.dim),
+            });
+        }
+        Lattice::from_generators(&self.basis.vstack(&other.basis)?)
+    }
+
+    /// Index `[Zⁿ : L]` of a full-rank lattice — the number of cosets, i.e.
+    /// the partition count of Theorem 2. `None` when not full rank.
+    pub fn index(&self) -> Option<i64> {
+        if !self.is_full_rank() {
+            return None;
+        }
+        // HNF of a full-rank lattice is upper triangular with positive
+        // diagonal; the index is the product of the diagonal.
+        let mut prod: i64 = 1;
+        for j in 0..self.dim {
+            prod = prod.checked_mul(self.basis.get(j, j))?;
+        }
+        Some(prod)
+    }
+
+    /// Apply a linear map on the right: the image lattice `{ x·G·T }`.
+    pub fn transform(&self, t: &IMat) -> Result<Lattice> {
+        Lattice::from_generators(&self.basis.mul(t)?)
+    }
+
+    /// Invariant factors of the quotient group `Zⁿ / L` for a full-rank
+    /// lattice: `Zⁿ/L ≅ Z/d₁ ⊕ … ⊕ Z/dₙ` with `dᵢ | dᵢ₊₁` (Smith normal
+    /// form of the basis). The product of the factors is the lattice
+    /// index — the partition count of the paper's Theorem 2 — while the
+    /// factors themselves describe the *shape* of the partition group
+    /// (e.g. §4.2's `[[2,1],[0,2]]` quotient is `Z/1 ⊕ Z/4`, a cyclic
+    /// 4-group, not `Z/2 ⊕ Z/2`).
+    pub fn quotient_invariants(&self) -> Result<Option<Vec<i64>>> {
+        if !self.is_full_rank() {
+            return Ok(None);
+        }
+        Ok(Some(crate::snf::invariant_factors(&self.basis)?))
+    }
+}
+
+impl fmt::Display for Lattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "L{{0}} in Z^{}", self.dim)
+        } else {
+            writeln!(f, "L(rows) in Z^{}:", self.dim)?;
+            write!(f, "{}", self.basis)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::small_vectors;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn membership_matches_brute_force() {
+        let lat = Lattice::from_generators(&m(&[vec![2, 2], vec![0, 3]])).unwrap();
+        for v in small_vectors(2, 8) {
+            // Brute force: is v = a*(2,2) + b*(0,3) for small a,b?
+            let mut found = false;
+            for a in -8..=8i64 {
+                for b in -8..=8i64 {
+                    if 2 * a == v[0] && 2 * a + 3 * b == v[1] {
+                        found = true;
+                    }
+                }
+            }
+            assert_eq!(
+                lat.contains(&IVec::from_slice(&v)).unwrap(),
+                found,
+                "membership mismatch at {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coordinates_reconstruct() {
+        let lat = Lattice::from_generators(&m(&[vec![2, 1, 0], vec![0, 3, 1]])).unwrap();
+        for v in small_vectors(3, 6) {
+            let vv = IVec::from_slice(&v);
+            if let Some(x) = lat.coordinates(&vv).unwrap() {
+                let rebuilt = lat.basis().vec_mul(&x).unwrap();
+                assert_eq!(rebuilt, vv);
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = Lattice::from_generators(&m(&[vec![2, 2], vec![0, 3]])).unwrap();
+        let b = Lattice::from_generators(&m(&[vec![2, 5], vec![2, -1], vec![0, 3]])).unwrap();
+        assert_eq!(a, b);
+        let c = Lattice::from_generators(&m(&[vec![1, 0], vec![0, 1]])).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_and_full() {
+        let z = Lattice::zero(3);
+        assert!(z.is_zero());
+        assert!(z.contains(&IVec::zeros(3)).unwrap());
+        assert!(!z.contains(&IVec::from_slice(&[1, 0, 0])).unwrap());
+        let f = Lattice::full(2);
+        assert!(f.is_full_rank());
+        assert_eq!(f.index(), Some(1));
+        for v in small_vectors(2, 3) {
+            assert!(f.contains(&IVec::from_slice(&v)).unwrap());
+        }
+    }
+
+    #[test]
+    fn index_counts_partitions() {
+        // §4.2: PDM [[2,1],[0,2]] -> det 4 partitions.
+        let lat = Lattice::from_generators(&m(&[vec![2, 1], vec![0, 2]])).unwrap();
+        assert_eq!(lat.index(), Some(4));
+        // Non-full-rank lattice has no finite index.
+        let thin = Lattice::from_generators(&m(&[vec![1, 1]])).unwrap();
+        assert_eq!(thin.index(), None);
+        // Cross-check: count residues of Z^2 mod the lattice in a box.
+        let mut cosets = std::collections::HashSet::new();
+        for v in small_vectors(2, 4) {
+            // Reduce v to a canonical coset representative by subtracting
+            // basis rows greedily (works because basis is triangular).
+            let b = lat.basis();
+            let mut x = v.clone();
+            let q0 = crate::num::floor_div(x[0], b.get(0, 0)).unwrap();
+            x[0] -= q0 * b.get(0, 0);
+            x[1] -= q0 * b.get(0, 1);
+            let q1 = crate::num::floor_div(x[1], b.get(1, 1)).unwrap();
+            x[1] -= q1 * b.get(1, 1);
+            cosets.insert(x);
+        }
+        assert_eq!(cosets.len(), 4);
+    }
+
+    #[test]
+    fn join_is_lub() {
+        let a = Lattice::from_generators(&m(&[vec![2, 0]])).unwrap();
+        let b = Lattice::from_generators(&m(&[vec![0, 2]])).unwrap();
+        let j = a.join(&b).unwrap();
+        assert!(j.includes(&a).unwrap());
+        assert!(j.includes(&b).unwrap());
+        assert_eq!(j.rank(), 2);
+        assert_eq!(j.index(), Some(4));
+    }
+
+    #[test]
+    fn inclusion_is_partial_order() {
+        let coarse = Lattice::from_generators(&m(&[vec![4, 0], vec![0, 4]])).unwrap();
+        let fine = Lattice::from_generators(&m(&[vec![2, 0], vec![0, 2]])).unwrap();
+        assert!(fine.includes(&coarse).unwrap());
+        assert!(!coarse.includes(&fine).unwrap());
+        assert!(fine.includes(&fine).unwrap());
+    }
+
+    #[test]
+    fn transform_image() {
+        let lat = Lattice::from_generators(&m(&[vec![1, 0], vec![0, 2]])).unwrap();
+        // Skew by T = [[1,1],[0,1]]: (1,0)->(1,1), (0,2)->(0,2).
+        let t = m(&[vec![1, 1], vec![0, 1]]);
+        let img = lat.transform(&t).unwrap();
+        assert!(img.contains(&IVec::from_slice(&[1, 1])).unwrap());
+        assert!(img.contains(&IVec::from_slice(&[0, 2])).unwrap());
+        assert!(!img.contains(&IVec::from_slice(&[0, 1])).unwrap());
+        assert_eq!(img.index(), Some(2));
+    }
+
+    #[test]
+    fn quotient_invariants_shape() {
+        // §4.2 PDM: index 4, cyclic quotient Z/4 (invariants 1, 4).
+        let l42 = Lattice::from_generators(&m(&[vec![2, 1], vec![0, 2]])).unwrap();
+        assert_eq!(l42.quotient_invariants().unwrap(), Some(vec![1, 4]));
+        // diag(2,2): Klein four-group Z/2 + Z/2.
+        let l22 = Lattice::from_generators(&m(&[vec![2, 0], vec![0, 2]])).unwrap();
+        assert_eq!(l22.quotient_invariants().unwrap(), Some(vec![2, 2]));
+        // Product of invariants equals the index in both cases.
+        for l in [&l42, &l22] {
+            let inv = l.quotient_invariants().unwrap().unwrap();
+            assert_eq!(inv.iter().product::<i64>(), l.index().unwrap());
+        }
+        // Non-full-rank: no finite quotient.
+        let thin = Lattice::from_generators(&m(&[vec![1, 1]])).unwrap();
+        assert_eq!(thin.quotient_invariants().unwrap(), None);
+    }
+
+    #[test]
+    fn dim_mismatch_errors() {
+        let a = Lattice::zero(2);
+        let b = Lattice::zero(3);
+        assert!(a.join(&b).is_err());
+        assert!(a.contains(&IVec::zeros(3)).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Lexicographic order on integer vectors and echelon-matrix predicates.
+//!
+//! The entire legality theory of the paper is phrased lexicographically:
+//! a dependence distance must be `≻ 0` (executed later), and Theorem 1 says
+//! a unimodular `T` is legal iff `H·T` is an echelon matrix whose rows are
+//! lexicographically positive. This module supplies exactly those
+//! predicates.
+
+use crate::mat::IMat;
+use std::cmp::Ordering;
+
+/// Lexicographic comparison of two equal-length integer vectors.
+///
+/// `lex_cmp(a, b) == Ordering::Less` means `a ≺ b`: at the first differing
+/// index, `a` has the smaller component.
+pub fn lex_cmp(a: &[i64], b: &[i64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len(), "lex_cmp on unequal dims");
+    for (&x, &y) in a.iter().zip(b) {
+        match x.cmp(&y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Is `v ≻ 0`, i.e. is the first nonzero component positive?
+pub fn is_lex_positive(v: &[i64]) -> bool {
+    for &x in v {
+        if x != 0 {
+            return x > 0;
+        }
+    }
+    false
+}
+
+/// Is `v ≺ 0`?
+pub fn is_lex_negative(v: &[i64]) -> bool {
+    for &x in v {
+        if x != 0 {
+            return x < 0;
+        }
+    }
+    false
+}
+
+/// Is `v ⪰ 0` (lexicographically positive or zero)?
+pub fn is_lex_nonnegative(v: &[i64]) -> bool {
+    !is_lex_negative(v)
+}
+
+/// Is `m` an echelon matrix?
+///
+/// Per the paper's definition: only the first `r` rows are nonzero, and the
+/// levels (index of first nonzero entry) of successive nonzero rows strictly
+/// increase.
+pub fn is_echelon(m: &IMat) -> bool {
+    let mut last_level: Option<usize> = None;
+    let mut seen_zero_row = false;
+    for i in 0..m.rows() {
+        let row = m.row(i);
+        match row.iter().position(|&x| x != 0) {
+            None => seen_zero_row = true,
+            Some(level) => {
+                if seen_zero_row {
+                    return false; // nonzero row after a zero row
+                }
+                if let Some(l) = last_level {
+                    if level <= l {
+                        return false;
+                    }
+                }
+                last_level = Some(level);
+            }
+        }
+    }
+    true
+}
+
+/// Is `m` echelon with every nonzero row lexicographically positive?
+///
+/// This is the exact hypothesis of Theorem 1 (legality of a unimodular
+/// transformation) and Lemma 2 (membership in the row lattice preserves
+/// lexicographic sign).
+pub fn is_lex_positive_echelon(m: &IMat) -> bool {
+    if !is_echelon(m) {
+        return false;
+    }
+    (0..m.rows()).all(|i| {
+        let row = m.row(i);
+        row.iter().all(|&x| x == 0) || is_lex_positive(row)
+    })
+}
+
+/// Iterate integer vectors of dimension `n` with components in
+/// `[-bound, bound]`, in lexicographic order. Used by tests and by the
+/// brute-force cross-validation of lattice predicates.
+pub fn small_vectors(n: usize, bound: i64) -> impl Iterator<Item = Vec<i64>> {
+    let width = (2 * bound + 1) as usize;
+    let total = width.pow(n as u32);
+    (0..total).map(move |mut k| {
+        let mut v = vec![0i64; n];
+        for slot in v.iter_mut().rev() {
+            *slot = (k % width) as i64 - bound;
+            k /= width;
+        }
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::IMat;
+
+    #[test]
+    fn lex_cmp_orders_first_difference() {
+        assert_eq!(lex_cmp(&[1, 0], &[1, 1]), Ordering::Less);
+        assert_eq!(lex_cmp(&[2, -5], &[1, 100]), Ordering::Greater);
+        assert_eq!(lex_cmp(&[3, 3], &[3, 3]), Ordering::Equal);
+        assert_eq!(lex_cmp(&[0, 1, 0], &[0, 0, 9]), Ordering::Greater);
+    }
+
+    #[test]
+    fn lex_sign_predicates() {
+        assert!(is_lex_positive(&[0, 2, -1]));
+        assert!(!is_lex_positive(&[0, -2, 1]));
+        assert!(!is_lex_positive(&[0, 0, 0]));
+        assert!(is_lex_negative(&[-1, 5]));
+        assert!(!is_lex_negative(&[0, 0]));
+        assert!(is_lex_nonnegative(&[0, 0]));
+        assert!(is_lex_nonnegative(&[0, 1]));
+        assert!(!is_lex_nonnegative(&[-1, 1]));
+    }
+
+    #[test]
+    fn echelon_detection() {
+        let e = IMat::from_rows(&[vec![2, 1, 0], vec![0, 0, 3], vec![0, 0, 0]]).unwrap();
+        assert!(is_echelon(&e));
+        assert!(is_lex_positive_echelon(&e));
+
+        // Levels not increasing.
+        let bad = IMat::from_rows(&[vec![0, 1, 0], vec![1, 0, 0]]).unwrap();
+        assert!(!is_echelon(&bad));
+
+        // Equal levels.
+        let bad2 = IMat::from_rows(&[vec![1, 0], vec![2, 1]]).unwrap();
+        assert!(!is_echelon(&bad2));
+
+        // Nonzero row after zero row.
+        let bad3 = IMat::from_rows(&[vec![0, 0], vec![0, 1]]).unwrap();
+        assert!(!is_echelon(&bad3));
+
+        // Echelon but a row is lex-negative.
+        let neg = IMat::from_rows(&[vec![1, 5], vec![0, -2]]).unwrap();
+        assert!(is_echelon(&neg));
+        assert!(!is_lex_positive_echelon(&neg));
+    }
+
+    #[test]
+    fn zero_matrix_is_echelon() {
+        let z = IMat::zeros(2, 3);
+        assert!(is_echelon(&z));
+        assert!(is_lex_positive_echelon(&z));
+    }
+
+    #[test]
+    fn small_vectors_enumerates_all() {
+        let all: Vec<_> = small_vectors(2, 1).collect();
+        assert_eq!(all.len(), 9);
+        assert!(all.contains(&vec![-1, -1]));
+        assert!(all.contains(&vec![0, 0]));
+        assert!(all.contains(&vec![1, 1]));
+        // Lexicographic enumeration order.
+        assert_eq!(all[0], vec![-1, -1]);
+        assert_eq!(all[8], vec![1, 1]);
+    }
+}

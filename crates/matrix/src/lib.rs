@@ -1,0 +1,59 @@
+//! # pdm-matrix — exact integer linear algebra for loop dependence analysis
+//!
+//! This crate is the numeric substrate of the *pseudo distance matrix* (PDM)
+//! loop parallelizer (Yu & D'Hollander, ICPP 2000). Everything here is exact
+//! integer arithmetic over `i64` with overflow detection — dependence
+//! analysis must never silently wrap, because a wrapped entry produces an
+//! *incorrect but plausible* transformation.
+//!
+//! Following the paper, **vectors are row vectors** and lattices are *row*
+//! spaces: an index vector `i` maps through a subscript matrix as `i·A + b`,
+//! and a lattice `L(H)` is the set `{ x·H : x ∈ Zᵏ }` of integer combinations
+//! of the rows of `H`.
+//!
+//! Provided algorithms:
+//! * extended GCD and GCD of slices ([`gcd`]),
+//! * unimodular **row echelon** reduction `U·A = E` ([`echelon`]),
+//! * **Hermite normal form** (the canonical lattice basis used as the PDM)
+//!   ([`hnf`]),
+//! * **Smith normal form** ([`snf`]),
+//! * fraction-free (Bareiss) **determinant** ([`det`]),
+//! * verified **unimodular** matrices with exact inverses ([`unimodular`]),
+//! * integer **lattices**: membership, equality, index ([`lattice`]),
+//! * linear diophantine system solving ([`solve`]).
+//!
+//! ```
+//! use pdm_matrix::{IMat, hnf::hermite_normal_form};
+//!
+//! // The two generator rows of the paper's §4.1 example...
+//! let g = IMat::from_rows(&[vec![2, 2], vec![0, 3]]).unwrap();
+//! let h = hermite_normal_form(&g).unwrap().hnf;
+//! // ...reduce to the pseudo distance matrix of eq. (4.7).
+//! assert_eq!(h, IMat::from_rows(&[vec![2, 2], vec![0, 3]]).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod det;
+pub mod echelon;
+pub mod error;
+pub mod gcd;
+pub mod hnf;
+pub mod lattice;
+pub mod lex;
+pub mod mat;
+pub mod num;
+pub mod snf;
+pub mod solve;
+pub mod unimodular;
+pub mod vec;
+
+pub use error::MatrixError;
+pub use lattice::Lattice;
+pub use mat::IMat;
+pub use unimodular::Unimodular;
+pub use vec::IVec;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MatrixError>;

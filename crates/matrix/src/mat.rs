@@ -1,0 +1,556 @@
+//! Dense integer matrices.
+//!
+//! `IMat` is a row-major dense matrix of `i64` with the exact operations the
+//! reduction algorithms require: elementary row *and* column operations
+//! (with checked arithmetic), multiplication, transposition, and block
+//! extraction. Row operations are the vocabulary of echelon/Hermite
+//! reduction; column operations are the vocabulary of the paper's
+//! Algorithm 1, which massages the PDM by *legal* column transformations.
+
+use crate::num::{cadd, cmul, cmuladd, cneg};
+use crate::vec::IVec;
+use crate::{MatrixError, Result};
+use std::fmt;
+
+/// A dense, row-major integer matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IMat {
+    /// An `r × c` zero matrix.
+    pub fn zeros(r: usize, c: usize) -> Self {
+        IMat {
+            rows: r,
+            cols: c,
+            data: vec![0; r * c],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = IMat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1;
+        }
+        m
+    }
+
+    /// Build from a slice of equal-length rows.
+    pub fn from_rows(rows: &[Vec<i64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(IMat::zeros(0, 0));
+        }
+        let c = rows[0].len();
+        if rows.iter().any(|r| r.len() != c) {
+            return Err(MatrixError::DimMismatch {
+                op: "from_rows",
+                lhs: (rows.len(), c),
+                rhs: (0, 0),
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * c);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(IMat {
+            rows: rows.len(),
+            cols: c,
+            data,
+        })
+    }
+
+    /// Build an `r × c` matrix from a flat row-major slice.
+    pub fn from_flat(r: usize, c: usize, data: &[i64]) -> Result<Self> {
+        if data.len() != r * c {
+            return Err(MatrixError::DimMismatch {
+                op: "from_flat",
+                lhs: (r, c),
+                rhs: (1, data.len()),
+            });
+        }
+        Ok(IMat {
+            rows: r,
+            cols: c,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Build a diagonal matrix from the given entries.
+    pub fn diag(d: &[i64]) -> Self {
+        let n = d.len();
+        let mut m = IMat::zeros(n, n);
+        for (i, &x) in d.iter().enumerate() {
+            m.data[i * n + i] = x;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Is this matrix square?
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Is every entry zero?
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&x| x == 0)
+    }
+
+    /// Entry accessor (panics on out-of-bounds, like slice indexing).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        assert!(r < self.rows && c < self.cols, "IMat::get out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: i64) {
+        assert!(r < self.rows && c < self.cols, "IMat::set out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy row `r` into an [`IVec`].
+    pub fn row_vec(&self, r: usize) -> IVec {
+        IVec::from_slice(self.row(r))
+    }
+
+    /// Copy column `c` into an [`IVec`].
+    pub fn col_vec(&self, c: usize) -> IVec {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterate over the rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[i64]> {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> IMat {
+        let mut t = IMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.data[c * self.rows + r] = self.get(r, c);
+            }
+        }
+        t
+    }
+
+    /// Matrix sum.
+    pub fn add(&self, other: &IMat) -> Result<IMat> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(self.mismatch("add", other));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| cadd(a, b))
+            .collect::<Result<_>>()?;
+        Ok(IMat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Matrix difference.
+    pub fn sub(&self, other: &IMat) -> Result<IMat> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(self.mismatch("sub", other));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| crate::num::csub(a, b))
+            .collect::<Result<_>>()?;
+        Ok(IMat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Matrix product `self · other` with `i128` accumulation.
+    pub fn mul(&self, other: &IMat) -> Result<IMat> {
+        if self.cols != other.rows {
+            return Err(self.mismatch("mul", other));
+        }
+        let mut out = IMat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc: i128 = 0;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) as i128 * other.get(k, j) as i128;
+                }
+                out.data[i * other.cols + j] =
+                    i64::try_from(acc).map_err(|_| MatrixError::Overflow)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Row-vector times matrix: `v · self`.
+    pub fn vec_mul(&self, v: &IVec) -> Result<IVec> {
+        if v.dim() != self.rows {
+            return Err(MatrixError::DimMismatch {
+                op: "vec_mul",
+                lhs: (1, v.dim()),
+                rhs: (self.rows, self.cols),
+            });
+        }
+        let mut out = vec![0i64; self.cols];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let mut acc: i128 = 0;
+            for (i, &vi) in v.iter().enumerate() {
+                acc += vi as i128 * self.get(i, j) as i128;
+            }
+            *slot = i64::try_from(acc).map_err(|_| MatrixError::Overflow)?;
+        }
+        Ok(IVec(out))
+    }
+
+    /// Scale every entry.
+    pub fn scale(&self, k: i64) -> Result<IMat> {
+        let data = self.data.iter().map(|&x| cmul(x, k)).collect::<Result<_>>()?;
+        Ok(IMat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    // ----- elementary row operations (unimodular when |k| preserved) -----
+
+    /// Swap rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Negate row `r`.
+    pub fn negate_row(&mut self, r: usize) -> Result<()> {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, cneg(v)?);
+        }
+        Ok(())
+    }
+
+    /// `row[dst] += k * row[src]`.
+    pub fn add_scaled_row(&mut self, dst: usize, k: i64, src: usize) -> Result<()> {
+        assert_ne!(dst, src, "add_scaled_row with dst == src is not unimodular");
+        for c in 0..self.cols {
+            let v = cmuladd(self.get(dst, c), k, self.get(src, c))?;
+            self.set(dst, c, v);
+        }
+        Ok(())
+    }
+
+    // ----- elementary column operations -----
+
+    /// Swap columns `a` and `b`.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + a, r * self.cols + b);
+        }
+    }
+
+    /// Negate column `c`.
+    pub fn negate_col(&mut self, c: usize) -> Result<()> {
+        for r in 0..self.rows {
+            let v = self.get(r, c);
+            self.set(r, c, cneg(v)?);
+        }
+        Ok(())
+    }
+
+    /// `col[dst] += k * col[src]`.
+    pub fn add_scaled_col(&mut self, dst: usize, k: i64, src: usize) -> Result<()> {
+        assert_ne!(dst, src, "add_scaled_col with dst == src is not unimodular");
+        for r in 0..self.rows {
+            let v = cmuladd(self.get(r, dst), k, self.get(r, src))?;
+            self.set(r, dst, v);
+        }
+        Ok(())
+    }
+
+    /// Move column `from` to position `to`, shifting the columns in between
+    /// (a cyclic rotation — this is the paper's `shift` transformation).
+    pub fn shift_col(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            if from < to {
+                row[from..=to].rotate_left(1);
+            } else {
+                row[to..=from].rotate_right(1);
+            }
+        }
+    }
+
+    // ----- block extraction -----
+
+    /// Copy the sub-matrix with rows `r0..r1` and columns `c0..c1`.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> IMat {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        let mut out = IMat::zeros(r1 - r0, c1 - c0);
+        for r in r0..r1 {
+            for c in c0..c1 {
+                out.data[(r - r0) * (c1 - c0) + (c - c0)] = self.get(r, c);
+            }
+        }
+        out
+    }
+
+    /// Stack `self` on top of `other` (column counts must agree).
+    pub fn vstack(&self, other: &IMat) -> Result<IMat> {
+        if self.cols != other.cols && self.rows != 0 && other.rows != 0 {
+            return Err(self.mismatch("vstack", other));
+        }
+        if self.rows == 0 {
+            return Ok(other.clone());
+        }
+        if other.rows == 0 {
+            return Ok(self.clone());
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(IMat {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Concatenate `self` with `other` side by side (row counts must agree).
+    pub fn hstack(&self, other: &IMat) -> Result<IMat> {
+        if self.rows != other.rows {
+            return Err(self.mismatch("hstack", other));
+        }
+        let mut out = IMat::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.data[r * (self.cols + other.cols)..r * (self.cols + other.cols) + self.cols]
+                .copy_from_slice(self.row(r));
+            out.data[r * (self.cols + other.cols) + self.cols
+                ..(r + 1) * (self.cols + other.cols)]
+                .copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Drop all-zero rows, keeping the order of the remaining rows.
+    pub fn drop_zero_rows(&self) -> IMat {
+        let rows: Vec<Vec<i64>> = self
+            .rows_iter()
+            .filter(|r| r.iter().any(|&x| x != 0))
+            .map(|r| r.to_vec())
+            .collect();
+        if rows.is_empty() {
+            IMat::zeros(0, self.cols)
+        } else {
+            IMat::from_rows(&rows).expect("rows have equal length")
+        }
+    }
+
+    /// Indices of all-zero columns (Lemma 1: those loops are parallel).
+    pub fn zero_cols(&self) -> Vec<usize> {
+        (0..self.cols)
+            .filter(|&c| (0..self.rows).all(|r| self.get(r, c) == 0))
+            .collect()
+    }
+
+    fn mismatch(&self, op: &'static str, other: &IMat) -> MatrixError {
+        MatrixError::DimMismatch {
+            op,
+            lhs: (self.rows, self.cols),
+            rhs: (other.rows, other.cols),
+        }
+    }
+}
+
+impl fmt::Display for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column-aligned pretty printing, one bracketed row per line.
+        let widths: Vec<usize> = (0..self.cols)
+            .map(|c| {
+                (0..self.rows)
+                    .map(|r| format!("{}", self.get(r, c)).len())
+                    .max()
+                    .unwrap_or(1)
+            })
+            .collect();
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>width$}", self.get(r, c), width = widths[c])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(IMat::zeros(2, 3).rows(), 2);
+        assert!(IMat::zeros(2, 3).is_zero());
+        let i3 = IMat::identity(3);
+        assert_eq!(i3.get(1, 1), 1);
+        assert_eq!(i3.get(0, 1), 0);
+        let d = IMat::diag(&[2, 5]);
+        assert_eq!(d.get(0, 0), 2);
+        assert_eq!(d.get(1, 1), 5);
+        assert_eq!(d.get(1, 0), 0);
+        assert!(IMat::from_rows(&[vec![1], vec![1, 2]]).is_err());
+        assert!(IMat::from_flat(2, 2, &[1, 2, 3]).is_err());
+        assert_eq!(IMat::from_flat(2, 2, &[1, 2, 3, 4]).unwrap().get(1, 0), 3);
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        let a = m(&[vec![1, 2], vec![3, 4]]);
+        let b = m(&[vec![5, 6], vec![7, 8]]);
+        assert_eq!(a.mul(&b).unwrap(), m(&[vec![19, 22], vec![43, 50]]));
+        let id = IMat::identity(2);
+        assert_eq!(a.mul(&id).unwrap(), a);
+        assert_eq!(id.mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn vec_mul_row_convention() {
+        // Row vector times matrix: (1,2) · [[1,0],[0,3]] = (1,6).
+        let a = m(&[vec![1, 0], vec![0, 3]]);
+        let v = IVec::from_slice(&[1, 2]);
+        assert_eq!(a.vec_mul(&v).unwrap().as_slice(), &[1, 6]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6);
+    }
+
+    #[test]
+    fn row_and_col_ops() {
+        let mut a = m(&[vec![1, 2], vec![3, 4]]);
+        a.swap_rows(0, 1);
+        assert_eq!(a, m(&[vec![3, 4], vec![1, 2]]));
+        a.negate_row(0).unwrap();
+        assert_eq!(a, m(&[vec![-3, -4], vec![1, 2]]));
+        a.add_scaled_row(0, 3, 1).unwrap();
+        assert_eq!(a, m(&[vec![0, 2], vec![1, 2]]));
+
+        let mut b = m(&[vec![1, 2], vec![3, 4]]);
+        b.swap_cols(0, 1);
+        assert_eq!(b, m(&[vec![2, 1], vec![4, 3]]));
+        b.negate_col(1).unwrap();
+        assert_eq!(b, m(&[vec![2, -1], vec![4, -3]]));
+        b.add_scaled_col(0, 2, 1).unwrap();
+        assert_eq!(b, m(&[vec![0, -1], vec![-2, -3]]));
+    }
+
+    #[test]
+    fn shift_col_rotates() {
+        let mut a = m(&[vec![1, 2, 3, 4]]);
+        a.shift_col(2, 0); // move col 2 to front
+        assert_eq!(a, m(&[vec![3, 1, 2, 4]]));
+        let mut b = m(&[vec![1, 2, 3, 4]]);
+        b.shift_col(0, 3); // move col 0 to back
+        assert_eq!(b, m(&[vec![2, 3, 4, 1]]));
+        let mut c = m(&[vec![1, 2]]);
+        c.shift_col(1, 1);
+        assert_eq!(c, m(&[vec![1, 2]]));
+    }
+
+    #[test]
+    fn blocks_and_stacking() {
+        let a = m(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        assert_eq!(a.submatrix(1, 3, 0, 2), m(&[vec![4, 5], vec![7, 8]]));
+        let top = m(&[vec![1, 2]]);
+        let bot = m(&[vec![3, 4], vec![5, 6]]);
+        assert_eq!(
+            top.vstack(&bot).unwrap(),
+            m(&[vec![1, 2], vec![3, 4], vec![5, 6]])
+        );
+        let l = m(&[vec![1], vec![2]]);
+        let r = m(&[vec![3, 4], vec![5, 6]]);
+        assert_eq!(l.hstack(&r).unwrap(), m(&[vec![1, 3, 4], vec![2, 5, 6]]));
+        assert!(l.vstack(&r).is_err());
+    }
+
+    #[test]
+    fn vstack_with_empty() {
+        let a = m(&[vec![1, 2]]);
+        let empty = IMat::zeros(0, 2);
+        assert_eq!(empty.vstack(&a).unwrap(), a);
+        assert_eq!(a.vstack(&empty).unwrap(), a);
+    }
+
+    #[test]
+    fn zero_helpers() {
+        let a = m(&[vec![0, 1, 0], vec![0, 0, 0], vec![0, 2, 0]]);
+        assert_eq!(a.zero_cols(), vec![0, 2]);
+        assert_eq!(a.drop_zero_rows(), m(&[vec![0, 1, 0], vec![0, 2, 0]]));
+        assert_eq!(IMat::zeros(2, 2).drop_zero_rows().rows(), 0);
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let a = m(&[vec![1, -20], vec![300, 4]]);
+        let s = a.to_string();
+        assert!(s.contains("[  1 -20]"));
+        assert!(s.contains("[300   4]"));
+    }
+
+    #[test]
+    fn overflow_propagates() {
+        let a = m(&[vec![i64::MAX]]);
+        assert!(a.scale(2).is_err());
+        assert!(a.add(&a).is_err());
+        let big = m(&[vec![i64::MAX], vec![i64::MAX]]);
+        let v = IVec::from_slice(&[2, 2]);
+        assert!(big.vec_mul(&v).is_err());
+    }
+}

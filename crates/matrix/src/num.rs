@@ -1,0 +1,172 @@
+//! Checked scalar arithmetic helpers.
+//!
+//! All reduction algorithms in this crate (echelon, HNF, SNF, Bareiss)
+//! funnel their scalar arithmetic through these helpers so an overflow is
+//! surfaced as [`MatrixError::Overflow`] instead of wrapping. The dependence
+//! matrices the parallelizer manipulates are tiny (entries are subscript
+//! coefficients and loop strides), but adversarial inputs and randomized
+//! property tests must not be able to corrupt a reduction silently.
+
+use crate::{MatrixError, Result};
+
+/// Checked addition.
+#[inline]
+pub fn cadd(a: i64, b: i64) -> Result<i64> {
+    a.checked_add(b).ok_or(MatrixError::Overflow)
+}
+
+/// Checked subtraction.
+#[inline]
+pub fn csub(a: i64, b: i64) -> Result<i64> {
+    a.checked_sub(b).ok_or(MatrixError::Overflow)
+}
+
+/// Checked multiplication.
+#[inline]
+pub fn cmul(a: i64, b: i64) -> Result<i64> {
+    a.checked_mul(b).ok_or(MatrixError::Overflow)
+}
+
+/// Checked negation (`-i64::MIN` overflows).
+#[inline]
+pub fn cneg(a: i64) -> Result<i64> {
+    a.checked_neg().ok_or(MatrixError::Overflow)
+}
+
+/// `a + b*c` with overflow checking, the fused kernel of every row operation.
+#[inline]
+pub fn cmuladd(a: i64, b: i64, c: i64) -> Result<i64> {
+    cadd(a, cmul(b, c)?)
+}
+
+/// Floor division: rounds toward negative infinity (Rust's `/` truncates).
+///
+/// Used when reducing entries above an HNF pivot and when computing the
+/// partitioned loop bounds of Theorem 2, where `mod` must be nonnegative.
+#[inline]
+pub fn floor_div(a: i64, b: i64) -> Result<i64> {
+    if b == 0 {
+        return Err(MatrixError::Singular);
+    }
+    let q = a.wrapping_div(b);
+    let r = a.wrapping_rem(b);
+    // Truncated toward zero; step one back when signs disagree and there is
+    // a remainder.
+    if r != 0 && ((r < 0) != (b < 0)) {
+        csub(q, 1)
+    } else if a == i64::MIN && b == -1 {
+        Err(MatrixError::Overflow)
+    } else {
+        Ok(q)
+    }
+}
+
+/// Ceiling division: rounds toward positive infinity.
+#[inline]
+pub fn ceil_div(a: i64, b: i64) -> Result<i64> {
+    if b == 0 {
+        return Err(MatrixError::Singular);
+    }
+    if a == i64::MIN && b == -1 {
+        return Err(MatrixError::Overflow);
+    }
+    let q = a.wrapping_div(b);
+    let r = a.wrapping_rem(b);
+    if r != 0 && ((r < 0) == (b < 0)) {
+        cadd(q, 1)
+    } else {
+        Ok(q)
+    }
+}
+
+/// Euclidean (always nonnegative) remainder: `a - floor_div(a,b)*b`.
+#[inline]
+pub fn emod(a: i64, b: i64) -> Result<i64> {
+    let q = floor_div(a, b)?;
+    csub(a, cmul(q, b)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        assert_eq!(cadd(i64::MAX, 1), Err(MatrixError::Overflow));
+        assert_eq!(csub(i64::MIN, 1), Err(MatrixError::Overflow));
+        assert_eq!(cmul(i64::MAX, 2), Err(MatrixError::Overflow));
+        assert_eq!(cneg(i64::MIN), Err(MatrixError::Overflow));
+        assert_eq!(cmuladd(1, i64::MAX, 2), Err(MatrixError::Overflow));
+    }
+
+    #[test]
+    fn checked_ops_pass_through() {
+        assert_eq!(cadd(2, 3).unwrap(), 5);
+        assert_eq!(csub(2, 3).unwrap(), -1);
+        assert_eq!(cmul(-4, 3).unwrap(), -12);
+        assert_eq!(cmuladd(10, -2, 3).unwrap(), 4);
+    }
+
+    #[test]
+    fn floor_div_rounds_down() {
+        assert_eq!(floor_div(7, 2).unwrap(), 3);
+        assert_eq!(floor_div(-7, 2).unwrap(), -4);
+        assert_eq!(floor_div(7, -2).unwrap(), -4);
+        assert_eq!(floor_div(-7, -2).unwrap(), 3);
+        assert_eq!(floor_div(6, 3).unwrap(), 2);
+        assert_eq!(floor_div(-6, 3).unwrap(), -2);
+    }
+
+    #[test]
+    fn ceil_div_rounds_up() {
+        assert_eq!(ceil_div(7, 2).unwrap(), 4);
+        assert_eq!(ceil_div(-7, 2).unwrap(), -3);
+        assert_eq!(ceil_div(7, -2).unwrap(), -3);
+        assert_eq!(ceil_div(-7, -2).unwrap(), 4);
+        assert_eq!(ceil_div(6, 3).unwrap(), 2);
+    }
+
+    #[test]
+    fn emod_is_nonnegative_for_positive_modulus() {
+        for a in -20..=20 {
+            for b in 1..=7 {
+                let m = emod(a, b).unwrap();
+                assert!((0..b).contains(&m), "emod({a},{b}) = {m}");
+                assert_eq!((a - m) % b, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(floor_div(1, 0).is_err());
+        assert!(ceil_div(1, 0).is_err());
+        assert!(emod(1, 0).is_err());
+    }
+
+    #[test]
+    fn division_min_by_minus_one_is_overflow() {
+        assert_eq!(floor_div(i64::MIN, -1), Err(MatrixError::Overflow));
+        assert_eq!(ceil_div(i64::MIN, -1), Err(MatrixError::Overflow));
+    }
+
+    #[test]
+    fn floor_ceil_consistent_with_exact_division() {
+        for a in -30..=30 {
+            for b in [-5, -2, -1, 1, 2, 5] {
+                let f = floor_div(a, b).unwrap();
+                let c = ceil_div(a, b).unwrap();
+                if b > 0 {
+                    assert!(f * b <= a && a < (f + 1) * b, "floor({a},{b})={f}");
+                } else {
+                    assert!(f * b >= a && a > (f + 1) * b, "floor({a},{b})={f}");
+                }
+                if a % b == 0 {
+                    assert_eq!(f, c);
+                } else {
+                    assert_eq!(c, f + 1);
+                }
+            }
+        }
+    }
+}

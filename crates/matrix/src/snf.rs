@@ -1,0 +1,241 @@
+//! Smith normal form `U·A·V = D`.
+//!
+//! The SNF diagonalizes an integer matrix by unimodular row *and* column
+//! operations, with each diagonal entry dividing the next. It is the
+//! natural tool for counting lattice quotients (`Zⁿ/L ≅ ⊕ Z/dᵢZ`), used by
+//! the baseline uniformization method and as an independent oracle for the
+//! partition count `det(H)` in property tests.
+
+use crate::mat::IMat;
+use crate::num::floor_div;
+use crate::Result;
+
+/// Outcome of a Smith normal form computation: `u * a * v == d`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snf {
+    /// Unimodular row transform (`m × m`).
+    pub u: IMat,
+    /// Unimodular column transform (`n × n`).
+    pub v: IMat,
+    /// The diagonal form (`m × n`), nonnegative diagonal, `dᵢ | dᵢ₊₁`.
+    pub d: IMat,
+    /// Number of nonzero diagonal entries (the rank).
+    pub rank: usize,
+}
+
+/// Compute the Smith normal form of `a`.
+pub fn smith_normal_form(a: &IMat) -> Result<Snf> {
+    let m = a.rows();
+    let n = a.cols();
+    let mut d = a.clone();
+    let mut u = IMat::identity(m);
+    let mut v = IMat::identity(n);
+
+    let dim = m.min(n);
+    for k in 0..dim {
+        loop {
+            // Find the entry with minimal nonzero |value| in the trailing
+            // block and bring it to (k, k).
+            let mut best: Option<(usize, usize, i64)> = None;
+            for r in k..m {
+                for c in k..n {
+                    let x = d.get(r, c);
+                    if x != 0 && best.map_or(true, |(_, _, bv)| x.abs() < bv.abs()) {
+                        best = Some((r, c, x));
+                    }
+                }
+            }
+            let Some((br, bc, _)) = best else {
+                // Trailing block is zero: done.
+                return finish(u, v, d, k);
+            };
+            if br != k {
+                d.swap_rows(k, br);
+                u.swap_rows(k, br);
+            }
+            if bc != k {
+                d.swap_cols(k, bc);
+                v.swap_cols(k, bc);
+            }
+            let pivot = d.get(k, k);
+
+            // Clear the rest of column k.
+            let mut dirty = false;
+            for r in k + 1..m {
+                let x = d.get(r, k);
+                if x != 0 {
+                    let q = floor_div(x, pivot)?;
+                    if q != 0 {
+                        d.add_scaled_row(r, -q, k)?;
+                        u.add_scaled_row(r, -q, k)?;
+                    }
+                    if d.get(r, k) != 0 {
+                        dirty = true;
+                    }
+                }
+            }
+            if dirty {
+                continue;
+            }
+            // Clear the rest of row k.
+            for c in k + 1..n {
+                let x = d.get(k, c);
+                if x != 0 {
+                    let q = floor_div(x, pivot)?;
+                    if q != 0 {
+                        d.add_scaled_col(c, -q, k)?;
+                        v.add_scaled_col(c, -q, k)?;
+                    }
+                    if d.get(k, c) != 0 {
+                        dirty = true;
+                    }
+                }
+            }
+            if dirty {
+                continue;
+            }
+
+            // Divisibility repair: pivot must divide every trailing entry.
+            let p = d.get(k, k);
+            let mut fixed = true;
+            'scan: for r in k + 1..m {
+                for c in k + 1..n {
+                    if d.get(r, c) % p != 0 {
+                        // Add row r to row k, which reintroduces a smaller
+                        // remainder in the trailing block next iteration.
+                        d.add_scaled_row(k, 1, r)?;
+                        u.add_scaled_row(k, 1, r)?;
+                        fixed = false;
+                        break 'scan;
+                    }
+                }
+            }
+            if fixed {
+                if d.get(k, k) < 0 {
+                    d.negate_row(k)?;
+                    u.negate_row(k)?;
+                }
+                break;
+            }
+        }
+    }
+    let rank = (0..dim).take_while(|&k| d.get(k, k) != 0).count();
+    finish(u, v, d, rank)
+}
+
+fn finish(u: IMat, v: IMat, mut d: IMat, rank: usize) -> Result<Snf> {
+    // Normalize signs of any diagonal survivors.
+    for k in 0..rank.min(d.rows()).min(d.cols()) {
+        if d.get(k, k) < 0 {
+            d.negate_row(k)?;
+            // Sign fix must also flow into u; but `finish` receives u by
+            // value so rebuild is needed. Callers only reach here with
+            // nonnegative diagonals except through the early return, where
+            // the invariant also holds, so this branch is defensive.
+            unreachable!("diagonal entries are normalized before finish");
+        }
+    }
+    Ok(Snf { u, v, d, rank })
+}
+
+/// The invariant factors (nonzero diagonal entries) of `a`.
+pub fn invariant_factors(a: &IMat) -> Result<Vec<i64>> {
+    let s = smith_normal_form(a)?;
+    Ok((0..s.rank).map(|k| s.d.get(k, k)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det::det;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    fn check(a: &IMat) -> Snf {
+        let s = smith_normal_form(a).unwrap();
+        assert_eq!(
+            s.u.mul(a).unwrap().mul(&s.v).unwrap(),
+            s.d,
+            "U*A*V != D for\n{a}"
+        );
+        assert_eq!(det(&s.u).unwrap().abs(), 1, "U not unimodular");
+        assert_eq!(det(&s.v).unwrap().abs(), 1, "V not unimodular");
+        // Diagonal, nonnegative, divisibility chain.
+        for r in 0..s.d.rows() {
+            for c in 0..s.d.cols() {
+                if r != c {
+                    assert_eq!(s.d.get(r, c), 0, "off-diagonal in D");
+                }
+            }
+        }
+        let diag: Vec<i64> = (0..s.d.rows().min(s.d.cols()))
+            .map(|k| s.d.get(k, k))
+            .collect();
+        for w in diag.windows(2) {
+            if w[1] != 0 {
+                assert_ne!(w[0], 0, "zero before nonzero on diagonal");
+                assert_eq!(w[1] % w[0], 0, "divisibility {} | {} fails", w[0], w[1]);
+            }
+        }
+        assert!(diag.iter().all(|&x| x >= 0));
+        s
+    }
+
+    #[test]
+    fn known_forms() {
+        let s = check(&m(&[vec![2, 4], vec![6, 8]]));
+        assert_eq!(invariant_factors(&m(&[vec![2, 4], vec![6, 8]])).unwrap(), vec![2, 4]);
+        assert_eq!(s.rank, 2);
+
+        let s2 = check(&m(&[vec![2, 1], vec![0, 2]]));
+        // det 4, gcd of entries 1 -> factors 1, 4.
+        assert_eq!(
+            invariant_factors(&m(&[vec![2, 1], vec![0, 2]])).unwrap(),
+            vec![1, 4]
+        );
+        assert_eq!(s2.rank, 2);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let s = check(&IMat::identity(3));
+        assert_eq!(s.rank, 3);
+        let z = check(&IMat::zeros(2, 3));
+        assert_eq!(z.rank, 0);
+    }
+
+    #[test]
+    fn rectangular() {
+        check(&m(&[vec![2, 4, 6]]));
+        check(&m(&[vec![3], vec![6], vec![9]]));
+        let s = smith_normal_form(&m(&[vec![2, 4, 6]])).unwrap();
+        assert_eq!(s.d.get(0, 0), 2);
+    }
+
+    #[test]
+    fn det_preserved_up_to_sign() {
+        let a = m(&[vec![2, 1], vec![1, 3]]);
+        let s = check(&a);
+        let prod: i64 = (0..2).map(|k| s.d.get(k, k)).product();
+        assert_eq!(prod, det(&a).unwrap().abs());
+    }
+
+    #[test]
+    fn randomized_snf_invariants() {
+        let mut state = 0x0123456789ABCDEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 13) as i64 - 6
+        };
+        for _ in 0..120 {
+            let rows = 1 + (next().unsigned_abs() as usize % 4);
+            let cols = 1 + (next().unsigned_abs() as usize % 4);
+            let data: Vec<i64> = (0..rows * cols).map(|_| next()).collect();
+            check(&IMat::from_flat(rows, cols, &data).unwrap());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Linear diophantine systems `x·A = c` (eq. 2.6–2.10 of the paper).
+//!
+//! The dependence equations of a reference pair form exactly such a system:
+//! `x = (i, j)` is the concatenated pair of iteration vectors and `A` stacks
+//! the subscript coefficient matrices. The solution method is the paper's:
+//! reduce `A` to row echelon `E = U·A`; then `x·A = c ⇔ t·E = c` with
+//! `t = x·U⁻¹`, and `t` splits into `rank` *determined* components (forward
+//! substitution, each division must be exact or there is **no dependence**)
+//! and `m − rank` *free* components. Back in `x`-space the general solution
+//! is `x = t_det·U_det + span_Z(rows of U_free)`.
+
+use crate::echelon::row_echelon;
+use crate::mat::IMat;
+use crate::vec::IVec;
+use crate::{MatrixError, Result};
+
+/// General solution of `x·A = c` over the integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DioSolution {
+    /// One particular solution `x₀` (dimension = rows of `A`).
+    pub particular: IVec,
+    /// Basis of the homogeneous solution lattice, one row per free
+    /// variable (`(m − rank) × m`). Every solution is
+    /// `x₀ + z·basis` for `z ∈ Z^{m−rank}`.
+    pub basis: IMat,
+    /// Rank of `A` (number of determined components).
+    pub rank: usize,
+    /// The fixed components `t₁..t_r` of the transformed unknown `t`
+    /// (useful for deriving the constant part of distance vectors).
+    pub t_fixed: IVec,
+    /// The unimodular `U` of the echelon reduction `U·A = E`.
+    pub u: IMat,
+}
+
+/// Solve `x·A = c` over `Z`.
+///
+/// Returns `Ok(None)` when the system has no integer solution (the GCD/
+/// exact-division test fails during forward substitution) — i.e. the two
+/// references can never touch the same element and there is no dependence.
+pub fn solve_dio(a: &IMat, c: &IVec) -> Result<Option<DioSolution>> {
+    if c.dim() != a.cols() {
+        return Err(MatrixError::DimMismatch {
+            op: "solve_dio",
+            lhs: (a.rows(), a.cols()),
+            rhs: (1, c.dim()),
+        });
+    }
+    let m = a.rows();
+    let red = row_echelon(a)?;
+    let e = &red.echelon;
+    let r = red.rank;
+
+    // Forward substitution on t·E = c using the strictly increasing levels.
+    let mut residual = c.clone();
+    let mut t_fixed = IVec::zeros(r);
+    for j in 0..r {
+        let row = e.row_vec(j);
+        let lj = row.level().expect("nonzero row inside rank");
+        let pivot = e.get(j, lj);
+        let rhs = residual[lj];
+        if rhs % pivot != 0 {
+            return Ok(None); // no integer solution => no dependence
+        }
+        let tj = rhs / pivot;
+        t_fixed[j] = tj;
+        if tj != 0 {
+            residual = residual.add_scaled(-tj, &row)?;
+        }
+    }
+    if !residual.is_zero() {
+        return Ok(None); // inconsistent system
+    }
+
+    // x = t·U: particular solution uses (t_fixed, 0), homogeneous basis is
+    // the free rows of U.
+    let mut particular = IVec::zeros(m);
+    for j in 0..r {
+        if t_fixed[j] != 0 {
+            particular = particular.add_scaled(t_fixed[j], &red.u.row_vec(j))?;
+        }
+    }
+    let basis = red.u.submatrix(r, m, 0, m);
+
+    Ok(Some(DioSolution {
+        particular,
+        basis,
+        rank: r,
+        t_fixed,
+        u: red.u,
+    }))
+}
+
+/// Does `x·A = c` admit any integer solution? (Exact multi-dimensional GCD
+/// test.)
+pub fn has_integer_solution(a: &IMat, c: &IVec) -> Result<bool> {
+    Ok(solve_dio(a, c)?.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<i64>]) -> IMat {
+        IMat::from_rows(rows).unwrap()
+    }
+
+    fn verify_solution(a: &IMat, c: &IVec, s: &DioSolution) {
+        // Particular solution satisfies the system.
+        assert_eq!(&a.vec_mul(&s.particular).unwrap(), c);
+        // Every basis row is homogeneous.
+        for k in 0..s.basis.rows() {
+            let xr = s.basis.row_vec(k);
+            assert!(
+                a.vec_mul(&xr).unwrap().is_zero(),
+                "basis row {k} not homogeneous"
+            );
+        }
+        assert_eq!(s.basis.rows(), a.rows() - s.rank);
+    }
+
+    #[test]
+    fn single_equation_gcd_behaviour() {
+        // 2x + 4y = 6 has solutions; 2x + 4y = 3 does not.
+        let a = m(&[vec![2], vec![4]]);
+        let s = solve_dio(&a, &IVec::from_slice(&[6])).unwrap().unwrap();
+        verify_solution(&a, &IVec::from_slice(&[6]), &s);
+        assert!(solve_dio(&a, &IVec::from_slice(&[3])).unwrap().is_none());
+    }
+
+    #[test]
+    fn paper_4_1_flow_dependence_system() {
+        // §4.1: A(i1+i2, 3i1+i2+3) written, A(i1+i2+1, i1+2i2) read.
+        // x·M = c with x = (i1,i2,j1,j2), M rows = [A1; -A2], c = b2 - b1.
+        let a = m(&[
+            vec![1, 3],
+            vec![1, 1],
+            vec![-1, -1],
+            vec![-1, -2],
+        ]);
+        let c = IVec::from_slice(&[1, -3]);
+        let s = solve_dio(&a, &c).unwrap().expect("dependence exists");
+        verify_solution(&a, &c, &s);
+        // Two free variables (rank 2, m=4).
+        assert_eq!(s.rank, 2);
+        assert_eq!(s.basis.rows(), 2);
+    }
+
+    #[test]
+    fn inconsistent_full_rank_system() {
+        // x·I = c is always solvable; over-determined columns may not be.
+        let a = m(&[vec![1, 1]]); // x * (1 1) = (c0, c1) needs c0 == c1
+        assert!(solve_dio(&a, &IVec::from_slice(&[2, 2])).unwrap().is_some());
+        assert!(solve_dio(&a, &IVec::from_slice(&[2, 3])).unwrap().is_none());
+    }
+
+    #[test]
+    fn zero_matrix_cases() {
+        let a = IMat::zeros(2, 2);
+        // 0 = 0: every x is a solution; basis spans Z^2.
+        let s = solve_dio(&a, &IVec::zeros(2)).unwrap().unwrap();
+        assert_eq!(s.rank, 0);
+        assert_eq!(s.basis.rows(), 2);
+        // 0 = c != 0: none.
+        assert!(solve_dio(&a, &IVec::from_slice(&[1, 0])).unwrap().is_none());
+    }
+
+    #[test]
+    fn dim_mismatch_is_reported() {
+        let a = IMat::zeros(2, 2);
+        assert!(matches!(
+            solve_dio(&a, &IVec::zeros(3)),
+            Err(MatrixError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn general_solution_sweep_matches_brute_force() {
+        // Small system: enumerate all x in [-6,6]^3 satisfying x·A = c and
+        // check each is particular + integer combination of basis rows.
+        let a = m(&[vec![1, 2], vec![2, 1], vec![3, 3]]);
+        let c = IVec::from_slice(&[3, 3]);
+        let s = solve_dio(&a, &c).unwrap().unwrap();
+        verify_solution(&a, &c, &s);
+        let lat = crate::lattice::Lattice::from_generators(&s.basis).unwrap();
+        for x in crate::lex::small_vectors(3, 6) {
+            let xv = IVec(x);
+            if a.vec_mul(&xv).unwrap() == c {
+                let diff = xv.sub(&s.particular).unwrap();
+                assert!(
+                    lat.contains(&diff).unwrap(),
+                    "solution {xv} not represented"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_solutions_verify() {
+        let mut state = 0xABCDEF0123456789u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 9) as i64 - 4
+        };
+        for _ in 0..200 {
+            let rows = 1 + (next().unsigned_abs() as usize % 4);
+            let cols = 1 + (next().unsigned_abs() as usize % 3);
+            let data: Vec<i64> = (0..rows * cols).map(|_| next()).collect();
+            let a = IMat::from_flat(rows, cols, &data).unwrap();
+            // Construct a solvable rhs from a random x.
+            let x: IVec = (0..rows).map(|_| next()).collect();
+            let c = a.vec_mul(&x).unwrap();
+            let s = solve_dio(&a, &c).unwrap().expect("constructed solvable");
+            verify_solution(&a, &c, &s);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Integer row vectors.
+//!
+//! `IVec` is a thin, owned wrapper over `Vec<i64>` with the exact-arithmetic
+//! operations dependence analysis needs: checked add/sub/scale, dot products
+//! accumulated in `i128`, and the *leading element / level* terminology of
+//! the paper (the level of a row is the index of its first nonzero entry,
+//! which drives echelon-form bookkeeping and lexicographic reasoning).
+
+use crate::num::{cadd, cmul, cneg, csub};
+use crate::{MatrixError, Result};
+use std::fmt;
+use std::ops::{Deref, Index, IndexMut};
+
+/// An owned integer row vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct IVec(pub Vec<i64>);
+
+impl IVec {
+    /// A zero vector of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        IVec(vec![0; n])
+    }
+
+    /// The `i`-th standard basis row vector of dimension `n`.
+    pub fn unit(n: usize, i: usize) -> Self {
+        let mut v = vec![0; n];
+        v[i] = 1;
+        IVec(v)
+    }
+
+    /// Build from a slice.
+    pub fn from_slice(xs: &[i64]) -> Self {
+        IVec(xs.to_vec())
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is every component zero?
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&x| x == 0)
+    }
+
+    /// The *leading element*: value of the first nonzero component.
+    pub fn leading(&self) -> Option<i64> {
+        self.0.iter().copied().find(|&x| x != 0)
+    }
+
+    /// The *level*: index of the first nonzero component (`None` if zero).
+    ///
+    /// Matches the paper's definition: the level of row `h` is the index of
+    /// its leading element.
+    pub fn level(&self) -> Option<usize> {
+        self.0.iter().position(|&x| x != 0)
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &IVec) -> Result<IVec> {
+        self.zip_with(other, cadd, "vec add")
+    }
+
+    /// Component-wise difference.
+    pub fn sub(&self, other: &IVec) -> Result<IVec> {
+        self.zip_with(other, csub, "vec sub")
+    }
+
+    /// Scale every component by `k`.
+    pub fn scale(&self, k: i64) -> Result<IVec> {
+        self.0.iter().map(|&x| cmul(x, k)).collect::<Result<_>>().map(IVec)
+    }
+
+    /// Negate every component.
+    pub fn neg(&self) -> Result<IVec> {
+        self.0.iter().map(|&x| cneg(x)).collect::<Result<_>>().map(IVec)
+    }
+
+    /// `self + k * other`, the fused row-operation kernel.
+    pub fn add_scaled(&self, k: i64, other: &IVec) -> Result<IVec> {
+        if self.dim() != other.dim() {
+            return Err(MatrixError::DimMismatch {
+                op: "add_scaled",
+                lhs: (1, self.dim()),
+                rhs: (1, other.dim()),
+            });
+        }
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| crate::num::cmuladd(a, k, b))
+            .collect::<Result<_>>()
+            .map(IVec)
+    }
+
+    /// Dot product, accumulated in `i128` and checked on the way out.
+    pub fn dot(&self, other: &IVec) -> Result<i64> {
+        if self.dim() != other.dim() {
+            return Err(MatrixError::DimMismatch {
+                op: "dot",
+                lhs: (1, self.dim()),
+                rhs: (1, other.dim()),
+            });
+        }
+        let acc: i128 = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| a as i128 * b as i128)
+            .sum();
+        i64::try_from(acc).map_err(|_| MatrixError::Overflow)
+    }
+
+    /// GCD of all components (0 for the zero vector).
+    pub fn content(&self) -> i64 {
+        crate::gcd::gcd_slice(&self.0)
+    }
+
+    /// Divide every component by `d`, which must divide them all exactly.
+    pub fn exact_div(&self, d: i64) -> Result<IVec> {
+        if d == 0 {
+            return Err(MatrixError::Singular);
+        }
+        self.0
+            .iter()
+            .map(|&x| {
+                if x % d == 0 {
+                    Ok(x / d)
+                } else {
+                    Err(MatrixError::NoIntegerSolution)
+                }
+            })
+            .collect::<Result<_>>()
+            .map(IVec)
+    }
+
+    /// Access the underlying slice.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.0
+    }
+
+    fn zip_with(
+        &self,
+        other: &IVec,
+        f: impl Fn(i64, i64) -> Result<i64>,
+        op: &'static str,
+    ) -> Result<IVec> {
+        if self.dim() != other.dim() {
+            return Err(MatrixError::DimMismatch {
+                op,
+                lhs: (1, self.dim()),
+                rhs: (1, other.dim()),
+            });
+        }
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| f(a, b))
+            .collect::<Result<_>>()
+            .map(IVec)
+    }
+}
+
+impl Deref for IVec {
+    type Target = [i64];
+    fn deref(&self) -> &[i64] {
+        &self.0
+    }
+}
+
+impl Index<usize> for IVec {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for IVec {
+    fn index_mut(&mut self, i: usize) -> &mut i64 {
+        &mut self.0[i]
+    }
+}
+
+impl From<Vec<i64>> for IVec {
+    fn from(v: Vec<i64>) -> Self {
+        IVec(v)
+    }
+}
+
+impl FromIterator<i64> for IVec {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        IVec(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for IVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = IVec::from_slice(&[0, 0, -3, 1]);
+        assert_eq!(v.dim(), 4);
+        assert!(!v.is_zero());
+        assert_eq!(v.leading(), Some(-3));
+        assert_eq!(v.level(), Some(2));
+        assert_eq!(v[2], -3);
+        assert!(IVec::zeros(3).is_zero());
+        assert_eq!(IVec::zeros(3).level(), None);
+        assert_eq!(IVec::unit(3, 1).as_slice(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = IVec::from_slice(&[1, 2, 3]);
+        let b = IVec::from_slice(&[4, -5, 6]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5, -3, 9]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-3, 7, -3]);
+        assert_eq!(a.scale(-2).unwrap().as_slice(), &[-2, -4, -6]);
+        assert_eq!(a.neg().unwrap().as_slice(), &[-1, -2, -3]);
+        assert_eq!(a.add_scaled(2, &b).unwrap().as_slice(), &[9, -8, 15]);
+        assert_eq!(a.dot(&b).unwrap(), 4 - 10 + 18);
+    }
+
+    #[test]
+    fn dim_mismatch_reported() {
+        let a = IVec::from_slice(&[1, 2]);
+        let b = IVec::from_slice(&[1]);
+        assert!(matches!(a.add(&b), Err(MatrixError::DimMismatch { .. })));
+        assert!(matches!(a.dot(&b), Err(MatrixError::DimMismatch { .. })));
+    }
+
+    #[test]
+    fn dot_overflow_detected() {
+        let a = IVec::from_slice(&[i64::MAX, i64::MAX]);
+        let b = IVec::from_slice(&[2, 2]);
+        assert_eq!(a.dot(&b), Err(MatrixError::Overflow));
+    }
+
+    #[test]
+    fn dot_large_intermediate_ok() {
+        // Intermediate products overflow i64 but the sum fits.
+        let a = IVec::from_slice(&[i64::MAX / 2, -(i64::MAX / 2)]);
+        let b = IVec::from_slice(&[2, 2]);
+        assert_eq!(a.dot(&b).unwrap(), 0);
+    }
+
+    #[test]
+    fn content_and_exact_div() {
+        let v = IVec::from_slice(&[6, -9, 12]);
+        assert_eq!(v.content(), 3);
+        assert_eq!(v.exact_div(3).unwrap().as_slice(), &[2, -3, 4]);
+        assert_eq!(v.exact_div(4), Err(MatrixError::NoIntegerSolution));
+        assert_eq!(v.exact_div(0), Err(MatrixError::Singular));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(IVec::from_slice(&[1, -2]).to_string(), "(1, -2)");
+        assert_eq!(IVec::zeros(0).to_string(), "()");
+    }
+}

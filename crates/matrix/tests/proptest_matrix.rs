@@ -1,0 +1,183 @@
+//! Property-based tests for the exact linear algebra kernel.
+//!
+//! These exercise the algebraic laws that the dependence analysis relies
+//! on: reductions must be exact factorizations, normal forms must be
+//! canonical, and lattice predicates must agree with brute force.
+
+use pdm_matrix::det::{det, is_unimodular};
+use pdm_matrix::echelon::row_echelon;
+use pdm_matrix::hnf::{hermite_normal_form, is_hnf};
+use pdm_matrix::lattice::Lattice;
+use pdm_matrix::lex::{is_echelon, is_lex_positive, lex_cmp, small_vectors};
+use pdm_matrix::snf::smith_normal_form;
+use pdm_matrix::solve::solve_dio;
+use pdm_matrix::{IMat, IVec, Unimodular};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with entries in [-9, 9].
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = IMat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-9i64..=9, r * c)
+            .prop_map(move |data| IMat::from_flat(r, c, &data).unwrap())
+    })
+}
+
+/// Strategy: a small unimodular matrix built as a product of elementary
+/// transformations (always |det| = 1 by construction).
+fn small_unimodular(n: usize) -> impl Strategy<Value = Unimodular> {
+    proptest::collection::vec((0..n, 0..n, -3i64..=3, 0..3u8), 0..8).prop_map(move |ops| {
+        let mut t = Unimodular::identity(n);
+        for (i, j, k, kind) in ops {
+            let step = match kind {
+                0 if i != j => Unimodular::skewing(n, i, j, k).unwrap(),
+                1 => Unimodular::interchange(n, i, j).unwrap(),
+                _ => Unimodular::reversal(n, i).unwrap(),
+            };
+            t = t.compose(&step).unwrap();
+        }
+        t
+    })
+}
+
+proptest! {
+    #[test]
+    fn echelon_is_exact_factorization(a in small_matrix(5)) {
+        let r = row_echelon(&a).unwrap();
+        prop_assert_eq!(r.u.mul(&a).unwrap(), r.echelon.clone());
+        prop_assert!(is_echelon(&r.echelon));
+        prop_assert!(is_unimodular(&r.u));
+    }
+
+    #[test]
+    fn hnf_is_canonical_under_unimodular_premultiplication(
+        a in small_matrix(4),
+        seed in 0u64..1000,
+    ) {
+        // Premultiplying by any unimodular W preserves the row lattice,
+        // hence the HNF.
+        let m = a.rows();
+        let mut w = IMat::identity(m);
+        // Cheap deterministic unimodular from the seed.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..4 {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let i = (s as usize) % m;
+            let j = (s as usize / 7) % m;
+            let k = (s % 5) as i64 - 2;
+            if i != j {
+                w.add_scaled_row(i, k, j).unwrap();
+            }
+        }
+        let wa = w.mul(&a).unwrap();
+        let h1 = hermite_normal_form(&a).unwrap().hnf;
+        let h2 = hermite_normal_form(&wa).unwrap().hnf;
+        prop_assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn hnf_spans_same_lattice(a in small_matrix(4)) {
+        let h = hermite_normal_form(&a).unwrap();
+        prop_assert!(is_hnf(&h.hnf));
+        let orig = Lattice::from_generators(&a).unwrap();
+        let canon = Lattice::from_generators(&h.hnf).unwrap();
+        prop_assert!(orig.includes(&canon).unwrap());
+        prop_assert!(canon.includes(&orig).unwrap());
+    }
+
+    #[test]
+    fn snf_diagonal_products_match_det(
+        data in proptest::collection::vec(-6i64..=6, 9)
+    ) {
+        let a = IMat::from_flat(3, 3, &data).unwrap();
+        let s = smith_normal_form(&a).unwrap();
+        let prod: i64 = (0..3).map(|k| s.d.get(k, k)).product();
+        prop_assert_eq!(prod, det(&a).unwrap().abs());
+    }
+
+    #[test]
+    fn solve_dio_agrees_with_brute_force(
+        data in proptest::collection::vec(-4i64..=4, 6),
+        c0 in -6i64..=6,
+        c1 in -6i64..=6,
+    ) {
+        let a = IMat::from_flat(3, 2, &data).unwrap();
+        let c = IVec::from_slice(&[c0, c1]);
+        let sol = solve_dio(&a, &c).unwrap();
+        // Brute-force search in a ball; if we find a witness, the solver
+        // must have too (completeness on the ball).
+        let witness = small_vectors(3, 6)
+            .find(|x| a.vec_mul(&IVec::from_slice(x)).unwrap() == c);
+        if witness.is_some() {
+            prop_assert!(sol.is_some(), "solver missed a witnessed solution");
+        }
+        if let Some(s) = sol {
+            prop_assert_eq!(a.vec_mul(&s.particular).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn unimodular_inverse_is_exact(t in small_unimodular(4)) {
+        let inv = t.inverse().unwrap();
+        prop_assert_eq!(t.mat().mul(inv.mat()).unwrap(), IMat::identity(4));
+        prop_assert_eq!(inv.mat().mul(t.mat()).unwrap(), IMat::identity(4));
+    }
+
+    #[test]
+    fn unimodular_preserves_lattice_index(t in small_unimodular(3)) {
+        // A unimodular image of Z^3 under any full-rank lattice keeps the
+        // index: [Z^n : L] == [Z^n : L·T].
+        let lat = Lattice::from_generators(
+            &IMat::from_rows(&[vec![2, 1, 0], vec![0, 3, 1], vec![0, 0, 2]]).unwrap(),
+        ).unwrap();
+        let img = lat.transform(t.mat()).unwrap();
+        prop_assert_eq!(img.index().map(i64::abs), lat.index());
+    }
+
+    #[test]
+    fn lex_cmp_total_order(
+        a in proptest::collection::vec(-5i64..=5, 4),
+        b in proptest::collection::vec(-5i64..=5, 4),
+        c in proptest::collection::vec(-5i64..=5, 4),
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(lex_cmp(&a, &b), lex_cmp(&b, &a).reverse());
+        // Transitivity (on this triple).
+        if lex_cmp(&a, &b) != Ordering::Greater && lex_cmp(&b, &c) != Ordering::Greater {
+            prop_assert_ne!(lex_cmp(&a, &c), Ordering::Greater);
+        }
+        // Sign predicate consistency: v > 0 lexicographically iff 0 < v.
+        let zero = vec![0i64; 4];
+        prop_assert_eq!(is_lex_positive(&a), lex_cmp(&zero, &a) == Ordering::Less);
+    }
+
+    #[test]
+    fn lattice_join_includes_both(a in small_matrix(3), b in small_matrix(3)) {
+        prop_assume!(a.cols() == b.cols());
+        let la = Lattice::from_generators(&a).unwrap();
+        let lb = Lattice::from_generators(&b).unwrap();
+        let j = la.join(&lb).unwrap();
+        prop_assert!(j.includes(&la).unwrap());
+        prop_assert!(j.includes(&lb).unwrap());
+    }
+
+    #[test]
+    fn lattice_membership_closed_under_addition(
+        g in small_matrix(3),
+        x in proptest::collection::vec(-3i64..=3, 3),
+        y in proptest::collection::vec(-3i64..=3, 3),
+    ) {
+        prop_assume!(g.cols() == 3);
+        let lat = Lattice::from_generators(&g).unwrap();
+        // Members built from coordinate vectors are members, and so are
+        // their sums (closure under addition).
+        let coords = |src: &[i64]| -> IVec {
+            src.iter().copied().chain(std::iter::repeat(0)).take(lat.rank()).collect()
+        };
+        let a_ = lat.basis().vec_mul(&coords(&x)).unwrap();
+        let b_ = lat.basis().vec_mul(&coords(&y)).unwrap();
+        prop_assert!(lat.contains(&a_).unwrap());
+        prop_assert!(lat.contains(&b_).unwrap());
+        prop_assert!(lat.contains(&a_.add(&b_).unwrap()).unwrap());
+    }
+}

@@ -1,0 +1,353 @@
+//! Per-level loop bounds extracted by Fourier–Motzkin elimination.
+//!
+//! Given a polyhedron over loop indices `x_0 … x_{n−1}` (outermost first),
+//! eliminate variables innermost-outward. The constraints of the system in
+//! which `x_k` is the innermost surviving variable yield the bounds of loop
+//! `k` as functions of `x_0 … x_{k−1}` only:
+//!
+//! ```text
+//! a·x_k + e(x_outer) ≥ 0, a > 0   ⇒   x_k ≥ ⌈ −e / a ⌉   (lower)
+//! a·x_k + e(x_outer) ≥ 0, a < 0   ⇒   x_k ≤ ⌊ e / −a ⌋   (upper)
+//! ```
+//!
+//! The effective bound is the `max` of all lowers / `min` of all uppers —
+//! exactly the `max(…, ⌈…⌉)` / `min(…, ⌊…⌋)` bounds in the paper's
+//! transformed loops of §4.1.
+
+use crate::expr::AffineExpr;
+use crate::fm::eliminate;
+use crate::system::System;
+use pdm_matrix::num::{ceil_div, floor_div};
+use pdm_matrix::{MatrixError, Result};
+
+/// One side of a loop bound: the rational expression `num / den` with
+/// `den > 0`, to be rounded up (lower bounds) or down (upper bounds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundExpr {
+    /// Numerator, an affine expression over the *outer* variables.
+    pub num: AffineExpr,
+    /// Positive denominator.
+    pub den: i64,
+}
+
+impl BoundExpr {
+    /// Evaluate as a lower bound: `⌈ num(x) / den ⌉`.
+    pub fn eval_lower(&self, x: &[i64]) -> Result<i64> {
+        ceil_div(self.num.eval(x)?, self.den)
+    }
+
+    /// Evaluate as an upper bound: `⌊ num(x) / den ⌋`.
+    pub fn eval_upper(&self, x: &[i64]) -> Result<i64> {
+        floor_div(self.num.eval(x)?, self.den)
+    }
+
+    /// Render as source text (`ceil`/`floor` spelled only when `den > 1`).
+    pub fn display_with(&self, names: &[String], lower: bool) -> String {
+        let inner = self.num.display_with(names);
+        if self.den == 1 {
+            inner
+        } else if lower {
+            format!("ceil(({inner})/{})", self.den)
+        } else {
+            format!("floor(({inner})/{})", self.den)
+        }
+    }
+}
+
+/// The bounds of one loop level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelBounds {
+    /// Lower bound candidates (effective bound = max of all).
+    pub lowers: Vec<BoundExpr>,
+    /// Upper bound candidates (effective bound = min of all).
+    pub uppers: Vec<BoundExpr>,
+}
+
+impl LevelBounds {
+    /// Effective lower bound at the given outer-index prefix. The prefix
+    /// slice must be padded to full dimension (inner entries are ignored
+    /// because their coefficients are zero).
+    pub fn lower(&self, x: &[i64]) -> Result<i64> {
+        let mut best: Option<i64> = None;
+        for b in &self.lowers {
+            let v = b.eval_lower(x)?;
+            best = Some(best.map_or(v, |c: i64| c.max(v)));
+        }
+        best.ok_or(MatrixError::Unbounded)
+    }
+
+    /// Effective upper bound at the given outer-index prefix.
+    pub fn upper(&self, x: &[i64]) -> Result<i64> {
+        let mut best: Option<i64> = None;
+        for b in &self.uppers {
+            let v = b.eval_upper(x)?;
+            best = Some(best.map_or(v, |c: i64| c.min(v)));
+        }
+        best.ok_or(MatrixError::Unbounded)
+    }
+}
+
+/// Loop bounds for every level of a nest, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopBounds {
+    dim: usize,
+    levels: Vec<LevelBounds>,
+}
+
+impl LoopBounds {
+    /// Derive bounds for all levels from the constraint system by
+    /// Fourier–Motzkin elimination (innermost variable first).
+    pub fn from_system(sys: &System) -> Result<LoopBounds> {
+        let n = sys.dim();
+        let mut levels: Vec<LevelBounds> = Vec::with_capacity(n);
+        let mut cur = sys.clone();
+        let mut infeasible = false;
+        // Walk from the innermost level to the outermost, recording the
+        // bounds of x_k before eliminating it.
+        let mut collected: Vec<LevelBounds> = Vec::with_capacity(n);
+        for k in (0..n).rev() {
+            infeasible |= cur.has_constant_contradiction();
+            let mut lowers = Vec::new();
+            let mut uppers = Vec::new();
+            for e in cur.constraints() {
+                let a = e.coeff(k);
+                if a == 0 {
+                    continue;
+                }
+                // Strip the x_k term: rest = e - a*x_k.
+                let mut rest = e.clone();
+                rest.coeffs[k] = 0;
+                if a > 0 {
+                    // x_k >= ceil(-rest / a)
+                    lowers.push(BoundExpr {
+                        num: rest.scale(-1)?,
+                        den: a,
+                    });
+                } else {
+                    // x_k <= floor(rest / -a)
+                    uppers.push(BoundExpr {
+                        num: rest,
+                        den: -a,
+                    });
+                }
+            }
+            collected.push(LevelBounds { lowers, uppers });
+            cur = eliminate(&cur, k)?;
+        }
+        infeasible |= cur.has_constant_contradiction();
+        collected.reverse();
+        levels.extend(collected);
+        if infeasible && n > 0 {
+            // A constant contradiction anywhere makes the whole space
+            // empty. Encode that as an always-empty outermost range
+            // (lower 1 > upper 0) so every consumer sees zero points
+            // without special cases.
+            levels[0].lowers.push(BoundExpr {
+                num: AffineExpr::constant(n, 1),
+                den: 1,
+            });
+            levels[0].uppers.push(BoundExpr {
+                num: AffineExpr::constant(n, 0),
+                den: 1,
+            });
+        }
+        Ok(LoopBounds { dim: n, levels })
+    }
+
+    /// Number of loop levels.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bounds of level `k`.
+    pub fn level(&self, k: usize) -> &LevelBounds {
+        &self.levels[k]
+    }
+
+    /// The `(lower, upper)` range of level `k` for a given prefix of outer
+    /// indices (`prefix.len() == k`). Returns `Err(Unbounded)` when FM
+    /// found no bound on that side.
+    pub fn range(&self, k: usize, prefix: &[i64]) -> Result<(i64, i64)> {
+        assert_eq!(prefix.len(), k, "prefix must cover outer levels");
+        let mut x = prefix.to_vec();
+        x.resize(self.dim, 0);
+        Ok((self.levels[k].lower(&x)?, self.levels[k].upper(&x)?))
+    }
+
+    /// Enumerate every integer point, lexicographically.
+    pub fn enumerate(&self) -> Result<Vec<Vec<i64>>> {
+        let mut out = Vec::new();
+        let mut prefix: Vec<i64> = Vec::with_capacity(self.dim);
+        self.walk(&mut prefix, &mut out)?;
+        Ok(out)
+    }
+
+    fn walk(&self, prefix: &mut Vec<i64>, out: &mut Vec<Vec<i64>>) -> Result<()> {
+        let k = prefix.len();
+        if k == self.dim {
+            out.push(prefix.clone());
+            return Ok(());
+        }
+        let (lo, hi) = self.range(k, prefix)?;
+        for v in lo..=hi {
+            prefix.push(v);
+            self.walk(prefix, out)?;
+            prefix.pop();
+        }
+        Ok(())
+    }
+
+    /// Total number of integer points (counted via enumeration of the
+    /// outer levels only where possible; exact but not asymptotically
+    /// clever — used by tests and metrics, not inner loops).
+    pub fn count_points(&self) -> Result<u64> {
+        let mut count = 0u64;
+        let mut prefix: Vec<i64> = Vec::with_capacity(self.dim);
+        self.count_walk(&mut prefix, &mut count)?;
+        Ok(count)
+    }
+
+    fn count_walk(&self, prefix: &mut Vec<i64>, count: &mut u64) -> Result<()> {
+        let k = prefix.len();
+        let (lo, hi) = self.range(k, prefix)?;
+        if k == self.dim - 1 {
+            if hi >= lo {
+                *count += (hi - lo + 1) as u64;
+            }
+            return Ok(());
+        }
+        for v in lo..=hi {
+            prefix.push(v);
+            self.count_walk(prefix, count)?;
+            prefix.pop();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_matrix::vec::IVec;
+
+    fn ge0(coeffs: &[i64], c: i64) -> AffineExpr {
+        AffineExpr::new(IVec::from_slice(coeffs), c)
+    }
+
+    #[test]
+    fn rectangular_bounds_roundtrip() {
+        let mut s = System::universe(2);
+        s.add_range(0, 1, 3).unwrap();
+        s.add_range(1, -1, 1).unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        assert_eq!(b.range(0, &[]).unwrap(), (1, 3));
+        assert_eq!(b.range(1, &[2]).unwrap(), (-1, 1));
+        let pts = b.enumerate().unwrap();
+        assert_eq!(pts.len(), 9);
+        assert_eq!(pts[0], vec![1, -1]);
+        assert_eq!(pts[8], vec![3, 1]);
+        assert_eq!(b.count_points().unwrap(), 9);
+    }
+
+    #[test]
+    fn triangular_bounds() {
+        // 0 <= x0 <= 4, 0 <= x1 <= x0.
+        let mut s = System::universe(2);
+        s.add_range(0, 0, 4).unwrap();
+        s.add_ge0(ge0(&[0, 1], 0)).unwrap();
+        s.add_ge0(ge0(&[1, -1], 0)).unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        let pts = b.enumerate().unwrap();
+        assert_eq!(pts.len(), 5 + 4 + 3 + 2 + 1);
+        for p in &pts {
+            assert!(p[1] >= 0 && p[1] <= p[0]);
+        }
+    }
+
+    #[test]
+    fn skewed_space_matches_brute_force() {
+        // The paper's §4.1 transformed outer loop: j1 = i1 - i2 etc.
+        // Use constraints 0 <= y0 + y1 <= 9, 0 <= y1 <= 9 (image of a box
+        // under a skew) and compare with direct filtering.
+        let mut s = System::universe(2);
+        s.add_ge0(ge0(&[1, 1], 0)).unwrap();
+        s.add_ge0(ge0(&[-1, -1], 9)).unwrap();
+        s.add_range(1, 0, 9).unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        let mut expect = Vec::new();
+        for y0 in -20..=20i64 {
+            for y1 in -20..=20i64 {
+                if y0 + y1 >= 0 && y0 + y1 <= 9 && (0..=9).contains(&y1) {
+                    expect.push(vec![y0, y1]);
+                }
+            }
+        }
+        let got = b.enumerate().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn divided_bounds_use_ceil_floor() {
+        // 0 <= 2*x0 <= 7  =>  x0 in [0, 3].
+        let mut s = System::universe(1);
+        s.add_ge0(ge0(&[2], 0)).unwrap();
+        s.add_ge0(ge0(&[-2], 7)).unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        assert_eq!(b.range(0, &[]).unwrap(), (0, 3));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut s = System::universe(1);
+        s.add_ge0(ge0(&[1], 0)).unwrap(); // x0 >= 0 only
+        let b = LoopBounds::from_system(&s).unwrap();
+        assert_eq!(b.range(0, &[]), Err(MatrixError::Unbounded));
+    }
+
+    #[test]
+    fn empty_ranges_enumerate_to_nothing() {
+        let mut s = System::universe(2);
+        s.add_range(0, 3, 2).unwrap(); // empty outer
+        s.add_range(1, 0, 5).unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        assert_eq!(b.enumerate().unwrap().len(), 0);
+        assert_eq!(b.count_points().unwrap(), 0);
+    }
+
+    #[test]
+    fn display_spells_ceil_floor() {
+        let be = BoundExpr {
+            num: ge0(&[1, 0], 3),
+            den: 2,
+        };
+        let names = vec!["i".to_string(), "j".to_string()];
+        assert_eq!(be.display_with(&names, true), "ceil((i + 3)/2)");
+        assert_eq!(be.display_with(&names, false), "floor((i + 3)/2)");
+        let be1 = BoundExpr {
+            num: ge0(&[0, 1], 0),
+            den: 1,
+        };
+        assert_eq!(be1.display_with(&names, true), "j");
+    }
+
+    #[test]
+    fn three_level_tetrahedron() {
+        // 0 <= x0 <= x1 <= x2 <= 3: count = C(5,3)? Enumerate vs filter.
+        let mut s = System::universe(3);
+        s.add_ge0(ge0(&[1, 0, 0], 0)).unwrap();
+        s.add_ge0(ge0(&[-1, 1, 0], 0)).unwrap();
+        s.add_ge0(ge0(&[0, -1, 1], 0)).unwrap();
+        s.add_ge0(ge0(&[0, 0, -1], 3)).unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        let got = b.enumerate().unwrap();
+        let mut expect = Vec::new();
+        for x0 in 0..=3i64 {
+            for x1 in x0..=3 {
+                for x2 in x1..=3 {
+                    expect.push(vec![x0, x1, x2]);
+                }
+            }
+        }
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,233 @@
+//! Exact affine expressions `a·x + c` over a fixed variable set.
+
+use pdm_matrix::num::{cadd, cmul, cmuladd};
+use pdm_matrix::vec::IVec;
+use pdm_matrix::{MatrixError, Result};
+use std::fmt;
+
+/// An affine form `coeffs · x + constant` over `dim` integer variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    /// Per-variable coefficients.
+    pub coeffs: IVec,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c` over `dim` variables.
+    pub fn constant(dim: usize, c: i64) -> Self {
+        AffineExpr {
+            coeffs: IVec::zeros(dim),
+            constant: c,
+        }
+    }
+
+    /// The single variable `x_i`.
+    pub fn var(dim: usize, i: usize) -> Self {
+        AffineExpr {
+            coeffs: IVec::unit(dim, i),
+            constant: 0,
+        }
+    }
+
+    /// Build from parts.
+    pub fn new(coeffs: IVec, constant: i64) -> Self {
+        AffineExpr { coeffs, constant }
+    }
+
+    /// Number of variables in scope.
+    pub fn dim(&self) -> usize {
+        self.coeffs.dim()
+    }
+
+    /// Is the expression a constant (all coefficients zero)?
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_zero()
+    }
+
+    /// Evaluate at an integer point.
+    pub fn eval(&self, x: &[i64]) -> Result<i64> {
+        if x.len() != self.dim() {
+            return Err(MatrixError::DimMismatch {
+                op: "AffineExpr::eval",
+                lhs: (1, self.dim()),
+                rhs: (1, x.len()),
+            });
+        }
+        let acc: i128 = self
+            .coeffs
+            .iter()
+            .zip(x)
+            .map(|(&a, &b)| a as i128 * b as i128)
+            .sum::<i128>()
+            + self.constant as i128;
+        i64::try_from(acc).map_err(|_| MatrixError::Overflow)
+    }
+
+    /// Sum of two expressions.
+    pub fn add(&self, other: &AffineExpr) -> Result<AffineExpr> {
+        Ok(AffineExpr {
+            coeffs: self.coeffs.add(&other.coeffs)?,
+            constant: cadd(self.constant, other.constant)?,
+        })
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &AffineExpr) -> Result<AffineExpr> {
+        Ok(AffineExpr {
+            coeffs: self.coeffs.sub(&other.coeffs)?,
+            constant: pdm_matrix::num::csub(self.constant, other.constant)?,
+        })
+    }
+
+    /// Scale by `k`.
+    pub fn scale(&self, k: i64) -> Result<AffineExpr> {
+        Ok(AffineExpr {
+            coeffs: self.coeffs.scale(k)?,
+            constant: cmul(self.constant, k)?,
+        })
+    }
+
+    /// `self + k · other`.
+    pub fn add_scaled(&self, k: i64, other: &AffineExpr) -> Result<AffineExpr> {
+        Ok(AffineExpr {
+            coeffs: self.coeffs.add_scaled(k, &other.coeffs)?,
+            constant: cmuladd(self.constant, k, other.constant)?,
+        })
+    }
+
+    /// Coefficient of variable `i`.
+    pub fn coeff(&self, i: usize) -> i64 {
+        self.coeffs[i]
+    }
+
+    /// Replace variable `i` by the affine expression `repl` (over the same
+    /// variable set, with `repl.coeff(i) == 0`); the coefficient of `i`
+    /// becomes zero.
+    pub fn substitute(&self, i: usize, repl: &AffineExpr) -> Result<AffineExpr> {
+        let k = self.coeffs[i];
+        let mut out = self.clone();
+        out.coeffs[i] = 0;
+        if k != 0 {
+            out = out.add_scaled(k, repl)?;
+        }
+        Ok(out)
+    }
+
+    /// Extend the variable set to `new_dim` (new variables get coefficient
+    /// zero). Existing variables keep their indices.
+    pub fn extend_dim(&self, new_dim: usize) -> AffineExpr {
+        assert!(new_dim >= self.dim());
+        let mut coeffs = self.coeffs.0.clone();
+        coeffs.resize(new_dim, 0);
+        AffineExpr {
+            coeffs: IVec(coeffs),
+            constant: self.constant,
+        }
+    }
+
+    /// Render with the given variable names.
+    pub fn display_with(&self, names: &[String]) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            let name = names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| format!("x{i}"));
+            match c {
+                0 => {}
+                1 => parts.push(name),
+                -1 => parts.push(format!("-{name}")),
+                _ => parts.push(format!("{c}*{name}")),
+            }
+        }
+        if self.constant != 0 || parts.is_empty() {
+            parts.push(self.constant.to_string());
+        }
+        let mut out = String::new();
+        for (k, p) in parts.iter().enumerate() {
+            if k == 0 {
+                out.push_str(p);
+            } else if let Some(stripped) = p.strip_prefix('-') {
+                out.push_str(" - ");
+                out.push_str(stripped);
+            } else {
+                out.push_str(" + ");
+                out.push_str(p);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.dim()).map(|i| format!("x{i}")).collect();
+        write!(f, "{}", self.display_with(&names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        // 2*x0 - x1 + 3
+        let e = AffineExpr::new(IVec::from_slice(&[2, -1]), 3);
+        assert_eq!(e.eval(&[5, 4]).unwrap(), 9);
+        assert_eq!(e.eval(&[0, 0]).unwrap(), 3);
+        assert!(e.eval(&[1]).is_err());
+    }
+
+    #[test]
+    fn constructors() {
+        let c = AffineExpr::constant(3, 7);
+        assert!(c.is_constant());
+        assert_eq!(c.eval(&[9, 9, 9]).unwrap(), 7);
+        let v = AffineExpr::var(3, 1);
+        assert_eq!(v.eval(&[4, 5, 6]).unwrap(), 5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = AffineExpr::new(IVec::from_slice(&[1, 2]), 3);
+        let b = AffineExpr::new(IVec::from_slice(&[0, 1]), -1);
+        assert_eq!(a.add(&b).unwrap().eval(&[2, 3]).unwrap(), 13);
+        assert_eq!(a.sub(&b).unwrap().eval(&[2, 3]).unwrap(), 9);
+        assert_eq!(a.scale(-2).unwrap().eval(&[2, 3]).unwrap(), -22);
+        assert_eq!(a.add_scaled(3, &b).unwrap().eval(&[2, 3]).unwrap(), 17);
+    }
+
+    #[test]
+    fn substitution_eliminates_variable() {
+        // e = x0 + 2*x1; substitute x1 := x0 - 1  =>  3*x0 - 2.
+        let e = AffineExpr::new(IVec::from_slice(&[1, 2]), 0);
+        let repl = AffineExpr::new(IVec::from_slice(&[1, 0]), -1);
+        let s = e.substitute(1, &repl).unwrap();
+        assert_eq!(s.coeff(1), 0);
+        for x0 in -5..=5 {
+            assert_eq!(s.eval(&[x0, 999]).unwrap(), 3 * x0 - 2);
+        }
+    }
+
+    #[test]
+    fn extend_dim_keeps_semantics() {
+        let e = AffineExpr::new(IVec::from_slice(&[1, -2]), 5);
+        let w = e.extend_dim(4);
+        assert_eq!(w.dim(), 4);
+        assert_eq!(w.eval(&[3, 1, 7, 7]).unwrap(), e.eval(&[3, 1]).unwrap());
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = AffineExpr::new(IVec::from_slice(&[1, -1, 2]), -3);
+        assert_eq!(e.to_string(), "x0 - x1 + 2*x2 - 3");
+        assert_eq!(AffineExpr::constant(2, 0).to_string(), "0");
+        assert_eq!(
+            e.display_with(&["i".into(), "j".into(), "k".into()]),
+            "i - j + 2*k - 3"
+        );
+    }
+}

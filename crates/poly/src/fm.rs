@@ -1,0 +1,179 @@
+//! Fourier–Motzkin elimination.
+//!
+//! Projecting a variable `x_k` out of a system of affine inequalities:
+//! every pair of a lower bound `a·x_k ≥ L(x)` (`a > 0`) and an upper bound
+//! `b·x_k ≤ U(x)` (`b > 0`) combines into the `x_k`-free consequence
+//! `b·L(x) ≤ a·U(x)`. Constraints not mentioning `x_k` pass through.
+//!
+//! The rational projection is exact for the loop-bound use case: the
+//! *original* constraints still bound the inner loops, and the projected
+//! ones bound the outer loops, so every generated iteration is real and
+//! none is missed (possible integer "dark shadow" gaps only manifest as
+//! empty inner loops, the standard behaviour of FM-generated bounds which
+//! the paper also exhibits with its `max/min/ceil/floor` bounds).
+
+use crate::expr::AffineExpr;
+use crate::system::System;
+use pdm_matrix::Result;
+
+/// Eliminate variable `k`, returning a system over the same variable set
+/// whose constraints no longer mention `x_k`.
+pub fn eliminate(sys: &System, k: usize) -> Result<System> {
+    let dim = sys.dim();
+    assert!(k < dim, "variable index out of range");
+    let mut lowers: Vec<AffineExpr> = Vec::new(); // a > 0 :  a*x_k + rest >= 0
+    let mut uppers: Vec<AffineExpr> = Vec::new(); // a < 0
+    let mut free: Vec<AffineExpr> = Vec::new();
+
+    for e in sys.constraints() {
+        match e.coeff(k).signum() {
+            0 => free.push(e.clone()),
+            1.. => lowers.push(e.clone()),
+            _ => uppers.push(e.clone()),
+        }
+    }
+
+    let mut out = System::universe(dim);
+    for e in free {
+        out.add_ge0(e)?;
+    }
+    for lo in &lowers {
+        for up in &uppers {
+            let a = lo.coeff(k); // > 0
+            let b = -up.coeff(k); // > 0
+            // b*lo + a*up has zero x_k coefficient.
+            let combined = lo.scale(b)?.add(&up.scale(a)?)?;
+            debug_assert_eq!(combined.coeff(k), 0);
+            out.add_ge0(combined)?;
+        }
+    }
+    out.simplify();
+    Ok(out)
+}
+
+/// Eliminate several variables in the given order.
+pub fn eliminate_all(sys: &System, vars: &[usize]) -> Result<System> {
+    let mut cur = sys.clone();
+    for &k in vars {
+        cur = eliminate(&cur, k)?;
+    }
+    Ok(cur)
+}
+
+/// Is the system feasible over the *rationals*? Projects out every
+/// variable; infeasibility surfaces as a constant contradiction.
+///
+/// (Rational feasibility is what plain FM decides; integer gaps are
+/// handled at bound-enumeration time.)
+pub fn is_rationally_feasible(sys: &System) -> Result<bool> {
+    let mut cur = sys.clone();
+    for k in 0..sys.dim() {
+        if cur.has_constant_contradiction() {
+            return Ok(false);
+        }
+        cur = eliminate(&cur, k)?;
+    }
+    Ok(!cur.has_constant_contradiction())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_matrix::vec::IVec;
+
+    fn ge0(coeffs: &[i64], c: i64) -> AffineExpr {
+        AffineExpr::new(IVec::from_slice(coeffs), c)
+    }
+
+    #[test]
+    fn projection_of_a_box_is_a_box() {
+        let mut s = System::universe(2);
+        s.add_range(0, 1, 4).unwrap();
+        s.add_range(1, 2, 7).unwrap();
+        let p = eliminate(&s, 1).unwrap();
+        // x1 gone; x0 range survives.
+        for x0 in -2..8 {
+            assert_eq!(
+                p.contains(&[x0, 0]).unwrap(),
+                (1..=4).contains(&x0),
+                "x0={x0}"
+            );
+        }
+        assert!(p.constraints().iter().all(|e| e.coeff(1) == 0));
+    }
+
+    #[test]
+    fn projection_matches_exists_semantics_on_triangle() {
+        // Triangle: x0 >= 0, x1 >= 0, x0 + x1 <= 5.
+        let mut s = System::universe(2);
+        s.add_ge0(ge0(&[1, 0], 0)).unwrap();
+        s.add_ge0(ge0(&[0, 1], 0)).unwrap();
+        s.add_ge0(ge0(&[-1, -1], 5)).unwrap();
+        let p = eliminate(&s, 1).unwrap();
+        for x0 in -3..9i64 {
+            let exists = (-10..=10).any(|x1| s.contains(&[x0, x1]).unwrap());
+            assert_eq!(p.contains(&[x0, 0]).unwrap(), exists, "x0={x0}");
+        }
+    }
+
+    #[test]
+    fn skewed_constraints_combine() {
+        // 2*x1 >= x0  and  3*x1 <= 12 - x0  =>  combine: 3*x0 <= 2*(12-x0)
+        // i.e. 24 - 5*x0 >= 0.
+        let mut s = System::universe(2);
+        s.add_ge0(ge0(&[-1, 2], 0)).unwrap();
+        s.add_ge0(ge0(&[-1, -3], 12)).unwrap();
+        let p = eliminate(&s, 1).unwrap();
+        for x0 in -10..=10i64 {
+            let exists = (-50..=50).any(|x1| s.contains(&[x0, x1]).unwrap());
+            assert_eq!(p.contains(&[x0, 0]).unwrap(), exists, "x0={x0}");
+        }
+    }
+
+    #[test]
+    fn feasibility() {
+        let mut s = System::universe(2);
+        s.add_range(0, 0, 3).unwrap();
+        assert!(is_rationally_feasible(&s).unwrap());
+        // Contradiction: x0 >= 4 with x0 <= 3.
+        s.add_ge0(ge0(&[1, 0], -4)).unwrap();
+        assert!(!is_rationally_feasible(&s).unwrap());
+    }
+
+    #[test]
+    fn eliminate_all_leaves_constants() {
+        let mut s = System::universe(3);
+        s.add_range(0, 0, 2).unwrap();
+        s.add_range(1, 0, 2).unwrap();
+        s.add_range(2, 0, 2).unwrap();
+        let p = eliminate_all(&s, &[2, 1, 0]).unwrap();
+        assert!(!p.has_constant_contradiction());
+        assert!(p.constraints().iter().all(|e| e.is_constant()) || p.is_empty());
+    }
+
+    #[test]
+    fn unbounded_variable_projects_to_free() {
+        // Only a lower bound on x1: projection keeps every x0 constraint
+        // and produces nothing new.
+        let mut s = System::universe(2);
+        s.add_range(0, 0, 1).unwrap();
+        s.add_ge0(ge0(&[0, 1], 0)).unwrap(); // x1 >= 0, no upper
+        let p = eliminate(&s, 1).unwrap();
+        assert!(p.contains(&[0, -99]).unwrap());
+        assert!(!p.contains(&[2, 0]).unwrap());
+    }
+
+    #[test]
+    fn empty_integer_interior_is_rationally_feasible() {
+        // 2 <= 2*x0 <= 3 has rational solutions (x0 = 1.25) and the single
+        // integer x0=1: after gcd tightening (2x0-2>=0 -> x0-1>=0,
+        // 3-2x0>=0 -> tightened via floor(3/2): 1 - x0 >= 0) membership is
+        // exactly x0 == 1.
+        let mut s = System::universe(1);
+        s.add_ge0(ge0(&[2], -2)).unwrap();
+        s.add_ge0(ge0(&[-2], 3)).unwrap();
+        assert!(s.contains(&[1]).unwrap());
+        assert!(!s.contains(&[2]).unwrap());
+        assert!(is_rationally_feasible(&s).unwrap());
+    }
+}

@@ -1,0 +1,31 @@
+//! # pdm-poly — affine inequality systems and Fourier–Motzkin elimination
+//!
+//! Loop bounds of a (transformed) nest form a convex integer polyhedron
+//! `{ x ∈ Zⁿ : A·xᵀ + b ≥ 0 }`. After a unimodular change of basis the new
+//! bounds are not rectangular, and the paper (following Banerjee and
+//! Schrijver [1, 13]) recovers per-level `max(⌈·⌉)/min(⌊·⌋)` bounds by
+//! **Fourier–Motzkin elimination**: eliminating the innermost variables one
+//! by one leaves, at each level, the constraints that bound that loop in
+//! terms of the outer indices only.
+//!
+//! The crate provides:
+//! * [`expr::AffineExpr`] — exact affine forms `a·x + c`,
+//! * [`system::System`] — conjunctions of `expr ≥ 0` constraints,
+//! * [`fm`] — Fourier–Motzkin projection,
+//! * [`bounds`] — per-level loop bound extraction and lexicographic
+//!   enumeration of the integer points (the executable iteration space).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bounds;
+pub mod expr;
+pub mod fm;
+pub mod system;
+
+pub use bounds::{BoundExpr, LevelBounds, LoopBounds};
+pub use expr::AffineExpr;
+pub use system::System;
+
+/// Result alias re-using the exact-arithmetic error type.
+pub type Result<T> = std::result::Result<T, pdm_matrix::MatrixError>;

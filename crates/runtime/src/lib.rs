@@ -1,0 +1,98 @@
+//! # pdm-runtime — executing loop nests, sequentially and in parallel
+//!
+//! The runtime realizes the schedules produced by `pdm-core`:
+//!
+//! * [`memory`] — integer array storage sized from the nest's access
+//!   footprint (conservative interval arithmetic over the iteration
+//!   polyhedron), with a `Sync` shared view for `doall` execution;
+//! * [`exec`] — a sequential interpreter (the reference semantics) and a
+//!   **rayon**-parallel executor that runs one task per independent group
+//!   (doall-prefix value × Theorem-2 partition offset), each walking its
+//!   iterations in transformed lexicographic order;
+//! * [`checked`] — a group-conflict race checker: every access is logged
+//!   per group and cross-group conflicts (≥ 1 write) are reported. A
+//!   correct plan produces none; deliberately broken plans are caught
+//!   (tested);
+//! * [`equivalence`] — sequential-vs-parallel output comparison, the
+//!   end-to-end soundness harness used all over the test suite and
+//!   benches.
+//!
+//! The parallel executor's memory accesses are unsynchronized by design:
+//! the dependence analysis *proves* cross-group independence, and that
+//! proof is what the checker and the equivalence harness validate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checked;
+pub mod equivalence;
+pub mod exec;
+pub mod memory;
+
+pub use exec::{run_parallel, run_sequential, run_transformed_sequential};
+pub use memory::Memory;
+
+/// Errors from execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Exact arithmetic failure.
+    Matrix(pdm_matrix::MatrixError),
+    /// Loop IR failure.
+    Ir(pdm_loopir::IrError),
+    /// Core pipeline failure.
+    Core(String),
+    /// An access fell outside the allocated array extents (always a bug in
+    /// extent computation, surfaced loudly).
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Offending subscript.
+        subscript: Vec<i64>,
+    },
+    /// The race checker found cross-group conflicts.
+    RaceDetected {
+        /// Number of conflicting cells.
+        conflicts: usize,
+        /// A sample description.
+        sample: String,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Matrix(e) => write!(f, "matrix error: {e}"),
+            RuntimeError::Ir(e) => write!(f, "loop IR error: {e}"),
+            RuntimeError::Core(m) => write!(f, "core error: {m}"),
+            RuntimeError::OutOfBounds { array, subscript } => {
+                write!(f, "access out of bounds: {array}{subscript:?}")
+            }
+            RuntimeError::RaceDetected { conflicts, sample } => {
+                write!(f, "race detected on {conflicts} cells, e.g. {sample}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<pdm_matrix::MatrixError> for RuntimeError {
+    fn from(e: pdm_matrix::MatrixError) -> Self {
+        RuntimeError::Matrix(e)
+    }
+}
+
+impl From<pdm_loopir::IrError> for RuntimeError {
+    fn from(e: pdm_loopir::IrError) -> Self {
+        RuntimeError::Ir(e)
+    }
+}
+
+impl From<pdm_core::CoreError> for RuntimeError {
+    fn from(e: pdm_core::CoreError) -> Self {
+        RuntimeError::Core(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

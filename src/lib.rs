@@ -1,0 +1,62 @@
+//! # vardep-loops — parallelizing loops with variable dependence distances
+//!
+//! Facade crate re-exporting the whole workspace: a production Rust
+//! implementation of *Yu & D'Hollander, "Partitioning Loops with Variable
+//! Dependence Distances", ICPP 2000*.
+//!
+//! ## One-minute tour
+//!
+//! ```
+//! use vardep_loops::prelude::*;
+//!
+//! // The paper's §4.1-style loop: variable-distance dependences
+//! // (every distance is a multiple of (2,2), but the multiple varies
+//! // with the iteration).
+//! let nest = parse_loop(
+//!     "for i1 = 0..10 { for i2 = 0..10 {
+//!        A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+//!     } }",
+//! ).unwrap();
+//!
+//! // Analyze: derive the pseudo distance matrix (PDM).
+//! let analysis = analyze(&nest).unwrap();
+//! assert_eq!(analysis.pdm().rows(), 1);          // rank-1 lattice [[2,2]]
+//!
+//! // Transform: a legal schedule with one outer doall loop and two
+//! // independent partitions (det = 2).
+//! let plan = parallelize(&nest).unwrap();
+//! assert_eq!(plan.doall_count(), 1);
+//! assert_eq!(plan.partition_count(), 2);
+//!
+//! // Execute: rayon-parallel run is bit-identical to sequential.
+//! let report = vardep_loops::runtime::equivalence::compare(&nest, &plan, 7).unwrap();
+//! assert!(report.equal);
+//! ```
+//!
+//! Crate map: [`matrix`] (exact integer linear algebra), [`poly`]
+//! (Fourier–Motzkin), [`loopir`] (nest IR + DSL), [`core`] (the paper's
+//! analysis and transformations), [`runtime`] (rayon execution),
+//! [`isdg`] (ground-truth dependence graphs), [`baselines`] (the
+//! related-work methods of Table 1).
+
+pub use pdm_baselines as baselines;
+pub use pdm_core as core;
+pub use pdm_isdg as isdg;
+pub use pdm_loopir as loopir;
+pub use pdm_matrix as matrix;
+pub use pdm_poly as poly;
+pub use pdm_runtime as runtime;
+
+/// Convenient glob-import surface for examples and quick scripts.
+pub mod prelude {
+    pub use pdm_core::codegen::render_plan;
+    pub use pdm_core::pdm::PdmAnalysis;
+    pub use pdm_core::pipeline::{analyze, parallelize};
+    pub use pdm_core::plan::ParallelPlan;
+    pub use pdm_isdg::graph::Isdg;
+    pub use pdm_loopir::nest::LoopNest;
+    pub use pdm_loopir::parse::{parse_loop, parse_loop_with};
+    pub use pdm_matrix::{IMat, IVec, Lattice, Unimodular};
+    pub use pdm_runtime::exec::{run_parallel, run_sequential};
+    pub use pdm_runtime::memory::Memory;
+}

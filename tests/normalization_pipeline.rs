@@ -1,0 +1,62 @@
+//! Normalized (non-unit-step) loops through the whole pipeline.
+
+use vardep_loops::prelude::*;
+
+#[test]
+fn stepped_loops_parallelize_and_execute() {
+    for src in [
+        "for i = 0..=40 step 2 { A[i] = A[i] + 1; }",
+        "for i = 2..=40 step 2 { A[i] = A[i - 2] + 1; }",
+        "for i = 0..=20 step 2 { for j = 0..=20 step 3 { A[i, j] = A[i, j] + 1; } }",
+        "for i = 3..=30 step 3 { A[2*i] = A[i] + 1; }",
+    ] {
+        let nest = parse_loop(src).unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let rep = vardep_loops::runtime::equivalence::compare(&nest, &plan, 5)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        assert!(rep.equal, "{src}");
+    }
+}
+
+#[test]
+fn normalization_preserves_dependence_structure() {
+    // Stride-2 chain over evens == unit chain after normalization:
+    // fully sequential (PDM [1] in normalized space).
+    let nest = parse_loop("for i = 2..=40 step 2 { A[i] = A[i - 2] + 1; }").unwrap();
+    let a = analyze(&nest).unwrap();
+    assert_eq!(a.pdm(), &IMat::from_rows(&[vec![1]]).unwrap());
+    let plan = parallelize(&nest).unwrap();
+    assert_eq!(plan.doall_count(), 0);
+    assert_eq!(plan.partition_count(), 1);
+}
+
+#[test]
+fn stepped_independent_loop_fully_parallel() {
+    // Writes to disjoint strided cells with no reads: fully parallel.
+    let nest = parse_loop("for i = 0..=30 step 3 { A[i] = i; }").unwrap();
+    let plan = parallelize(&nest).unwrap();
+    assert!(plan.is_fully_parallel());
+    // 11 iterations at i' = 0..=10.
+    assert_eq!(nest.iterations().unwrap().len(), 11);
+}
+
+#[test]
+fn stepped_loop_equals_manual_normalization() {
+    // `for i = 1..=9 step 2 { A[i] = A[i-2] + 1 }` must equal the
+    // hand-normalized `for k = 0..=4 { A[2k+1] = A[2k-1] + 1 }`.
+    let auto = parse_loop("for i = 1..=9 step 2 { A[i] = A[i - 2] + 1; }").unwrap();
+    let manual = parse_loop("for k = 0..=4 { A[2*k + 1] = A[2*k - 1] + 1; }").unwrap();
+    // Same dependence structure:
+    let a1 = analyze(&auto).unwrap();
+    let a2 = analyze(&manual).unwrap();
+    assert_eq!(a1.pdm(), a2.pdm());
+    // Same cells touched in the same order:
+    let cells = |nest: &LoopNest| -> Vec<Vec<i64>> {
+        nest.iterations()
+            .unwrap()
+            .iter()
+            .map(|it| nest.body()[0].lhs.access.eval(it).unwrap().0.clone())
+            .collect()
+    };
+    assert_eq!(cells(&auto), cells(&manual));
+}

@@ -1,0 +1,89 @@
+//! Property-based integration tests: randomly generated affine loop nests
+//! must always yield sound, executable plans.
+//!
+//! For every generated nest the full chain is validated:
+//! 1. the PDM lattice covers every ground-truth distance (ISDG),
+//! 2. the plan keeps every dependent pair in one group, in order,
+//! 3. parallel execution is bit-identical to sequential.
+
+use proptest::prelude::*;
+use vardep_loops::prelude::*;
+
+/// A random affine 2-D loop nest with one write and one read of a shared
+/// array (coefficients small enough to keep the footprint sane).
+fn random_nest() -> impl Strategy<Value = LoopNest> {
+    // (write coeffs+offsets, read coeffs+offsets), each subscript affine
+    // in (i1, i2).
+    let coef = -3i64..=3;
+    let off = -4i64..=4;
+    (
+        proptest::collection::vec(coef.clone(), 4),
+        proptest::collection::vec(off.clone(), 2),
+        proptest::collection::vec(coef, 4),
+        proptest::collection::vec(off, 2),
+        3i64..=7, // N
+    )
+        .prop_map(|(wc, wo, rc, ro, n)| {
+            let src = format!(
+                "for i1 = 0..={n} {{ for i2 = 0..={n} {{
+                   A[{}*i1 + {}*i2 + {}, {}*i1 + {}*i2 + {}] = A[{}*i1 + {}*i2 + {}, {}*i1 + {}*i2 + {}] + 1;
+                 }} }}",
+                wc[0], wc[1], wo[0], wc[2], wc[3], wo[1],
+                rc[0], rc[1], ro[0], rc[2], rc[3], ro[1],
+            );
+            parse_loop(&src).expect("generated source parses")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pdm_covers_ground_truth_distances(nest in random_nest()) {
+        let analysis = analyze(&nest).unwrap();
+        let lat = analysis.lattice().unwrap();
+        let g = vardep_loops::isdg::graph::build_all_pairs(&nest, 200_000).unwrap();
+        for d in g.distances() {
+            prop_assert!(lat.contains(&d).unwrap(), "distance {} escapes the PDM", d);
+        }
+    }
+
+    #[test]
+    fn plans_are_sound_against_isdg(nest in random_nest()) {
+        let plan = parallelize(&nest).unwrap();
+        let g = vardep_loops::isdg::graph::build_all_pairs(&nest, 200_000).unwrap();
+        let report = vardep_loops::isdg::validate::validate_plan(&g, &plan).unwrap();
+        prop_assert!(report.is_sound(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential(nest in random_nest()) {
+        let plan = parallelize(&nest).unwrap();
+        let rep = vardep_loops::runtime::equivalence::compare(&nest, &plan, 99).unwrap();
+        prop_assert!(rep.equal);
+    }
+
+    #[test]
+    fn race_checker_accepts_generated_plans(nest in random_nest()) {
+        let plan = parallelize(&nest).unwrap();
+        let mem = Memory::for_nest(&nest).unwrap();
+        let r = vardep_loops::runtime::checked::run_parallel_checked(&nest, &plan, &mem);
+        prop_assert!(r.is_ok(), "race checker rejected a proven plan: {:?}", r.err());
+    }
+
+    #[test]
+    fn transformed_space_bijection(nest in random_nest()) {
+        let plan = parallelize(&nest).unwrap();
+        let its = nest.iterations().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in &its {
+            let y = plan.transformed_index(i).unwrap();
+            prop_assert_eq!(plan.original_index(&y).unwrap(), i.clone());
+            prop_assert!(seen.insert(y.0.clone()), "transform not injective");
+        }
+        prop_assert_eq!(
+            plan.bounds().count_points().unwrap() as usize,
+            its.len()
+        );
+    }
+}

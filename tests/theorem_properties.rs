@@ -1,0 +1,94 @@
+//! Property tests for the paper's theorems on randomized inputs.
+//!
+//! * **Theorem 1** (legality): whenever `H·T` is lex-positive echelon,
+//!   every lex-positive lattice member stays lex-positive under `T`.
+//! * **Lemma 1** (zero columns): distances have zero component along any
+//!   zero column of the PDM.
+//! * **Algorithm 1**: always returns a legal `T` with exactly `n − rank`
+//!   leading zero columns.
+//! * **Theorem 2** (partitioning): lattice translates never change
+//!   partition; distinct cosets never share one.
+
+use proptest::prelude::*;
+use vardep_loops::matrix::hnf::hermite_normal_form;
+use vardep_loops::matrix::lex::{is_lex_positive, small_vectors};
+use vardep_loops::prelude::*;
+
+fn small_hnf(n: usize) -> impl Strategy<Value = IMat> {
+    (1..=n)
+        .prop_flat_map(move |rows| proptest::collection::vec(-5i64..=5, rows * n))
+        .prop_filter_map("nonzero HNF", move |data| {
+            let rows = data.len() / n;
+            let m = IMat::from_flat(rows, n, &data).ok()?;
+            let h = hermite_normal_form(&m).ok()?.hnf;
+            (h.rows() > 0).then_some(h)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_certified_transforms_preserve_lattice_order(h in small_hnf(3)) {
+        let z = vardep_loops::core::algorithm1::algorithm1(&h).unwrap();
+        // Check the *definition* of legality over a ball of lattice
+        // members: every lex-positive d = x·H maps to lex-positive d·T.
+        for x in small_vectors(h.rows(), 3) {
+            let d = h.vec_mul(&IVec(x)).unwrap();
+            if is_lex_positive(&d) {
+                let td = z.t.apply(&d).unwrap();
+                prop_assert!(
+                    is_lex_positive(&td),
+                    "legal T reversed distance {} -> {}", d, td
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_zero_column_count(h in small_hnf(4)) {
+        let z = vardep_loops::core::algorithm1::algorithm1(&h).unwrap();
+        prop_assert_eq!(z.zero_cols, 4 - h.rows());
+        // Lemma 1 on the transformed lattice: members have zero components
+        // in the leading columns.
+        for x in small_vectors(h.rows(), 2) {
+            let d = z.transformed.vec_mul(&IVec(x)).unwrap();
+            for c in 0..z.zero_cols {
+                prop_assert_eq!(d[c], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_cosets_partition_the_space(h in small_hnf(2)) {
+        prop_assume!(h.rows() == 2); // full rank in Z^2
+        let p = vardep_loops::core::partition::Partitioning::new(h.clone());
+        let Ok(p) = p else { return Ok(()); }; // e.g. non-triangular HNF can't occur, but guard
+        let lat = Lattice::from_generators(&h).unwrap();
+        for x in small_vectors(2, 4) {
+            let xo = p.offset_of(&IVec::from_slice(&x)).unwrap();
+            for gvec in small_vectors(2, 2) {
+                let shift = lat.basis().vec_mul(&IVec(gvec)).unwrap();
+                let y = IVec::from_slice(&x).add(&shift).unwrap();
+                prop_assert_eq!(p.offset_of(&y).unwrap(), xo.clone());
+            }
+        }
+        // Offset count over a box equals det(H).
+        let mut offsets = std::collections::HashSet::new();
+        for x in small_vectors(2, 5) {
+            offsets.insert(p.offset_of(&IVec::from_slice(&x)).unwrap());
+        }
+        prop_assert_eq!(offsets.len() as i64, p.count());
+    }
+
+    #[test]
+    fn unimodular_transform_is_bijection_on_box(h in small_hnf(3)) {
+        let z = vardep_loops::core::algorithm1::algorithm1(&h).unwrap();
+        let inv = z.t.inverse().unwrap();
+        for x in small_vectors(3, 2) {
+            let v = IVec(x);
+            let y = z.t.apply(&v).unwrap();
+            prop_assert_eq!(inv.apply(&y).unwrap(), v);
+        }
+    }
+}
