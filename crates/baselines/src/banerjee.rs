@@ -124,10 +124,9 @@ mod tests {
 
     #[test]
     fn uniform_stencil_applicable() {
-        let nest = parse_loop(
-            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse_loop("for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }")
+                .unwrap();
         let r = Banerjee.analyze(&nest).unwrap();
         assert!(r.applicable);
         assert_eq!(r.outer_doall, 0);
@@ -157,10 +156,8 @@ mod tests {
 
     #[test]
     fn zero_column_found() {
-        let nest = parse_loop(
-            "for i = 1..=9 { for j = 0..=9 { A[i, j] = A[i - 1, j] + 1; } }",
-        )
-        .unwrap();
+        let nest =
+            parse_loop("for i = 1..=9 { for j = 0..=9 { A[i, j] = A[i - 1, j] + 1; } }").unwrap();
         let r = Banerjee.analyze(&nest).unwrap();
         assert_eq!(r.outer_doall, 1); // j column zero
         assert_eq!(r.inner_doall, 0);

@@ -57,9 +57,7 @@ impl Parallelizer for DHollander {
             .hnf;
         let zeroed = algorithm1(&h).map_err(|e| crate::BaselineError::Core(e.to_string()))?;
         let rho = h.rows();
-        let sub = zeroed
-            .transformed
-            .submatrix(0, rho, zeroed.zero_cols, n);
+        let sub = zeroed.transformed.submatrix(0, rho, zeroed.zero_cols, n);
         let partitions = Partitioning::new(sub)
             .map_err(|e| crate::BaselineError::Core(e.to_string()))?
             .count();

@@ -118,10 +118,9 @@ mod tests {
 
     #[test]
     fn full_rank_bdv_no_parallelism() {
-        let nest = parse_loop(
-            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse_loop("for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }")
+                .unwrap();
         let r = ShangBdv.analyze(&nest).unwrap();
         assert_eq!(r.outer_doall, 0);
     }

@@ -43,7 +43,8 @@ pub const SUITE: &[SuiteLoop] = &[
     SuiteLoop {
         name: "chain",
         description: "fully sequential uniform chain",
-        source: "for i1 = 1..N { for i2 = 0..N { A[i1, i2] = A[i1 - 1, i2 + 1] + A[i1 - 1, i2] + 1; } }",
+        source:
+            "for i1 = 1..N { for i2 = 0..N { A[i1, i2] = A[i1 - 1, i2 + 1] + A[i1 - 1, i2] + 1; } }",
     },
     SuiteLoop {
         name: "stencil",
@@ -96,7 +97,9 @@ mod tests {
         ];
         for (name, nest) in all(10) {
             for m in &methods {
-                let r = m.analyze(&nest).unwrap_or_else(|e| panic!("{name}/{}: {e}", m.name()));
+                let r = m
+                    .analyze(&nest)
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", m.name()));
                 assert_eq!(r.method, m.name());
             }
         }

@@ -58,15 +58,11 @@ pub fn direction_vector(
 /// considered in both orientations.
 pub fn can_carry(dv: &[Dir], k: usize) -> bool {
     // Forward orientation: components 0..k can be zero, dv[k] can be > 0.
-    let fwd = dv[..k]
-        .iter()
-        .all(|d| matches!(d, Dir::Zero | Dir::Any))
+    let fwd = dv[..k].iter().all(|d| matches!(d, Dir::Zero | Dir::Any))
         && matches!(dv[k], Dir::Pos | Dir::Any);
     // Reversed orientation (the anti/flow twin): prefix zero-able and
     // dv[k] negative-able.
-    let rev = dv[..k]
-        .iter()
-        .all(|d| matches!(d, Dir::Zero | Dir::Any))
+    let rev = dv[..k].iter().all(|d| matches!(d, Dir::Zero | Dir::Any))
         && matches!(dv[k], Dir::Neg | Dir::Any);
     fwd || rev
 }
@@ -115,8 +111,7 @@ impl Parallelizer for WolfLam {
         // resolved by an outer level) run doall at their own level.
         let level_parallel = (0..n)
             .filter(|&k| {
-                dvs.iter().all(|dv| !can_carry(dv, k))
-                    && dvs.iter().any(|dv| dv[k] != Dir::Zero)
+                dvs.iter().all(|dv| !can_carry(dv, k)) && dvs.iter().any(|dv| dv[k] != Dir::Zero)
             })
             .count();
         // Wavefront skewing: a hyperplane guaranteeing t·d >= 1 for every
@@ -227,20 +222,16 @@ mod tests {
 
     #[test]
     fn finds_level_parallelism_on_uniform_loops() {
-        let nest = parse_loop(
-            "for i = 1..=9 { for j = 0..=9 { A[i, j] = A[i - 1, j] + 1; } }",
-        )
-        .unwrap();
+        let nest =
+            parse_loop("for i = 1..=9 { for j = 0..=9 { A[i, j] = A[i - 1, j] + 1; } }").unwrap();
         let r = WolfLam.analyze(&nest).unwrap();
         assert_eq!(r.outer_doall, 1); // j never carries
     }
 
     #[test]
     fn wavefront_on_definite_carried_outer() {
-        let nest = parse_loop(
-            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j - 1] + 1; } }",
-        )
-        .unwrap();
+        let nest = parse_loop("for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j - 1] + 1; } }")
+            .unwrap();
         let r = WolfLam.analyze(&nest).unwrap();
         // dv = (+,+): carried at level 0 -> inner loop parallel.
         assert_eq!(r.outer_doall, 0);

@@ -100,7 +100,6 @@ fn bench_hnf(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Time-bounded criterion config so the full workspace bench run stays
 /// tractable while remaining statistically useful.
 fn quick() -> Criterion {
@@ -110,7 +109,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1200))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_algorithm1_depth,

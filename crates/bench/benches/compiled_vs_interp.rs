@@ -1,0 +1,71 @@
+//! Compiled engine vs. tree-walking interpreter, sequential and parallel,
+//! on the paper's §4.1/§4.2 nests and a classic stencil.
+//!
+//! The acceptance bar for the compiled engine is ≥ 3× iteration
+//! throughput over the interpreter (see `BENCH_runtime.json`, emitted by
+//! the `bench_runtime` binary; this criterion bench is the interactive
+//! view of the same comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdm_bench::{paper41, paper42};
+use pdm_loopir::parse::parse_loop_with;
+use pdm_runtime::compile::{CompiledNest, CompiledPlan};
+use pdm_runtime::memory::Memory;
+
+fn bench_case(c: &mut Criterion, label: &str, nest: &pdm_loopir::nest::LoopNest) {
+    let plan = pdm_core::parallelize(nest).unwrap();
+    let iters = nest.iterations().unwrap().len() as u64;
+    let mut group = c.benchmark_group(format!("compiled_vs_interp/{label}"));
+    group.throughput(Throughput::Elements(iters));
+
+    group.bench_function("interp_seq", |b| {
+        let mut m = Memory::for_nest(nest).unwrap();
+        m.init_deterministic(1);
+        b.iter(|| pdm_runtime::run_sequential(nest, &m).unwrap())
+    });
+    group.bench_function("compiled_seq", |b| {
+        let mut m = Memory::for_nest(nest).unwrap();
+        m.init_deterministic(1);
+        let compiled = CompiledNest::compile(nest, &m).unwrap();
+        let mut scratch = compiled.new_scratch();
+        b.iter(|| compiled.run_with_scratch(&m, &mut scratch).unwrap())
+    });
+    group.bench_function("interp_par", |b| {
+        let mut m = Memory::for_nest(nest).unwrap();
+        m.init_deterministic(1);
+        b.iter(|| pdm_runtime::run_parallel(nest, &plan, &m).unwrap())
+    });
+    group.bench_function("compiled_par", |b| {
+        let mut m = Memory::for_nest(nest).unwrap();
+        m.init_deterministic(1);
+        let compiled = CompiledPlan::compile(nest, &plan, &m).unwrap();
+        b.iter(|| compiled.run_parallel(&m).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_compiled_vs_interp(c: &mut Criterion) {
+    bench_case(c, "paper41_n200", &paper41(0, 199));
+    bench_case(c, "paper42_n200", &paper42(0, 199));
+    let stencil = parse_loop_with(
+        "for i = 1..N { for j = 1..N { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
+        &[("N", 200)],
+    )
+    .unwrap();
+    bench_case(c, "stencil_n200", &stencil);
+}
+
+/// Time-bounded criterion config so the full workspace bench run stays
+/// fast.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_compiled_vs_interp
+}
+criterion_main!(benches);

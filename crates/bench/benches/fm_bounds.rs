@@ -3,10 +3,10 @@
 //! the transformed loop limits).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm_matrix::vec::IVec;
 use pdm_poly::bounds::LoopBounds;
 use pdm_poly::expr::AffineExpr;
 use pdm_poly::system::System;
-use pdm_matrix::vec::IVec;
 
 /// A skewed n-dimensional box: 0 <= x_k + x_{k-1} <= N.
 fn skewed_box(n: usize, size: i64) -> System {
@@ -51,7 +51,6 @@ fn bench_enumeration(c: &mut Criterion) {
     });
 }
 
-
 /// Time-bounded criterion config so the full workspace bench run stays
 /// tractable while remaining statistically useful.
 fn quick() -> Criterion {
@@ -61,7 +60,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1200))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_fm_depth, bench_fm_transformed_plan, bench_enumeration

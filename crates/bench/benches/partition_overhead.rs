@@ -75,7 +75,6 @@ fn bench_walk_overhead(c: &mut Criterion) {
     });
 }
 
-
 /// Time-bounded criterion config so the full workspace bench run stays
 /// tractable while remaining statistically useful.
 fn quick() -> Criterion {
@@ -85,7 +84,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1200))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_offsets,

@@ -50,7 +50,6 @@ fn bench_speedups(c: &mut Criterion) {
     bench_pair(c, "sequential_chain_n200", &chain);
 }
 
-
 /// Time-bounded criterion config so the full workspace bench run stays
 /// tractable while remaining statistically useful.
 fn quick() -> Criterion {
@@ -60,7 +59,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1200))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_speedups

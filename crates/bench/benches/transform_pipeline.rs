@@ -41,7 +41,6 @@ fn bench_bounds_independence(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Time-bounded criterion config so the full workspace bench run stays
 /// tractable while remaining statistically useful.
 fn quick() -> Criterion {
@@ -51,7 +50,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(1200))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_analyze, bench_parallelize, bench_bounds_independence

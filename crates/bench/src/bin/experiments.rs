@@ -38,7 +38,12 @@ fn main() {
     // ---------------- FIG3 ----------------
     println!("\n[FIG3] Section 4.1 transformed");
     let plan41 = pdm_core::parallelize(&nest41).unwrap();
-    claim("doall loops", 1, plan41.doall_count(), plan41.doall_count() == 1);
+    claim(
+        "doall loops",
+        1,
+        plan41.doall_count(),
+        plan41.doall_count() == 1,
+    );
     claim(
         "partitions",
         2,
@@ -73,7 +78,10 @@ fn main() {
         a42.pdm() == &pdm_matrix::IMat::from_rows(&[vec![2, 1], vec![0, 2]]).unwrap(),
     );
     let g42 = pdm_isdg::build(&nest42).unwrap();
-    let strided = g42.distances().iter().all(|d| d.iter().any(|&x| x.abs() > 1));
+    let strided = g42
+        .distances()
+        .iter()
+        .all(|d| d.iter().any(|&x| x.abs() > 1));
     claim("all arrows stride > 1 somewhere", "yes", strided, strided);
 
     // ---------------- FIG5 ----------------
@@ -104,7 +112,9 @@ fn main() {
         !ban.applicable,
     );
     let wl = pdm_baselines::wolf_lam::WolfLam.analyze(&nest41).unwrap();
-    let pm = pdm_baselines::pdm_method::PdmMethod.analyze(&nest41).unwrap();
+    let pm = pdm_baselines::pdm_method::PdmMethod
+        .analyze(&nest41)
+        .unwrap();
     claim(
         "PDM strictly dominates direction vectors on §4.1",
         "doall 1 + 2 partitions vs none",

@@ -17,7 +17,12 @@ fn main() {
     println!("=== Figure 3: Section 4.1 loop after unimodular + partitioning ===\n");
     println!("{}", pdm_core::codegen::render_plan(&nest, &plan).unwrap());
 
-    pdm_bench::claim("doall loops", 1, plan.doall_count(), plan.doall_count() == 1);
+    pdm_bench::claim(
+        "doall loops",
+        1,
+        plan.doall_count(),
+        plan.doall_count() == 1,
+    );
     pdm_bench::claim(
         "partitions (Figure 3 shows jo2 = 0 and jo2 = 1)",
         2,
@@ -55,18 +60,22 @@ fn main() {
                 cells.insert((y[1], y[0]), '#');
             }
         }
-        let (min_y1, max_y1) = cells
-            .keys()
-            .fold((i64::MAX, i64::MIN), |(a, b), &(_, y1)| (a.min(y1), b.max(y1)));
-        let (min_y2, max_y2) = cells
-            .keys()
-            .fold((i64::MAX, i64::MIN), |(a, b), &(y2, _)| (a.min(y2), b.max(y2)));
+        let (min_y1, max_y1) = cells.keys().fold((i64::MAX, i64::MIN), |(a, b), &(_, y1)| {
+            (a.min(y1), b.max(y1))
+        });
+        let (min_y2, max_y2) = cells.keys().fold((i64::MAX, i64::MIN), |(a, b), &(y2, _)| {
+            (a.min(y2), b.max(y2))
+        });
         for y2 in (min_y2..=max_y2).rev() {
             print!("{y2:>4} |");
             for y1 in min_y1..=max_y1 {
                 print!(
                     "{}",
-                    if cells.contains_key(&(y2, y1)) { " #" } else { " ." }
+                    if cells.contains_key(&(y2, y1)) {
+                        " #"
+                    } else {
+                        " ."
+                    }
                 );
             }
             println!();

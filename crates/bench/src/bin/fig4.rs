@@ -28,10 +28,7 @@ fn main() {
     }
 
     // Paper claim: every arrow jumps a stride > 1 along i1 and/or i2.
-    let strided = g
-        .distances()
-        .iter()
-        .all(|d| d.iter().any(|&x| x.abs() > 1));
+    let strided = g.distances().iter().all(|d| d.iter().any(|&x| x.abs() > 1));
     pdm_bench::claim(
         "every arrow strides > 1 in some dimension",
         "yes",

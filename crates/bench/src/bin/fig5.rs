@@ -43,11 +43,14 @@ fn main() {
     let crossing = g
         .edges()
         .iter()
-        .filter(|e| {
-            plan.group_of(&e.from).unwrap() != plan.group_of(&e.to).unwrap()
-        })
+        .filter(|e| plan.group_of(&e.from).unwrap() != plan.group_of(&e.to).unwrap())
         .count();
-    pdm_bench::claim("dependences crossing partitions", 0, crossing, crossing == 0);
+    pdm_bench::claim(
+        "dependences crossing partitions",
+        0,
+        crossing,
+        crossing == 0,
+    );
 
     for (off, cells) in &by_offset {
         println!(
@@ -58,7 +61,14 @@ fn main() {
         for i2 in (lo..=hi).rev() {
             print!("{i2:>4} |");
             for i1 in lo..=hi {
-                print!("{}", if cells.contains(&(i1, i2)) { " #" } else { " ." });
+                print!(
+                    "{}",
+                    if cells.contains(&(i1, i2)) {
+                        " #"
+                    } else {
+                        " ."
+                    }
+                );
             }
             println!();
         }

@@ -80,7 +80,12 @@ pub fn measure_speedup(nest: &LoopNest, plan: &ParallelPlan, reps: usize) -> (f6
 }
 
 /// A `(claimed, measured, pass)` line for the experiment report.
-pub fn claim(label: &str, expected: impl std::fmt::Display, got: impl std::fmt::Display, pass: bool) {
+pub fn claim(
+    label: &str,
+    expected: impl std::fmt::Display,
+    got: impl std::fmt::Display,
+    pass: bool,
+) {
     println!(
         "  [{}] {label}: paper={expected} measured={got}",
         if pass { "OK" } else { "!!" }

@@ -70,9 +70,7 @@ pub fn algorithm1(pdm: &IMat) -> Result<ZeroedPdm> {
         // columns are structurally zero), so taking the bottom-most dirty
         // row each time terminates.
         while let Some(j) = (0..rho)
-            .filter(|&r| {
-                w.row_vec(r).level().expect("rows stay nonzero") < c && w.get(r, c) != 0
-            })
+            .filter(|&r| w.row_vec(r).level().expect("rows stay nonzero") < c && w.get(r, c) != 0)
             .max()
         {
             loop {
@@ -207,7 +205,7 @@ mod tests {
     fn already_zero_columns_pass_through() {
         let z = check(&m(&[vec![0, 3, 1]]));
         assert_eq!(z.zero_cols, 2);
-        assert_eq!(z.transformed.get(0, 2) > 0, true);
+        assert!(z.transformed.get(0, 2) > 0);
     }
 
     #[test]

@@ -82,12 +82,7 @@ pub fn render_plan(nest: &LoopNest, plan: &ParallelPlan) -> Result<String> {
                 );
             }
             None => {
-                let _ = writeln!(
-                    out,
-                    "{}for {} = {lb}..={ub} {{",
-                    pad(indent),
-                    ynames[k]
-                );
+                let _ = writeln!(out, "{}for {} = {lb}..={ub} {{", pad(indent), ynames[k]);
             }
         }
         indent += 1;
@@ -184,10 +179,9 @@ mod tests {
 
     #[test]
     fn renders_sequential_stencil() {
-        let nest = parse_loop(
-            "for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse_loop("for i = 1..=9 { for j = 1..=9 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }")
+                .unwrap();
         let plan = parallelize(&nest).unwrap();
         let text = render_plan(&nest, &plan).unwrap();
         // Full Z^2 lattice: no doall, no partitions.

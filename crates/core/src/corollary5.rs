@@ -81,9 +81,8 @@ mod tests {
 
     #[test]
     fn two_dim_uniform() {
-        let (w, r) = flow_refs(
-            "for i = 2..=9 { for j = 3..=9 { A[i, j] = A[i - 2, j - 3] + 1; } }",
-        );
+        let (w, r) =
+            flow_refs("for i = 2..=9 { for j = 3..=9 { A[i, j] = A[i - 2, j - 3] + 1; } }");
         let d = constant_distance(&w, &r).unwrap().unwrap();
         assert_eq!(d.as_slice(), &[2, 3]);
     }

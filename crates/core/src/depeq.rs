@@ -94,8 +94,8 @@ mod tests {
                     for j2 in -6..6i64 {
                         let i = IVec::from_slice(&[i1, i2]);
                         let j = IVec::from_slice(&[j1, j2]);
-                        let direct = wr.ref_a.access.eval(&i).unwrap()
-                            == wr.ref_b.access.eval(&j).unwrap();
+                        let direct =
+                            wr.ref_a.access.eval(&i).unwrap() == wr.ref_b.access.eval(&j).unwrap();
                         assert_eq!(eq.holds(&i, &j).unwrap(), direct);
                     }
                 }

@@ -154,9 +154,7 @@ mod tests {
         // A[i, i] vs A[j, j+1]: each dimension alone is satisfiable
         // (gcd 1; ranges overlap), but the coupled system i = j and
         // i = j + 1 is contradictory.
-        let (eq, ranges) = eq_of(
-            "for i = 0..=10 { A[i, i] = A[i, i + 1] + 1; }",
-        );
+        let (eq, ranges) = eq_of("for i = 0..=10 { A[i, i] = A[i, i + 1] + 1; }");
         assert_eq!(gcd_test(&eq), TestResult::MaybeDependent);
         assert_eq!(
             banerjee_test(&eq, &ranges).unwrap(),
@@ -182,7 +180,11 @@ mod tests {
                 TestResult::MaybeDependent,
                 "{src}"
             );
-            assert_eq!(exact_test(&eq).unwrap(), TestResult::MaybeDependent, "{src}");
+            assert_eq!(
+                exact_test(&eq).unwrap(),
+                TestResult::MaybeDependent,
+                "{src}"
+            );
         }
     }
 
@@ -217,10 +219,8 @@ mod tests {
         ] {
             let nest = parse_loop(src).unwrap();
             let rep = compare_tests(&nest).unwrap();
-            let any_disproved = rep.gcd_independent
-                + rep.banerjee_independent
-                + rep.exact_independent
-                > 0;
+            let any_disproved =
+                rep.gcd_independent + rep.banerjee_independent + rep.exact_independent > 0;
             assert!(any_disproved, "{src}");
             // Ground truth: no dependent iterations at all.
             let its = nest.iterations().unwrap();

@@ -100,11 +100,7 @@ impl PdmAnalysis {
     pub fn has_dependences(&self) -> bool {
         self.rank() > 0
             || self.pairs.iter().any(|p| {
-                p.lattice.solvable
-                    && p.lattice
-                        .particular
-                        .as_ref()
-                        .is_some_and(|d| !d.is_zero())
+                p.lattice.solvable && p.lattice.particular.as_ref().is_some_and(|d| !d.is_zero())
             })
     }
 
@@ -257,10 +253,7 @@ mod tests {
                     for j in &its {
                         if ra.access.eval(i).unwrap() == rb.access.eval(j).unwrap() {
                             let d: IVec = j.sub(i).unwrap();
-                            assert!(
-                                lat.contains(&d).unwrap(),
-                                "distance {d} not covered by PDM"
-                            );
+                            assert!(lat.contains(&d).unwrap(), "distance {d} not covered by PDM");
                             checked += 1;
                         }
                     }

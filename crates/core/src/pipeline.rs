@@ -7,8 +7,7 @@ pub use crate::plan::parallelize;
 mod tests {
     #[test]
     fn reexports_resolve() {
-        let nest =
-            pdm_loopir::parse::parse_loop("for i = 0..=3 { A[i] = i; }").unwrap();
+        let nest = pdm_loopir::parse::parse_loop("for i = 0..=3 { A[i] = i; }").unwrap();
         assert_eq!(super::analyze(&nest).unwrap().rank(), 0);
         assert!(super::parallelize(&nest).unwrap().is_fully_parallel());
     }

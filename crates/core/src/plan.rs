@@ -47,9 +47,7 @@ pub fn plan_from_analysis(nest: &LoopNest, analysis: PdmAnalysis) -> Result<Para
 
     // Partition the trailing full-rank block when it buys parallelism.
     let partition = if rho > 0 {
-        let sub = zeroed
-            .transformed
-            .submatrix(0, rho, zeroed.zero_cols, n);
+        let sub = zeroed.transformed.submatrix(0, rho, zeroed.zero_cols, n);
         let p = Partitioning::new(sub)?;
         if p.count() > 1 {
             Some(p)
@@ -132,12 +130,12 @@ impl ParallelPlan {
 
     /// Map a transformed index back to the original iteration vector.
     pub fn original_index(&self, y: &IVec) -> Result<IVec> {
-        Ok(self.inverse.apply(y).map_err(CoreError::Matrix)?)
+        self.inverse.apply(y).map_err(CoreError::Matrix)
     }
 
     /// Map an original iteration vector into the transformed space.
     pub fn transformed_index(&self, i: &IVec) -> Result<IVec> {
-        Ok(self.transform.apply(i).map_err(CoreError::Matrix)?)
+        self.transform.apply(i).map_err(CoreError::Matrix)
     }
 
     /// Is every loop parallel (no dependences at all)?
@@ -223,8 +221,7 @@ mod tests {
         let transformed = plan.bounds().enumerate().unwrap();
         assert_eq!(its.len(), transformed.len(), "bijection cardinality");
         // Round-trip each original iteration.
-        let set: std::collections::HashSet<Vec<i64>> =
-            transformed.into_iter().collect();
+        let set: std::collections::HashSet<Vec<i64>> = transformed.into_iter().collect();
         for i in &its {
             let y = plan.transformed_index(i).unwrap();
             assert!(set.contains(&y.0), "missing image {y}");
@@ -243,16 +240,12 @@ mod tests {
         for (_, ka, ra) in &accs {
             for (_, kb, rb) in &accs {
                 use pdm_loopir::stmt::AccessKind;
-                if ra.array != rb.array
-                    || (*ka == AccessKind::Read && *kb == AccessKind::Read)
-                {
+                if ra.array != rb.array || (*ka == AccessKind::Read && *kb == AccessKind::Read) {
                     continue;
                 }
                 for i in &its {
                     for j in &its {
-                        if i == j
-                            || ra.access.eval(i).unwrap() != rb.access.eval(j).unwrap()
-                        {
+                        if i == j || ra.access.eval(i).unwrap() != rb.access.eval(j).unwrap() {
                             continue;
                         }
                         deps += 1;
@@ -278,10 +271,8 @@ mod tests {
         let nest = paper42();
         let plan = parallelize(&nest).unwrap();
         let its = nest.iterations().unwrap();
-        let groups: std::collections::HashSet<_> = its
-            .iter()
-            .map(|i| plan.group_of(i).unwrap())
-            .collect();
+        let groups: std::collections::HashSet<_> =
+            its.iter().map(|i| plan.group_of(i).unwrap()).collect();
         // No doall prefix; exactly det(H) = 4 partitions.
         assert_eq!(groups.len() as i64, plan.partition_count());
     }

@@ -157,8 +157,7 @@ pub fn build_all_pairs(nest: &LoopNest, limit: usize) -> Result<Isdg> {
         .map(|(k, v)| (v.clone(), k))
         .collect();
     // Map every cell to its access list in execution order.
-    let mut cell_log: HashMap<(ArrayId, IVec), Vec<(usize, usize, AccessKind)>> =
-        HashMap::new();
+    let mut cell_log: HashMap<(ArrayId, IVec), Vec<(usize, usize, AccessKind)>> = HashMap::new();
     for (it_idx, it) in iterations.iter().enumerate() {
         for (stmt_idx, stmt) in nest.body().iter().enumerate() {
             let mut acc = stmt.accesses();
@@ -344,7 +343,13 @@ mod tests {
         let all = build_all_pairs(&nest, 10_000).unwrap();
         // Direct: consecutive chain; all-pairs: every ordered pair.
         assert!(all.edges().len() >= direct.edges().len());
-        assert_eq!(all.edges().iter().filter(|e| e.kind == EdgeKind::Output).count(), 15);
+        assert_eq!(
+            all.edges()
+                .iter()
+                .filter(|e| e.kind == EdgeKind::Output)
+                .count(),
+            15
+        );
     }
 
     #[test]

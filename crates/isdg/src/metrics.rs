@@ -41,7 +41,11 @@ pub fn metrics(g: &Isdg) -> IsdgMetrics {
         edges: g.edges().len(),
         components: comps,
         critical_path: cp,
-        avg_parallelism: if cp == 0 { n as f64 } else { n as f64 / cp as f64 },
+        avg_parallelism: if cp == 0 {
+            n as f64
+        } else {
+            n as f64 / cp as f64
+        },
     }
 }
 
@@ -49,7 +53,7 @@ pub fn metrics(g: &Isdg) -> IsdgMetrics {
 pub fn components(g: &Isdg) -> usize {
     let n = g.iterations().len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
             r = parent[r];
@@ -117,7 +121,7 @@ pub fn critical_path(g: &Isdg) -> usize {
 pub fn component_labels(g: &Isdg) -> Vec<Option<usize>> {
     let n = g.iterations().len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
             r = parent[r];
@@ -246,10 +250,9 @@ mod tests {
 
     #[test]
     fn level_schedule_consistent_with_critical_path() {
-        let nest = parse_loop(
-            "for i = 1..=6 { for j = 1..=6 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
-        )
-        .unwrap();
+        let nest =
+            parse_loop("for i = 1..=6 { for j = 1..=6 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }")
+                .unwrap();
         let g = build(&nest).unwrap();
         let (_, widths) = level_schedule(&g);
         assert_eq!(widths.len(), critical_path(&g));

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 /// upward (like the paper's axes).
 pub fn ascii_grid(g: &Isdg) -> String {
     assert!(
-        g.iterations().first().map_or(true, |i| i.dim() == 2),
+        g.iterations().first().is_none_or(|i| i.dim() == 2),
         "ascii_grid renders 2-D spaces"
     );
     let Some(first) = g.iterations().first() else {
@@ -25,8 +25,7 @@ pub fn ascii_grid(g: &Isdg) -> String {
         }
     }
     let labels = component_labels(g);
-    let mut grid: std::collections::HashMap<(i64, i64), char> =
-        std::collections::HashMap::new();
+    let mut grid: std::collections::HashMap<(i64, i64), char> = std::collections::HashMap::new();
     for (idx, it) in g.iterations().iter().enumerate() {
         let ch = match labels[idx] {
             Some(c) => char::from_digit((c % 10) as u32, 10).unwrap(),
@@ -59,8 +58,7 @@ pub fn ascii_grid(g: &Isdg) -> String {
 /// Summarize the edges as distance-vector counts (what the arrows of the
 /// figures encode), sorted by frequency.
 pub fn distance_histogram(g: &Isdg) -> Vec<(Vec<i64>, usize)> {
-    let mut hist: std::collections::HashMap<Vec<i64>, usize> =
-        std::collections::HashMap::new();
+    let mut hist: std::collections::HashMap<Vec<i64>, usize> = std::collections::HashMap::new();
     for d in g.distances() {
         *hist.entry(d.0).or_insert(0) += 1;
     }
@@ -121,18 +119,13 @@ mod tests {
 
     #[test]
     fn grid_marks_dependent_cells() {
-        let nest = parse_loop(
-            "for i1 = 0..=3 { for i2 = 0..=3 { A[i1 + 1, i2] = A[i1, i2] + 1; } }",
-        )
-        .unwrap();
+        let nest =
+            parse_loop("for i1 = 0..=3 { for i2 = 0..=3 { A[i1 + 1, i2] = A[i1, i2] + 1; } }")
+                .unwrap();
         let g = build(&nest).unwrap();
         let s = ascii_grid(&g);
         // All cells dependent (chains along i1): no dots in the grid rows.
-        let body: String = s
-            .lines()
-            .filter(|l| l.contains('|'))
-            .skip(1)
-            .collect();
+        let body: String = s.lines().filter(|l| l.contains('|')).skip(1).collect();
         assert!(!body.contains('.'), "{s}");
         // 4 chains (one per i2): labels 1..=4 appear.
         assert!(s.contains('1') && s.contains('4'), "{s}");
@@ -140,8 +133,7 @@ mod tests {
 
     #[test]
     fn grid_shows_independent_dots() {
-        let nest =
-            parse_loop("for i1 = 0..=2 { for i2 = 0..=2 { A[i1, i2] = 1; } }").unwrap();
+        let nest = parse_loop("for i1 = 0..=2 { for i2 = 0..=2 { A[i1, i2] = 1; } }").unwrap();
         let g = build(&nest).unwrap();
         let s = ascii_grid(&g);
         assert!(s.contains('.'));

@@ -122,8 +122,7 @@ mod tests {
         // Craft a nest with a real dependence, then lie: analyze a
         // dependence-free nest with identical shape and use ITS plan
         // (fully parallel) on the dependent nest's ISDG.
-        let dependent =
-            parse_loop("for i = 1..=10 { A[i] = A[i - 1] + 1; }").unwrap();
+        let dependent = parse_loop("for i = 1..=10 { A[i] = A[i - 1] + 1; }").unwrap();
         let independent = parse_loop("for i = 1..=10 { A[i] = i; }").unwrap();
         let wrong_plan = parallelize(&independent).unwrap();
         assert!(wrong_plan.is_fully_parallel());

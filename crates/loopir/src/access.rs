@@ -1,8 +1,8 @@
 //! Affine array access functions `s(i) = i·A + b`.
 
+use crate::{IrError, Result};
 use pdm_matrix::mat::IMat;
 use pdm_matrix::vec::IVec;
-use crate::{IrError, Result};
 
 /// Identifier of an array within a [`crate::nest::LoopNest`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,8 +60,7 @@ impl AffineAccess {
     /// Is the access *uniform enough* for a constant-distance method —
     /// i.e. square (`m == n`) and nonsingular (Corollary 5's condition)?
     pub fn is_nonsingular(&self) -> bool {
-        self.matrix.is_square()
-            && matches!(pdm_matrix::det::det(&self.matrix), Ok(d) if d != 0)
+        self.matrix.is_square() && matches!(pdm_matrix::det::det(&self.matrix), Ok(d) if d != 0)
     }
 }
 

@@ -143,10 +143,7 @@ impl LoopNest {
 
     /// Look up an array by source name.
     pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
-        self.arrays
-            .iter()
-            .position(|a| a.name == name)
-            .map(ArrayId)
+        self.arrays.iter().position(|a| a.name == name).map(ArrayId)
     }
 
     /// The iteration polyhedron `{ i : l_k ≤ i_k ≤ u_k }` as a constraint
@@ -184,12 +181,10 @@ impl LoopNest {
             for e in proj.constraints() {
                 let a = e.coeff(k);
                 if a > 0 {
-                    let b = pdm_matrix::num::ceil_div(-e.constant, a)
-                        .map_err(IrError::Matrix)?;
+                    let b = pdm_matrix::num::ceil_div(-e.constant, a).map_err(IrError::Matrix)?;
                     lo = Some(lo.map_or(b, |c: i64| c.max(b)));
                 } else if a < 0 {
-                    let b = pdm_matrix::num::floor_div(e.constant, -a)
-                        .map_err(IrError::Matrix)?;
+                    let b = pdm_matrix::num::floor_div(e.constant, -a).map_err(IrError::Matrix)?;
                     hi = Some(hi.map_or(b, |c: i64| c.min(b)));
                 }
             }
@@ -328,11 +323,7 @@ mod tests {
         // for i1 = 0..=5 { for i2 = 0..=i1 { ... } }
         let nest = NestBuilder::new(&["i1", "i2"])
             .bounds_const(0, 0, 5)
-            .bounds_expr(
-                1,
-                AffineExpr::constant(2, 0),
-                AffineExpr::var(2, 0),
-            )
+            .bounds_expr(1, AffineExpr::constant(2, 0), AffineExpr::var(2, 0))
             .array("A", 1)
             .stmt_simple("A", &[(vec![1, 0], 0)], &[("A", vec![(vec![0, 1], 0)])])
             .build()
@@ -363,10 +354,7 @@ mod tests {
     fn self_dependence_pair_present() {
         // A single write access must still form a W-W self pair (output
         // dependence candidacy, as the paper's §4.1 uses).
-        let nest = crate::parse::parse_loop(
-            "for i = 0..=4 { A[2*i] = 1; }",
-        )
-        .unwrap();
+        let nest = crate::parse::parse_loop("for i = 0..=4 { A[2*i] = 1; }").unwrap();
         let pairs = nest.dependence_pairs();
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].class(), "output");

@@ -107,20 +107,10 @@ pub fn normalize(stepped: &SteppedNest) -> Result<LoopNest> {
         .collect::<Result<_>>()?;
 
     let arrays: Vec<ArrayDecl> = nest.arrays().to_vec();
-    LoopNest::new(
-        nest.index_names().to_vec(),
-        lower,
-        upper,
-        arrays,
-        body,
-    )
+    LoopNest::new(nest.index_names().to_vec(), lower, upper, arrays, body)
 }
 
-fn substitute_expr(
-    e: &AffineExpr,
-    steps: &[i64],
-    bases: &[i64],
-) -> Result<AffineExpr> {
+fn substitute_expr(e: &AffineExpr, steps: &[i64], bases: &[i64]) -> Result<AffineExpr> {
     // i_k = base_k + s_k * i'_k  =>  coeff_k * i_k = (coeff_k * s_k) i'_k
     // + coeff_k * base_k.
     let n = e.dim();
@@ -236,10 +226,9 @@ mod tests {
 
     #[test]
     fn mixed_steps_2d() {
-        let s = parse_loop_stepped(
-            "for i = 0..=8 step 2 { for j = 0..=3 { A[i + j] = A[i] + j; } }",
-        )
-        .unwrap();
+        let s =
+            parse_loop_stepped("for i = 0..=8 step 2 { for j = 0..=3 { A[i + j] = A[i] + j; } }")
+                .unwrap();
         assert_eq!(s.steps, vec![2, 1]);
         let n = normalize(&s).unwrap();
         assert_eq!(n.iterations().unwrap().len(), 5 * 4);
@@ -279,10 +268,8 @@ mod tests {
     fn stepped_loop_with_affine_inner_bound_keeps_semantics() {
         // Outer stride 2, inner bound depends on the outer index. The
         // inner bound i (affine) is substituted to 2*i'.
-        let s = parse_loop_stepped(
-            "for i = 0..=6 step 2 { for j = 0..=i { A[i, j] = 1; } }",
-        )
-        .unwrap();
+        let s =
+            parse_loop_stepped("for i = 0..=6 step 2 { for j = 0..=i { A[i, j] = 1; } }").unwrap();
         let n = normalize(&s).unwrap();
         // i in {0,2,4,6}: inner counts 1,3,5,7 -> 16 iterations.
         assert_eq!(n.iterations().unwrap().len(), 16);
@@ -293,8 +280,7 @@ mod tests {
         // Stride-2 chain A[i] = A[i-2] over even i: normalized it is a
         // unit chain with distance 1 (i' space) -> sequential; and the
         // ORIGINAL even/odd split is gone because only evens execute.
-        let s = parse_loop_stepped("for i = 2..=20 step 2 { A[i] = A[i - 2] + 1; }")
-            .unwrap();
+        let s = parse_loop_stepped("for i = 2..=20 step 2 { A[i] = A[i - 2] + 1; }").unwrap();
         let n = normalize(&s).unwrap();
         let a = pdm_core_analysis_shim(&n);
         assert_eq!(a, vec![vec![1]]);

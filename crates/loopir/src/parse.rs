@@ -65,10 +65,7 @@ pub fn parse_loop_stepped_with(
         tokens,
         pos: 0,
         src_len: src.len(),
-        params: params
-            .iter()
-            .map(|(k, v)| (k.to_string(), *v))
-            .collect(),
+        params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         index_names: Vec::new(),
         headers: Vec::new(),
         arrays: Vec::new(),
@@ -120,60 +117,102 @@ fn lex(src: &str) -> Result<Vec<Token>> {
                 }
             }
             '{' => {
-                out.push(Token { tok: Tok::LBrace, at: i });
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    at: i,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { tok: Tok::RBrace, at: i });
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    at: i,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { tok: Tok::LBracket, at: i });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    at: i,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { tok: Tok::RBracket, at: i });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    at: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, at: i });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    at: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, at: i });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    at: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, at: i });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    at: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { tok: Tok::Semi, at: i });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    at: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { tok: Tok::Plus, at: i });
+                out.push(Token {
+                    tok: Tok::Plus,
+                    at: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { tok: Tok::Minus, at: i });
+                out.push(Token {
+                    tok: Tok::Minus,
+                    at: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { tok: Tok::Star, at: i });
+                out.push(Token {
+                    tok: Tok::Star,
+                    at: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { tok: Tok::Assign, at: i });
+                out.push(Token {
+                    tok: Tok::Assign,
+                    at: i,
+                });
                 i += 1;
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
                     if bytes.get(i + 2) == Some(&b'=') {
-                        out.push(Token { tok: Tok::DotDotEq, at: i });
+                        out.push(Token {
+                            tok: Tok::DotDotEq,
+                            at: i,
+                        });
                         i += 3;
                     } else {
-                        out.push(Token { tok: Tok::DotDot, at: i });
+                        out.push(Token {
+                            tok: Tok::DotDot,
+                            at: i,
+                        });
                         i += 2;
                     }
                 } else {
@@ -193,7 +232,10 @@ fn lex(src: &str) -> Result<Vec<Token>> {
                     at: start,
                     msg: format!("integer literal '{text}' out of range"),
                 })?;
-                out.push(Token { tok: Tok::Int(v), at: start });
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    at: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -203,7 +245,11 @@ fn lex(src: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let tok = if text == "for" { Tok::For } else { Tok::Ident(text.to_string()) };
+                let tok = if text == "for" {
+                    Tok::For
+                } else {
+                    Tok::Ident(text.to_string())
+                };
                 out.push(Token { tok, at: start });
             }
             other => {
@@ -420,9 +466,7 @@ impl Parser {
             match self.params.get(name) {
                 Some(&v) => c += coef * v,
                 None => {
-                    return Err(self.err(format!(
-                        "'{name}' is not a constant in a step clause"
-                    )))
+                    return Err(self.err(format!("'{name}' is not a constant in a step clause")))
                 }
             }
         }
@@ -706,11 +750,7 @@ mod tests {
 
     #[test]
     fn parameters_substitute() {
-        let nest = parse_loop_with(
-            "for i = 1..=N { A[i] = A[i - 1] + N; }",
-            &[("N", 5)],
-        )
-        .unwrap();
+        let nest = parse_loop_with("for i = 1..=N { A[i] = A[i - 1] + N; }", &[("N", 5)]).unwrap();
         assert_eq!(nest.iterations().unwrap().len(), 5);
         // N inside the body becomes the constant 5.
         assert!(format!("{:?}", nest.body()[0].rhs).contains("Const(5)"));
@@ -774,10 +814,7 @@ mod tests {
 
     #[test]
     fn body_expression_shapes() {
-        let nest = parse_loop(
-            "for i = 1..=4 { A[i] = 2 * A[i - 1] - (A[i] + i) * 3; }",
-        )
-        .unwrap();
+        let nest = parse_loop("for i = 1..=4 { A[i] = 2 * A[i - 1] - (A[i] + i) * 3; }").unwrap();
         let mut reads = Vec::new();
         nest.body()[0].rhs.reads(&mut reads);
         assert_eq!(reads.len(), 2);

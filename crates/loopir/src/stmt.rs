@@ -94,11 +94,7 @@ mod tests {
     use pdm_matrix::vec::IVec;
 
     fn access(rows: &[Vec<i64>], off: &[i64]) -> AffineAccess {
-        AffineAccess::new(
-            IMat::from_rows(rows).unwrap(),
-            IVec::from_slice(off),
-        )
-        .unwrap()
+        AffineAccess::new(IMat::from_rows(rows).unwrap(), IVec::from_slice(off)).unwrap()
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn row_echelon(a: &IMat) -> Result<Echelon> {
             let mut best: Option<(usize, i64)> = None;
             for r in pivot_row..m {
                 let v = e.get(r, col);
-                if v != 0 && best.map_or(true, |(_, bv)| v.abs() < bv.abs()) {
+                if v != 0 && best.is_none_or(|(_, bv)| v.abs() < bv.abs()) {
                     best = Some((r, v));
                 }
             }
@@ -165,12 +165,7 @@ mod tests {
     fn paper_eq_4_2_coefficient_matrix() {
         // §4.1: subscripts (i1+i2, 3i1+i2+3) vs (i1+i2+1, i1+2i2).
         // Row-vector convention: x·M = c with M = [A1; -A2] (4×2).
-        let mm = m(&[
-            vec![1, 3],
-            vec![1, 1],
-            vec![-1, -1],
-            vec![-1, -2],
-        ]);
+        let mm = m(&[vec![1, 3], vec![1, 1], vec![-1, -1], vec![-1, -2]]);
         let r = row_echelon(&mm).unwrap();
         assert_eq!(r.rank, 2);
         check_reduction(&mm);
@@ -235,11 +230,6 @@ mod tests {
     #[test]
     fn wide_and_tall_matrices() {
         check_reduction(&m(&[vec![3, 1, 4, 1, 5], vec![9, 2, 6, 5, 3]]));
-        check_reduction(&m(&[
-            vec![2],
-            vec![7],
-            vec![1],
-            vec![8],
-        ]));
+        check_reduction(&m(&[vec![2], vec![7], vec![1], vec![8]]));
     }
 }

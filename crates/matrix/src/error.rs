@@ -75,7 +75,10 @@ impl fmt::Display for MatrixError {
                 write!(f, "linear diophantine system has no integer solution")
             }
             MatrixError::Unbounded => {
-                write!(f, "polyhedron is unbounded where a finite bound is required")
+                write!(
+                    f,
+                    "polyhedron is unbounded where a finite bound is required"
+                )
             }
         }
     }

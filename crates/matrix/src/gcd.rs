@@ -70,7 +70,11 @@ pub fn ext_gcd(a: i64, b: i64) -> Result<ExtGcd> {
         x0 = cneg(x0)?;
         y0 = cneg(y0)?;
     }
-    Ok(ExtGcd { g: r0, x: x0, y: y0 })
+    Ok(ExtGcd {
+        g: r0,
+        x: x0,
+        y: y0,
+    })
 }
 
 /// Does `d` divide `a` (with the convention that only 0 is divisible by 0)?

@@ -33,10 +33,7 @@ pub fn hermite_normal_form(a: &IMat) -> Result<Hnf> {
 
     // Reduce entries above each pivot into [0, pivot).
     for j in 0..red.rank {
-        let lj = e
-            .row_vec(j)
-            .level()
-            .expect("nonzero row within rank");
+        let lj = e.row_vec(j).level().expect("nonzero row within rank");
         let pivot = e.get(j, lj);
         debug_assert!(pivot > 0, "echelon pivots are normalized positive");
         for i in 0..j {

@@ -101,7 +101,11 @@ impl Lattice {
                 residual = residual.add_scaled(-xj, &row)?;
             }
         }
-        Ok(if residual.is_zero() { Some(coords) } else { None })
+        Ok(if residual.is_zero() {
+            Some(coords)
+        } else {
+            None
+        })
     }
 
     /// Lattice membership.

@@ -232,7 +232,11 @@ impl IMat {
 
     /// Scale every entry.
     pub fn scale(&self, k: i64) -> Result<IMat> {
-        let data = self.data.iter().map(|&x| cmul(x, k)).collect::<Result<_>>()?;
+        let data = self
+            .data
+            .iter()
+            .map(|&x| cmul(x, k))
+            .collect::<Result<_>>()?;
         Ok(IMat {
             rows: self.rows,
             cols: self.cols,
@@ -361,8 +365,7 @@ impl IMat {
         for r in 0..self.rows {
             out.data[r * (self.cols + other.cols)..r * (self.cols + other.cols) + self.cols]
                 .copy_from_slice(self.row(r));
-            out.data[r * (self.cols + other.cols) + self.cols
-                ..(r + 1) * (self.cols + other.cols)]
+            out.data[r * (self.cols + other.cols) + self.cols..(r + 1) * (self.cols + other.cols)]
                 .copy_from_slice(other.row(r));
         }
         Ok(out)

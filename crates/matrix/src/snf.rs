@@ -40,7 +40,7 @@ pub fn smith_normal_form(a: &IMat) -> Result<Snf> {
             for r in k..m {
                 for c in k..n {
                     let x = d.get(r, c);
-                    if x != 0 && best.map_or(true, |(_, _, bv)| x.abs() < bv.abs()) {
+                    if x != 0 && best.is_none_or(|(_, _, bv)| x.abs() < bv.abs()) {
                         best = Some((r, c, x));
                     }
                 }
@@ -186,7 +186,10 @@ mod tests {
     #[test]
     fn known_forms() {
         let s = check(&m(&[vec![2, 4], vec![6, 8]]));
-        assert_eq!(invariant_factors(&m(&[vec![2, 4], vec![6, 8]])).unwrap(), vec![2, 4]);
+        assert_eq!(
+            invariant_factors(&m(&[vec![2, 4], vec![6, 8]])).unwrap(),
+            vec![2, 4]
+        );
         assert_eq!(s.rank, 2);
 
         let s2 = check(&m(&[vec![2, 1], vec![0, 2]]));

@@ -131,12 +131,7 @@ mod tests {
     fn paper_4_1_flow_dependence_system() {
         // §4.1: A(i1+i2, 3i1+i2+3) written, A(i1+i2+1, i1+2i2) read.
         // x·M = c with x = (i1,i2,j1,j2), M rows = [A1; -A2], c = b2 - b1.
-        let a = m(&[
-            vec![1, 3],
-            vec![1, 1],
-            vec![-1, -1],
-            vec![-1, -2],
-        ]);
+        let a = m(&[vec![1, 3], vec![1, 1], vec![-1, -1], vec![-1, -2]]);
         let c = IVec::from_slice(&[1, -3]);
         let s = solve_dio(&a, &c).unwrap().expect("dependence exists");
         verify_solution(&a, &c, &s);

@@ -68,12 +68,20 @@ impl IVec {
 
     /// Scale every component by `k`.
     pub fn scale(&self, k: i64) -> Result<IVec> {
-        self.0.iter().map(|&x| cmul(x, k)).collect::<Result<_>>().map(IVec)
+        self.0
+            .iter()
+            .map(|&x| cmul(x, k))
+            .collect::<Result<_>>()
+            .map(IVec)
     }
 
     /// Negate every component.
     pub fn neg(&self) -> Result<IVec> {
-        self.0.iter().map(|&x| cneg(x)).collect::<Result<_>>().map(IVec)
+        self.0
+            .iter()
+            .map(|&x| cneg(x))
+            .collect::<Result<_>>()
+            .map(IVec)
     }
 
     /// `self + k * other`, the fused row-operation kernel.

@@ -125,10 +125,7 @@ impl LoopBounds {
                     });
                 } else {
                     // x_k <= floor(rest / -a)
-                    uppers.push(BoundExpr {
-                        num: rest,
-                        den: -a,
-                    });
+                    uppers.push(BoundExpr { num: rest, den: -a });
                 }
             }
             collected.push(LevelBounds { lowers, uppers });

@@ -131,10 +131,7 @@ impl AffineExpr {
     pub fn display_with(&self, names: &[String]) -> String {
         let mut parts: Vec<String> = Vec::new();
         for (i, &c) in self.coeffs.iter().enumerate() {
-            let name = names
-                .get(i)
-                .cloned()
-                .unwrap_or_else(|| format!("x{i}"));
+            let name = names.get(i).cloned().unwrap_or_else(|| format!("x{i}"));
             match c {
                 0 => {}
                 1 => parts.push(name),

@@ -41,7 +41,7 @@ pub fn eliminate(sys: &System, k: usize) -> Result<System> {
         for up in &uppers {
             let a = lo.coeff(k); // > 0
             let b = -up.coeff(k); // > 0
-            // b*lo + a*up has zero x_k coefficient.
+                                  // b*lo + a*up has zero x_k coefficient.
             let combined = lo.scale(b)?.add(&up.scale(a)?)?;
             debug_assert_eq!(combined.coeff(k), 0);
             out.add_ge0(combined)?;

@@ -40,10 +40,7 @@ impl System {
         assert_eq!(e.dim(), self.dim, "constraint dimension mismatch");
         let g = gcd_slice(e.coeffs.as_slice());
         let e = if g > 1 {
-            AffineExpr::new(
-                e.coeffs.exact_div(g)?,
-                floor_div(e.constant, g)?,
-            )
+            AffineExpr::new(e.coeffs.exact_div(g)?, floor_div(e.constant, g)?)
         } else {
             e
         };
@@ -65,7 +62,9 @@ impl System {
         lower.constant = -lo;
         self.add_ge0(lower)?;
         // hi - x_i >= 0
-        let upper = AffineExpr::var(self.dim, i).scale(-1)?.add(&AffineExpr::constant(self.dim, hi))?;
+        let upper = AffineExpr::var(self.dim, i)
+            .scale(-1)?
+            .add(&AffineExpr::constant(self.dim, hi))?;
         self.add_ge0(upper)
     }
 
@@ -177,10 +176,14 @@ mod tests {
         let mut s = System::universe(1);
         // 2x - 3 >= 0  =>  x >= 2 after integer tightening (x - 1 >= 0
         // would be wrong: x=1 gives 2-3 < 0). floor(-3/2) = -2: x - 2 >= 0.
-        s.add_ge0(AffineExpr::new(IVec::from_slice(&[2]), -3)).unwrap();
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[2]), -3))
+            .unwrap();
         assert!(!s.contains(&[1]).unwrap());
         assert!(s.contains(&[2]).unwrap());
-        assert_eq!(s.constraints()[0], AffineExpr::new(IVec::from_slice(&[1]), -2));
+        assert_eq!(
+            s.constraints()[0],
+            AffineExpr::new(IVec::from_slice(&[1]), -2)
+        );
     }
 
     #[test]
@@ -205,8 +208,10 @@ mod tests {
     #[test]
     fn simplify_keeps_tightest() {
         let mut s = System::universe(1);
-        s.add_ge0(AffineExpr::new(IVec::from_slice(&[1]), 5)).unwrap(); // x >= -5
-        s.add_ge0(AffineExpr::new(IVec::from_slice(&[1]), 2)).unwrap(); // x >= -2
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[1]), 5))
+            .unwrap(); // x >= -5
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[1]), 2))
+            .unwrap(); // x >= -2
         s.simplify();
         assert_eq!(s.len(), 1);
         assert_eq!(s.constraints()[0].constant, 2);

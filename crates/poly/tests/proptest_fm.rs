@@ -1,30 +1,26 @@
 //! Property tests: Fourier–Motzkin projection soundness/completeness and
 //! loop-bound enumeration exactness on random small polyhedra.
 
+use pdm_matrix::vec::IVec;
 use pdm_poly::bounds::LoopBounds;
 use pdm_poly::expr::AffineExpr;
 use pdm_poly::fm::eliminate;
 use pdm_poly::system::System;
-use pdm_matrix::vec::IVec;
 use proptest::prelude::*;
 
 /// A random bounded system over `dim` variables: a containing box plus a
 /// few random affine cuts.
 fn bounded_system(dim: usize) -> impl Strategy<Value = System> {
-    let cuts = proptest::collection::vec(
-        (
-            proptest::collection::vec(-3i64..=3, dim),
-            -6i64..=6,
-        ),
-        0..4,
-    );
+    let cuts =
+        proptest::collection::vec((proptest::collection::vec(-3i64..=3, dim), -6i64..=6), 0..4);
     cuts.prop_map(move |cuts| {
         let mut s = System::universe(dim);
         for i in 0..dim {
             s.add_range(i, -4, 4).unwrap();
         }
         for (coeffs, c) in cuts {
-            s.add_ge0(AffineExpr::new(IVec::from_slice(&coeffs), c)).unwrap();
+            s.add_ge0(AffineExpr::new(IVec::from_slice(&coeffs), c))
+                .unwrap();
         }
         s
     })

@@ -32,11 +32,7 @@ pub struct LoggedAccess {
 ///
 /// Returns the number of iterations executed, or
 /// [`RuntimeError::RaceDetected`].
-pub fn run_parallel_checked(
-    nest: &LoopNest,
-    plan: &ParallelPlan,
-    mem: &Memory,
-) -> Result<u64> {
+pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<u64> {
     let gs = groups(plan)?;
     let logs: std::result::Result<Vec<(u64, Vec<LoggedAccess>)>, RuntimeError> = gs
         .par_iter()
@@ -139,8 +135,7 @@ mod tests {
             let nest = parse_loop(src).unwrap();
             let plan = parallelize(&nest).unwrap();
             let mem = Memory::for_nest(&nest).unwrap();
-            run_parallel_checked(&nest, &plan, &mem)
-                .unwrap_or_else(|e| panic!("{src}: {e}"));
+            run_parallel_checked(&nest, &plan, &mem).unwrap_or_else(|e| panic!("{src}: {e}"));
         }
     }
 
@@ -163,14 +158,11 @@ mod tests {
     fn wrong_partitioning_also_caught() {
         // 2-D: dependence along i1 only; a "plan" from a different loop
         // that parallelizes i1 must conflict.
-        let dependent = parse_loop(
-            "for i1 = 1..=6 { for i2 = 0..=6 { A[i1, i2] = A[i1 - 1, i2] + 1; } }",
-        )
-        .unwrap();
-        let other = parse_loop(
-            "for i1 = 1..=6 { for i2 = 0..=6 { A[i1, i2] = A[i1, i2] + 1; } }",
-        )
-        .unwrap();
+        let dependent =
+            parse_loop("for i1 = 1..=6 { for i2 = 0..=6 { A[i1, i2] = A[i1 - 1, i2] + 1; } }")
+                .unwrap();
+        let other =
+            parse_loop("for i1 = 1..=6 { for i2 = 0..=6 { A[i1, i2] = A[i1, i2] + 1; } }").unwrap();
         let wrong = parallelize(&other).unwrap();
         assert!(wrong.is_fully_parallel());
         let mem = Memory::for_nest(&dependent).unwrap();

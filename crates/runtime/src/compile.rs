@@ -1,0 +1,697 @@
+//! Compile-once execution of loop nests and parallel plans.
+//!
+//! [`crate::exec`] interprets: every iteration re-walks the `Expr` tree,
+//! re-evaluates affine bounds through allocating helpers, recomputes the
+//! `y·T⁻¹` back-substitution with a full dot product, and queries the
+//! partition residue twice per innermost point. This module lowers a
+//! `(LoopNest, ParallelPlan)` pair **once** into a flat program and then
+//! executes it with none of that per-iteration work:
+//!
+//! * the body becomes postfix bytecode with linearized accesses
+//!   ([`crate::program`]);
+//! * per-level loop bounds become [`CompiledBounds`] — raw coefficient
+//!   rows evaluated by one fused dot product, no allocation;
+//! * the `y → i = y·T⁻¹` back-substitution and every access's flat
+//!   offset are updated **incrementally**: advancing transformed level
+//!   `ℓ` by `δ` adds `δ·T⁻¹[ℓ]` to the original index vector and a
+//!   precomputed `δ·(coeff·T⁻¹[ℓ])` to each flat offset — strength
+//!   reduction of every address computation in the nest;
+//! * Theorem-2 partition residues are computed once per level *entry*
+//!   (they depend only on outer lattice coordinates), and the lattice
+//!   coordinate `q_k` advances by 1 per step instead of being re-derived;
+//! * the walk itself is an iterative state machine over pre-allocated
+//!   level arrays — no recursion, no per-group allocation.
+//!
+//! Scheduling: [`CompiledPlan::run_parallel`] splits the group space
+//! (doall-prefix values × partition offsets) into contiguous chunks,
+//! one rayon task per chunk, so tiny groups amortize task overhead and
+//! each worker reuses one [`Scratch`](crate::program::Scratch).
+
+use crate::memory::Memory;
+use crate::program::{Program, Scratch};
+use crate::{Result, RuntimeError};
+use pdm_core::partition::Partitioning;
+use pdm_core::plan::ParallelPlan;
+use pdm_loopir::nest::LoopNest;
+use pdm_matrix::num::{ceil_div, floor_div};
+use pdm_matrix::MatrixError;
+use pdm_poly::bounds::{BoundExpr, LoopBounds};
+use rayon::prelude::*;
+
+fn overflow() -> RuntimeError {
+    RuntimeError::Matrix(MatrixError::Overflow)
+}
+
+/// One side of a compiled bound: `num(x) / den` with `den > 0`.
+#[derive(Debug, Clone)]
+struct CBound {
+    coeffs: Vec<i64>,
+    constant: i64,
+    den: i64,
+}
+
+impl CBound {
+    fn lower(b: &BoundExpr) -> CBound {
+        CBound {
+            coeffs: b.num.coeffs.0.clone(),
+            constant: b.num.constant,
+            den: b.den,
+        }
+    }
+
+    #[inline]
+    fn num(&self, x: &[i64]) -> Result<i64> {
+        let mut acc = self.constant as i128;
+        for (c, v) in self.coeffs.iter().zip(x) {
+            acc += *c as i128 * *v as i128;
+        }
+        i64::try_from(acc).map_err(|_| overflow())
+    }
+}
+
+/// Per-level bounds compiled to coefficient rows (no allocation to
+/// evaluate; inner coefficients are structurally zero, so evaluation may
+/// pass the full current point).
+#[derive(Debug, Clone)]
+pub struct CompiledBounds {
+    levels: Vec<(Vec<CBound>, Vec<CBound>)>,
+}
+
+impl CompiledBounds {
+    /// Lower every level of `bounds`.
+    pub fn compile(bounds: &LoopBounds) -> CompiledBounds {
+        let levels = (0..bounds.dim())
+            .map(|k| {
+                let lb = bounds.level(k);
+                (
+                    lb.lowers.iter().map(CBound::lower).collect(),
+                    lb.uppers.iter().map(CBound::lower).collect(),
+                )
+            })
+            .collect();
+        CompiledBounds { levels }
+    }
+
+    /// Effective `(lo, hi)` of level `k` at the current point `x` (only
+    /// `x[..k]` is read through nonzero coefficients).
+    #[inline]
+    pub fn range(&self, k: usize, x: &[i64]) -> Result<(i64, i64)> {
+        let (lowers, uppers) = &self.levels[k];
+        let mut lo: Option<i64> = None;
+        for b in lowers {
+            let v = ceil_div(b.num(x)?, b.den)?;
+            lo = Some(lo.map_or(v, |c| c.max(v)));
+        }
+        let mut hi: Option<i64> = None;
+        for b in uppers {
+            let v = floor_div(b.num(x)?, b.den)?;
+            hi = Some(hi.map_or(v, |c| c.min(v)));
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) => Ok((l, h)),
+            _ => Err(RuntimeError::Matrix(MatrixError::Unbounded)),
+        }
+    }
+}
+
+/// Reusable walk state: transformed point, lattice coordinates, level
+/// uppers, and the program's [`Scratch`].
+#[derive(Debug, Clone)]
+pub struct PlanScratch {
+    y: Vec<i64>,
+    q: Vec<i64>,
+    hi: Vec<i64>,
+    inner: Scratch,
+}
+
+/// The shared compiled engine: walks a (possibly transformed) iteration
+/// space executing the bytecode body with strength-reduced addressing.
+#[derive(Debug, Clone)]
+struct Engine {
+    program: Program,
+    /// Walk-space dimension (== nest depth).
+    n: usize,
+    /// Leading walk levels fixed per group (doall prefix; 0 when the
+    /// engine drives the original nest).
+    z: usize,
+    bounds: CompiledBounds,
+    /// `dorig[ℓ][i]`: change of original index `i` per unit step of walk
+    /// level `ℓ` (a row of `T⁻¹`; identity for the original nest).
+    dorig: Vec<Vec<i64>>,
+    /// `dflat[ℓ][a]`: change of access `a`'s flat offset per unit step of
+    /// walk level `ℓ` (composition of the access strides with `dorig`).
+    dflat: Vec<Vec<i64>>,
+    /// Per trailing level `kk = ℓ − z`: the lattice step `H[kk][kk]`
+    /// (all 1 when unpartitioned).
+    steps: Vec<i64>,
+    /// Per trailing level: above-diagonal column `H[0..kk][kk]` used by
+    /// the once-per-entry residue computation.
+    hcols: Vec<Vec<i64>>,
+    partitioned: bool,
+}
+
+impl Engine {
+    fn new_scratch(&self) -> PlanScratch {
+        let mut inner = self.program.new_scratch();
+        self.program.reset_flats(&mut inner); // idx = 0 → flats = base
+        PlanScratch {
+            y: vec![0; self.n],
+            q: vec![0; self.n - self.z],
+            hi: vec![0; self.n],
+            inner,
+        }
+    }
+
+    /// Advance walk level `ℓ` by `delta`, updating the transformed point,
+    /// the original indices, and every flat offset incrementally.
+    #[inline]
+    fn shift(&self, s: &mut PlanScratch, level: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        s.y[level] += delta;
+        for (o, d) in s.inner.idx.iter_mut().zip(&self.dorig[level]) {
+            *o = o.wrapping_add(delta.wrapping_mul(*d));
+        }
+        for (f, d) in s.inner.flats.iter_mut().zip(&self.dflat[level]) {
+            *f = f.wrapping_add(delta.wrapping_mul(*d));
+        }
+    }
+
+    /// Position the walk at `prefix` (levels `< z`) and zero elsewhere.
+    fn seek_group_start(&self, s: &mut PlanScratch, prefix: &[i64]) {
+        debug_assert_eq!(prefix.len(), self.z);
+        for k in 0..self.n {
+            let target = if k < self.z { prefix[k] } else { 0 };
+            self.shift(s, k, target - s.y[k]);
+        }
+    }
+
+    /// Residue of trailing level `kk` given the offset vector and the
+    /// outer lattice coordinates — evaluated once per level entry.
+    #[inline]
+    fn residue(&self, offset: &[i64], q: &[i64], kk: usize) -> Result<i64> {
+        let mut r = offset[kk] as i128;
+        for (qp, h) in q[..kk].iter().zip(&self.hcols[kk]) {
+            r += *qp as i128 * *h as i128;
+        }
+        i64::try_from(r).map_err(|_| overflow())
+    }
+
+    /// Walk every iteration of one group (fixed prefix + offset),
+    /// executing the body. Returns the iteration count.
+    fn run_group(
+        &self,
+        mem: &Memory,
+        offset: &[i64],
+        prefix: &[i64],
+        s: &mut PlanScratch,
+    ) -> Result<u64> {
+        // A scratch from a different engine would silently corrupt the
+        // strength-reduced offsets; reject it before touching memory.
+        if s.y.len() != self.n || s.inner.flats.len() != self.program.accesses().len() {
+            return Err(RuntimeError::Core(
+                "scratch was allocated for a different compiled program".into(),
+            ));
+        }
+        self.seek_group_start(s, prefix);
+        let (n, z) = (self.n, self.z);
+        let mut count = 0u64;
+        if z == n {
+            // Fully parallel: the group is a single iteration.
+            self.program.exec(mem, &mut s.inner)?;
+            return Ok(1);
+        }
+        let mut level = z;
+        let mut entering = true;
+        loop {
+            if entering {
+                let (lo, hi) = self.bounds.range(level, &s.y)?;
+                let kk = level - z;
+                let step = self.steps[kk];
+                let start = if self.partitioned {
+                    let r = self.residue(offset, &s.q, kk)?;
+                    let v = Partitioning::first_at_least(lo, r, step)?;
+                    s.q[kk] = (v - r) / step;
+                    v
+                } else {
+                    lo
+                };
+                if start <= hi {
+                    s.hi[level] = hi;
+                    self.shift(s, level, start - s.y[level]);
+                    if level + 1 < n {
+                        level += 1;
+                        continue;
+                    }
+                    // Innermost: run the whole row.
+                    loop {
+                        self.program.exec(mem, &mut s.inner)?;
+                        count += 1;
+                        if (s.y[level] as i128 + step as i128) > hi as i128 {
+                            break;
+                        }
+                        self.shift(s, level, step);
+                        s.q[kk] += 1;
+                    }
+                }
+                entering = false;
+            } else {
+                // Level exhausted: pop, try to bump an outer level.
+                if level == z {
+                    return Ok(count);
+                }
+                level -= 1;
+                let kk = level - z;
+                let step = self.steps[kk];
+                if (s.y[level] as i128 + step as i128) <= s.hi[level] as i128 {
+                    self.shift(s, level, step);
+                    s.q[kk] += 1;
+                    level += 1;
+                    entering = true;
+                }
+            }
+        }
+    }
+
+    /// Enumerate the doall-prefix value combinations (levels `< z`).
+    fn prefixes(&self) -> Result<Vec<Vec<i64>>> {
+        let mut out: Vec<Vec<i64>> = vec![Vec::new()];
+        let mut x = vec![0i64; self.n];
+        for k in 0..self.z {
+            let mut next = Vec::new();
+            for p in &out {
+                x[..k].copy_from_slice(p);
+                let (lo, hi) = self.bounds.range(k, &x)?;
+                for v in lo..=hi {
+                    let mut q = p.clone();
+                    q.push(v);
+                    next.push(q);
+                }
+            }
+            out = next;
+        }
+        Ok(out)
+    }
+}
+
+fn engine_for_plan(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<Engine> {
+    let n = plan.depth();
+    let z = plan.doall_count();
+    let program = Program::compile(nest, mem)?;
+    let bounds = CompiledBounds::compile(plan.bounds());
+    let tinv = plan.inverse().mat();
+    let dorig: Vec<Vec<i64>> = (0..n)
+        .map(|l| (0..n).map(|i| tinv.get(l, i)).collect())
+        .collect();
+    let dflat = compose_deltas(&program, &dorig);
+    let (steps, hcols, partitioned) = match plan.partition() {
+        Some(p) => {
+            let rho = n - z;
+            debug_assert_eq!(p.dim(), rho);
+            let hcols = (0..rho)
+                .map(|kk| (0..kk).map(|pp| p.basis().get(pp, kk)).collect())
+                .collect();
+            (p.steps().to_vec(), hcols, true)
+        }
+        None => (vec![1; n - z], vec![Vec::new(); n - z], false),
+    };
+    Ok(Engine {
+        program,
+        n,
+        z,
+        bounds,
+        dorig,
+        dflat,
+        steps,
+        hcols,
+        partitioned,
+    })
+}
+
+/// `dflat[ℓ][a] = Σ_i coeff_a[i] · dorig[ℓ][i]` — each access's flat
+/// stride along each walk level.
+fn compose_deltas(program: &Program, dorig: &[Vec<i64>]) -> Vec<Vec<i64>> {
+    dorig
+        .iter()
+        .map(|row| {
+            program
+                .accesses()
+                .iter()
+                .map(|acc| {
+                    let mut d = 0i64;
+                    for (c, t) in acc.coeff.iter().zip(row) {
+                        d = d.wrapping_add(c.wrapping_mul(*t));
+                    }
+                    d
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A nest compiled for **original-order sequential** execution: the same
+/// engine as [`CompiledPlan`] with the identity transform and no groups.
+#[derive(Debug, Clone)]
+pub struct CompiledNest {
+    eng: Engine,
+}
+
+impl CompiledNest {
+    /// Lower the nest against `mem`'s array geometry.
+    pub fn compile(nest: &LoopNest, mem: &Memory) -> Result<CompiledNest> {
+        let n = nest.depth();
+        let sys = nest.iteration_system()?;
+        let bounds = LoopBounds::from_system(&sys)?;
+        let program = Program::compile(nest, mem)?;
+        let dorig: Vec<Vec<i64>> = (0..n)
+            .map(|l| (0..n).map(|i| i64::from(l == i)).collect())
+            .collect();
+        let dflat = compose_deltas(&program, &dorig);
+        Ok(CompiledNest {
+            eng: Engine {
+                program,
+                n,
+                z: 0,
+                bounds: CompiledBounds::compile(&bounds),
+                dorig,
+                dflat,
+                steps: vec![1; n],
+                hcols: vec![Vec::new(); n],
+                partitioned: false,
+            },
+        })
+    }
+
+    /// Allocate reusable walk state.
+    pub fn new_scratch(&self) -> PlanScratch {
+        self.eng.new_scratch()
+    }
+
+    /// Execute the nest in original lexicographic order. Returns the
+    /// iteration count.
+    pub fn run(&self, mem: &Memory) -> Result<u64> {
+        let mut s = self.eng.new_scratch();
+        self.run_with_scratch(mem, &mut s)
+    }
+
+    /// [`CompiledNest::run`] reusing caller-provided state.
+    pub fn run_with_scratch(&self, mem: &Memory, s: &mut PlanScratch) -> Result<u64> {
+        self.eng.run_group(mem, &[], &[], s)
+    }
+}
+
+/// One independent compiled group: a doall-prefix value combination plus
+/// the index of a partition offset in the plan's offset table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledGroup {
+    /// Values of the leading doall coordinates.
+    pub prefix: Vec<i64>,
+    /// Index into [`CompiledPlan::offsets`].
+    pub offset: u32,
+}
+
+/// A `(LoopNest, ParallelPlan)` pair lowered to the compiled engine,
+/// ready for chunked parallel execution.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    eng: Engine,
+    offsets: Vec<Vec<i64>>,
+}
+
+impl CompiledPlan {
+    /// Lower the pair against `mem`'s array geometry. The plan must have
+    /// been derived from the same nest.
+    pub fn compile(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<CompiledPlan> {
+        let eng = engine_for_plan(nest, plan, mem)?;
+        let offsets = match plan.partition() {
+            Some(p) => p.offsets().into_iter().map(|o| o.0).collect(),
+            None => vec![Vec::new()],
+        };
+        Ok(CompiledPlan { eng, offsets })
+    }
+
+    /// The Theorem-2 offset table (a single empty offset when the plan is
+    /// unpartitioned).
+    pub fn offsets(&self) -> &[Vec<i64>] {
+        &self.offsets
+    }
+
+    /// Enumerate the independent groups (prefix values × offsets).
+    pub fn groups(&self) -> Result<Vec<CompiledGroup>> {
+        let prefixes = self.eng.prefixes()?;
+        let mut out = Vec::with_capacity(prefixes.len() * self.offsets.len());
+        for p in prefixes {
+            for o in 0..self.offsets.len() {
+                out.push(CompiledGroup {
+                    prefix: p.clone(),
+                    offset: o as u32,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Allocate reusable walk state.
+    pub fn new_scratch(&self) -> PlanScratch {
+        self.eng.new_scratch()
+    }
+
+    /// Execute one group, reusing `s`. Returns its iteration count.
+    pub fn run_group(&self, g: &CompiledGroup, mem: &Memory, s: &mut PlanScratch) -> Result<u64> {
+        self.eng
+            .run_group(mem, &self.offsets[g.offset as usize], &g.prefix, s)
+    }
+
+    /// Execute all groups **in parallel** with chunked scheduling: the
+    /// group list is split into contiguous chunks (several per worker so
+    /// work stealing can balance them), and each chunk walks its groups
+    /// with one reused scratch. Returns the total iteration count.
+    pub fn run_parallel(&self, mem: &Memory) -> Result<u64> {
+        let groups = self.groups()?;
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || groups.len() <= 1 {
+            let mut s = self.eng.new_scratch();
+            let mut total = 0u64;
+            for g in &groups {
+                total += self.run_group(g, mem, &mut s)?;
+            }
+            return Ok(total);
+        }
+        let chunk = groups.len().div_ceil(threads * 4).max(1);
+        let chunks: Vec<&[CompiledGroup]> = groups.chunks(chunk).collect();
+        let counts: std::result::Result<Vec<u64>, RuntimeError> = chunks
+            .par_iter()
+            .map(|ch| {
+                let mut s = self.eng.new_scratch();
+                let mut total = 0u64;
+                for g in *ch {
+                    total += self.run_group(g, mem, &mut s)?;
+                }
+                Ok(total)
+            })
+            .collect();
+        Ok(counts?.into_iter().sum())
+    }
+
+    /// [`CompiledPlan::run_parallel`] on a dedicated pool with `threads`
+    /// workers (thread-scaling measurements).
+    pub fn run_parallel_with_threads(&self, mem: &Memory, threads: usize) -> Result<u64> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| RuntimeError::Core(format!("rayon pool: {e}")))?;
+        pool.install(|| self.run_parallel(mem))
+    }
+
+    /// Execute the transformed schedule sequentially, group after group
+    /// (determinism baseline).
+    pub fn run_transformed_sequential(&self, mem: &Memory) -> Result<u64> {
+        let mut s = self.eng.new_scratch();
+        let mut total = 0u64;
+        for g in self.groups()? {
+            total += self.run_group(&g, mem, &mut s)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_parallel, run_sequential};
+    use pdm_core::parallelize;
+    use pdm_loopir::parse::{parse_loop, parse_loop_with};
+
+    fn three_way(src: &str, seed: u64) {
+        let nest = parse_loop(src).unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let mut m_seq = Memory::for_nest(&nest).unwrap();
+        let mut m_cseq = Memory::for_nest(&nest).unwrap();
+        let mut m_cpar = Memory::for_nest(&nest).unwrap();
+        m_seq.init_deterministic(seed);
+        m_cseq.init_deterministic(seed);
+        m_cpar.init_deterministic(seed);
+        let c1 = run_sequential(&nest, &m_seq).unwrap();
+        let cn = CompiledNest::compile(&nest, &m_cseq).unwrap();
+        let c2 = cn.run(&m_cseq).unwrap();
+        let cp = CompiledPlan::compile(&nest, &plan, &m_cpar).unwrap();
+        let c3 = cp.run_parallel(&m_cpar).unwrap();
+        assert_eq!(c1, c2, "compiled sequential iteration count");
+        assert_eq!(c1, c3, "compiled parallel iteration count");
+        assert_eq!(
+            m_seq.snapshot(),
+            m_cseq.snapshot(),
+            "compiled sequential memory"
+        );
+        assert_eq!(
+            m_seq.snapshot(),
+            m_cpar.snapshot(),
+            "compiled parallel memory"
+        );
+    }
+
+    #[test]
+    fn paper_41_three_way() {
+        three_way(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+            7,
+        );
+    }
+
+    #[test]
+    fn paper_42_three_way() {
+        three_way(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+               B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+             } }",
+            3,
+        );
+    }
+
+    #[test]
+    fn workload_suite_three_way() {
+        for src in [
+            "for i = 1..=40 { A[i] = A[i - 1] + 1; }",
+            "for i = 0..=40 { A[i] = i * 3; }",
+            "for i = 0..=40 { A[2*i] = A[i] + 1; }",
+            "for i = 1..=12 { for j = 1..=12 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
+            "for i = 1..=12 { for j = 0..=12 { A[i, j] = A[i - 1, j] + 1; } }",
+            "for i = 2..=30 { A[i] = A[i - 2] + 1; }",
+            "for i = 0..=12 { for j = 0..=i { A[i, j] = A[i, j] + j; } }",
+            "for i = 1..=5 { for j = 0..=5 { for k = 0..=5 {
+               A[i, j, k] = A[i - 1, j, k] + 1;
+             } } }",
+        ] {
+            three_way(src, 11);
+        }
+    }
+
+    #[test]
+    fn compiled_groups_match_interpreter_groups() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let mem = Memory::for_nest(&nest).unwrap();
+        let cp = CompiledPlan::compile(&nest, &plan, &mem).unwrap();
+        assert_eq!(
+            cp.groups().unwrap().len(),
+            crate::exec::groups(&plan).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn group_walks_visit_identical_point_sets() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+               B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+             } }",
+        )
+        .unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let mem = Memory::for_nest(&nest).unwrap();
+        let cp = CompiledPlan::compile(&nest, &plan, &mem).unwrap();
+        // Walk all compiled groups recording original points via scratch.
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0u64;
+        let mut s = cp.new_scratch();
+        for g in cp.groups().unwrap() {
+            total += cp.run_group(&g, &mem, &mut s).unwrap();
+        }
+        // Re-walk with the interpreter for the ground-truth set.
+        for g in crate::exec::groups(&plan).unwrap() {
+            crate::exec::walk_group(&nest, &plan, &g, |idx| {
+                seen.insert(idx.to_vec());
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(total as usize, seen.len());
+        assert_eq!(total as usize, nest.iterations().unwrap().len());
+    }
+
+    #[test]
+    fn foreign_scratch_rejected() {
+        let nest_a = parse_loop("for i = 0..=9 { A[i] = A[i] + 1; }").unwrap();
+        let nest_b = parse_loop("for i = 0..=9 { A[i] = A[i] + B[i] + 1; }").unwrap();
+        let mem_a = Memory::for_nest(&nest_a).unwrap();
+        let mem_b = Memory::for_nest(&nest_b).unwrap();
+        let plan_a = parallelize(&nest_a).unwrap();
+        let cp_a = CompiledPlan::compile(&nest_a, &plan_a, &mem_a).unwrap();
+        let cn_b = CompiledNest::compile(&nest_b, &mem_b).unwrap();
+        let mut foreign = cn_b.new_scratch();
+        let g = &cp_a.groups().unwrap()[0];
+        assert!(matches!(
+            cp_a.run_group(g, &mem_a, &mut foreign),
+            Err(RuntimeError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn thread_override_respected() {
+        let nest = parse_loop_with(
+            "for i1 = 0..N { for i2 = 0..N {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+            &[("N", 24)],
+        )
+        .unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let mut m1 = Memory::for_nest(&nest).unwrap();
+        let mut m2 = Memory::for_nest(&nest).unwrap();
+        m1.init_deterministic(1);
+        m2.init_deterministic(1);
+        run_sequential(&nest, &m1).unwrap();
+        let cp = CompiledPlan::compile(&nest, &plan, &m2).unwrap();
+        cp.run_parallel_with_threads(&m2, 2).unwrap();
+        assert_eq!(m1.snapshot(), m2.snapshot());
+    }
+
+    #[test]
+    fn transformed_sequential_compiled_matches() {
+        let nest = parse_loop(
+            "for i1 = 0..=9 { for i2 = 0..=9 {
+               A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+               B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+             } }",
+        )
+        .unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let mut m1 = Memory::for_nest(&nest).unwrap();
+        let mut m2 = Memory::for_nest(&nest).unwrap();
+        m1.init_deterministic(5);
+        m2.init_deterministic(5);
+        run_parallel(&nest, &plan, &m1).unwrap();
+        let cp = CompiledPlan::compile(&nest, &plan, &m2).unwrap();
+        cp.run_transformed_sequential(&m2).unwrap();
+        assert_eq!(m1.snapshot(), m2.snapshot());
+    }
+}

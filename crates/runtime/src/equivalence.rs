@@ -1,9 +1,14 @@
-//! Sequential-vs-parallel equivalence harness.
+//! Execution-equivalence harnesses.
 //!
 //! The strongest end-to-end statement the library can make about a
 //! generated schedule: running it on rayon produces bit-identical array
 //! contents to the original sequential loop, from identical initial data.
+//! [`compare`] checks the interpreter pair; [`compare_three_way`] adds
+//! the compiled engine, pinning all three executors — sequential
+//! interpreter (reference semantics), interpreted-parallel, and
+//! compiled-parallel — to one result.
 
+use crate::compile::CompiledPlan;
 use crate::exec::{run_parallel, run_sequential};
 use crate::memory::Memory;
 use crate::Result;
@@ -46,6 +51,70 @@ pub fn assert_plan_equivalent(nest: &LoopNest, seed: u64) {
         rep.equal,
         "parallel execution diverged from sequential ({} iterations, {} groups)",
         rep.iterations, rep.groups
+    );
+}
+
+/// Outcome of a three-way equivalence run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreeWayReport {
+    /// Iterations executed by the sequential reference.
+    pub iterations: u64,
+    /// Independent parallel groups in the plan.
+    pub groups: usize,
+    /// Interpreted-parallel matched the sequential reference.
+    pub interp_equal: bool,
+    /// Compiled-parallel matched the sequential reference.
+    pub compiled_equal: bool,
+}
+
+impl ThreeWayReport {
+    /// All executors agreed.
+    pub fn all_equal(&self) -> bool {
+        self.interp_equal && self.compiled_equal
+    }
+}
+
+/// Run the sequential interpreter, the parallel interpreter, and the
+/// compiled parallel engine from identical deterministic initial memory,
+/// and compare all results against the sequential reference.
+pub fn compare_three_way(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    seed: u64,
+) -> Result<ThreeWayReport> {
+    let mut m_seq = Memory::for_nest(nest)?;
+    let mut m_par = Memory::for_nest(nest)?;
+    let mut m_comp = Memory::for_nest(nest)?;
+    m_seq.init_deterministic(seed);
+    m_par.init_deterministic(seed);
+    m_comp.init_deterministic(seed);
+    let c1 = run_sequential(nest, &m_seq)?;
+    let c2 = run_parallel(nest, plan, &m_par)?;
+    let compiled = CompiledPlan::compile(nest, plan, &m_comp)?;
+    let c3 = compiled.run_parallel(&m_comp)?;
+    debug_assert_eq!(c1, c2, "interpreted iteration counts diverged");
+    debug_assert_eq!(c1, c3, "compiled iteration count diverged");
+    let reference = m_seq.snapshot();
+    Ok(ThreeWayReport {
+        iterations: c1,
+        groups: crate::exec::groups(plan)?.len(),
+        interp_equal: reference == m_par.snapshot() && c1 == c2,
+        compiled_equal: reference == m_comp.snapshot() && c1 == c3,
+    })
+}
+
+/// Convenience assertion: analyze, plan, and require all three executors
+/// to agree bit-for-bit.
+pub fn assert_three_way_equivalent(nest: &LoopNest, seed: u64) {
+    let plan = pdm_core::parallelize(nest).expect("parallelize");
+    let rep = compare_three_way(nest, &plan, seed).expect("execute");
+    assert!(
+        rep.all_equal(),
+        "executors diverged (interp_equal: {}, compiled_equal: {}; {} iterations, {} groups)",
+        rep.interp_equal,
+        rep.compiled_equal,
+        rep.iterations,
+        rep.groups
     );
 }
 

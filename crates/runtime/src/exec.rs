@@ -1,4 +1,21 @@
-//! Sequential and parallel execution of loop nests.
+//! Sequential and parallel **interpretation** of loop nests — the
+//! reference semantics.
+//!
+//! This module favors obviousness over speed: it re-walks the `Expr`
+//! tree and re-evaluates bounds at every iteration point. The compiled
+//! engine ([`crate::compile`]) is the fast path; its contract is
+//! bit-identical `Memory` contents to this interpreter, which the
+//! three-way harness in [`crate::equivalence`] enforces.
+//!
+//! ## Wrapping vs. checked arithmetic
+//!
+//! *Body* arithmetic (subscript evaluation in [`eval_access`], value
+//! computation in [`eval_expr`]) is **wrapping**: the executor's job is
+//! to witness ordering, and wrapping keeps sequential, parallel, and
+//! compiled runs bit-identical even on adversarial inputs. *Analysis*
+//! arithmetic (`pdm_matrix::num`, bounds evaluation, residues) is
+//! **checked**: a silent wrap there would produce an incorrect but
+//! plausible-looking transformation, so it must fail loudly instead.
 
 use crate::memory::Memory;
 use crate::{Result, RuntimeError};
@@ -60,7 +77,11 @@ pub fn exec_body(nest: &LoopNest, mem: &Memory, idx: &[i64]) -> Result<()> {
     Ok(())
 }
 
-/// Evaluate an affine access without allocating an `IVec` per call.
+/// Evaluate an affine access into a freshly allocated subscript vector.
+/// This costs one `Vec<i64>` **per access per iteration** — acceptable
+/// for the reference interpreter, and exactly the overhead the compiled
+/// engine's linearized, strength-reduced addressing eliminates (see
+/// [`crate::program::LinAccess`]).
 #[inline]
 fn eval_access(access: &pdm_loopir::access::AffineAccess, idx: &[i64]) -> Vec<i64> {
     let m = access.dims();
@@ -166,25 +187,26 @@ pub fn walk_group<F: FnMut(&[i64]) -> Result<()>>(
         let n = plan.depth();
         let z = plan.doall_count();
         let (lo, hi) = plan.bounds().range(level, &y[..level])?;
-        let (start, step) = match plan.partition() {
+        // The residue of this level depends only on the offset and the
+        // *outer* lattice coordinates, so it is computed once on level
+        // entry; `q[kk]` then advances by 1 per `step` instead of being
+        // re-derived from the residue at every point.
+        let (start, step, q_start) = match plan.partition() {
             Some(p) => {
                 let kk = level - z;
                 let r = p.residue(&group.offset, &q[..kk], kk)?;
                 let s = p.steps()[kk];
-                (
-                    pdm_core::partition::Partitioning::first_at_least(lo, r, s)?,
-                    s,
-                )
+                let v = pdm_core::partition::Partitioning::first_at_least(lo, r, s)?;
+                (v, s, p.q_of(v, r, kk)?)
             }
-            None => (lo, 1),
+            None => (lo, 1, 0),
         };
         let mut v = start;
+        let mut qk = q_start;
         while v <= hi {
             y[level] = v;
-            if let Some(p) = plan.partition() {
-                let kk = level - z;
-                let r = p.residue(&group.offset, &q[..kk], kk)?;
-                q[kk] = p.q_of(v, r, kk)?;
+            if plan.partition().is_some() {
+                q[level - z] = qk;
             }
             if level + 1 == n {
                 // Back-substitute i = y · T⁻¹ without allocation.
@@ -200,6 +222,7 @@ pub fn walk_group<F: FnMut(&[i64]) -> Result<()>>(
                 rec(plan, group, y, q, level + 1, tinv, orig, body)?;
             }
             v += step;
+            qk += 1;
         }
         Ok(())
     }

@@ -1,23 +1,44 @@
-//! # pdm-runtime — executing loop nests, sequentially and in parallel
+//! # pdm-runtime — executing loop nests: compile → schedule → execute
 //!
-//! The runtime realizes the schedules produced by `pdm-core`:
+//! The runtime realizes the schedules produced by `pdm-core` through two
+//! executors with one contract — bit-identical `Memory` contents:
+//!
+//! **Reference interpreter** ([`exec`]). Walks the nest recursively,
+//! re-evaluating expression trees and bounds at every point. Slow on
+//! purpose: it is the executable *semantics*, kept obvious so the fast
+//! path has something trustworthy to be checked against.
+//!
+//! **Compiled engine** ([`compile`] + [`program`]). The perf-critical
+//! pipeline, lowering a `(LoopNest, ParallelPlan)` pair once and then
+//! executing allocation-free:
+//!
+//! 1. *Compile* — body `Expr` trees flatten to postfix bytecode run on a
+//!    reusable scratch stack; each array access composes with the
+//!    row-major layout into a single linear form `base + coeff·i`
+//!    ([`program::LinAccess`]); per-level Fourier–Motzkin bounds become
+//!    raw coefficient rows ([`compile::CompiledBounds`]).
+//! 2. *Schedule* — the independent-group space (doall-prefix values ×
+//!    Theorem-2 partition offsets) is split into contiguous chunks, one
+//!    rayon task per chunk, so tiny groups amortize spawn overhead and
+//!    each worker reuses one scratch ([`compile::CompiledPlan::run_parallel`]).
+//! 3. *Execute* — an iterative (non-recursive) walker advances the
+//!    transformed point level by level; the `y·T⁻¹` back-substitution
+//!    and every access's flat offset update by precomputed per-level
+//!    deltas (strength reduction), and partition residues are computed
+//!    once per level entry with lattice coordinates advancing by 1.
+//!
+//! Supporting modules:
 //!
 //! * [`memory`] — integer array storage sized from the nest's access
 //!   footprint (conservative interval arithmetic over the iteration
 //!   polyhedron), with a `Sync` shared view for `doall` execution;
-//! * [`exec`] — a sequential interpreter (the reference semantics) and a
-//!   **rayon**-parallel executor that runs one task per independent group
-//!   (doall-prefix value × Theorem-2 partition offset), each walking its
-//!   iterations in transformed lexicographic order;
 //! * [`checked`] — a group-conflict race checker: every access is logged
-//!   per group and cross-group conflicts (≥ 1 write) are reported. A
-//!   correct plan produces none; deliberately broken plans are caught
-//!   (tested);
-//! * [`equivalence`] — sequential-vs-parallel output comparison, the
-//!   end-to-end soundness harness used all over the test suite and
-//!   benches.
+//!   per group and cross-group conflicts (≥ 1 write) are reported;
+//! * [`equivalence`] — the soundness harness: two-way (sequential vs.
+//!   interpreted-parallel) and three-way (… vs. compiled-parallel)
+//!   output comparison, used all over the test suite and benches.
 //!
-//! The parallel executor's memory accesses are unsynchronized by design:
+//! The parallel executors' memory accesses are unsynchronized by design:
 //! the dependence analysis *proves* cross-group independence, and that
 //! proof is what the checker and the equivalence harness validate.
 
@@ -25,10 +46,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod checked;
+pub mod compile;
 pub mod equivalence;
 pub mod exec;
 pub mod memory;
+pub mod program;
 
+pub use compile::{CompiledNest, CompiledPlan};
 pub use exec::{run_parallel, run_sequential, run_transformed_sequential};
 pub use memory::Memory;
 

@@ -99,12 +99,10 @@ impl Memory {
                         lo += a.min(b);
                         hi += a.max(b);
                     }
-                    let lo = i64::try_from(lo).map_err(|_| {
-                        RuntimeError::Matrix(pdm_matrix::MatrixError::Overflow)
-                    })?;
-                    let hi = i64::try_from(hi).map_err(|_| {
-                        RuntimeError::Matrix(pdm_matrix::MatrixError::Overflow)
-                    })?;
+                    let lo = i64::try_from(lo)
+                        .map_err(|_| RuntimeError::Matrix(pdm_matrix::MatrixError::Overflow))?;
+                    let hi = i64::try_from(hi)
+                        .map_err(|_| RuntimeError::Matrix(pdm_matrix::MatrixError::Overflow))?;
                     dims[d].0 = dims[d].0.min(lo);
                     dims[d].1 = dims[d].1.max(hi);
                 }
@@ -128,9 +126,7 @@ impl Memory {
     pub fn init_deterministic(&mut self, seed: u64) {
         for a in &mut self.arrays {
             for (k, cell) in a.data.iter_mut().enumerate() {
-                let mut x = seed
-                    .wrapping_add(k as u64)
-                    .wrapping_mul(0x9E3779B97F4A7C15);
+                let mut x = seed.wrapping_add(k as u64).wrapping_mul(0x9E3779B97F4A7C15);
                 x ^= x >> 29;
                 x = x.wrapping_mul(0xBF58476D1CE4E5B9);
                 x ^= x >> 32;
@@ -168,6 +164,23 @@ impl Memory {
                 subscript: sub.to_vec(),
             }),
         }
+    }
+
+    /// Read a cell by its flat index, as precomputed by the compiled
+    /// engine ([`crate::program`]). `None` when out of range.
+    #[inline]
+    pub fn read_flat(&self, a: usize, i: usize) -> Option<i64> {
+        // SAFETY: see the `Sync` impl — groups touch disjoint cells.
+        self.arrays[a].data.get(i).map(|c| unsafe { *c.get() })
+    }
+
+    /// Write a cell by its flat index. `None` when out of range.
+    #[inline]
+    pub fn write_flat(&self, a: usize, i: usize, v: i64) -> Option<()> {
+        // SAFETY: see the `Sync` impl.
+        self.arrays[a].data.get(i).map(|c| {
+            unsafe { *c.get() = v };
+        })
     }
 
     /// The arrays.
@@ -243,8 +256,7 @@ mod tests {
 
     #[test]
     fn index_ranges_triangular() {
-        let nest =
-            parse_loop("for i = 0..=6 { for j = 0..=i { A[i, j] = 1; } }").unwrap();
+        let nest = parse_loop("for i = 0..=6 { for j = 0..=i { A[i, j] = 1; } }").unwrap();
         let r = index_ranges(&nest).unwrap();
         assert_eq!(r[0], (0, 6));
         assert_eq!(r[1], (0, 6)); // conservative: j's global range

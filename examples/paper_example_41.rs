@@ -19,7 +19,10 @@ fn main() {
          } }",
     )
     .unwrap();
-    println!("§4.1 loop:\n{}", vardep_loops::loopir::pretty::render(&nest));
+    println!(
+        "§4.1 loop:\n{}",
+        vardep_loops::loopir::pretty::render(&nest)
+    );
 
     // Per-pair dependence equations and distance lattices (eq. 4.1-4.6).
     let analysis = analyze(&nest).unwrap();
@@ -31,7 +34,10 @@ fn main() {
         if pair.lattice.solvable {
             println!(
                 "  particular d0 = {:?}, generators:\n{}",
-                pair.lattice.particular.as_ref().map(|d| d.as_slice().to_vec()),
+                pair.lattice
+                    .particular
+                    .as_ref()
+                    .map(|d| d.as_slice().to_vec()),
                 pair.lattice.generators
             );
         }
@@ -40,12 +46,18 @@ fn main() {
     // The merged PDM (eq. 4.7).
     println!("PDM (HNF of all generators):\n{}", analysis.pdm());
     assert_eq!(analysis.pdm(), &IMat::from_rows(&[vec![2, 2]]).unwrap());
-    assert!(!analysis.is_full_rank(), "rank 1 < depth 2: Algorithm 1 applies");
+    assert!(
+        !analysis.is_full_rank(),
+        "rank 1 < depth 2: Algorithm 1 applies"
+    );
 
     // Algorithm 1 (eq. 4.8): a legal unimodular T zeroing one column.
     let plan = parallelize(&nest).unwrap();
     println!("legal unimodular transformation T:\n{}", plan.transform());
-    println!("H*T (leading zero column = outer doall loop):\n{}", plan.transformed_pdm());
+    println!(
+        "H*T (leading zero column = outer doall loop):\n{}",
+        plan.transformed_pdm()
+    );
     assert_eq!(plan.doall_count(), 1);
 
     // Theorem 2 on the remaining full-rank block: det = 2 partitions.

@@ -19,7 +19,10 @@ fn main() {
          } }",
     )
     .unwrap();
-    println!("§4.2 loop:\n{}", vardep_loops::loopir::pretty::render(&nest));
+    println!(
+        "§4.2 loop:\n{}",
+        vardep_loops::loopir::pretty::render(&nest)
+    );
 
     let analysis = analyze(&nest).unwrap();
     println!("PDM (eq. 4.12):\n{}", analysis.pdm());
@@ -57,5 +60,8 @@ fn main() {
 
     let rep = vardep_loops::runtime::equivalence::compare(&nest, &plan, 9).unwrap();
     assert!(rep.equal);
-    println!("parallel execution identical to sequential across {} groups.", rep.groups);
+    println!(
+        "parallel execution identical to sequential across {} groups.",
+        rep.groups
+    );
 }

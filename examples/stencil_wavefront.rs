@@ -27,7 +27,10 @@ fn show(name: &str, src: &str) {
     );
     let rep = vardep_loops::runtime::equivalence::compare(&nest, &plan, 3).unwrap();
     assert!(rep.equal);
-    println!("verified on {} iterations / {} groups\n", rep.iterations, rep.groups);
+    println!(
+        "verified on {} iterations / {} groups\n",
+        rep.iterations, rep.groups
+    );
 }
 
 fn main() {

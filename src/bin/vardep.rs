@@ -70,11 +70,7 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let params: Vec<(&str, i64)> = args
-        .params
-        .iter()
-        .map(|(k, v)| (k.as_str(), *v))
-        .collect();
+    let params: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let nest = match parse_loop_with(&args.source, &params) {
         Ok(n) => n,
         Err(e) => {
@@ -107,7 +103,11 @@ type AnyError = Box<dyn std::error::Error>;
 fn cmd_analyze(nest: &LoopNest) -> Result<(), AnyError> {
     println!("{}", vardep_loops::loopir::pretty::render(nest));
     let analysis = analyze(nest)?;
-    println!("pseudo distance matrix ({} x {}):", analysis.rank(), analysis.depth());
+    println!(
+        "pseudo distance matrix ({} x {}):",
+        analysis.rank(),
+        analysis.depth()
+    );
     print!("{}", analysis.pdm());
     println!(
         "\nrank {} / depth {}   uniform: {}   dependences: {}",
@@ -137,7 +137,10 @@ fn cmd_analyze(nest: &LoopNest) -> Result<(), AnyError> {
         } else {
             "no dependence (exact test)".to_string()
         };
-        println!("  #{k} stmts ({},{}) array {}: {status}", p.stmt_a, p.stmt_b, p.array.0);
+        println!(
+            "  #{k} stmts ({},{}) array {}: {status}",
+            p.stmt_a, p.stmt_b, p.array.0
+        );
     }
     let prec = vardep_loops::core::deptest::compare_tests(nest)?;
     println!(
@@ -155,19 +158,31 @@ fn cmd_plan(nest: &LoopNest) -> Result<(), AnyError> {
 
 fn cmd_run(nest: &LoopNest) -> Result<(), AnyError> {
     let plan = parallelize(nest)?;
-    let t0 = std::time::Instant::now();
+    // Allocate, initialize, and compile up front so every timer below
+    // covers execution only — the three speedups stay comparable.
     let mut m_seq = Memory::for_nest(nest)?;
+    let mut m_par = Memory::for_nest(nest)?;
+    let mut m_cmp = Memory::for_nest(nest)?;
     m_seq.init_deterministic(0);
+    m_par.init_deterministic(0);
+    m_cmp.init_deterministic(0);
+    let compiled = vardep_loops::runtime::CompiledPlan::compile(nest, &plan, &m_cmp)?;
+
+    let t0 = std::time::Instant::now();
     let iters = run_sequential(nest, &m_seq)?;
     let t_seq = t0.elapsed();
 
     let t1 = std::time::Instant::now();
-    let mut m_par = Memory::for_nest(nest)?;
-    m_par.init_deterministic(0);
     run_parallel(nest, &plan, &m_par)?;
     let t_par = t1.elapsed();
 
-    let equal = m_seq.snapshot() == m_par.snapshot();
+    let t2 = std::time::Instant::now();
+    compiled.run_parallel(&m_cmp)?;
+    let t_cmp = t2.elapsed();
+
+    let reference = m_seq.snapshot();
+    let equal = reference == m_par.snapshot();
+    let compiled_equal = reference == m_cmp.snapshot();
     println!(
         "{iters} iterations | doall {} | partitions {} | groups {}",
         plan.doall_count(),
@@ -175,13 +190,19 @@ fn cmd_run(nest: &LoopNest) -> Result<(), AnyError> {
         vardep_loops::runtime::exec::groups(&plan)?.len()
     );
     println!(
-        "sequential {:.3} ms | parallel {:.3} ms | speedup x{:.2} | identical: {equal}",
+        "interp seq {:.3} ms | interp par {:.3} ms (x{:.2}) | compiled par {:.3} ms (x{:.2}) | identical: {}",
         t_seq.as_secs_f64() * 1e3,
         t_par.as_secs_f64() * 1e3,
         t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+        t_cmp.as_secs_f64() * 1e3,
+        t_seq.as_secs_f64() / t_cmp.as_secs_f64().max(1e-12),
+        equal && compiled_equal,
     );
     if !equal {
         return Err("parallel result diverged".into());
+    }
+    if !compiled_equal {
+        return Err("compiled result diverged".into());
     }
     Ok(())
 }
@@ -197,7 +218,10 @@ fn cmd_isdg(nest: &LoopNest) -> Result<(), AnyError> {
         m.iterations, m.dependent, m.edges, m.components, m.critical_path, m.avg_parallelism
     );
     println!("\ntop distances:");
-    for (d, c) in vardep_loops::isdg::render::distance_histogram(&g).into_iter().take(8) {
+    for (d, c) in vardep_loops::isdg::render::distance_histogram(&g)
+        .into_iter()
+        .take(8)
+    {
         println!("  {d:?} x{c}");
     }
     Ok(())

@@ -98,10 +98,14 @@ fn figure_5_partition_tiling() {
         *sizes.entry(off).or_insert(0usize) += 1;
     }
     assert_eq!(sizes.len(), 4, "four partitions");
-    assert_eq!(sizes.values().sum::<usize>(), 441, "partitions tile the space");
+    assert_eq!(
+        sizes.values().sum::<usize>(),
+        441,
+        "partitions tile the space"
+    );
     // Roughly equal quarters (the paper's figure shows same-shaped tiles).
     for &s in sizes.values() {
-        assert!(s >= 90 && s <= 130, "unbalanced partition: {s}");
+        assert!((90..=130).contains(&s), "unbalanced partition: {s}");
     }
 }
 

@@ -1,0 +1,104 @@
+//! Minimal in-repo stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of rand it uses: `StdRng::seed_from_u64`
+//! plus `Rng::gen_range` over integer ranges. The generator is
+//! splitmix64 — deterministic and plenty for benchmark inputs.
+
+/// Ranges which can be sampled uniformly by [`Rng::gen_range`].
+/// Generic over the produced type so literal inference works exactly as
+/// with the real crate (`rng.gen_range(-9..=9)` in `i64` context).
+pub trait SampleRange<T> {
+    /// Sample uniformly using the provided raw generator.
+    fn sample(&self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(&self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (next() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(&self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + (next() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_ranges!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Random-value methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut f = || self.next_u64();
+        range.sample(&mut f)
+    }
+}
+
+/// Seedable constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// splitmix64-backed standard generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng(pub(crate) u64);
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(seed)
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rand::prelude`.
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = a.gen_range(-9i64..=9);
+            assert_eq!(x, b.gen_range(-9i64..=9));
+            assert!((-9..=9).contains(&x));
+            let u = a.gen_range(0usize..7);
+            assert_eq!(u, b.gen_range(0usize..7));
+            assert!(u < 7);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Minimal in-repo stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *subset* of rayon's API it actually uses,
+//! implemented on `std::thread::scope`. Parallelism is real (OS threads,
+//! contiguous chunking, order-preserving collection); work stealing is
+//! not — each `par_iter` splits its input into one contiguous chunk per
+//! worker, which is exactly the granularity the runtime's chunked
+//! scheduler feeds it.
+//!
+//! Supported surface:
+//! * `prelude::*` → [`iter::IntoParallelRefIterator`] (`.par_iter()`) on
+//!   slices and `Vec`, with `.map(...)` and `.collect()` (any
+//!   `FromIterator`, including `Result<Vec<_>, E>`);
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a thread-count
+//!   override scoped to the closure (used by thread-scaling benches);
+//! * [`current_num_threads`].
+
+use std::cell::Cell;
+
+thread_local! {
+    /// 0 = "use the machine default".
+    static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn machine_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel iterators will use in this context.
+pub fn current_num_threads() -> usize {
+    let ov = POOL_OVERRIDE.with(|c| c.get());
+    if ov == 0 {
+        machine_threads()
+    } else {
+        ov
+    }
+}
+
+/// Error building a thread pool (never produced by this stand-in, kept
+/// for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: if self.num_threads == 0 {
+                machine_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A "pool": in this stand-in, a scoped thread-count override.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Restores the previous override even if the closure panics.
+struct OverrideGuard(usize);
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        POOL_OVERRIDE.with(|c| c.set(self.0));
+    }
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing nested `par_iter`s.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(self.threads));
+        let _guard = OverrideGuard(prev);
+        f()
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+pub mod iter {
+    //! Parallel iterator subset: `par_iter().map(f).collect()`.
+
+    use super::current_num_threads;
+
+    /// Entry point: `.par_iter()` on a borrowed collection.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by reference.
+        type Item: Sync + 'data;
+        /// Start a parallel iterator over `&self`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Map each element in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// The result of [`ParIter::map`].
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParMap<'data, T, F> {
+        /// Evaluate in parallel and collect in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            run_map(self.items, &self.f).into_iter().collect()
+        }
+    }
+
+    fn run_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::IntoParallelRefIterator;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..1000).collect();
+        let sq: Vec<i64> = v.par_iter().map(|x| x * x).collect();
+        assert_eq!(sq, (0..1000).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let v: Vec<i64> = (0..100).collect();
+        let ok: Result<Vec<i64>, String> = v.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<i64>, String> = v
+            .par_iter()
+            .map(|&x| if x == 50 { Err("boom".into()) } else { Ok(x) })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn pool_install_limits_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        if machine_threads() < 2 {
+            return;
+        }
+        let v: Vec<u32> = (0..64).collect();
+        let ids: Vec<std::thread::ThreadId> =
+            v.par_iter().map(|_| std::thread::current().id()).collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on >1 thread");
+    }
+}
