@@ -1,4 +1,4 @@
-//! D'Hollander's partitioning and labeling of loops [6] (1992).
+//! D'Hollander's partitioning and labeling of loops \[6\] (1992).
 //!
 //! The direct ancestor of the paper's Theorem 2, restricted to **constant**
 //! distance matrices: HNF-reduce the (uniform) distance vectors, expose

@@ -9,12 +9,12 @@
 //!   (Banerjee [1–3]): constant distance vectors only; parallelism through
 //!   wavefront skewing (inner `doall`s separated by barriers).
 //! * [`dhollander`] — **partitioning and labeling** of loops with constant
-//!   distance matrices (D'Hollander '92 [6]): `det(HNF(D))` independent
+//!   distance matrices (D'Hollander '92 \[6\]): `det(HNF(D))` independent
 //!   partitions, again uniform-only.
-//! * [`wolf_lam`] — **dependence/direction vectors** (Wolf & Lam [14, 15]):
+//! * [`wolf_lam`] — **dependence/direction vectors** (Wolf & Lam \[14, 15\]):
 //!   applicable to any loop, but the sign-abstraction collapses variable
 //!   distances to directions, losing the lattice structure the PDM keeps.
-//! * [`shang`] — **BDV uniformization** (Shang et al. [17]): distance sets
+//! * [`shang`] — **BDV uniformization** (Shang et al. \[17\]): distance sets
 //!   as nonnegative combinations of basic dependence vectors; rank-based
 //!   parallelism but no lexicographic order, so a linear schedule must be
 //!   added.

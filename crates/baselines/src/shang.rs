@@ -1,11 +1,11 @@
-//! Shang et al.'s BDV uniformization [17].
+//! Shang et al.'s BDV uniformization \[17\].
 //!
 //! Variable distance vectors are written as nonnegative combinations of a
 //! small set of **basic dependence vectors** (BDVs). The cone-optimal
 //! variant (the paper's "Basic Idea II") seeks a minimal-rank BDV set:
 //! rank `ρ` leaves `n − ρ` dimensions of parallelism. Crucially the BDVs
 //! carry no lexicographic-order guarantee, so an extra **linear
-//! scheduling** step (Feautrier [7]) is required before code can run —
+//! scheduling** step (Feautrier \[7\]) is required before code can run —
 //! reflected by `order_preserving = false` in the report.
 
 use crate::report::{MethodReport, Parallelizer};

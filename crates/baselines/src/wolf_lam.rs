@@ -1,4 +1,4 @@
-//! Wolf & Lam's dependence (direction) vectors [14, 15].
+//! Wolf & Lam's dependence (direction) vectors \[14, 15\].
 //!
 //! Distances are abstracted to per-component *signs*; a component that
 //! varies across the solution family becomes `*` (unknown). The

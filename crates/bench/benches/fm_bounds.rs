@@ -1,5 +1,5 @@
 //! Code-generation cost: Fourier–Motzkin bound derivation for the
-//! transformed iteration spaces (the paper's §4.1 cites FM [1, 13] for
+//! transformed iteration spaces (the paper's §4.1 cites FM \[1, 13\] for
 //! the transformed loop limits).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -35,6 +35,20 @@ fn bench_fm_depth(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fm_prune_levels(c: &mut Criterion) {
+    use pdm_poly::fm::Prune;
+    // The deep coupled system where raw FM blows up: pruning levels
+    // side by side (see also `bench_fm`, which snapshots these counts).
+    let sys = pdm_bench::perf::random_deep_system(5, 10, 11);
+    let mut group = c.benchmark_group("fm/bounds_by_prune");
+    for (name, prune) in [("none", Prune::None), ("exact", Prune::Exact)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sys, |b, sys| {
+            b.iter(|| LoopBounds::from_system_pruned(sys, prune).unwrap().dim())
+        });
+    }
+    group.finish();
+}
+
 fn bench_fm_transformed_plan(c: &mut Criterion) {
     // The real workload: bounds of the paper's transformed loops.
     let nest = pdm_bench::paper41(-100, 100);
@@ -63,6 +77,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_fm_depth, bench_fm_transformed_plan, bench_enumeration
+    targets = bench_fm_depth, bench_fm_prune_levels, bench_fm_transformed_plan, bench_enumeration
 }
 criterion_main!(benches);

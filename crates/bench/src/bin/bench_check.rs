@@ -1,0 +1,117 @@
+//! CI perf-regression gate: re-measure the `BENCH_runtime.json` and
+//! `BENCH_fm.json` workloads and fail when a gated metric drops below
+//! the committed snapshot by more than its tolerance (25% for
+//! deterministic count ratios, 40% for timing-based speedups — see
+//! `pdm_bench::perf`).
+//!
+//! ```sh
+//! cargo run --release -p pdm-bench --bin bench_check
+//! ```
+//!
+//! Gated metrics are the machine-portable ratios (`*_speedup`,
+//! `*_reduction`) — both factors of a ratio are measured on the same
+//! host in the same run, so a slower CI runner does not trip the gate,
+//! while a genuine engine or pruning regression does. Absolute
+//! throughput (`*_per_s`) is printed for context and gated only with
+//! `BENCH_CHECK_STRICT=1` (useful on a pinned benchmarking machine).
+//! A gated metric missing from the fresh run also fails — dropping a
+//! benchmark must be an explicit snapshot regeneration
+//! (`bench_runtime` / `bench_fm`), not a silent pass.
+
+use pdm_bench::{json, perf};
+use std::process::ExitCode;
+
+fn committed_metrics(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{path}: {e} (regenerate with the matching bench binary)"))?;
+    Ok(json::parse(&text)
+        .map_err(|e| format!("{path}: {e}"))?
+        .metrics())
+}
+
+fn check(
+    label: &str,
+    committed: &[(String, f64)],
+    fresh_json: &str,
+    strict: bool,
+) -> Result<Vec<perf::Regression>, String> {
+    let fresh = json::parse(fresh_json)
+        .map_err(|e| format!("fresh {label} output: {e}"))?
+        .metrics();
+    println!("\n{label}: gated metrics");
+    for (key, c) in committed {
+        if !perf::is_gated(key, strict) {
+            continue;
+        }
+        let tol = perf::tolerance_for(key) * 100.0;
+        let f = fresh.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        match f {
+            Some(v) => println!("  {key:<44} {c:>9.2} -> {v:>9.2}  (tol {tol:.0}%)"),
+            None => println!("  {key:<44} {c:>9.2} -> MISSING"),
+        }
+    }
+    Ok(perf::regressions(committed, &fresh, strict))
+}
+
+fn main() -> ExitCode {
+    let strict = std::env::var("BENCH_CHECK_STRICT").is_ok_and(|v| v == "1");
+
+    let committed_runtime = match committed_metrics("BENCH_runtime.json") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed_fm = match committed_metrics("BENCH_fm.json") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("bench_check: re-measuring runtime throughput...");
+    let runtime_fresh = perf::runtime_json(&perf::runtime_cases());
+    println!("bench_check: re-measuring FM pruning...");
+    let (plans, elims) = perf::fm_cases();
+    let fm_fresh = perf::fm_json(&plans, &elims);
+
+    let mut regressions = Vec::new();
+    for (label, committed, fresh) in [
+        ("BENCH_runtime", &committed_runtime, runtime_fresh.as_str()),
+        ("BENCH_fm", &committed_fm, fm_fresh.as_str()),
+    ] {
+        match check(label, committed, fresh, strict) {
+            Ok(mut r) => regressions.append(&mut r),
+            Err(e) => {
+                eprintln!("bench_check: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("\nbench_check: PASS (no gated metric regressed past tolerance)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench_check: FAIL — {} regression(s):", regressions.len());
+        for r in &regressions {
+            match r.fresh {
+                Some(f) => eprintln!(
+                    "  {}: committed {:.2}, fresh {:.2} ({:+.0}%)",
+                    r.key,
+                    r.committed,
+                    f,
+                    (f / r.committed - 1.0) * 100.0
+                ),
+                None => eprintln!(
+                    "  {}: committed {:.2}, missing from fresh run",
+                    r.key, r.committed
+                ),
+            }
+        }
+        eprintln!("(intentional? regenerate the snapshots with bench_runtime / bench_fm)");
+        ExitCode::FAILURE
+    }
+}

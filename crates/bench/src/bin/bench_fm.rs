@@ -1,0 +1,25 @@
+//! Measure Fourier–Motzkin redundancy-pruning effectiveness and record
+//! the result in `BENCH_fm.json`.
+//!
+//! ```sh
+//! cargo run --release -p pdm-bench --bin bench_fm
+//! ```
+//!
+//! Two case families (see `pdm_bench::perf`):
+//!
+//! * **plan cases** — the paper's §4.1/§4.2 nests, the 2-D stencil, and
+//!   a 4-deep stencil: per-level bound rows with pruning off vs. on,
+//!   bound-generation and full-planning wall time;
+//! * **elim cases** — skewed boxes and seeded random deep systems
+//!   (4–6 variables): peak intermediate constraint count and eliminate
+//!   wall time, unpruned vs. exact pruning.
+//!
+//! The deterministic `rows_reduction` / `peak_reduction` ratios are the
+//! metrics the `bench_check` CI gate enforces.
+
+fn main() {
+    let (plans, elims) = pdm_bench::perf::fm_cases();
+    let out = pdm_bench::perf::fm_json(&plans, &elims);
+    std::fs::write("BENCH_fm.json", &out).expect("write BENCH_fm.json");
+    println!("wrote BENCH_fm.json");
+}

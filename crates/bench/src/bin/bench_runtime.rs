@@ -8,115 +8,13 @@
 //! Cases: the paper's §4.1 and §4.2 nests and a classic 2-D stencil.
 //! Every timed executor is first verified against the sequential
 //! reference; the JSON reports best-of-N iteration throughput and the
-//! compiled/interpreted speedup, sequentially and in parallel.
-
-use pdm_bench::{paper41, paper42, time};
-use pdm_loopir::nest::LoopNest;
-use pdm_loopir::parse::parse_loop_with;
-use pdm_runtime::compile::{CompiledNest, CompiledPlan};
-use pdm_runtime::equivalence::compare_three_way;
-use pdm_runtime::memory::Memory;
-
-const REPS: usize = 5;
-
-struct Case {
-    name: &'static str,
-    iterations: u64,
-    interp_seq: f64,
-    compiled_seq: f64,
-    interp_par: f64,
-    compiled_par: f64,
-}
-
-fn best<F: FnMut() -> u64>(reps: usize, mut f: F) -> f64 {
-    let mut bestt = f64::INFINITY;
-    for _ in 0..reps {
-        let (_, t) = time(&mut f);
-        bestt = bestt.min(t);
-    }
-    bestt
-}
-
-fn run_case(name: &'static str, nest: &LoopNest) -> Case {
-    let plan = pdm_core::parallelize(nest).expect("plan");
-    let rep = compare_three_way(nest, &plan, 1).expect("execute");
-    assert!(
-        rep.all_equal(),
-        "{name}: executors diverged — refusing to time"
-    );
-    let iterations = rep.iterations;
-
-    let mut m = Memory::for_nest(nest).expect("alloc");
-    m.init_deterministic(1);
-
-    let interp_seq = best(REPS, || pdm_runtime::run_sequential(nest, &m).unwrap());
-    let compiled = CompiledNest::compile(nest, &m).expect("compile nest");
-    let mut scratch = compiled.new_scratch();
-    let compiled_seq = best(REPS, || {
-        compiled.run_with_scratch(&m, &mut scratch).unwrap()
-    });
-    let interp_par = best(REPS, || pdm_runtime::run_parallel(nest, &plan, &m).unwrap());
-    let cplan = CompiledPlan::compile(nest, &plan, &m).expect("compile plan");
-    let compiled_par = best(REPS, || cplan.run_parallel(&m).unwrap());
-
-    Case {
-        name,
-        iterations,
-        interp_seq,
-        compiled_seq,
-        interp_par,
-        compiled_par,
-    }
-}
+//! compiled/interpreted speedup, sequentially and in parallel. The
+//! measurement itself lives in `pdm_bench::perf` so the `bench_check`
+//! regression gate can rerun it without touching this file's output.
 
 fn main() {
-    let stencil = parse_loop_with(
-        "for i = 1..N { for j = 1..N { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
-        &[("N", 200)],
-    )
-    .unwrap();
-    let cases = [
-        run_case("paper41_n200", &paper41(0, 199)),
-        run_case("paper42_n200", &paper42(0, 199)),
-        run_case("stencil_n200", &stencil),
-    ];
-
-    let mut out = String::from("{\n  \"bench\": \"compiled_vs_interp\",\n");
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    out.push_str(&format!("  \"threads\": {threads},\n  \"cases\": [\n"));
-    for (i, c) in cases.iter().enumerate() {
-        let tp = |secs: f64| c.iterations as f64 / secs;
-        let seq_speedup = c.interp_seq / c.compiled_seq;
-        let par_speedup = c.interp_par / c.compiled_par;
-        println!(
-            "{:<14} seq {:>10.0} -> {:>11.0} iters/s ({:4.1}x)   par {:>10.0} -> {:>11.0} iters/s ({:4.1}x)",
-            c.name,
-            tp(c.interp_seq),
-            tp(c.compiled_seq),
-            seq_speedup,
-            tp(c.interp_par),
-            tp(c.compiled_par),
-            par_speedup,
-        );
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iterations\": {}, \
-             \"interp_seq_iters_per_s\": {:.0}, \"compiled_seq_iters_per_s\": {:.0}, \
-             \"interp_par_iters_per_s\": {:.0}, \"compiled_par_iters_per_s\": {:.0}, \
-             \"seq_speedup\": {:.2}, \"par_speedup\": {:.2}}}{}\n",
-            c.name,
-            c.iterations,
-            tp(c.interp_seq),
-            tp(c.compiled_seq),
-            tp(c.interp_par),
-            tp(c.compiled_par),
-            seq_speedup,
-            par_speedup,
-            if i + 1 == cases.len() { "" } else { "," },
-        ));
-    }
-    out.push_str("  ]\n}\n");
+    let cases = pdm_bench::perf::runtime_cases();
+    let out = pdm_bench::perf::runtime_json(&cases);
     std::fs::write("BENCH_runtime.json", &out).expect("write BENCH_runtime.json");
     println!("wrote BENCH_runtime.json");
 }

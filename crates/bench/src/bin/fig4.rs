@@ -3,7 +3,7 @@
 //! The paper's caption: arrows always jump a stride greater than 1 along
 //! i1 and/or i2, implying the existence of independent partitions. We
 //! print the grid, verify the stride property, and show the distance
-//! histogram (every distance in L([[2,1],[0,2]])).
+//! histogram (every distance in `L([[2,1],[0,2]])`).
 
 use pdm_bench::paper42;
 use pdm_isdg::metrics::metrics;

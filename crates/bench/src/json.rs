@@ -1,0 +1,279 @@
+//! A minimal JSON reader for the committed `BENCH_*.json` snapshots.
+//!
+//! The workspace vendors no serde; the regression gate only needs to
+//! read back the flat numeric metrics the bench binaries themselves
+//! emit, so a small recursive-descent parser suffices. It accepts
+//! standard JSON (objects, arrays, strings with the common escapes,
+//! numbers, booleans, null) and rejects everything else with a
+//! position-tagged error.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A number (all JSON numbers are read as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key–value list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Flatten every numeric leaf into `(path, value)` pairs. Object
+    /// members extend the path with their key; array elements use the
+    /// element's `"name"` field when it has one (the bench case shape),
+    /// else the index. Example: `cases.paper41_n200.seq_speedup`.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        self.walk(String::new(), &mut out);
+        out
+    }
+
+    fn walk(&self, path: String, out: &mut Vec<(String, f64)>) {
+        let join = |p: &str, seg: &str| {
+            if p.is_empty() {
+                seg.to_string()
+            } else {
+                format!("{p}.{seg}")
+            }
+        };
+        match self {
+            Json::Num(n) => out.push((path, *n)),
+            Json::Obj(fields) => {
+                for (k, v) in fields {
+                    v.walk(join(&path, k), out);
+                }
+            }
+            Json::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    let seg = match item.get("name") {
+                        Some(Json::Str(s)) => s.clone(),
+                        _ => i.to_string(),
+                    };
+                    item.walk(join(&path, &seg), out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parse a JSON document. The entire input (modulo trailing whitespace)
+/// must be consumed.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Json::Str(string(b, pos)?)),
+        Some(b't') => keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => keyword(b, pos, "null", Json::Null),
+        Some(_) => number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn keyword(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = string(b, pos)?;
+        expect(b, pos, b':')?;
+        fields.push((key, value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    // Accumulate raw bytes (preserves multibyte UTF-8 sequences) and
+    // validate once at the closing quote.
+    let mut out: Vec<u8> = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into());
+            }
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(esc),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(String::from)?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        *pos += 4;
+                        let ch = char::from_u32(code).unwrap_or('\u{fffd}');
+                        out.extend_from_slice(ch.encode_utf8(&mut [0u8; 4]).as_bytes());
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bench_shape() {
+        let text = r#"{
+          "bench": "compiled_vs_interp",
+          "threads": 8,
+          "cases": [
+            {"name": "a", "seq_speedup": 4.25, "ok": true},
+            {"name": "b", "seq_speedup": 1.5, "extra": null}
+          ]
+        }"#;
+        let v = parse(text).unwrap();
+        let m = v.metrics();
+        assert!(m.contains(&("threads".to_string(), 8.0)));
+        assert!(m.contains(&("cases.a.seq_speedup".to_string(), 4.25)));
+        assert!(m.contains(&("cases.b.seq_speedup".to_string(), 1.5)));
+    }
+
+    #[test]
+    fn arrays_without_names_use_indices() {
+        let v = parse(r#"{"xs": [1, 2.5, -3e2]}"#).unwrap();
+        let m = v.metrics();
+        assert_eq!(
+            m,
+            vec![
+                ("xs.0".to_string(), 1.0),
+                ("xs.1".to_string(), 2.5),
+                ("xs.2".to_string(), -300.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let v = parse(r#"{"s": "a\nb\"cA"}"#).unwrap();
+        assert_eq!(v.get("s"), Some(&Json::Str("a\nb\"cA".to_string())));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, ]").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#"{"a": nope}"#).is_err());
+    }
+}

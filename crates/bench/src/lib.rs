@@ -11,12 +11,23 @@
 //! | `table1` | Table 1 — the method-comparison matrix, *measured* |
 //! | `experiments` | every row of EXPERIMENTS.md in one run |
 //!
+//! Performance snapshots and the CI regression gate:
+//!
+//! | bin | role |
+//! |-----|------|
+//! | `bench_runtime` | writes `BENCH_runtime.json` (compiled vs. interpreted throughput) |
+//! | `bench_fm` | writes `BENCH_fm.json` (FM pruning: bound rows, peak rows, timings) |
+//! | `bench_check` | re-measures both and fails on >25% regression of gated metrics |
+//!
 //! Criterion benches (`cargo bench -p pdm-bench`) measure the quantitative
 //! side: analysis cost, transformation scaling, and the speedup of the
 //! generated schedules under rayon.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod json;
+pub mod perf;
 
 use pdm_core::plan::ParallelPlan;
 use pdm_loopir::nest::LoopNest;

@@ -1,0 +1,573 @@
+//! Shared measurement harness behind `bench_runtime`, `bench_fm`, and
+//! the `bench_check` regression gate.
+//!
+//! The bench binaries write `BENCH_runtime.json` / `BENCH_fm.json`
+//! snapshots into the repo; `bench_check` re-runs the same measurement
+//! functions and compares the fresh numbers against the committed files.
+//!
+//! # What the gate compares
+//!
+//! Absolute throughput (`*_per_s`, `*_ms`) is machine-dependent — a CI
+//! runner is not the workstation that committed the snapshot — so those
+//! numbers are reported but not gated by default. The gate fails on
+//! **ratio metrics**, which are computed from two measurements on the
+//! *same* machine in the *same* run and therefore transfer across hosts:
+//!
+//! * `*_speedup` — e.g. compiled vs. interpreted iteration throughput;
+//! * `*_reduction` — constraint-count ratios (fully deterministic).
+//!
+//! A gated metric regresses when `fresh < committed · (1 − tolerance)`.
+//! Deterministic count ratios use [`TOLERANCE`] = 25%; timing-based
+//! `*_speedup` ratios use the wider [`TIMING_TOLERANCE`] = 40%, because
+//! scheduler jitter on shared CI runners moves them by double-digit
+//! percentages run to run while a genuine engine regression (a speedup
+//! collapsing toward 1×) still lands far past the gate. Set
+//! `BENCH_CHECK_STRICT=1` to additionally gate the absolute `*_per_s`
+//! numbers (useful on a pinned machine).
+
+use crate::{paper41, paper42, time};
+use pdm_loopir::nest::LoopNest;
+use pdm_loopir::parse::parse_loop_with;
+use pdm_matrix::vec::IVec;
+use pdm_poly::bounds::LoopBounds;
+use pdm_poly::expr::AffineExpr;
+use pdm_poly::fm::{eliminate_all_stats, ElimStats, Prune};
+use pdm_poly::system::System;
+use pdm_runtime::compile::{CompiledNest, CompiledPlan};
+use pdm_runtime::equivalence::compare_three_way;
+use pdm_runtime::memory::Memory;
+use rand::prelude::*;
+
+/// Best-of repetitions for the runtime throughput cases.
+pub const RUNTIME_REPS: usize = 5;
+/// Best-of repetitions for the FM timing cases.
+pub const FM_REPS: usize = 3;
+/// Allowed relative drop of a deterministic gated metric (count ratios)
+/// before the gate fails.
+pub const TOLERANCE: f64 = 0.25;
+/// Allowed relative drop of a timing-based gated metric (`*_speedup`),
+/// widened to absorb shared-runner scheduler jitter.
+pub const TIMING_TOLERANCE: f64 = 0.40;
+
+fn best<F: FnMut() -> T, T>(reps: usize, mut f: F) -> f64 {
+    let mut bestt = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, t) = time(&mut f);
+        bestt = bestt.min(t);
+    }
+    bestt
+}
+
+// ---------------------------------------------------------------------
+// Runtime throughput (compiled engine vs. interpreter).
+// ---------------------------------------------------------------------
+
+/// One compiled-vs-interpreted throughput case (times in seconds).
+pub struct RuntimeCase {
+    /// Case label (stable across runs; used as the JSON metric path).
+    pub name: &'static str,
+    /// Iterations per full execution.
+    pub iterations: u64,
+    /// Interpreter, sequential.
+    pub interp_seq: f64,
+    /// Compiled engine, sequential.
+    pub compiled_seq: f64,
+    /// Interpreter, parallel schedule.
+    pub interp_par: f64,
+    /// Compiled engine, parallel schedule.
+    pub compiled_par: f64,
+}
+
+fn run_runtime_case(name: &'static str, nest: &LoopNest) -> RuntimeCase {
+    let plan = pdm_core::parallelize(nest).expect("plan");
+    let rep = compare_three_way(nest, &plan, 1).expect("execute");
+    assert!(
+        rep.all_equal(),
+        "{name}: executors diverged — refusing to time"
+    );
+    let iterations = rep.iterations;
+
+    let mut m = Memory::for_nest(nest).expect("alloc");
+    m.init_deterministic(1);
+
+    let interp_seq = best(RUNTIME_REPS, || {
+        pdm_runtime::run_sequential(nest, &m).unwrap()
+    });
+    let compiled = CompiledNest::compile(nest, &m).expect("compile nest");
+    let mut scratch = compiled.new_scratch();
+    let compiled_seq = best(RUNTIME_REPS, || {
+        compiled.run_with_scratch(&m, &mut scratch).unwrap()
+    });
+    let interp_par = best(RUNTIME_REPS, || {
+        pdm_runtime::run_parallel(nest, &plan, &m).unwrap()
+    });
+    let cplan = CompiledPlan::compile(nest, &plan, &m).expect("compile plan");
+    let compiled_par = best(RUNTIME_REPS, || cplan.run_parallel(&m).unwrap());
+
+    RuntimeCase {
+        name,
+        iterations,
+        interp_seq,
+        compiled_seq,
+        interp_par,
+        compiled_par,
+    }
+}
+
+/// The classic 2-D first-order stencil over an `n × n` interior — shared
+/// by the runtime and FM case families so `stencil_n200` names the same
+/// workload in both snapshots.
+pub fn stencil2d(n: i64) -> LoopNest {
+    parse_loop_with(
+        "for i = 1..N { for j = 1..N { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
+        &[("N", n)],
+    )
+    .expect("stencil parses")
+}
+
+/// Measure every runtime case, printing one summary line per case.
+pub fn runtime_cases() -> Vec<RuntimeCase> {
+    let cases = vec![
+        run_runtime_case("paper41_n200", &paper41(0, 199)),
+        run_runtime_case("paper42_n200", &paper42(0, 199)),
+        run_runtime_case("stencil_n200", &stencil2d(200)),
+    ];
+    for c in &cases {
+        let tp = |secs: f64| c.iterations as f64 / secs;
+        println!(
+            "{:<14} seq {:>10.0} -> {:>11.0} iters/s ({:4.1}x)   par {:>10.0} -> {:>11.0} iters/s ({:4.1}x)",
+            c.name,
+            tp(c.interp_seq),
+            tp(c.compiled_seq),
+            c.interp_seq / c.compiled_seq,
+            tp(c.interp_par),
+            tp(c.compiled_par),
+            c.interp_par / c.compiled_par,
+        );
+    }
+    cases
+}
+
+/// Serialize runtime cases into the committed `BENCH_runtime.json` shape.
+pub fn runtime_json(cases: &[RuntimeCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"compiled_vs_interp\",\n");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!("  \"threads\": {threads},\n  \"cases\": [\n"));
+    for (i, c) in cases.iter().enumerate() {
+        let tp = |secs: f64| c.iterations as f64 / secs;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iterations\": {}, \
+             \"interp_seq_iters_per_s\": {:.0}, \"compiled_seq_iters_per_s\": {:.0}, \
+             \"interp_par_iters_per_s\": {:.0}, \"compiled_par_iters_per_s\": {:.0}, \
+             \"seq_speedup\": {:.2}, \"par_speedup\": {:.2}}}{}\n",
+            c.name,
+            c.iterations,
+            tp(c.interp_seq),
+            tp(c.compiled_seq),
+            tp(c.interp_par),
+            tp(c.compiled_par),
+            c.interp_seq / c.compiled_seq,
+            c.interp_par / c.compiled_par,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fourier–Motzkin pruning effectiveness.
+// ---------------------------------------------------------------------
+
+/// Bound-generation stats for one loop nest: rows and wall time with
+/// pruning off vs. on (times in seconds).
+pub struct FmPlanCase {
+    /// Case label.
+    pub name: &'static str,
+    /// Nest depth.
+    pub depth: usize,
+    /// Total per-level bound rows without pruning.
+    pub rows_unpruned: usize,
+    /// Total per-level bound rows with exact pruning.
+    pub rows_pruned: usize,
+    /// Rows the compiled walker evaluates (post-pruning).
+    pub compiled_rows: usize,
+    /// Bound-generation time, unpruned baseline.
+    pub bounds_unpruned: f64,
+    /// Bound-generation time with exact pruning.
+    pub bounds_pruned: f64,
+    /// Full `parallelize` wall time (pruning on).
+    pub plan: f64,
+}
+
+fn transformed_system(nest: &LoopNest) -> (System, usize) {
+    let plan = pdm_core::parallelize(nest).expect("plan");
+    let tsys =
+        pdm_core::plan::transformed_system(nest, plan.inverse()).expect("transformed system");
+    (tsys, plan.depth())
+}
+
+fn run_fm_plan_case(name: &'static str, nest: &LoopNest) -> FmPlanCase {
+    let (tsys, depth) = transformed_system(nest);
+    let raw = LoopBounds::from_system_pruned(&tsys, Prune::None).expect("unpruned bounds");
+    let pruned = LoopBounds::from_system(&tsys).expect("pruned bounds");
+    let bounds_unpruned = best(FM_REPS, || {
+        LoopBounds::from_system_pruned(&tsys, Prune::None)
+            .unwrap()
+            .dim()
+    });
+    let bounds_pruned = best(FM_REPS, || LoopBounds::from_system(&tsys).unwrap().dim());
+    let plan_t = best(FM_REPS, || pdm_core::parallelize(nest).unwrap().depth());
+
+    let plan = pdm_core::parallelize(nest).expect("plan");
+    let mem = Memory::for_nest(nest).expect("alloc");
+    let cplan = CompiledPlan::compile(nest, &plan, &mem).expect("compile");
+
+    FmPlanCase {
+        name,
+        depth,
+        rows_unpruned: raw.total_rows(),
+        rows_pruned: pruned.total_rows(),
+        compiled_rows: cplan.bound_rows(),
+        bounds_unpruned,
+        bounds_pruned,
+        plan: plan_t,
+    }
+}
+
+/// Elimination stats for one constraint system under each [`Prune`]
+/// level: peak intermediate rows and wall time (times in seconds).
+/// `fast` (the [`pdm_poly::fm::eliminate_all`] default) is the wall-time
+/// configuration; `exact` minimizes the surviving rows.
+pub struct FmElimCase {
+    /// Case label.
+    pub name: &'static str,
+    /// Number of variables eliminated.
+    pub depth: usize,
+    /// Input constraint count.
+    pub input_rows: usize,
+    /// Stats of the unpruned baseline.
+    pub unpruned: ElimStats,
+    /// Stats of the Kohler-history run.
+    pub fast: ElimStats,
+    /// Stats of the exact-pruned run.
+    pub exact: ElimStats,
+    /// Wall time of the unpruned baseline.
+    pub t_unpruned: f64,
+    /// Wall time of the Kohler-history run.
+    pub t_fast: f64,
+    /// Wall time of the exact-pruned run.
+    pub t_exact: f64,
+}
+
+fn run_fm_elim_case(name: &'static str, sys: &System) -> FmElimCase {
+    let vars: Vec<usize> = (0..sys.dim()).collect();
+    let (_, unpruned) = eliminate_all_stats(sys, &vars, Prune::None).expect("unpruned");
+    let (_, fast) = eliminate_all_stats(sys, &vars, Prune::Fast).expect("fast");
+    let (_, exact) = eliminate_all_stats(sys, &vars, Prune::Exact).expect("exact");
+    let t_unpruned = best(FM_REPS, || {
+        eliminate_all_stats(sys, &vars, Prune::None).unwrap().1
+    });
+    let t_fast = best(FM_REPS, || {
+        eliminate_all_stats(sys, &vars, Prune::Fast).unwrap().1
+    });
+    let t_exact = best(FM_REPS, || {
+        eliminate_all_stats(sys, &vars, Prune::Exact).unwrap().1
+    });
+    FmElimCase {
+        name,
+        depth: sys.dim(),
+        input_rows: sys.len(),
+        unpruned,
+        fast,
+        exact,
+        t_unpruned,
+        t_fast,
+        t_exact,
+    }
+}
+
+/// A skewed n-dimensional box: `0 ≤ x_k + x_{k−1} ≤ size` for every `k`.
+pub fn skewed_box(n: usize, size: i64) -> System {
+    let mut s = System::universe(n);
+    for k in 0..n {
+        let mut coeffs = vec![0i64; n];
+        coeffs[k] = 1;
+        if k > 0 {
+            coeffs[k - 1] = 1;
+        }
+        s.add_ge0(AffineExpr::new(IVec(coeffs.clone()), 0)).unwrap();
+        let neg: Vec<i64> = coeffs.iter().map(|c| -c).collect();
+        s.add_ge0(AffineExpr::new(IVec(neg), size)).unwrap();
+    }
+    s
+}
+
+/// A random bounded deep system: a box plus `cuts` random affine cuts
+/// with small coefficients — the shape FM blows up on.
+pub fn random_deep_system(dim: usize, cuts: usize, seed: u64) -> System {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = System::universe(dim);
+    for i in 0..dim {
+        s.add_range(i, -6, 6).unwrap();
+    }
+    let mut added = 0usize;
+    while added < cuts {
+        let coeffs: Vec<i64> = (0..dim).map(|_| rng.gen_range(-2i64..=2)).collect();
+        if coeffs.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let c = rng.gen_range(0i64..=10);
+        s.add_ge0(AffineExpr::new(IVec(coeffs), c)).unwrap();
+        added += 1;
+    }
+    s
+}
+
+/// The 4-deep sequential stencil used as the deep planning workload.
+pub fn deep_stencil(n: i64) -> LoopNest {
+    parse_loop_with(
+        "for i = 1..N { for j = 1..N { for k = 1..N { for l = 1..N {
+           A[i, j, k, l] = A[i - 1, j, k, l] + A[i, j - 1, k, l]
+                         + A[i, j, k - 1, l] + A[i, j, k, l - 1];
+         } } } }",
+        &[("N", n)],
+    )
+    .expect("deep stencil parses")
+}
+
+/// Measure every FM case, printing one summary line per case.
+pub fn fm_cases() -> (Vec<FmPlanCase>, Vec<FmElimCase>) {
+    let plans = vec![
+        run_fm_plan_case("paper41_n200", &paper41(0, 199)),
+        run_fm_plan_case("paper42_n200", &paper42(0, 199)),
+        run_fm_plan_case("stencil_n200", &stencil2d(200)),
+        run_fm_plan_case("stencil4d_n8", &deep_stencil(8)),
+    ];
+    for c in &plans {
+        println!(
+            "{:<14} depth {}  bound rows {:>3} -> {:>3} ({:4.2}x)   bounds {:>8.1}us -> {:>8.1}us   plan {:>8.1}us",
+            c.name,
+            c.depth,
+            c.rows_unpruned,
+            c.rows_pruned,
+            c.rows_unpruned as f64 / c.rows_pruned as f64,
+            c.bounds_unpruned * 1e6,
+            c.bounds_pruned * 1e6,
+            c.plan * 1e6,
+        );
+    }
+    let elims = vec![
+        run_fm_elim_case("skewed_box_d4", &skewed_box(4, 40)),
+        run_fm_elim_case("skewed_box_d6", &skewed_box(6, 40)),
+        run_fm_elim_case("random_d4", &random_deep_system(4, 8, 7)),
+        run_fm_elim_case("random_d5", &random_deep_system(5, 10, 11)),
+        run_fm_elim_case("random_d6", &random_deep_system(6, 10, 5)),
+    ];
+    for c in &elims {
+        println!(
+            "{:<14} depth {}  peak rows {:>5} / fast {:>4} / exact {:>4} ({:6.2}x)   eliminate {:>9.1}us / {:>8.1}us / {:>9.1}us",
+            c.name,
+            c.depth,
+            c.unpruned.peak_rows,
+            c.fast.peak_rows,
+            c.exact.peak_rows,
+            c.unpruned.peak_rows as f64 / c.exact.peak_rows as f64,
+            c.t_unpruned * 1e6,
+            c.t_fast * 1e6,
+            c.t_exact * 1e6,
+        );
+    }
+    (plans, elims)
+}
+
+/// Serialize FM cases into the committed `BENCH_fm.json` shape.
+pub fn fm_json(plans: &[FmPlanCase], elims: &[FmElimCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"fm_prune\",\n  \"plan_cases\": [\n");
+    for (i, c) in plans.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"depth\": {}, \
+             \"rows_unpruned\": {}, \"rows_pruned\": {}, \"compiled_rows\": {}, \
+             \"rows_reduction\": {:.3}, \
+             \"bounds_unpruned_ms\": {:.4}, \"bounds_pruned_ms\": {:.4}, \
+             \"plan_ms\": {:.4}, \"plans_per_s\": {:.0}}}{}\n",
+            c.name,
+            c.depth,
+            c.rows_unpruned,
+            c.rows_pruned,
+            c.compiled_rows,
+            c.rows_unpruned as f64 / c.rows_pruned as f64,
+            c.bounds_unpruned * 1e3,
+            c.bounds_pruned * 1e3,
+            c.plan * 1e3,
+            1.0 / c.plan,
+            if i + 1 == plans.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"elim_cases\": [\n");
+    for (i, c) in elims.iter().enumerate() {
+        // The unpruned-vs-Fast timing ratio is the headline win, so gate
+        // it (`_speedup`) wherever the unpruned run is long enough for
+        // the ratio to be stable; µs-scale cases stay informational
+        // (`_time_ratio`) — scheduler jitter would make them flake.
+        let ratio_key = if c.t_unpruned >= 1e-3 {
+            "elim_speedup"
+        } else {
+            "elim_time_ratio"
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"depth\": {}, \"input_rows\": {}, \
+             \"peak_unpruned\": {}, \"peak_fast\": {}, \"peak_exact\": {}, \
+             \"peak_reduction\": {:.3}, \
+             \"dropped_history\": {}, \"dropped_exact\": {}, \
+             \"elim_unpruned_ms\": {:.4}, \"elim_fast_ms\": {:.4}, \"elim_exact_ms\": {:.4}, \
+             \"{ratio_key}\": {:.3}}}{}\n",
+            c.name,
+            c.depth,
+            c.input_rows,
+            c.unpruned.peak_rows,
+            c.fast.peak_rows,
+            c.exact.peak_rows,
+            c.unpruned.peak_rows as f64 / c.exact.peak_rows as f64,
+            c.exact.dropped_history,
+            c.exact.dropped_exact,
+            c.t_unpruned * 1e3,
+            c.t_fast * 1e3,
+            c.t_exact * 1e3,
+            c.t_unpruned / c.t_fast,
+            if i + 1 == elims.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Regression comparison.
+// ---------------------------------------------------------------------
+
+/// One gated metric that regressed beyond tolerance (or disappeared).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Flattened metric path (e.g. `cases.paper41_n200.seq_speedup`).
+    pub key: String,
+    /// Committed snapshot value.
+    pub committed: f64,
+    /// Freshly measured value (`None` when the metric vanished).
+    pub fresh: Option<f64>,
+}
+
+/// Is this metric key gated? Ratio metrics always are; absolute
+/// throughput only under strict mode.
+pub fn is_gated(key: &str, strict: bool) -> bool {
+    key.ends_with("_speedup") || key.ends_with("_reduction") || (strict && key.ends_with("_per_s"))
+}
+
+/// The allowed relative drop for a gated key: deterministic count
+/// ratios use [`TOLERANCE`], timing-derived metrics the wider
+/// [`TIMING_TOLERANCE`].
+pub fn tolerance_for(key: &str) -> f64 {
+    if key.ends_with("_reduction") {
+        TOLERANCE
+    } else {
+        TIMING_TOLERANCE
+    }
+}
+
+/// Compare gated metrics of a fresh run against the committed snapshot.
+/// A metric regresses when `fresh < committed · (1 − tolerance)` with
+/// the per-key tolerance of [`tolerance_for`]; a gated metric missing
+/// from the fresh run is always a failure (a silently dropped benchmark
+/// must not pass the gate).
+pub fn regressions(
+    committed: &[(String, f64)],
+    fresh: &[(String, f64)],
+    strict: bool,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (key, c) in committed {
+        if !is_gated(key, strict) || *c <= 0.0 {
+            continue;
+        }
+        match fresh.iter().find(|(k, _)| k == key) {
+            Some((_, f)) if *f >= c * (1.0 - tolerance_for(key)) => {}
+            Some((_, f)) => out.push(Regression {
+                key: key.clone(),
+                committed: *c,
+                fresh: Some(*f),
+            }),
+            None => out.push(Regression {
+                key: key.clone(),
+                committed: *c,
+                fresh: None,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn gate_ignores_absolute_throughput_by_default() {
+        let committed = m(&[("c.a.x_per_s", 1000.0), ("c.a.seq_speedup", 4.0)]);
+        let fresh = m(&[("c.a.x_per_s", 10.0), ("c.a.seq_speedup", 3.9)]);
+        assert!(regressions(&committed, &fresh, false).is_empty());
+        assert_eq!(regressions(&committed, &fresh, true).len(), 1);
+    }
+
+    #[test]
+    fn gate_trips_on_ratio_drop_and_missing_metric() {
+        let committed = m(&[("a.seq_speedup", 4.0), ("b.peak_reduction", 3.0)]);
+        let fresh = m(&[("a.seq_speedup", 2.0)]);
+        let r = regressions(&committed, &fresh, false);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].fresh, Some(2.0));
+        assert_eq!(r[1].fresh, None);
+    }
+
+    #[test]
+    fn gate_tolerates_within_threshold() {
+        // Timing ratios get the wider tolerance (scheduler jitter)...
+        let committed = m(&[("a.par_speedup", 4.0)]);
+        let fresh = m(&[("a.par_speedup", 2.9)]);
+        assert!(regressions(&committed, &fresh, false).is_empty());
+        // ...while deterministic count ratios stay on the tight one.
+        let committed = m(&[("b.peak_reduction", 4.0)]);
+        let fresh = m(&[("b.peak_reduction", 2.9)]);
+        assert_eq!(regressions(&committed, &fresh, false).len(), 1);
+        let fresh = m(&[("b.peak_reduction", 3.1)]);
+        assert!(regressions(&committed, &fresh, false).is_empty());
+    }
+
+    #[test]
+    fn random_deep_systems_are_deterministic() {
+        let a = random_deep_system(5, 10, 42);
+        let b = random_deep_system(5, 10, 42);
+        assert_eq!(a, b);
+        assert!(a.len() >= 10);
+    }
+
+    #[test]
+    fn fm_plan_case_runs_on_paper41() {
+        let c = run_fm_plan_case("t", &paper41(0, 9));
+        assert_eq!(c.depth, 2);
+        assert!(c.rows_pruned <= c.rows_unpruned);
+        assert_eq!(c.compiled_rows, c.rows_pruned);
+    }
+
+    #[test]
+    fn elim_case_peak_never_grows_under_pruning() {
+        let c = run_fm_elim_case("t", &random_deep_system(4, 8, 3));
+        assert!(c.fast.peak_rows <= c.unpruned.peak_rows);
+        assert!(c.exact.peak_rows <= c.fast.peak_rows);
+    }
+}

@@ -32,6 +32,11 @@ pub fn render_plan(nest: &LoopNest, plan: &ParallelPlan) -> Result<String> {
         plan.doall_count(),
         plan.partition_count()
     );
+    let _ = writeln!(
+        out,
+        "// bound rows per level (irredundant): {:?}",
+        plan.bounds().rows_per_level()
+    );
 
     let mut indent = 0usize;
     let pad = |d: usize| "  ".repeat(d);
@@ -163,6 +168,7 @@ mod tests {
         let plan = parallelize(&nest).unwrap();
         let text = render_plan(&nest, &plan).unwrap();
         assert!(text.contains("doall y1"), "{text}");
+        assert!(text.contains("bound rows per level"), "{text}");
         assert!(text.contains("step 2"), "{text}");
         assert!(text.contains("partition offsets, det = 2"), "{text}");
         assert!(text.contains("A["), "{text}");

@@ -5,7 +5,7 @@
 //! `d = j − i` is a **constant** vector iff the subscript matrices
 //! `A₁, A₂` are square and nonsingular and `(b₁ − b₂)·A₂⁻¹`-style offset
 //! image is integral — in which case the classic frameworks
-//! (Banerjee [1], D'Hollander [6]) apply directly and the PDM degenerates
+//! (Banerjee \[1\], D'Hollander \[6\]) apply directly and the PDM degenerates
 //! to their distance matrix.
 //!
 //! This module implements the predicate exactly and cross-validates it

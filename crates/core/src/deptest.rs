@@ -1,7 +1,7 @@
 //! Classic dependence tests as pre-filters: GCD and Banerjee bounds.
 //!
 //! The paper positions its exact echelon solve against the approximate
-//! tests of the literature (Banerjee–Wolfe, GCD — see Psarris [11]).
+//! tests of the literature (Banerjee–Wolfe, GCD — see Psarris \[11\]).
 //! These are implemented here both as cheap filters a production compiler
 //! would run first and as a measurable precision comparison:
 //!

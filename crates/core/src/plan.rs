@@ -7,6 +7,12 @@
 //! transformed space. The resulting [`ParallelPlan`] is a complete,
 //! executable schedule description consumed by `pdm-runtime` and printed
 //! by [`crate::codegen`].
+//!
+//! The transformed-space bound rows are **irredundant**: the substituted
+//! iteration polyhedron is exactly pruned before bound extraction and
+//! `LoopBounds::from_system` prunes every intermediate FM system, so the
+//! `max`/`min` candidate lists the runtime evaluates per level carry no
+//! implied rows (see `pdm_poly::bounds` for the exactness argument).
 
 use crate::algorithm1::algorithm1;
 use crate::partition::Partitioning;
@@ -60,14 +66,12 @@ pub fn plan_from_analysis(nest: &LoopNest, analysis: PdmAnalysis) -> Result<Para
 
     // Transformed-space bounds: y = i·T, i = y·T⁻¹; substitute into the
     // original iteration polyhedron and re-derive per-level bounds by FM.
+    // Substitution often manufactures implied rows (several original
+    // constraints can map to parallel or dominated images);
+    // `from_system` prunes every level exactly before reading its rows
+    // off, so codegen and the runtime see irredundant per-level bounds.
     let inverse = zeroed.t.inverse().map_err(CoreError::Matrix)?;
-    let sys = nest.iteration_system()?;
-    let exprs: Vec<AffineExpr> = (0..n)
-        .map(|i| AffineExpr::new(inverse.mat().col_vec(i), 0))
-        .collect();
-    let tsys = sys
-        .change_of_variables(&exprs, n)
-        .map_err(CoreError::Matrix)?;
+    let tsys = transformed_system(nest, &inverse)?;
     let bounds = LoopBounds::from_system(&tsys).map_err(CoreError::Matrix)?;
 
     Ok(ParallelPlan {
@@ -80,6 +84,23 @@ pub fn plan_from_analysis(nest: &LoopNest, analysis: PdmAnalysis) -> Result<Para
         bounds,
         depth: n,
     })
+}
+
+/// The iteration polyhedron rewritten into transformed coordinates:
+/// with `y = i·T` and `i = y·T⁻¹`, substitute each original index by the
+/// matching column of `T⁻¹`. Shared by [`plan_from_analysis`] and the
+/// `bench_fm` harness so both always measure the planner's real input.
+pub fn transformed_system(
+    nest: &LoopNest,
+    inverse: &Unimodular,
+) -> Result<pdm_poly::system::System> {
+    let n = nest.depth();
+    let sys = nest.iteration_system()?;
+    let exprs: Vec<AffineExpr> = (0..n)
+        .map(|i| AffineExpr::new(inverse.mat().col_vec(i), 0))
+        .collect();
+    sys.change_of_variables(&exprs, n)
+        .map_err(CoreError::Matrix)
 }
 
 impl ParallelPlan {
@@ -118,9 +139,16 @@ impl ParallelPlan {
         self.partition.as_ref().map_or(1, |p| p.count())
     }
 
-    /// Per-level bounds of the transformed iteration space.
+    /// Per-level bounds of the transformed iteration space (irredundant
+    /// rows — see the module docs).
     pub fn bounds(&self) -> &LoopBounds {
         &self.bounds
+    }
+
+    /// Total bound rows across all levels — the planning-quality metric
+    /// tracked by `bench_fm` (smaller is better at equal semantics).
+    pub fn bound_rows(&self) -> usize {
+        self.bounds.total_rows()
     }
 
     /// Loop depth.

@@ -13,12 +13,34 @@
 //! The effective bound is the `max` of all lowers / `min` of all uppers —
 //! exactly the `max(…, ⌈…⌉)` / `min(…, ⌊…⌋)` bounds in the paper's
 //! transformed loops of §4.1.
+//!
+//! # Irredundance
+//!
+//! By default every intermediate system is pruned exactly
+//! ([`System::prune_redundant`]) before its level's bounds are read off,
+//! so the `lowers`/`uppers` rows of each [`LevelBounds`] are
+//! **irredundant**: no row can be removed without changing the integer
+//! iteration set. Consumers that evaluate the rows per iteration
+//! (`pdm-runtime`'s compiled walkers, the interpreter's `max`/`min`
+//! reductions) therefore do the minimum per-level work. Pruning an
+//! intermediate system preserves the enumerated set because removal only
+//! ever drops rows implied (over the integers) by surviving rows, and
+//! every surviving row is still enforced at the level of its highest
+//! variable. [`LoopBounds::from_system_pruned`] exposes the unpruned
+//! baseline for measurement.
 
 use crate::expr::AffineExpr;
-use crate::fm::eliminate;
+use crate::fm::{Eliminator, Prune};
 use crate::system::System;
 use pdm_matrix::num::{ceil_div, floor_div};
 use pdm_matrix::{MatrixError, Result};
+
+/// Exact pruning is skipped for intermediate systems larger than this
+/// (each exact test is a full FM feasibility run; a working system this
+/// large means the structural and Kohler defenses have already failed
+/// badly enough that quadratic-many feasibility runs would dominate
+/// planning).
+const EXACT_PRUNE_CAP: usize = 96;
 
 /// One side of a loop bound: the rational expression `num / den` with
 /// `den > 0`, to be rounded up (lower bounds) or down (upper bounds).
@@ -96,20 +118,44 @@ pub struct LoopBounds {
 
 impl LoopBounds {
     /// Derive bounds for all levels from the constraint system by
-    /// Fourier–Motzkin elimination (innermost variable first).
+    /// Fourier–Motzkin elimination (innermost variable first), with exact
+    /// per-level redundancy pruning — the per-level rows are irredundant
+    /// (see the module docs).
     pub fn from_system(sys: &System) -> Result<LoopBounds> {
+        Self::from_system_pruned(sys, Prune::Exact)
+    }
+
+    /// [`LoopBounds::from_system`] with an explicit pruning level.
+    /// [`Prune::None`] reproduces the historical unpruned behaviour —
+    /// kept as the measurement baseline for `bench_fm`. [`Prune::Fast`]
+    /// and [`Prune::Exact`] thread **one** eliminator through every
+    /// level, so Kohler histories persist across the per-level steps and
+    /// eagerly drop implied combinations even where exact pruning is
+    /// capped out; [`Prune::Exact`] additionally prunes each level's
+    /// system exactly before its rows are read off.
+    pub fn from_system_pruned(sys: &System, prune: Prune) -> Result<LoopBounds> {
         let n = sys.dim();
         let mut levels: Vec<LevelBounds> = Vec::with_capacity(n);
-        let mut cur = sys.clone();
+        // Single working system reused across levels (no per-level
+        // clone); exact pruning runs pre-extraction, so the eliminator's
+        // own per-step mode never needs to be Exact.
+        let step_prune = match prune {
+            Prune::None => Prune::None,
+            _ => Prune::Fast,
+        };
+        let mut el = Eliminator::new(sys, step_prune);
         let mut infeasible = false;
         // Walk from the innermost level to the outermost, recording the
         // bounds of x_k before eliminating it.
         let mut collected: Vec<LevelBounds> = Vec::with_capacity(n);
         for k in (0..n).rev() {
-            infeasible |= cur.has_constant_contradiction();
+            infeasible |= el.has_constant_contradiction();
+            if prune == Prune::Exact && el.len() <= EXACT_PRUNE_CAP {
+                el.exact_prune()?;
+            }
             let mut lowers = Vec::new();
             let mut uppers = Vec::new();
-            for e in cur.constraints() {
+            for e in el.exprs() {
                 let a = e.coeff(k);
                 if a == 0 {
                     continue;
@@ -129,9 +175,9 @@ impl LoopBounds {
                 }
             }
             collected.push(LevelBounds { lowers, uppers });
-            cur = eliminate(&cur, k)?;
+            el.step(k)?;
         }
-        infeasible |= cur.has_constant_contradiction();
+        infeasible |= el.has_constant_contradiction();
         collected.reverse();
         levels.extend(collected);
         if infeasible && n > 0 {
@@ -159,6 +205,23 @@ impl LoopBounds {
     /// Bounds of level `k`.
     pub fn level(&self, k: usize) -> &LevelBounds {
         &self.levels[k]
+    }
+
+    /// Bound rows (lowers + uppers) at each level, outermost first — the
+    /// per-iteration `max`/`min` work a consumer performs.
+    pub fn rows_per_level(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .map(|l| l.lowers.len() + l.uppers.len())
+            .collect()
+    }
+
+    /// Total bound rows across all levels.
+    pub fn total_rows(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.lowers.len() + l.uppers.len())
+            .sum()
     }
 
     /// The `(lower, upper)` range of level `k` for a given prefix of outer
@@ -325,6 +388,45 @@ mod tests {
             den: 1,
         };
         assert_eq!(be1.display_with(&names, true), "j");
+    }
+
+    #[test]
+    fn pruned_bounds_enumerate_identically_with_fewer_rows() {
+        use crate::fm::Prune;
+        // A triangle plus redundant cuts: same points, fewer rows.
+        let mut s = System::universe(2);
+        s.add_ge0(ge0(&[1, 0], 0)).unwrap();
+        s.add_ge0(ge0(&[0, 1], 0)).unwrap();
+        s.add_ge0(ge0(&[-1, -1], 6)).unwrap();
+        s.add_ge0(ge0(&[-1, 0], 20)).unwrap(); // x0 <= 20: implied
+        s.add_ge0(ge0(&[0, -1], 11)).unwrap(); // x1 <= 11: implied
+        s.add_ge0(ge0(&[-2, -1], 40)).unwrap(); // implied
+        let pruned = LoopBounds::from_system(&s).unwrap();
+        let raw = LoopBounds::from_system_pruned(&s, Prune::None).unwrap();
+        assert_eq!(pruned.enumerate().unwrap(), raw.enumerate().unwrap());
+        assert!(
+            pruned.total_rows() < raw.total_rows(),
+            "{} vs {}",
+            pruned.total_rows(),
+            raw.total_rows()
+        );
+        // The triangle needs exactly two rows per level.
+        assert_eq!(pruned.rows_per_level(), vec![2, 2]);
+    }
+
+    #[test]
+    fn dominated_parallel_rows_pruned_from_level_bounds() {
+        // x >= 0, x <= 5, x <= 9: the dominated upper bound must not
+        // survive into the extracted level rows (regression: exact_prune
+        // once only synced rows removed by negation tests, not by the
+        // structural merge).
+        let mut s = System::universe(1);
+        s.add_ge0(ge0(&[1], 0)).unwrap();
+        s.add_ge0(ge0(&[-1], 5)).unwrap();
+        s.add_ge0(ge0(&[-1], 9)).unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        assert_eq!(b.rows_per_level(), vec![2]);
+        assert_eq!(b.range(0, &[]).unwrap(), (0, 5));
     }
 
     #[test]

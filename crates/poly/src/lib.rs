@@ -3,17 +3,21 @@
 //! Loop bounds of a (transformed) nest form a convex integer polyhedron
 //! `{ x ∈ Zⁿ : A·xᵀ + b ≥ 0 }`. After a unimodular change of basis the new
 //! bounds are not rectangular, and the paper (following Banerjee and
-//! Schrijver [1, 13]) recovers per-level `max(⌈·⌉)/min(⌊·⌋)` bounds by
+//! Schrijver \[1, 13\]) recovers per-level `max(⌈·⌉)/min(⌊·⌋)` bounds by
 //! **Fourier–Motzkin elimination**: eliminating the innermost variables one
 //! by one leaves, at each level, the constraints that bound that loop in
 //! terms of the outer indices only.
 //!
 //! The crate provides:
 //! * [`expr::AffineExpr`] — exact affine forms `a·x + c`,
-//! * [`system::System`] — conjunctions of `expr ≥ 0` constraints,
-//! * [`fm`] — Fourier–Motzkin projection,
-//! * [`bounds`] — per-level loop bound extraction and lexicographic
-//!   enumeration of the integer points (the executable iteration space).
+//! * [`system::System`] — conjunctions of `expr ≥ 0` constraints, with
+//!   structural ([`system::System::simplify`]) and exact
+//!   ([`system::System::prune_redundant`]) redundancy elimination,
+//! * [`fm`] — Fourier–Motzkin projection with Kohler/Imbert history
+//!   pruning and min-pairs elimination ordering,
+//! * [`bounds`] — per-level loop bound extraction (irredundant rows by
+//!   default) and lexicographic enumeration of the integer points (the
+//!   executable iteration space).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +29,7 @@ pub mod system;
 
 pub use bounds::{BoundExpr, LevelBounds, LoopBounds};
 pub use expr::AffineExpr;
+pub use fm::{ElimStats, Prune};
 pub use system::System;
 
 /// Result alias re-using the exact-arithmetic error type.

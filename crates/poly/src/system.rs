@@ -1,4 +1,26 @@
 //! Conjunctions of affine inequalities (integer polyhedra).
+//!
+//! # Normal form and redundancy
+//!
+//! Every stored constraint is **gcd-normalized**: the coefficient vector
+//! is primitive and the constant is tightened with floor division, which
+//! is exact on integer points. Two layers of redundancy elimination build
+//! on that normal form:
+//!
+//! * [`System::simplify`] — *structural*: trivially true constants are
+//!   dropped, and parallel constraints (identical primitive coefficient
+//!   vectors) are merged keeping the tightest constant. The dominated row
+//!   is implied by the kept one, so the integer solution set is unchanged.
+//! * [`System::prune_redundant`] — *exact*: a constraint `e ≥ 0` is
+//!   redundant iff the system with that constraint replaced by its
+//!   integer negation `e ≤ −1` is rationally infeasible (decided by
+//!   [`crate::fm::is_rationally_feasible`]). Infeasibility of the test
+//!   system means no integer point of the remaining constraints violates
+//!   `e ≥ 0` — integer values of `e` are either `≥ 0` or `≤ −1` — so the
+//!   removal preserves integer membership exactly. The check is
+//!   conservative in the other direction: a rationally feasible test
+//!   system keeps the constraint even when the violating points are all
+//!   fractional.
 
 use crate::expr::AffineExpr;
 use pdm_matrix::gcd::gcd_slice;
@@ -6,6 +28,37 @@ use pdm_matrix::num::floor_div;
 use pdm_matrix::vec::IVec;
 use pdm_matrix::Result;
 use std::fmt;
+
+/// Gcd-normalize `e ≥ 0`: divide by the gcd of the coefficients and
+/// tighten the constant with floor division (exact on integer points).
+/// Returns `None` for trivially true constant rows; contradictory
+/// constants are kept so emptiness stays observable.
+pub(crate) fn normalize_ge0(e: AffineExpr) -> Result<Option<AffineExpr>> {
+    let g = gcd_slice(e.coeffs.as_slice());
+    let e = if g > 1 {
+        AffineExpr::new(e.coeffs.exact_div(g)?, floor_div(e.constant, g)?)
+    } else {
+        e
+    };
+    if e.is_constant() && e.constant >= 0 {
+        return Ok(None);
+    }
+    Ok(Some(e))
+}
+
+/// The integer negation of `e ≥ 0`: `e ≤ −1`, i.e. `−e − 1 ≥ 0`.
+/// Returns `None` when the negation would overflow (callers then treat
+/// the constraint as irredundant — conservative and safe).
+pub(crate) fn negate_ge0(e: &AffineExpr) -> Result<Option<AffineExpr>> {
+    match e
+        .scale(-1)
+        .and_then(|n| n.add(&AffineExpr::constant(e.dim(), -1)))
+    {
+        Ok(neg) => Ok(Some(neg)),
+        Err(pdm_matrix::MatrixError::Overflow) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
 
 /// A conjunction of constraints `eᵢ(x) ≥ 0` over `dim` integer variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,17 +91,9 @@ impl System {
     /// points).
     pub fn add_ge0(&mut self, e: AffineExpr) -> Result<()> {
         assert_eq!(e.dim(), self.dim, "constraint dimension mismatch");
-        let g = gcd_slice(e.coeffs.as_slice());
-        let e = if g > 1 {
-            AffineExpr::new(e.coeffs.exact_div(g)?, floor_div(e.constant, g)?)
-        } else {
-            e
-        };
-        // Skip trivially true constants; keep contradictions so emptiness
-        // is observable.
-        if e.is_constant() && e.constant >= 0 {
+        let Some(e) = normalize_ge0(e)? else {
             return Ok(());
-        }
+        };
         if !self.constraints.contains(&e) {
             self.constraints.push(e);
         }
@@ -112,12 +157,18 @@ impl System {
         Ok(out)
     }
 
-    /// Remove constraints dominated by another with identical coefficients
-    /// (keep the tightest, i.e. smallest constant).
+    /// Structural redundancy pruning: drop trivially true constant rows
+    /// and remove constraints dominated by another with identical
+    /// (primitive, post-normalization) coefficients — keep the tightest,
+    /// i.e. smallest constant. Exact on integer points: every removed row
+    /// is implied by a kept one.
     pub fn simplify(&mut self) {
         use std::collections::HashMap;
         let mut best: HashMap<IVec, i64> = HashMap::new();
         for e in &self.constraints {
+            if e.is_constant() && e.constant >= 0 {
+                continue;
+            }
             best.entry(e.coeffs.clone())
                 .and_modify(|c| *c = (*c).min(e.constant))
                 .or_insert(e.constant);
@@ -128,6 +179,72 @@ impl System {
             .collect();
         out.sort_by(|a, b| a.coeffs.cmp(&b.coeffs).then(a.constant.cmp(&b.constant)));
         self.constraints = out;
+    }
+
+    /// Exact redundancy elimination: greedily remove every constraint
+    /// whose integer negation (`e ≤ −1`) is rationally infeasible against
+    /// the remaining rows — see the module docs for the exactness
+    /// argument. Returns the number of constraints removed.
+    ///
+    /// Rationally infeasible systems are left untouched (every row of an
+    /// empty system is vacuously redundant; keeping them preserves the
+    /// constraints that surface the emptiness to Fourier–Motzkin bound
+    /// generation). Cost: one FM feasibility run per constraint — callers
+    /// on hot paths should gate on [`System::len`].
+    pub fn prune_redundant(&mut self) -> Result<usize> {
+        self.simplify();
+        if self.constraints.len() <= 1 || !crate::fm::is_rationally_feasible(self)? {
+            return Ok(0);
+        }
+        let mut removed = 0usize;
+        let mut i = 0;
+        while self.constraints.len() > 1 && i < self.constraints.len() {
+            if self.unique_sign_on_some_var(i) {
+                // Provably irredundant without an FM run: the system is
+                // rationally feasible, and pushing the witnessed variable
+                // past every other constraint (none opposes it) violates
+                // this row arbitrarily — so the negated test system is
+                // feasible.
+                i += 1;
+                continue;
+            }
+            let mut rest = System::universe(self.dim);
+            for (j, e) in self.constraints.iter().enumerate() {
+                if j != i {
+                    rest.add_ge0(e.clone())?;
+                }
+            }
+            if crate::fm::is_redundant(&rest, &self.constraints[i])? {
+                self.constraints.remove(i);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Is constraint `i` the only row with a positive (or the only row
+    /// with a negative) coefficient on some variable? If so it is the
+    /// unique bound on that side: from any rational point of the
+    /// remaining system that variable can be pushed indefinitely without
+    /// violating them, driving this row below any threshold — hence the
+    /// row is irredundant whenever the system is feasible.
+    fn unique_sign_on_some_var(&self, i: usize) -> bool {
+        let e = &self.constraints[i];
+        'var: for k in 0..self.dim {
+            let s = e.coeff(k).signum();
+            if s == 0 {
+                continue;
+            }
+            for (j, other) in self.constraints.iter().enumerate() {
+                if j != i && other.coeff(k).signum() == s {
+                    continue 'var;
+                }
+            }
+            return true;
+        }
+        false
     }
 
     /// Number of constraints.
@@ -238,6 +355,76 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn prune_removes_implied_rows() {
+        // x0 >= 0, x1 >= 0, x0 + x1 <= 5 make x0 <= 9 and x0 + 2*x1 <= 12
+        // redundant.
+        let mut s = System::universe(2);
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[1, 0]), 0))
+            .unwrap();
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[0, 1]), 0))
+            .unwrap();
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[-1, -1]), 5))
+            .unwrap();
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[-1, 0]), 9))
+            .unwrap();
+        s.add_ge0(AffineExpr::new(IVec::from_slice(&[-1, -2]), 12))
+            .unwrap();
+        let before = s.clone();
+        let removed = s.prune_redundant().unwrap();
+        assert_eq!(removed, 2, "{s}");
+        assert_eq!(s.len(), 3);
+        for x0 in -8..=8i64 {
+            for x1 in -8..=8i64 {
+                assert_eq!(
+                    s.contains(&[x0, x1]).unwrap(),
+                    before.contains(&[x0, x1]).unwrap(),
+                    "({x0},{x1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prune_keeps_irredundant_systems_intact() {
+        let mut s = System::universe(2);
+        s.add_range(0, 0, 4).unwrap();
+        s.add_range(1, 0, 4).unwrap();
+        assert_eq!(s.prune_redundant().unwrap(), 0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn prune_leaves_infeasible_systems_alone() {
+        let mut s = System::universe(1);
+        s.add_range(0, 3, 2).unwrap(); // x >= 3 and x <= 2
+        assert_eq!(s.prune_redundant().unwrap(), 0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn negation_is_integer_complement() {
+        let e = AffineExpr::new(IVec::from_slice(&[2, -1]), 3);
+        let neg = negate_ge0(&e).unwrap().unwrap();
+        for x0 in -4..=4i64 {
+            for x1 in -4..=4i64 {
+                let v = e.eval(&[x0, x1]).unwrap();
+                let nv = neg.eval(&[x0, x1]).unwrap();
+                assert_eq!(v >= 0, nv < 0, "exactly one side holds");
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_drops_trivial_constants() {
+        let mut s = System::universe(1);
+        s.add_range(0, 0, 3).unwrap();
+        // Inject a trivially true row bypassing add_ge0's filter.
+        s.constraints.push(AffineExpr::constant(1, 7));
+        s.simplify();
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! Property tests: Fourier–Motzkin projection soundness/completeness and
-//! loop-bound enumeration exactness on random small polyhedra.
+//! Property tests: Fourier–Motzkin projection soundness/completeness,
+//! loop-bound enumeration exactness, and redundancy-pruning membership
+//! preservation on random small polyhedra.
 
 use pdm_matrix::vec::IVec;
 use pdm_poly::bounds::LoopBounds;
 use pdm_poly::expr::AffineExpr;
-use pdm_poly::fm::eliminate;
+use pdm_poly::fm::{eliminate, eliminate_all_stats, Prune};
 use pdm_poly::system::System;
 use proptest::prelude::*;
 
@@ -74,6 +75,81 @@ proptest! {
             b.count_points().unwrap(),
             b.enumerate().unwrap().len() as u64
         );
+    }
+
+    /// Exact pruning preserves integer membership pointwise: for every
+    /// grid point, `prune(s).contains(p) == s.contains(p)`.
+    #[test]
+    fn prune_preserves_integer_membership(sys in bounded_system(2)) {
+        let mut pruned = sys.clone();
+        pruned.prune_redundant().unwrap();
+        prop_assert!(pruned.len() <= sys.len());
+        for x0 in -6..=6i64 {
+            for x1 in -6..=6i64 {
+                prop_assert_eq!(
+                    pruned.contains(&[x0, x1]).unwrap(),
+                    sys.contains(&[x0, x1]).unwrap(),
+                    "membership changed at ({}, {})", x0, x1
+                );
+            }
+        }
+    }
+
+    /// Projection after pruning still matches ∃-semantics: every integer
+    /// point with a witness stays in the projection (the completeness
+    /// direction of the triangle/skew tests), for the pruned system just
+    /// as for the raw one.
+    #[test]
+    fn fm_projection_complete_after_prune(sys in bounded_system(2)) {
+        let mut pruned = sys.clone();
+        pruned.prune_redundant().unwrap();
+        let p = eliminate(&pruned, 1).unwrap();
+        for x0 in -6..=6i64 {
+            let witness = (-6..=6).any(|x1| sys.contains(&[x0, x1]).unwrap());
+            if witness {
+                prop_assert!(p.contains(&[x0, 0]).unwrap(),
+                    "pruned projection lost witnessed x0={}", x0);
+            }
+        }
+    }
+
+    /// All three pruning levels of `eliminate_all` agree on the
+    /// projection's constant-contradiction status and never let pruned
+    /// peaks exceed the raw peak; pruned results keep every witnessed
+    /// point of the surviving variable.
+    #[test]
+    fn eliminate_all_prune_levels_agree(sys in bounded_system(3)) {
+        let vars = [1usize, 2];
+        let (raw, s_raw) = eliminate_all_stats(&sys, &vars, Prune::None).unwrap();
+        let (fast, s_fast) = eliminate_all_stats(&sys, &vars, Prune::Fast).unwrap();
+        let (exact, s_exact) = eliminate_all_stats(&sys, &vars, Prune::Exact).unwrap();
+        prop_assert_eq!(raw.has_constant_contradiction(),
+            fast.has_constant_contradiction());
+        prop_assert_eq!(raw.has_constant_contradiction(),
+            exact.has_constant_contradiction());
+        prop_assert!(s_fast.peak_rows <= s_raw.peak_rows);
+        prop_assert!(s_exact.peak_rows <= s_raw.peak_rows);
+        for x0 in -6..=6i64 {
+            let witness = (-4..=4i64).any(|x1| {
+                (-4..=4i64).any(|x2| sys.contains(&[x0, x1, x2]).unwrap())
+            });
+            if witness {
+                prop_assert!(fast.contains(&[x0, 0, 0]).unwrap(),
+                    "fast projection lost witnessed x0={}", x0);
+                prop_assert!(exact.contains(&[x0, 0, 0]).unwrap(),
+                    "exact projection lost witnessed x0={}", x0);
+            }
+        }
+    }
+
+    /// Bound enumeration from a pruned system visits exactly the same
+    /// points as from the raw system.
+    #[test]
+    fn pruned_bounds_enumerate_identically(sys in bounded_system(2)) {
+        let raw = LoopBounds::from_system_pruned(&sys, Prune::None).unwrap();
+        let pruned = LoopBounds::from_system(&sys).unwrap();
+        prop_assert!(pruned.total_rows() <= raw.total_rows());
+        prop_assert_eq!(raw.enumerate().unwrap(), pruned.enumerate().unwrap());
     }
 
     /// A unimodular change of variables preserves the number of integer

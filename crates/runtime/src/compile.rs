@@ -25,7 +25,7 @@
 //! Scheduling: [`CompiledPlan::run_parallel`] splits the group space
 //! (doall-prefix values × partition offsets) into contiguous chunks,
 //! one rayon task per chunk, so tiny groups amortize task overhead and
-//! each worker reuses one [`Scratch`](crate::program::Scratch).
+//! each worker reuses one [`crate::program::Scratch`].
 
 use crate::memory::Memory;
 use crate::program::{Program, Scratch};
@@ -72,6 +72,12 @@ impl CBound {
 /// Per-level bounds compiled to coefficient rows (no allocation to
 /// evaluate; inner coefficients are structurally zero, so evaluation may
 /// pass the full current point).
+///
+/// Upstream bound generation prunes redundant constraints exactly
+/// (`pdm_poly::bounds`), so the rows lowered here are irredundant — every
+/// `max`/`min` candidate evaluated per level entry is necessary. The
+/// [`CompiledBounds::rows`] count is therefore also the per-level
+/// dot-product work, the quantity the `bench_fm` gate tracks.
 #[derive(Debug, Clone)]
 pub struct CompiledBounds {
     levels: Vec<(Vec<CBound>, Vec<CBound>)>,
@@ -90,6 +96,11 @@ impl CompiledBounds {
             })
             .collect();
         CompiledBounds { levels }
+    }
+
+    /// Total bound rows across all levels (lowers + uppers).
+    pub fn rows(&self) -> usize {
+        self.levels.iter().map(|(l, u)| l.len() + u.len()).sum()
     }
 
     /// Effective `(lo, hi)` of level `k` at the current point `x` (only
@@ -388,6 +399,11 @@ impl CompiledNest {
         self.eng.new_scratch()
     }
 
+    /// Bound rows the compiled walker evaluates across all levels.
+    pub fn bound_rows(&self) -> usize {
+        self.eng.bounds.rows()
+    }
+
     /// Execute the nest in original lexicographic order. Returns the
     /// iteration count.
     pub fn run(&self, mem: &Memory) -> Result<u64> {
@@ -435,6 +451,11 @@ impl CompiledPlan {
     /// unpartitioned).
     pub fn offsets(&self) -> &[Vec<i64>] {
         &self.offsets
+    }
+
+    /// Bound rows the compiled walker evaluates across all levels.
+    pub fn bound_rows(&self) -> usize {
+        self.eng.bounds.rows()
     }
 
     /// Enumerate the independent groups (prefix values × offsets).

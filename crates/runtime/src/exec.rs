@@ -9,8 +9,8 @@
 //!
 //! ## Wrapping vs. checked arithmetic
 //!
-//! *Body* arithmetic (subscript evaluation in [`eval_access`], value
-//! computation in [`eval_expr`]) is **wrapping**: the executor's job is
+//! *Body* arithmetic (subscript evaluation in `eval_access`, value
+//! computation in `eval_expr`) is **wrapping**: the executor's job is
 //! to witness ordering, and wrapping keeps sequential, parallel, and
 //! compiled runs bit-identical even on adversarial inputs. *Analysis*
 //! arithmetic (`pdm_matrix::num`, bounds evaluation, residues) is
