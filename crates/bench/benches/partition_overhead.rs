@@ -42,6 +42,37 @@ fn bench_group_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_group_streaming(c: &mut Criterion) {
+    // The streaming counterpart of `partition/groups`: walk the same
+    // group space with an O(depth) cursor, never materializing it.
+    let mut group = c.benchmark_group("partition/groups_streamed");
+    for (label, nest) in [("paper41", paper41(0, 199)), ("paper42", paper42(0, 199))] {
+        let plan = pdm_core::parallelize(&nest).unwrap();
+        let noff = plan.partition().map_or(1, |p| p.offsets().len());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(plan, noff),
+            |b, (plan, noff)| {
+                b.iter(|| {
+                    let mut cur = pdm_runtime::schedule::GroupCursor::new(
+                        plan.bounds(),
+                        plan.doall_count(),
+                        *noff,
+                    )
+                    .unwrap();
+                    let mut n = 0u64;
+                    while cur.current().is_some() {
+                        n += 1;
+                        cur.advance().unwrap();
+                    }
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_walk_overhead(c: &mut Criterion) {
     // Compare iterating the §4.2 space via the partitioned group walker
     // (strides + residues) against a plain nested loop of equal size.
@@ -90,6 +121,7 @@ criterion_group! {
     targets = bench_offsets,
     bench_offset_of,
     bench_group_enumeration,
+    bench_group_streaming,
     bench_walk_overhead
 }
 criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! CI perf-regression gate: re-measure the `BENCH_runtime.json` and
-//! `BENCH_fm.json` workloads and fail when a gated metric drops below
-//! the committed snapshot by more than its tolerance (25% for
-//! deterministic count ratios, 40% for timing-based speedups — see
-//! `pdm_bench::perf`).
+//! CI perf-regression gate: re-measure the `BENCH_runtime.json`,
+//! `BENCH_fm.json`, and `BENCH_groups.json` workloads and fail when a
+//! gated metric drops below the committed snapshot by more than its
+//! tolerance (25% for deterministic count ratios, 40% for timing-based
+//! speedups — see `pdm_bench::perf`). Per-metric deltas are printed even
+//! on green runs so drifts stay visible before they trip the gate.
 //!
 //! ```sh
 //! cargo run --release -p pdm-bench --bin bench_check
@@ -38,7 +39,7 @@ fn check(
     let fresh = json::parse(fresh_json)
         .map_err(|e| format!("fresh {label} output: {e}"))?
         .metrics();
-    println!("\n{label}: gated metrics");
+    println!("\n{label}: gated metrics (committed -> fresh, delta)");
     for (key, c) in committed {
         if !perf::is_gated(key, strict) {
             continue;
@@ -46,6 +47,12 @@ fn check(
         let tol = perf::tolerance_for(key) * 100.0;
         let f = fresh.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
         match f {
+            // Deltas print on every run — green runs included — so a
+            // drift toward the tolerance edge is visible before it trips.
+            Some(v) if *c > 0.0 => println!(
+                "  {key:<44} {c:>9.2} -> {v:>9.2}  ({:+7.1}%, tol {tol:.0}%)",
+                (v / c - 1.0) * 100.0
+            ),
             Some(v) => println!("  {key:<44} {c:>9.2} -> {v:>9.2}  (tol {tol:.0}%)"),
             None => println!("  {key:<44} {c:>9.2} -> MISSING"),
         }
@@ -70,17 +77,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let committed_groups = match committed_metrics("BENCH_groups.json") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("bench_check: re-measuring runtime throughput...");
     let runtime_fresh = perf::runtime_json(&perf::runtime_cases());
     println!("bench_check: re-measuring FM pruning...");
     let (plans, elims) = perf::fm_cases();
     let fm_fresh = perf::fm_json(&plans, &elims);
+    println!("bench_check: re-measuring group enumeration...");
+    let groups_fresh = perf::groups_json(&perf::groups_cases());
 
     let mut regressions = Vec::new();
     for (label, committed, fresh) in [
         ("BENCH_runtime", &committed_runtime, runtime_fresh.as_str()),
         ("BENCH_fm", &committed_fm, fm_fresh.as_str()),
+        ("BENCH_groups", &committed_groups, groups_fresh.as_str()),
     ] {
         match check(label, committed, fresh, strict) {
             Ok(mut r) => regressions.append(&mut r),
@@ -111,7 +128,9 @@ fn main() -> ExitCode {
                 ),
             }
         }
-        eprintln!("(intentional? regenerate the snapshots with bench_runtime / bench_fm)");
+        eprintln!(
+            "(intentional? regenerate the snapshots with bench_runtime / bench_fm / bench_groups)"
+        );
         ExitCode::FAILURE
     }
 }

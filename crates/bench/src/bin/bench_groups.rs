@@ -1,0 +1,22 @@
+//! Write the committed `BENCH_groups.json` snapshot: streaming group
+//! enumeration vs. the historical materialized cross product — peak
+//! simultaneously-live group structs (the allocation-spike metric) and
+//! enumeration throughput.
+//!
+//! ```sh
+//! cargo run --release -p pdm-bench --bin bench_groups
+//! ```
+//!
+//! Gated by `bench_check`: `peak_live_reduction` (deterministic — the
+//! compiled streaming path constructs zero group structs) and, where the
+//! streaming walk wins by a comfortable margin, `enum_speedup`.
+
+use pdm_bench::perf;
+
+fn main() {
+    println!("bench_groups: streaming vs. materialized group enumeration");
+    let cases = perf::groups_cases();
+    let json = perf::groups_json(&cases);
+    std::fs::write("BENCH_groups.json", &json).expect("write BENCH_groups.json");
+    println!("\nwrote BENCH_groups.json");
+}

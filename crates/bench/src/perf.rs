@@ -1,9 +1,10 @@
-//! Shared measurement harness behind `bench_runtime`, `bench_fm`, and
-//! the `bench_check` regression gate.
+//! Shared measurement harness behind `bench_runtime`, `bench_fm`,
+//! `bench_groups`, and the `bench_check` regression gate.
 //!
-//! The bench binaries write `BENCH_runtime.json` / `BENCH_fm.json`
-//! snapshots into the repo; `bench_check` re-runs the same measurement
-//! functions and compares the fresh numbers against the committed files.
+//! The bench binaries write `BENCH_runtime.json` / `BENCH_fm.json` /
+//! `BENCH_groups.json` snapshots into the repo; `bench_check` re-runs the
+//! same measurement functions and compares the fresh numbers against the
+//! committed files.
 //!
 //! # What the gate compares
 //!
@@ -445,6 +446,179 @@ pub fn fm_json(plans: &[FmPlanCase], elims: &[FmElimCase]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Group enumeration: streaming cursor vs. materialized cross product.
+// ---------------------------------------------------------------------
+
+/// One streaming-vs-materialized group-enumeration case (times in
+/// seconds, peaks in live group structs).
+pub struct GroupsCase {
+    /// Case label (stable across runs; used as the JSON metric path).
+    pub name: &'static str,
+    /// Total independent groups.
+    pub groups: u64,
+    /// Building the full materialized group list once.
+    pub t_materialize: f64,
+    /// Streaming all groups through one cursor once (no materialization).
+    pub t_stream: f64,
+    /// Peak simultaneously-live group structs while materializing.
+    pub peak_materialized: i64,
+    /// Peak live group structs during a streaming compiled
+    /// `run_parallel` (zero: the compiled path builds none).
+    pub peak_stream_compiled: i64,
+    /// Peak live group structs during a streaming interpreted
+    /// `run_parallel` (one transient `GroupSpec` per in-flight range).
+    pub peak_stream_interp: i64,
+    /// Worker threads during the streaming runs.
+    pub threads: usize,
+}
+
+fn run_groups_case(name: &'static str, nest: &LoopNest) -> GroupsCase {
+    use pdm_runtime::schedule::{
+        group_count, peak_live_groups, reset_peak_live_groups, GroupCursor,
+    };
+
+    let plan = pdm_core::parallelize(nest).expect("plan");
+    let num_offsets = plan.partition().map_or(1, |p| p.offsets().len());
+    let z = plan.doall_count();
+    let total = group_count(plan.bounds(), z, num_offsets).expect("count");
+
+    let t_materialize = best(FM_REPS, || {
+        pdm_runtime::exec::groups(&plan).expect("materialize").len()
+    });
+    let t_stream = best(FM_REPS, || {
+        let mut cur = GroupCursor::new(plan.bounds(), z, num_offsets).expect("cursor");
+        let mut n = 0u64;
+        while cur.current().is_some() {
+            n += 1;
+            cur.advance().expect("advance");
+        }
+        n
+    });
+
+    reset_peak_live_groups();
+    let base = pdm_runtime::schedule::live_groups();
+    let gs = pdm_runtime::exec::groups(&plan).expect("materialize");
+    assert_eq!(gs.len() as u64, total);
+    let peak_materialized = peak_live_groups() - base;
+    drop(gs);
+
+    let mem = Memory::for_nest(nest).expect("alloc");
+    let cp = CompiledPlan::compile(nest, &plan, &mem).expect("compile");
+    reset_peak_live_groups();
+    let ran = cp.run_parallel(&mem).expect("compiled run");
+    let peak_stream_compiled = peak_live_groups() - base;
+    reset_peak_live_groups();
+    let ran_i = pdm_runtime::run_parallel(nest, &plan, &mem).expect("interp run");
+    let peak_stream_interp = peak_live_groups() - base;
+    assert_eq!(ran, ran_i, "executors disagreed on iteration count");
+
+    GroupsCase {
+        name,
+        groups: total,
+        t_materialize,
+        t_stream,
+        peak_materialized,
+        peak_stream_compiled,
+        peak_stream_interp,
+        threads: rayon::current_num_threads(),
+    }
+}
+
+/// A depth-4 all-doall nest with `n⁴` groups — the allocation-spike
+/// workload of the acceptance test (`n = 18` gives 104 976 groups).
+pub fn doall4(n: i64) -> LoopNest {
+    parse_loop_with(
+        "for a = 0..N { for b = 0..N { for c = 0..N { for d = 0..N {
+           A[a, b, c, d] = a + 2*b + 3*c + d;
+         } } } }",
+        &[("N", n)],
+    )
+    .expect("doall4 parses")
+}
+
+/// A triangular all-doall nest — exercises the prefix-dependent
+/// cursor-walk counting and seek fallbacks.
+pub fn doall_triangle(n: i64) -> LoopNest {
+    parse_loop_with(
+        "for i = 0..=N { for j = 0..=i { A[i, j] = i + j; } }",
+        &[("N", n)],
+    )
+    .expect("triangle parses")
+}
+
+/// Measure every group-enumeration case, printing one summary line each.
+pub fn groups_cases() -> Vec<GroupsCase> {
+    let cases = vec![
+        run_groups_case("doall4_n18", &doall4(18)),
+        run_groups_case("tri_n120", &doall_triangle(120)),
+        run_groups_case("paper41_n200", &paper41(0, 199)),
+    ];
+    for c in &cases {
+        println!(
+            "{:<14} groups {:>7}  enum {:>11.0} -> {:>11.0} groups/s ({:4.1}x)   peak live {:>7} -> {} (compiled) / {} (interp, {} threads)",
+            c.name,
+            c.groups,
+            c.groups as f64 / c.t_materialize,
+            c.groups as f64 / c.t_stream,
+            c.t_materialize / c.t_stream,
+            c.peak_materialized,
+            c.peak_stream_compiled,
+            c.peak_stream_interp,
+            c.threads,
+        );
+    }
+    cases
+}
+
+/// Serialize group-enumeration cases into the committed
+/// `BENCH_groups.json` shape.
+pub fn groups_json(cases: &[GroupsCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"group_enumeration\",\n");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!("  \"threads\": {threads},\n  \"cases\": [\n"));
+    for (i, c) in cases.iter().enumerate() {
+        // Peak-live reduction is deterministic (the compiled streaming
+        // path constructs zero group structs, so the denominator clamps
+        // to 1 and the ratio equals the group count) — gate it with the
+        // tight count tolerance. The enumeration timing ratio is gated
+        // (`_speedup`, wide timing tolerance) only on cases big enough
+        // for the walk to be measurably long on any host; the key choice
+        // must be a *deterministic* function of the workload (group
+        // count), never of measured time — a measurement-dependent key
+        // would make the committed gated metric vanish on a faster
+        // machine and fail `bench_check` with no real regression.
+        let ratio = c.t_materialize / c.t_stream;
+        let ratio_key = if c.groups >= 10_000 {
+            "enum_speedup"
+        } else {
+            "enum_time_ratio"
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"groups\": {}, \
+             \"enum_materialized_per_s\": {:.0}, \"enum_stream_per_s\": {:.0}, \
+             \"{ratio_key}\": {:.3}, \
+             \"peak_live_materialized\": {}, \"peak_live_streaming\": {}, \
+             \"peak_live_interp_stream\": {}, \
+             \"peak_live_reduction\": {:.3}}}{}\n",
+            c.name,
+            c.groups,
+            c.groups as f64 / c.t_materialize,
+            c.groups as f64 / c.t_stream,
+            ratio,
+            c.peak_materialized,
+            c.peak_stream_compiled,
+            c.peak_stream_interp,
+            c.peak_materialized as f64 / (c.peak_stream_compiled.max(1)) as f64,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
 // Regression comparison.
 // ---------------------------------------------------------------------
 
@@ -562,6 +736,21 @@ mod tests {
         assert_eq!(c.depth, 2);
         assert!(c.rows_pruned <= c.rows_unpruned);
         assert_eq!(c.compiled_rows, c.rows_pruned);
+    }
+
+    #[test]
+    fn groups_case_measures_counts_and_peaks() {
+        // Loose assertions only: the live-group gauge is process-wide and
+        // other tests in this binary run groups concurrently.
+        let c = run_groups_case("t", &doall4(5));
+        assert_eq!(c.groups, 5u64.pow(4));
+        assert!(c.t_materialize > 0.0 && c.t_stream > 0.0);
+        assert!(c.peak_materialized >= c.groups as i64);
+        let json = groups_json(&[c]);
+        let metrics = crate::json::parse(&json).unwrap().metrics();
+        assert!(metrics
+            .iter()
+            .any(|(k, v)| k == "cases.t.peak_live_reduction" && *v >= 1.0));
     }
 
     #[test]

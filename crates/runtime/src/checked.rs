@@ -7,12 +7,14 @@
 //! are reported. Running a deliberately wrong plan through this checker
 //! must — and does, see the tests — detect the race.
 
-use crate::exec::{groups, walk_group};
+use crate::exec::{offset_table, walk_group, GroupSpec};
 use crate::memory::Memory;
+use crate::schedule::{self, Schedule};
 use crate::{Result, RuntimeError};
 use pdm_core::plan::ParallelPlan;
 use pdm_loopir::nest::LoopNest;
 use pdm_loopir::stmt::AccessKind;
+use pdm_matrix::vec::IVec;
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -27,22 +29,32 @@ pub struct LoggedAccess {
     pub write: bool,
 }
 
-/// Execute the plan in parallel while logging accesses per group; after
-/// the run, detect cross-group conflicts.
-///
-/// Returns the number of iterations executed, or
-/// [`RuntimeError::RaceDetected`].
-pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<u64> {
-    let gs = groups(plan)?;
-    let logs: std::result::Result<Vec<(u64, Vec<LoggedAccess>)>, RuntimeError> = gs
-        .par_iter()
-        .map(|g| {
+/// Log every access of the groups in the contiguous range `start..end`,
+/// streaming one [`GroupSpec`] at a time. Each entry carries the group's
+/// global linear index so conflict detection survives range splitting.
+fn log_group_range(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    offsets: &[IVec],
+    mem: &Memory,
+    start: u64,
+    end: u64,
+) -> Result<Vec<(u64, u64, Vec<LoggedAccess>)>> {
+    let mut out = Vec::new();
+    schedule::for_each_group_in_range(
+        plan.bounds(),
+        plan.doall_count(),
+        offsets.len(),
+        start,
+        end,
+        |gid, prefix, o| {
+            let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
             let mut log = Vec::new();
             let mut count = 0u64;
-            walk_group(nest, plan, g, |idx| {
+            walk_group(nest, plan, &g, |idx| {
                 for stmt in nest.body() {
                     for (kind, r) in stmt.accesses() {
-                        let sub = r.access.eval(&pdm_matrix::vec::IVec(idx.to_vec()))?;
+                        let sub = r.access.eval(&IVec(idx.to_vec()))?;
                         let cell =
                             mem.flat(r.array, &sub)
                                 .ok_or_else(|| RuntimeError::OutOfBounds {
@@ -62,23 +74,45 @@ pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) 
                 count += 1;
                 Ok(())
             })?;
-            Ok((count, log))
-        })
-        .collect();
-    let logs = logs?;
+            out.push((gid, count, log));
+            Ok(())
+        },
+    )?;
+    Ok(out)
+}
 
-    // Cross-group conflict detection.
-    let mut owner: HashMap<(usize, usize), (usize, bool)> = HashMap::new();
+/// Execute the plan in parallel while logging accesses per group; after
+/// the run, detect cross-group conflicts. Groups are streamed in
+/// contiguous index ranges ([`Schedule::ranges`]) — the group list is
+/// never materialized, only the access logs are.
+///
+/// Returns the number of iterations executed, or
+/// [`RuntimeError::RaceDetected`].
+pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<u64> {
+    let offsets = offset_table(plan);
+    let total = schedule::group_count(plan.bounds(), plan.doall_count(), offsets.len())?;
+    if total == 0 {
+        return Ok(0);
+    }
+    let ranges = Schedule::from_env().ranges(total, rayon::current_num_threads());
+    let logs: std::result::Result<Vec<Vec<(u64, u64, Vec<LoggedAccess>)>>, RuntimeError> = ranges
+        .par_iter()
+        .map(|&(start, end)| log_group_range(nest, plan, &offsets, mem, start, end))
+        .collect();
+    let logs: Vec<(u64, u64, Vec<LoggedAccess>)> = logs?.into_iter().flatten().collect();
+
+    // Cross-group conflict detection (keyed by global group index).
+    let mut owner: HashMap<(usize, usize), (u64, bool)> = HashMap::new();
     let mut conflicts = 0usize;
     let mut sample = String::new();
-    for (gid, (_, log)) in logs.iter().enumerate() {
+    for (gid, _, log) in &logs {
         for a in log {
             match owner.get_mut(&(a.array, a.cell)) {
                 None => {
-                    owner.insert((a.array, a.cell), (gid, a.write));
+                    owner.insert((a.array, a.cell), (*gid, a.write));
                 }
                 Some((g0, wrote)) => {
-                    if *g0 != gid && (a.write || *wrote) {
+                    if *g0 != *gid && (a.write || *wrote) {
                         conflicts += 1;
                         if sample.is_empty() {
                             sample = format!(
@@ -96,7 +130,7 @@ pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) 
     if conflicts > 0 {
         return Err(RuntimeError::RaceDetected { conflicts, sample });
     }
-    Ok(logs.iter().map(|(c, _)| c).sum())
+    Ok(logs.iter().map(|(_, c, _)| c).sum())
 }
 
 fn r_eval(access: &pdm_loopir::access::AffineAccess, idx: &[i64]) -> Vec<i64> {

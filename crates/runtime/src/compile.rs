@@ -22,13 +22,16 @@
 //! * the walk itself is an iterative state machine over pre-allocated
 //!   level arrays — no recursion, no per-group allocation.
 //!
-//! Scheduling: [`CompiledPlan::run_parallel`] splits the group space
-//! (doall-prefix values × partition offsets) into contiguous chunks,
-//! one rayon task per chunk, so tiny groups amortize task overhead and
-//! each worker reuses one [`crate::program::Scratch`].
+//! Scheduling: [`CompiledPlan::run_parallel`] splits the group *index
+//! space* (doall-prefix values × partition offsets) into contiguous
+//! ranges ([`crate::schedule::Schedule::ranges`]), one rayon task per
+//! range; each task seeks a streaming [`crate::schedule::GroupCursor`]
+//! to its range start and walks forward reusing one
+//! [`crate::program::Scratch`] — the group list is never materialized.
 
 use crate::memory::Memory;
 use crate::program::{Program, Scratch};
+use crate::schedule::{self, PrefixBounds, Schedule};
 use crate::{Result, RuntimeError};
 use pdm_core::partition::Partitioning;
 use pdm_core::plan::ParallelPlan;
@@ -103,6 +106,22 @@ impl CompiledBounds {
         self.levels.iter().map(|(l, u)| l.len() + u.len()).sum()
     }
 
+    /// Number of compiled levels.
+    pub fn dim(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Does level `k`'s range read any outer loop variable? (Inner
+    /// coefficients are structurally zero, so any nonzero coefficient
+    /// means prefix dependence.)
+    pub fn prefix_dependent(&self, k: usize) -> bool {
+        let (lowers, uppers) = &self.levels[k];
+        lowers
+            .iter()
+            .chain(uppers)
+            .any(|b| b.coeffs.iter().any(|&c| c != 0))
+    }
+
     /// Effective `(lo, hi)` of level `k` at the current point `x` (only
     /// `x[..k]` is read through nonzero coefficients).
     #[inline]
@@ -122,6 +141,20 @@ impl CompiledBounds {
             (Some(l), Some(h)) => Ok((l, h)),
             _ => Err(RuntimeError::Matrix(MatrixError::Unbounded)),
         }
+    }
+}
+
+impl PrefixBounds for CompiledBounds {
+    fn dim(&self) -> usize {
+        CompiledBounds::dim(self)
+    }
+
+    fn level_range(&self, level: usize, x: &[i64]) -> Result<(i64, i64)> {
+        self.range(level, x)
+    }
+
+    fn prefix_dependent(&self, level: usize) -> bool {
+        CompiledBounds::prefix_dependent(self, level)
     }
 }
 
@@ -284,26 +317,6 @@ impl Engine {
             }
         }
     }
-
-    /// Enumerate the doall-prefix value combinations (levels `< z`).
-    fn prefixes(&self) -> Result<Vec<Vec<i64>>> {
-        let mut out: Vec<Vec<i64>> = vec![Vec::new()];
-        let mut x = vec![0i64; self.n];
-        for k in 0..self.z {
-            let mut next = Vec::new();
-            for p in &out {
-                x[..k].copy_from_slice(p);
-                let (lo, hi) = self.bounds.range(k, &x)?;
-                for v in lo..=hi {
-                    let mut q = p.clone();
-                    q.push(v);
-                    next.push(q);
-                }
-            }
-            out = next;
-        }
-        Ok(out)
-    }
 }
 
 fn engine_for_plan(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<Engine> {
@@ -419,12 +432,43 @@ impl CompiledNest {
 
 /// One independent compiled group: a doall-prefix value combination plus
 /// the index of a partition offset in the plan's offset table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Construction is instrumented (see [`crate::schedule::live_groups`]).
+/// The streaming executor never builds these — it feeds the engine
+/// walker straight from a cursor — so they appear only when callers
+/// materialize via [`CompiledPlan::groups`] or drive
+/// [`CompiledPlan::run_group`] directly. `#[non_exhaustive]` forces
+/// downstream construction through [`CompiledGroup::new`] so literal
+/// construction cannot bypass the gauge.
+#[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CompiledGroup {
     /// Values of the leading doall coordinates.
     pub prefix: Vec<i64>,
     /// Index into [`CompiledPlan::offsets`].
     pub offset: u32,
+}
+
+impl CompiledGroup {
+    /// Build a compiled group (instrumented constructor — all
+    /// construction must pass through here so the live-group gauge stays
+    /// exact).
+    pub fn new(prefix: Vec<i64>, offset: u32) -> CompiledGroup {
+        schedule::group_created();
+        CompiledGroup { prefix, offset }
+    }
+}
+
+impl Clone for CompiledGroup {
+    fn clone(&self) -> Self {
+        CompiledGroup::new(self.prefix.clone(), self.offset)
+    }
+}
+
+impl Drop for CompiledGroup {
+    fn drop(&mut self) {
+        schedule::group_dropped();
+    }
 }
 
 /// A `(LoopNest, ParallelPlan)` pair lowered to the compiled engine,
@@ -458,18 +502,33 @@ impl CompiledPlan {
         self.eng.bounds.rows()
     }
 
-    /// Enumerate the independent groups (prefix values × offsets).
+    /// Exact number of independent groups (prefix values × offsets),
+    /// computed without materializing them ([`crate::schedule::group_count`]).
+    pub fn group_count(&self) -> Result<u64> {
+        schedule::group_count(&self.eng.bounds, self.eng.z, self.offsets.len())
+    }
+
+    /// Enumerate the independent groups **materialized as a `Vec`**.
+    ///
+    /// Compatibility shim for tests, debugging, and group-table
+    /// inspection only — it recreates the `O(#groups)` allocation spike
+    /// the streaming scheduler avoids. Production paths use
+    /// [`CompiledPlan::run_parallel`] (range-scheduled cursors) or
+    /// [`CompiledPlan::group_count`]; see [`crate::schedule`] for when
+    /// materializing is still the right tool.
     pub fn groups(&self) -> Result<Vec<CompiledGroup>> {
-        let prefixes = self.eng.prefixes()?;
-        let mut out = Vec::with_capacity(prefixes.len() * self.offsets.len());
-        for p in prefixes {
-            for o in 0..self.offsets.len() {
-                out.push(CompiledGroup {
-                    prefix: p.clone(),
-                    offset: o as u32,
-                });
-            }
-        }
+        let mut out = Vec::new();
+        schedule::for_each_group_in_range(
+            &self.eng.bounds,
+            self.eng.z,
+            self.offsets.len(),
+            0,
+            u64::MAX,
+            |_, prefix, o| {
+                out.push(CompiledGroup::new(prefix.to_vec(), o as u32));
+                Ok(())
+            },
+        )?;
         Ok(out)
     }
 
@@ -484,32 +543,54 @@ impl CompiledPlan {
             .run_group(mem, &self.offsets[g.offset as usize], &g.prefix, s)
     }
 
-    /// Execute all groups **in parallel** with chunked scheduling: the
-    /// group list is split into contiguous chunks (several per worker so
-    /// work stealing can balance them), and each chunk walks its groups
-    /// with one reused scratch. Returns the total iteration count.
+    /// Walk the contiguous group range `start..end` with one streaming
+    /// cursor, reusing `s` across every group — no group structs are
+    /// constructed. Both the parallel tasks and the single-thread
+    /// fallback route through here, so the cursor code has one driver.
+    fn run_range(&self, mem: &Memory, start: u64, end: u64, s: &mut PlanScratch) -> Result<u64> {
+        let mut total = 0u64;
+        schedule::for_each_group_in_range(
+            &self.eng.bounds,
+            self.eng.z,
+            self.offsets.len(),
+            start,
+            end,
+            |_, prefix, o| {
+                total += self.eng.run_group(mem, &self.offsets[o], prefix, s)?;
+                Ok(())
+            },
+        )?;
+        Ok(total)
+    }
+
+    /// Execute all groups **in parallel** with streaming range
+    /// scheduling and the environment-configured [`Schedule`]
+    /// (`PDM_CHUNKS_PER_THREAD`): the group index space is split into
+    /// contiguous ranges, one rayon task per range, and each task seeks
+    /// a cursor to its range start and walks forward with one reused
+    /// scratch — zero up-front group materialization. Returns the total
+    /// iteration count.
     pub fn run_parallel(&self, mem: &Memory) -> Result<u64> {
-        let groups = self.groups()?;
-        let threads = rayon::current_num_threads();
-        if threads <= 1 || groups.len() <= 1 {
-            let mut s = self.eng.new_scratch();
-            let mut total = 0u64;
-            for g in &groups {
-                total += self.run_group(g, mem, &mut s)?;
-            }
-            return Ok(total);
+        self.run_parallel_scheduled(mem, Schedule::from_env())
+    }
+
+    /// [`CompiledPlan::run_parallel`] with an explicit [`Schedule`].
+    pub fn run_parallel_scheduled(&self, mem: &Memory, sched: Schedule) -> Result<u64> {
+        let total = self.group_count()?;
+        if total == 0 {
+            return Ok(0);
         }
-        let chunk = groups.len().div_ceil(threads * 4).max(1);
-        let chunks: Vec<&[CompiledGroup]> = groups.chunks(chunk).collect();
-        let counts: std::result::Result<Vec<u64>, RuntimeError> = chunks
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || total == 1 {
+            let mut s = self.eng.new_scratch();
+            return self.run_range(mem, 0, total, &mut s);
+        }
+        let ranges = sched.ranges(total, threads);
+        let counts: std::result::Result<Vec<u64>, RuntimeError> = ranges
             .par_iter()
-            .map(|ch| {
+            .map(|&(start, end)| {
                 let mut s = self.eng.new_scratch();
-                let mut total = 0u64;
-                for g in *ch {
-                    total += self.run_group(g, mem, &mut s)?;
-                }
-                Ok(total)
+                self.run_range(mem, start, end, &mut s)
             })
             .collect();
         Ok(counts?.into_iter().sum())
@@ -526,14 +607,12 @@ impl CompiledPlan {
     }
 
     /// Execute the transformed schedule sequentially, group after group
-    /// (determinism baseline).
+    /// (determinism baseline) — streamed through the same range runner as
+    /// the parallel path, walking to exhaustion in one pass (counting
+    /// first would enumerate a prefix-dependent space twice).
     pub fn run_transformed_sequential(&self, mem: &Memory) -> Result<u64> {
         let mut s = self.eng.new_scratch();
-        let mut total = 0u64;
-        for g in self.groups()? {
-            total += self.run_group(&g, mem, &mut s)?;
-        }
-        Ok(total)
+        self.run_range(mem, 0, u64::MAX, &mut s)
     }
 }
 

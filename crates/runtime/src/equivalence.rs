@@ -38,7 +38,7 @@ pub fn compare(nest: &LoopNest, plan: &ParallelPlan, seed: u64) -> Result<Equiva
     debug_assert_eq!(c1, c2, "iteration counts diverged");
     Ok(EquivalenceReport {
         iterations: c1,
-        groups: crate::exec::groups(plan)?.len(),
+        groups: crate::exec::group_count(plan)? as usize,
         equal: m_seq.snapshot() == m_par.snapshot(),
     })
 }
@@ -97,7 +97,7 @@ pub fn compare_three_way(
     let reference = m_seq.snapshot();
     Ok(ThreeWayReport {
         iterations: c1,
-        groups: crate::exec::groups(plan)?.len(),
+        groups: crate::exec::group_count(plan)? as usize,
         interp_equal: reference == m_par.snapshot() && c1 == c2,
         compiled_equal: reference == m_comp.snapshot() && c1 == c3,
     })

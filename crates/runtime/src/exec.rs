@@ -18,6 +18,7 @@
 //! plausible-looking transformation, so it must fail loudly instead.
 
 use crate::memory::Memory;
+use crate::schedule::{self, Schedule};
 use crate::{Result, RuntimeError};
 use pdm_core::plan::ParallelPlan;
 use pdm_loopir::expr::Expr;
@@ -115,7 +116,15 @@ pub fn eval_expr(e: &Expr, mem: &Memory, idx: &[i64]) -> Result<i64> {
 
 /// One independent parallel group: a fixed doall prefix plus a partition
 /// offset.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Construction is instrumented (see [`crate::schedule::live_groups`]):
+/// the streaming schedulers keep at most one `GroupSpec` alive per worker
+/// range, and the gauge is how tests and `bench_groups` verify that.
+/// `#[non_exhaustive]` forces downstream construction through
+/// [`GroupSpec::new`] so literal construction cannot bypass the gauge
+/// (a `Drop` without the matching creation would drive it negative).
+#[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct GroupSpec {
     /// Values of the leading doall coordinates (length = doall prefix).
     pub prefix: Vec<i64>,
@@ -123,36 +132,71 @@ pub struct GroupSpec {
     pub offset: IVec,
 }
 
-/// Enumerate the plan's independent groups.
-pub fn groups(plan: &ParallelPlan) -> Result<Vec<GroupSpec>> {
-    let z = plan.doall_count();
-    // All prefix value combinations.
-    let mut prefixes: Vec<Vec<i64>> = vec![Vec::new()];
-    for k in 0..z {
-        let mut next = Vec::new();
-        for p in &prefixes {
-            let (lo, hi) = plan.bounds().range(k, p)?;
-            for v in lo..=hi {
-                let mut q = p.clone();
-                q.push(v);
-                next.push(q);
-            }
-        }
-        prefixes = next;
+impl GroupSpec {
+    /// Build a group spec (instrumented constructor — all construction
+    /// must pass through here so the live-group gauge stays exact).
+    pub fn new(prefix: Vec<i64>, offset: IVec) -> GroupSpec {
+        schedule::group_created();
+        GroupSpec { prefix, offset }
     }
-    let offsets = match plan.partition() {
+}
+
+impl Clone for GroupSpec {
+    fn clone(&self) -> Self {
+        GroupSpec::new(self.prefix.clone(), self.offset.clone())
+    }
+}
+
+impl Drop for GroupSpec {
+    fn drop(&mut self) {
+        schedule::group_dropped();
+    }
+}
+
+/// The plan's Theorem-2 offset table — a single empty offset when the
+/// plan is unpartitioned, so group arithmetic never special-cases.
+pub(crate) fn offset_table(plan: &ParallelPlan) -> Vec<IVec> {
+    match plan.partition() {
         Some(part) => part.offsets(),
         None => vec![IVec::zeros(0)],
-    };
-    let mut out = Vec::with_capacity(prefixes.len() * offsets.len());
-    for p in prefixes {
-        for o in &offsets {
-            out.push(GroupSpec {
-                prefix: p.clone(),
-                offset: o.clone(),
-            });
-        }
     }
+}
+
+/// Exact number of independent groups (doall-prefix values × partition
+/// offsets), computed arithmetically where bounds are prefix-independent
+/// and by a cursor walk otherwise — never by materializing the groups
+/// (or the offset table: `partition_count` is `det(H)`, computed in
+/// O(depth)).
+pub fn group_count(plan: &ParallelPlan) -> Result<u64> {
+    schedule::group_count(
+        plan.bounds(),
+        plan.doall_count(),
+        plan.partition_count() as usize,
+    )
+}
+
+/// Enumerate the plan's independent groups **materialized as a `Vec`**.
+///
+/// Compatibility shim for tests, debugging, and group-table inspection
+/// only: it holds every group live at once, exactly the `O(#groups)`
+/// allocation spike the streaming schedulers exist to avoid. Production
+/// paths use [`crate::schedule::GroupCursor`] ranges; see the
+/// [`crate::schedule`] module docs for when materializing is still the
+/// right tool.
+pub fn groups(plan: &ParallelPlan) -> Result<Vec<GroupSpec>> {
+    let offsets = offset_table(plan);
+    let mut out = Vec::new();
+    schedule::for_each_group_in_range(
+        plan.bounds(),
+        plan.doall_count(),
+        offsets.len(),
+        0,
+        u64::MAX,
+        |_, prefix, o| {
+            out.push(GroupSpec::new(prefix.to_vec(), offsets[o].clone()));
+            Ok(())
+        },
+    )?;
     Ok(out)
 }
 
@@ -241,21 +285,55 @@ pub fn walk_group<F: FnMut(&[i64]) -> Result<()>>(
     rec(plan, group, &mut y, &mut q, z, tinv, &mut orig, &mut body)
 }
 
-/// Execute the plan **in parallel**: one rayon task per independent group.
+/// Walk the contiguous group range `start..end` with one cursor, holding
+/// at most one [`GroupSpec`] alive at a time. Returns the iterations
+/// executed.
+fn run_group_range(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    offsets: &[IVec],
+    mem: &Memory,
+    start: u64,
+    end: u64,
+) -> Result<u64> {
+    let mut count = 0u64;
+    schedule::for_each_group_in_range(
+        plan.bounds(),
+        plan.doall_count(),
+        offsets.len(),
+        start,
+        end,
+        |_, prefix, o| {
+            let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
+            walk_group(nest, plan, &g, |idx| {
+                exec_body(nest, mem, idx)?;
+                count += 1;
+                Ok(())
+            })
+        },
+    )?;
+    Ok(count)
+}
+
+/// Execute the plan **in parallel**: the group index space is split into
+/// contiguous ranges ([`Schedule::ranges`]) and each rayon task streams
+/// its range through a [`crate::schedule::GroupCursor`] — no group
+/// materialization.
 /// Returns the number of iterations executed.
 pub fn run_parallel(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<u64> {
-    let gs = groups(plan)?;
-    let counts: std::result::Result<Vec<u64>, RuntimeError> = gs
+    let offsets = offset_table(plan);
+    let total = schedule::group_count(plan.bounds(), plan.doall_count(), offsets.len())?;
+    if total == 0 {
+        return Ok(0);
+    }
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || total == 1 {
+        return run_group_range(nest, plan, &offsets, mem, 0, total);
+    }
+    let ranges = Schedule::from_env().ranges(total, threads);
+    let counts: std::result::Result<Vec<u64>, RuntimeError> = ranges
         .par_iter()
-        .map(|g| {
-            let mut c = 0u64;
-            walk_group(nest, plan, g, |idx| {
-                exec_body(nest, mem, idx)?;
-                c += 1;
-                Ok(())
-            })?;
-            Ok(c)
-        })
+        .map(|&(start, end)| run_group_range(nest, plan, &offsets, mem, start, end))
         .collect();
     Ok(counts?.into_iter().sum())
 }
@@ -283,15 +361,10 @@ pub fn run_transformed_sequential(
     plan: &ParallelPlan,
     mem: &Memory,
 ) -> Result<u64> {
-    let mut count = 0u64;
-    for g in groups(plan)? {
-        walk_group(nest, plan, &g, |idx| {
-            exec_body(nest, mem, idx)?;
-            count += 1;
-            Ok(())
-        })?;
-    }
-    Ok(count)
+    // Walk to exhaustion in one pass — counting first would enumerate a
+    // prefix-dependent space twice.
+    let offsets = offset_table(plan);
+    run_group_range(nest, plan, &offsets, mem, 0, u64::MAX)
 }
 
 #[cfg(test)]
@@ -326,6 +399,8 @@ mod tests {
         // doall y1 has some range R; 2 partitions -> |R| * 2 groups.
         let (lo, hi) = plan.bounds().range(0, &[]).unwrap();
         assert_eq!(gs.len() as i64, (hi - lo + 1) * 2);
+        // The arithmetic count must agree with the materialized shim.
+        assert_eq!(group_count(&plan).unwrap(), gs.len() as u64);
     }
 
     #[test]

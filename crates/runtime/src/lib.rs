@@ -17,10 +17,13 @@
 //!    row-major layout into a single linear form `base + coeff·i`
 //!    ([`program::LinAccess`]); per-level Fourier–Motzkin bounds become
 //!    raw coefficient rows ([`compile::CompiledBounds`]).
-//! 2. *Schedule* — the independent-group space (doall-prefix values ×
-//!    Theorem-2 partition offsets) is split into contiguous chunks, one
-//!    rayon task per chunk, so tiny groups amortize spawn overhead and
-//!    each worker reuses one scratch ([`compile::CompiledPlan::run_parallel`]).
+//! 2. *Schedule* — the independent-group index space (doall-prefix
+//!    values × Theorem-2 partition offsets) is counted arithmetically
+//!    ([`schedule::group_count`]) and split into contiguous ranges
+//!    ([`schedule::Schedule::ranges`]), one rayon task per range; each
+//!    task streams its range through a [`schedule::GroupCursor`] with
+//!    `O(depth)` state and one reused scratch — the group list is never
+//!    materialized ([`compile::CompiledPlan::run_parallel`]).
 //! 3. *Execute* — an iterative (non-recursive) walker advances the
 //!    transformed point level by level; the `y·T⁻¹` back-substitution
 //!    and every access's flat offset update by precomputed per-level
@@ -29,6 +32,10 @@
 //!
 //! Supporting modules:
 //!
+//! * [`schedule`] — the streaming group enumerator: prefix cursors,
+//!   arithmetic group counting, `k`-th-group seeking, range splitting
+//!   (`PDM_CHUNKS_PER_THREAD`), and the live-group instrumentation the
+//!   allocation-spike regression test reads;
 //! * [`memory`] — integer array storage sized from the nest's access
 //!   footprint (conservative interval arithmetic over the iteration
 //!   polyhedron), with a `Sync` shared view for `doall` execution;
@@ -51,10 +58,12 @@ pub mod equivalence;
 pub mod exec;
 pub mod memory;
 pub mod program;
+pub mod schedule;
 
 pub use compile::{CompiledNest, CompiledPlan};
 pub use exec::{run_parallel, run_sequential, run_transformed_sequential};
 pub use memory::Memory;
+pub use schedule::{GroupCursor, Schedule};
 
 /// Errors from execution.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -187,7 +187,7 @@ fn cmd_run(nest: &LoopNest) -> Result<(), AnyError> {
         "{iters} iterations | doall {} | partitions {} | groups {}",
         plan.doall_count(),
         plan.partition_count(),
-        vardep_loops::runtime::exec::groups(&plan)?.len()
+        vardep_loops::runtime::exec::group_count(&plan)?
     );
     println!(
         "interp seq {:.3} ms | interp par {:.3} ms (x{:.2}) | compiled par {:.3} ms (x{:.2}) | identical: {}",

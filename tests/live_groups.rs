@@ -1,0 +1,81 @@
+//! Allocation-spike regression test for the streaming schedulers.
+//!
+//! `GroupSpec` / `CompiledGroup` construction is instrumented with a
+//! process-wide live/peak gauge (`pdm_runtime::schedule`). On a depth-4
+//! all-doall nest with ≥ 10⁵ groups, materializing must spike the gauge
+//! to the full group count, while the streaming executors stay at
+//! `O(threads × chunks_per_thread)` — the compiled path constructs no
+//! group structs at all. Kept as a single `#[test]` in its own binary so
+//! no concurrently-running test pollutes the process-wide gauge.
+
+use vardep_loops::prelude::*;
+use vardep_loops::runtime::schedule::{
+    live_groups, peak_live_groups, reset_peak_live_groups, Schedule,
+};
+use vardep_loops::runtime::{CompiledPlan, Memory};
+
+#[test]
+fn streaming_replaces_the_group_materialization_spike() {
+    // 18^4 = 104 976 groups, every level doall.
+    let nest = parse_loop(
+        "for a = 0..=17 { for b = 0..=17 { for c = 0..=17 { for d = 0..=17 {
+           A[a, b, c, d] = a + 2*b + 3*c + d;
+         } } } }",
+    )
+    .unwrap();
+    let plan = parallelize(&nest).unwrap();
+    assert_eq!(plan.doall_count(), 4, "nest must be fully parallel");
+    let total = vardep_loops::runtime::exec::group_count(&plan).unwrap();
+    assert_eq!(total, 18u64.pow(4));
+    assert!(total >= 100_000);
+
+    let mem = Memory::for_nest(&nest).unwrap();
+    let cp = CompiledPlan::compile(&nest, &plan, &mem).unwrap();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let streaming_bound = (threads * Schedule::from_env().chunks_per_thread) as i64;
+
+    // 1. Materializing spikes to the full group count.
+    reset_peak_live_groups();
+    let base = live_groups();
+    let gs = cp.groups().unwrap();
+    assert_eq!(gs.len() as u64, total);
+    assert!(
+        peak_live_groups() - base >= total as i64,
+        "materialized peak {} must reach the group count {total}",
+        peak_live_groups() - base,
+    );
+    drop(gs);
+    assert_eq!(live_groups(), base, "materialized groups must all drop");
+
+    // 2. Compiled streaming execution constructs zero group structs.
+    reset_peak_live_groups();
+    let count = cp.run_parallel(&mem).unwrap();
+    assert_eq!(count, total);
+    assert_eq!(
+        peak_live_groups(),
+        base,
+        "compiled streaming run must not construct any group structs"
+    );
+
+    // 3. Interpreted streaming execution holds at most one GroupSpec per
+    //    in-flight range.
+    reset_peak_live_groups();
+    let count = vardep_loops::runtime::exec::run_parallel(&nest, &plan, &mem).unwrap();
+    assert_eq!(count, total);
+    let interp_peak = peak_live_groups() - base;
+    assert!(
+        interp_peak >= 1 && interp_peak <= streaming_bound,
+        "interpreted streaming peak {interp_peak} exceeds \
+         threads × chunks_per_thread = {streaming_bound}"
+    );
+
+    // 4. The checked executor streams too.
+    reset_peak_live_groups();
+    let count = vardep_loops::runtime::checked::run_parallel_checked(&nest, &plan, &mem).unwrap();
+    assert_eq!(count, total);
+    let checked_peak = peak_live_groups() - base;
+    assert!(
+        checked_peak <= streaming_bound,
+        "checked streaming peak {checked_peak} exceeds {streaming_bound}"
+    );
+}

@@ -1,0 +1,136 @@
+//! Property tests for the streaming group enumerator.
+//!
+//! The oracle is the *historical* materializing algorithm (the full
+//! doall-prefix cross product, reimplemented here independently of the
+//! library): on >100 random nests the [`GroupCursor`] must yield exactly
+//! the same sequence — same multiset, same lexicographic prefix-major /
+//! offset-minor order — and `seek(k)` must agree with `k` advances from
+//! the start. `group_count` is pinned to the oracle's length on every
+//! nest, covering both the arithmetic fast path and the cursor-walk
+//! fallback for prefix-dependent bounds.
+
+use proptest::prelude::*;
+use vardep_loops::loopir::generator::{random_nest, GenConfig};
+use vardep_loops::prelude::*;
+use vardep_loops::runtime::exec;
+use vardep_loops::runtime::schedule::GroupCursor;
+
+/// The pre-streaming enumeration, kept as an independent oracle: build
+/// every prefix level by level, then cross with the offset table.
+fn materialized_oracle(plan: &ParallelPlan) -> Vec<(Vec<i64>, usize)> {
+    let z = plan.doall_count();
+    let mut prefixes: Vec<Vec<i64>> = vec![Vec::new()];
+    for k in 0..z {
+        let mut next = Vec::new();
+        for p in &prefixes {
+            let (lo, hi) = plan.bounds().range(k, p).unwrap();
+            for v in lo..=hi {
+                let mut q = p.clone();
+                q.push(v);
+                next.push(q);
+            }
+        }
+        prefixes = next;
+    }
+    let num_offsets = plan.partition().map_or(1, |p| p.offsets().len());
+    let mut out = Vec::with_capacity(prefixes.len() * num_offsets);
+    for p in prefixes {
+        for o in 0..num_offsets {
+            out.push((p.clone(), o));
+        }
+    }
+    out
+}
+
+fn plan_for_seed(seed: u64) -> ParallelPlan {
+    let cfg = GenConfig {
+        depth: 1 + (seed as usize % 3),
+        extent: 4 + (seed as i64 % 5),
+        stmts: 1 + (seed as usize % 2),
+        arrays: 1 + (seed as usize % 2),
+        ..GenConfig::default()
+    };
+    let nest = random_nest(seed, &cfg).expect("generator");
+    parallelize(&nest).expect("plan")
+}
+
+fn cursor_sequence(plan: &ParallelPlan) -> Vec<(Vec<i64>, usize)> {
+    let num_offsets = plan.partition().map_or(1, |p| p.offsets().len());
+    let mut cur = GroupCursor::new(plan.bounds(), plan.doall_count(), num_offsets).unwrap();
+    let mut out = Vec::new();
+    while let Some((prefix, o)) = cur.current() {
+        out.push((prefix.to_vec(), o));
+        if !cur.advance().unwrap() {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(130))]
+
+    /// Cursor sequence == materialized cross product, order included.
+    #[test]
+    fn cursor_matches_materialized_oracle(seed in 0u64..1_000_000) {
+        let plan = plan_for_seed(seed);
+        let oracle = materialized_oracle(&plan);
+        let streamed = cursor_sequence(&plan);
+        prop_assert_eq!(&streamed, &oracle, "cursor diverged from oracle");
+        // Prefixes must be lexicographically non-decreasing
+        // (offset-minor within equal prefixes).
+        for w in streamed.windows(2) {
+            prop_assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "order violation: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        // And the arithmetic/walk count must agree without enumerating.
+        prop_assert_eq!(exec::group_count(&plan).unwrap(), oracle.len() as u64);
+        // The library shim stays faithful to the oracle too.
+        let shim = exec::groups(&plan).unwrap();
+        prop_assert_eq!(shim.len(), oracle.len());
+        for (g, (p, _)) in shim.iter().zip(&oracle) {
+            prop_assert_eq!(&g.prefix, p);
+        }
+    }
+
+    /// `seek(k)` lands exactly where `k` advances from the start land.
+    #[test]
+    fn seek_agrees_with_nth(seed in 0u64..1_000_000) {
+        let plan = plan_for_seed(seed);
+        let num_offsets = plan.partition().map_or(1, |p| p.offsets().len());
+        let z = plan.doall_count();
+        let all = cursor_sequence(&plan);
+        let total = all.len() as u64;
+        // A handful of deterministic pseudo-random positions per nest,
+        // plus the boundaries.
+        let mut picks = vec![0u64, total / 2, total.saturating_sub(1)];
+        for i in 0..4u64 {
+            if total > 0 {
+                picks.push((seed.wrapping_mul(6364136223846793005).wrapping_add(i * 1442695040888963407)) % total);
+            }
+        }
+        for &k in &picks {
+            if k >= total {
+                continue;
+            }
+            let mut cur = GroupCursor::new(plan.bounds(), z, num_offsets).unwrap();
+            prop_assert!(cur.seek(k).unwrap(), "seek({k}) of {total} failed");
+            let (p, o) = cur.current().unwrap();
+            prop_assert_eq!((p.to_vec(), o), all[k as usize].clone(), "seek({}) mismatch", k);
+            prop_assert_eq!(cur.position(), k);
+            // The cursor must continue correctly after a seek.
+            if cur.advance().unwrap() {
+                let (p, o) = cur.current().unwrap();
+                prop_assert_eq!((p.to_vec(), o), all[k as usize + 1].clone());
+            } else {
+                prop_assert_eq!(k + 1, total, "premature exhaustion after seek({})", k);
+            }
+        }
+        // Seeking past the end exhausts cleanly.
+        let mut cur = GroupCursor::new(plan.bounds(), z, num_offsets).unwrap();
+        prop_assert!(!cur.seek(total).unwrap());
+        prop_assert!(cur.current().is_none());
+    }
+}
