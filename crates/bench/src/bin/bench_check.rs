@@ -1,9 +1,10 @@
 //! CI perf-regression gate: re-measure the `BENCH_runtime.json`,
-//! `BENCH_fm.json`, and `BENCH_groups.json` workloads and fail when a
-//! gated metric drops below the committed snapshot by more than its
-//! tolerance (25% for deterministic count ratios, 40% for timing-based
-//! speedups — see `pdm_bench::perf`). Per-metric deltas are printed even
-//! on green runs so drifts stay visible before they trip the gate.
+//! `BENCH_fm.json`, `BENCH_groups.json`, and `BENCH_template.json`
+//! workloads and fail when a gated metric drops below the committed
+//! snapshot by more than its tolerance (25% for deterministic count
+//! ratios, 40% for timing-based speedups — see `pdm_bench::perf`).
+//! Per-metric deltas are printed even on green runs so drifts stay
+//! visible before they trip the gate.
 //!
 //! ```sh
 //! cargo run --release -p pdm-bench --bin bench_check
@@ -84,6 +85,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let committed_template = match committed_metrics("BENCH_template.json") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("bench_check: re-measuring runtime throughput...");
     let runtime_fresh = perf::runtime_json(&perf::runtime_cases());
@@ -92,12 +100,19 @@ fn main() -> ExitCode {
     let fm_fresh = perf::fm_json(&plans, &elims);
     println!("bench_check: re-measuring group enumeration...");
     let groups_fresh = perf::groups_json(&perf::groups_cases());
+    println!("bench_check: re-measuring template instantiation...");
+    let template_fresh = perf::template_json(&perf::template_cases());
 
     let mut regressions = Vec::new();
     for (label, committed, fresh) in [
         ("BENCH_runtime", &committed_runtime, runtime_fresh.as_str()),
         ("BENCH_fm", &committed_fm, fm_fresh.as_str()),
         ("BENCH_groups", &committed_groups, groups_fresh.as_str()),
+        (
+            "BENCH_template",
+            &committed_template,
+            template_fresh.as_str(),
+        ),
     ] {
         match check(label, committed, fresh, strict) {
             Ok(mut r) => regressions.append(&mut r),
@@ -129,7 +144,8 @@ fn main() -> ExitCode {
             }
         }
         eprintln!(
-            "(intentional? regenerate the snapshots with bench_runtime / bench_fm / bench_groups)"
+            "(intentional? regenerate the snapshots with bench_runtime / bench_fm / \
+             bench_groups / bench_template)"
         );
         ExitCode::FAILURE
     }

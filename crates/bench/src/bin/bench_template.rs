@@ -1,0 +1,24 @@
+//! Write the committed `BENCH_template.json` snapshot: parametric plan
+//! templates — `PlanTemplate::instantiate` (affine bound-row evaluation,
+//! no FM, no analysis) vs. full concrete replanning, across problem
+//! sizes of the paper nests and the stencils.
+//!
+//! ```sh
+//! cargo run --release -p pdm-bench --bin bench_template
+//! ```
+//!
+//! Gated by `bench_check`: `template_instantiate_speedup` (replan ÷
+//! instantiate, both timed on the same host in the same run). Every case
+//! first pins the instantiated plan to the fresh plan — identical
+//! transform, doall prefix, partition count, and transformed iteration
+//! space — before any timing happens.
+
+use pdm_bench::perf;
+
+fn main() {
+    println!("bench_template: instantiate vs. replan across problem sizes");
+    let cases = perf::template_cases();
+    let json = perf::template_json(&cases);
+    std::fs::write("BENCH_template.json", &json).expect("write BENCH_template.json");
+    println!("\nwrote BENCH_template.json");
+}

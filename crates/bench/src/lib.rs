@@ -18,7 +18,8 @@
 //! | `bench_runtime` | writes `BENCH_runtime.json` (compiled vs. interpreted throughput) |
 //! | `bench_fm` | writes `BENCH_fm.json` (FM pruning: bound rows, peak rows, timings) |
 //! | `bench_groups` | writes `BENCH_groups.json` (streaming vs. materialized group enumeration) |
-//! | `bench_check` | re-measures all three and fails on regression of gated metrics |
+//! | `bench_template` | writes `BENCH_template.json` (plan-template instantiate vs. replan) |
+//! | `bench_check` | re-measures all four and fails on regression of gated metrics |
 //!
 //! Criterion benches (`cargo bench -p pdm-bench`) measure the quantitative
 //! side: analysis cost, transformation scaling, and the speedup of the

@@ -619,6 +619,140 @@ pub fn groups_json(cases: &[GroupsCase]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Plan templates: instantiate vs. replan.
+// ---------------------------------------------------------------------
+
+/// Instantiations per timed batch: one instantiate is microseconds, so a
+/// single-call sample would be mostly timer overhead.
+const INSTANTIATE_BATCH: usize = 64;
+
+/// One instantiate-vs-replan case (times in seconds, per single plan).
+pub struct TemplateCase {
+    /// Case label (stable across runs; used as the JSON metric path).
+    pub name: &'static str,
+    /// Nest depth.
+    pub depth: usize,
+    /// Planning the template once (symbolic analysis + parametric FM).
+    pub template_once: f64,
+    /// The concrete path per size: full `parallelize` on the pre-parsed
+    /// concrete nest (dependence testing + FM + plan construction).
+    pub replan: f64,
+    /// The template path per size: `PlanTemplate::instantiate` (affine
+    /// bound-row evaluation + structure clones; no FM, no analysis).
+    pub instantiate: f64,
+}
+
+fn run_template_case(name: &'static str, src: &str, n: i64) -> TemplateCase {
+    use pdm_core::template::plan_template;
+    use pdm_loopir::parse::parse_loop_symbolic;
+
+    let shape = parse_loop_symbolic(src, &["N"]).expect("symbolic parse");
+    let template = plan_template(&shape).expect("template");
+    let conc = parse_loop_with(src, &[("N", n)]).expect("concrete parse");
+
+    // Refuse to time a divergent pair: the instantiated plan must agree
+    // with fresh planning on structure and on the transformed space.
+    let inst = template.instantiate(&[("N", n)]).expect("instantiate");
+    let fresh = pdm_core::parallelize(&conc).expect("plan");
+    assert_eq!(inst.transform(), fresh.transform(), "{name}: transform");
+    assert_eq!(inst.doall_count(), fresh.doall_count(), "{name}: doall");
+    assert_eq!(
+        inst.partition_count(),
+        fresh.partition_count(),
+        "{name}: partitions"
+    );
+    assert_eq!(
+        inst.bounds().enumerate().expect("inst space"),
+        fresh.bounds().enumerate().expect("fresh space"),
+        "{name}: transformed iteration space diverged — refusing to time"
+    );
+
+    let template_once = best(FM_REPS, || plan_template(&shape).unwrap().depth());
+    let replan = best(RUNTIME_REPS, || {
+        pdm_core::parallelize(&conc).unwrap().depth()
+    });
+    let instantiate = best(RUNTIME_REPS, || {
+        let mut d = 0usize;
+        for _ in 0..INSTANTIATE_BATCH {
+            d = template.instantiate(&[("N", n)]).unwrap().depth();
+        }
+        d
+    }) / INSTANTIATE_BATCH as f64;
+
+    TemplateCase {
+        name,
+        depth: shape.depth(),
+        template_once,
+        replan,
+        instantiate,
+    }
+}
+
+/// Symbolic sources of the template cases (`N` is the one parameter).
+const PAPER41_SYM: &str = "for i1 = 0..N { for i2 = 0..N {
+   A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+ } }";
+const PAPER42_SYM: &str = "for i1 = 0..N { for i2 = 0..N {
+   A[i1, 3*i2 + 2] = B[i1, i2] + 1;
+   B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
+ } }";
+const STENCIL_SYM: &str = "for i = 1..N { for j = 1..N {
+   A[i, j] = A[i - 1, j] + A[i, j - 1];
+ } }";
+const STENCIL4D_SYM: &str = "for i = 1..N { for j = 1..N { for k = 1..N { for l = 1..N {
+   A[i, j, k, l] = A[i - 1, j, k, l] + A[i, j - 1, k, l]
+                 + A[i, j, k - 1, l] + A[i, j, k, l - 1];
+ } } } }";
+
+/// Measure every template case, printing one summary line per case.
+pub fn template_cases() -> Vec<TemplateCase> {
+    let cases = vec![
+        run_template_case("paper41_n64", PAPER41_SYM, 64),
+        run_template_case("paper41_n200", PAPER41_SYM, 200),
+        run_template_case("paper42_n200", PAPER42_SYM, 200),
+        run_template_case("stencil_n200", STENCIL_SYM, 200),
+        run_template_case("stencil4d_n8", STENCIL4D_SYM, 8),
+    ];
+    for c in &cases {
+        println!(
+            "{:<14} depth {}  template once {:>8.1}us   replan {:>8.1}us -> instantiate {:>7.2}us ({:6.1}x)",
+            c.name,
+            c.depth,
+            c.template_once * 1e6,
+            c.replan * 1e6,
+            c.instantiate * 1e6,
+            c.replan / c.instantiate,
+        );
+    }
+    cases
+}
+
+/// Serialize template cases into the committed `BENCH_template.json`
+/// shape. `template_instantiate_speedup` (replan ÷ instantiate, both
+/// measured on the same host in the same run) is the gated metric.
+pub fn template_json(cases: &[TemplateCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"plan_template\",\n  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"depth\": {}, \
+             \"template_once_ms\": {:.4}, \"replan_ms\": {:.4}, \
+             \"instantiate_ms\": {:.5}, \"instantiates_per_s\": {:.0}, \
+             \"template_instantiate_speedup\": {:.2}}}{}\n",
+            c.name,
+            c.depth,
+            c.template_once * 1e3,
+            c.replan * 1e3,
+            c.instantiate * 1e3,
+            1.0 / c.instantiate,
+            c.replan / c.instantiate,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
 // Regression comparison.
 // ---------------------------------------------------------------------
 
@@ -751,6 +885,18 @@ mod tests {
         assert!(metrics
             .iter()
             .any(|(k, v)| k == "cases.t.peak_live_reduction" && *v >= 1.0));
+    }
+
+    #[test]
+    fn template_case_measures_and_exposes_gated_metric() {
+        let c = run_template_case("t", PAPER41_SYM, 20);
+        assert_eq!(c.depth, 2);
+        assert!(c.replan > 0.0 && c.instantiate > 0.0 && c.template_once > 0.0);
+        let json = template_json(&[c]);
+        let metrics = crate::json::parse(&json).unwrap().metrics();
+        let key = "cases.t.template_instantiate_speedup";
+        assert!(metrics.iter().any(|(k, v)| k == key && *v > 0.0));
+        assert!(is_gated(key, false), "speedup key must be gated");
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!    iteration space into `det(H)` independent partitions.
 //! 7. [`plan`] — the end-to-end [`plan::parallelize`] driver combining all
 //!    of the above and deriving transformed loop bounds by Fourier–Motzkin.
-//! 8. [`codegen`] — render the plan as paper-style `doall` pseudo-code.
+//! 8. [`template`] — the parametric flavour of 7: plan a **symbolic**
+//!    nest shape once ([`template::plan_template`]) and instantiate a
+//!    [`plan::ParallelPlan`] per problem size with no re-analysis and no
+//!    Fourier–Motzkin.
+//! 9. [`codegen`] — render the plan as paper-style `doall` pseudo-code.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,9 +44,11 @@ pub mod partition;
 pub mod pdm;
 pub mod pipeline;
 pub mod plan;
+pub mod template;
 
 pub use pdm::{analyze, PdmAnalysis};
 pub use plan::{parallelize, ParallelPlan};
+pub use template::{plan_template, PlanTemplate};
 
 /// Errors of the analysis/transformation pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -38,6 +38,50 @@ pub struct ParallelPlan {
     depth: usize,
 }
 
+/// The bounds-independent half of a plan: everything the paper derives
+/// from the PDM alone — the legal transformation, its inverse, the
+/// transformed PDM, the doall prefix, and the Theorem-2 partitioning.
+/// Computed once per nest *shape* by [`crate::template::plan_template`]
+/// and per nest by [`parallelize`]; both attach bounds afterwards.
+pub(crate) struct PlanStructure {
+    pub(crate) transform: Unimodular,
+    pub(crate) inverse: Unimodular,
+    pub(crate) transformed_pdm: IMat,
+    pub(crate) doall_prefix: usize,
+    pub(crate) partition: Option<Partitioning>,
+}
+
+/// Derive the [`PlanStructure`] from an analysis (Algorithm 1 + the
+/// Theorem-2 partitioning of the trailing full-rank block when it buys
+/// parallelism).
+pub(crate) fn derive_structure(depth: usize, analysis: &PdmAnalysis) -> Result<PlanStructure> {
+    let zeroed = algorithm1(analysis.pdm())?;
+    let rho = analysis.rank();
+
+    // Partition the trailing full-rank block when it buys parallelism.
+    let partition = if rho > 0 {
+        let sub = zeroed
+            .transformed
+            .submatrix(0, rho, zeroed.zero_cols, depth);
+        let p = Partitioning::new(sub)?;
+        if p.count() > 1 {
+            Some(p)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    let inverse = zeroed.t.inverse().map_err(CoreError::Matrix)?;
+    Ok(PlanStructure {
+        transform: zeroed.t,
+        inverse,
+        transformed_pdm: zeroed.transformed,
+        doall_prefix: zeroed.zero_cols,
+        partition,
+    })
+}
+
 /// Analyze and transform a nest into a parallel plan.
 pub fn parallelize(nest: &LoopNest) -> Result<ParallelPlan> {
     let analysis = analyze(nest)?;
@@ -48,21 +92,7 @@ pub fn parallelize(nest: &LoopNest) -> Result<ParallelPlan> {
 /// modify the PDM first — e.g. the ablation benches).
 pub fn plan_from_analysis(nest: &LoopNest, analysis: PdmAnalysis) -> Result<ParallelPlan> {
     let n = nest.depth();
-    let zeroed = algorithm1(analysis.pdm())?;
-    let rho = analysis.rank();
-
-    // Partition the trailing full-rank block when it buys parallelism.
-    let partition = if rho > 0 {
-        let sub = zeroed.transformed.submatrix(0, rho, zeroed.zero_cols, n);
-        let p = Partitioning::new(sub)?;
-        if p.count() > 1 {
-            Some(p)
-        } else {
-            None
-        }
-    } else {
-        None
-    };
+    let structure = derive_structure(n, &analysis)?;
 
     // Transformed-space bounds: y = i·T, i = y·T⁻¹; substitute into the
     // original iteration polyhedron and re-derive per-level bounds by FM.
@@ -70,20 +100,10 @@ pub fn plan_from_analysis(nest: &LoopNest, analysis: PdmAnalysis) -> Result<Para
     // constraints can map to parallel or dominated images);
     // `from_system` prunes every level exactly before reading its rows
     // off, so codegen and the runtime see irredundant per-level bounds.
-    let inverse = zeroed.t.inverse().map_err(CoreError::Matrix)?;
-    let tsys = transformed_system(nest, &inverse)?;
+    let tsys = transformed_system(nest, &structure.inverse)?;
     let bounds = LoopBounds::from_system(&tsys).map_err(CoreError::Matrix)?;
 
-    Ok(ParallelPlan {
-        analysis,
-        transform: zeroed.t,
-        inverse,
-        transformed_pdm: zeroed.transformed,
-        doall_prefix: zeroed.zero_cols,
-        partition,
-        bounds,
-        depth: n,
-    })
+    Ok(ParallelPlan::from_parts(analysis, structure, bounds, n))
 }
 
 /// The iteration polyhedron rewritten into transformed coordinates:
@@ -104,6 +124,29 @@ pub fn transformed_system(
 }
 
 impl ParallelPlan {
+    /// Assemble a plan from its bounds-independent structure and a set
+    /// of (already concrete) transformed-space bounds — the shared final
+    /// step of [`plan_from_analysis`] and of template instantiation
+    /// ([`crate::template::PlanTemplate::instantiate`]), which is what
+    /// makes instantiated plans *the same type* as freshly planned ones.
+    pub(crate) fn from_parts(
+        analysis: PdmAnalysis,
+        structure: PlanStructure,
+        bounds: LoopBounds,
+        depth: usize,
+    ) -> ParallelPlan {
+        ParallelPlan {
+            analysis,
+            transform: structure.transform,
+            inverse: structure.inverse,
+            transformed_pdm: structure.transformed_pdm,
+            doall_prefix: structure.doall_prefix,
+            partition: structure.partition,
+            bounds,
+            depth,
+        }
+    }
+
     /// The underlying PDM analysis.
     pub fn analysis(&self) -> &PdmAnalysis {
         &self.analysis

@@ -1,0 +1,313 @@
+//! Parametric partition plans: plan once **symbolically**, instantiate
+//! per problem size.
+//!
+//! The paper's whole derivation — dependence equations (§2.2), pair
+//! lattices (§2.3), the PDM (§2.4), Algorithm 1, and the Theorem-2
+//! partitioning — reads only the array **subscripts**, never the loop
+//! bounds. The bounds enter exactly once, at the final Fourier–Motzkin
+//! step that re-bounds the transformed space. A service answering many
+//! problem sizes of one kernel therefore wastes almost all of its
+//! planning time re-deriving size-independent facts.
+//!
+//! [`plan_template`] splits the pipeline on that line:
+//!
+//! * **Template** (once per nest *shape*): analysis, transformation,
+//!   partitioning, **and** the transformed-space bounds with the nest's
+//!   named parameters carried as live columns through elimination
+//!   ([`pdm_poly::bounds::LoopBounds::from_system_parametric`]). The FM
+//!   runs — the expensive, potentially exponential part — happen here.
+//! * **Instantiate** ([`PlanTemplate::instantiate`], once per size):
+//!   fold a parameter valuation into the symbolic bound rows
+//!   ([`pdm_poly::bounds::LoopBounds::substitute_params`]) and assemble
+//!   a [`ParallelPlan`]. One pass over the rows — **no dependence
+//!   testing, no Fourier–Motzkin, no planning** — and the result is the
+//!   same type the concrete pipeline produces, so every downstream
+//!   consumer (codegen, executors, the race checker) works unchanged.
+//!
+//! Soundness: the template's transformation is legal for every valuation
+//! because legality (Theorem 1) is a property of `H·T` alone, and the
+//! parametric bound rows are exact for every valuation because FM
+//! elimination never touches the parameter columns (see
+//! [`pdm_poly::fm`]'s parameter-column notes). The differential suite
+//! (`tests/template_vs_concrete.rs`) pins instantiation to the concrete
+//! path — same groups, same evaluated bound rows, same execution
+//! results — on randomized parametric nests.
+//!
+//! ```
+//! use pdm_core::template::plan_template;
+//! use pdm_loopir::parse::parse_loop_symbolic;
+//!
+//! let shape = parse_loop_symbolic(
+//!     "for i1 = 0..=N { for i2 = 0..=N {
+//!        A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+//!     } }",
+//!     &["N"],
+//! ).unwrap();
+//! let template = plan_template(&shape).unwrap();     // all FM happens here
+//! for n in [9i64, 99] {
+//!     let plan = template.instantiate(&[("N", n)]).unwrap(); // no FM
+//!     assert_eq!(plan.doall_count(), 1);
+//!     assert_eq!(plan.partition_count(), 2);
+//! }
+//! ```
+
+use crate::partition::Partitioning;
+use crate::pdm::{analyze, PdmAnalysis};
+use crate::plan::{derive_structure, ParallelPlan, PlanStructure};
+use crate::{CoreError, Result};
+use pdm_loopir::nest::LoopNest;
+use pdm_loopir::IrError;
+use pdm_matrix::mat::IMat;
+use pdm_matrix::unimodular::Unimodular;
+use pdm_matrix::vec::IVec;
+use pdm_poly::bounds::LoopBounds;
+use pdm_poly::expr::AffineExpr;
+use pdm_poly::system::System;
+
+/// A parallel schedule computed once per nest **shape**: the complete
+/// bounds-independent plan structure plus transformed-space bound rows
+/// that still carry the nest's parameter columns. Instantiate per size
+/// with [`PlanTemplate::instantiate`].
+#[derive(Debug, Clone)]
+pub struct PlanTemplate {
+    nest: LoopNest,
+    analysis: PdmAnalysis,
+    transform: Unimodular,
+    inverse: Unimodular,
+    transformed_pdm: IMat,
+    doall_prefix: usize,
+    partition: Option<Partitioning>,
+    /// Parametric transformed-space bounds (`params() == #parameters`).
+    bounds: LoopBounds,
+}
+
+/// Plan a (symbolic or concrete) nest once: full analysis,
+/// transformation, partitioning, and parametric Fourier–Motzkin bounds.
+/// On a concrete nest the template degenerates gracefully — zero
+/// parameter columns, and `instantiate(&[])` reproduces
+/// [`crate::plan::parallelize`]'s plan.
+pub fn plan_template(nest: &LoopNest) -> Result<PlanTemplate> {
+    let analysis = analyze(nest)?;
+    plan_template_from_analysis(nest, analysis)
+}
+
+/// [`plan_template`] from an existing analysis (mirrors
+/// [`crate::plan::plan_from_analysis`]).
+pub fn plan_template_from_analysis(nest: &LoopNest, analysis: PdmAnalysis) -> Result<PlanTemplate> {
+    let n = nest.depth();
+    let structure = derive_structure(n, &analysis)?;
+    let tsys = transformed_symbolic_system(nest, &structure.inverse)?;
+    let bounds = LoopBounds::from_system_parametric(&tsys, n).map_err(CoreError::Matrix)?;
+    Ok(PlanTemplate {
+        nest: nest.clone(),
+        analysis,
+        transform: structure.transform,
+        inverse: structure.inverse,
+        transformed_pdm: structure.transformed_pdm,
+        doall_prefix: structure.doall_prefix,
+        partition: structure.partition,
+        bounds,
+    })
+}
+
+/// The symbolic iteration polyhedron rewritten into transformed
+/// coordinates: index columns map through `T⁻¹` exactly as in
+/// [`crate::plan::transformed_system`], parameter columns map to
+/// themselves (the transformation acts on iteration space only).
+pub fn transformed_symbolic_system(nest: &LoopNest, inverse: &Unimodular) -> Result<System> {
+    let n = nest.depth();
+    let p = nest.param_names().len();
+    let w = n + p;
+    let sys = nest.symbolic_system()?;
+    let mut exprs = Vec::with_capacity(w);
+    for i in 0..n {
+        let mut col = inverse.mat().col_vec(i).0;
+        col.resize(w, 0);
+        exprs.push(AffineExpr::new(IVec(col), 0));
+    }
+    for j in 0..p {
+        exprs.push(AffineExpr::var(w, n + j));
+    }
+    sys.change_of_variables(&exprs, w)
+        .map_err(CoreError::Matrix)
+}
+
+impl PlanTemplate {
+    /// The symbolic nest shape the template was planned from.
+    pub fn nest(&self) -> &LoopNest {
+        &self.nest
+    }
+
+    /// Parameter names, in the bound-column order valuations are folded.
+    pub fn param_names(&self) -> &[String] {
+        self.nest.param_names()
+    }
+
+    /// The underlying PDM analysis (size-independent).
+    pub fn analysis(&self) -> &PdmAnalysis {
+        &self.analysis
+    }
+
+    /// The legal unimodular transformation `T` (`y = i·T`).
+    pub fn transform(&self) -> &Unimodular {
+        &self.transform
+    }
+
+    /// Number of leading fully-parallel (`doall`) transformed loops.
+    pub fn doall_count(&self) -> usize {
+        self.doall_prefix
+    }
+
+    /// Independent partitions of the sequential block (1 when none) —
+    /// `det(H)` of the trailing full-rank block, size-independent.
+    pub fn partition_count(&self) -> i64 {
+        self.partition.as_ref().map_or(1, |p| p.count())
+    }
+
+    /// Loop depth.
+    pub fn depth(&self) -> usize {
+        self.nest.depth()
+    }
+
+    /// The parametric transformed-space bound rows (trailing parameter
+    /// columns; see [`pdm_poly::bounds::LoopBounds::params`]).
+    pub fn symbolic_bounds(&self) -> &LoopBounds {
+        &self.bounds
+    }
+
+    /// Order a `(name, value)` valuation into bound-column order,
+    /// validating exactly like [`LoopNest::substitute`]: every parameter
+    /// must be bound (else [`IrError::UnboundParameter`]), unknown names
+    /// are rejected.
+    fn param_values(&self, params: &[(&str, i64)]) -> Result<Vec<i64>> {
+        let names = self.nest.param_names();
+        for (name, _) in params {
+            if !names.iter().any(|p| p == name) {
+                return Err(CoreError::Ir(IrError::Invalid(format!(
+                    "instantiate: '{name}' is not a parameter of this template"
+                ))));
+            }
+        }
+        names
+            .iter()
+            .map(|p| {
+                params
+                    .iter()
+                    .find(|(name, _)| name == p)
+                    .map(|&(_, v)| v)
+                    .ok_or_else(|| CoreError::Ir(IrError::UnboundParameter { name: p.clone() }))
+            })
+            .collect()
+    }
+
+    /// Instantiate the template at a parameter valuation: fold the
+    /// valuation into the symbolic bound rows and assemble a complete
+    /// [`ParallelPlan`]. Cheap — one pass over the bound rows plus
+    /// clones of the fixed-size structure; no dependence testing, no
+    /// Fourier–Motzkin, no planning.
+    pub fn instantiate(&self, params: &[(&str, i64)]) -> Result<ParallelPlan> {
+        let vals = self.param_values(params)?;
+        let bounds = self
+            .bounds
+            .substitute_params(&vals)
+            .map_err(CoreError::Matrix)?;
+        Ok(ParallelPlan::from_parts(
+            self.analysis.clone(),
+            PlanStructure {
+                transform: self.transform.clone(),
+                inverse: self.inverse.clone(),
+                transformed_pdm: self.transformed_pdm.clone(),
+                doall_prefix: self.doall_prefix,
+                partition: self.partition.clone(),
+            },
+            bounds,
+            self.nest.depth(),
+        ))
+    }
+
+    /// Lower the template's nest at the same valuation — the concrete
+    /// nest an executor pairs with [`PlanTemplate::instantiate`]'s plan.
+    pub fn instantiate_nest(&self, params: &[(&str, i64)]) -> Result<LoopNest> {
+        self.nest.substitute(params).map_err(CoreError::Ir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::parallelize;
+    use pdm_loopir::parse::{parse_loop, parse_loop_symbolic, parse_loop_with};
+
+    const PAPER41: &str = "for i1 = 0..=N { for i2 = 0..=N {
+        A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+    } }";
+
+    #[test]
+    fn template_plans_the_paper_nest_once_for_all_sizes() {
+        let shape = parse_loop_symbolic(PAPER41, &["N"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        assert_eq!(t.doall_count(), 1);
+        assert_eq!(t.partition_count(), 2);
+        assert_eq!(t.symbolic_bounds().params(), 1);
+        for n in [3i64, 9, 40] {
+            let inst = t.instantiate(&[("N", n)]).unwrap();
+            let conc = parallelize(&parse_loop_with(PAPER41, &[("N", n)]).unwrap()).unwrap();
+            assert_eq!(inst.transform(), conc.transform());
+            assert_eq!(inst.doall_count(), conc.doall_count());
+            assert_eq!(inst.partition_count(), conc.partition_count());
+            assert_eq!(
+                inst.bounds().enumerate().unwrap(),
+                conc.bounds().enumerate().unwrap(),
+                "N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn concrete_nests_degenerate_to_the_plain_pipeline() {
+        let nest = parse_loop("for i = 1..=10 { A[i] = A[i - 1] + 1; }").unwrap();
+        let t = plan_template(&nest).unwrap();
+        assert_eq!(t.param_names(), &[] as &[String]);
+        let inst = t.instantiate(&[]).unwrap();
+        let conc = parallelize(&nest).unwrap();
+        assert_eq!(inst.bounds(), conc.bounds());
+        assert_eq!(inst.transform(), conc.transform());
+    }
+
+    #[test]
+    fn instantiate_validates_the_valuation() {
+        let shape = parse_loop_symbolic(PAPER41, &["N"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        assert!(matches!(
+            t.instantiate(&[]),
+            Err(CoreError::Ir(IrError::UnboundParameter { .. }))
+        ));
+        assert!(t.instantiate(&[("N", 5), ("M", 5)]).is_err());
+    }
+
+    #[test]
+    fn empty_valuations_instantiate_to_empty_spaces() {
+        let shape = parse_loop_symbolic(PAPER41, &["N"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        let inst = t.instantiate(&[("N", -1)]).unwrap();
+        assert_eq!(inst.bounds().enumerate().unwrap().len(), 0);
+        let nest = t.instantiate_nest(&[("N", -1)]).unwrap();
+        assert_eq!(nest.iterations().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn triangular_symbolic_template_matches_concrete() {
+        let src = "for i = 0..=N { for j = 0..=i { A[i, j] = A[j, i] + 1; } }";
+        let shape = parse_loop_symbolic(src, &["N"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        for n in [0i64, 1, 6] {
+            let inst = t.instantiate(&[("N", n)]).unwrap();
+            let conc = parallelize(&parse_loop_with(src, &[("N", n)]).unwrap()).unwrap();
+            assert_eq!(
+                inst.bounds().enumerate().unwrap(),
+                conc.bounds().enumerate().unwrap(),
+                "N={n}"
+            );
+        }
+    }
+}

@@ -8,6 +8,8 @@ use crate::builder::NestBuilder;
 use crate::expr::Expr;
 use crate::nest::LoopNest;
 use crate::Result;
+use pdm_matrix::vec::IVec;
+use pdm_poly::expr::AffineExpr;
 
 /// Configuration for the generator.
 #[derive(Debug, Clone)]
@@ -99,6 +101,61 @@ pub fn random_nest(seed: u64, cfg: &GenConfig) -> Result<LoopNest> {
     b.build()
 }
 
+/// Generate a random **symbolic** nest: same body/array generation as
+/// [`random_nest`] (subscripts are always parameter-free), but the bounds
+/// mix concrete constants, triangular outer-index forms, and the named
+/// parameters — the outermost upper bound always carries a parameter so
+/// every shape is genuinely size-parametric. Lower the result per size
+/// with [`LoopNest::substitute`]; small or negative valuations produce
+/// empty (sub)spaces on purpose, exercising the degenerate paths.
+pub fn random_symbolic_nest(seed: u64, cfg: &GenConfig, params: &[&str]) -> Result<LoopNest> {
+    assert!(!params.is_empty(), "need at least one parameter name");
+    let concrete = random_nest(seed, cfg)?;
+    let mut rng = Rng::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let n = cfg.depth;
+    let p = params.len();
+    let width = n + p;
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    for k in 0..n {
+        lower.push(AffineExpr::constant(width, rng.below(2) as i64));
+        let mut coeffs = IVec::zeros(width);
+        let constant;
+        let form = if k == 0 { 0 } else { rng.below(4) };
+        match form {
+            0 => {
+                // N + c: parametric extent.
+                coeffs[n + rng.below(p)] = 1;
+                constant = rng.pm(2);
+            }
+            1 => {
+                // Concrete extent.
+                constant = cfg.extent.max(1);
+            }
+            2 => {
+                // Triangular: outer index + c.
+                coeffs[rng.below(k)] = 1;
+                constant = rng.below(3) as i64;
+            }
+            _ => {
+                // Anti-triangular parametric: N - outer index + c.
+                coeffs[rng.below(k)] = -1;
+                coeffs[n + rng.below(p)] = 1;
+                constant = rng.below(2) as i64;
+            }
+        }
+        upper.push(AffineExpr::new(coeffs, constant));
+    }
+    LoopNest::new_symbolic(
+        concrete.index_names().to_vec(),
+        params.iter().map(|s| s.to_string()).collect(),
+        lower,
+        upper,
+        concrete.arrays().to_vec(),
+        concrete.body().to_vec(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +183,24 @@ mod tests {
             assert_eq!(nest.depth(), cfg.depth);
             assert!(!nest.iterations().unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn symbolic_generator_is_deterministic_and_parametric() {
+        let cfg = GenConfig {
+            depth: 3,
+            ..GenConfig::default()
+        };
+        let a = random_symbolic_nest(9, &cfg, &["N", "M"]).unwrap();
+        let b = random_symbolic_nest(9, &cfg, &["N", "M"]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_symbolic());
+        // The outermost upper bound always reads a parameter.
+        assert!((0..2).any(|j| a.upper(0).coeff(3 + j) != 0));
+        // Substitution yields a valid concrete nest (possibly empty).
+        let conc = a.substitute(&[("N", 5), ("M", 4)]).unwrap();
+        assert!(!conc.is_symbolic());
+        conc.iterations().unwrap();
     }
 
     #[test]

@@ -12,11 +12,14 @@
 //! * [`expr::Expr`] / [`stmt::Statement`] — executable loop bodies over
 //!   integer arrays,
 //! * [`nest::LoopNest`] — the nest itself: bounds, arrays, body, iteration
-//!   polyhedron,
+//!   polyhedron. Bounds may carry **named parameter columns**
+//!   (`N`, `M`, …) kept symbolic through planning; see below,
 //! * [`parse`] — a small text DSL so examples, tests and benchmarks can
 //!   state loops as readably as the paper does,
 //! * [`pretty`] — the inverse: render a nest (or a transformed schedule)
 //!   back to text.
+//!
+//! ## Concrete nests
 //!
 //! ```
 //! use pdm_loopir::parse::parse_loop;
@@ -27,6 +30,40 @@
 //!     } }",
 //! ).unwrap();
 //! assert_eq!(nest.depth(), 2);
+//! assert_eq!(nest.iterations().unwrap().len(), 100);
+//! ```
+//!
+//! ## Symbolic (parametric) nests: template → instantiate
+//!
+//! The paper's transformation is valid for *any* loop bounds, so the
+//! nest shape can be analyzed once and re-bounded per problem size. A
+//! **symbolic** nest ([`parse::parse_loop_symbolic`]) keeps named
+//! parameters as extra columns of its bound expressions instead of
+//! substituting integers at parse time. Downstream, `pdm-core` plans the
+//! shape once (`PlanTemplate`) and instantiates it per size with no
+//! re-analysis; here in the IR the two halves of the flow are:
+//!
+//! * planning-side: [`nest::LoopNest::symbolic_system`] exposes the
+//!   iteration polyhedron over `(indices, parameters)` so Fourier–Motzkin
+//!   can eliminate loop indices while *carrying* the parameter columns;
+//! * instantiation-side: [`nest::LoopNest::substitute`] folds a parameter
+//!   valuation into the bound constants, yielding the concrete nest the
+//!   executors run.
+//!
+//! Concrete-only APIs ([`nest::LoopNest::iteration_system`],
+//! [`nest::LoopNest::index_ranges`], [`nest::LoopNest::iterations`])
+//! refuse symbolic nests with a typed [`IrError::UnboundParameter`]
+//! naming the offending parameter.
+//!
+//! ```
+//! use pdm_loopir::parse::parse_loop_symbolic;
+//!
+//! let sym = parse_loop_symbolic(
+//!     "for i = 0..N { A[2*i] = A[i] + 1; }",
+//!     &["N"],
+//! ).unwrap();
+//! assert!(sym.is_symbolic());
+//! let nest = sym.substitute(&[("N", 100)]).unwrap();
 //! assert_eq!(nest.iterations().unwrap().len(), 100);
 //! ```
 
@@ -62,6 +99,12 @@ pub enum IrError {
         /// Explanation.
         msg: String,
     },
+    /// A symbolic nest reached a concrete-only API (or a substitution
+    /// left a parameter unbound). Carries the parameter's name.
+    UnboundParameter {
+        /// Name of the parameter that has no integer value.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for IrError {
@@ -70,6 +113,13 @@ impl std::fmt::Display for IrError {
             IrError::Matrix(e) => write!(f, "matrix error: {e}"),
             IrError::Invalid(m) => write!(f, "invalid loop IR: {m}"),
             IrError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            IrError::UnboundParameter { name } => {
+                write!(
+                    f,
+                    "parameter '{name}' is unbound: substitute it (LoopNest::substitute) \
+                     before calling a concrete-only API"
+                )
+            }
         }
     }
 }

@@ -24,9 +24,21 @@ pub struct ArrayDecl {
 /// `l_j, u_j` integer functions of outer indices; integer-constant bounds
 /// are the common special case). The body is a sequence of assignments
 /// executed for every iteration in lexicographic order.
+///
+/// # Symbolic bounds
+///
+/// A nest may additionally carry named **parameters** (`N`, `M`, …): the
+/// bound expressions then live over `depth + params` columns — loop
+/// indices first, parameters after — and stay symbolic until
+/// [`LoopNest::substitute`] folds an integer valuation into the
+/// constants. Subscripts and body expressions are always parameter-free
+/// (the dependence analysis is bounds-independent, which is exactly what
+/// makes plan templates sound). Concrete-only APIs reject symbolic nests
+/// with [`IrError::UnboundParameter`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopNest {
     index_names: Vec<String>,
+    param_names: Vec<String>,
     lower: Vec<AffineExpr>,
     upper: Vec<AffineExpr>,
     arrays: Vec<ArrayDecl>,
@@ -34,7 +46,8 @@ pub struct LoopNest {
 }
 
 impl LoopNest {
-    /// Build a nest, validating every shape constraint.
+    /// Build a concrete (parameter-free) nest, validating every shape
+    /// constraint.
     pub fn new(
         index_names: Vec<String>,
         lower: Vec<AffineExpr>,
@@ -42,9 +55,34 @@ impl LoopNest {
         arrays: Vec<ArrayDecl>,
         body: Vec<Statement>,
     ) -> Result<Self> {
+        Self::new_symbolic(index_names, Vec::new(), lower, upper, arrays, body)
+    }
+
+    /// Build a nest whose bounds may mention the named parameters (as
+    /// trailing columns of the bound expressions), validating every shape
+    /// constraint.
+    pub fn new_symbolic(
+        index_names: Vec<String>,
+        param_names: Vec<String>,
+        lower: Vec<AffineExpr>,
+        upper: Vec<AffineExpr>,
+        arrays: Vec<ArrayDecl>,
+        body: Vec<Statement>,
+    ) -> Result<Self> {
         let n = index_names.len();
+        let p = param_names.len();
         if n == 0 {
             return Err(IrError::Invalid("loop nest must have depth >= 1".into()));
+        }
+        for (j, name) in param_names.iter().enumerate() {
+            if index_names.contains(name) {
+                return Err(IrError::Invalid(format!(
+                    "parameter '{name}' shadows a loop index"
+                )));
+            }
+            if param_names[..j].contains(name) {
+                return Err(IrError::Invalid(format!("duplicate parameter '{name}'")));
+            }
         }
         if lower.len() != n || upper.len() != n {
             return Err(IrError::Invalid(format!(
@@ -55,13 +93,14 @@ impl LoopNest {
         }
         for (k, b) in lower.iter().chain(upper.iter()).enumerate() {
             let k = k % n;
-            if b.dim() != n {
+            if b.dim() != n + p {
                 return Err(IrError::Invalid(format!(
-                    "bound of loop {k} has dimension {} != depth {n}",
+                    "bound of loop {k} has dimension {} != depth {n} + params {p}",
                     b.dim()
                 )));
             }
-            // A bound may only mention outer indices.
+            // A bound may only mention outer indices (parameter columns
+            // `n..n+p` are always allowed).
             for inner in k..n {
                 if b.coeff(inner) != 0 {
                     return Err(IrError::Invalid(format!(
@@ -73,6 +112,7 @@ impl LoopNest {
         }
         let nest = LoopNest {
             index_names,
+            param_names,
             lower,
             upper,
             arrays,
@@ -121,6 +161,26 @@ impl LoopNest {
         &self.index_names
     }
 
+    /// Names of the symbolic parameters (empty for concrete nests). A
+    /// bound expression's columns are `index_names ++ param_names`.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Does the nest carry unbound symbolic parameters?
+    pub fn is_symbolic(&self) -> bool {
+        !self.param_names.is_empty()
+    }
+
+    /// Error unless the nest is concrete; names the first unbound
+    /// parameter otherwise.
+    fn require_concrete(&self) -> Result<()> {
+        match self.param_names.first() {
+            None => Ok(()),
+            Some(name) => Err(IrError::UnboundParameter { name: name.clone() }),
+        }
+    }
+
     /// Lower bound expression of level `k`.
     pub fn lower(&self, k: usize) -> &AffineExpr {
         &self.lower[k]
@@ -129,6 +189,81 @@ impl LoopNest {
     /// Upper bound expression of level `k` (inclusive).
     pub fn upper(&self, k: usize) -> &AffineExpr {
         &self.upper[k]
+    }
+
+    /// Fold an integer valuation of every parameter into the bound
+    /// constants, yielding the concrete nest the executors run. The
+    /// valuation must bind **exactly** the nest's parameters: a missing
+    /// parameter is an [`IrError::UnboundParameter`], an unknown name an
+    /// [`IrError::Invalid`] (catching typos loudly instead of silently
+    /// ignoring a binding). Cheap: one pass over the `2·depth` bound
+    /// rows; body and subscripts are shared unchanged.
+    pub fn substitute(&self, params: &[(&str, i64)]) -> Result<LoopNest> {
+        for (name, _) in params {
+            if !self.param_names.iter().any(|p| p == name) {
+                return Err(IrError::Invalid(format!(
+                    "substitute: '{name}' is not a parameter of this nest"
+                )));
+            }
+        }
+        let mut vals = Vec::with_capacity(self.param_names.len());
+        for p in &self.param_names {
+            match params.iter().find(|(name, _)| name == p) {
+                Some(&(_, v)) => vals.push(v),
+                None => return Err(IrError::UnboundParameter { name: p.clone() }),
+            }
+        }
+        let n = self.depth();
+        let fold = |e: &AffineExpr| -> Result<AffineExpr> {
+            let mut acc = e.constant as i128;
+            for (j, &v) in vals.iter().enumerate() {
+                acc += e.coeff(n + j) as i128 * v as i128;
+            }
+            let constant = i64::try_from(acc)
+                .map_err(|_| IrError::Matrix(pdm_matrix::MatrixError::Overflow))?;
+            Ok(AffineExpr::new(
+                IVec::from_slice(&e.coeffs.as_slice()[..n]),
+                constant,
+            ))
+        };
+        let lower = self.lower.iter().map(&fold).collect::<Result<Vec<_>>>()?;
+        let upper = self.upper.iter().map(&fold).collect::<Result<Vec<_>>>()?;
+        LoopNest::new(
+            self.index_names.clone(),
+            lower,
+            upper,
+            self.arrays.clone(),
+            self.body.clone(),
+        )
+    }
+
+    /// Stable structural hash of the nest **shape** — index/parameter
+    /// arity and names, bound coefficient rows, array declarations, and
+    /// the full body structure. Two nests compare equal iff they hash
+    /// equal up to collisions, so caches key on this and verify with
+    /// `==` on hit (see `pdm-runtime`'s `PlanCache`). FNV-1a, stable
+    /// across processes and platforms.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(self.index_names.len() as u64);
+        for name in self.index_names.iter().chain(&self.param_names) {
+            h.bytes(name.as_bytes());
+        }
+        h.word(self.param_names.len() as u64);
+        for e in self.lower.iter().chain(&self.upper) {
+            h.expr(e);
+        }
+        h.word(self.arrays.len() as u64);
+        for a in &self.arrays {
+            h.bytes(a.name.as_bytes());
+            h.word(a.dims as u64);
+        }
+        h.word(self.body.len() as u64);
+        for stmt in &self.body {
+            h.aref(&stmt.lhs);
+            h.body_expr(&stmt.rhs);
+        }
+        h.finish()
     }
 
     /// Declared arrays.
@@ -147,8 +282,11 @@ impl LoopNest {
     }
 
     /// The iteration polyhedron `{ i : l_k ≤ i_k ≤ u_k }` as a constraint
-    /// system over the `n` indices.
+    /// system over the `n` indices. Concrete nests only: a symbolic nest
+    /// gets [`IrError::UnboundParameter`] (use
+    /// [`LoopNest::symbolic_system`] or substitute first).
     pub fn iteration_system(&self) -> Result<System> {
+        self.require_concrete()?;
         let n = self.depth();
         let mut sys = System::universe(n);
         for k in 0..n {
@@ -163,9 +301,32 @@ impl LoopNest {
         Ok(sys)
     }
 
+    /// The iteration polyhedron over `(indices, parameters)`: a system of
+    /// `depth + params` columns, loop indices first. Parameter columns
+    /// are ordinary (free) variables of the system; planning eliminates
+    /// only the index columns and carries the parameter columns into the
+    /// extracted bound rows ([`pdm_poly::bounds::LoopBounds`] with
+    /// trailing parameter columns). For a concrete nest this is exactly
+    /// [`LoopNest::iteration_system`].
+    pub fn symbolic_system(&self) -> Result<System> {
+        let n = self.depth();
+        let w = n + self.param_names.len();
+        let mut sys = System::universe(w);
+        for k in 0..n {
+            let ik = AffineExpr::var(w, k);
+            sys.add_ge0(ik.sub(&self.lower[k]).map_err(IrError::Matrix)?)
+                .map_err(IrError::Matrix)?;
+            sys.add_ge0(self.upper[k].sub(&ik).map_err(IrError::Matrix)?)
+                .map_err(IrError::Matrix)?;
+        }
+        Ok(sys)
+    }
+
     /// Global inclusive `(min, max)` range of every loop variable over the
     /// iteration polyhedron, computed by Fourier–Motzkin projection.
-    /// Errors with `Unbounded` when a direction has no finite bound.
+    /// Errors with `Unbounded` when a direction has no finite bound, and
+    /// with [`IrError::UnboundParameter`] on symbolic nests (a symbolic
+    /// range has no integer endpoints to report).
     pub fn index_ranges(&self) -> Result<Vec<(i64, i64)>> {
         let n = self.depth();
         let sys = self.iteration_system()?;
@@ -197,6 +358,7 @@ impl LoopNest {
     }
 
     /// Enumerate the iteration vectors in lexicographic (execution) order.
+    /// Concrete nests only ([`IrError::UnboundParameter`] otherwise).
     pub fn iterations(&self) -> Result<Vec<IVec>> {
         let sys = self.iteration_system()?;
         let b = LoopBounds::from_system(&sys).map_err(IrError::Matrix)?;
@@ -245,6 +407,92 @@ impl LoopNest {
             }
         }
         out
+    }
+}
+
+/// FNV-1a folding over the nest structure (see
+/// [`LoopNest::structural_hash`]): deliberately hand-rolled instead of
+/// `std::hash::Hash` so the value is stable across processes, platforms,
+/// and std versions — it is a cache key, not an in-process table hash.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        self.word(bs.len() as u64);
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn expr(&mut self, e: &AffineExpr) {
+        self.word(e.dim() as u64);
+        for &c in e.coeffs.iter() {
+            self.word(c as u64);
+        }
+        self.word(e.constant as u64);
+    }
+    fn aref(&mut self, r: &ArrayRef) {
+        self.word(r.array.0 as u64);
+        self.word(r.access.depth() as u64);
+        self.word(r.access.dims() as u64);
+        for k in 0..r.access.depth() {
+            for d in 0..r.access.dims() {
+                self.word(r.access.matrix.get(k, d) as u64);
+            }
+        }
+        for &o in r.access.offset.iter() {
+            self.word(o as u64);
+        }
+    }
+    fn body_expr(&mut self, e: &crate::expr::Expr) {
+        use crate::expr::Expr;
+        match e {
+            Expr::Const(c) => {
+                self.byte(1);
+                self.word(*c as u64);
+            }
+            Expr::Index(k) => {
+                self.byte(2);
+                self.word(*k as u64);
+            }
+            Expr::Read(r) => {
+                self.byte(3);
+                self.aref(r);
+            }
+            Expr::Add(a, b) => {
+                self.byte(4);
+                self.body_expr(a);
+                self.body_expr(b);
+            }
+            Expr::Sub(a, b) => {
+                self.byte(5);
+                self.body_expr(a);
+                self.body_expr(b);
+            }
+            Expr::Mul(a, b) => {
+                self.byte(6);
+                self.body_expr(a);
+                self.body_expr(b);
+            }
+            Expr::Neg(a) => {
+                self.byte(7);
+                self.body_expr(a);
+            }
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -348,6 +596,113 @@ mod tests {
         assert!(bad.is_err());
         // Zero depth.
         assert!(LoopNest::new(vec![], vec![], vec![], vec![], vec![]).is_err());
+    }
+
+    fn symbolic_chain() -> LoopNest {
+        crate::parse::parse_loop_symbolic("for i = 1..=N { A[i] = A[i - 1] + 1; }", &["N"]).unwrap()
+    }
+
+    #[test]
+    fn symbolic_nest_rejects_concrete_apis_with_typed_error() {
+        let nest = symbolic_chain();
+        assert!(nest.is_symbolic());
+        assert_eq!(nest.param_names(), &["N".to_string()]);
+        for err in [
+            nest.iteration_system().unwrap_err(),
+            nest.index_ranges().unwrap_err(),
+            nest.iterations().unwrap_err(),
+        ] {
+            match err {
+                IrError::UnboundParameter { name } => assert_eq!(name, "N"),
+                other => panic!("expected UnboundParameter, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn substitute_lowers_to_the_concrete_nest() {
+        let nest = symbolic_chain();
+        let conc = nest.substitute(&[("N", 7)]).unwrap();
+        assert!(!conc.is_symbolic());
+        assert_eq!(conc.iterations().unwrap().len(), 7);
+        // Missing and unknown bindings are loud, typed errors.
+        assert!(matches!(
+            nest.substitute(&[]),
+            Err(IrError::UnboundParameter { .. })
+        ));
+        assert!(matches!(
+            nest.substitute(&[("N", 7), ("M", 1)]),
+            Err(IrError::Invalid(_))
+        ));
+        // Substituting an empty valuation into a concrete nest is the
+        // identity.
+        assert_eq!(conc.substitute(&[]).unwrap(), conc);
+    }
+
+    #[test]
+    fn symbolic_system_spans_indices_and_params() {
+        let nest = symbolic_chain();
+        let sys = nest.symbolic_system().unwrap();
+        assert_eq!(sys.dim(), 2); // i and N
+                                  // i - 1 >= 0 and N - i >= 0.
+        assert!(sys.contains(&[3, 5]).unwrap());
+        assert!(!sys.contains(&[6, 5]).unwrap());
+        assert!(!sys.contains(&[0, 5]).unwrap());
+        // On a concrete nest it coincides with iteration_system.
+        let conc = nest.substitute(&[("N", 5)]).unwrap();
+        assert_eq!(
+            conc.symbolic_system().unwrap(),
+            conc.iteration_system().unwrap()
+        );
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_shapes_not_sizes() {
+        let a = symbolic_chain();
+        let b = crate::parse::parse_loop_symbolic("for i = 1..=N { A[i] = A[i - 1] + 1; }", &["N"])
+            .unwrap();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_eq!(a, b);
+        let c = crate::parse::parse_loop_symbolic("for i = 1..=N { A[i] = A[i - 2] + 1; }", &["N"])
+            .unwrap();
+        assert_ne!(a.structural_hash(), c.structural_hash());
+        // Substitution changes the shape (bounds become concrete).
+        assert_ne!(
+            a.structural_hash(),
+            a.substitute(&[("N", 9)]).unwrap().structural_hash()
+        );
+    }
+
+    #[test]
+    fn parameter_shadowing_index_rejected() {
+        let err = LoopNest::new_symbolic(
+            vec!["i".into()],
+            vec!["i".into()],
+            vec![AffineExpr::constant(2, 0)],
+            vec![AffineExpr::constant(2, 3)],
+            vec![],
+            vec![],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn duplicate_parameter_rejected() {
+        // A duplicate name would leave a dead trailing column (every
+        // occurrence resolves to the first) and fork the structural hash
+        // of an otherwise-identical shape.
+        let err = LoopNest::new_symbolic(
+            vec!["i".into()],
+            vec!["N".into(), "N".into()],
+            vec![AffineExpr::constant(3, 0)],
+            vec![AffineExpr::constant(3, 3)],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(err, Err(IrError::Invalid(_))));
+        assert!(
+            crate::parse::parse_loop_symbolic("for i = 0..=N { A[i] = 1; }", &["N", "N"]).is_err()
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub fn normalize(stepped: &SteppedNest) -> Result<LoopNest> {
         })
         .collect();
 
-    // New bounds.
+    // New bounds (bound expressions span depth + param columns; the
+    // strided levels require constant bounds, checked above).
+    let width = n + nest.param_names().len();
     let mut lower = Vec::with_capacity(n);
     let mut upper = Vec::with_capacity(n);
     for k in 0..n {
@@ -88,8 +90,8 @@ pub fn normalize(stepped: &SteppedNest) -> Result<LoopNest> {
             let lo = nest.lower(k).constant;
             let hi = nest.upper(k).constant;
             let count = floor_div(hi - lo, s).map_err(IrError::Matrix)?;
-            lower.push(AffineExpr::constant(n, 0));
-            upper.push(AffineExpr::constant(n, count));
+            lower.push(AffineExpr::constant(width, 0));
+            upper.push(AffineExpr::constant(width, count));
         }
     }
 
@@ -107,21 +109,30 @@ pub fn normalize(stepped: &SteppedNest) -> Result<LoopNest> {
         .collect::<Result<_>>()?;
 
     let arrays: Vec<ArrayDecl> = nest.arrays().to_vec();
-    LoopNest::new(nest.index_names().to_vec(), lower, upper, arrays, body)
+    LoopNest::new_symbolic(
+        nest.index_names().to_vec(),
+        nest.param_names().to_vec(),
+        lower,
+        upper,
+        arrays,
+        body,
+    )
 }
 
 fn substitute_expr(e: &AffineExpr, steps: &[i64], bases: &[i64]) -> Result<AffineExpr> {
     // i_k = base_k + s_k * i'_k  =>  coeff_k * i_k = (coeff_k * s_k) i'_k
-    // + coeff_k * base_k.
-    let n = e.dim();
-    let mut coeffs = IVec::zeros(n);
+    // + coeff_k * base_k. Bound expressions may be wider than the loop
+    // depth (trailing symbolic-parameter columns); those columns pass
+    // through untouched — parameters are not strided.
+    let n = steps.len();
+    let mut coeffs = IVec::zeros(e.dim());
     let mut constant = e.constant;
-    for k in 0..n {
+    for k in 0..e.dim() {
         let c = e.coeff(k);
         if c == 0 {
             continue;
         }
-        if steps[k] == 1 {
+        if k >= n || steps[k] == 1 {
             coeffs[k] += c;
         } else {
             coeffs[k] += c * steps[k];

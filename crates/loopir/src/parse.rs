@@ -15,7 +15,13 @@
 //! `affine` positions (bounds, subscripts) must reduce to linear forms in
 //! the loop indices plus named parameters; body expressions are arbitrary
 //! `+ - *` arithmetic. `a..b` is exclusive, `a..=b` inclusive (the paper's
-//! `do i = l, u`). Parameters let workloads stay symbolic:
+//! `do i = l, u`).
+//!
+//! # Two ways to bind parameters
+//!
+//! **Substituting** ([`parse_loop_with`]) folds an integer valuation into
+//! the nest at parse time — the historical flow, one parse + one plan per
+//! problem size:
 //!
 //! ```
 //! use pdm_loopir::parse::parse_loop_with;
@@ -24,6 +30,26 @@
 //!     &[("N", 100)],
 //! ).unwrap();
 //! assert_eq!(nest.iterations().unwrap().len(), 100);
+//! ```
+//!
+//! **Symbolic** ([`parse_loop_symbolic`]) keeps the named parameters as
+//! live columns of the bound expressions, producing one nest *shape* that
+//! `pdm-core` plans once (`PlanTemplate`) and instantiates per size with
+//! no re-analysis — the template → instantiate flow. Parameters may
+//! appear only in loop **bounds**: the dependence analysis reads
+//! subscripts, and keeping those parameter-free is what makes a single
+//! symbolic plan valid for every instantiation.
+//!
+//! ```
+//! use pdm_loopir::parse::parse_loop_symbolic;
+//! let shape = parse_loop_symbolic(
+//!     "for i = 0..N { A[2*i] = A[i] + 1; }",
+//!     &["N"],
+//! ).unwrap();
+//! for n in [10, 100] {
+//!     let nest = shape.substitute(&[("N", n)]).unwrap();
+//!     assert_eq!(nest.iterations().unwrap().len(), n as usize);
+//! }
 //! ```
 
 use crate::access::{AffineAccess, ArrayId};
@@ -55,6 +81,30 @@ pub fn parse_loop_stepped(src: &str) -> Result<crate::normalize::SteppedNest> {
     parse_loop_stepped_with(src, &[])
 }
 
+/// Parse a nest keeping the named parameters **symbolic** in its loop
+/// bounds: the result is one nest *shape* ([`LoopNest::is_symbolic`])
+/// whose bound expressions carry a column per parameter, ready for
+/// template planning; lower it per problem size with
+/// [`LoopNest::substitute`]. A parameter occurring anywhere except a
+/// bound (subscript, body expression, `step` clause) is a parse error —
+/// symbolic nests keep the dependence structure size-independent by
+/// construction. `step` clauses are normalized away as usual.
+pub fn parse_loop_symbolic(src: &str, params: &[&str]) -> Result<LoopNest> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+        params: HashMap::new(),
+        symbolic: params.iter().map(|s| s.to_string()).collect(),
+        index_names: Vec::new(),
+        headers: Vec::new(),
+        arrays: Vec::new(),
+    };
+    let stepped = p.parse_nest()?;
+    crate::normalize::normalize(&stepped)
+}
+
 /// [`parse_loop_stepped`] with parameters.
 pub fn parse_loop_stepped_with(
     src: &str,
@@ -66,6 +116,7 @@ pub fn parse_loop_stepped_with(
         pos: 0,
         src_len: src.len(),
         params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        symbolic: Vec::new(),
         index_names: Vec::new(),
         headers: Vec::new(),
         arrays: Vec::new(),
@@ -326,7 +377,11 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     src_len: usize,
+    /// Concrete parameters, substituted wherever they occur.
     params: HashMap<String, i64>,
+    /// Symbolic parameters, kept as bound columns (ordered; defines the
+    /// column layout of the resulting nest's bound expressions).
+    symbolic: Vec<String>,
     index_names: Vec<String>,
     headers: Vec<Header>,
     arrays: Vec<ArrayDecl>,
@@ -383,14 +438,15 @@ impl Parser {
             return Err(self.err("trailing input after loop nest".into()));
         }
 
-        // Convert headers to affine bounds.
+        // Convert headers to affine bounds (index columns first, one
+        // trailing column per symbolic parameter).
         let n = self.index_names.len();
         let mut lower = Vec::with_capacity(n);
         let mut upper = Vec::with_capacity(n);
         for k in 0..n {
             let h = &self.headers[k];
-            let lo = self.lin_to_affine(&h.lo, n, Some(k), h.at)?;
-            let mut hi = self.lin_to_affine(&h.hi, n, Some(k), h.at)?;
+            let lo = self.lin_to_affine(&h.lo, n, Some(k), true, h.at)?;
+            let mut hi = self.lin_to_affine(&h.hi, n, Some(k), true, h.at)?;
             if !h.inclusive {
                 // a..b means <= b-1.
                 hi.constant -= 1;
@@ -400,8 +456,9 @@ impl Parser {
         }
 
         let steps: Vec<i64> = self.headers.iter().map(|h| h.step).collect();
-        let nest = LoopNest::new(
+        let nest = LoopNest::new_symbolic(
             self.index_names.clone(),
+            self.symbolic.clone(),
             lower,
             upper,
             std::mem::take(&mut self.arrays),
@@ -420,7 +477,7 @@ impl Parser {
         if self.index_names.contains(&name) {
             return Err(self.err(format!("duplicate loop index '{name}'")));
         }
-        if self.params.contains_key(&name) {
+        if self.params.contains_key(&name) || self.symbolic.contains(&name) {
             return Err(self.err(format!("loop index '{name}' shadows a parameter")));
         }
         self.expect(Tok::Assign, "'='")?;
@@ -474,16 +531,25 @@ impl Parser {
     }
 
     /// Convert a named linear form to an [`AffineExpr`] over the loop
-    /// indices. `bound_level` restricts which indices may appear (only
+    /// indices (plus, when `allow_params`, the symbolic parameter
+    /// columns). `bound_level` restricts which indices may appear (only
     /// strictly-outer ones for a bound at that level; `None` = all).
+    /// Symbolic parameters outside a bound position are rejected: the
+    /// dependence analysis must stay size-independent.
     fn lin_to_affine(
         &self,
         lf: &LinForm,
         n: usize,
         bound_level: Option<usize>,
+        allow_params: bool,
         at: usize,
     ) -> Result<AffineExpr> {
-        let mut coeffs = IVec::zeros(n);
+        let width = if allow_params {
+            n + self.symbolic.len()
+        } else {
+            n
+        };
+        let mut coeffs = IVec::zeros(width);
         let mut constant = lf.constant;
         for (name, &c) in &lf.coeffs {
             if c == 0 {
@@ -507,6 +573,14 @@ impl Parser {
                 coeffs[k] += c;
             } else if let Some(&v) = self.params.get(name) {
                 constant += c * v;
+            } else if let Some(j) = self.symbolic.iter().position(|x| x == name) {
+                if !allow_params {
+                    return Err(IrError::Parse {
+                        at,
+                        msg: format!("symbolic parameter '{name}' may only appear in loop bounds"),
+                    });
+                }
+                coeffs[n + j] += c;
             } else {
                 return Err(IrError::Parse {
                     at,
@@ -634,7 +708,7 @@ impl Parser {
         let mut mat = IMat::zeros(n, m);
         let mut off = IVec::zeros(m);
         for (j, lf) in subs.iter().enumerate() {
-            let ae = self.lin_to_affine(lf, n, None, at)?;
+            let ae = self.lin_to_affine(lf, n, None, false, at)?;
             for k in 0..n {
                 mat.set(k, j, ae.coeff(k));
             }
@@ -698,6 +772,10 @@ impl Parser {
                     Ok(Expr::Index(k))
                 } else if let Some(&v) = self.params.get(&name) {
                     Ok(Expr::Const(v))
+                } else if self.symbolic.contains(&name) {
+                    Err(self.err(format!(
+                        "symbolic parameter '{name}' may only appear in loop bounds"
+                    )))
                 } else {
                     Err(self.err(format!("unknown identifier '{name}' in expression")))
                 }
@@ -754,6 +832,53 @@ mod tests {
         assert_eq!(nest.iterations().unwrap().len(), 5);
         // N inside the body becomes the constant 5.
         assert!(format!("{:?}", nest.body()[0].rhs).contains("Const(5)"));
+    }
+
+    #[test]
+    fn symbolic_params_stay_in_bounds() {
+        let nest = parse_loop_symbolic(
+            "for i = 0..=N { for j = 0..=i { A[i, j] = A[j, i] + 1; } }",
+            &["N"],
+        )
+        .unwrap();
+        assert!(nest.is_symbolic());
+        assert_eq!(nest.param_names(), &["N".to_string()]);
+        // Bound exprs carry 3 columns: i, j, N.
+        assert_eq!(nest.upper(0).dim(), 3);
+        assert_eq!(nest.upper(0).coeff(2), 1);
+        let conc = nest.substitute(&[("N", 4)]).unwrap();
+        assert_eq!(conc.iterations().unwrap().len(), 15);
+    }
+
+    #[test]
+    fn symbolic_multi_param_bounds() {
+        let nest =
+            parse_loop_symbolic("for i = M..=N { A[i] = A[i - 1] + 1; }", &["N", "M"]).unwrap();
+        let conc = nest.substitute(&[("M", 2), ("N", 6)]).unwrap();
+        assert_eq!(conc.iterations().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn symbolic_param_rejected_outside_bounds() {
+        // In a subscript.
+        assert!(parse_loop_symbolic("for i = 0..=9 { A[i + N] = 1; }", &["N"]).is_err());
+        // In a body expression.
+        assert!(parse_loop_symbolic("for i = 0..=9 { A[i] = N; }", &["N"]).is_err());
+        // In a step clause.
+        assert!(parse_loop_symbolic("for i = 0..=9 step N { A[i] = 1; }", &["N"]).is_err());
+        // Shadowing a loop index.
+        assert!(parse_loop_symbolic("for N = 0..=9 { A[N] = 1; }", &["N"]).is_err());
+    }
+
+    #[test]
+    fn symbolic_and_substituted_parses_agree() {
+        let src = "for i = 1..N { for j = 0..=i { A[i, j] = A[i - 1, j] + 1; } }";
+        let sym = parse_loop_symbolic(src, &["N"]).unwrap();
+        for n in [1i64, 2, 7, 12] {
+            let a = sym.substitute(&[("N", n)]).unwrap();
+            let b = parse_loop_with(src, &[("N", n)]).unwrap();
+            assert_eq!(a, b, "N={n}");
+        }
     }
 
     #[test]

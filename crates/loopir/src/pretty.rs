@@ -7,7 +7,10 @@ use std::fmt::Write as _;
 /// Render a nest as indented `for`-loop text with the original index and
 /// array names (the inverse of [`crate::parse::parse_loop`] up to layout).
 pub fn render(nest: &LoopNest) -> String {
-    let names: Vec<String> = nest.index_names().to_vec();
+    // Bound expressions span index columns then parameter columns, so
+    // symbolic nests render their parameters by name.
+    let mut names: Vec<String> = nest.index_names().to_vec();
+    names.extend(nest.param_names().iter().cloned());
     let mut out = String::new();
     for k in 0..nest.depth() {
         let indent = "  ".repeat(k);

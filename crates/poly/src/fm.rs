@@ -43,6 +43,17 @@
 //! greedy — the candidate minimizing `#lower · #upper` produces the
 //! fewest combined rows. The projection itself is order-independent, so
 //! callers supply a *set* of variables.
+//!
+//! # Parameter columns
+//!
+//! Elimination only ever touches the variable it is stepping: columns a
+//! caller never passes — the **parameter columns** of a symbolic
+//! pipeline (`LoopBounds::from_system_parametric` eliminates loop
+//! indices only) — are carried verbatim through every combination, so
+//! the projected system stays exact *as a function of the parameters*.
+//! The Kohler history rule and exact pruning remain sound in that
+//! reading: both certify implications that hold with parameters as free
+//! variables, hence for every instantiation.
 
 use crate::expr::AffineExpr;
 use crate::system::{negate_ge0, normalize_ge0, System};

@@ -21,6 +21,17 @@
 //!   conservative in the other direction: a rationally feasible test
 //!   system keeps the constraint even when the violating points are all
 //!   fractional.
+//!
+//! # Parameter columns
+//!
+//! A [`System`] is variable-agnostic: columns acquire meaning only from
+//! their consumers. Symbolic (parametric) pipelines exploit that by
+//! laying out loop indices first and named parameters after
+//! (`pdm_loopir`'s `LoopNest::symbolic_system`), then eliminating only
+//! the index columns — parameters ride through combination, gcd
+//! normalization, and pruning untouched, and pruning decisions made with
+//! parameters as free variables hold for every valuation (see
+//! [`crate::bounds`]'s parametric section).
 
 use crate::expr::AffineExpr;
 use pdm_matrix::gcd::gcd_slice;

@@ -36,6 +36,11 @@
 //!   arithmetic group counting, `k`-th-group seeking, range splitting
 //!   (`PDM_CHUNKS_PER_THREAD`), and the live-group instrumentation the
 //!   allocation-spike regression test reads;
+//! * [`template`] — parametric serving: lower a `pdm-core`
+//!   `PlanTemplate` at a size to a ready-to-run
+//!   [`template::CompiledInstance`] (no re-analysis, no FM), with an LRU
+//!   [`template::PlanCache`] keyed by nest structural hash so heavy
+//!   traffic over one kernel shape pays planning once;
 //! * [`memory`] — integer array storage sized from the nest's access
 //!   footprint (conservative interval arithmetic over the iteration
 //!   polyhedron), with a `Sync` shared view for `doall` execution;
@@ -59,11 +64,13 @@ pub mod exec;
 pub mod memory;
 pub mod program;
 pub mod schedule;
+pub mod template;
 
 pub use compile::{CompiledNest, CompiledPlan};
 pub use exec::{run_parallel, run_sequential, run_transformed_sequential};
 pub use memory::Memory;
 pub use schedule::{GroupCursor, Schedule};
+pub use template::{CompiledInstance, InstantiateCompiled, PlanCache};
 
 /// Errors from execution.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -33,6 +33,28 @@
 //! assert!(report.equal);
 //! ```
 //!
+//! ## Serving many sizes of one kernel
+//!
+//! The transformation is valid for any loop bounds, so one kernel shape
+//! can be planned **once** and re-bounded per problem size — no repeated
+//! dependence testing or Fourier–Motzkin:
+//!
+//! ```
+//! use vardep_loops::prelude::*;
+//!
+//! let shape = parse_loop_symbolic(
+//!     "for i1 = 0..N { for i2 = 0..N {
+//!        A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+//!     } }",
+//!     &["N"],
+//! ).unwrap();
+//! let template = plan_template(&shape).unwrap();   // analysis + FM, once
+//! for n in [10i64, 1000] {
+//!     let plan = template.instantiate(&[("N", n)]).unwrap(); // no FM
+//!     assert_eq!(plan.partition_count(), 2);
+//! }
+//! ```
+//!
 //! Crate map: [`matrix`] (exact integer linear algebra), [`poly`]
 //! (Fourier–Motzkin), [`loopir`] (nest IR + DSL), [`core`] (the paper's
 //! analysis and transformations), [`runtime`] (rayon execution),
@@ -53,10 +75,12 @@ pub mod prelude {
     pub use pdm_core::pdm::PdmAnalysis;
     pub use pdm_core::pipeline::{analyze, parallelize};
     pub use pdm_core::plan::ParallelPlan;
+    pub use pdm_core::template::{plan_template, PlanTemplate};
     pub use pdm_isdg::graph::Isdg;
     pub use pdm_loopir::nest::LoopNest;
-    pub use pdm_loopir::parse::{parse_loop, parse_loop_with};
+    pub use pdm_loopir::parse::{parse_loop, parse_loop_symbolic, parse_loop_with};
     pub use pdm_matrix::{IMat, IVec, Lattice, Unimodular};
     pub use pdm_runtime::exec::{run_parallel, run_sequential};
     pub use pdm_runtime::memory::Memory;
+    pub use pdm_runtime::template::{InstantiateCompiled, PlanCache};
 }

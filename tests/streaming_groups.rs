@@ -9,11 +9,17 @@
 //! nest, covering both the arithmetic fast path and the cursor-walk
 //! fallback for prefix-dependent bounds.
 
+//! The generator only emits rectangular nests, so the proptests below
+//! exercise `seek(k)`'s prefix-dependent fallback rarely and never at
+//! hand-picked positions; the explicit tests at the bottom pin the edge
+//! cases — triangular (prefix-dependent) bounds at `k = 0`,
+//! `k = group_count − 1`, one past the end, and empty iteration spaces.
+
 use proptest::prelude::*;
 use vardep_loops::loopir::generator::{random_nest, GenConfig};
 use vardep_loops::prelude::*;
 use vardep_loops::runtime::exec;
-use vardep_loops::runtime::schedule::GroupCursor;
+use vardep_loops::runtime::schedule::{group_count, GroupCursor};
 
 /// The pre-streaming enumeration, kept as an independent oracle: build
 /// every prefix level by level, then cross with the offset table.
@@ -132,5 +138,107 @@ proptest! {
         let mut cur = GroupCursor::new(plan.bounds(), z, num_offsets).unwrap();
         prop_assert!(!cur.seek(total).unwrap());
         prop_assert!(cur.current().is_none());
+    }
+}
+
+/// A fully-parallel triangular nest: `z == depth`, prefix-dependent
+/// inner bound, one offset.
+fn triangular_plan(n: i64) -> ParallelPlan {
+    let nest = parse_loop_with(
+        "for i = 0..=N { for j = 0..=i { A[i, j] = i + j; } }",
+        &[("N", n)],
+    )
+    .unwrap();
+    let plan = parallelize(&nest).unwrap();
+    assert_eq!(plan.doall_count(), 2, "triangle must be all-doall");
+    plan
+}
+
+/// `seek(k)` edge positions on prefix-dependent (triangular) bounds:
+/// first group, last group, one past the end, and far past the end —
+/// the positions the generator-driven proptest never pins by hand.
+#[test]
+fn seek_edges_on_triangular_bounds() {
+    let plan = triangular_plan(8);
+    let z = plan.doall_count();
+    let total = group_count(plan.bounds(), z, 1).unwrap();
+    assert_eq!(total, 45, "1 + 2 + … + 9 prefixes");
+
+    // k = 0: the first group, identical to a fresh cursor.
+    let mut cur = GroupCursor::new(plan.bounds(), z, 1).unwrap();
+    assert!(cur.seek(0).unwrap());
+    assert_eq!(cur.current().unwrap(), (&[0i64, 0][..], 0));
+    assert_eq!(cur.position(), 0);
+
+    // k = group_count − 1: the last group; advancing exhausts.
+    let mut cur = GroupCursor::new(plan.bounds(), z, 1).unwrap();
+    assert!(cur.seek(total - 1).unwrap());
+    assert_eq!(cur.current().unwrap(), (&[8i64, 8][..], 0));
+    assert!(!cur.advance().unwrap());
+    assert!(cur.is_exhausted());
+
+    // k = group_count: one past the end exhausts without panicking.
+    let mut cur = GroupCursor::new(plan.bounds(), z, 1).unwrap();
+    assert!(!cur.seek(total).unwrap());
+    assert!(cur.current().is_none());
+
+    // Far past the end behaves the same.
+    let mut cur = GroupCursor::new(plan.bounds(), z, 1).unwrap();
+    assert!(!cur.seek(total + 1_000).unwrap());
+    assert!(cur.current().is_none());
+}
+
+/// The same edges with a non-trivial offset table crossed in (offset
+/// indices decompose `k` as `prefix_ordinal × num_offsets + offset`).
+#[test]
+fn seek_edges_on_triangular_bounds_with_offsets() {
+    let plan = triangular_plan(6);
+    let z = plan.doall_count();
+    let noff = 3usize;
+    let total = group_count(plan.bounds(), z, noff).unwrap();
+    assert_eq!(total, 28 * 3);
+
+    let mut cur = GroupCursor::new(plan.bounds(), z, noff).unwrap();
+    assert!(cur.seek(0).unwrap());
+    assert_eq!(cur.current().unwrap(), (&[0i64, 0][..], 0));
+
+    let mut cur = GroupCursor::new(plan.bounds(), z, noff).unwrap();
+    assert!(cur.seek(total - 1).unwrap());
+    assert_eq!(cur.current().unwrap(), (&[6i64, 6][..], noff - 1));
+    assert!(!cur.advance().unwrap());
+
+    let mut cur = GroupCursor::new(plan.bounds(), z, noff).unwrap();
+    assert!(!cur.seek(total).unwrap());
+    assert!(cur.current().is_none());
+}
+
+/// Empty iteration spaces: zero groups, an immediately-exhausted
+/// cursor, and `seek` returning `false` at every position including 0.
+#[test]
+fn empty_iteration_space_nests() {
+    for (src, n) in [
+        // Outer range empty.
+        ("for i = 0..N { A[i] = i; }", 0i64),
+        ("for i = 0..N { A[i] = i; }", -4),
+        // Outer nonempty, *every* inner triangular range empty.
+        ("for i = 2..N { for j = i..=1 { A[i, j] = 1; } }", 5),
+    ] {
+        let nest = parse_loop_with(src, &[("N", n)]).unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let noff = plan.partition().map_or(1, |p| p.offsets().len());
+        let z = plan.doall_count();
+        let total = group_count(plan.bounds(), z, noff).unwrap();
+        assert_eq!(total, 0, "{src} N={n}");
+        let mut cur = GroupCursor::new(plan.bounds(), z, noff).unwrap();
+        assert!(cur.current().is_none(), "{src} N={n}");
+        assert!(!cur.advance().unwrap());
+        for k in [0u64, 1, 7] {
+            let mut cur = GroupCursor::new(plan.bounds(), z, noff).unwrap();
+            assert!(!cur.seek(k).unwrap(), "{src} N={n} seek({k})");
+            assert!(cur.is_exhausted());
+        }
+        // And the executors agree there is nothing to do.
+        let mem = Memory::for_nest(&nest).unwrap();
+        assert_eq!(run_parallel(&nest, &plan, &mem).unwrap(), 0);
     }
 }
