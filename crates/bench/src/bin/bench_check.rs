@@ -1,6 +1,6 @@
 //! CI perf-regression gate: re-measure the `BENCH_runtime.json`,
-//! `BENCH_fm.json`, `BENCH_groups.json`, and `BENCH_template.json`
-//! workloads and fail when a gated metric drops below the committed
+//! `BENCH_fm.json`, `BENCH_groups.json`, `BENCH_template.json`, and
+//! `BENCH_imperfect.json` workloads and fail when a gated metric drops below the committed
 //! snapshot by more than its tolerance (25% for deterministic count
 //! ratios, 40% for timing-based speedups — see `pdm_bench::perf`).
 //! Per-metric deltas are printed even on green runs so drifts stay
@@ -92,6 +92,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let committed_imperfect = match committed_metrics("BENCH_imperfect.json") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("bench_check: re-measuring runtime throughput...");
     let runtime_fresh = perf::runtime_json(&perf::runtime_cases());
@@ -102,6 +109,8 @@ fn main() -> ExitCode {
     let groups_fresh = perf::groups_json(&perf::groups_cases());
     println!("bench_check: re-measuring template instantiation...");
     let template_fresh = perf::template_json(&perf::template_cases());
+    println!("bench_check: re-measuring imperfect-nest pipelines...");
+    let imperfect_fresh = perf::imperfect_json(&perf::imperfect_cases());
 
     let mut regressions = Vec::new();
     for (label, committed, fresh) in [
@@ -112,6 +121,11 @@ fn main() -> ExitCode {
             "BENCH_template",
             &committed_template,
             template_fresh.as_str(),
+        ),
+        (
+            "BENCH_imperfect",
+            &committed_imperfect,
+            imperfect_fresh.as_str(),
         ),
     ] {
         match check(label, committed, fresh, strict) {
@@ -145,7 +159,7 @@ fn main() -> ExitCode {
         }
         eprintln!(
             "(intentional? regenerate the snapshots with bench_runtime / bench_fm / \
-             bench_groups / bench_template)"
+             bench_groups / bench_template / bench_imperfect)"
         );
         ExitCode::FAILURE
     }

@@ -1,0 +1,26 @@
+//! Imperfect-nest snapshot: normalized staged execution vs. the
+//! whole-nest sequential reference, written to `BENCH_imperfect.json`.
+//!
+//! ```sh
+//! cargo run --release -p pdm-bench --bin bench_imperfect
+//! ```
+//!
+//! Cases:
+//! * `lu_n72` — the LU-style three-depth nest (dependence cycle through
+//!   the outer loop ⇒ full code sinking into one guarded kernel);
+//! * `rowinit_n480` — initialization prologue + row recurrence
+//!   (fissions into two kernels, the second with an outer doall).
+//!
+//! The gated metric is `imperfect_speedup` — compiled staged-parallel
+//! over the interpreted whole-nest reference, both measured here on the
+//! same host — checked by `bench_check` with the timing tolerance.
+
+use pdm_bench::perf;
+
+fn main() {
+    println!("bench_imperfect: measuring imperfect-nest pipelines...");
+    let cases = perf::imperfect_cases();
+    let json = perf::imperfect_json(&cases);
+    std::fs::write("BENCH_imperfect.json", &json).expect("write BENCH_imperfect.json");
+    println!("\nwrote BENCH_imperfect.json:\n{json}");
+}

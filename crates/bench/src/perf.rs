@@ -753,6 +753,151 @@ pub fn template_json(cases: &[TemplateCase]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Imperfect nests: normalized staged execution vs. whole-nest reference.
+// ---------------------------------------------------------------------
+
+/// One imperfect-nest case (times in seconds). The headline ratio —
+/// fissioned/normalized **compiled staged-parallel** execution vs. the
+/// **whole-nest sequential** reference interpreter — is the end-to-end
+/// win a user gets from normalization + compilation together, measured
+/// on the same host in the same run (`imperfect_speedup`, gated).
+pub struct ImperfectCase {
+    /// Case label (stable across runs; used as the JSON metric path).
+    pub name: &'static str,
+    /// Kernels after normalization.
+    pub kernels: usize,
+    /// Barriers in the staged schedule (DAG stage boundaries).
+    pub barriers: usize,
+    /// Statement executions of the reference walk.
+    pub stmt_execs: u64,
+    /// Whole-nest sequential reference (imperfect interpreter).
+    pub t_reference: f64,
+    /// Fissioned kernels in order, interpreted sequentially.
+    pub t_fission_seq: f64,
+    /// Staged compiled-parallel execution.
+    pub t_compiled_par: f64,
+}
+
+fn run_imperfect_case(name: &'static str, src: &str) -> ImperfectCase {
+    use pdm_loopir::parse::parse_imperfect;
+    use pdm_runtime::staged;
+
+    let imp = parse_imperfect(src).expect("imperfect source parses");
+    let pp = pdm_core::program::parallelize_program(&imp).expect("program plan");
+    // Refuse to time a divergent pipeline.
+    let rep = pdm_runtime::equivalence::compare_program(&imp, &pp, 1).expect("execute");
+    assert!(
+        rep.all_equal(),
+        "{name}: executors diverged — refusing to time"
+    );
+
+    let mut mem = Memory::for_imperfect(&imp).expect("alloc");
+    mem.init_deterministic(1);
+    let t_reference = best(RUNTIME_REPS, || {
+        staged::run_imperfect_sequential(&imp, &mem).unwrap()
+    });
+    let t_fission_seq = best(RUNTIME_REPS, || {
+        staged::run_program_sequential(&pp, &mem).unwrap()
+    });
+    let compiled = staged::CompiledProgram::compile(&pp, &mem).expect("compile");
+    let t_compiled_par = best(RUNTIME_REPS, || compiled.run_parallel(&mem).unwrap());
+
+    ImperfectCase {
+        name,
+        kernels: pp.kernel_count(),
+        barriers: pp.barrier_count(),
+        stmt_execs: rep.reference_stmts,
+        t_reference,
+        t_fission_seq,
+        t_compiled_par,
+    }
+}
+
+/// The LU-style nest of `examples/imperfect_lu.rs` at size `n`
+/// (statements at three depths; normalization must sink).
+pub fn imperfect_lu_src(n: i64) -> String {
+    format!(
+        "for k = 0..={kmax} {{
+           A[k, k] = A[k, k] + 1;
+           for i = k + 1..={imax} {{
+             A[i, k] = A[i, k] * A[k, k];
+             for j = k + 1..={imax} {{
+               A[i, j] = A[i, j] - A[i, k] * A[k, j];
+             }}
+           }}
+         }}",
+        kmax = n - 2,
+        imax = n - 1,
+    )
+}
+
+/// A row-recurrence with an initialization prologue: normalization
+/// fissions it into an init kernel plus a row kernel whose outer loop is
+/// doall — the shape where staged parallelism pays.
+pub fn imperfect_rowinit_src(n: i64) -> String {
+    format!(
+        "for i = 0..={n} {{
+           B[i, 0] = i;
+           for j = 1..={n} {{ A[i, j] = A[i, j - 1] + B[i, 0]; }}
+         }}"
+    )
+}
+
+/// Measure every imperfect case, printing one summary line per case.
+pub fn imperfect_cases() -> Vec<ImperfectCase> {
+    let lu = imperfect_lu_src(72);
+    let rowinit = imperfect_rowinit_src(480);
+    let cases = vec![
+        run_imperfect_case("lu_n72", &lu),
+        run_imperfect_case("rowinit_n480", &rowinit),
+    ];
+    for c in &cases {
+        println!(
+            "{:<14} kernels {} barriers {}  ref {:>9.0} stmts/s  fission-seq {:>9.0}  compiled-par {:>9.0} ({:4.1}x)",
+            c.name,
+            c.kernels,
+            c.barriers,
+            c.stmt_execs as f64 / c.t_reference,
+            c.stmt_execs as f64 / c.t_fission_seq,
+            c.stmt_execs as f64 / c.t_compiled_par,
+            c.t_reference / c.t_compiled_par,
+        );
+    }
+    cases
+}
+
+/// Serialize imperfect cases into the committed `BENCH_imperfect.json`
+/// shape. `imperfect_speedup` (reference ÷ compiled staged-parallel,
+/// same host, same run) is the gated metric.
+pub fn imperfect_json(cases: &[ImperfectCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"imperfect_nests\",\n");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!("  \"threads\": {threads},\n  \"cases\": [\n"));
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kernels\": {}, \"barriers\": {}, \
+             \"stmt_execs\": {}, \
+             \"reference_stmts_per_s\": {:.0}, \"fission_seq_stmts_per_s\": {:.0}, \
+             \"compiled_par_stmts_per_s\": {:.0}, \
+             \"imperfect_speedup\": {:.3}}}{}\n",
+            c.name,
+            c.kernels,
+            c.barriers,
+            c.stmt_execs,
+            c.stmt_execs as f64 / c.t_reference,
+            c.stmt_execs as f64 / c.t_fission_seq,
+            c.stmt_execs as f64 / c.t_compiled_par,
+            c.t_reference / c.t_compiled_par,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
 // Regression comparison.
 // ---------------------------------------------------------------------
 
@@ -895,6 +1040,19 @@ mod tests {
         let json = template_json(&[c]);
         let metrics = crate::json::parse(&json).unwrap().metrics();
         let key = "cases.t.template_instantiate_speedup";
+        assert!(metrics.iter().any(|(k, v)| k == key && *v > 0.0));
+        assert!(is_gated(key, false), "speedup key must be gated");
+    }
+
+    #[test]
+    fn imperfect_case_measures_and_exposes_gated_metric() {
+        let src = imperfect_rowinit_src(40);
+        let c = run_imperfect_case("t", &src);
+        assert_eq!(c.kernels, 2);
+        assert!(c.t_reference > 0.0 && c.t_compiled_par > 0.0);
+        let json = imperfect_json(&[c]);
+        let metrics = crate::json::parse(&json).unwrap().metrics();
+        let key = "cases.t.imperfect_speedup";
         assert!(metrics.iter().any(|(k, v)| k == key && *v > 0.0));
         assert!(is_gated(key, false), "speedup key must be gated");
     }

@@ -104,17 +104,67 @@ pub fn render_plan(nest: &LoopNest, plan: &ParallelPlan) -> Result<String> {
     }
     let _ = writeln!(out, "{}// {}", pad(indent), subs.join(", "));
     for stmt in nest.body() {
-        let _ = writeln!(
-            out,
-            "{}{} = {};",
-            pad(indent),
+        // Sunk statements carry first/last-iteration guards; render them
+        // as the `when` clauses the DSL parses back.
+        let line = format!(
+            "{} = {}{}",
             render_ref(nest, &stmt.lhs),
-            render_rhs(nest, &stmt.rhs)
+            render_rhs(nest, &stmt.rhs),
+            pdm_loopir::pretty::render_guards(inames, &stmt.guards)
         );
+        let _ = writeln!(out, "{}{line};", pad(indent));
     }
     while indent > 0 {
         indent -= 1;
         let _ = writeln!(out, "{}}}", pad(indent));
+    }
+    Ok(out)
+}
+
+/// Render a multi-kernel [`crate::program::ProgramPlan`]: each barrier
+/// stage lists its
+/// kernels (concurrent within the stage), each kernel rendered with
+/// [`render_plan`] plus a header naming its origin in the imperfect
+/// source and its DAG predecessors.
+pub fn render_program_plan(pp: &crate::program::ProgramPlan) -> Result<String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// program plan: {} kernel(s), {} dependence edge(s), {} barrier(s)",
+        pp.kernel_count(),
+        pp.edges().len(),
+        pp.barrier_count()
+    );
+    for (s, stage) in pp.stages().iter().enumerate() {
+        if s > 0 {
+            let _ = writeln!(out, "// ======== barrier (DAG edge) ========");
+        }
+        let _ = writeln!(
+            out,
+            "// stage {s}: kernels {stage:?} (no dependence path between them)"
+        );
+        for &k in stage {
+            let kp = &pp.kernels()[k];
+            let deps = pp
+                .edges()
+                .iter()
+                .filter(|(_, t)| *t == k)
+                .map(|(f, _)| f.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "// kernel {k} ({:?}, depth {}){}",
+                kp.kernel.origin,
+                kp.nest().depth(),
+                if deps.is_empty() {
+                    String::new()
+                } else {
+                    format!(", after kernel(s) {deps}")
+                }
+            );
+            out.push_str(&render_plan(kp.nest(), &kp.plan)?);
+        }
     }
     Ok(out)
 }
@@ -181,6 +231,30 @@ mod tests {
         let text = render_plan(&nest, &plan).unwrap();
         assert!(text.contains("doall y1 = 0..=9"), "{text}");
         assert!(!text.contains("step"), "{text}");
+    }
+
+    #[test]
+    fn renders_program_plan_with_stages() {
+        let imp = pdm_loopir::parse::parse_imperfect(
+            "for i = 0..=5 { A[i, 0] = i; for j = 1..=5 { A[i, j] = A[i, 0] + j; } }",
+        )
+        .unwrap();
+        let pp = crate::program::parallelize_program(&imp).unwrap();
+        let text = render_program_plan(&pp).unwrap();
+        assert!(text.contains("program plan: 2 kernel(s)"), "{text}");
+        assert!(text.contains("barrier (DAG edge)"), "{text}");
+        assert!(text.contains("after kernel(s) 0"), "{text}");
+    }
+
+    #[test]
+    fn renders_guarded_statements_with_when() {
+        let nest = parse_loop(
+            "for i = 1..=5 { for j = 1..=5 { A[i, j] = A[i, j - 1] + 1 when j == 1; } }",
+        )
+        .unwrap();
+        let plan = parallelize(&nest).unwrap();
+        let text = render_plan(&nest, &plan).unwrap();
+        assert!(text.contains("when j == 1"), "{text}");
     }
 
     #[test]

@@ -28,7 +28,12 @@
 //!    nest shape once ([`template::plan_template`]) and instantiate a
 //!    [`plan::ParallelPlan`] per problem size with no re-analysis and no
 //!    Fourier–Motzkin.
-//! 9. [`codegen`] — render the plan as paper-style `doall` pseudo-code.
+//! 9. [`program`] — the **imperfect-nest** flavour of 7: normalize an
+//!    [`pdm_loopir::imperfect::ImperfectNest`] into perfect kernels,
+//!    plan each, and sequence them by their dependence DAG
+//!    ([`program::parallelize_program`] → [`program::ProgramPlan`]).
+//! 10. [`codegen`] — render plans (and program plans) as paper-style
+//!     `doall` pseudo-code.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,10 +49,12 @@ pub mod partition;
 pub mod pdm;
 pub mod pipeline;
 pub mod plan;
+pub mod program;
 pub mod template;
 
 pub use pdm::{analyze, PdmAnalysis};
 pub use plan::{parallelize, ParallelPlan};
+pub use program::{parallelize_program, KernelPlan, ProgramPlan};
 pub use template::{plan_template, PlanTemplate};
 
 /// Errors of the analysis/transformation pipeline.

@@ -2,6 +2,7 @@
 
 pub use crate::pdm::analyze;
 pub use crate::plan::parallelize;
+pub use crate::program::parallelize_program;
 
 #[cfg(test)]
 mod tests {
@@ -10,5 +11,10 @@ mod tests {
         let nest = pdm_loopir::parse::parse_loop("for i = 0..=3 { A[i] = i; }").unwrap();
         assert_eq!(super::analyze(&nest).unwrap().rank(), 0);
         assert!(super::parallelize(&nest).unwrap().is_fully_parallel());
+        let imp = pdm_loopir::parse::parse_imperfect(
+            "for i = 0..=3 { B[i, 0] = i; for j = 0..=3 { A[i, j] = i + j; } }",
+        )
+        .unwrap();
+        assert_eq!(super::parallelize_program(&imp).unwrap().kernel_count(), 2);
     }
 }

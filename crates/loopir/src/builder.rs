@@ -94,7 +94,7 @@ impl NestBuilder {
 
     /// Append a raw statement.
     pub fn stmt(mut self, lhs: ArrayRef, rhs: Expr) -> Self {
-        self.body.push(Statement { lhs, rhs });
+        self.body.push(Statement::new(lhs, rhs));
         self
     }
 
@@ -114,7 +114,7 @@ impl NestBuilder {
             let r = self.aref(name, subs).expect("stmt_simple: bad read");
             rhs = Expr::add(rhs, Expr::Read(r));
         }
-        self.body.push(Statement { lhs, rhs });
+        self.body.push(Statement::new(lhs, rhs));
         self
     }
 

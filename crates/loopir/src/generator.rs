@@ -4,10 +4,14 @@
 //! dependency on external RNG crates (xorshift64*), so the same seed
 //! reproduces the same nest in every crate that consumes this module.
 
+use crate::access::{AffineAccess, ArrayId};
 use crate::builder::NestBuilder;
 use crate::expr::Expr;
-use crate::nest::LoopNest;
+use crate::imperfect::ImperfectNest;
+use crate::nest::{ArrayDecl, LoopNest};
+use crate::stmt::{ArrayRef, Statement};
 use crate::Result;
+use pdm_matrix::mat::IMat;
 use pdm_matrix::vec::IVec;
 use pdm_poly::expr::AffineExpr;
 
@@ -156,6 +160,80 @@ pub fn random_symbolic_nest(seed: u64, cfg: &GenConfig, params: &[&str]) -> Resu
     )
 }
 
+/// Generate a random **imperfect** nest: a perfect random body (as in
+/// [`random_nest`]) plus `between` statements placed at random levels
+/// before or after the nested loop, each restricted to its level's
+/// visible indices. Bounds mix constant and triangular (outer-index)
+/// uppers, with lower bounds of 0 — every inner loop is non-empty by
+/// construction, so the code-sinking fallback of
+/// [`crate::normalize::to_perfect_kernels`] always applies and the
+/// generator never produces an unnormalizable nest.
+pub fn random_imperfect_nest(seed: u64, cfg: &GenConfig, between: usize) -> Result<ImperfectNest> {
+    let mut rng = Rng::new(seed ^ 0xABCD_1234_5678_9EF1);
+    let n = cfg.depth.max(2);
+    let names: Vec<String> = (1..=n).map(|k| format!("i{k}")).collect();
+    let lower = vec![AffineExpr::constant(n, 0); n];
+    let mut upper = Vec::with_capacity(n);
+    for k in 0..n {
+        let triangular = k > 0 && rng.below(3) == 2;
+        if triangular {
+            // upper = i_outer + c with c ≥ 0: non-empty since lower = 0
+            // and every outer level is itself non-negative.
+            let mut c = IVec::zeros(n);
+            c[rng.below(k)] = 1;
+            upper.push(AffineExpr::new(c, rng.below(3) as i64));
+        } else {
+            upper.push(AffineExpr::constant(n, cfg.extent.max(1)));
+        }
+    }
+    let arrays: Vec<ArrayDecl> = (0..cfg.arrays.max(1))
+        .map(|a| ArrayDecl {
+            name: format!("A{a}"),
+            dims: n,
+        })
+        .collect();
+    // A random access whose subscripts read indices 0..=level only.
+    let aref = |rng: &mut Rng, level: usize| -> Result<ArrayRef> {
+        let array = ArrayId(rng.below(arrays.len()));
+        let mut mat = IMat::zeros(n, n);
+        let mut off = IVec::zeros(n);
+        for d in 0..n {
+            for k in 0..=level {
+                mat.set(k, d, rng.pm(cfg.coeff));
+            }
+            off[d] = rng.pm(cfg.offset);
+        }
+        Ok(ArrayRef {
+            array,
+            access: AffineAccess::new(mat, off)?,
+        })
+    };
+    let stmt = |rng: &mut Rng, level: usize| -> Result<Statement> {
+        let lhs = aref(rng, level)?;
+        let read = aref(rng, level)?;
+        Ok(Statement::new(
+            lhs,
+            Expr::add(Expr::Read(read), Expr::Const(1)),
+        ))
+    };
+    let mut body = Vec::new();
+    for _ in 0..cfg.stmts.max(1) {
+        body.push(stmt(&mut rng, n - 1)?);
+    }
+    let mut pre = vec![Vec::new(); n - 1];
+    let mut post = vec![Vec::new(); n - 1];
+    for _ in 0..between {
+        let level = rng.below(n - 1);
+        let s = stmt(&mut rng, level)?;
+        if rng.below(2) == 0 {
+            pre[level].push(s);
+        } else {
+            post[level].push(s);
+        }
+    }
+    ImperfectNest::new(names, lower, upper, arrays, pre, post, body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +279,26 @@ mod tests {
         let conc = a.substitute(&[("N", 5), ("M", 4)]).unwrap();
         assert!(!conc.is_symbolic());
         conc.iterations().unwrap();
+    }
+
+    #[test]
+    fn imperfect_generator_is_deterministic_and_valid() {
+        for seed in 0..30 {
+            let cfg = GenConfig {
+                depth: 2 + (seed as usize % 2),
+                extent: 4,
+                ..GenConfig::default()
+            };
+            let a = random_imperfect_nest(seed, &cfg, 1 + (seed as usize % 3)).unwrap();
+            let b = random_imperfect_nest(seed, &cfg, 1 + (seed as usize % 3)).unwrap();
+            assert_eq!(a, b);
+            assert!(
+                !a.is_perfect(),
+                "seed {seed} generated no between-level stmts"
+            );
+            // The hull must be a valid perfect nest with iterations.
+            assert!(!a.hull().unwrap().iterations().unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Imperfect loop nests: statements *between* loop levels.
+//!
+//! The paper's machinery (and this workspace's [`crate::nest::LoopNest`])
+//! assumes a **perfect** nest — every statement lives in the innermost
+//! loop. Real wavefront, initialization, and reduction-epilogue loops are
+//! imperfect: each level may run statements before its inner loop starts
+//! (`pre`) and after it finishes (`post`). [`ImperfectNest`] is that
+//! shape:
+//!
+//! ```text
+//! for i1 = l1..=u1 {
+//!   pre[0] …                 // depth-1 statements
+//!   for i2 = l2..=u2 {
+//!     pre[1] …               // depth-2 statements
+//!     for i3 … {
+//!       body …               // innermost statements
+//!     }
+//!     post[1] …
+//!   }
+//!   post[0] …
+//! }
+//! ```
+//!
+//! The type is an IR, not an analysis target: [`crate::normalize`]
+//! lowers it to a sequence of perfect kernels (by code sinking with
+//! guards and/or loop fission) that the existing planner handles
+//! unchanged.
+//!
+//! **Representation invariant:** every statement — at any level — stores
+//! its accesses, guards, and index reads at the **full nest depth** `n`,
+//! with structurally-zero coefficients for levels deeper than its own.
+//! That makes sinking a statement a pure guard edit and lets the
+//! [`ImperfectNest::hull`] nest reuse all perfect-nest machinery
+//! (footprints, ranges) without re-shaping accesses; only kernel
+//! extraction truncates.
+//!
+//! Imperfect nests are concrete-only (no symbolic parameters): the
+//! template/instantiate flow of PR 4 stays a perfect-nest feature, and
+//! normalization needs integer bound reasoning anyway.
+
+use crate::expr::Expr;
+use crate::nest::{ArrayDecl, LoopNest};
+use crate::stmt::Statement;
+use crate::{IrError, Result};
+use pdm_poly::expr::AffineExpr;
+
+/// Where a statement sits in the imperfect structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtPosition {
+    /// In level `k`'s body, before loop `k + 1` (`k < depth − 1`).
+    Pre(usize),
+    /// In the innermost loop.
+    Body,
+    /// In level `k`'s body, after loop `k + 1` (`k < depth − 1`).
+    Post(usize),
+}
+
+impl StmtPosition {
+    /// The loop level whose body hosts the statement (0-based); its
+    /// statements may read indices `0..=level`.
+    pub fn level(&self, depth: usize) -> usize {
+        match self {
+            StmtPosition::Pre(k) | StmtPosition::Post(k) => *k,
+            StmtPosition::Body => depth - 1,
+        }
+    }
+}
+
+/// An `n`-fold loop nest that may carry statements between levels.
+///
+/// Bounds follow the perfect-nest rules (level `k`'s bounds are affine in
+/// strictly-outer indices, inclusive); see the [module docs](self) for
+/// the statement representation invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImperfectNest {
+    index_names: Vec<String>,
+    lower: Vec<AffineExpr>,
+    upper: Vec<AffineExpr>,
+    arrays: Vec<ArrayDecl>,
+    /// `pre[k]` runs inside loop `k` before loop `k + 1` (length `n − 1`).
+    pre: Vec<Vec<Statement>>,
+    /// `post[k]` runs inside loop `k` after loop `k + 1` (length `n − 1`).
+    post: Vec<Vec<Statement>>,
+    /// Innermost statements.
+    body: Vec<Statement>,
+}
+
+/// Highest loop level a statement reads, through subscript coefficients,
+/// `Expr::Index` nodes, and guards (`None` when it reads no index at all).
+pub(crate) fn stmt_max_level(stmt: &Statement) -> Option<usize> {
+    let mut max: Option<usize> = None;
+    let mut bump = |k: usize| max = Some(max.map_or(k, |m: usize| m.max(k)));
+    for (_, r) in stmt.accesses() {
+        for k in 0..r.access.depth() {
+            if (0..r.access.dims()).any(|d| r.access.matrix.get(k, d) != 0) {
+                bump(k);
+            }
+        }
+    }
+    fn expr_levels(e: &Expr, bump: &mut impl FnMut(usize)) {
+        match e {
+            Expr::Const(_) => {}
+            Expr::Index(k) => bump(*k),
+            Expr::Read(_) => {} // handled via accesses()
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                expr_levels(a, bump);
+                expr_levels(b, bump);
+            }
+            Expr::Neg(a) => expr_levels(a, bump),
+        }
+    }
+    expr_levels(&stmt.rhs, &mut bump);
+    for g in &stmt.guards {
+        bump(g.index);
+        for k in 0..g.value.dim() {
+            if g.value.coeff(k) != 0 {
+                bump(k);
+            }
+        }
+    }
+    max
+}
+
+impl ImperfectNest {
+    /// Build an imperfect nest, validating bounds, statement levels, and
+    /// array consistency. `pre`/`post` must have length `depth − 1`.
+    pub fn new(
+        index_names: Vec<String>,
+        lower: Vec<AffineExpr>,
+        upper: Vec<AffineExpr>,
+        arrays: Vec<ArrayDecl>,
+        pre: Vec<Vec<Statement>>,
+        post: Vec<Vec<Statement>>,
+        body: Vec<Statement>,
+    ) -> Result<Self> {
+        let n = index_names.len();
+        if n == 0 {
+            return Err(IrError::Invalid("loop nest must have depth >= 1".into()));
+        }
+        if pre.len() != n - 1 || post.len() != n - 1 {
+            return Err(IrError::Invalid(format!(
+                "expected {} pre/post levels, got {} pre / {} post",
+                n - 1,
+                pre.len(),
+                post.len()
+            )));
+        }
+        let nest = ImperfectNest {
+            index_names,
+            lower,
+            upper,
+            arrays,
+            pre,
+            post,
+            body,
+        };
+        // Bounds, array arity, access depth, and guard shape: delegate to
+        // the perfect-nest validator over the flattened statement list.
+        let hull = nest.hull()?;
+        // Level discipline: a statement hosted at level k may read
+        // indices 0..=k only.
+        for (pos, stmt) in nest.statements() {
+            let level = pos.level(nest.depth());
+            if let Some(used) = stmt_max_level(stmt) {
+                if used > level {
+                    return Err(IrError::Invalid(format!(
+                        "statement at {pos:?} (level {level}) reads index i{}",
+                        used + 1
+                    )));
+                }
+            }
+        }
+        drop(hull);
+        Ok(nest)
+    }
+
+    /// View a perfect nest as the trivial imperfect nest (empty pre/post).
+    pub fn from_perfect(nest: &LoopNest) -> Result<ImperfectNest> {
+        if nest.is_symbolic() {
+            return Err(IrError::UnboundParameter {
+                name: nest.param_names()[0].clone(),
+            });
+        }
+        let n = nest.depth();
+        ImperfectNest::new(
+            nest.index_names().to_vec(),
+            (0..n).map(|k| nest.lower(k).clone()).collect(),
+            (0..n).map(|k| nest.upper(k).clone()).collect(),
+            nest.arrays().to_vec(),
+            vec![Vec::new(); n - 1],
+            vec![Vec::new(); n - 1],
+            nest.body().to_vec(),
+        )
+    }
+
+    /// Loop depth `n`.
+    pub fn depth(&self) -> usize {
+        self.index_names.len()
+    }
+
+    /// Index variable names, outermost first.
+    pub fn index_names(&self) -> &[String] {
+        &self.index_names
+    }
+
+    /// Lower bound expression of level `k`.
+    pub fn lower(&self, k: usize) -> &AffineExpr {
+        &self.lower[k]
+    }
+
+    /// Upper bound expression of level `k` (inclusive).
+    pub fn upper(&self, k: usize) -> &AffineExpr {
+        &self.upper[k]
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Statements of level `k` before loop `k + 1`.
+    pub fn pre(&self, k: usize) -> &[Statement] {
+        &self.pre[k]
+    }
+
+    /// Statements of level `k` after loop `k + 1`.
+    pub fn post(&self, k: usize) -> &[Statement] {
+        &self.post[k]
+    }
+
+    /// Innermost statements.
+    pub fn body(&self) -> &[Statement] {
+        &self.body
+    }
+
+    /// Is the nest already perfect (no between-level statements)?
+    pub fn is_perfect(&self) -> bool {
+        self.pre.iter().all(Vec::is_empty) && self.post.iter().all(Vec::is_empty)
+    }
+
+    /// Every statement in source (top-to-bottom) order with its position:
+    /// `pre[0] … pre[n−2], body, post[n−2] … post[0]`. Source order is
+    /// also first-encounter execution order, which is what the
+    /// conservative inter-kernel dependence edges are anchored to.
+    pub fn statements(&self) -> Vec<(StmtPosition, &Statement)> {
+        let mut out = Vec::new();
+        for (k, stmts) in self.pre.iter().enumerate() {
+            out.extend(stmts.iter().map(|s| (StmtPosition::Pre(k), s)));
+        }
+        out.extend(self.body.iter().map(|s| (StmtPosition::Body, s)));
+        for (k, stmts) in self.post.iter().enumerate().rev() {
+            out.extend(stmts.iter().map(|s| (StmtPosition::Post(k), s)));
+        }
+        out
+    }
+
+    /// The **hull**: a perfect nest with the same bounds and arrays whose
+    /// body is every statement of the imperfect nest (in source order).
+    /// Not semantically equivalent — between-level statements would run
+    /// once per innermost iteration — but exactly right for footprint
+    /// sizing (`Memory`), global index ranges, and shape validation,
+    /// because it executes a superset of the real accesses.
+    pub fn hull(&self) -> Result<LoopNest> {
+        LoopNest::new(
+            self.index_names.clone(),
+            self.lower.clone(),
+            self.upper.clone(),
+            self.arrays.clone(),
+            self.statements()
+                .into_iter()
+                .map(|(_, s)| s.clone())
+                .collect(),
+        )
+    }
+
+    /// Total number of statements across all positions.
+    pub fn stmt_count(&self) -> usize {
+        self.pre.iter().map(Vec::len).sum::<usize>()
+            + self.post.iter().map(Vec::len).sum::<usize>()
+            + self.body.len()
+    }
+
+    /// Clone with mutable access to the structure lists — used by the
+    /// normalization pass, which sinks by moving statements between
+    /// levels. Exposed as a tuple to keep the invariant-checking
+    /// constructor the only public way to build one from scratch.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Vec<String>,
+        Vec<AffineExpr>,
+        Vec<AffineExpr>,
+        Vec<ArrayDecl>,
+        Vec<Vec<Statement>>,
+        Vec<Vec<Statement>>,
+        Vec<Statement>,
+    ) {
+        (
+            self.index_names,
+            self.lower,
+            self.upper,
+            self.arrays,
+            self.pre,
+            self.post,
+            self.body,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_imperfect;
+
+    #[test]
+    fn from_perfect_roundtrip() {
+        let nest = crate::parse::parse_loop("for i = 0..=4 { for j = 0..=4 { A[i, j] = i + j; } }")
+            .unwrap();
+        let imp = ImperfectNest::from_perfect(&nest).unwrap();
+        assert!(imp.is_perfect());
+        assert_eq!(imp.depth(), 2);
+        assert_eq!(imp.hull().unwrap(), nest);
+    }
+
+    #[test]
+    fn level_discipline_enforced() {
+        // A pre-statement at level 0 reading index j (level 1) is invalid.
+        let err = parse_imperfect("for i = 0..=4 { A[j, 0] = 1; for j = 0..=4 { A[i, j] = 2; } }");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn statements_in_source_order() {
+        let imp = parse_imperfect(
+            "for i = 0..=4 {
+               A[i, 0] = 1;
+               for j = 0..=4 { A[i, j] = 2; }
+               A[i, 4] = 3;
+             }",
+        )
+        .unwrap();
+        assert!(!imp.is_perfect());
+        let ordered: Vec<StmtPosition> = imp.statements().iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            ordered,
+            vec![
+                StmtPosition::Pre(0),
+                StmtPosition::Body,
+                StmtPosition::Post(0)
+            ]
+        );
+        assert_eq!(imp.stmt_count(), 3);
+    }
+}

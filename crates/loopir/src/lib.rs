@@ -66,6 +66,38 @@
 //! let nest = sym.substitute(&[("N", 100)]).unwrap();
 //! assert_eq!(nest.iterations().unwrap().len(), 100);
 //! ```
+//!
+//! ## Imperfect nests: statements between loop levels
+//!
+//! Real wavefront/initialization/epilogue loops are **imperfect** —
+//! each level may run statements before (`pre`) and after (`post`) its
+//! nested loop. [`imperfect::ImperfectNest`]
+//! ([`parse::parse_imperfect`]) represents that shape, with every
+//! statement stored at full nest depth (zero coefficients for deeper
+//! levels), and [`normalize::to_perfect_kernels`] lowers it to an
+//! ordered sequence of perfect kernels the planner handles unchanged —
+//! by **fission** (when distribution provably cannot flip a dependence)
+//! or **code sinking** (guarding the statement on the first/last inner
+//! iteration via [`stmt::IndexGuard`], exact whenever the inner loop is
+//! provably non-empty). [`normalize::sink_fully`] /
+//! [`normalize::unsink`] expose sinking as an invertible pair; guarded
+//! statements render as `when` clauses (`A[i, 0] = i when j == 0;`) and
+//! parse back, so sunk programs round-trip through text.
+//!
+//! ```
+//! use pdm_loopir::parse::parse_imperfect;
+//! use pdm_loopir::normalize::to_perfect_kernels;
+//!
+//! let imp = parse_imperfect(
+//!     "for i = 0..=7 {
+//!        B[i, 0] = i;                             # prologue at depth 1
+//!        for j = 1..=7 { A[i, j] = A[i, j - 1] + B[i, 0]; }
+//!      }",
+//! ).unwrap();
+//! let prog = to_perfect_kernels(&imp).unwrap();
+//! assert_eq!(prog.kernels.len(), 2);              // init kernel + row kernel
+//! assert_eq!(prog.edges, vec![(0, 1)]);           // init before rows
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -74,6 +106,7 @@ pub mod access;
 pub mod builder;
 pub mod expr;
 pub mod generator;
+pub mod imperfect;
 pub mod nest;
 pub mod normalize;
 pub mod parse;
@@ -82,8 +115,10 @@ pub mod stmt;
 
 pub use access::{AffineAccess, ArrayId};
 pub use expr::Expr;
+pub use imperfect::{ImperfectNest, StmtPosition};
 pub use nest::{ArrayDecl, LoopNest};
-pub use stmt::{AccessKind, ArrayRef, Statement};
+pub use normalize::{to_perfect_kernels, NormalizedProgram, PerfectKernel};
+pub use stmt::{AccessKind, ArrayRef, IndexGuard, Statement};
 
 /// Errors from IR construction, validation and parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -125,6 +125,29 @@ impl LoopNest {
     fn validate_body(&self) -> Result<()> {
         let n = self.depth();
         for (si, stmt) in self.body.iter().enumerate() {
+            for g in &stmt.guards {
+                if g.index >= n {
+                    return Err(IrError::Invalid(format!(
+                        "statement {si}: guard on level {} but depth is {n}",
+                        g.index
+                    )));
+                }
+                if g.value.dim() != n {
+                    return Err(IrError::Invalid(format!(
+                        "statement {si}: guard value has dimension {} != depth {n}",
+                        g.value.dim()
+                    )));
+                }
+                for inner in g.index..n {
+                    if g.value.coeff(inner) != 0 {
+                        return Err(IrError::Invalid(format!(
+                            "statement {si}: guard on level {} reads index i{} (not outer)",
+                            g.index,
+                            inner + 1
+                        )));
+                    }
+                }
+            }
             for (_, r) in stmt.accesses() {
                 if r.access.depth() != n {
                     return Err(IrError::Invalid(format!(
@@ -262,6 +285,11 @@ impl LoopNest {
         for stmt in &self.body {
             h.aref(&stmt.lhs);
             h.body_expr(&stmt.rhs);
+            h.word(stmt.guards.len() as u64);
+            for g in &stmt.guards {
+                h.word(g.index as u64);
+                h.expr(&g.value);
+            }
         }
         h.finish()
     }

@@ -1,4 +1,7 @@
-//! Loop normalization: non-unit steps to unit-stride nests.
+//! Loop normalization: non-unit steps to unit strides, and **imperfect
+//! nests to perfect kernels**.
+//!
+//! # Step normalization
 //!
 //! The paper's framework (like most unimodular frameworks) assumes
 //! unit-step loops; real front-ends (the FPT compiler the paper
@@ -11,16 +14,61 @@
 //! substituting `i := lo + s·i'` in every inner bound and every affine
 //! subscript. The transformation is exact: the new nest executes the same
 //! accesses in the same order.
+//!
+//! # Imperfect-nest normalization
+//!
+//! [`to_perfect_kernels`] lowers an [`ImperfectNest`] — statements
+//! between loop levels — into an ordered sequence of perfect kernels the
+//! existing planner handles unchanged, choosing per level between the
+//! two classic techniques:
+//!
+//! * **Loop fission** (distribution): level `k`'s `pre`/`post`
+//!   statements become their own depth-`k+1` kernels, executed before /
+//!   after every deeper kernel. Fission *reorders* iterations across
+//!   the distributed loops, so it is applied only when a Fourier–Motzkin
+//!   refutation shows no dependence can flow **against** the new order
+//!   (see [`fission legality`](self#fission-legality) below).
+//! * **Code sinking**: the statements move *into* the inner loop,
+//!   guarded on its first (`pre`) or last (`post`) iteration
+//!   ([`crate::stmt::IndexGuard`]). Sinking preserves the original
+//!   interleaved execution order exactly, so it is always legal — as
+//!   long as the inner loop provably executes at least once for every
+//!   outer iteration (otherwise the sunk statement would be skipped),
+//!   which is again decided by FM refutation.
+//!
+//! Fission is preferred (separately-planned kernels usually expose more
+//! parallelism); sinking is the order-preserving fallback; when the
+//! inner loop may be empty *and* fission would flip a dependence, the
+//! nest is rejected with a typed error rather than silently
+//! mis-scheduled. [`sink_fully`] / [`unsink`] expose sinking alone as an
+//! exact, invertible pair — the round-trip the differential tests pin.
+//!
+//! ## Fission legality
+//!
+//! Distributing loops `0..=k` over items `X` (earlier) and `Y` (later)
+//! is illegal iff some instance `Y(J)` that originally ran *before*
+//! `X(I)` — i.e. `J`'s level-`0..=k` prefix is lexicographically smaller
+//! than `I`'s — touches the same array cell with at least one write.
+//! For every conflicting access pair and every lex-difference level
+//! `t ≤ k`, the pass builds the joint system over `(I, J)` (both
+//! iteration spaces, subscript equality, `J_{0..t} = I_{0..t}`,
+//! `J_t ≤ I_t − 1`) and requires it rationally **infeasible**
+//! ([`pdm_poly::fm::is_rationally_feasible`]). Rational infeasibility
+//! implies integer infeasibility, so the check is conservative in the
+//! safe direction: it may fall back to sinking unnecessarily, never
+//! fission illegally.
 
 use crate::access::AffineAccess;
 use crate::expr::Expr;
+use crate::imperfect::{ImperfectNest, StmtPosition};
 use crate::nest::{ArrayDecl, LoopNest};
-use crate::stmt::{ArrayRef, Statement};
+use crate::stmt::{AccessKind, ArrayRef, IndexGuard, Statement};
 use crate::{IrError, Result};
 use pdm_matrix::mat::IMat;
 use pdm_matrix::num::floor_div;
 use pdm_matrix::vec::IVec;
 use pdm_poly::expr::AffineExpr;
+use pdm_poly::system::System;
 
 /// A nest with per-level steps, produced by the parser before
 /// normalization.
@@ -104,6 +152,7 @@ pub fn normalize(stepped: &SteppedNest) -> Result<LoopNest> {
             Ok(Statement {
                 lhs: substitute_ref(&stmt.lhs, &stepped.steps, &bases)?,
                 rhs: substitute_body_expr(&stmt.rhs, &stepped.steps, &bases)?,
+                guards: substitute_guards(&stmt.guards, &stepped.steps, &bases)?,
             })
         })
         .collect::<Result<_>>()?;
@@ -140,6 +189,32 @@ fn substitute_expr(e: &AffineExpr, steps: &[i64], bases: &[i64]) -> Result<Affin
         }
     }
     Ok(AffineExpr::new(coeffs, constant))
+}
+
+/// Rewrite statement guards under `i_k = base_k + s_k·i'_k`. The guarded
+/// index itself must be unit-step (a strided guard target would need a
+/// divisibility predicate the guard language does not have); outer
+/// strided indices inside the guard value substitute exactly.
+fn substitute_guards(
+    guards: &[crate::stmt::IndexGuard],
+    steps: &[i64],
+    bases: &[i64],
+) -> Result<Vec<crate::stmt::IndexGuard>> {
+    guards
+        .iter()
+        .map(|g| {
+            if steps[g.index] != 1 {
+                return Err(IrError::Invalid(format!(
+                    "loop {}: non-unit step on a guarded index is unsupported",
+                    g.index
+                )));
+            }
+            Ok(crate::stmt::IndexGuard {
+                index: g.index,
+                value: substitute_expr(&g.value, steps, bases)?,
+            })
+        })
+        .collect()
 }
 
 fn substitute_ref(r: &ArrayRef, steps: &[i64], bases: &[i64]) -> Result<ArrayRef> {
@@ -193,6 +268,576 @@ fn substitute_body_expr(e: &Expr, steps: &[i64], bases: &[i64]) -> Result<Expr> 
         ),
         Expr::Neg(a) => Expr::Neg(Box::new(substitute_body_expr(a, steps, bases)?)),
     })
+}
+
+// ---------------------------------------------------------------------
+// Imperfect-nest normalization: sinking, fission, perfect kernels.
+// ---------------------------------------------------------------------
+
+/// One perfect nest produced by [`to_perfect_kernels`], tagged with where
+/// its statements came from in the imperfect source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfectKernel {
+    /// The kernel as a plain concrete perfect nest (depth is the host
+    /// level plus one; the innermost kernel has the full original
+    /// depth). Arrays are the *full* original declaration list so array
+    /// ids stay stable across kernels — the shared program memory
+    /// depends on that.
+    pub nest: LoopNest,
+    /// Source position of the kernel's statements.
+    pub origin: StmtPosition,
+}
+
+/// The result of normalizing an imperfect nest: perfect kernels in
+/// sequential execution order plus conservative inter-kernel dependence
+/// edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedProgram {
+    /// Kernels in the order fission sequenced them (source order).
+    pub kernels: Vec<PerfectKernel>,
+    /// Dependence edges `(from, to)` with `from < to`: kernel `to` may
+    /// read or overwrite cells kernel `from` touches, so `to` must not
+    /// start before `from` finishes. Conservative (rational-feasibility
+    /// over-approximation of the exact integer dependence); acyclic by
+    /// construction since edges always point forward.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl NormalizedProgram {
+    /// Number of kernels.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Kernels that `kernel` must wait for.
+    pub fn deps_of(&self, kernel: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(_, t)| *t == kernel)
+            .map(|(f, _)| *f)
+            .collect()
+    }
+}
+
+/// Truncate an affine expression over `n` variables to its first `d`
+/// (all dropped coefficients are structurally zero for validated inputs).
+fn truncate_expr(e: &AffineExpr, d: usize) -> AffineExpr {
+    AffineExpr::new(IVec::from_slice(&e.coeffs.as_slice()[..d]), e.constant)
+}
+
+/// Truncate a full-depth access to depth `d`.
+fn truncate_ref(r: &ArrayRef, d: usize) -> Result<ArrayRef> {
+    let m = r.access.dims();
+    let mut mat = IMat::zeros(d, m);
+    for k in 0..d {
+        for c in 0..m {
+            mat.set(k, c, r.access.matrix.get(k, c));
+        }
+    }
+    Ok(ArrayRef {
+        array: r.array,
+        access: AffineAccess::new(mat, r.access.offset.clone())?,
+    })
+}
+
+fn truncate_body_expr(e: &Expr, d: usize) -> Result<Expr> {
+    Ok(match e {
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Index(k) => Expr::Index(*k),
+        Expr::Read(r) => Expr::Read(truncate_ref(r, d)?),
+        Expr::Add(a, b) => Expr::add(truncate_body_expr(a, d)?, truncate_body_expr(b, d)?),
+        Expr::Sub(a, b) => Expr::sub(truncate_body_expr(a, d)?, truncate_body_expr(b, d)?),
+        Expr::Mul(a, b) => Expr::mul(truncate_body_expr(a, d)?, truncate_body_expr(b, d)?),
+        Expr::Neg(a) => Expr::Neg(Box::new(truncate_body_expr(a, d)?)),
+    })
+}
+
+fn truncate_stmt(s: &Statement, d: usize) -> Result<Statement> {
+    Ok(Statement {
+        lhs: truncate_ref(&s.lhs, d)?,
+        rhs: truncate_body_expr(&s.rhs, d)?,
+        guards: s
+            .guards
+            .iter()
+            .map(|g| IndexGuard {
+                index: g.index,
+                value: truncate_expr(&g.value, d),
+            })
+            .collect(),
+    })
+}
+
+/// Shift an affine expression over `n` variables into a `2n`-variable
+/// joint system, placing its variables at offset `off`.
+fn widen_expr(e: &AffineExpr, n2: usize, off: usize) -> AffineExpr {
+    let mut coeffs = IVec::zeros(n2);
+    for (k, &c) in e.coeffs.iter().enumerate() {
+        coeffs[off + k] = c;
+    }
+    AffineExpr::new(coeffs, e.constant)
+}
+
+/// Subscript `d` of an access as an affine form over the first `n`
+/// variables of a `n2`-wide system, at offset `off`.
+fn subscript_expr(r: &ArrayRef, d: usize, n2: usize, off: usize) -> AffineExpr {
+    let mut coeffs = IVec::zeros(n2);
+    for k in 0..r.access.depth() {
+        coeffs[off + k] = r.access.matrix.get(k, d);
+    }
+    AffineExpr::new(coeffs, r.access.offset[d])
+}
+
+/// Add the iteration-space constraints of levels `0..=level` (bounds over
+/// the original indices) for the variable block at `off` of a `n2`-wide
+/// joint system.
+fn add_space(
+    sys: &mut System,
+    lower: &[AffineExpr],
+    upper: &[AffineExpr],
+    level: usize,
+    n2: usize,
+    off: usize,
+) -> Result<()> {
+    for j in 0..=level {
+        let xj = AffineExpr::var(n2, off + j);
+        let lo = widen_expr(&lower[j], n2, off);
+        let hi = widen_expr(&upper[j], n2, off);
+        sys.add_ge0(xj.sub(&lo).map_err(IrError::Matrix)?)
+            .map_err(IrError::Matrix)?;
+        sys.add_ge0(hi.sub(&xj).map_err(IrError::Matrix)?)
+            .map_err(IrError::Matrix)?;
+    }
+    Ok(())
+}
+
+/// Add `a == b` as two inequalities.
+fn add_eq(sys: &mut System, a: &AffineExpr, b: &AffineExpr) -> Result<()> {
+    sys.add_ge0(a.sub(b).map_err(IrError::Matrix)?)
+        .map_err(IrError::Matrix)?;
+    sys.add_ge0(b.sub(a).map_err(IrError::Matrix)?)
+        .map_err(IrError::Matrix)?;
+    Ok(())
+}
+
+/// Conflicting access pairs between two statements: same array, at least
+/// one side a write.
+fn conflict_pairs<'a>(a: &'a Statement, b: &'a Statement) -> Vec<(&'a ArrayRef, &'a ArrayRef)> {
+    let mut out = Vec::new();
+    for (ka, ra) in a.accesses() {
+        for (kb, rb) in b.accesses() {
+            if ra.array != rb.array {
+                continue;
+            }
+            if ka == AccessKind::Read && kb == AccessKind::Read {
+                continue;
+            }
+            out.push((ra, rb));
+        }
+    }
+    out
+}
+
+/// Can instances of `later` at an earlier `0..=k` prefix touch the same
+/// cell as instances of `earlier` at a later prefix? (`earlier` runs at
+/// level `lvl_e`, `later` at `lvl_l`; both full-depth statements of the
+/// nest whose bounds are given.) `true` means fission at level `k` would
+/// flip a (potential) dependence.
+fn flipped_dependence_possible(
+    lower: &[AffineExpr],
+    upper: &[AffineExpr],
+    k: usize,
+    earlier: &Statement,
+    lvl_e: usize,
+    later: &Statement,
+    lvl_l: usize,
+) -> Result<bool> {
+    let n = lower.len();
+    let n2 = 2 * n; // I = earlier's instance, J = later's instance
+    for (ra, rb) in conflict_pairs(earlier, later) {
+        for t in 0..=k {
+            let mut sys = System::universe(n2);
+            add_space(&mut sys, lower, upper, lvl_e, n2, 0)?;
+            add_space(&mut sys, lower, upper, lvl_l, n2, n)?;
+            for d in 0..ra.access.dims() {
+                let sa = subscript_expr(ra, d, n2, 0);
+                let sb = subscript_expr(rb, d, n2, n);
+                add_eq(&mut sys, &sa, &sb)?;
+            }
+            // J's prefix lexicographically smaller than I's, first
+            // difference at level t.
+            for j in 0..t {
+                let ij = AffineExpr::var(n2, j);
+                let jj = AffineExpr::var(n2, n + j);
+                add_eq(&mut sys, &ij, &jj)?;
+            }
+            // I_t - J_t - 1 >= 0.
+            let it = AffineExpr::var(n2, t);
+            let jt = AffineExpr::var(n2, n + t);
+            let gap = it
+                .sub(&jt)
+                .and_then(|e| e.add(&AffineExpr::constant(n2, -1)))
+                .map_err(IrError::Matrix)?;
+            sys.add_ge0(gap).map_err(IrError::Matrix)?;
+            if pdm_poly::fm::is_rationally_feasible(&sys).map_err(IrError::Matrix)? {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Is fission legal at level `k`: distributing loops `0..=k` over
+/// `[pre_k, subtree, post_k]` must not flip any potential dependence.
+fn fission_legal(
+    lower: &[AffineExpr],
+    upper: &[AffineExpr],
+    k: usize,
+    pre_k: &[Statement],
+    post_k: &[Statement],
+    subtree: &[(usize, &Statement)],
+) -> Result<bool> {
+    // pre_k before subtree.
+    for s in pre_k {
+        for (lvl, t) in subtree {
+            if flipped_dependence_possible(lower, upper, k, s, k, t, *lvl)? {
+                return Ok(false);
+            }
+        }
+    }
+    // subtree before post_k.
+    for (lvl, s) in subtree {
+        for t in post_k {
+            if flipped_dependence_possible(lower, upper, k, s, *lvl, t, k)? {
+                return Ok(false);
+            }
+        }
+    }
+    // pre_k before post_k.
+    for s in pre_k {
+        for t in post_k {
+            if flipped_dependence_possible(lower, upper, k, s, k, t, k)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Is loop `k + 1` provably non-empty at every feasible iteration of
+/// loops `0..=k`? (The sinking precondition.) Decided by refutation:
+/// the system "outer point feasible ∧ `upper_{k+1} < lower_{k+1}`" must
+/// be rationally infeasible.
+fn inner_loop_nonempty(lower: &[AffineExpr], upper: &[AffineExpr], k: usize) -> Result<bool> {
+    let n = lower.len();
+    let mut sys = System::universe(n);
+    add_space(&mut sys, lower, upper, k, n, 0)?;
+    // lower_{k+1} - upper_{k+1} - 1 >= 0  (inner range empty).
+    let gap = lower[k + 1]
+        .sub(&upper[k + 1])
+        .and_then(|e| e.add(&AffineExpr::constant(n, -1)))
+        .map_err(IrError::Matrix)?;
+    sys.add_ge0(gap).map_err(IrError::Matrix)?;
+    Ok(!pdm_poly::fm::is_rationally_feasible(&sys).map_err(IrError::Matrix)?)
+}
+
+/// Build the depth-`level + 1` perfect kernel holding `stmts`.
+fn make_kernel(
+    names: &[String],
+    lower: &[AffineExpr],
+    upper: &[AffineExpr],
+    arrays: &[ArrayDecl],
+    level: usize,
+    stmts: &[Statement],
+    origin: StmtPosition,
+) -> Result<PerfectKernel> {
+    let d = level + 1;
+    let nest = LoopNest::new(
+        names[..d].to_vec(),
+        lower[..d].iter().map(|e| truncate_expr(e, d)).collect(),
+        upper[..d].iter().map(|e| truncate_expr(e, d)).collect(),
+        arrays.to_vec(),
+        stmts
+            .iter()
+            .map(|s| truncate_stmt(s, d))
+            .collect::<Result<Vec<_>>>()?,
+    )?;
+    Ok(PerfectKernel { nest, origin })
+}
+
+/// Conservative inter-kernel dependence edges: `(i, j)` for `i < j` when
+/// some access of kernel `i` and some access of kernel `j` (≥ 1 write)
+/// can rationally touch the same cell of the same array.
+fn kernel_edges(kernels: &[PerfectKernel]) -> Result<Vec<(usize, usize)>> {
+    let mut edges = Vec::new();
+    for i in 0..kernels.len() {
+        for j in i + 1..kernels.len() {
+            if kernels_conflict(&kernels[i].nest, &kernels[j].nest)? {
+                edges.push((i, j));
+            }
+        }
+    }
+    Ok(edges)
+}
+
+fn kernels_conflict(a: &LoopNest, b: &LoopNest) -> Result<bool> {
+    let (na, nb) = (a.depth(), b.depth());
+    let n2 = na + nb;
+    let lower_a: Vec<AffineExpr> = (0..na).map(|k| a.lower(k).clone()).collect();
+    let upper_a: Vec<AffineExpr> = (0..na).map(|k| a.upper(k).clone()).collect();
+    let lower_b: Vec<AffineExpr> = (0..nb).map(|k| b.lower(k).clone()).collect();
+    let upper_b: Vec<AffineExpr> = (0..nb).map(|k| b.upper(k).clone()).collect();
+    for sa in a.body() {
+        for sb in b.body() {
+            for (ra, rb) in conflict_pairs(sa, sb) {
+                let mut sys = System::universe(n2);
+                add_space(&mut sys, &lower_a, &upper_a, na - 1, n2, 0)?;
+                add_space(&mut sys, &lower_b, &upper_b, nb - 1, n2, na)?;
+                for d in 0..ra.access.dims() {
+                    let ea = subscript_expr(ra, d, n2, 0);
+                    let eb = subscript_expr(rb, d, n2, na);
+                    add_eq(&mut sys, &ea, &eb)?;
+                }
+                if pdm_poly::fm::is_rationally_feasible(&sys).map_err(IrError::Matrix)? {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Guard `stmts` on level `index == value` (sinking one level).
+fn guard_stmts(stmts: Vec<Statement>, index: usize, value: &AffineExpr) -> Vec<Statement> {
+    stmts
+        .into_iter()
+        .map(|mut s| {
+            s.guards.push(IndexGuard {
+                index,
+                value: value.clone(),
+            });
+            s
+        })
+        .collect()
+}
+
+/// Sink level `k`'s pre/post statements one level inward with
+/// first/last-iteration guards. The destination order is the
+/// exactness invariant of sinking — pre statements **prepend** before
+/// the deeper level's existing pre list (they ran earlier in source
+/// order), post statements **append** after its post list — and this
+/// helper is the single implementation both [`to_perfect_kernels`] and
+/// [`sink_fully`] use, so the two paths (and the [`unsink`] inverse)
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn sink_one_level(
+    k: usize,
+    n: usize,
+    lower: &[AffineExpr],
+    upper: &[AffineExpr],
+    pre_k: Vec<Statement>,
+    post_k: Vec<Statement>,
+    pre: &mut [Vec<Statement>],
+    post: &mut [Vec<Statement>],
+    body: &mut Vec<Statement>,
+) {
+    let sunk_pre = guard_stmts(pre_k, k + 1, &lower[k + 1]);
+    let sunk_post = guard_stmts(post_k, k + 1, &upper[k + 1]);
+    if k + 1 == n - 1 {
+        body.splice(0..0, sunk_pre);
+        body.extend(sunk_post);
+    } else {
+        pre[k + 1].splice(0..0, sunk_pre);
+        post[k + 1].extend(sunk_post);
+    }
+}
+
+/// Normalize an imperfect nest into an ordered sequence of perfect
+/// kernels plus conservative dependence edges — the input of
+/// `pdm-core`'s `ProgramPlan`. Per level, **fission** is applied when
+/// provably order-safe, otherwise statements are **sunk** with guards
+/// (when the inner loop is provably non-empty); a nest admitting neither
+/// is rejected with [`IrError::Invalid`]. See the [module
+/// docs](self#imperfect-nest-normalization).
+pub fn to_perfect_kernels(imp: &ImperfectNest) -> Result<NormalizedProgram> {
+    let n = imp.depth();
+    let (names, lower, upper, arrays, mut pre, mut post, mut body) = imp.clone().into_parts();
+    // (level, statements) of fissioned-off kernels, in discovery order.
+    let mut front: Vec<(usize, Vec<Statement>)> = Vec::new();
+    let mut back: Vec<(usize, Vec<Statement>)> = Vec::new();
+    for k in 0..n.saturating_sub(1) {
+        let pre_k = std::mem::take(&mut pre[k]);
+        let post_k = std::mem::take(&mut post[k]);
+        if pre_k.is_empty() && post_k.is_empty() {
+            continue;
+        }
+        let subtree: Vec<(usize, &Statement)> = {
+            let mut v = Vec::new();
+            for j in k + 1..n - 1 {
+                v.extend(pre[j].iter().map(|s| (j, s)));
+                v.extend(post[j].iter().map(|s| (j, s)));
+            }
+            v.extend(body.iter().map(|s| (n - 1, s)));
+            v
+        };
+        if fission_legal(&lower, &upper, k, &pre_k, &post_k, &subtree)? {
+            if !pre_k.is_empty() {
+                front.push((k, pre_k));
+            }
+            if !post_k.is_empty() {
+                back.push((k, post_k));
+            }
+        } else if inner_loop_nonempty(&lower, &upper, k)? {
+            sink_one_level(
+                k, n, &lower, &upper, pre_k, post_k, &mut pre, &mut post, &mut body,
+            );
+        } else {
+            return Err(IrError::Invalid(format!(
+                "cannot normalize: fission at level {k} would reorder a dependence \
+                 and loop {} may be empty, so sinking is not legal either",
+                k + 1
+            )));
+        }
+    }
+    let mut kernels = Vec::new();
+    for (k, stmts) in &front {
+        kernels.push(make_kernel(
+            &names,
+            &lower,
+            &upper,
+            &arrays,
+            *k,
+            stmts,
+            StmtPosition::Pre(*k),
+        )?);
+    }
+    kernels.push(make_kernel(
+        &names,
+        &lower,
+        &upper,
+        &arrays,
+        n - 1,
+        &body,
+        StmtPosition::Body,
+    )?);
+    for (k, stmts) in back.iter().rev() {
+        kernels.push(make_kernel(
+            &names,
+            &lower,
+            &upper,
+            &arrays,
+            *k,
+            stmts,
+            StmtPosition::Post(*k),
+        )?);
+    }
+    let edges = kernel_edges(&kernels)?;
+    Ok(NormalizedProgram { kernels, edges })
+}
+
+/// Sink **every** between-level statement into the innermost body with
+/// first/last-iteration guards, producing one guarded perfect nest with
+/// the exact original execution order. Errors when some inner loop may
+/// be empty (the sunk statement would be skipped). Inverse:
+/// [`unsink`].
+pub fn sink_fully(imp: &ImperfectNest) -> Result<LoopNest> {
+    let n = imp.depth();
+    let (names, lower, upper, arrays, mut pre, mut post, mut body) = imp.clone().into_parts();
+    for k in 0..n.saturating_sub(1) {
+        let pre_k = std::mem::take(&mut pre[k]);
+        let post_k = std::mem::take(&mut post[k]);
+        if pre_k.is_empty() && post_k.is_empty() {
+            continue;
+        }
+        if !inner_loop_nonempty(&lower, &upper, k)? {
+            return Err(IrError::Invalid(format!(
+                "cannot sink past loop {}: it may be empty for some outer iteration",
+                k + 1
+            )));
+        }
+        sink_one_level(
+            k, n, &lower, &upper, pre_k, post_k, &mut pre, &mut post, &mut body,
+        );
+    }
+    LoopNest::new(names, lower, upper, arrays, body)
+}
+
+/// Hoist sunk statements back out of a perfect nest: the inverse of
+/// [`sink_fully`]. A leading body statement whose guard set pins level
+/// `d` to `lower[d]` hoists to `pre[d − 1]` (recursively outward); a
+/// trailing one pinned to `upper[d]` hoists to `post[d − 1]`. Exact on
+/// `sink_fully` output whenever no inner loop is degenerate
+/// (`lower == upper`, which would make first- and last-iteration guards
+/// indistinguishable); statements it cannot attribute stay in the body.
+pub fn unsink(nest: &LoopNest) -> Result<ImperfectNest> {
+    if nest.is_symbolic() {
+        return Err(IrError::UnboundParameter {
+            name: nest.param_names()[0].clone(),
+        });
+    }
+    let n = nest.depth();
+    let mut pre: Vec<Vec<Statement>> = vec![Vec::new(); n.saturating_sub(1)];
+    let mut post: Vec<Vec<Statement>> = vec![Vec::new(); n.saturating_sub(1)];
+    let mut body: Vec<Statement> = nest.body().to_vec();
+
+    // Remove the guard pinning `level` to `value`, if present.
+    let strip = |s: &mut Statement, level: usize, value: &AffineExpr| -> bool {
+        if let Some(pos) = s
+            .guards
+            .iter()
+            .position(|g| g.index == level && g.value == *value)
+        {
+            s.guards.remove(pos);
+            true
+        } else {
+            false
+        }
+    };
+
+    // Hoist level by level, innermost container first.
+    for d in (1..n).rev() {
+        // `stmts` of the current level-d container.
+        let (mut level_pre, mut level_post) = (Vec::new(), Vec::new());
+        {
+            let stmts: &mut Vec<Statement> = if d == n - 1 { &mut body } else { &mut pre[d] };
+            while let Some(first) = stmts.first() {
+                let mut cand = first.clone();
+                if strip(&mut cand, d, nest.lower(d))
+                    && crate::imperfect::stmt_max_level(&cand).is_none_or(|m| m < d)
+                {
+                    stmts.remove(0);
+                    level_pre.push(cand);
+                } else {
+                    break;
+                }
+            }
+        }
+        {
+            let stmts: &mut Vec<Statement> = if d == n - 1 { &mut body } else { &mut post[d] };
+            while let Some(last) = stmts.last() {
+                let mut cand = last.clone();
+                if strip(&mut cand, d, nest.upper(d))
+                    && crate::imperfect::stmt_max_level(&cand).is_none_or(|m| m < d)
+                {
+                    stmts.pop();
+                    level_post.insert(0, cand);
+                } else {
+                    break;
+                }
+            }
+        }
+        pre[d - 1] = level_pre;
+        post[d - 1] = level_post;
+    }
+
+    ImperfectNest::new(
+        nest.index_names().to_vec(),
+        (0..n).map(|k| nest.lower(k).clone()).collect(),
+        (0..n).map(|k| nest.upper(k).clone()).collect(),
+        nest.arrays().to_vec(),
+        pre,
+        post,
+        body,
+    )
 }
 
 #[cfg(test)]
@@ -295,6 +940,113 @@ mod tests {
         let n = normalize(&s).unwrap();
         let a = pdm_core_analysis_shim(&n);
         assert_eq!(a, vec![vec![1]]);
+    }
+
+    #[test]
+    fn sink_then_unsink_roundtrips() {
+        let src = "for i = 0..=5 {
+            A[i, 0] = i;
+            for j = 0..=5 { A[i, j] = A[i, j] + 1; }
+            A[i, 5] = A[i, 5] + 2;
+        }";
+        let imp = crate::parse::parse_imperfect(src).unwrap();
+        let sunk = sink_fully(&imp).unwrap();
+        // Sinking produced one perfect nest with guarded edge statements.
+        assert_eq!(sunk.body().len(), 3);
+        assert!(sunk.body()[0].is_guarded());
+        assert!(sunk.body()[2].is_guarded());
+        assert!(!sunk.body()[1].is_guarded());
+        // The guarded nest renders and re-parses.
+        let text = crate::pretty::render(&sunk);
+        assert_eq!(crate::parse::parse_loop(&text).unwrap(), sunk);
+        // Unsinking recovers the imperfect source exactly.
+        let back = unsink(&sunk).unwrap();
+        assert_eq!(back, imp);
+        assert_eq!(
+            crate::pretty::render_imperfect(&back),
+            crate::pretty::render_imperfect(&imp)
+        );
+    }
+
+    #[test]
+    fn sink_rejects_possibly_empty_inner_loop() {
+        // Inner loop j = 2..=i is empty for i < 2.
+        let imp = crate::parse::parse_imperfect(
+            "for i = 0..=5 { A[i, 0] = 1; for j = 2..=i { A[i, j] = 2; } }",
+        )
+        .unwrap();
+        assert!(matches!(sink_fully(&imp), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    fn independent_pre_statement_fissions() {
+        // Pre statement writes B, body writes A reading A only: no
+        // conflict between the two groups, so fission splits them.
+        let imp = crate::parse::parse_imperfect(
+            "for i = 0..=5 { B[i, 0] = i; for j = 0..=5 { A[i, j] = A[i, j] + 1; } }",
+        )
+        .unwrap();
+        let prog = to_perfect_kernels(&imp).unwrap();
+        assert_eq!(prog.kernel_count(), 2);
+        assert_eq!(prog.kernels[0].origin, StmtPosition::Pre(0));
+        assert_eq!(prog.kernels[0].nest.depth(), 1);
+        assert_eq!(prog.kernels[1].origin, StmtPosition::Body);
+        assert_eq!(prog.kernels[1].nest.depth(), 2);
+        // Disjoint arrays: no dependence edge.
+        assert!(prog.edges.is_empty());
+        // No statement gained a guard.
+        for k in &prog.kernels {
+            assert!(k.nest.body().iter().all(|s| !s.is_guarded()));
+        }
+    }
+
+    #[test]
+    fn forward_only_dependence_still_fissions() {
+        // Pre writes A[i, 0]; body reads A[i, 0] (same i): dependence
+        // flows pre -> body at the same prefix, never backward, so
+        // fission is legal — but the kernels carry a dependence edge.
+        let imp = crate::parse::parse_imperfect(
+            "for i = 0..=5 { A[i, 0] = i; for j = 1..=5 { A[i, j] = A[i, 0] + 1; } }",
+        )
+        .unwrap();
+        let prog = to_perfect_kernels(&imp).unwrap();
+        assert_eq!(prog.kernel_count(), 2);
+        assert_eq!(prog.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn cyclic_dependence_sinks_instead() {
+        // Body at iteration i reads what pre wrote at i; pre at i + 1
+        // reads what the body wrote at i (A[i + 1 - 1, 5] = A[i, 5]):
+        // fission would flip that backward dependence, so the pass must
+        // sink. The inner loop is constant-bounded (never empty), so
+        // sinking is legal.
+        let imp = crate::parse::parse_imperfect(
+            "for i = 1..=5 {
+               A[i, 0] = A[i - 1, 5] + 1;
+               for j = 1..=5 { A[i, j] = A[i, j - 1] + 1; }
+             }",
+        )
+        .unwrap();
+        let prog = to_perfect_kernels(&imp).unwrap();
+        assert_eq!(prog.kernel_count(), 1);
+        let kernel = &prog.kernels[0].nest;
+        assert_eq!(kernel.depth(), 2);
+        assert_eq!(kernel.body().len(), 2);
+        assert!(kernel.body()[0].is_guarded(), "sunk statement is guarded");
+        assert_eq!(kernel.body()[0].guards[0].index, 1);
+    }
+
+    #[test]
+    fn perfect_input_yields_single_kernel() {
+        let imp = crate::imperfect::ImperfectNest::from_perfect(
+            &crate::parse::parse_loop("for i = 0..=3 { for j = 0..=3 { A[i, j] = 1; } }").unwrap(),
+        )
+        .unwrap();
+        let prog = to_perfect_kernels(&imp).unwrap();
+        assert_eq!(prog.kernel_count(), 1);
+        assert!(prog.edges.is_empty());
+        assert_eq!(prog.kernels[0].origin, StmtPosition::Body);
     }
 
     /// Tiny shim so the loopir crate can check PDM shape without a

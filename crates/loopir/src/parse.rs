@@ -5,12 +5,23 @@
 //! ```text
 //! nest   := loop
 //! loop   := 'for' IDENT '=' affine ('..' | '..=') affine '{' (loop | stmt+) '}'
-//! stmt   := IDENT '[' affine (',' affine)* ']' '=' expr ';'
+//! stmt   := IDENT '[' affine (',' affine)* ']' '=' expr guard? ';'
+//! guard  := 'when' IDENT '==' affine (',' IDENT '==' affine)*
 //! expr   := term (('+'|'-') term)*
 //! term   := unary ('*' unary)*
 //! unary  := '-' unary | atom
 //! atom   := INT | IDENT ('[' affine,* ']')? | '(' expr ')'
 //! ```
+//!
+//! A `when` clause guards the statement on index equalities
+//! (`A[i] = 1 when j == 0;` runs only at `j == 0`) — the textual form of
+//! [`crate::stmt::IndexGuard`], produced by code sinking and accepted
+//! back by the parser so sunk programs round-trip through text.
+//!
+//! [`parse_imperfect`] accepts the **imperfect** extension of the
+//! grammar: statements may appear before and after a (single) nested
+//! loop at every level, producing an
+//! [`crate::imperfect::ImperfectNest`].
 //!
 //! `affine` positions (bounds, subscripts) must reduce to linear forms in
 //! the loop indices plus named parameters; body expressions are arbitrary
@@ -54,6 +65,7 @@
 
 use crate::access::{AffineAccess, ArrayId};
 use crate::expr::Expr;
+use crate::imperfect::ImperfectNest;
 use crate::nest::{ArrayDecl, LoopNest};
 use crate::stmt::{ArrayRef, Statement};
 use crate::{IrError, Result};
@@ -105,6 +117,77 @@ pub fn parse_loop_symbolic(src: &str, params: &[&str]) -> Result<LoopNest> {
     crate::normalize::normalize(&stepped)
 }
 
+/// Parse an **imperfect** nest: at every level, statements may appear
+/// before and after the (single) nested loop. The result is an
+/// [`ImperfectNest`]; lower it to perfect kernels with
+/// [`crate::normalize::to_perfect_kernels`] (or, when every level's
+/// inner loop is provably non-empty, to one guarded perfect nest with
+/// [`crate::normalize::sink_fully`]).
+///
+/// Imperfect sources are concrete-only and unit-stride (`step` clauses
+/// and symbolic parameters are rejected); a level with more than one
+/// nested loop — a loop *tree* — is a parse error.
+///
+/// ```
+/// use pdm_loopir::parse::parse_imperfect;
+/// let imp = parse_imperfect(
+///     "for i = 1..=8 {
+///        A[i, 0] = i;                              # pre: init the row edge
+///        for j = 1..=8 { A[i, j] = A[i - 1, j] + A[i, j - 1]; }
+///        A[i, 8] = A[i, 8] + 1;                    # post: row epilogue
+///      }",
+/// ).unwrap();
+/// assert_eq!(imp.depth(), 2);
+/// assert_eq!(imp.pre(0).len(), 1);
+/// assert_eq!(imp.post(0).len(), 1);
+/// ```
+pub fn parse_imperfect(src: &str) -> Result<ImperfectNest> {
+    let tokens = lex(src)?;
+    // Pre-scan the loop spine for every index name, so statements at any
+    // level parse with full-depth accesses (the representation invariant
+    // of `ImperfectNest`).
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !matches!(t.tok, Tok::For) {
+            continue;
+        }
+        match tokens.get(i + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => {
+                if names.contains(s) {
+                    return Err(IrError::Parse {
+                        at: tokens[i + 1].at,
+                        msg: format!("duplicate loop index '{s}'"),
+                    });
+                }
+                names.push(s.clone());
+            }
+            _ => {
+                return Err(IrError::Parse {
+                    at: t.at,
+                    msg: "expected loop index name after 'for'".into(),
+                })
+            }
+        }
+    }
+    if names.is_empty() {
+        return Err(IrError::Parse {
+            at: 0,
+            msg: "expected 'for'".into(),
+        });
+    }
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+        params: HashMap::new(),
+        symbolic: Vec::new(),
+        index_names: names,
+        headers: Vec::new(),
+        arrays: Vec::new(),
+    };
+    p.parse_imperfect_nest()
+}
+
 /// [`parse_loop_stepped`] with parameters.
 pub fn parse_loop_stepped_with(
     src: &str,
@@ -132,6 +215,7 @@ enum Tok {
     Int(i64),
     For,
     Assign,
+    EqEq,
     DotDot,
     DotDotEq,
     LBrace,
@@ -245,11 +329,19 @@ fn lex(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '=' => {
-                out.push(Token {
-                    tok: Tok::Assign,
-                    at: i,
-                });
-                i += 1;
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        tok: Tok::EqEq,
+                        at: i,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        tok: Tok::Assign,
+                        at: i,
+                    });
+                    i += 1;
+                }
             }
             '.' => {
                 if bytes.get(i + 1) == Some(&b'.') {
@@ -467,6 +559,144 @@ impl Parser {
         Ok(crate::normalize::SteppedNest { nest, steps })
     }
 
+    /// Parse the whole pre-scanned imperfect spine.
+    fn parse_imperfect_nest(&mut self) -> Result<ImperfectNest> {
+        let n = self.index_names.len();
+        let mut pre = vec![Vec::new(); n - 1];
+        let mut post = vec![Vec::new(); n - 1];
+        let mut body = Vec::new();
+        self.parse_imperfect_header(0)?;
+        self.parse_imperfect_level(0, &mut pre, &mut post, &mut body)?;
+        if !matches!(self.peek(), Tok::Eof) {
+            return Err(self.err("trailing input after loop nest".into()));
+        }
+        let mut lower = Vec::with_capacity(n);
+        let mut upper = Vec::with_capacity(n);
+        for k in 0..n {
+            let h = &self.headers[k];
+            let lo = self.lin_to_affine(&h.lo, n, Some(k), false, h.at)?;
+            let mut hi = self.lin_to_affine(&h.hi, n, Some(k), false, h.at)?;
+            if !h.inclusive {
+                hi.constant -= 1;
+            }
+            lower.push(lo);
+            upper.push(hi);
+        }
+        ImperfectNest::new(
+            self.index_names.clone(),
+            lower,
+            upper,
+            std::mem::take(&mut self.arrays),
+            pre,
+            post,
+            body,
+        )
+    }
+
+    /// One `for` header of the imperfect spine; the index name must match
+    /// the pre-scanned name of `level` (a mismatch means the source is a
+    /// loop tree, not a nest).
+    fn parse_imperfect_header(&mut self, level: usize) -> Result<()> {
+        let at = self.at();
+        self.expect(Tok::For, "'for'")?;
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            _ => return Err(self.err("expected loop index name".into())),
+        };
+        if name != self.index_names[level] {
+            return Err(IrError::Parse {
+                at,
+                msg: format!(
+                    "imperfect nests must form a single loop spine: expected loop '{}'",
+                    self.index_names[level]
+                ),
+            });
+        }
+        self.expect(Tok::Assign, "'='")?;
+        let lo = self.parse_linform()?;
+        let inclusive = match self.bump() {
+            Tok::DotDot => false,
+            Tok::DotDotEq => true,
+            _ => return Err(self.err("expected '..' or '..='".into())),
+        };
+        let hi = self.parse_linform()?;
+        if matches!(self.peek(), Tok::Ident(w) if w == "step") {
+            return Err(self.err("step clauses are not supported in imperfect nests".into()));
+        }
+        self.expect(Tok::LBrace, "'{'")?;
+        self.headers.push(Header {
+            name,
+            lo,
+            hi,
+            inclusive,
+            step: 1,
+            at,
+        });
+        Ok(())
+    }
+
+    /// Items of one imperfect level, up to and including its `}`:
+    /// statements before the nested loop are `pre`, after it `post`;
+    /// innermost statements are the body.
+    fn parse_imperfect_level(
+        &mut self,
+        level: usize,
+        pre: &mut [Vec<Statement>],
+        post: &mut [Vec<Statement>],
+        body: &mut Vec<Statement>,
+    ) -> Result<()> {
+        let n = self.index_names.len();
+        let innermost = level + 1 == n;
+        let mut seen_inner = false;
+        let mut local_pre = Vec::new();
+        let mut local_post = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::RBrace => break,
+                Tok::Eof => return Err(self.err("unexpected end of input (missing '}')".into())),
+                Tok::For => {
+                    if innermost || seen_inner {
+                        return Err(self.err(
+                            "a level may contain at most one nested loop \
+                             (loop trees are not supported)"
+                                .into(),
+                        ));
+                    }
+                    seen_inner = true;
+                    self.parse_imperfect_header(level + 1)?;
+                    self.parse_imperfect_level(level + 1, pre, post, body)?;
+                }
+                _ => {
+                    let stmt = self.parse_statement()?;
+                    if innermost {
+                        body.push(stmt);
+                    } else if seen_inner {
+                        local_post.push(stmt);
+                    } else {
+                        local_pre.push(stmt);
+                    }
+                }
+            }
+        }
+        self.expect(Tok::RBrace, "'}'")?;
+        if innermost {
+            if body.is_empty() {
+                return Err(self.err("innermost loop body has no statements".into()));
+            }
+        } else {
+            if !seen_inner {
+                return Err(self.err(format!(
+                    "level '{}' is missing its nested loop '{}'",
+                    self.index_names[level],
+                    self.index_names[level + 1]
+                )));
+            }
+            pre[level] = local_pre;
+            post[level] = local_post;
+        }
+        Ok(())
+    }
+
     fn parse_for_header(&mut self) -> Result<()> {
         let at = self.at();
         self.expect(Tok::For, "'for'")?;
@@ -667,8 +897,43 @@ impl Parser {
         let lhs = self.make_ref(&name, subs)?;
         self.expect(Tok::Assign, "'='")?;
         let rhs = self.parse_expr()?;
+        let mut guards = Vec::new();
+        if matches!(self.peek(), Tok::Ident(w) if w == "when") {
+            self.bump();
+            loop {
+                guards.push(self.parse_guard()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
         self.expect(Tok::Semi, "';'")?;
-        Ok(Statement { lhs, rhs })
+        Ok(Statement { lhs, rhs, guards })
+    }
+
+    /// One `IDENT == affine` equality of a `when` clause. The guarded
+    /// identifier must be a loop index; the value is an affine form over
+    /// the indices (outer-only discipline is enforced by nest
+    /// validation, where the guard's host level is known).
+    fn parse_guard(&mut self) -> Result<crate::stmt::IndexGuard> {
+        let at = self.at();
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            other => return Err(self.err(format!("expected guard index, found {other:?}"))),
+        };
+        let Some(index) = self.index_names.iter().position(|x| x == &name) else {
+            return Err(IrError::Parse {
+                at,
+                msg: format!("'{name}' in a when clause is not a loop index"),
+            });
+        };
+        self.expect(Tok::EqEq, "'=='")?;
+        let at = self.at();
+        let lf = self.parse_linform()?;
+        let value = self.lin_to_affine(&lf, self.index_names.len(), None, false, at)?;
+        Ok(crate::stmt::IndexGuard { index, value })
     }
 
     fn parse_subscripts(&mut self) -> Result<Vec<LinForm>> {

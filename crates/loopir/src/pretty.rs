@@ -1,11 +1,14 @@
 //! Pretty-printing loop nests back to DSL/paper-style text.
 
+use crate::imperfect::ImperfectNest;
 use crate::nest::LoopNest;
-use crate::stmt::ArrayRef;
+use crate::stmt::{ArrayRef, Statement};
 use std::fmt::Write as _;
 
 /// Render a nest as indented `for`-loop text with the original index and
 /// array names (the inverse of [`crate::parse::parse_loop`] up to layout).
+/// Guarded statements render their `when` clauses, so sunk nests
+/// round-trip through the parser too.
 pub fn render(nest: &LoopNest) -> String {
     // Bound expressions span index columns then parameter columns, so
     // symbolic nests render their parameters by name.
@@ -22,9 +25,8 @@ pub fn render(nest: &LoopNest) -> String {
     for stmt in nest.body() {
         let _ = writeln!(
             out,
-            "{body_indent}{} = {};",
-            render_ref(nest, &stmt.lhs),
-            render_expr(nest, &stmt.rhs)
+            "{body_indent}{}",
+            render_stmt(&names, nest.arrays(), stmt)
         );
     }
     for k in (0..nest.depth()).rev() {
@@ -33,10 +35,77 @@ pub fn render(nest: &LoopNest) -> String {
     out
 }
 
+/// Render an imperfect nest: each level prints its `pre` statements, the
+/// nested loop, then its `post` statements (the inverse of
+/// [`crate::parse::parse_imperfect`] up to layout).
+pub fn render_imperfect(imp: &ImperfectNest) -> String {
+    let names: Vec<String> = imp.index_names().to_vec();
+    let n = imp.depth();
+    let mut out = String::new();
+    for k in 0..n {
+        let indent = "  ".repeat(k);
+        let lo = imp.lower(k).display_with(&names);
+        let hi = imp.upper(k).display_with(&names);
+        let _ = writeln!(out, "{indent}for {} = {lo}..={hi} {{", names[k]);
+        let inner = "  ".repeat(k + 1);
+        let stmts = if k + 1 == n { imp.body() } else { imp.pre(k) };
+        for stmt in stmts {
+            let _ = writeln!(out, "{inner}{}", render_stmt(&names, imp.arrays(), stmt));
+        }
+    }
+    for k in (0..n).rev() {
+        let indent = "  ".repeat(k);
+        if k + 1 < n {
+            let inner = "  ".repeat(k + 1);
+            for stmt in imp.post(k) {
+                let _ = writeln!(out, "{inner}{}", render_stmt(&names, imp.arrays(), stmt));
+            }
+        }
+        let _ = writeln!(out, "{indent}}}");
+    }
+    out
+}
+
+/// Render one statement with real names, `when` clauses included.
+pub fn render_stmt(
+    names: &[String],
+    arrays: &[crate::nest::ArrayDecl],
+    stmt: &Statement,
+) -> String {
+    let mut out = format!(
+        "{} = {}{}",
+        render_ref_names(names, arrays, &stmt.lhs),
+        render_expr_names(names, arrays, &stmt.rhs),
+        render_guards(names, &stmt.guards)
+    );
+    out.push(';');
+    out
+}
+
+/// The ` when i == e, j == f` suffix of a guarded statement (empty for
+/// unguarded ones) — the single source of the clause syntax, shared by
+/// [`render_stmt`] and `pdm-core`'s codegen.
+pub fn render_guards(names: &[String], guards: &[crate::stmt::IndexGuard]) -> String {
+    let mut out = String::new();
+    for (j, g) in guards.iter().enumerate() {
+        let sep = if j == 0 { " when " } else { ", " };
+        let _ = write!(
+            out,
+            "{sep}{} == {}",
+            names[g.index],
+            g.value.display_with(names)
+        );
+    }
+    out
+}
+
 /// Render an array reference with real names.
 pub fn render_ref(nest: &LoopNest, r: &ArrayRef) -> String {
-    let names = nest.index_names();
-    let arr = &nest.arrays()[r.array.0].name;
+    render_ref_names(nest.index_names(), nest.arrays(), r)
+}
+
+fn render_ref_names(names: &[String], arrays: &[crate::nest::ArrayDecl], r: &ArrayRef) -> String {
+    let arr = &arrays[r.array.0].name;
     let mut out = format!("{arr}[");
     for c in 0..r.access.dims() {
         if c > 0 {
@@ -72,23 +141,39 @@ pub fn render_ref(nest: &LoopNest, r: &ArrayRef) -> String {
     out
 }
 
-fn render_expr(nest: &LoopNest, e: &crate::expr::Expr) -> String {
+fn render_expr_names(
+    names: &[String],
+    arrays: &[crate::nest::ArrayDecl],
+    e: &crate::expr::Expr,
+) -> String {
     use crate::expr::Expr;
     match e {
         Expr::Const(c) => c.to_string(),
-        Expr::Index(k) => nest.index_names()[*k].clone(),
-        Expr::Read(r) => render_ref(nest, r),
-        Expr::Add(a, b) => format!("({} + {})", render_expr(nest, a), render_expr(nest, b)),
-        Expr::Sub(a, b) => format!("({} - {})", render_expr(nest, a), render_expr(nest, b)),
-        Expr::Mul(a, b) => format!("({} * {})", render_expr(nest, a), render_expr(nest, b)),
-        Expr::Neg(a) => format!("(-{})", render_expr(nest, a)),
+        Expr::Index(k) => names[*k].clone(),
+        Expr::Read(r) => render_ref_names(names, arrays, r),
+        Expr::Add(a, b) => format!(
+            "({} + {})",
+            render_expr_names(names, arrays, a),
+            render_expr_names(names, arrays, b)
+        ),
+        Expr::Sub(a, b) => format!(
+            "({} - {})",
+            render_expr_names(names, arrays, a),
+            render_expr_names(names, arrays, b)
+        ),
+        Expr::Mul(a, b) => format!(
+            "({} * {})",
+            render_expr_names(names, arrays, a),
+            render_expr_names(names, arrays, b)
+        ),
+        Expr::Neg(a) => format!("(-{})", render_expr_names(names, arrays, a)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parse::parse_loop;
+    use crate::parse::{parse_imperfect, parse_loop};
 
     #[test]
     fn roundtrip_through_parser() {
@@ -116,5 +201,28 @@ mod tests {
         let nest = parse_loop("for i = 1..=5 { A[i - 1] = A[i] - 2; }").unwrap();
         let text = render(&nest);
         assert!(text.contains("A[i - 1]"), "got: {text}");
+    }
+
+    #[test]
+    fn guarded_statement_roundtrips() {
+        let src = "for i = 0..=5 { for j = 0..=5 { A[i, j] = i when j == i + 1; } }";
+        let nest = parse_loop(src).unwrap();
+        assert!(nest.body()[0].is_guarded());
+        let text = render(&nest);
+        assert!(text.contains("when j == i + 1"), "got: {text}");
+        assert_eq!(parse_loop(&text).unwrap(), nest);
+    }
+
+    #[test]
+    fn imperfect_roundtrips_through_parser() {
+        let src = "for i = 1..=6 {
+            A[i, 0] = i;
+            for j = 1..=6 { A[i, j] = A[i - 1, j] + A[i, j - 1]; }
+            A[i, 6] = A[i, 6] + 1;
+        }";
+        let imp = parse_imperfect(src).unwrap();
+        let text = render_imperfect(&imp);
+        assert_eq!(parse_imperfect(&text).unwrap(), imp, "got: {text}");
+        assert!(text.contains("A[i, 0] = i;"));
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::access::{AffineAccess, ArrayId};
 use crate::expr::Expr;
+use pdm_poly::expr::AffineExpr;
 use std::fmt;
 
 /// Read or write classification of an access.
@@ -61,17 +62,69 @@ impl fmt::Display for ArrayRef {
     }
 }
 
-/// An assignment `lhs = rhs;` inside the loop body.
+/// An equality guard `i_index == value(i_0 … i_{index−1})` attached to a
+/// statement: the statement executes only at iteration points satisfying
+/// every one of its guards.
+///
+/// Guards are how code **sinking** embeds an imperfect-nest statement
+/// into a perfect kernel (see [`crate::normalize::sink_fully`]): a
+/// statement that originally ran once per outer iteration becomes a body
+/// statement guarded on the first (or last) iteration of each inner
+/// loop. The dependence analysis deliberately **ignores** guards — it
+/// over-approximates a guarded statement by its unguarded accesses,
+/// which is sound (extra dependences can only reduce parallelism, never
+/// break an ordering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexGuard {
+    /// The guarded loop level (0-based).
+    pub index: usize,
+    /// Affine value over the loop indices; only levels strictly outer to
+    /// `index` may carry nonzero coefficients.
+    pub value: AffineExpr,
+}
+
+impl IndexGuard {
+    /// Does the iteration point satisfy the guard?
+    ///
+    /// Evaluated in `i128` so the comparison is **exact** for any `i64`
+    /// coefficients and indices — the compiled engine's `GuardEq` op
+    /// uses the identical arithmetic, keeping the executors
+    /// bit-identical even on adversarial guard values that would
+    /// overflow an `i64` accumulator.
+    #[inline]
+    pub fn holds(&self, idx: &[i64]) -> bool {
+        let mut v = self.value.constant as i128;
+        for (c, i) in self.value.coeffs.iter().zip(idx) {
+            v += *c as i128 * *i as i128;
+        }
+        v == idx[self.index] as i128
+    }
+}
+
+/// An assignment `lhs = rhs;` inside the loop body, optionally guarded
+/// (`lhs = rhs when i2 == 0;` in the DSL).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Statement {
     /// Destination reference (the single write of the statement).
     pub lhs: ArrayRef,
     /// Right-hand side expression.
     pub rhs: Expr,
+    /// Conjunction of equality guards (empty = execute at every point).
+    pub guards: Vec<IndexGuard>,
 }
 
 impl Statement {
+    /// An unguarded assignment.
+    pub fn new(lhs: ArrayRef, rhs: Expr) -> Statement {
+        Statement {
+            lhs,
+            rhs,
+            guards: Vec::new(),
+        }
+    }
+
     /// All accesses of this statement: the write plus every read.
+    /// Guards contribute no accesses (they read only loop indices).
     pub fn accesses(&self) -> Vec<(AccessKind, &ArrayRef)> {
         let mut out = vec![(AccessKind::Write, &self.lhs)];
         let mut reads = Vec::new();
@@ -79,11 +132,30 @@ impl Statement {
         out.extend(reads.into_iter().map(|r| (AccessKind::Read, r)));
         out
     }
+
+    /// Does the statement carry guards?
+    pub fn is_guarded(&self) -> bool {
+        !self.guards.is_empty()
+    }
+
+    /// Do all guards hold at the iteration point?
+    #[inline]
+    pub fn guards_hold(&self, idx: &[i64]) -> bool {
+        self.guards.iter().all(|g| g.holds(idx))
+    }
 }
 
+// Name-free diagnostic rendering (indices as `i1…`, guard values in the
+// generic `x0…` form) — the *parseable* text form with real index/array
+// names is `crate::pretty::render_stmt`.
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} = {};", self.lhs, self.rhs)
+        write!(f, "{} = {}", self.lhs, self.rhs)?;
+        for (j, g) in self.guards.iter().enumerate() {
+            let sep = if j == 0 { " when " } else { ", " };
+            write!(f, "{sep}i{} == {}", g.index + 1, g.value)?;
+        }
+        write!(f, ";")
     }
 }
 
@@ -107,16 +179,32 @@ mod tests {
             array: ArrayId(0),
             access: access(&[vec![1], vec![1]], &[1]),
         };
-        let s = Statement {
-            lhs: w.clone(),
-            rhs: Expr::add(Expr::Read(r.clone()), Expr::Const(1)),
-        };
+        let s = Statement::new(w.clone(), Expr::add(Expr::Read(r.clone()), Expr::Const(1)));
         let acc = s.accesses();
         assert_eq!(acc.len(), 2);
         assert_eq!(acc[0].0, AccessKind::Write);
         assert_eq!(acc[0].1, &w);
         assert_eq!(acc[1].0, AccessKind::Read);
         assert_eq!(acc[1].1, &r);
+    }
+
+    #[test]
+    fn guards_gate_execution_points() {
+        let w = ArrayRef {
+            array: ArrayId(0),
+            access: access(&[vec![1], vec![0]], &[0]),
+        };
+        let mut s = Statement::new(w, Expr::Const(1));
+        assert!(!s.is_guarded());
+        assert!(s.guards_hold(&[3, 9]));
+        // Guard: i2 == i1 + 1.
+        s.guards.push(IndexGuard {
+            index: 1,
+            value: AffineExpr::new(pdm_matrix::vec::IVec::from_slice(&[1, 0]), 1),
+        });
+        assert!(s.guards_hold(&[3, 4]));
+        assert!(!s.guards_hold(&[3, 5]));
+        assert!(s.to_string().contains("when i2 == x0 + 1"));
     }
 
     #[test]

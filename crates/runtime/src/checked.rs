@@ -53,6 +53,9 @@ fn log_group_range(
             let mut count = 0u64;
             walk_group(nest, plan, &g, |idx| {
                 for stmt in nest.body() {
+                    if !stmt.guards_hold(idx) {
+                        continue;
+                    }
                     for (kind, r) in stmt.accesses() {
                         let sub = r.access.eval(&IVec(idx.to_vec()))?;
                         let cell =
@@ -102,23 +105,47 @@ pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) 
     let logs: Vec<(u64, u64, Vec<LoggedAccess>)> = logs?.into_iter().flatten().collect();
 
     // Cross-group conflict detection (keyed by global group index).
-    let mut owner: HashMap<(usize, usize), (u64, bool)> = HashMap::new();
+    let (conflicts, sample) = detect_conflicts(
+        logs.iter().map(|(gid, _, log)| (*gid, log.as_slice())),
+        |g0, g1, a| {
+            format!(
+                "array {} cell {} touched by groups {} and {}",
+                a.array, a.cell, g0, g1
+            )
+        },
+    );
+    if conflicts > 0 {
+        return Err(RuntimeError::RaceDetected { conflicts, sample });
+    }
+    Ok(logs.iter().map(|(_, c, _)| c).sum())
+}
+
+/// First-toucher conflict scan over the access logs of one concurrency
+/// domain: two distinct `unit`s touching a common `(array, cell)` with
+/// at least one write conflict. The single implementation behind both
+/// checkers — [`run_parallel_checked`] keys units by global group id,
+/// [`run_program_parallel_checked`] by `(kernel, group)` — so the
+/// subtle first-owner/wrote-flag merge rule lives in exactly one place.
+/// Returns the conflict count and a sample description (empty when
+/// clean).
+fn detect_conflicts<'a, K: Copy + PartialEq>(
+    logs: impl IntoIterator<Item = (K, &'a [LoggedAccess])>,
+    describe: impl Fn(K, K, &LoggedAccess) -> String,
+) -> (usize, String) {
+    let mut owner: HashMap<(usize, usize), (K, bool)> = HashMap::new();
     let mut conflicts = 0usize;
     let mut sample = String::new();
-    for (gid, _, log) in &logs {
+    for (unit, log) in logs {
         for a in log {
             match owner.get_mut(&(a.array, a.cell)) {
                 None => {
-                    owner.insert((a.array, a.cell), (*gid, a.write));
+                    owner.insert((a.array, a.cell), (unit, a.write));
                 }
-                Some((g0, wrote)) => {
-                    if *g0 != *gid && (a.write || *wrote) {
+                Some((u0, wrote)) => {
+                    if *u0 != unit && (a.write || *wrote) {
                         conflicts += 1;
                         if sample.is_empty() {
-                            sample = format!(
-                                "array {} cell {} touched by groups {} and {}",
-                                a.array, a.cell, g0, gid
-                            );
+                            sample = describe(*u0, unit, a);
                         }
                     } else {
                         *wrote |= a.write;
@@ -127,10 +154,58 @@ pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) 
             }
         }
     }
-    if conflicts > 0 {
-        return Err(RuntimeError::RaceDetected { conflicts, sample });
+    (conflicts, sample)
+}
+
+/// Execute a multi-kernel [`pdm_core::program::ProgramPlan`] stage by
+/// stage while logging
+/// every access per **(kernel, group)** unit, then detect conflicts
+/// *within* each stage — two distinct units of the same stage touching
+/// one cell with at least one write is a race (units of one stage run
+/// concurrently; cross-stage conflicts are exactly what the DAG barriers
+/// order, so they are legal).
+///
+/// Race reports name the kernel index **alongside** the global group id
+/// (`kernel 1 group 3 and kernel 2 group 0 in stage 1`): with
+/// multi-kernel plans a bare group id is ambiguous — every kernel has a
+/// group 0.
+///
+/// Returns the summed kernel iteration count, or
+/// [`RuntimeError::RaceDetected`].
+pub fn run_program_parallel_checked(
+    pp: &pdm_core::program::ProgramPlan,
+    mem: &Memory,
+) -> Result<u64> {
+    let mut total = 0u64;
+    for (si, stage) in pp.stages().iter().enumerate() {
+        // Log every (kernel, group) unit of this stage, then scan for
+        // cross-unit conflicts with the shared detector.
+        let mut stage_logs: Vec<((usize, u64), Vec<LoggedAccess>)> = Vec::new();
+        for &k in stage {
+            let kp = &pp.kernels()[k];
+            let offsets = offset_table(&kp.plan);
+            for (gid, count, log) in
+                log_group_range(kp.nest(), &kp.plan, &offsets, mem, 0, u64::MAX)?
+            {
+                total += count;
+                stage_logs.push(((k, gid), log));
+            }
+        }
+        let (conflicts, sample) = detect_conflicts(
+            stage_logs.iter().map(|(unit, log)| (*unit, log.as_slice())),
+            |(k0, g0), (k1, g1), a| {
+                format!(
+                    "array {} cell {} touched by kernel {k0} group {g0} \
+                     and kernel {k1} group {g1} in stage {si}",
+                    a.array, a.cell
+                )
+            },
+        );
+        if conflicts > 0 {
+            return Err(RuntimeError::RaceDetected { conflicts, sample });
+        }
     }
-    Ok(logs.iter().map(|(_, c, _)| c).sum())
+    Ok(total)
 }
 
 fn r_eval(access: &pdm_loopir::access::AffineAccess, idx: &[i64]) -> Vec<i64> {
@@ -186,6 +261,56 @@ mod tests {
             matches!(err, Err(RuntimeError::RaceDetected { .. })),
             "expected race, got {err:?}"
         );
+    }
+
+    #[test]
+    fn program_checker_passes_correct_plans_and_names_kernels() {
+        let imp = pdm_loopir::parse::parse_imperfect(
+            "for i = 0..=6 {
+               B[i, 0] = i;
+               for j = 1..=6 { A[i, j] = A[i, j - 1] + B[i, 0]; }
+             }",
+        )
+        .unwrap();
+        let pp = pdm_core::program::parallelize_program(&imp).unwrap();
+        let mem = Memory::for_imperfect(&imp).unwrap();
+        let n = run_program_parallel_checked(&pp, &mem).unwrap();
+        assert!(n > 0);
+        // The checked run's memory matches the reference.
+        let m_ref = Memory::for_imperfect(&imp).unwrap();
+        crate::staged::run_imperfect_sequential(&imp, &m_ref).unwrap();
+        assert_eq!(mem.snapshot(), m_ref.snapshot());
+    }
+
+    #[test]
+    fn program_checker_reports_kernel_index_on_injected_race() {
+        // Two kernels with a real flow dependence (pre writes B[i, 0],
+        // body reads it). Deleting the DAG edge collapses them into one
+        // stage — the checker must see the cross-kernel conflict and
+        // name both kernel indices in the sample.
+        let imp = pdm_loopir::parse::parse_imperfect(
+            "for i = 0..=6 {
+               B[i, 0] = i;
+               for j = 1..=6 { A[i, j] = B[i, 0] + j; }
+             }",
+        )
+        .unwrap();
+        let mut normalized = pdm_loopir::normalize::to_perfect_kernels(&imp).unwrap();
+        assert_eq!(normalized.edges, vec![(0, 1)], "test needs a real edge");
+        normalized.edges.clear(); // inject the wrong (barrier-free) DAG
+        let wrong = pdm_core::program::plan_program(normalized).unwrap();
+        assert_eq!(wrong.stages().len(), 1);
+        let mem = Memory::for_imperfect(&imp).unwrap();
+        match run_program_parallel_checked(&wrong, &mem) {
+            Err(RuntimeError::RaceDetected { sample, .. }) => {
+                assert!(
+                    sample.contains("kernel 0") && sample.contains("kernel 1"),
+                    "sample must name both kernels: {sample}"
+                );
+                assert!(sample.contains("stage 0"), "{sample}");
+            }
+            other => panic!("expected race, got {other:?}"),
+        }
     }
 
     #[test]

@@ -546,8 +546,15 @@ impl CompiledPlan {
     /// Walk the contiguous group range `start..end` with one streaming
     /// cursor, reusing `s` across every group — no group structs are
     /// constructed. Both the parallel tasks and the single-thread
-    /// fallback route through here, so the cursor code has one driver.
-    fn run_range(&self, mem: &Memory, start: u64, end: u64, s: &mut PlanScratch) -> Result<u64> {
+    /// fallback route through here (and, `pub(crate)`, the staged
+    /// multi-kernel executor), so the cursor code has one driver.
+    pub(crate) fn run_range(
+        &self,
+        mem: &Memory,
+        start: u64,
+        end: u64,
+        s: &mut PlanScratch,
+    ) -> Result<u64> {
         let mut total = 0u64;
         schedule::for_each_group_in_range(
             &self.eng.bounds,

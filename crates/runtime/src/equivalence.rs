@@ -103,6 +103,78 @@ pub fn compare_three_way(
     })
 }
 
+/// Outcome of a program (imperfect-nest) equivalence run: every
+/// normalized executor against the imperfect reference interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramReport {
+    /// Statement executions of the imperfect reference.
+    pub reference_stmts: u64,
+    /// Summed kernel iterations (identical across the program executors
+    /// by construction).
+    pub kernel_iterations: u64,
+    /// Kernels in the plan.
+    pub kernels: usize,
+    /// Fissioned-sequential (kernels in order) matched the reference.
+    pub fission_seq_equal: bool,
+    /// Staged interpreted-parallel matched the reference.
+    pub interp_par_equal: bool,
+    /// Staged compiled-parallel matched the reference.
+    pub compiled_par_equal: bool,
+}
+
+impl ProgramReport {
+    /// All executors agreed with the reference.
+    pub fn all_equal(&self) -> bool {
+        self.fission_seq_equal && self.interp_par_equal && self.compiled_par_equal
+    }
+}
+
+/// Run the imperfect reference interpreter, the fissioned-sequential
+/// baseline, the staged interpreted-parallel executor, and the staged
+/// compiled-parallel engine from identical deterministic initial memory,
+/// and compare every result against the reference.
+pub fn compare_program(
+    imp: &pdm_loopir::imperfect::ImperfectNest,
+    pp: &pdm_core::program::ProgramPlan,
+    seed: u64,
+) -> Result<ProgramReport> {
+    let mut m_ref = Memory::for_imperfect(imp)?;
+    let mut m_seq = Memory::for_imperfect(imp)?;
+    let mut m_par = Memory::for_imperfect(imp)?;
+    let mut m_comp = Memory::for_imperfect(imp)?;
+    m_ref.init_deterministic(seed);
+    m_seq.init_deterministic(seed);
+    m_par.init_deterministic(seed);
+    m_comp.init_deterministic(seed);
+    let reference_stmts = crate::staged::run_imperfect_sequential(imp, &m_ref)?;
+    let c_seq = crate::staged::run_program_sequential(pp, &m_seq)?;
+    let c_par = crate::staged::run_program_parallel(pp, &m_par)?;
+    let compiled = crate::staged::CompiledProgram::compile(pp, &m_comp)?;
+    let c_comp = compiled.run_parallel(&m_comp)?;
+    debug_assert_eq!(c_seq, c_par, "program iteration counts diverged");
+    debug_assert_eq!(c_seq, c_comp, "compiled program iteration count diverged");
+    let reference = m_ref.snapshot();
+    Ok(ProgramReport {
+        reference_stmts,
+        kernel_iterations: c_seq,
+        kernels: pp.kernel_count(),
+        fission_seq_equal: reference == m_seq.snapshot(),
+        interp_par_equal: reference == m_par.snapshot() && c_seq == c_par,
+        compiled_par_equal: reference == m_comp.snapshot() && c_seq == c_comp,
+    })
+}
+
+/// Convenience assertion: normalize, plan, and require every program
+/// executor to match the imperfect reference bit-for-bit.
+pub fn assert_program_equivalent(imp: &pdm_loopir::imperfect::ImperfectNest, seed: u64) {
+    let pp = pdm_core::program::parallelize_program(imp).expect("parallelize_program");
+    let rep = compare_program(imp, &pp, seed).expect("execute");
+    assert!(
+        rep.all_equal(),
+        "program executors diverged from the imperfect reference: {rep:?}"
+    );
+}
+
 /// Convenience assertion: analyze, plan, and require all three executors
 /// to agree bit-for-bit.
 pub fn assert_three_way_equivalent(nest: &LoopNest, seed: u64) {

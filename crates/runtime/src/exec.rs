@@ -67,15 +67,31 @@ fn range_at(bounds: &LoopBounds, level: usize, idx: &[i64]) -> Result<(i64, i64)
     Ok(bounds.range(level, prefix)?)
 }
 
-/// Execute the loop body at one iteration point.
+/// Execute the loop body at one iteration point. Guarded statements
+/// (sunk imperfect-nest statements) run only where their index
+/// equalities hold.
 #[inline]
 pub fn exec_body(nest: &LoopNest, mem: &Memory, idx: &[i64]) -> Result<()> {
     for stmt in nest.body() {
-        let value = eval_expr(&stmt.rhs, mem, idx)?;
-        let sub = eval_access(&stmt.lhs.access, idx);
-        mem.write(stmt.lhs.array, &sub, value)?;
+        exec_stmt(stmt, mem, idx)?;
     }
     Ok(())
+}
+
+/// Execute one (possibly guarded) statement at one iteration point —
+/// shared by [`exec_body`] and the imperfect-nest reference interpreter.
+#[inline]
+pub(crate) fn exec_stmt(
+    stmt: &pdm_loopir::stmt::Statement,
+    mem: &Memory,
+    idx: &[i64],
+) -> Result<()> {
+    if !stmt.guards_hold(idx) {
+        return Ok(());
+    }
+    let value = eval_expr(&stmt.rhs, mem, idx)?;
+    let sub = eval_access(&stmt.lhs.access, idx);
+    mem.write(stmt.lhs.array, &sub, value)
 }
 
 /// Evaluate an affine access into a freshly allocated subscript vector.
@@ -287,8 +303,9 @@ pub fn walk_group<F: FnMut(&[i64]) -> Result<()>>(
 
 /// Walk the contiguous group range `start..end` with one cursor, holding
 /// at most one [`GroupSpec`] alive at a time. Returns the iterations
-/// executed.
-fn run_group_range(
+/// executed. (`pub(crate)`: the staged multi-kernel executor drives
+/// per-kernel ranges through the same runner.)
+pub(crate) fn run_group_range(
     nest: &LoopNest,
     plan: &ParallelPlan,
     offsets: &[IVec],

@@ -30,6 +30,16 @@
 //!    deltas (strength reduction), and partition residues are computed
 //!    once per level entry with lattice coordinates advancing by 1.
 //!
+//! **Staged program executor** ([`staged`]). Imperfect nests normalize
+//! into multi-kernel [`pdm_core::program::ProgramPlan`]s; the staged
+//! executors run them — interpreted or compiled — with kernels of one
+//! DAG stage sharing a single rayon region (their streaming group
+//! ranges flattened into one task list) and barriers **only** at stage
+//! boundaries. [`staged::run_imperfect_sequential`] is the matching
+//! reference semantics, and
+//! [`checked::run_program_parallel_checked`] validates stage-level
+//! independence with kernel-indexed race reports.
+//!
 //! Supporting modules:
 //!
 //! * [`schedule`] — the streaming group enumerator: prefix cursors,
@@ -64,12 +74,16 @@ pub mod exec;
 pub mod memory;
 pub mod program;
 pub mod schedule;
+pub mod staged;
 pub mod template;
 
 pub use compile::{CompiledNest, CompiledPlan};
 pub use exec::{run_parallel, run_sequential, run_transformed_sequential};
 pub use memory::Memory;
 pub use schedule::{GroupCursor, Schedule};
+pub use staged::{
+    run_imperfect_sequential, run_program_parallel, run_program_sequential, CompiledProgram,
+};
 pub use template::{CompiledInstance, InstantiateCompiled, PlanCache};
 
 /// Errors from execution.

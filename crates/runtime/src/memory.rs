@@ -121,6 +121,17 @@ impl Memory {
         Ok(Memory { arrays })
     }
 
+    /// Allocate arrays sized for every statement of an imperfect nest.
+    /// Sizing runs over the nest's
+    /// [`hull`](pdm_loopir::imperfect::ImperfectNest::hull) — the
+    /// perfect nest holding all statements — which touches a superset of
+    /// the real accesses, so every executor (imperfect reference,
+    /// fissioned kernels, sunk guarded kernels) fits in the same box and
+    /// kernels can share one memory with stable array ids.
+    pub fn for_imperfect(imp: &pdm_loopir::imperfect::ImperfectNest) -> Result<Memory> {
+        Memory::for_nest(&imp.hull()?)
+    }
+
     /// Deterministically initialize every cell from its flat index (used
     /// so equivalence tests exercise non-trivial data).
     pub fn init_deterministic(&mut self, seed: u64) {

@@ -56,6 +56,19 @@ pub enum Op {
     Neg,
     /// Pop one value and store it through access table entry `a`.
     Store(u32),
+    /// Skip the next `skip` ops unless `idx[level] == guards[g](idx)` —
+    /// the compiled form of a statement's [`pdm_loopir::stmt::IndexGuard`].
+    /// A guarded statement compiles to its guard checks first, each
+    /// jumping past the statement's remaining ops on failure, so the
+    /// operand stack stays empty across a skip.
+    GuardEq {
+        /// Guarded loop level.
+        level: u32,
+        /// Index into the program's guard-value table.
+        g: u32,
+        /// Ops to skip when the guard fails.
+        skip: u32,
+    },
 }
 
 /// An array reference lowered to a linear form over the iteration vector:
@@ -134,6 +147,9 @@ pub struct Scratch {
 pub struct Program {
     ops: Vec<Op>,
     accesses: Vec<LinAccess>,
+    /// Guard-value table: affine forms `coeffs · idx + constant` over the
+    /// original indices, referenced by [`Op::GuardEq`].
+    guards: Vec<(Vec<i64>, i64)>,
     depth: usize,
     max_stack: usize,
 }
@@ -144,8 +160,12 @@ impl Program {
         let depth = nest.depth();
         let mut ops = Vec::new();
         let mut accesses = Vec::new();
+        let mut guards = Vec::new();
         for stmt in nest.body() {
-            emit_expr(&stmt.rhs, nest, mem, depth, &mut ops, &mut accesses)?;
+            // Compile the statement body first so each guard knows how
+            // many ops it must skip on failure.
+            let mut stmt_ops = Vec::new();
+            emit_expr(&stmt.rhs, nest, mem, depth, &mut stmt_ops, &mut accesses)?;
             let id = push_access(
                 &stmt.lhs.access,
                 stmt.lhs.array.0,
@@ -154,12 +174,29 @@ impl Program {
                 depth,
                 &mut accesses,
             )?;
-            ops.push(Op::Store(id));
+            stmt_ops.push(Op::Store(id));
+            // Guard checks: each failure skips the remaining guards and
+            // the statement ops (the stack is empty between statements).
+            for (j, guard) in stmt.guards.iter().enumerate() {
+                let g = guards.len() as u32;
+                guards.push((
+                    (0..depth).map(|k| guard.value.coeff(k)).collect(),
+                    guard.value.constant,
+                ));
+                let remaining_guards = stmt.guards.len() - 1 - j;
+                ops.push(Op::GuardEq {
+                    level: guard.index as u32,
+                    g,
+                    skip: (remaining_guards + stmt_ops.len()) as u32,
+                });
+            }
+            ops.extend(stmt_ops);
         }
         let max_stack = simulate_stack(&ops);
         Ok(Program {
             ops,
             accesses,
+            guards,
             depth,
             max_stack,
         })
@@ -207,8 +244,24 @@ impl Program {
     pub fn exec(&self, mem: &Memory, scratch: &mut Scratch) -> Result<()> {
         let stack = &mut scratch.stack;
         let mut sp = 0usize;
-        for op in &self.ops {
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            let op = &self.ops[pc];
+            pc += 1;
             match *op {
+                Op::GuardEq { level, g, skip } => {
+                    // Exact i128 evaluation, bit-identical to
+                    // `IndexGuard::holds` (guard arithmetic must not
+                    // wrap — a wrapped value could alias a real index).
+                    let (coeffs, constant) = &self.guards[g as usize];
+                    let mut v = *constant as i128;
+                    for (c, i) in coeffs.iter().zip(&scratch.idx) {
+                        v += *c as i128 * *i as i128;
+                    }
+                    if v != scratch.idx[level as usize] as i128 {
+                        pc += skip as usize;
+                    }
+                }
                 Op::Const(c) => {
                     stack[sp] = c;
                     sp += 1;
@@ -261,6 +314,11 @@ impl Program {
         }
         debug_assert_eq!(sp, 0, "program left operands on the stack");
         Ok(())
+    }
+
+    /// Number of compiled guard checks (for tests/inspection).
+    pub fn guard_count(&self) -> usize {
+        self.guards.len()
     }
 
     /// Cold path: reconstruct the subscript of a failed access.
@@ -338,7 +396,9 @@ fn simulate_stack(ops: &[Op]) -> usize {
         match op {
             Op::Const(_) | Op::Index(_) | Op::Load(_) => depth += 1,
             Op::Add | Op::Sub | Op::Mul | Op::Store(_) => depth -= 1,
-            Op::Neg => {}
+            // A guard skips a stack-balanced region, so the linear scan
+            // stays a sound over-approximation of the true maximum.
+            Op::Neg | Op::GuardEq { .. } => {}
         }
         max = max.max(depth);
     }
@@ -396,6 +456,59 @@ mod tests {
         let (_, _, prog) = compile("for i = 0..=3 { A[i] = ((i + 1) * (i - 2)) + A[i]; }");
         assert!(prog.new_scratch().stack.len() >= 2);
         assert!(!prog.ops().is_empty());
+    }
+
+    #[test]
+    fn guarded_statement_compiles_and_skips() {
+        // A[i, j] += 1 everywhere; B[i, 0] = i only at j == 0.
+        let (nest, mem, prog) = compile(
+            "for i = 0..=4 { for j = 0..=4 {
+               A[i, j] = A[i, j] + 1;
+               B[i, 0] = i when j == 0;
+             } }",
+        );
+        assert_eq!(prog.guard_count(), 1);
+        let mem2 = Memory::for_nest(&nest).unwrap();
+        let mut scratch = prog.new_scratch();
+        for it in nest.iterations().unwrap() {
+            scratch.idx.copy_from_slice(it.as_slice());
+            prog.reset_flats(&mut scratch);
+            prog.exec(&mem, &mut scratch).unwrap();
+            crate::exec::exec_body(&nest, &mem2, it.as_slice()).unwrap();
+        }
+        assert_eq!(mem.snapshot(), mem2.snapshot());
+        // B got exactly the guarded writes.
+        let b = nest.array_by_name("B").unwrap();
+        for i in 0..=4 {
+            assert_eq!(mem.read(b, &[i, 0]).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn guard_overflow_is_exact_across_executors() {
+        // 2^62 * i overflows an i64 accumulator at i = 4 (wrapping to
+        // 0, which would falsely match j = 0). Exact i128 guard
+        // arithmetic must keep the compiled engine and the interpreter
+        // bit-identical: the guard holds only at i = 0, j = 0.
+        let (nest, mem, prog) = compile(
+            "for i = 0..=4 { for j = 0..=4 { A[i, j] = 7 when j == 4611686018427387904*i; } }",
+        );
+        let mem2 = Memory::for_nest(&nest).unwrap();
+        let mut scratch = prog.new_scratch();
+        for it in nest.iterations().unwrap() {
+            scratch.idx.copy_from_slice(it.as_slice());
+            prog.reset_flats(&mut scratch);
+            prog.exec(&mem, &mut scratch).unwrap();
+            crate::exec::exec_body(&nest, &mem2, it.as_slice()).unwrap();
+        }
+        assert_eq!(mem.snapshot(), mem2.snapshot());
+        let a = nest.array_by_name("A").unwrap();
+        assert_eq!(mem.read(a, &[0, 0]).unwrap(), 7);
+        assert_eq!(
+            mem.read(a, &[4, 0]).unwrap(),
+            0,
+            "wrapped guard must not fire"
+        );
     }
 
     #[test]

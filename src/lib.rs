@@ -55,9 +55,54 @@
 //! }
 //! ```
 //!
+//! ## Imperfect nests: the LU example
+//!
+//! The paper's machinery assumes a perfect nest, but the pipeline now
+//! accepts **imperfect** ones — statements between loop levels — by
+//! normalizing them into perfect kernels (code sinking with `when`
+//! guards, or loop fission with a dependence-direction proof) and
+//! planning each kernel separately, sequenced by a dependence DAG with
+//! barriers only at its edges. An LU-style elimination, with statements
+//! at three different depths, runs end to end:
+//!
+//! ```
+//! use vardep_loops::prelude::*;
+//!
+//! let imp = parse_imperfect(
+//!     "for k = 0..=5 {
+//!        A[k, k] = A[k, k] + 1;                       # pivot, depth 1
+//!        for i = k + 1..=7 {
+//!          A[i, k] = A[i, k] * A[k, k];               # scale, depth 2
+//!          for j = k + 1..=7 {
+//!            A[i, j] = A[i, j] - A[i, k] * A[k, j];   # update, depth 3
+//!          }
+//!        }
+//!      }",
+//! ).unwrap();
+//!
+//! // The trailing update feeds the next step's pivot — a cycle through
+//! // k — so fission is illegal and the normalizer sinks: one perfect
+//! // kernel whose pivot/scale statements are guarded on the first
+//! // inner iterations.
+//! let prog = to_perfect_kernels(&imp).unwrap();
+//! assert_eq!(prog.kernels.len(), 1);
+//! assert!(prog.kernels[0].nest.body()[0].is_guarded());
+//!
+//! // Plan + execute: staged parallel runs are bit-identical to the
+//! // imperfect reference interpreter.
+//! let pp = parallelize_program(&imp).unwrap();
+//! let rep = vardep_loops::runtime::equivalence::compare_program(&imp, &pp, 7).unwrap();
+//! assert!(rep.all_equal());
+//! ```
+//!
+//! A prologue/epilogue nest instead *fissions* into multiple kernels —
+//! see `examples/imperfect_lu.rs` and
+//! [`pdm_core::program::ProgramPlan`] for the staged schedule.
+//!
 //! Crate map: [`matrix`] (exact integer linear algebra), [`poly`]
-//! (Fourier–Motzkin), [`loopir`] (nest IR + DSL), [`core`] (the paper's
-//! analysis and transformations), [`runtime`] (rayon execution),
+//! (Fourier–Motzkin), [`loopir`] (nest IR + DSL, perfect and
+//! imperfect), [`core`] (the paper's analysis and transformations),
+//! [`runtime`] (rayon execution, staged multi-kernel programs),
 //! [`isdg`] (ground-truth dependence graphs), [`baselines`] (the
 //! related-work methods of Table 1).
 
@@ -71,16 +116,22 @@ pub use pdm_runtime as runtime;
 
 /// Convenient glob-import surface for examples and quick scripts.
 pub mod prelude {
-    pub use pdm_core::codegen::render_plan;
+    pub use pdm_core::codegen::{render_plan, render_program_plan};
     pub use pdm_core::pdm::PdmAnalysis;
-    pub use pdm_core::pipeline::{analyze, parallelize};
+    pub use pdm_core::pipeline::{analyze, parallelize, parallelize_program};
     pub use pdm_core::plan::ParallelPlan;
+    pub use pdm_core::program::ProgramPlan;
     pub use pdm_core::template::{plan_template, PlanTemplate};
     pub use pdm_isdg::graph::Isdg;
+    pub use pdm_loopir::imperfect::ImperfectNest;
     pub use pdm_loopir::nest::LoopNest;
-    pub use pdm_loopir::parse::{parse_loop, parse_loop_symbolic, parse_loop_with};
+    pub use pdm_loopir::normalize::{sink_fully, to_perfect_kernels, unsink};
+    pub use pdm_loopir::parse::{
+        parse_imperfect, parse_loop, parse_loop_symbolic, parse_loop_with,
+    };
     pub use pdm_matrix::{IMat, IVec, Lattice, Unimodular};
     pub use pdm_runtime::exec::{run_parallel, run_sequential};
     pub use pdm_runtime::memory::Memory;
+    pub use pdm_runtime::staged::{run_imperfect_sequential, CompiledProgram};
     pub use pdm_runtime::template::{InstantiateCompiled, PlanCache};
 }

@@ -78,4 +78,59 @@ fn streaming_replaces_the_group_materialization_spike() {
         checked_peak <= streaming_bound,
         "checked streaming peak {checked_peak} exceeds {streaming_bound}"
     );
+
+    // 5. Multi-kernel (imperfect) programs: the gauge never
+    //    double-counts across kernel barriers — every stage drains its
+    //    transient groups before the next one starts, so the peak stays
+    //    within the single-stage streaming bound and the live count
+    //    returns exactly to base after each staged run.
+    let imp = vardep_loops::prelude::parse_imperfect(
+        "for a = 0..=17 {
+           B[a, 0, 0, 0] = a;
+           for b = 0..=17 { for c = 0..=17 { for d = 0..=17 {
+             A[a, b, c, d] = B[a, 0, 0, 0] + 2*b + 3*c + d;
+           } } }
+         }",
+    )
+    .unwrap();
+    let pp = vardep_loops::prelude::parallelize_program(&imp).unwrap();
+    assert!(pp.kernel_count() >= 2, "program must be multi-kernel");
+    assert!(pp.barrier_count() >= 1, "program must cross a barrier");
+    let pmem = vardep_loops::runtime::Memory::for_imperfect(&imp).unwrap();
+
+    // Compiled staged execution constructs zero group structs, across
+    // every stage.
+    reset_peak_live_groups();
+    let cp = vardep_loops::runtime::CompiledProgram::compile(&pp, &pmem).unwrap();
+    cp.run_parallel(&pmem).unwrap();
+    assert_eq!(
+        peak_live_groups(),
+        base,
+        "compiled staged run must not construct any group structs"
+    );
+    assert_eq!(live_groups(), base, "compiled staged run leaked groups");
+
+    // Interpreted staged execution stays within the one-stage bound:
+    // a barrier that failed to drain its stage's transient groups
+    // (double-counting across kernels) would push the peak past it.
+    reset_peak_live_groups();
+    vardep_loops::runtime::run_program_parallel(&pp, &pmem).unwrap();
+    let staged_peak = peak_live_groups() - base;
+    assert!(
+        staged_peak <= streaming_bound,
+        "staged interpreted peak {staged_peak} exceeds the per-stage bound \
+         {streaming_bound} — groups double-counted across a kernel barrier"
+    );
+    assert_eq!(live_groups(), base, "staged interpreted run leaked groups");
+
+    // The program-level checked executor streams one group at a time
+    // per kernel and also drains completely.
+    reset_peak_live_groups();
+    vardep_loops::runtime::checked::run_program_parallel_checked(&pp, &pmem).unwrap();
+    let checked_staged_peak = peak_live_groups() - base;
+    assert!(
+        checked_staged_peak <= streaming_bound,
+        "checked staged peak {checked_staged_peak} exceeds {streaming_bound}"
+    );
+    assert_eq!(live_groups(), base, "checked staged run leaked groups");
 }

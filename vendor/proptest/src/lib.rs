@@ -7,6 +7,25 @@
 //! [`proptest!`] macro. No shrinking — a failing case panics with its
 //! case number, and the RNG is seeded from the test name so every run
 //! reproduces the same sequence.
+//!
+//! # Seed pinning and the `PDM_PROPTEST_SEED` knob
+//!
+//! Determinism-by-test-name means a failure reproduces *anywhere* with
+//! no extra state. To widen coverage without losing that property, the
+//! seed can be **perturbed explicitly** through the
+//! `PDM_PROPTEST_SEED` environment variable: the variable's value
+//! (parsed as `u64`, or FNV-hashed when it is not a number) is mixed
+//! into every test's name-derived seed. CI pins `PDM_PROPTEST_SEED=1`
+//! in the workflow, so the exact sampled sequence is part of the CI
+//! configuration — a red run names a case any machine replays with
+//!
+//! ```sh
+//! PDM_PROPTEST_SEED=1 cargo test --test imperfect_nests
+//! ```
+//!
+//! and different local values (`PDM_PROPTEST_SEED=7 cargo test …`)
+//! explore fresh sequences on demand. Unset, the pure name-derived
+//! stream is used.
 
 pub mod test_runner {
     //! Deterministic RNG plus the pass/fail/reject plumbing.
@@ -17,14 +36,30 @@ pub mod test_runner {
 
     impl TestRng {
         /// Seed from an arbitrary string (the test name), so each test
-        /// gets a distinct but reproducible stream.
+        /// gets a distinct but reproducible stream; the
+        /// `PDM_PROPTEST_SEED` environment variable (see the crate docs)
+        /// perturbs the seed explicitly and reproducibly.
         pub fn deterministic(name: &str) -> Self {
+            let mut h = Self::fnv(name);
+            if let Ok(v) = std::env::var("PDM_PROPTEST_SEED") {
+                let mix = v
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| Self::fnv(v.trim()));
+                if mix != 0 {
+                    h ^= mix.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+            }
+            TestRng(h.max(1))
+        }
+
+        fn fnv(s: &str) -> u64 {
             let mut h = 0xcbf29ce484222325u64; // FNV-1a
-            for b in name.bytes() {
+            for b in s.bytes() {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100000001b3);
             }
-            TestRng(h.max(1))
+            h
         }
 
         /// Next raw 64-bit value.
@@ -420,5 +455,16 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn env_seed_perturbs_reproducibly() {
+        // Not testable via real env mutation without racing parallel
+        // tests; check the mixing arithmetic through two fresh streams
+        // instead: same name + same env state => same stream (covered
+        // above), and the name-derived base already differs per name.
+        let mut a = crate::test_runner::TestRng::deterministic("one");
+        let mut b = crate::test_runner::TestRng::deterministic("two");
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 }
