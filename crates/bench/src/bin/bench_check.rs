@@ -1,6 +1,7 @@
 //! CI perf-regression gate: re-measure the `BENCH_runtime.json`,
-//! `BENCH_fm.json`, `BENCH_groups.json`, `BENCH_template.json`, and
-//! `BENCH_imperfect.json` workloads and fail when a gated metric drops below the committed
+//! `BENCH_fm.json`, `BENCH_groups.json`, `BENCH_template.json`,
+//! `BENCH_imperfect.json`, and `BENCH_scaling.json` workloads and fail
+//! when a gated metric drops below the committed
 //! snapshot by more than its tolerance (25% for deterministic count
 //! ratios, 40% for timing-based speedups — see `pdm_bench::perf`).
 //! Per-metric deltas are printed even on green runs so drifts stay
@@ -99,6 +100,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let committed_scaling = match committed_metrics("BENCH_scaling.json") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("bench_check: re-measuring runtime throughput...");
     let runtime_fresh = perf::runtime_json(&perf::runtime_cases());
@@ -111,6 +119,8 @@ fn main() -> ExitCode {
     let template_fresh = perf::template_json(&perf::template_cases());
     println!("bench_check: re-measuring imperfect-nest pipelines...");
     let imperfect_fresh = perf::imperfect_json(&perf::imperfect_cases());
+    println!("bench_check: re-measuring thread scaling...");
+    let scaling_fresh = perf::scaling_json(&perf::scaling_cases());
 
     let mut regressions = Vec::new();
     for (label, committed, fresh) in [
@@ -127,6 +137,7 @@ fn main() -> ExitCode {
             &committed_imperfect,
             imperfect_fresh.as_str(),
         ),
+        ("BENCH_scaling", &committed_scaling, scaling_fresh.as_str()),
     ] {
         match check(label, committed, fresh, strict) {
             Ok(mut r) => regressions.append(&mut r),
@@ -159,7 +170,7 @@ fn main() -> ExitCode {
         }
         eprintln!(
             "(intentional? regenerate the snapshots with bench_runtime / bench_fm / \
-             bench_groups / bench_template / bench_imperfect)"
+             bench_groups / bench_template / bench_imperfect / bench_scaling)"
         );
         ExitCode::FAILURE
     }

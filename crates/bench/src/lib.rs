@@ -19,7 +19,9 @@
 //! | `bench_fm` | writes `BENCH_fm.json` (FM pruning: bound rows, peak rows, timings) |
 //! | `bench_groups` | writes `BENCH_groups.json` (streaming vs. materialized group enumeration) |
 //! | `bench_template` | writes `BENCH_template.json` (plan-template instantiate vs. replan) |
-//! | `bench_check` | re-measures all four and fails on regression of gated metrics |
+//! | `bench_imperfect` | writes `BENCH_imperfect.json` (imperfect-nest staged pipelines) |
+//! | `bench_scaling` | writes `BENCH_scaling.json` (work-stealing thread scaling, stealing vs. contiguous split) |
+//! | `bench_check` | re-measures all six and fails on regression of gated metrics |
 //!
 //! Criterion benches (`cargo bench -p pdm-bench`) measure the quantitative
 //! side: analysis cost, transformation scaling, and the speedup of the

@@ -37,6 +37,7 @@ use pdm_poly::system::System;
 use pdm_runtime::compile::{CompiledNest, CompiledPlan};
 use pdm_runtime::equivalence::compare_three_way;
 use pdm_runtime::memory::Memory;
+use pdm_runtime::schedule::{cost_skewed, Schedule};
 use rand::prelude::*;
 
 /// Best-of repetitions for the runtime throughput cases.
@@ -77,6 +78,11 @@ pub struct RuntimeCase {
     pub interp_par: f64,
     /// Compiled engine, parallel schedule.
     pub compiled_par: f64,
+    /// Configured worker threads during the parallel measurements.
+    pub threads: usize,
+    /// Workers the last parallel region actually used
+    /// ([`rayon::last_region_threads`]).
+    pub observed_threads: usize,
 }
 
 fn run_runtime_case(name: &'static str, nest: &LoopNest) -> RuntimeCase {
@@ -112,6 +118,8 @@ fn run_runtime_case(name: &'static str, nest: &LoopNest) -> RuntimeCase {
         compiled_seq,
         interp_par,
         compiled_par,
+        threads: rayon::current_num_threads(),
+        observed_threads: rayon::last_region_threads(),
     }
 }
 
@@ -149,22 +157,29 @@ pub fn runtime_cases() -> Vec<RuntimeCase> {
     cases
 }
 
-/// Serialize runtime cases into the committed `BENCH_runtime.json` shape.
+/// Serialize runtime cases into the committed `BENCH_runtime.json`
+/// shape. Every case records the worker-thread count it actually ran
+/// with (`threads` configured, `observed_threads` used).
 pub fn runtime_json(cases: &[RuntimeCase]) -> String {
     let mut out = String::from("{\n  \"bench\": \"compiled_vs_interp\",\n");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    out.push_str(&format!("  \"threads\": {threads},\n  \"cases\": [\n"));
+    out.push_str(&format!(
+        "  \"machine_threads\": {threads},\n  \"cases\": [\n"
+    ));
     for (i, c) in cases.iter().enumerate() {
         let tp = |secs: f64| c.iterations as f64 / secs;
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"iterations\": {}, \
+             \"threads\": {}, \"observed_threads\": {}, \
              \"interp_seq_iters_per_s\": {:.0}, \"compiled_seq_iters_per_s\": {:.0}, \
              \"interp_par_iters_per_s\": {:.0}, \"compiled_par_iters_per_s\": {:.0}, \
              \"seq_speedup\": {:.2}, \"par_speedup\": {:.2}}}{}\n",
             c.name,
             c.iterations,
+            c.threads,
+            c.observed_threads,
             tp(c.interp_seq),
             tp(c.compiled_seq),
             tp(c.interp_par),
@@ -384,12 +399,14 @@ pub fn fm_cases() -> (Vec<FmPlanCase>, Vec<FmElimCase>) {
     (plans, elims)
 }
 
-/// Serialize FM cases into the committed `BENCH_fm.json` shape.
+/// Serialize FM cases into the committed `BENCH_fm.json` shape. The FM
+/// pipeline is sequential, so every case records `"threads": 1` — the
+/// worker count it actually ran with.
 pub fn fm_json(plans: &[FmPlanCase], elims: &[FmElimCase]) -> String {
     let mut out = String::from("{\n  \"bench\": \"fm_prune\",\n  \"plan_cases\": [\n");
     for (i, c) in plans.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"depth\": {}, \
+            "    {{\"name\": \"{}\", \"depth\": {}, \"threads\": 1, \
              \"rows_unpruned\": {}, \"rows_pruned\": {}, \"compiled_rows\": {}, \
              \"rows_reduction\": {:.3}, \
              \"bounds_unpruned_ms\": {:.4}, \"bounds_pruned_ms\": {:.4}, \
@@ -419,7 +436,7 @@ pub fn fm_json(plans: &[FmPlanCase], elims: &[FmElimCase]) -> String {
             "elim_time_ratio"
         };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"depth\": {}, \"input_rows\": {}, \
+            "    {{\"name\": \"{}\", \"depth\": {}, \"threads\": 1, \"input_rows\": {}, \
              \"peak_unpruned\": {}, \"peak_fast\": {}, \"peak_exact\": {}, \
              \"peak_reduction\": {:.3}, \
              \"dropped_history\": {}, \"dropped_exact\": {}, \
@@ -468,8 +485,11 @@ pub struct GroupsCase {
     /// Peak live group structs during a streaming interpreted
     /// `run_parallel` (one transient `GroupSpec` per in-flight range).
     pub peak_stream_interp: i64,
-    /// Worker threads during the streaming runs.
+    /// Configured worker threads during the streaming runs.
     pub threads: usize,
+    /// Workers the last streaming region actually used
+    /// ([`rayon::last_region_threads`]).
+    pub observed_threads: usize,
 }
 
 fn run_groups_case(name: &'static str, nest: &LoopNest) -> GroupsCase {
@@ -521,6 +541,7 @@ fn run_groups_case(name: &'static str, nest: &LoopNest) -> GroupsCase {
         peak_stream_compiled,
         peak_stream_interp,
         threads: rayon::current_num_threads(),
+        observed_threads: rayon::last_region_threads(),
     }
 }
 
@@ -571,13 +592,16 @@ pub fn groups_cases() -> Vec<GroupsCase> {
 }
 
 /// Serialize group-enumeration cases into the committed
-/// `BENCH_groups.json` shape.
+/// `BENCH_groups.json` shape. Every case records the worker-thread
+/// count its streaming runs actually used.
 pub fn groups_json(cases: &[GroupsCase]) -> String {
     let mut out = String::from("{\n  \"bench\": \"group_enumeration\",\n");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    out.push_str(&format!("  \"threads\": {threads},\n  \"cases\": [\n"));
+    out.push_str(&format!(
+        "  \"machine_threads\": {threads},\n  \"cases\": [\n"
+    ));
     for (i, c) in cases.iter().enumerate() {
         // Peak-live reduction is deterministic (the compiled streaming
         // path constructs zero group structs, so the denominator clamps
@@ -597,6 +621,7 @@ pub fn groups_json(cases: &[GroupsCase]) -> String {
         };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"groups\": {}, \
+             \"threads\": {}, \"observed_threads\": {}, \
              \"enum_materialized_per_s\": {:.0}, \"enum_stream_per_s\": {:.0}, \
              \"{ratio_key}\": {:.3}, \
              \"peak_live_materialized\": {}, \"peak_live_streaming\": {}, \
@@ -604,6 +629,8 @@ pub fn groups_json(cases: &[GroupsCase]) -> String {
              \"peak_live_reduction\": {:.3}}}{}\n",
             c.name,
             c.groups,
+            c.threads,
+            c.observed_threads,
             c.groups as f64 / c.t_materialize,
             c.groups as f64 / c.t_stream,
             ratio,
@@ -730,11 +757,13 @@ pub fn template_cases() -> Vec<TemplateCase> {
 /// Serialize template cases into the committed `BENCH_template.json`
 /// shape. `template_instantiate_speedup` (replan ÷ instantiate, both
 /// measured on the same host in the same run) is the gated metric.
+/// Planning and instantiation are sequential, so every case records
+/// `"threads": 1` — the worker count it actually ran with.
 pub fn template_json(cases: &[TemplateCase]) -> String {
     let mut out = String::from("{\n  \"bench\": \"plan_template\",\n  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"depth\": {}, \
+            "    {{\"name\": \"{}\", \"depth\": {}, \"threads\": 1, \
              \"template_once_ms\": {:.4}, \"replan_ms\": {:.4}, \
              \"instantiate_ms\": {:.5}, \"instantiates_per_s\": {:.0}, \
              \"template_instantiate_speedup\": {:.2}}}{}\n",
@@ -776,6 +805,11 @@ pub struct ImperfectCase {
     pub t_fission_seq: f64,
     /// Staged compiled-parallel execution.
     pub t_compiled_par: f64,
+    /// Configured worker threads during the staged-parallel runs.
+    pub threads: usize,
+    /// Workers the last stage region actually used
+    /// ([`rayon::last_region_threads`]).
+    pub observed_threads: usize,
 }
 
 fn run_imperfect_case(name: &'static str, src: &str) -> ImperfectCase {
@@ -810,6 +844,8 @@ fn run_imperfect_case(name: &'static str, src: &str) -> ImperfectCase {
         t_reference,
         t_fission_seq,
         t_compiled_par,
+        threads: rayon::current_num_threads(),
+        observed_threads: rayon::last_region_threads(),
     }
 }
 
@@ -868,16 +904,20 @@ pub fn imperfect_cases() -> Vec<ImperfectCase> {
 
 /// Serialize imperfect cases into the committed `BENCH_imperfect.json`
 /// shape. `imperfect_speedup` (reference ÷ compiled staged-parallel,
-/// same host, same run) is the gated metric.
+/// same host, same run) is the gated metric. Every case records the
+/// worker-thread count its staged runs actually used.
 pub fn imperfect_json(cases: &[ImperfectCase]) -> String {
     let mut out = String::from("{\n  \"bench\": \"imperfect_nests\",\n");
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    out.push_str(&format!("  \"threads\": {threads},\n  \"cases\": [\n"));
+    out.push_str(&format!(
+        "  \"machine_threads\": {threads},\n  \"cases\": [\n"
+    ));
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"kernels\": {}, \"barriers\": {}, \
+             \"threads\": {}, \"observed_threads\": {}, \
              \"stmt_execs\": {}, \
              \"reference_stmts_per_s\": {:.0}, \"fission_seq_stmts_per_s\": {:.0}, \
              \"compiled_par_stmts_per_s\": {:.0}, \
@@ -885,12 +925,251 @@ pub fn imperfect_json(cases: &[ImperfectCase]) -> String {
             c.name,
             c.kernels,
             c.barriers,
+            c.threads,
+            c.observed_threads,
             c.stmt_execs,
             c.stmt_execs as f64 / c.t_reference,
             c.stmt_execs as f64 / c.t_fission_seq,
             c.stmt_execs as f64 / c.t_compiled_par,
             c.t_reference / c.t_compiled_par,
             if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Thread scaling: work-stealing vs. contiguous splitting.
+// ---------------------------------------------------------------------
+
+/// Best-of repetitions for the scaling ladder.
+pub const SCALING_REPS: usize = 5;
+
+/// One pool width of a scaling ladder (times in seconds).
+pub struct ScalingPoint {
+    /// Configured pool width.
+    pub threads: usize,
+    /// Workers the interpreted region actually used.
+    pub observed_interp: usize,
+    /// Workers the compiled region actually used.
+    pub observed_compiled: usize,
+    /// Interpreted parallel execution at this width.
+    pub t_interp: f64,
+    /// Compiled parallel execution at this width.
+    pub t_compiled: f64,
+}
+
+/// One workload of the thread-scaling bench: the same nest executed on
+/// a 1 → `max_threads` pool ladder (default steal-aware schedule), plus
+/// a stealing-vs-contiguous duel at the widest pool.
+pub struct ScalingCase {
+    /// Case label (stable across runs; used as the JSON metric path).
+    pub name: &'static str,
+    /// Whether the group space is [`cost_skewed`] (drives the gate key).
+    pub skewed: bool,
+    /// Iterations per full execution.
+    pub iterations: u64,
+    /// The ladder, one point per pool width.
+    pub points: Vec<ScalingPoint>,
+    /// Widest pool measured (the duel runs at this width).
+    pub max_threads: usize,
+    /// Compiled at `max_threads` with one coarse range per worker
+    /// (`chunks_per_thread = 1`) — the contiguous baseline that starves
+    /// stealing: each worker owns exactly one chunk.
+    pub t_contiguous: f64,
+    /// Compiled at `max_threads` with the default steal-aware schedule.
+    pub t_stealing: f64,
+}
+
+/// Balanced rectangular row recurrence: every outer (doall) row costs
+/// the same, so coarse contiguous chunks are already load-balanced.
+pub fn scaling_balanced(n: i64) -> LoopNest {
+    parse_loop_with(
+        "for i = 0..N { for j = 1..N { A[i, j] = A[i, j - 1] + 1; } }",
+        &[("N", n)],
+    )
+    .expect("balanced scaling nest parses")
+}
+
+/// Skewed triangular row recurrence: row `i` costs `O(i)`, so a
+/// contiguous row split hands the last worker most of the work — the
+/// shape where steal-aware chunking pays.
+pub fn scaling_skewed(n: i64) -> LoopNest {
+    parse_loop_with(
+        "for i = 0..=N { for j = 1..=i { A[i, j] = A[i, j - 1] + 1; } }",
+        &[("N", n)],
+    )
+    .expect("skewed scaling nest parses")
+}
+
+/// The pool ladder: serial, minimal parallelism, and `max(4, machine)`.
+fn scaling_ladder() -> Vec<usize> {
+    let machine = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut ladder = vec![1, 2, machine.max(4)];
+    ladder.dedup();
+    ladder
+}
+
+fn run_scaling_case(name: &'static str, nest: &LoopNest, expect_skewed: bool) -> ScalingCase {
+    let plan = pdm_core::parallelize(nest).expect("plan");
+    let z = plan.doall_count();
+    assert_eq!(
+        cost_skewed(plan.bounds(), z),
+        expect_skewed,
+        "{name}: workload skew does not match the case design"
+    );
+    let rep = compare_three_way(nest, &plan, 1).expect("execute");
+    assert!(
+        rep.all_equal(),
+        "{name}: executors diverged — refusing to time"
+    );
+    let iterations = rep.iterations;
+
+    let mut m = Memory::for_nest(nest).expect("alloc");
+    m.init_deterministic(1);
+    let cplan = CompiledPlan::compile(nest, &plan, &m).expect("compile plan");
+
+    let mut points = Vec::new();
+    for threads in scaling_ladder() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let t_interp = best(SCALING_REPS, || {
+            pool.install(|| pdm_runtime::run_parallel(nest, &plan, &m).unwrap())
+        });
+        // `install` runs inline, so the region gauge of the last rep is
+        // still on this thread.
+        let observed_interp = rayon::last_region_threads();
+        let t_compiled = best(SCALING_REPS, || {
+            pool.install(|| cplan.run_parallel(&m).unwrap())
+        });
+        let observed_compiled = rayon::last_region_threads();
+        points.push(ScalingPoint {
+            threads,
+            observed_interp,
+            observed_compiled,
+            t_interp,
+            t_compiled,
+        });
+    }
+
+    // The duel: same compiled engine, same (widest) pool — only the
+    // range split differs. One coarse chunk per worker leaves thieves
+    // nothing to take; the steal-aware default splits skewed spaces
+    // finer so idle workers relieve whoever drew the fat end.
+    let max_threads = *scaling_ladder().last().expect("ladder");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(max_threads)
+        .build()
+        .expect("pool");
+    let contiguous = Schedule {
+        chunks_per_thread: 1,
+        steal_chunks_per_thread: 1,
+    };
+    let t_contiguous = best(SCALING_REPS, || {
+        pool.install(|| cplan.run_parallel_scheduled(&m, contiguous).unwrap())
+    });
+    let t_stealing = best(SCALING_REPS, || {
+        pool.install(|| {
+            cplan
+                .run_parallel_scheduled(&m, Schedule::default())
+                .unwrap()
+        })
+    });
+
+    ScalingCase {
+        name,
+        skewed: expect_skewed,
+        iterations,
+        points,
+        max_threads,
+        t_contiguous,
+        t_stealing,
+    }
+}
+
+/// Measure every scaling case, printing one summary line per point.
+pub fn scaling_cases() -> Vec<ScalingCase> {
+    let balanced = scaling_balanced(400);
+    let skewed = scaling_skewed(560);
+    let cases = vec![
+        run_scaling_case("balanced_n400", &balanced, false),
+        run_scaling_case("skewed_n560", &skewed, true),
+    ];
+    for c in &cases {
+        for p in &c.points {
+            println!(
+                "{:<14} t={:<2} (observed {}/{})  interp {:>11.0} iters/s   compiled {:>11.0} iters/s",
+                c.name,
+                p.threads,
+                p.observed_interp,
+                p.observed_compiled,
+                c.iterations as f64 / p.t_interp,
+                c.iterations as f64 / p.t_compiled,
+            );
+        }
+        println!(
+            "{:<14} duel@t={}: contiguous {:>11.0} -> stealing {:>11.0} iters/s ({:4.2}x)",
+            c.name,
+            c.max_threads,
+            c.iterations as f64 / c.t_contiguous,
+            c.iterations as f64 / c.t_stealing,
+            c.t_contiguous / c.t_stealing,
+        );
+    }
+    cases
+}
+
+/// Serialize scaling cases into the committed `BENCH_scaling.json`
+/// shape: one entry per (case, pool width) with configured and observed
+/// thread counts, plus one summary entry per case carrying the gated
+/// stealing-vs-contiguous ratio (`skewed_scaling_speedup` /
+/// `balanced_scaling_speedup` — both factors measured on the same host
+/// at the same pool width, so the ratio transfers across machines; on a
+/// single-core host both legs serialize and the ratio sits at ~1).
+pub fn scaling_json(cases: &[ScalingCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"thread_scaling\",\n");
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!(
+        "  \"machine_threads\": {machine},\n  \"cases\": [\n"
+    ));
+    for (ci, c) in cases.iter().enumerate() {
+        for p in &c.points {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}_t{}\", \"threads\": {}, \
+                 \"observed_interp_threads\": {}, \"observed_compiled_threads\": {}, \
+                 \"interp_iters_per_s\": {:.0}, \"compiled_iters_per_s\": {:.0}}},\n",
+                c.name,
+                p.threads,
+                p.threads,
+                p.observed_interp,
+                p.observed_compiled,
+                c.iterations as f64 / p.t_interp,
+                c.iterations as f64 / p.t_compiled,
+            ));
+        }
+        let gate_key = if c.skewed {
+            "skewed_scaling_speedup"
+        } else {
+            "balanced_scaling_speedup"
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iterations\": {}, \"cost_skewed\": {}, \
+             \"threads\": {}, \
+             \"contiguous_iters_per_s\": {:.0}, \"stealing_iters_per_s\": {:.0}, \
+             \"{gate_key}\": {:.3}}}{}\n",
+            c.name,
+            c.iterations,
+            if c.skewed { 1 } else { 0 },
+            c.max_threads,
+            c.iterations as f64 / c.t_contiguous,
+            c.iterations as f64 / c.t_stealing,
+            c.t_contiguous / c.t_stealing,
+            if ci + 1 == cases.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1055,6 +1334,43 @@ mod tests {
         let key = "cases.t.imperfect_speedup";
         assert!(metrics.iter().any(|(k, v)| k == key && *v > 0.0));
         assert!(is_gated(key, false), "speedup key must be gated");
+    }
+
+    #[test]
+    fn scaling_case_measures_and_exposes_gated_metric() {
+        let nest = scaling_skewed(24);
+        let c = run_scaling_case("t", &nest, true);
+        assert!(c.skewed);
+        assert!(!c.points.is_empty());
+        // Pool width 1 must actually run serial — the region gauge is
+        // what the committed snapshots record.
+        let p1 = c
+            .points
+            .iter()
+            .find(|p| p.threads == 1)
+            .expect("serial point");
+        assert_eq!(p1.observed_interp, 1);
+        assert_eq!(p1.observed_compiled, 1);
+        assert!(c.t_contiguous > 0.0 && c.t_stealing > 0.0);
+        let json = scaling_json(&[c]);
+        let metrics = crate::json::parse(&json).unwrap().metrics();
+        let key = "cases.t.skewed_scaling_speedup";
+        assert!(metrics.iter().any(|(k, v)| k == key && *v > 0.0));
+        assert!(is_gated(key, false), "speedup key must be gated");
+        // Ladder points carry configured and observed widths.
+        assert!(metrics
+            .iter()
+            .any(|(k, _)| k == "cases.t_t1.observed_compiled_threads"));
+    }
+
+    #[test]
+    fn scaling_workload_skew_matches_design() {
+        let b = scaling_balanced(12);
+        let plan = pdm_core::parallelize(&b).expect("plan");
+        assert!(!cost_skewed(plan.bounds(), plan.doall_count()));
+        let s = scaling_skewed(12);
+        let plan = pdm_core::parallelize(&s).expect("plan");
+        assert!(cost_skewed(plan.bounds(), plan.doall_count()));
     }
 
     #[test]

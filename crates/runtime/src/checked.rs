@@ -29,6 +29,50 @@ pub struct LoggedAccess {
     pub write: bool,
 }
 
+/// Execute and log one group (identified by its doall `prefix` and
+/// offset index `o`): every access of every iteration is recorded, then
+/// the group's iteration count and log are returned. The single
+/// per-group body behind both the range- and task-based loggers.
+fn log_one_group(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    offsets: &[IVec],
+    mem: &Memory,
+    prefix: &[i64],
+    o: usize,
+) -> Result<(u64, Vec<LoggedAccess>)> {
+    let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
+    let mut log = Vec::new();
+    let mut count = 0u64;
+    walk_group(nest, plan, &g, |idx| {
+        for stmt in nest.body() {
+            if !stmt.guards_hold(idx) {
+                continue;
+            }
+            for (kind, r) in stmt.accesses() {
+                let sub = r.access.eval(&IVec(idx.to_vec()))?;
+                let cell = mem
+                    .flat(r.array, &sub)
+                    .ok_or_else(|| RuntimeError::OutOfBounds {
+                        array: format!("arr{}", r.array.0),
+                        subscript: sub.0.clone(),
+                    })?;
+                log.push(LoggedAccess {
+                    array: r.array.0,
+                    cell,
+                    write: kind == AccessKind::Write,
+                });
+            }
+            let v = crate::exec::eval_expr(&stmt.rhs, mem, idx)?;
+            let sub = r_eval(&stmt.lhs.access, idx);
+            mem.write(stmt.lhs.array, &sub, v)?;
+        }
+        count += 1;
+        Ok(())
+    })?;
+    Ok((count, log))
+}
+
 /// Log every access of the groups in the contiguous range `start..end`,
 /// streaming one [`GroupSpec`] at a time. Each entry carries the group's
 /// global linear index so conflict detection survives range splitting.
@@ -48,35 +92,7 @@ fn log_group_range(
         start,
         end,
         |gid, prefix, o| {
-            let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
-            let mut log = Vec::new();
-            let mut count = 0u64;
-            walk_group(nest, plan, &g, |idx| {
-                for stmt in nest.body() {
-                    if !stmt.guards_hold(idx) {
-                        continue;
-                    }
-                    for (kind, r) in stmt.accesses() {
-                        let sub = r.access.eval(&IVec(idx.to_vec()))?;
-                        let cell =
-                            mem.flat(r.array, &sub)
-                                .ok_or_else(|| RuntimeError::OutOfBounds {
-                                    array: format!("arr{}", r.array.0),
-                                    subscript: sub.0.clone(),
-                                })?;
-                        log.push(LoggedAccess {
-                            array: r.array.0,
-                            cell,
-                            write: kind == AccessKind::Write,
-                        });
-                    }
-                    let v = crate::exec::eval_expr(&stmt.rhs, mem, idx)?;
-                    let sub = r_eval(&stmt.lhs.access, idx);
-                    mem.write(stmt.lhs.array, &sub, v)?;
-                }
-                count += 1;
-                Ok(())
-            })?;
+            let (count, log) = log_one_group(nest, plan, offsets, mem, prefix, o)?;
             out.push((gid, count, log));
             Ok(())
         },
@@ -86,21 +102,35 @@ fn log_group_range(
 
 /// Execute the plan in parallel while logging accesses per group; after
 /// the run, detect cross-group conflicts. Groups are streamed in
-/// contiguous index ranges ([`Schedule::ranges`]) — the group list is
-/// never materialized, only the access logs are.
+/// contiguous, steal-aware index ranges
+/// ([`crate::schedule::plan_range_tasks`]) on the work-stealing pool —
+/// the group list is never materialized, only the access logs are.
 ///
 /// Returns the number of iterations executed, or
 /// [`RuntimeError::RaceDetected`].
 pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<u64> {
     let offsets = offset_table(plan);
-    let total = schedule::group_count(plan.bounds(), plan.doall_count(), offsets.len())?;
-    if total == 0 {
+    let tasks = schedule::plan_range_tasks(
+        plan.bounds(),
+        plan.doall_count(),
+        offsets.len(),
+        &Schedule::from_env(),
+        rayon::current_num_threads(),
+    )?;
+    if tasks.is_empty() {
         return Ok(0);
     }
-    let ranges = Schedule::from_env().ranges(total, rayon::current_num_threads());
-    let logs: std::result::Result<Vec<Vec<(u64, u64, Vec<LoggedAccess>)>>, RuntimeError> = ranges
+    let logs: std::result::Result<Vec<Vec<(u64, u64, Vec<LoggedAccess>)>>, RuntimeError> = tasks
         .par_iter()
-        .map(|&(start, end)| log_group_range(nest, plan, &offsets, mem, start, end))
+        .map(|task| {
+            let mut out = Vec::new();
+            task.for_each(|gid, prefix, o| {
+                let (count, log) = log_one_group(nest, plan, &offsets, mem, prefix, o)?;
+                out.push((gid, count, log));
+                Ok(())
+            })?;
+            Ok(out)
+        })
         .collect();
     let logs: Vec<(u64, u64, Vec<LoggedAccess>)> = logs?.into_iter().flatten().collect();
 

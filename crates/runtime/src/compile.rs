@@ -24,9 +24,11 @@
 //!
 //! Scheduling: [`CompiledPlan::run_parallel`] splits the group *index
 //! space* (doall-prefix values × partition offsets) into contiguous
-//! ranges ([`crate::schedule::Schedule::ranges`]), one rayon task per
-//! range; each task seeks a streaming [`crate::schedule::GroupCursor`]
-//! to its range start and walks forward reusing one
+//! ranges with steal-aware sizing
+//! ([`crate::schedule::plan_range_tasks`] — finer chunks when per-group
+//! cost is skewed), one work-stealing rayon task per range; each task
+//! arrives with a pre-positioned streaming
+//! [`crate::schedule::GroupCursor`] and walks forward reusing one
 //! [`crate::program::Scratch`] — the group list is never materialized.
 
 use crate::memory::Memory;
@@ -122,6 +124,18 @@ impl CompiledBounds {
             .any(|b| b.coeffs.iter().any(|&c| c != 0))
     }
 
+    /// Does level `k`'s range read any of the first `z` variables
+    /// specifically? Drives cost-skew detection
+    /// ([`crate::schedule::cost_skewed`]): only trailing levels reading
+    /// a *doall prefix* variable make per-group cost uneven.
+    pub fn reads_prefix(&self, k: usize, z: usize) -> bool {
+        let (lowers, uppers) = &self.levels[k];
+        lowers
+            .iter()
+            .chain(uppers)
+            .any(|b| b.coeffs.iter().take(z).any(|&c| c != 0))
+    }
+
     /// Effective `(lo, hi)` of level `k` at the current point `x` (only
     /// `x[..k]` is read through nonzero coefficients).
     #[inline]
@@ -155,6 +169,10 @@ impl PrefixBounds for CompiledBounds {
 
     fn prefix_dependent(&self, level: usize) -> bool {
         CompiledBounds::prefix_dependent(self, level)
+    }
+
+    fn reads_prefix(&self, level: usize, z: usize) -> bool {
+        CompiledBounds::reads_prefix(self, level, z)
     }
 }
 
@@ -570,12 +588,42 @@ impl CompiledPlan {
         Ok(total)
     }
 
+    /// The compiled bounds (staged executors size their steal-aware
+    /// per-kernel schedules through these).
+    pub(crate) fn bounds(&self) -> &CompiledBounds {
+        &self.eng.bounds
+    }
+
+    /// Number of leading doall levels.
+    pub(crate) fn doall(&self) -> usize {
+        self.eng.z
+    }
+
+    /// Execute one pre-planned range task (its cursor is already
+    /// positioned at the range start), reusing `s` across every group.
+    pub(crate) fn run_task(
+        &self,
+        mem: &Memory,
+        task: &schedule::RangeTask<'_, CompiledBounds>,
+        s: &mut PlanScratch,
+    ) -> Result<u64> {
+        let mut total = 0u64;
+        task.for_each(|_, prefix, o| {
+            total += self.eng.run_group(mem, &self.offsets[o], prefix, s)?;
+            Ok(())
+        })?;
+        Ok(total)
+    }
+
     /// Execute all groups **in parallel** with streaming range
     /// scheduling and the environment-configured [`Schedule`]
-    /// (`PDM_CHUNKS_PER_THREAD`): the group index space is split into
-    /// contiguous ranges, one rayon task per range, and each task seeks
-    /// a cursor to its range start and walks forward with one reused
-    /// scratch — zero up-front group materialization. Returns the total
+    /// (`PDM_CHUNKS_PER_THREAD` / `PDM_STEAL_CHUNKS_PER_THREAD`): the
+    /// group index space is split into contiguous ranges — finer when
+    /// per-group cost is skewed ([`crate::schedule::cost_skewed`]), so
+    /// the work-stealing executor always finds chunks to steal — with a
+    /// pre-positioned cursor per range
+    /// ([`crate::schedule::plan_range_tasks`]) and one reused scratch
+    /// per task; zero up-front group materialization. Returns the total
     /// iteration count.
     pub fn run_parallel(&self, mem: &Memory) -> Result<u64> {
         self.run_parallel_scheduled(mem, Schedule::from_env())
@@ -583,21 +631,21 @@ impl CompiledPlan {
 
     /// [`CompiledPlan::run_parallel`] with an explicit [`Schedule`].
     pub fn run_parallel_scheduled(&self, mem: &Memory, sched: Schedule) -> Result<u64> {
-        let total = self.group_count()?;
-        if total == 0 {
+        let tasks = schedule::plan_range_tasks(
+            &self.eng.bounds,
+            self.eng.z,
+            self.offsets.len(),
+            &sched,
+            rayon::current_num_threads(),
+        )?;
+        if tasks.is_empty() {
             return Ok(0);
         }
-        let threads = rayon::current_num_threads();
-        if threads <= 1 || total == 1 {
-            let mut s = self.eng.new_scratch();
-            return self.run_range(mem, 0, total, &mut s);
-        }
-        let ranges = sched.ranges(total, threads);
-        let counts: std::result::Result<Vec<u64>, RuntimeError> = ranges
+        let counts: std::result::Result<Vec<u64>, RuntimeError> = tasks
             .par_iter()
-            .map(|&(start, end)| {
+            .map(|task| {
                 let mut s = self.eng.new_scratch();
-                self.run_range(mem, start, end, &mut s)
+                self.run_task(mem, task, &mut s)
             })
             .collect();
         Ok(counts?.into_iter().sum())

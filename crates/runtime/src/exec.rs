@@ -332,25 +332,50 @@ pub(crate) fn run_group_range(
     Ok(count)
 }
 
+/// Run one pre-positioned range task: walk its groups with the carried
+/// cursor, holding at most one [`GroupSpec`] alive at a time.
+fn run_group_task(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    offsets: &[IVec],
+    mem: &Memory,
+    task: &schedule::RangeTask<'_, LoopBounds>,
+) -> Result<u64> {
+    let mut count = 0u64;
+    task.for_each(|_, prefix, o| {
+        let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
+        walk_group(nest, plan, &g, |idx| {
+            exec_body(nest, mem, idx)?;
+            count += 1;
+            Ok(())
+        })
+    })?;
+    Ok(count)
+}
+
 /// Execute the plan **in parallel**: the group index space is split into
-/// contiguous ranges ([`Schedule::ranges`]) and each rayon task streams
-/// its range through a [`crate::schedule::GroupCursor`] — no group
-/// materialization.
-/// Returns the number of iterations executed.
+/// contiguous ranges with steal-aware sizing
+/// ([`crate::schedule::plan_range_tasks`] — finer chunks when per-group
+/// cost is skewed so idle workers have something to steal), one
+/// work-stealing rayon task per range; each task arrives with a
+/// pre-positioned streaming [`crate::schedule::GroupCursor`] — no group
+/// materialization. Returns the number of iterations executed.
 pub fn run_parallel(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<u64> {
     let offsets = offset_table(plan);
-    let total = schedule::group_count(plan.bounds(), plan.doall_count(), offsets.len())?;
-    if total == 0 {
+    let sched = Schedule::from_env();
+    let tasks = schedule::plan_range_tasks(
+        plan.bounds(),
+        plan.doall_count(),
+        offsets.len(),
+        &sched,
+        rayon::current_num_threads(),
+    )?;
+    if tasks.is_empty() {
         return Ok(0);
     }
-    let threads = rayon::current_num_threads();
-    if threads <= 1 || total == 1 {
-        return run_group_range(nest, plan, &offsets, mem, 0, total);
-    }
-    let ranges = Schedule::from_env().ranges(total, threads);
-    let counts: std::result::Result<Vec<u64>, RuntimeError> = ranges
+    let counts: std::result::Result<Vec<u64>, RuntimeError> = tasks
         .par_iter()
-        .map(|&(start, end)| run_group_range(nest, plan, &offsets, mem, start, end))
+        .map(|task| run_group_task(nest, plan, &offsets, mem, task))
         .collect();
     Ok(counts?.into_iter().sum())
 }

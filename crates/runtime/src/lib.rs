@@ -19,11 +19,14 @@
 //!    raw coefficient rows ([`compile::CompiledBounds`]).
 //! 2. *Schedule* — the independent-group index space (doall-prefix
 //!    values × Theorem-2 partition offsets) is counted arithmetically
-//!    ([`schedule::group_count`]) and split into contiguous ranges
-//!    ([`schedule::Schedule::ranges`]), one rayon task per range; each
-//!    task streams its range through a [`schedule::GroupCursor`] with
-//!    `O(depth)` state and one reused scratch — the group list is never
-//!    materialized ([`compile::CompiledPlan::run_parallel`]).
+//!    ([`schedule::group_count`]) and split into contiguous ranges with
+//!    steal-aware sizing ([`schedule::plan_range_tasks`] — finer chunks
+//!    when per-group cost is skewed, so the work-stealing pool's idle
+//!    threads always find something to take), one rayon task per range;
+//!    each task arrives with a pre-positioned streaming
+//!    [`schedule::GroupCursor`] with `O(depth)` state and one reused
+//!    scratch — the group list is never materialized
+//!    ([`compile::CompiledPlan::run_parallel`]).
 //! 3. *Execute* — an iterative (non-recursive) walker advances the
 //!    transformed point level by level; the `y·T⁻¹` back-substitution
 //!    and every access's flat offset update by precomputed per-level
@@ -43,9 +46,11 @@
 //! Supporting modules:
 //!
 //! * [`schedule`] — the streaming group enumerator: prefix cursors,
-//!   arithmetic group counting, `k`-th-group seeking, range splitting
-//!   (`PDM_CHUNKS_PER_THREAD`), and the live-group instrumentation the
-//!   allocation-spike regression test reads;
+//!   arithmetic group counting, `k`-th-group seeking, cursor-clone
+//!   range planning, steal-aware range splitting
+//!   (`PDM_CHUNKS_PER_THREAD` / `PDM_STEAL_CHUNKS_PER_THREAD`), and the
+//!   live-group instrumentation the allocation-spike regression test
+//!   reads;
 //! * [`template`] — parametric serving: lower a `pdm-core`
 //!   `PlanTemplate` at a size to a ready-to-run
 //!   [`template::CompiledInstance`] (no re-analysis, no FM), with an LRU

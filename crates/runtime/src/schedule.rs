@@ -35,13 +35,15 @@
 //! subtree counts, recursing over the prefix-dependent levels:
 //! `O(depth × extent)` with one dependent level, and in the worst case
 //! (every level dependent) proportional to the dependent prefix subspace
-//! itself. Range scheduling pays one seek per range (`threads ×
-//! chunks_per_thread` of them), which the measured 14–42× streaming
-//! enumeration win absorbs; if per-range seeks ever dominate on a
-//! deeply-dependent workload, split by walking one cursor and cloning
-//! its `O(depth)` state at the range boundaries instead. `seek(k)`
-//! agrees with `k` calls to [`GroupCursor::advance`] from the start,
-//! which the property tests assert on random nests.
+//! itself. Range scheduling therefore positions cursors two ways
+//! ([`plan_range_tasks`]): rectangular prefixes pay one `O(depth)` seek
+//! per range, while prefix-dependent prefixes are split by **walking one
+//! cursor and cloning its `O(depth)` state at each range boundary**
+//! ([`GroupCursor::advance_to`]) — one `O(#groups)` walk total instead
+//! of a counting seek per range. `seek(k)` agrees with `k` calls to
+//! [`GroupCursor::advance`] from the start, and cursor-clone splitting
+//! agrees with `seek`, both asserted by the property tests on random
+//! nests.
 //!
 //! # Counting
 //!
@@ -53,15 +55,23 @@
 //! # Scheduling
 //!
 //! [`Schedule::ranges`] splits `0..group_count` into contiguous
-//! sub-ranges, several per worker so chunk imbalance can amortize:
-//! `threads × chunks_per_thread` target chunks (default
-//! [`DEFAULT_CHUNKS_PER_THREAD`] = 4, matching the chunked scheduler this
-//! module replaces). Override with the `PDM_CHUNKS_PER_THREAD`
-//! environment variable (any positive integer; larger values smooth
-//! imbalanced group costs at the price of more per-range seeks). Each
-//! range is walked by one task with one cursor and one reused scratch, so
-//! peak simultaneously-live group state is `O(threads ×
-//! chunks_per_thread)` instead of `O(#groups)`.
+//! sub-ranges, several per worker so the work-stealing executor always
+//! has spare chunks to steal: `threads × chunks_per_thread` target
+//! chunks (default [`DEFAULT_CHUNKS_PER_THREAD`] = 4). Chunk sizing is
+//! **steal-aware** ([`Schedule::ranges_for`]): when the group space is
+//! cost-skewed — some trailing (sequential) level's bounds read a doall
+//! prefix variable, so per-group cost varies across the space
+//! ([`cost_skewed`]) — the split targets `threads ×
+//! steal_chunks_per_thread` finer chunks (default
+//! [`DEFAULT_STEAL_CHUNKS_PER_THREAD`] = 16) so workers stuck behind fat
+//! groups leave plenty for idle threads to steal. Rectangular nests keep
+//! the coarse split. Override with the `PDM_CHUNKS_PER_THREAD` and
+//! `PDM_STEAL_CHUNKS_PER_THREAD` environment variables (any positive
+//! integer; larger values smooth imbalanced group costs at the price of
+//! more per-range cursor positioning). Each range is walked by one task
+//! with one cursor and one reused scratch, so peak simultaneously-live
+//! group state stays `O(threads × chunks_per_thread)` (or the steal
+//! variant on skewed spaces) instead of `O(#groups)`.
 //!
 //! # When materializing is still appropriate
 //!
@@ -116,6 +126,18 @@ pub trait PrefixBounds {
     /// means the level's extent is one fixed interval, enabling the
     /// arithmetic counting and O(1)-per-level seek fast paths.
     fn prefix_dependent(&self, level: usize) -> bool;
+
+    /// Does level `level`'s range read any of the first `z` (doall
+    /// prefix) variables specifically? Distinct from
+    /// [`PrefixBounds::prefix_dependent`]: a trailing sequential level
+    /// whose bounds read only *other trailing* variables has the same
+    /// extent under every prefix, so it does not skew per-group cost.
+    /// The default conservatively falls back to `prefix_dependent`;
+    /// implementations with access to bound coefficients answer
+    /// precisely.
+    fn reads_prefix(&self, level: usize, _z: usize) -> bool {
+        self.prefix_dependent(level)
+    }
 }
 
 impl PrefixBounds for LoopBounds {
@@ -135,6 +157,14 @@ impl PrefixBounds for LoopBounds {
             .chain(&lb.uppers)
             .any(|b| b.num.coeffs.iter().any(|&c| c != 0))
     }
+
+    fn reads_prefix(&self, level: usize, z: usize) -> bool {
+        let lb = self.level(level);
+        lb.lowers
+            .iter()
+            .chain(&lb.uppers)
+            .any(|b| b.num.coeffs.iter().take(z).any(|&c| c != 0))
+    }
 }
 
 /// Streaming enumerator over a plan's independent groups.
@@ -143,7 +173,7 @@ impl PrefixBounds for LoopBounds {
 /// indices `0..num_offsets` (offset-minor), holding `O(depth)` state —
 /// never more than one group. See the [module docs](self) for the state,
 /// ordering, and seek semantics.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GroupCursor<'a, B: PrefixBounds> {
     bounds: &'a B,
     /// Number of leading (doall) levels enumerated.
@@ -162,6 +192,27 @@ pub struct GroupCursor<'a, B: PrefixBounds> {
     /// Smallest `j` such that levels `j..z` are all prefix-independent.
     indep_from: usize,
     exhausted: bool,
+}
+
+// Manual impl: the derive would demand `B: Clone`, but the cursor only
+// holds `&'a B` — cloning copies the `O(depth)` walk state and shares
+// the borrow. Cheap clones are what make cursor-clone range splitting
+// ([`plan_range_tasks`]) an `O(#groups)` single pass.
+impl<'a, B: PrefixBounds> Clone for GroupCursor<'a, B> {
+    fn clone(&self) -> Self {
+        GroupCursor {
+            bounds: self.bounds,
+            z: self.z,
+            num_offsets: self.num_offsets,
+            x: self.x.clone(),
+            lo: self.lo.clone(),
+            hi: self.hi.clone(),
+            offset: self.offset,
+            pos: self.pos,
+            indep_from: self.indep_from,
+            exhausted: self.exhausted,
+        }
+    }
 }
 
 impl<'a, B: PrefixBounds> GroupCursor<'a, B> {
@@ -393,6 +444,25 @@ impl<'a, B: PrefixBounds> GroupCursor<'a, B> {
         }
         Ok(true)
     }
+
+    /// Advance (never rewind) until the cursor sits at linear index
+    /// `target`, or return `false` once the space is exhausted first.
+    /// Unlike [`GroupCursor::seek`] this never counts subtrees — each
+    /// step is one odometer bump — so walking one cursor across
+    /// ascending range boundaries and cloning its `O(depth)` state at
+    /// each one costs `O(#groups)` in total, independent of how many
+    /// prefix levels are dependent. Requires `target ≥ position()`.
+    pub fn advance_to(&mut self, target: u64) -> Result<bool> {
+        debug_assert!(
+            self.exhausted || target >= self.pos,
+            "advance_to cannot rewind (at {}, asked for {target})",
+            self.pos
+        );
+        while !self.exhausted && self.pos < target {
+            self.advance()?;
+        }
+        Ok(!self.exhausted)
+    }
 }
 
 /// Drive `f(position, prefix, offset_index)` over every group in the
@@ -417,6 +487,16 @@ where
     if start > 0 && !cur.seek(start)? {
         return Ok(());
     }
+    drive_cursor(&mut cur, end, &mut f)
+}
+
+/// Walk `cur` up to (exclusive) linear index `end`, calling
+/// `f(position, prefix, offset_index)` per group.
+fn drive_cursor<B, F>(cur: &mut GroupCursor<'_, B>, end: u64, f: &mut F) -> Result<()>
+where
+    B: PrefixBounds,
+    F: FnMut(u64, &[i64], usize) -> Result<()>,
+{
     while cur.position() < end {
         let pos = cur.position();
         match cur.current() {
@@ -428,6 +508,99 @@ where
         }
     }
     Ok(())
+}
+
+/// One schedulable unit of a group space: a contiguous linear range with
+/// a [`GroupCursor`] already positioned at its start. Tasks are
+/// [`Clone`] (an `O(depth)` copy), so a parallel region can execute a
+/// task from a shared reference by cloning the embedded cursor.
+#[derive(Debug)]
+pub struct RangeTask<'a, B: PrefixBounds> {
+    cursor: GroupCursor<'a, B>,
+    end: u64,
+}
+
+// Manual impl for the same reason as [`GroupCursor`]'s: no `B: Clone`
+// bound — the task shares the bounds borrow and copies cursor state.
+impl<'a, B: PrefixBounds> Clone for RangeTask<'a, B> {
+    fn clone(&self) -> Self {
+        RangeTask {
+            cursor: self.cursor.clone(),
+            end: self.end,
+        }
+    }
+}
+
+impl<B: PrefixBounds> RangeTask<'_, B> {
+    /// First linear index of the range.
+    pub fn start(&self) -> u64 {
+        self.cursor.position()
+    }
+
+    /// One-past-last linear index of the range.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Run `f(position, prefix, offset_index)` over every group in the
+    /// range. The pre-positioned cursor is cloned, so a task can be
+    /// executed repeatedly (and from `&self` inside a parallel region).
+    pub fn for_each<F>(&self, mut f: F) -> Result<()>
+    where
+        F: FnMut(u64, &[i64], usize) -> Result<()>,
+    {
+        let mut cur = self.cursor.clone();
+        drive_cursor(&mut cur, self.end, &mut f)
+    }
+}
+
+/// Per-group cost varies across the group space exactly when some
+/// trailing (sequential) level's bounds read a doall prefix variable:
+/// the trailing iteration count — the work one group does — is then a
+/// function of which prefix the group carries. Levels reading only
+/// other trailing variables contribute the same trailing volume to
+/// every group and do not skew. [`Schedule::ranges_for`] splits skewed
+/// spaces finer so work stealing has something to take.
+pub fn cost_skewed<B: PrefixBounds>(bounds: &B, z: usize) -> bool {
+    (z..bounds.dim()).any(|level| bounds.reads_prefix(level, z))
+}
+
+/// Split a group space into steal-aware [`RangeTask`]s: range sizing by
+/// [`Schedule::ranges_for`] (finer when [`cost_skewed`]), cursor
+/// positioning by per-range `O(depth)` [`GroupCursor::seek`] when every
+/// prefix level is independent, and by the cursor-clone walk
+/// ([`GroupCursor::advance_to`] + clone at each boundary) when seeks
+/// would have to count prefix-dependent subtrees.
+pub fn plan_range_tasks<'a, B: PrefixBounds>(
+    bounds: &'a B,
+    z: usize,
+    num_offsets: usize,
+    sched: &Schedule,
+    threads: usize,
+) -> Result<Vec<RangeTask<'a, B>>> {
+    let total = group_count(bounds, z, num_offsets)?;
+    let ranges = sched.ranges_for(bounds, z, total, threads);
+    let mut tasks = Vec::with_capacity(ranges.len());
+    if ranges.is_empty() {
+        return Ok(tasks);
+    }
+    if (0..z).any(|level| bounds.prefix_dependent(level)) {
+        let mut walker = GroupCursor::new(bounds, z, num_offsets)?;
+        for &(start, end) in &ranges {
+            walker.advance_to(start)?;
+            tasks.push(RangeTask {
+                cursor: walker.clone(),
+                end,
+            });
+        }
+    } else {
+        for &(start, end) in &ranges {
+            let mut cursor = GroupCursor::new(bounds, z, num_offsets)?;
+            cursor.seek(start)?;
+            tasks.push(RangeTask { cursor, end });
+        }
+    }
+    Ok(tasks)
 }
 
 /// Number of doall-prefix value combinations over the first `z` levels of
@@ -476,44 +649,64 @@ pub fn group_count<B: PrefixBounds>(bounds: &B, z: usize, num_offsets: usize) ->
 /// worker, the factor the pre-streaming chunked scheduler used.
 pub const DEFAULT_CHUNKS_PER_THREAD: usize = 4;
 
+/// Default [`Schedule::steal_chunks_per_thread`]: 16 ranges per worker
+/// on cost-skewed group spaces, fine enough that a worker stuck behind
+/// the fat end of a triangular nest leaves most of its share stealable.
+pub const DEFAULT_STEAL_CHUNKS_PER_THREAD: usize = 16;
+
 /// Range-splitting knobs for the streaming schedulers.
 ///
 /// `chunks_per_thread` controls how many contiguous group ranges each
-/// worker receives. More chunks smooth imbalanced group costs (the
-/// vendored rayon stand-in splits contiguously without work stealing) at
-/// the price of one cursor seek per extra range. The default is
-/// [`DEFAULT_CHUNKS_PER_THREAD`]; [`Schedule::from_env`] lets the
-/// `PDM_CHUNKS_PER_THREAD` environment variable override it.
+/// worker receives on *uniform-cost* (rectangular) group spaces;
+/// `steal_chunks_per_thread` applies instead when the space is
+/// [`cost_skewed`], splitting finer so the work-stealing executor's
+/// idle threads always find a chunk to take. More chunks smooth
+/// imbalanced group costs at the price of extra per-range cursor
+/// positioning. Defaults are [`DEFAULT_CHUNKS_PER_THREAD`] and
+/// [`DEFAULT_STEAL_CHUNKS_PER_THREAD`]; [`Schedule::from_env`] lets the
+/// `PDM_CHUNKS_PER_THREAD` and `PDM_STEAL_CHUNKS_PER_THREAD`
+/// environment variables override them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Schedule {
-    /// Target contiguous group ranges per worker thread (≥ 1).
+    /// Target contiguous group ranges per worker thread (≥ 1) on
+    /// uniform-cost group spaces.
     pub chunks_per_thread: usize,
+    /// Target ranges per worker thread on [`cost_skewed`] group spaces
+    /// (effective value never drops below `chunks_per_thread`).
+    pub steal_chunks_per_thread: usize,
 }
 
 impl Default for Schedule {
     fn default() -> Self {
         Schedule {
             chunks_per_thread: DEFAULT_CHUNKS_PER_THREAD,
+            steal_chunks_per_thread: DEFAULT_STEAL_CHUNKS_PER_THREAD,
         }
     }
 }
 
 impl Schedule {
-    /// The schedule configured by the environment: `PDM_CHUNKS_PER_THREAD`
-    /// (a positive integer) when set and parseable, the default otherwise.
+    /// The schedule configured by the environment:
+    /// `PDM_CHUNKS_PER_THREAD` and `PDM_STEAL_CHUNKS_PER_THREAD`
+    /// (positive integers) when set and parseable, defaults otherwise.
     pub fn from_env() -> Schedule {
-        Self::from_env_value(std::env::var("PDM_CHUNKS_PER_THREAD").ok().as_deref())
+        Self::from_env_value(
+            std::env::var("PDM_CHUNKS_PER_THREAD").ok().as_deref(),
+            std::env::var("PDM_STEAL_CHUNKS_PER_THREAD").ok().as_deref(),
+        )
     }
 
-    /// [`Schedule::from_env`] with the raw variable value injected —
+    /// [`Schedule::from_env`] with the raw variable values injected —
     /// testable without mutating process environment.
-    pub fn from_env_value(raw: Option<&str>) -> Schedule {
-        let chunks = raw
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(DEFAULT_CHUNKS_PER_THREAD);
+    pub fn from_env_value(raw_chunks: Option<&str>, raw_steal: Option<&str>) -> Schedule {
+        let parse = |raw: Option<&str>, default: usize| {
+            raw.and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(default)
+        };
         Schedule {
-            chunks_per_thread: chunks,
+            chunks_per_thread: parse(raw_chunks, DEFAULT_CHUNKS_PER_THREAD),
+            steal_chunks_per_thread: parse(raw_steal, DEFAULT_STEAL_CHUNKS_PER_THREAD),
         }
     }
 
@@ -521,10 +714,33 @@ impl Schedule {
     /// targeting `threads × chunks_per_thread` chunks. Ranges cover the
     /// space exactly once, in order; `total == 0` yields no ranges.
     pub fn ranges(&self, total: u64, threads: usize) -> Vec<(u64, u64)> {
+        Self::split(total, threads, self.chunks_per_thread)
+    }
+
+    /// Steal-aware [`Schedule::ranges`]: on a [`cost_skewed`] group
+    /// space the split targets `threads × steal_chunks_per_thread`
+    /// chunks so stealing has something to take; uniform spaces keep
+    /// the coarse `chunks_per_thread` split.
+    pub fn ranges_for<B: PrefixBounds>(
+        &self,
+        bounds: &B,
+        z: usize,
+        total: u64,
+        threads: usize,
+    ) -> Vec<(u64, u64)> {
+        let chunks = if cost_skewed(bounds, z) {
+            self.steal_chunks_per_thread.max(self.chunks_per_thread)
+        } else {
+            self.chunks_per_thread
+        };
+        Self::split(total, threads, chunks)
+    }
+
+    fn split(total: u64, threads: usize, chunks_per_thread: usize) -> Vec<(u64, u64)> {
         if total == 0 {
             return Vec::new();
         }
-        let target = (threads.max(1) as u64).saturating_mul(self.chunks_per_thread.max(1) as u64);
+        let target = (threads.max(1) as u64).saturating_mul(chunks_per_thread.max(1) as u64);
         let chunk = total.div_ceil(target).max(1);
         let mut out = Vec::with_capacity(total.div_ceil(chunk) as usize);
         let mut start = 0u64;
@@ -716,20 +932,149 @@ mod tests {
     #[test]
     fn schedule_env_parsing() {
         assert_eq!(
-            Schedule::from_env_value(None).chunks_per_thread,
-            DEFAULT_CHUNKS_PER_THREAD
-        );
-        assert_eq!(Schedule::from_env_value(Some("8")).chunks_per_thread, 8);
-        assert_eq!(Schedule::from_env_value(Some(" 2 ")).chunks_per_thread, 2);
-        // Garbage and zero fall back to the default.
-        assert_eq!(
-            Schedule::from_env_value(Some("0")).chunks_per_thread,
+            Schedule::from_env_value(None, None).chunks_per_thread,
             DEFAULT_CHUNKS_PER_THREAD
         );
         assert_eq!(
-            Schedule::from_env_value(Some("many")).chunks_per_thread,
+            Schedule::from_env_value(None, None).steal_chunks_per_thread,
+            DEFAULT_STEAL_CHUNKS_PER_THREAD
+        );
+        assert_eq!(
+            Schedule::from_env_value(Some("8"), None).chunks_per_thread,
+            8
+        );
+        assert_eq!(
+            Schedule::from_env_value(Some(" 2 "), Some("32")),
+            Schedule {
+                chunks_per_thread: 2,
+                steal_chunks_per_thread: 32
+            }
+        );
+        // Garbage and zero fall back to the defaults, independently.
+        assert_eq!(
+            Schedule::from_env_value(Some("0"), Some("nope")),
+            Schedule::default()
+        );
+        assert_eq!(
+            Schedule::from_env_value(Some("many"), None).chunks_per_thread,
             DEFAULT_CHUNKS_PER_THREAD
         );
+    }
+
+    /// Bounds of `0 ≤ x_0 ≤ n` with trailing `0 ≤ x_1 ≤ x_0`: treated
+    /// with `z = 1`, the sequential level's extent grows with the doall
+    /// prefix — the canonical cost-skewed shape.
+    fn skewed_tail_bounds(n: i64) -> LoopBounds {
+        triangle_bounds(n)
+    }
+
+    #[test]
+    fn cost_skew_detection() {
+        // Trailing level reads the doall prefix: skewed.
+        let tri = skewed_tail_bounds(7);
+        assert!(tri.reads_prefix(1, 1));
+        assert!(cost_skewed(&tri, 1));
+        // Fully-parallel triangle: every group is one iteration, so no
+        // trailing level exists to skew, whatever the prefix shape.
+        assert!(!cost_skewed(&tri, 2));
+        // Rectangles are never skewed.
+        let b = box_bounds(&[(0, 9), (0, 9)]);
+        assert!(!cost_skewed(&b, 1));
+        assert!(!cost_skewed(&b, 2));
+        // A trailing level reading only another *trailing* variable
+        // adds the same trailing volume to every group: not skewed,
+        // even though the level is prefix_dependent.
+        let mut s = System::universe(3);
+        s.add_range(0, 0, 9).unwrap();
+        s.add_range(1, 0, 5).unwrap();
+        // 0 <= x_2 <= x_1 (x_1 is sequential when z = 1).
+        s.add_ge0(AffineExpr::new(pdm_matrix::vec::IVec(vec![0, 0, 1]), 0))
+            .unwrap();
+        s.add_ge0(AffineExpr::new(pdm_matrix::vec::IVec(vec![0, 1, -1]), 0))
+            .unwrap();
+        let b = LoopBounds::from_system(&s).unwrap();
+        assert!(b.prefix_dependent(2), "x_2 does read an outer variable");
+        assert!(!b.reads_prefix(2, 1), "but not a doall-prefix one");
+        assert!(!cost_skewed(&b, 1));
+    }
+
+    #[test]
+    fn steal_aware_ranges_split_skewed_spaces_finer() {
+        let sched = Schedule::default();
+        let threads = 4;
+        let total = 4096u64;
+        // Skewed: the split targets steal_chunks_per_thread per worker.
+        let tri = skewed_tail_bounds(7);
+        let fine = sched.ranges_for(&tri, 1, total, threads);
+        assert_eq!(
+            fine.len(),
+            threads * DEFAULT_STEAL_CHUNKS_PER_THREAD,
+            "skewed spaces must split into steal-sized chunks"
+        );
+        // Rectangular: the coarse split is unchanged.
+        let b = box_bounds(&[(0, 9), (0, 9)]);
+        let coarse = sched.ranges_for(&b, 1, total, threads);
+        assert_eq!(coarse, sched.ranges(total, threads));
+        assert_eq!(coarse.len(), threads * DEFAULT_CHUNKS_PER_THREAD);
+        // Both splits still partition the space exactly.
+        for ranges in [&fine, &coarse] {
+            let mut expect = 0u64;
+            for &(a, b) in ranges.iter() {
+                assert_eq!(a, expect);
+                assert!(b > a);
+                expect = b;
+            }
+            assert_eq!(expect, total);
+        }
+    }
+
+    #[test]
+    fn advance_to_agrees_with_seek() {
+        let tri = triangle_bounds(6);
+        let total = group_count(&tri, 2, 2).unwrap();
+        let mut walker = GroupCursor::new(&tri, 2, 2).unwrap();
+        for k in 0..total {
+            let mut seeker = GroupCursor::new(&tri, 2, 2).unwrap();
+            assert!(seeker.seek(k).unwrap());
+            assert!(walker.advance_to(k).unwrap());
+            assert_eq!(walker.current(), seeker.current(), "position {k}");
+            assert_eq!(walker.position(), seeker.position());
+        }
+        assert!(!walker.advance_to(total).unwrap(), "walking past the end");
+    }
+
+    #[test]
+    fn planned_tasks_cover_the_space_exactly() {
+        let sched = Schedule::default();
+        for (bounds, z, noff) in [
+            (box_bounds(&[(0, 5), (1, 4)]), 2usize, 3usize),
+            (triangle_bounds(9), 2, 2),
+            (skewed_tail_bounds(9), 1, 2),
+            (box_bounds(&[(3, 1)]), 1, 1), // empty space
+        ] {
+            let total = group_count(&bounds, z, noff).unwrap();
+            let tasks = plan_range_tasks(&bounds, z, noff, &sched, 3).unwrap();
+            let mut seen = Vec::new();
+            for t in &tasks {
+                assert!(t.start() <= t.end());
+                t.for_each(|pos, prefix, o| {
+                    // Every group matches what a seek to that position
+                    // observes (pins clone-split against seek).
+                    let mut c = GroupCursor::new(&bounds, z, noff).unwrap();
+                    assert!(c.seek(pos).unwrap());
+                    let (p, oo) = c.current().unwrap();
+                    assert_eq!((p, oo), (prefix, o), "position {pos}");
+                    seen.push(pos);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            assert_eq!(
+                seen,
+                (0..total).collect::<Vec<_>>(),
+                "tasks must cover 0..{total} exactly once, in order"
+            );
+        }
     }
 
     #[test]

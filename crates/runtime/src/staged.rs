@@ -13,10 +13,11 @@
 //!   source order, each interpreted in original lexicographic order.
 //! * [`run_program_parallel`] — interpreted parallel: kernels grouped by
 //!   DAG **stage**; within a stage, every kernel's streaming group
-//!   ranges ([`Schedule::ranges`]) are flattened into one task list and
-//!   run in a single rayon region, so independent kernels' groups
-//!   interleave freely across workers. A barrier exists **only between
-//!   stages** — i.e. only where a DAG edge forces one.
+//!   ranges (steal-aware [`Schedule::ranges_for`] — skewed kernels split
+//!   finer so idle workers can steal) are flattened into one task list
+//!   and run in a single work-stealing rayon region, so independent
+//!   kernels' groups interleave freely across workers. A barrier exists
+//!   **only between stages** — i.e. only where a DAG edge forces one.
 //! * [`CompiledProgram`] — the same staging driven by per-kernel
 //!   compiled engines ([`CompiledPlan`]), reusing the strength-reduced
 //!   walkers and one scratch per task.
@@ -98,19 +99,17 @@ pub fn run_program_sequential(pp: &ProgramPlan, mem: &Memory) -> Result<u64> {
 }
 
 /// The flattened task list of one stage: `(kernel, start, end)` group
-/// ranges of every kernel in the stage, with the kernel's group count
-/// supplied by the caller (the interpreted and compiled executors count
-/// through different bound representations but must split identically).
+/// ranges of every kernel in the stage, with each kernel's steal-aware
+/// range split supplied by the caller (the interpreted and compiled
+/// executors size ranges through different bound representations — both
+/// via [`Schedule::ranges_for`] — but must split identically).
 fn stage_tasks(
     stage: &[usize],
-    sched: Schedule,
-    threads: usize,
-    mut group_count_of: impl FnMut(usize) -> Result<u64>,
+    mut ranges_of: impl FnMut(usize) -> Result<Vec<(u64, u64)>>,
 ) -> Result<Vec<(usize, u64, u64)>> {
     let mut tasks = Vec::new();
     for &k in stage {
-        let total = group_count_of(k)?;
-        for (start, end) in sched.ranges(total, threads) {
+        for (start, end) in ranges_of(k)? {
             tasks.push((k, start, end));
         }
     }
@@ -133,9 +132,11 @@ pub fn run_program_parallel(pp: &ProgramPlan, mem: &Memory) -> Result<u64> {
         .collect();
     let mut total = 0u64;
     for stage in pp.stages() {
-        let tasks = stage_tasks(stage, sched, threads, |k| {
+        let tasks = stage_tasks(stage, |k| {
             let kp = &pp.kernels()[k];
-            schedule::group_count(kp.plan.bounds(), kp.plan.doall_count(), offsets[k].len())
+            let z = kp.plan.doall_count();
+            let total = schedule::group_count(kp.plan.bounds(), z, offsets[k].len())?;
+            Ok(sched.ranges_for(kp.plan.bounds(), z, total, threads))
         })?;
         let counts: std::result::Result<Vec<u64>, RuntimeError> = tasks
             .par_iter()
@@ -186,7 +187,11 @@ impl CompiledProgram {
         let threads = rayon::current_num_threads();
         let mut total = 0u64;
         for stage in &self.stages {
-            let tasks = stage_tasks(stage, sched, threads, |k| self.kernels[k].group_count())?;
+            let tasks = stage_tasks(stage, |k| {
+                let kp = &self.kernels[k];
+                let total = kp.group_count()?;
+                Ok(sched.ranges_for(kp.bounds(), kp.doall(), total, threads))
+            })?;
             let counts: std::result::Result<Vec<u64>, RuntimeError> = tasks
                 .par_iter()
                 .map(|&(k, start, end)| {

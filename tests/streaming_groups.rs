@@ -19,7 +19,7 @@ use proptest::prelude::*;
 use vardep_loops::loopir::generator::{random_nest, GenConfig};
 use vardep_loops::prelude::*;
 use vardep_loops::runtime::exec;
-use vardep_loops::runtime::schedule::{group_count, GroupCursor};
+use vardep_loops::runtime::schedule::{group_count, plan_range_tasks, GroupCursor, Schedule};
 
 /// The pre-streaming enumeration, kept as an independent oracle: build
 /// every prefix level by level, then cross with the offset table.
@@ -138,6 +138,48 @@ proptest! {
         let mut cur = GroupCursor::new(plan.bounds(), z, num_offsets).unwrap();
         prop_assert!(!cur.seek(total).unwrap());
         prop_assert!(cur.current().is_none());
+    }
+
+    /// Cursor-clone range splitting ([`plan_range_tasks`]) agrees with
+    /// `seek`: every planned task starts exactly where an independent
+    /// seek to its start index lands, and the tasks' walked groups
+    /// concatenate to the full cursor sequence — no gap, no overlap.
+    #[test]
+    fn planned_tasks_agree_with_seek(seed in 0u64..1_000_000, threads in 1usize..5) {
+        let plan = plan_for_seed(seed);
+        let num_offsets = plan.partition().map_or(1, |p| p.offsets().len());
+        let z = plan.doall_count();
+        let all = cursor_sequence(&plan);
+        let sched = Schedule::from_env_value(None, None);
+        let tasks = plan_range_tasks(plan.bounds(), z, num_offsets, &sched, threads).unwrap();
+
+        let mut walked: Vec<(u64, Vec<i64>, usize)> = Vec::new();
+        let mut next_start = 0u64;
+        for task in &tasks {
+            // Contiguous, non-empty partition of 0..total.
+            prop_assert_eq!(task.start(), next_start);
+            prop_assert!(task.start() < task.end());
+            next_start = task.end();
+            // The planned (clone-positioned) start agrees with seek.
+            let mut cur = GroupCursor::new(plan.bounds(), z, num_offsets).unwrap();
+            prop_assert!(cur.seek(task.start()).unwrap());
+            let (p, o) = cur.current().unwrap();
+            prop_assert_eq!(
+                (p.to_vec(), o),
+                all[task.start() as usize].clone(),
+                "seek({}) oracle mismatch", task.start()
+            );
+            task.for_each(|gid, prefix, off| {
+                walked.push((gid, prefix.to_vec(), off));
+                Ok(())
+            }).unwrap();
+        }
+        prop_assert_eq!(next_start, all.len() as u64, "tasks must cover the space");
+        prop_assert_eq!(walked.len(), all.len());
+        for (i, ((gid, p, o), (ep, eo))) in walked.iter().zip(&all).enumerate() {
+            prop_assert_eq!(*gid, i as u64);
+            prop_assert_eq!((p, *o), (ep, *eo), "group {} diverged", i);
+        }
     }
 }
 

@@ -1,26 +1,49 @@
 //! Minimal in-repo stand-in for the `rayon` crate.
 //!
 //! The build environment has no network access to crates.io, so the
-//! workspace vendors the *subset* of rayon's API it actually uses,
-//! implemented on `std::thread::scope`. Parallelism is real (OS threads,
-//! contiguous chunking, order-preserving collection); work stealing is
-//! not — each `par_iter` splits its input into one contiguous chunk per
-//! worker, which is exactly the granularity the runtime's chunked
-//! scheduler feeds it.
+//! workspace vendors the *subset* of rayon's API it actually uses —
+//! now backed by a real work-stealing executor. Each parallel region
+//! gives every worker a [`deque::JobDeque`]: owners push and pop their
+//! own jobs LIFO at the bottom, idle workers steal FIFO from the top of
+//! someone else's queue. A worker stuck behind a fat job (the skewed
+//! group spaces Theorem-2 partitioning produces) no longer strands the
+//! rest of its chunk list — idle threads take it.
 //!
 //! Supported surface:
+//! * [`scope`] / [`scope_with`] — spawn-into-a-scope execution: jobs
+//!   land on the spawning worker's deque and get stolen from there
+//!   ([`Scope::spawn`] may be called from inside running jobs);
 //! * `prelude::*` → [`iter::IntoParallelRefIterator`] (`.par_iter()`) on
-//!   slices and `Vec`, with `.map(...)` and `.collect()` (any
-//!   `FromIterator`, including `Result<Vec<_>, E>`);
+//!   slices and `Vec`, with `.map(...)` and `.collect()` into `Vec<R>`
+//!   or `Result<Vec<U>, E>` (see [`iter::FromParMap`]); the `Result`
+//!   collect **short-circuits**: the first `Err` poisons the region and
+//!   remaining jobs return without calling the closure again;
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a thread-count
 //!   override scoped to the closure (used by thread-scaling benches);
-//! * [`current_num_threads`].
+//! * [`current_num_threads`], plus [`last_region_threads`] — how many
+//!   workers the most recent parallel region on this process actually
+//!   used (bench snapshots record it per case).
+//!
+//! Blocking and termination: a region's caller runs as worker 0, so a
+//! `scope` call occupies `threads` OS threads total. Workers exit when
+//! the pending-job count hits zero; the count is decremented only
+//! *after* a job finishes (even by panic), so no worker can exit while
+//! a running job might still spawn.
 
+pub mod deque;
+
+use deque::JobDeque;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     /// 0 = "use the machine default".
     static POOL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// This thread's worker index inside the innermost active scope;
+    /// `usize::MAX` when the thread is not currently a scope worker.
+    static WORKER_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Worker count of the most recent region opened from this thread.
+    static LAST_REGION_THREADS: Cell<usize> = const { Cell::new(1) };
 }
 
 fn machine_threads() -> usize {
@@ -29,7 +52,7 @@ fn machine_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Number of worker threads parallel iterators will use in this context.
+/// Number of worker threads parallel regions will use in this context.
 pub fn current_num_threads() -> usize {
     let ov = POOL_OVERRIDE.with(|c| c.get());
     if ov == 0 {
@@ -37,6 +60,140 @@ pub fn current_num_threads() -> usize {
     } else {
         ov
     }
+}
+
+/// Worker count of the most recent parallel region opened from this
+/// thread — the *observed* parallelism (1 when the region ran inline),
+/// as opposed to the configured [`current_num_threads`]. Bench snapshot
+/// writers record this per case. Thread-local so concurrent regions on
+/// other threads (e.g. parallel tests) cannot interleave readings.
+pub fn last_region_threads() -> usize {
+    LAST_REGION_THREADS.with(|c| c.get())
+}
+
+fn note_region_threads(n: usize) {
+    LAST_REGION_THREADS.with(|c| c.set(n));
+}
+
+/// One parallel region: per-worker job deques plus the pending-job
+/// count that decides termination.
+pub struct Scope<'env> {
+    deques: Vec<JobDeque<Job<'env>>>,
+    pending: AtomicUsize,
+    /// Round-robin cursor for spawns from outside any worker (the
+    /// region caller before workers start).
+    next: AtomicUsize,
+}
+
+type Job<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
+
+/// Restores the previous [`WORKER_SLOT`] on drop (unwind-safe).
+struct SlotGuard(usize);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        WORKER_SLOT.with(|c| c.set(self.0));
+    }
+}
+
+/// Decrements the pending count on drop, so a panicking job still
+/// counts as finished and cannot wedge the other workers' exit check.
+struct PendingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl<'env> Scope<'env> {
+    fn new(workers: usize) -> Self {
+        Scope {
+            deques: (0..workers).map(|_| JobDeque::new()).collect(),
+            pending: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of workers this region runs with.
+    pub fn num_workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Queue a job. Called from a worker, the job lands at the bottom
+    /// of that worker's own deque (LIFO locality); called from outside,
+    /// jobs are dealt round-robin so every deque seeds with work.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        self.pending.fetch_add(1, Ordering::Acquire);
+        let slot = WORKER_SLOT.with(|c| c.get());
+        let w = if slot < self.deques.len() {
+            slot
+        } else {
+            self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len()
+        };
+        self.deques[w].push(Box::new(f));
+    }
+
+    /// Own deque first (LIFO bottom), then sweep the others as a thief
+    /// (FIFO top), starting just past `w` so thieves spread out.
+    fn find_job(&self, w: usize) -> Option<Job<'env>> {
+        if let Some(job) = self.deques[w].pop() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        (1..n).find_map(|i| self.deques[(w + i) % n].steal())
+    }
+
+    fn run_worker(&self, w: usize) {
+        let prev = WORKER_SLOT.with(|c| c.replace(w));
+        let _restore = SlotGuard(prev);
+        loop {
+            if let Some(job) = self.find_job(w) {
+                let _done = PendingGuard(&self.pending);
+                job(self);
+            } else if self.pending.load(Ordering::Acquire) == 0 {
+                break;
+            } else {
+                // Someone is still running a job that may spawn more.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Run a work-stealing region with [`current_num_threads`] workers.
+/// `f` receives the [`Scope`] to spawn into; the call returns after
+/// every spawned job (including jobs spawned by jobs) has finished.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    scope_with(current_num_threads(), f)
+}
+
+/// [`scope`] with an explicit worker count. The calling thread works
+/// too (as worker 0), so `threads` is the region's total concurrency.
+pub fn scope_with<'env, R>(threads: usize, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let workers = threads.max(1);
+    let sc = Scope::new(workers);
+    let out = f(&sc);
+    if sc.pending.load(Ordering::Acquire) == 0 {
+        note_region_threads(1);
+        return out;
+    }
+    note_region_threads(workers);
+    if workers == 1 {
+        sc.run_worker(0);
+    } else {
+        std::thread::scope(|ts| {
+            for w in 1..workers {
+                let sc = &sc;
+                ts.spawn(move || sc.run_worker(w));
+            }
+            sc.run_worker(0);
+        });
+    }
+    out
 }
 
 /// Error building a thread pool (never produced by this stand-in, kept
@@ -82,7 +239,9 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "pool": in this stand-in, a scoped thread-count override.
+/// A "pool": in this stand-in, a scoped thread-count override — regions
+/// opened inside `install` spawn their workers per call rather than
+/// keeping persistent pool threads.
 #[derive(Debug)]
 pub struct ThreadPool {
     threads: usize,
@@ -98,7 +257,7 @@ impl Drop for OverrideGuard {
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's thread count governing nested `par_iter`s.
+    /// Run `f` with this pool's thread count governing nested regions.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
         let prev = POOL_OVERRIDE.with(|c| c.replace(self.threads));
         let _guard = OverrideGuard(prev);
@@ -112,9 +271,18 @@ impl ThreadPool {
 }
 
 pub mod iter {
-    //! Parallel iterator subset: `par_iter().map(f).collect()`.
+    //! Parallel iterator subset: `par_iter().map(f).collect()`, executed
+    //! on the work-stealing [`crate::scope`].
 
-    use super::current_num_threads;
+    use super::{current_num_threads, note_region_threads, scope_with};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// Jobs per worker a `par_iter` region splits its input into. More
+    /// than one, so thieves find whole blocks to steal when block costs
+    /// are uneven; the runtime's scheduler layers its own (cost-aware)
+    /// chunking on top of this.
+    const BLOCKS_PER_WORKER: usize = 4;
 
     /// Entry point: `.par_iter()` on a borrowed collection.
     pub trait IntoParallelRefIterator<'data> {
@@ -164,12 +332,51 @@ pub mod iter {
     }
 
     impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParMap<'data, T, F> {
-        /// Evaluate in parallel and collect in input order.
-        pub fn collect<C: FromIterator<R>>(self) -> C {
-            run_map(self.items, &self.f).into_iter().collect()
+        /// Evaluate in parallel and collect in input order. The target
+        /// chooses the strategy through [`FromParMap`]: `Vec<R>` runs
+        /// everything; `Result<Vec<U>, E>` short-circuits on `Err`.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromParMap<'data, T, R>,
+        {
+            C::from_par_map(self.items, &self.f)
         }
     }
 
+    /// Collection targets for [`ParMap::collect`]. A trait (rather than
+    /// plain `FromIterator`) so the `Result` target can install a
+    /// poison flag that actually stops remaining work on the first
+    /// `Err` — a blanket `FromIterator` collect would have to compute
+    /// every element first.
+    pub trait FromParMap<'data, T: Sync + 'data, R>: Sized {
+        /// Run the mapping over `items` and build the collection.
+        fn from_par_map<F>(items: &'data [T], f: &F) -> Self
+        where
+            F: Fn(&'data T) -> R + Sync;
+    }
+
+    impl<'data, T: Sync + 'data, R: Send> FromParMap<'data, T, R> for Vec<R> {
+        fn from_par_map<F>(items: &'data [T], f: &F) -> Self
+        where
+            F: Fn(&'data T) -> R + Sync,
+        {
+            run_map(items, f)
+        }
+    }
+
+    impl<'data, T: Sync + 'data, U: Send, E: Send> FromParMap<'data, T, Result<U, E>>
+        for Result<Vec<U>, E>
+    {
+        fn from_par_map<F>(items: &'data [T], f: &F) -> Self
+        where
+            F: Fn(&'data T) -> Result<U, E> + Sync,
+        {
+            run_try_map(items, f)
+        }
+    }
+
+    /// Split `items` into blocks and map them on a stealing scope;
+    /// block results land in order-indexed slots and concatenate.
     fn run_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
     where
         T: Sync,
@@ -178,20 +385,89 @@ pub mod iter {
     {
         let threads = current_num_threads().min(items.len().max(1));
         if threads <= 1 || items.len() <= 1 {
+            note_region_threads(1);
             return items.iter().map(f).collect();
         }
-        let chunk = items.len().div_ceil(threads);
-        let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon stand-in worker panicked"))
-                .collect()
+        let blocks = (threads * BLOCKS_PER_WORKER).min(items.len());
+        let block = items.len().div_ceil(blocks);
+        let slots: Vec<Mutex<Option<Vec<R>>>> =
+            items.chunks(block).map(|_| Mutex::new(None)).collect();
+        scope_with(threads, |sc| {
+            for (chunk, slot) in items.chunks(block).zip(&slots) {
+                sc.spawn(move |_| {
+                    let out: Vec<R> = chunk.iter().map(f).collect();
+                    *slot.lock().expect("result slot poisoned") = Some(out);
+                });
+            }
         });
-        per_chunk.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .flat_map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker block missing")
+            })
+            .collect()
+    }
+
+    /// [`run_map`] for fallible mappings: the first `Err` sets a shared
+    /// poison flag, queued blocks return immediately when they see it,
+    /// and in-flight blocks stop at their next element boundary.
+    fn run_try_map<'data, T, U, E, F>(items: &'data [T], f: &F) -> Result<Vec<U>, E>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(&'data T) -> Result<U, E> + Sync,
+    {
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            note_region_threads(1);
+            // `collect` into `Result` stops at the first `Err`.
+            return items.iter().map(f).collect();
+        }
+        let blocks = (threads * BLOCKS_PER_WORKER).min(items.len());
+        let block = items.len().div_ceil(blocks);
+        let poisoned = AtomicBool::new(false);
+        let error: Mutex<Option<E>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<Vec<U>>>> =
+            items.chunks(block).map(|_| Mutex::new(None)).collect();
+        scope_with(threads, |sc| {
+            for (chunk, slot) in items.chunks(block).zip(&slots) {
+                let (poisoned, error) = (&poisoned, &error);
+                sc.spawn(move |_| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for item in chunk {
+                        if poisoned.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match f(item) {
+                            Ok(v) => out.push(v),
+                            Err(e) => {
+                                poisoned.store(true, Ordering::Relaxed);
+                                let mut first = error.lock().expect("error slot poisoned");
+                                if first.is_none() {
+                                    *first = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                    }
+                    *slot.lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        if let Some(e) = error.into_inner().expect("error slot poisoned") {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .flat_map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker block missing")
+            })
+            .collect())
     }
 }
 
@@ -204,6 +480,7 @@ pub mod prelude {
 mod tests {
     use super::iter::IntoParallelRefIterator;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -217,11 +494,46 @@ mod tests {
         let v: Vec<i64> = (0..100).collect();
         let ok: Result<Vec<i64>, String> = v.par_iter().map(|&x| Ok(x + 1)).collect();
         assert_eq!(ok.unwrap().len(), 100);
-        let err: Result<Vec<i64>, String> = v
-            .par_iter()
-            .map(|&x| if x == 50 { Err("boom".into()) } else { Ok(x) })
-            .collect();
+
+        // Every element fails. The first failure poisons the region, so
+        // the closure must run far fewer times than the input length:
+        // only blocks already in flight reach their next element check.
+        let big: Vec<i64> = (0..100_000).collect();
+        let calls = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let err: Result<Vec<i64>, String> = pool.install(|| {
+            big.par_iter()
+                .map(|&x| {
+                    calls.fetch_add(1, AtOrd::Relaxed);
+                    Err::<i64, String>(format!("boom {x}"))
+                })
+                .collect()
+        });
         assert!(err.is_err());
+        let executed = calls.load(AtOrd::Relaxed);
+        assert!(
+            executed < big.len() / 2,
+            "poison flag failed to stop remaining work: {executed} of {} elements ran",
+            big.len()
+        );
+
+        // The sequential fallback short-circuits exactly.
+        let calls = AtomicUsize::new(0);
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let err: Result<Vec<i64>, String> = pool1.install(|| {
+            big.par_iter()
+                .map(|&x| {
+                    calls.fetch_add(1, AtOrd::Relaxed);
+                    if x == 10 {
+                        Err("boom".to_string())
+                    } else {
+                        Ok(x)
+                    }
+                })
+                .collect()
+        });
+        assert!(err.is_err());
+        assert_eq!(calls.load(AtOrd::Relaxed), 11);
     }
 
     #[test]
@@ -241,5 +553,59 @@ mod tests {
             v.par_iter().map(|_| std::thread::current().id()).collect();
         let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
         assert!(distinct.len() > 1, "expected work on >1 thread");
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_job_including_nested() {
+        let ran = AtomicUsize::new(0);
+        scope_with(3, |sc| {
+            for _ in 0..10 {
+                let ran = &ran;
+                sc.spawn(move |inner| {
+                    ran.fetch_add(1, AtOrd::Relaxed);
+                    // Jobs may spawn follow-up jobs onto their own deque.
+                    inner.spawn(move |_| {
+                        ran.fetch_add(1, AtOrd::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(ran.load(AtOrd::Relaxed), 20);
+    }
+
+    #[test]
+    fn idle_workers_steal_queued_jobs() {
+        if machine_threads() < 2 {
+            return;
+        }
+        // One fat job first: whoever takes it is busy while the other
+        // workers must steal the rest to finish them.
+        let ids = std::sync::Mutex::new(Vec::new());
+        scope_with(4, |sc| {
+            for i in 0..32 {
+                let ids = &ids;
+                sc.spawn(move |_| {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    ids.lock().unwrap().push(std::thread::current().id());
+                });
+            }
+        });
+        let ids = ids.into_inner().unwrap();
+        assert_eq!(ids.len(), 32);
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected stolen work on >1 thread");
+    }
+
+    #[test]
+    fn last_region_threads_reflects_the_region() {
+        let v: Vec<i64> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let _: Vec<i64> = pool.install(|| v.par_iter().map(|&x| x).collect());
+        assert_eq!(last_region_threads(), 3);
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let _: Vec<i64> = pool1.install(|| v.par_iter().map(|&x| x).collect());
+        assert_eq!(last_region_threads(), 1);
     }
 }
