@@ -1,0 +1,39 @@
+//! Write the committed `BENCH_service.json` snapshot: the plan-serving
+//! storm — 4 concurrent clients firing zipf-distributed mixed
+//! `plan`/`instantiate`/`run` requests at a `PlanServer` over real TCP,
+//! all 64 shapes raced through the single-flight sharded cache.
+//!
+//! ```sh
+//! cargo run --release -p pdm-bench --bin bench_service
+//! ```
+//!
+//! Gated by `bench_check`: `replan_reduction` (requests per planning
+//! run — deterministic) and `service_vs_replan_speedup` (warm cache
+//! acquisition vs. fresh symbolic planning, same host, same run).
+//! `service_throughput_per_s` is recorded and gated under
+//! `BENCH_CHECK_STRICT=1`; this binary refuses to write a snapshot that
+//! fails the service-layer acceptance floor outright.
+
+use pdm_bench::perf;
+
+fn main() {
+    println!("bench_service: plan-serving zipf storm over TCP");
+    let cases = perf::service_cases();
+    for c in &cases {
+        let throughput = c.requests as f64 / c.elapsed;
+        assert!(
+            throughput >= 1000.0,
+            "{}: {throughput:.0} req/s is below the 1000 req/s service floor",
+            c.name
+        );
+        assert_eq!(c.errors, 0, "{}: storm produced error responses", c.name);
+        assert_eq!(
+            c.planned, c.shapes as u64,
+            "{}: single-flight dedup must plan each shape exactly once",
+            c.name
+        );
+    }
+    let json = perf::service_json(&cases);
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("\nwrote BENCH_service.json");
+}

@@ -21,7 +21,8 @@
 //! | `bench_template` | writes `BENCH_template.json` (plan-template instantiate vs. replan) |
 //! | `bench_imperfect` | writes `BENCH_imperfect.json` (imperfect-nest staged pipelines) |
 //! | `bench_scaling` | writes `BENCH_scaling.json` (work-stealing thread scaling, stealing vs. contiguous split) |
-//! | `bench_check` | re-measures all six and fails on regression of gated metrics |
+//! | `bench_service` | writes `BENCH_service.json` (plan-serving storm: zipf-mixed requests over TCP) |
+//! | `bench_check` | re-measures all seven and fails on regression of gated metrics |
 //!
 //! Criterion benches (`cargo bench -p pdm-bench`) measure the quantitative
 //! side: analysis cost, transformation scaling, and the speedup of the
@@ -30,7 +31,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod json;
+// The dependency-free JSON parser/serializer lives in pdm-service now
+// (it frames the wire protocol there); re-exported so existing
+// `pdm_bench::json` callers keep working.
+pub use pdm_service::json;
 pub mod perf;
 
 use pdm_core::plan::ParallelPlan;

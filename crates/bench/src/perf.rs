@@ -954,6 +954,9 @@ pub struct ScalingPoint {
     pub observed_interp: usize,
     /// Workers the compiled region actually used.
     pub observed_compiled: usize,
+    /// Cross-deque steals in the last compiled region
+    /// ([`rayon::last_region_steals`]).
+    pub steals_compiled: usize,
     /// Interpreted parallel execution at this width.
     pub t_interp: f64,
     /// Compiled parallel execution at this width.
@@ -980,6 +983,10 @@ pub struct ScalingCase {
     pub t_contiguous: f64,
     /// Compiled at `max_threads` with the default steal-aware schedule.
     pub t_stealing: f64,
+    /// Steals observed in the last contiguous-schedule region.
+    pub steals_contiguous: usize,
+    /// Steals observed in the last steal-aware region.
+    pub steals_stealing: usize,
 }
 
 /// Balanced rectangular row recurrence: every outer (doall) row costs
@@ -1046,10 +1053,12 @@ fn run_scaling_case(name: &'static str, nest: &LoopNest, expect_skewed: bool) ->
             pool.install(|| cplan.run_parallel(&m).unwrap())
         });
         let observed_compiled = rayon::last_region_threads();
+        let steals_compiled = rayon::last_region_steals();
         points.push(ScalingPoint {
             threads,
             observed_interp,
             observed_compiled,
+            steals_compiled,
             t_interp,
             t_compiled,
         });
@@ -1071,6 +1080,7 @@ fn run_scaling_case(name: &'static str, nest: &LoopNest, expect_skewed: bool) ->
     let t_contiguous = best(SCALING_REPS, || {
         pool.install(|| cplan.run_parallel_scheduled(&m, contiguous).unwrap())
     });
+    let steals_contiguous = rayon::last_region_steals();
     let t_stealing = best(SCALING_REPS, || {
         pool.install(|| {
             cplan
@@ -1078,6 +1088,7 @@ fn run_scaling_case(name: &'static str, nest: &LoopNest, expect_skewed: bool) ->
                 .unwrap()
         })
     });
+    let steals_stealing = rayon::last_region_steals();
 
     ScalingCase {
         name,
@@ -1087,6 +1098,8 @@ fn run_scaling_case(name: &'static str, nest: &LoopNest, expect_skewed: bool) ->
         max_threads,
         t_contiguous,
         t_stealing,
+        steals_contiguous,
+        steals_stealing,
     }
 }
 
@@ -1101,22 +1114,25 @@ pub fn scaling_cases() -> Vec<ScalingCase> {
     for c in &cases {
         for p in &c.points {
             println!(
-                "{:<14} t={:<2} (observed {}/{})  interp {:>11.0} iters/s   compiled {:>11.0} iters/s",
+                "{:<14} t={:<2} (observed {}/{}, {} steals)  interp {:>11.0} iters/s   compiled {:>11.0} iters/s",
                 c.name,
                 p.threads,
                 p.observed_interp,
                 p.observed_compiled,
+                p.steals_compiled,
                 c.iterations as f64 / p.t_interp,
                 c.iterations as f64 / p.t_compiled,
             );
         }
         println!(
-            "{:<14} duel@t={}: contiguous {:>11.0} -> stealing {:>11.0} iters/s ({:4.2}x)",
+            "{:<14} duel@t={}: contiguous {:>11.0} -> stealing {:>11.0} iters/s ({:4.2}x, {} -> {} steals)",
             c.name,
             c.max_threads,
             c.iterations as f64 / c.t_contiguous,
             c.iterations as f64 / c.t_stealing,
             c.t_contiguous / c.t_stealing,
+            c.steals_contiguous,
+            c.steals_stealing,
         );
     }
     cases
@@ -1142,12 +1158,14 @@ pub fn scaling_json(cases: &[ScalingCase]) -> String {
             out.push_str(&format!(
                 "    {{\"name\": \"{}_t{}\", \"threads\": {}, \
                  \"observed_interp_threads\": {}, \"observed_compiled_threads\": {}, \
+                 \"observed_compiled_steals\": {}, \
                  \"interp_iters_per_s\": {:.0}, \"compiled_iters_per_s\": {:.0}}},\n",
                 c.name,
                 p.threads,
                 p.threads,
                 p.observed_interp,
                 p.observed_compiled,
+                p.steals_compiled,
                 c.iterations as f64 / p.t_interp,
                 c.iterations as f64 / p.t_compiled,
             ));
@@ -1160,16 +1178,292 @@ pub fn scaling_json(cases: &[ScalingCase]) -> String {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"iterations\": {}, \"cost_skewed\": {}, \
              \"threads\": {}, \
+             \"contiguous_steals\": {}, \"stealing_steals\": {}, \
              \"contiguous_iters_per_s\": {:.0}, \"stealing_iters_per_s\": {:.0}, \
              \"{gate_key}\": {:.3}}}{}\n",
             c.name,
             c.iterations,
             if c.skewed { 1 } else { 0 },
             c.max_threads,
+            c.steals_contiguous,
+            c.steals_stealing,
             c.iterations as f64 / c.t_contiguous,
             c.iterations as f64 / c.t_stealing,
             c.t_contiguous / c.t_stealing,
             if ci + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Plan-serving service: zipf request storm over the wire.
+// ---------------------------------------------------------------------
+
+/// Distinct nest shapes in the service storm (one template each).
+pub const SERVICE_SHAPES: usize = 64;
+/// Concurrent client connections in the storm.
+pub const SERVICE_CLIENTS: usize = 4;
+/// Requests per client (seeding plans + zipf-mixed follow-ups).
+pub const SERVICE_REQUESTS_PER_CLIENT: usize = 1000;
+/// Zipf exponent of the shape popularity distribution.
+const SERVICE_ZIPF_S: f64 = 1.1;
+
+/// One plan-serving storm (times in seconds; counters from the server's
+/// shared cache).
+pub struct ServiceCase {
+    /// Case label (stable across runs; used as the JSON metric path).
+    pub name: &'static str,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Distinct shapes requested.
+    pub shapes: usize,
+    /// Pool workers serving (acceptor + handlers).
+    pub workers: usize,
+    /// Total wire requests issued.
+    pub requests: u64,
+    /// Requests answered `"ok": false`.
+    pub errors: u64,
+    /// Wall time of the whole storm (connect → last response).
+    pub elapsed: f64,
+    /// Cache hits across the storm.
+    pub hits: u64,
+    /// Planning runs (must equal `shapes`: single-flight dedup).
+    pub planned: u64,
+    /// Requests that waited on another connection's in-flight plan.
+    pub waited: u64,
+    /// Warm template acquisition through the session cache, per call.
+    pub t_acquire: f64,
+    /// Fresh symbolic planning of the same shape, per call.
+    pub t_replan: f64,
+}
+
+/// The `idx`-th storm shape: a 1-D recurrence whose constant dependence
+/// distance (`idx + 2`) varies the structural hash — 64 sources, 64
+/// distinct templates, all cheap to plan and to run.
+pub fn service_shape_source(idx: usize) -> String {
+    format!("for i = 1..=N {{ A[i + {d}] = A[i] + 1; }}", d = idx + 2)
+}
+
+/// Deterministic zipf sampler over `0..n` (popularity rank order):
+/// inverse-CDF over precomputed weights, driven by splitmix64 draws.
+struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64, seed: u64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn draw(&mut self) -> usize {
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let target = u * self.cdf.last().copied().unwrap_or(1.0);
+        self.cdf.iter().position(|&c| c >= target).unwrap_or(0)
+    }
+}
+
+/// One storm client: seed every shape with a `plan` request (exercising
+/// single-flight dedup — all clients race on all shapes), then issue
+/// zipf-mixed `instantiate` / `plan` / `run` requests by hash. Returns
+/// `(requests, errors)`.
+fn service_client(
+    addr: std::net::SocketAddr,
+    seed: u64,
+) -> Result<(u64, u64), pdm_service::PdmError> {
+    use pdm_service::ServiceClient;
+
+    let mut client = ServiceClient::connect(addr)?;
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut hashes = vec![String::new(); SERVICE_SHAPES];
+    let mut call = |client: &mut ServiceClient, req: &str| {
+        let resp = client.call(req)?;
+        requests += 1;
+        if resp.get("ok") != Some(&pdm_service::json::Json::Bool(true)) {
+            errors += 1;
+        }
+        Ok::<_, pdm_service::PdmError>(resp)
+    };
+
+    for (idx, hash) in hashes.iter_mut().enumerate() {
+        let src = service_shape_source(idx);
+        let resp = call(
+            &mut client,
+            &format!(r#"{{"op":"plan","source":{},"params":["N"]}}"#, quote(&src)),
+        )?;
+        *hash = resp.get_str("shape_hash").unwrap_or_default().to_string();
+    }
+
+    let mut zipf = Zipf::new(SERVICE_SHAPES, SERVICE_ZIPF_S, seed);
+    for r in 0..SERVICE_REQUESTS_PER_CLIENT - SERVICE_SHAPES {
+        let idx = zipf.draw();
+        let hash = &hashes[idx];
+        let req = match r % 10 {
+            // Mostly instantiations — the serving fast path.
+            0..=5 => format!(r#"{{"op":"instantiate","shape_hash":"{hash}","values":{{"N":64}}}}"#),
+            // Re-plans by source: the cache answers, nothing re-plans.
+            6..=8 => {
+                let src = service_shape_source(idx);
+                format!(r#"{{"op":"plan","source":{},"params":["N"]}}"#, quote(&src))
+            }
+            // Occasional full runs (instantiate + execute).
+            _ => format!(r#"{{"op":"run","shape_hash":"{hash}","values":{{"N":24}},"seed":1}}"#),
+        };
+        call(&mut client, &req)?;
+    }
+    Ok((requests, errors))
+}
+
+fn quote(s: &str) -> String {
+    pdm_service::json::render(&pdm_service::json::Json::Str(s.to_string()))
+}
+
+/// Run the zipf storm against a freshly bound server and measure
+/// acquisition-vs-replan on the same session afterwards.
+pub fn service_cases() -> Vec<ServiceCase> {
+    use pdm_core::template::plan_template;
+    use pdm_loopir::parse::parse_loop_symbolic;
+    use pdm_service::{PlanServer, Session};
+    use std::sync::Arc;
+
+    let workers = SERVICE_CLIENTS + 2;
+    let session = Arc::new(
+        Session::builder()
+            .cache_capacity(8, 16) // 128 slots ≥ 64 shapes: no evictions
+            .threads(1)
+            .build(),
+    );
+    let server =
+        PlanServer::bind("127.0.0.1:0", Arc::clone(&session), workers).expect("bind service");
+    let addr = server.local_addr().expect("local addr");
+    let serve = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let t0 = std::time::Instant::now();
+    let clients: Vec<_> = (0..SERVICE_CLIENTS)
+        .map(|c| std::thread::spawn(move || service_client(addr, 0x5eed + c as u64)))
+        .collect();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for c in clients {
+        let (r, e) = c.join().expect("client thread").expect("client io");
+        requests += r;
+        errors += e;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let stats = session.cache_stats();
+    pdm_service::ServiceClient::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    serve.join().expect("server thread");
+
+    // The serving win, in-process: warm cache acquisition vs. planning
+    // the same shape from scratch, both on this host in this run. Both
+    // legs are batched so single-call timer jitter cannot move the
+    // gated ratio.
+    let shape = parse_loop_symbolic(&service_shape_source(0), &["N"]).expect("parse");
+    let t_replan = best(RUNTIME_REPS, || {
+        let mut d = 0usize;
+        for _ in 0..INSTANTIATE_BATCH {
+            d = plan_template(&shape).unwrap().depth();
+        }
+        d
+    }) / INSTANTIATE_BATCH as f64;
+    let t_acquire = best(RUNTIME_REPS, || {
+        let mut d = 0usize;
+        for _ in 0..INSTANTIATE_BATCH {
+            d = session.plan(&shape).unwrap().depth();
+        }
+        d
+    }) / INSTANTIATE_BATCH as f64;
+
+    let cases = vec![ServiceCase {
+        name: "zipf64_c4",
+        clients: SERVICE_CLIENTS,
+        shapes: SERVICE_SHAPES,
+        workers,
+        requests,
+        errors,
+        elapsed,
+        hits: stats.hits,
+        planned: stats.planned,
+        waited: stats.waited,
+        t_acquire,
+        t_replan,
+    }];
+    for c in &cases {
+        println!(
+            "{:<14} {} clients x {} reqs in {:.2}s = {:>7.0} req/s   planned {} hits {} waited {} errors {}   acquire {:.2}us vs replan {:.1}us ({:.0}x)",
+            c.name,
+            c.clients,
+            c.requests / c.clients as u64,
+            c.elapsed,
+            c.requests as f64 / c.elapsed,
+            c.planned,
+            c.hits,
+            c.waited,
+            c.errors,
+            c.t_acquire * 1e6,
+            c.t_replan * 1e6,
+            c.t_replan / c.t_acquire,
+        );
+    }
+    cases
+}
+
+/// Serialize service cases into the committed `BENCH_service.json`
+/// shape. Gated: `replan_reduction` (requests per planning run — fully
+/// deterministic: fixed zipf seeds, single-flight guarantees one plan
+/// per shape) and `service_vs_replan_speedup` (warm acquisition vs.
+/// fresh planning, both timed on the same host in the same run).
+/// `service_throughput_per_s` is absolute and gated only under
+/// `BENCH_CHECK_STRICT=1`.
+pub fn service_json(cases: &[ServiceCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"plan_service\",\n");
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!(
+        "  \"machine_threads\": {machine},\n  \"cases\": [\n"
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"clients\": {}, \"shapes\": {}, \"threads\": {}, \
+             \"requests\": {}, \"errors\": {}, \
+             \"service_throughput_per_s\": {:.0}, \
+             \"cache_hits\": {}, \"cache_planned\": {}, \"cache_waited\": {}, \
+             \"hit_rate\": {:.4}, \"replan_reduction\": {:.2}, \
+             \"acquire_us\": {:.3}, \"replan_us\": {:.1}, \
+             \"service_vs_replan_speedup\": {:.1}}}{}\n",
+            c.name,
+            c.clients,
+            c.shapes,
+            c.workers,
+            c.requests,
+            c.errors,
+            c.requests as f64 / c.elapsed,
+            c.hits,
+            c.planned,
+            c.waited,
+            c.hits as f64 / (c.hits + c.planned + c.waited).max(1) as f64,
+            c.requests as f64 / c.planned.max(1) as f64,
+            c.t_acquire * 1e6,
+            c.t_replan * 1e6,
+            c.t_replan / c.t_acquire,
+            if i + 1 == cases.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");

@@ -9,7 +9,7 @@
 
 use crate::exec::{offset_table, walk_group, GroupSpec};
 use crate::memory::Memory;
-use crate::schedule::{self, Schedule};
+use crate::schedule;
 use crate::{Result, RuntimeError};
 use pdm_core::plan::ParallelPlan;
 use pdm_loopir::nest::LoopNest;
@@ -114,7 +114,7 @@ pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) 
         plan.bounds(),
         plan.doall_count(),
         offsets.len(),
-        &Schedule::from_env(),
+        &crate::config::RuntimeConfig::global().schedule(),
         rayon::current_num_threads(),
     )?;
     if tasks.is_empty() {

@@ -626,7 +626,7 @@ impl CompiledPlan {
     /// per task; zero up-front group materialization. Returns the total
     /// iteration count.
     pub fn run_parallel(&self, mem: &Memory) -> Result<u64> {
-        self.run_parallel_scheduled(mem, Schedule::from_env())
+        self.run_parallel_scheduled(mem, crate::config::RuntimeConfig::global().schedule())
     }
 
     /// [`CompiledPlan::run_parallel`] with an explicit [`Schedule`].

@@ -1,0 +1,162 @@
+//! Process-wide runtime configuration: every `PDM_*` environment knob,
+//! read **once** and cached.
+//!
+//! Before this module, each executor entry point called
+//! [`Schedule::from_env`] per run — thousands of `std::env::var` calls
+//! per second under serving load, and no single place documenting what
+//! the process was actually configured with. [`RuntimeConfig`]
+//! consolidates the knobs:
+//!
+//! | variable | field | default | consumer |
+//! |----------|-------|---------|----------|
+//! | `PDM_CHUNKS_PER_THREAD` | [`chunks_per_thread`](RuntimeConfig::chunks_per_thread) | 4 | range splitter (balanced group spaces) |
+//! | `PDM_STEAL_CHUNKS_PER_THREAD` | [`steal_chunks_per_thread`](RuntimeConfig::steal_chunks_per_thread) | 16 | range splitter (cost-skewed spaces) |
+//! | `PDM_PROPTEST_SEED` | [`proptest_seed`](RuntimeConfig::proptest_seed) | unset | vendored proptest seed mixing (tests only) |
+//!
+//! [`RuntimeConfig::global`] is the cached process-wide instance: the
+//! environment is read on first use and never again, so per-request
+//! paths pay an atomic load instead of three env lookups. Executors and
+//! services should take their [`Schedule`] from
+//! [`RuntimeConfig::global().schedule()`](RuntimeConfig::schedule) (or
+//! accept an explicit `Schedule`/`RuntimeConfig` at construction for
+//! per-instance overrides, as `pdm-service`'s session builder does).
+//!
+//! `PDM_PROPTEST_SEED` is *consumed* by the vendored proptest stand-in
+//! (which cannot depend on this crate); the field here mirrors its
+//! parsing rule — integer value, or an FNV-1a hash of the raw string —
+//! so diagnostics can report the effective seed perturbation.
+
+use crate::schedule::Schedule;
+use std::sync::OnceLock;
+
+/// Every runtime environment knob, parsed once.
+///
+/// Construct with [`RuntimeConfig::from_env`] (or
+/// [`RuntimeConfig::from_env_values`] with injected raw strings in
+/// tests), or read the process-wide cached instance via
+/// [`RuntimeConfig::global`]. Invalid or non-positive values fall back
+/// to the documented defaults, matching [`Schedule::from_env_value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Contiguous group ranges per worker on balanced group spaces
+    /// (`PDM_CHUNKS_PER_THREAD`, default
+    /// [`crate::schedule::DEFAULT_CHUNKS_PER_THREAD`]).
+    pub chunks_per_thread: usize,
+    /// Finer split applied on cost-skewed group spaces so idle workers
+    /// always find chunks to steal (`PDM_STEAL_CHUNKS_PER_THREAD`,
+    /// default [`crate::schedule::DEFAULT_STEAL_CHUNKS_PER_THREAD`]).
+    pub steal_chunks_per_thread: usize,
+    /// Effective proptest seed perturbation (`PDM_PROPTEST_SEED`):
+    /// `None` when unset, otherwise the integer value or the FNV-1a
+    /// hash of the raw string — the same rule the vendored proptest
+    /// applies when mixing test-name-derived seeds.
+    pub proptest_seed: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            chunks_per_thread: crate::schedule::DEFAULT_CHUNKS_PER_THREAD,
+            steal_chunks_per_thread: crate::schedule::DEFAULT_STEAL_CHUNKS_PER_THREAD,
+            proptest_seed: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Parse every knob from the process environment.
+    pub fn from_env() -> RuntimeConfig {
+        Self::from_env_values(
+            std::env::var("PDM_CHUNKS_PER_THREAD").ok().as_deref(),
+            std::env::var("PDM_STEAL_CHUNKS_PER_THREAD").ok().as_deref(),
+            std::env::var("PDM_PROPTEST_SEED").ok().as_deref(),
+        )
+    }
+
+    /// [`RuntimeConfig::from_env`] with the raw variable values
+    /// injected — deterministic regardless of the ambient environment.
+    pub fn from_env_values(
+        raw_chunks: Option<&str>,
+        raw_steal: Option<&str>,
+        raw_seed: Option<&str>,
+    ) -> RuntimeConfig {
+        let sched = Schedule::from_env_value(raw_chunks, raw_steal);
+        RuntimeConfig {
+            chunks_per_thread: sched.chunks_per_thread,
+            steal_chunks_per_thread: sched.steal_chunks_per_thread,
+            proptest_seed: raw_seed
+                .map(|v| v.trim().parse::<u64>().unwrap_or_else(|_| fnv1a(v.trim()))),
+        }
+    }
+
+    /// The process-wide configuration, read from the environment on
+    /// first call and cached for the lifetime of the process.
+    pub fn global() -> &'static RuntimeConfig {
+        static GLOBAL: OnceLock<RuntimeConfig> = OnceLock::new();
+        GLOBAL.get_or_init(RuntimeConfig::from_env)
+    }
+
+    /// The range-splitting [`Schedule`] this configuration describes.
+    pub fn schedule(&self) -> Schedule {
+        Schedule {
+            chunks_per_thread: self.chunks_per_thread,
+            steal_chunks_per_thread: self.steal_chunks_per_thread,
+        }
+    }
+}
+
+/// FNV-1a, matching both `LoopNest::structural_hash`'s constants and the
+/// vendored proptest's string-seed fallback.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{DEFAULT_CHUNKS_PER_THREAD, DEFAULT_STEAL_CHUNKS_PER_THREAD};
+
+    #[test]
+    fn defaults_match_schedule_defaults() {
+        let c = RuntimeConfig::from_env_values(None, None, None);
+        assert_eq!(c, RuntimeConfig::default());
+        assert_eq!(c.chunks_per_thread, DEFAULT_CHUNKS_PER_THREAD);
+        assert_eq!(c.steal_chunks_per_thread, DEFAULT_STEAL_CHUNKS_PER_THREAD);
+        assert_eq!(c.proptest_seed, None);
+        assert_eq!(c.schedule(), Schedule::from_env_value(None, None));
+    }
+
+    #[test]
+    fn parses_and_falls_back_like_schedule() {
+        let c = RuntimeConfig::from_env_values(Some(" 2 "), Some("32"), Some("7"));
+        assert_eq!(c.chunks_per_thread, 2);
+        assert_eq!(c.steal_chunks_per_thread, 32);
+        assert_eq!(c.proptest_seed, Some(7));
+
+        let c = RuntimeConfig::from_env_values(Some("0"), Some("nope"), None);
+        assert_eq!(c.chunks_per_thread, DEFAULT_CHUNKS_PER_THREAD);
+        assert_eq!(c.steal_chunks_per_thread, DEFAULT_STEAL_CHUNKS_PER_THREAD);
+    }
+
+    #[test]
+    fn seed_strings_hash_like_proptest() {
+        // Mirrors vendor/proptest's rule: non-integer seeds hash FNV-1a.
+        let c = RuntimeConfig::from_env_values(None, None, Some("tuesday"));
+        assert_eq!(c.proptest_seed, Some(fnv1a("tuesday")));
+        let c = RuntimeConfig::from_env_values(None, None, Some(" 42 "));
+        assert_eq!(c.proptest_seed, Some(42));
+    }
+
+    #[test]
+    fn global_is_stable_across_calls() {
+        let a = RuntimeConfig::global();
+        let b = RuntimeConfig::global();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.schedule().chunks_per_thread, a.chunks_per_thread);
+    }
+}

@@ -18,7 +18,7 @@
 //! plausible-looking transformation, so it must fail loudly instead.
 
 use crate::memory::Memory;
-use crate::schedule::{self, Schedule};
+use crate::schedule;
 use crate::{Result, RuntimeError};
 use pdm_core::plan::ParallelPlan;
 use pdm_loopir::expr::Expr;
@@ -362,7 +362,7 @@ fn run_group_task(
 /// materialization. Returns the number of iterations executed.
 pub fn run_parallel(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) -> Result<u64> {
     let offsets = offset_table(plan);
-    let sched = Schedule::from_env();
+    let sched = crate::config::RuntimeConfig::global().schedule();
     let tasks = schedule::plan_range_tasks(
         plan.bounds(),
         plan.doall_count(),

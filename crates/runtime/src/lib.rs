@@ -56,6 +56,12 @@
 //!   [`template::CompiledInstance`] (no re-analysis, no FM), with an LRU
 //!   [`template::PlanCache`] keyed by nest structural hash so heavy
 //!   traffic over one kernel shape pays planning once;
+//! * [`sharded`] — the concurrent version of that cache:
+//!   [`sharded::ShardedPlanCache`] shards entries across independent
+//!   locks and deduplicates concurrent planning runs for the same shape
+//!   through a single-flight layer (`pdm-service`'s template store);
+//! * [`config`] — [`config::RuntimeConfig`]: every `PDM_*` environment
+//!   knob parsed once per process instead of per executor call;
 //! * [`memory`] — integer array storage sized from the nest's access
 //!   footprint (conservative interval arithmetic over the iteration
 //!   polyhedron), with a `Sync` shared view for `doall` execution;
@@ -74,18 +80,22 @@
 
 pub mod checked;
 pub mod compile;
+pub mod config;
 pub mod equivalence;
 pub mod exec;
 pub mod memory;
 pub mod program;
 pub mod schedule;
+pub mod sharded;
 pub mod staged;
 pub mod template;
 
 pub use compile::{CompiledNest, CompiledPlan};
+pub use config::RuntimeConfig;
 pub use exec::{run_parallel, run_sequential, run_transformed_sequential};
 pub use memory::Memory;
 pub use schedule::{GroupCursor, Schedule};
+pub use sharded::{CacheStats, ShardedPlanCache};
 pub use staged::{
     run_imperfect_sequential, run_program_parallel, run_program_sequential, CompiledProgram,
 };

@@ -1,0 +1,450 @@
+//! Concurrent plan caching: a sharded [`PlanCache`] with single-flight
+//! deduplication.
+//!
+//! [`PlanCache`] is a `&mut self` structure — correct for one thread,
+//! but a serving layer answers many concurrent requests, and wrapping
+//! the whole cache in one mutex would serialize every lookup *and*
+//! every planning run behind it. [`ShardedPlanCache`] fixes both
+//! problems:
+//!
+//! * **Sharding.** The cache splits into N independent shards selected
+//!   by the nest's [`structural hash`](LoopNest::structural_hash); each
+//!   shard is its own [`PlanCache`] behind its own lock, so lookups for
+//!   different shapes contend only within their shard. Per-shard
+//!   hit/miss/eviction counters aggregate into [`CacheStats`].
+//!
+//! * **Single-flight planning.** On a miss, planning (dependence
+//!   analysis + Fourier–Motzkin — the milliseconds-scale work the cache
+//!   exists to amortize) runs *outside* every lock, and concurrent
+//!   requests for the same shape are deduplicated: the first requester
+//!   becomes the **leader** and plans; followers wait on the leader's
+//!   `Flight` and receive the same `Arc` (or the same error) without
+//!   planning again. A thundering herd of M identical requests costs
+//!   one planning run, not M.
+//!
+//! The waiting protocol has no lost wakeups: a flight's result slot and
+//! its condvar share one mutex, so a follower either observes the
+//! filled slot or is parked before the leader's `notify_all`. In-flight
+//! entries are keyed by hash but carry the full nest, and followers
+//! join a flight only on nest *equality* — a 64-bit hash collision
+//! degrades to two independent planning runs instead of aliasing two
+//! kernels (the same guarantee [`PlanCache`] makes for cached entries).
+//!
+//! Lock ordering: the flight table's lock may be held while taking the
+//! shard's cache lock (miss re-check), never the reverse — leaders
+//! insert into the cache and then clear their flight in two separate
+//! critical sections.
+
+use crate::template::PlanCache;
+use crate::Result;
+use pdm_core::template::{plan_template, PlanTemplate};
+use pdm_loopir::nest::LoopNest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight planning run: the leader fills `slot` and notifies;
+/// followers wait until it is `Some`.
+struct Flight {
+    /// The shape being planned — followers join only on equality.
+    nest: LoopNest,
+    /// `None` while the leader is still planning.
+    slot: Mutex<Option<Result<Arc<PlanTemplate>>>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn new(nest: LoopNest) -> Flight {
+        Flight {
+            nest,
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Leader side: publish the outcome and wake every follower.
+    fn fill(&self, result: Result<Arc<PlanTemplate>>) {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+
+    /// Follower side: block until the leader publishes.
+    fn wait(&self) -> Result<Arc<PlanTemplate>> {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.ready.wait(slot).expect("flight slot poisoned");
+        }
+    }
+}
+
+struct Shard {
+    cache: Mutex<PlanCache>,
+    /// Hash → flights currently planning a shape with that hash. A
+    /// `Vec` per hash because distinct shapes may collide; each flight
+    /// carries its nest and is matched by equality.
+    inflight: Mutex<HashMap<u64, Vec<Arc<Flight>>>>,
+    hits: AtomicU64,
+    planned: AtomicU64,
+    waited: AtomicU64,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            cache: Mutex::new(PlanCache::new(capacity)),
+            inflight: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            planned: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Counter snapshot of a [`ShardedPlanCache`] (one shard via
+/// [`ShardedPlanCache::shard_stats`], or the whole cache via
+/// [`ShardedPlanCache::stats`]).
+///
+/// Every [`get_or_plan`](ShardedPlanCache::get_or_plan) call lands in
+/// exactly one of `hits`, `planned`, or `waited`, so
+/// `hits + planned + waited` equals the total request count
+/// ([`CacheStats::requests`]) and `planned` is the number of actual
+/// planning runs — with single-flight dedup, at most one per distinct
+/// shape concurrently, and exactly one per shape when nothing evicts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that planned (led a flight).
+    pub planned: u64,
+    /// Requests that waited on another request's flight.
+    pub waited: u64,
+    /// Cache entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Templates currently cached.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total requests: `hits + planned + waited`.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.planned + self.waited
+    }
+
+    /// Requests that missed the cache: `planned + waited`.
+    pub fn misses(&self) -> u64 {
+        self.planned + self.waited
+    }
+
+    /// Element-wise sum (aggregating shards).
+    fn add(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.planned += other.planned;
+        self.waited += other.waited;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+    }
+}
+
+/// A sharded, internally synchronized [`PlanCache`] with single-flight
+/// planning — the concurrent template store behind `pdm-service`'s
+/// sessions.
+///
+/// Unlike [`PlanCache`], every method takes `&self`: the cache is
+/// `Sync` and meant to be shared (`Arc`) across worker threads.
+///
+/// ```
+/// use pdm_loopir::parse::parse_loop_symbolic;
+/// use pdm_runtime::sharded::ShardedPlanCache;
+/// use std::sync::Arc;
+///
+/// let cache = Arc::new(ShardedPlanCache::new(8, 64));
+/// let shape = parse_loop_symbolic(
+///     "for i = 1..=N { A[i] = A[i - 1] + 1; }", &["N"]).unwrap();
+/// let a = cache.get_or_plan(&shape).unwrap(); // plans
+/// let b = cache.get_or_plan(&shape).unwrap(); // hits
+/// assert!(Arc::ptr_eq(&a, &b));
+/// let s = cache.stats();
+/// assert_eq!((s.hits, s.planned, s.waited), (1, 1, 0));
+/// ```
+pub struct ShardedPlanCache {
+    shards: Vec<Shard>,
+}
+
+impl ShardedPlanCache {
+    /// A cache of `shards` independent shards (≥ 1), each holding at
+    /// most `capacity_per_shard` templates (≥ 1).
+    pub fn new(shards: usize, capacity_per_shard: usize) -> ShardedPlanCache {
+        ShardedPlanCache {
+            shards: (0..shards.max(1))
+                .map(|_| Shard::new(capacity_per_shard))
+                .collect(),
+        }
+    }
+
+    fn shard_for(&self, hash: u64) -> &Shard {
+        // The structural hash is FNV-mixed; plain modulo spreads it.
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// The template for `nest`'s shape: cached, joined from an
+    /// in-flight planning run for the same shape, or freshly planned —
+    /// whichever is available, with planning always outside every lock
+    /// and deduplicated across concurrent callers.
+    ///
+    /// Errors are delivered to the leader *and* every follower of the
+    /// failed flight, but are not cached: a later request for the same
+    /// shape plans again.
+    pub fn get_or_plan(&self, nest: &LoopNest) -> Result<Arc<PlanTemplate>> {
+        let hash = nest.structural_hash();
+        let shard = self.shard_for(hash);
+
+        // Fast path: shared-shape traffic takes one short lock.
+        if let Some(t) = lock_cache(shard).probe(nest) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(t);
+        }
+
+        // Slow path: join or create a flight. Re-probe the cache under
+        // the flight-table lock — a leader may have inserted and
+        // cleared its flight between our probe and this lock, and
+        // missing that window would replan a cached shape.
+        let flight = {
+            let mut inflight = shard.inflight.lock().expect("flight table poisoned");
+            if let Some(t) = lock_cache(shard).probe(nest) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(t);
+            }
+            let flights = inflight.entry(hash).or_default();
+            if let Some(f) = flights.iter().find(|f| &f.nest == nest) {
+                // Follower: drop the table lock, then wait.
+                let f = f.clone();
+                drop(inflight);
+                shard.waited.fetch_add(1, Ordering::Relaxed);
+                return f.wait();
+            }
+            let f = Arc::new(Flight::new(nest.clone()));
+            flights.push(f.clone());
+            f
+        };
+
+        // Leader: plan with no locks held.
+        let result = plan_template(nest)
+            .map(Arc::new)
+            .map_err(crate::RuntimeError::from);
+        if let Ok(template) = &result {
+            lock_cache(shard).insert(nest, template.clone());
+        }
+        // Clear the flight *after* the insert: a request that finds
+        // neither a cached entry nor a flight must be safe to lead.
+        {
+            let mut inflight = shard.inflight.lock().expect("flight table poisoned");
+            if let Some(flights) = inflight.get_mut(&hash) {
+                flights.retain(|f| !Arc::ptr_eq(f, &flight));
+                if flights.is_empty() {
+                    inflight.remove(&hash);
+                }
+            }
+        }
+        shard.planned.fetch_add(1, Ordering::Relaxed);
+        flight.fill(result.clone());
+        result
+    }
+
+    /// Look up a cached template by structural hash alone — the wire
+    /// protocol's "I planned this shape earlier" path. Returns `None`
+    /// when no template with that hash is cached (it may have been
+    /// evicted, or never planned here); callers translate that into a
+    /// resubmit-the-source error. Counts a hit when found; an unknown
+    /// hash is not counted as a request (see [`CacheStats`]).
+    pub fn get_by_hash(&self, hash: u64) -> Option<Arc<PlanTemplate>> {
+        let shard = self.shard_for(hash);
+        let found = lock_cache(shard).probe_hash(hash);
+        if found.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Templates currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_cache(s).len()).sum()
+    }
+
+    /// Is every shard empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in self.shard_stats() {
+            total.add(&s);
+        }
+        total
+    }
+
+    /// Per-shard counter snapshots, in shard order (the service's
+    /// metrics endpoint reports these individually).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let cache = lock_cache(s);
+                CacheStats {
+                    hits: s.hits.load(Ordering::Relaxed),
+                    planned: s.planned.load(Ordering::Relaxed),
+                    waited: s.waited.load(Ordering::Relaxed),
+                    evictions: cache.evictions(),
+                    entries: cache.len() as u64,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Shard-cache lock with poison recovery: the cache's own state is
+/// always consistent between method calls, so a panic elsewhere must
+/// not wedge the whole service.
+fn lock_cache(shard: &Shard) -> std::sync::MutexGuard<'_, PlanCache> {
+    match shard.cache.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_loopir::parse::parse_loop_symbolic;
+    use std::sync::Barrier;
+
+    /// M distinct plannable shapes: constant dependence distance `c`
+    /// varies, so each renders to a different structural hash.
+    fn shapes(m: usize) -> Vec<LoopNest> {
+        (0..m)
+            .map(|c| {
+                parse_loop_symbolic(
+                    &format!("for i = 1..=N {{ A[i + {c}] = A[i] + 1; }}"),
+                    &["N"],
+                )
+                .expect("shape parses")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_plan_per_shape_across_threads() {
+        let m = 6;
+        let threads = 8;
+        let reps = 3;
+        let cache = ShardedPlanCache::new(4, 16);
+        let shapes = shapes(m);
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|sc| {
+            for t in 0..threads {
+                let (cache, shapes, barrier) = (&cache, &shapes, &barrier);
+                sc.spawn(move || {
+                    barrier.wait();
+                    for r in 0..reps {
+                        // Rotate start offset so threads collide on
+                        // different shapes at different times.
+                        for k in 0..m {
+                            let nest = &shapes[(t + r + k) % m];
+                            let template = cache.get_or_plan(nest).unwrap();
+                            assert_eq!(template.nest(), nest);
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(
+            s.planned, m as u64,
+            "single-flight must plan each shape exactly once: {s:?}"
+        );
+        assert_eq!(
+            s.requests(),
+            (threads * reps * m) as u64,
+            "hits + planned + waited must cover every request: {s:?}"
+        );
+        assert_eq!(s.entries, m as u64);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(cache.len(), m);
+    }
+
+    #[test]
+    fn followers_share_the_leaders_arc() {
+        let threads = 8;
+        let cache = ShardedPlanCache::new(2, 8);
+        let shape = &shapes(1)[0];
+        let barrier = Barrier::new(threads);
+        let got: Vec<Arc<PlanTemplate>> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (cache, barrier) = (&cache, &barrier);
+                    sc.spawn(move || {
+                        barrier.wait();
+                        cache.get_or_plan(shape).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for t in &got[1..] {
+            assert!(
+                Arc::ptr_eq(&got[0], t),
+                "every requester must receive the same template"
+            );
+        }
+        let s = cache.stats();
+        assert_eq!(s.planned, 1, "{s:?}");
+        assert_eq!(s.requests(), threads as u64, "{s:?}");
+        // Whoever arrived during the flight waited; the rest hit.
+        assert_eq!(s.hits + s.waited, threads as u64 - 1, "{s:?}");
+    }
+
+    #[test]
+    fn evictions_are_counted_and_replans_happen() {
+        // One shard of capacity 1: alternating shapes always evict.
+        let cache = ShardedPlanCache::new(1, 1);
+        let shapes = shapes(2);
+        for _ in 0..3 {
+            cache.get_or_plan(&shapes[0]).unwrap();
+            cache.get_or_plan(&shapes[1]).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.planned, 6, "capacity-1 thrash replans every time");
+        assert_eq!(s.evictions, 5, "every insert after the first evicts");
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let cache = ShardedPlanCache::new(4, 8);
+        let shapes = shapes(5);
+        for nest in &shapes {
+            cache.get_or_plan(nest).unwrap();
+            cache.get_or_plan(nest).unwrap();
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        let mut sum = CacheStats::default();
+        for s in &per_shard {
+            sum.add(s);
+        }
+        assert_eq!(sum, cache.stats());
+        assert_eq!(sum.planned, 5);
+        assert_eq!(sum.hits, 5);
+    }
+}

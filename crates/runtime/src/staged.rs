@@ -13,7 +13,7 @@
 //!   source order, each interpreted in original lexicographic order.
 //! * [`run_program_parallel`] — interpreted parallel: kernels grouped by
 //!   DAG **stage**; within a stage, every kernel's streaming group
-//!   ranges (steal-aware [`Schedule::ranges_for`] — skewed kernels split
+//!   ranges (steal-aware [`crate::schedule::Schedule::ranges_for`] — skewed kernels split
 //!   finer so idle workers can steal) are flattened into one task list
 //!   and run in a single work-stealing rayon region, so independent
 //!   kernels' groups interleave freely across workers. A barrier exists
@@ -32,7 +32,7 @@
 use crate::compile::CompiledPlan;
 use crate::exec;
 use crate::memory::Memory;
-use crate::schedule::{self, Schedule};
+use crate::schedule;
 use crate::{Result, RuntimeError};
 use pdm_core::program::ProgramPlan;
 use pdm_loopir::imperfect::ImperfectNest;
@@ -102,7 +102,7 @@ pub fn run_program_sequential(pp: &ProgramPlan, mem: &Memory) -> Result<u64> {
 /// ranges of every kernel in the stage, with each kernel's steal-aware
 /// range split supplied by the caller (the interpreted and compiled
 /// executors size ranges through different bound representations — both
-/// via [`Schedule::ranges_for`] — but must split identically).
+/// via [`crate::schedule::Schedule::ranges_for`] — but must split identically).
 fn stage_tasks(
     stage: &[usize],
     mut ranges_of: impl FnMut(usize) -> Result<Vec<(u64, u64)>>,
@@ -122,7 +122,7 @@ fn stage_tasks(
 /// one barrier per DAG stage boundary. Returns the summed kernel
 /// iteration count.
 pub fn run_program_parallel(pp: &ProgramPlan, mem: &Memory) -> Result<u64> {
-    let sched = Schedule::from_env();
+    let sched = crate::config::RuntimeConfig::global().schedule();
     let threads = rayon::current_num_threads();
     // One offset table per kernel, shared by reference across its tasks.
     let offsets: Vec<_> = pp
@@ -183,7 +183,7 @@ impl CompiledProgram {
     /// region (one compiled scratch per task); barriers exist only at
     /// stage boundaries. Returns the summed kernel iteration count.
     pub fn run_parallel(&self, mem: &Memory) -> Result<u64> {
-        let sched = Schedule::from_env();
+        let sched = crate::config::RuntimeConfig::global().schedule();
         let threads = rayon::current_num_threads();
         let mut total = 0u64;
         for stage in &self.stages {

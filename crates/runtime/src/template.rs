@@ -112,6 +112,7 @@ pub struct PlanCache {
     entries: Vec<CacheEntry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PlanCache {
@@ -122,6 +123,7 @@ impl PlanCache {
             entries: Vec::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -129,6 +131,21 @@ impl PlanCache {
     /// planned (and inserted, evicting the LRU entry at capacity)
     /// otherwise.
     pub fn get_or_plan(&mut self, nest: &LoopNest) -> Result<Arc<PlanTemplate>> {
+        if let Some(template) = self.probe(nest) {
+            return Ok(template);
+        }
+        let template = Arc::new(plan_template(nest)?);
+        self.insert(nest, template.clone());
+        Ok(template)
+    }
+
+    /// Look up `nest`'s shape without planning: the cached template (a
+    /// hit, refreshing its recency) or `None` (a miss). The split
+    /// lookup exists for callers that must *not* plan while holding a
+    /// lock — `ShardedPlanCache`'s single-flight layer probes under the
+    /// shard lock, plans outside it, and [`insert`](PlanCache::insert)s
+    /// the result.
+    pub fn probe(&mut self, nest: &LoopNest) -> Option<Arc<PlanTemplate>> {
         let hash = nest.structural_hash();
         if let Some(i) = self
             .entries
@@ -139,19 +156,48 @@ impl PlanCache {
             let template = entry.template.clone();
             self.entries.push(entry);
             self.hits += 1;
-            return Ok(template);
+            Some(template)
+        } else {
+            self.misses += 1;
+            None
         }
-        self.misses += 1;
-        let template = Arc::new(plan_template(nest)?);
+    }
+
+    /// Look up by structural hash alone — no nest to verify equality
+    /// against, so a 64-bit collision *can* return the other shape's
+    /// template (the first inserted with that hash wins). This is the
+    /// wire-protocol path, where clients identify shapes they planned
+    /// earlier by hash; same-process callers that hold the nest should
+    /// prefer [`probe`](PlanCache::probe). Counts a hit or a miss like
+    /// `probe`.
+    pub fn probe_hash(&mut self, hash: u64) -> Option<Arc<PlanTemplate>> {
+        if let Some(i) = self.entries.iter().position(|e| e.hash == hash) {
+            let entry = self.entries.remove(i);
+            let template = entry.template.clone();
+            self.entries.push(entry);
+            self.hits += 1;
+            Some(template)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Insert a freshly planned template for `nest`, evicting the least
+    /// recently used entry at capacity. The counterpart of
+    /// [`probe`](PlanCache::probe); duplicate inserts for the same shape
+    /// are benign (the newer entry wins recency, the older one ages
+    /// out).
+    pub fn insert(&mut self, nest: &LoopNest, template: Arc<PlanTemplate>) {
         if self.entries.len() >= self.cap {
             self.entries.remove(0);
+            self.evictions += 1;
         }
         self.entries.push(CacheEntry {
-            hash,
+            hash: nest.structural_hash(),
             nest: nest.clone(),
-            template: template.clone(),
+            template,
         });
-        Ok(template)
     }
 
     /// Maximum number of cached templates.
@@ -177,6 +223,11 @@ impl PlanCache {
     /// Lookups that had to plan.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries displaced by LRU eviction at capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -229,6 +280,22 @@ mod tests {
             !Arc::ptr_eq(&ta1, &ta3),
             "evicted entry must be a fresh template"
         );
+        // c evicted b, b evicted a, a evicted c: one per over-capacity insert.
+        assert_eq!(cache.evictions(), 3);
+    }
+
+    #[test]
+    fn probe_and_insert_compose_to_get_or_plan() {
+        let a = parse_loop_symbolic(CHAIN, &["N"]).unwrap();
+        let mut cache = PlanCache::new(2);
+        assert!(cache.probe(&a).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let t = Arc::new(plan_template(&a).unwrap());
+        cache.insert(&a, t.clone());
+        let hit = cache.probe(&a).expect("inserted shape must probe as a hit");
+        assert!(Arc::ptr_eq(&t, &hit));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

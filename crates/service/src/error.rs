@@ -1,0 +1,105 @@
+//! [`PdmError`] — the one error type the service surface speaks.
+//!
+//! The underlying crates each have their own error enum (`IrError`,
+//! `CoreError`, `RuntimeError`); a caller driving the whole pipeline
+//! through [`crate::Session`] previously had to juggle all three plus
+//! `io::Error` at the wire. `PdmError` wraps them with `From` impls so
+//! `?` composes across every layer, and adds the two service-level
+//! failure modes (unknown shape hash, protocol violation).
+
+use pdm_core::CoreError;
+use pdm_loopir::IrError;
+use pdm_runtime::RuntimeError;
+
+/// Any failure the service surface can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdmError {
+    /// DSL source failed to parse or validate.
+    Parse(IrError),
+    /// Analysis / transformation / planning failed.
+    Plan(CoreError),
+    /// Instantiation or execution failed.
+    Runtime(RuntimeError),
+    /// A by-hash request named a shape this process has not cached
+    /// (never planned, or already evicted) — resubmit the source.
+    UnknownShape(u64),
+    /// A malformed wire request (bad frame, bad JSON, missing fields).
+    Protocol(String),
+    /// Socket-level failure (stringified — `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`).
+    Io(String),
+}
+
+impl std::fmt::Display for PdmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdmError::Parse(e) => write!(f, "parse error: {e}"),
+            PdmError::Plan(e) => write!(f, "planning error: {e}"),
+            PdmError::Runtime(e) => write!(f, "runtime error: {e}"),
+            PdmError::UnknownShape(h) => {
+                write!(f, "unknown shape hash {h:#018x} (resubmit the source)")
+            }
+            PdmError::Protocol(m) => write!(f, "protocol error: {m}"),
+            PdmError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PdmError {}
+
+impl From<IrError> for PdmError {
+    fn from(e: IrError) -> Self {
+        PdmError::Parse(e)
+    }
+}
+
+impl From<CoreError> for PdmError {
+    fn from(e: CoreError) -> Self {
+        PdmError::Plan(e)
+    }
+}
+
+impl From<RuntimeError> for PdmError {
+    fn from(e: RuntimeError) -> Self {
+        PdmError::Runtime(e)
+    }
+}
+
+impl From<std::io::Error> for PdmError {
+    fn from(e: std::io::Error) -> Self {
+        PdmError::Io(e.to_string())
+    }
+}
+
+impl PdmError {
+    /// A short machine-readable kind tag for wire responses.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PdmError::Parse(_) => "parse",
+            PdmError::Plan(_) => "plan",
+            PdmError::Runtime(_) => "runtime",
+            PdmError::UnknownShape(_) => "unknown_shape",
+            PdmError::Protocol(_) => "protocol",
+            PdmError::Io(_) => "io",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer() {
+        let parse: PdmError = pdm_loopir::parse::parse_loop("for {").unwrap_err().into();
+        assert_eq!(parse.kind(), "parse");
+        assert!(parse.to_string().contains("parse error"));
+
+        let unknown = PdmError::UnknownShape(0xabcd);
+        assert_eq!(unknown.kind(), "unknown_shape");
+        assert!(unknown.to_string().contains("0x000000000000abcd"));
+
+        let io: PdmError = std::io::Error::other("boom").into();
+        assert_eq!(io, PdmError::Io("boom".into()));
+    }
+}

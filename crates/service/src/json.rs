@@ -1,11 +1,18 @@
-//! A minimal JSON reader for the committed `BENCH_*.json` snapshots.
+//! A minimal JSON reader/writer — wire framing for the service and the
+//! reader behind the committed `BENCH_*.json` snapshots.
 //!
-//! The workspace vendors no serde; the regression gate only needs to
-//! read back the flat numeric metrics the bench binaries themselves
-//! emit, so a small recursive-descent parser suffices. It accepts
-//! standard JSON (objects, arrays, strings with the common escapes,
-//! numbers, booleans, null) and rejects everything else with a
-//! position-tagged error.
+//! The workspace vendors no serde; the wire protocol and the regression
+//! gate only need small documents with flat numeric/string fields, so a
+//! small recursive-descent parser plus a direct serializer suffice. The
+//! parser accepts standard JSON (objects, arrays, strings with the
+//! common escapes, numbers, booleans, null) and rejects everything else
+//! with a position-tagged error; [`render`] emits compact standard JSON
+//! that [`parse`] round-trips.
+//!
+//! (This module lived in `pdm-bench` first; it moved here so the
+//! service crate — which the bench crate drives — can use it for
+//! framing without a dependency cycle. `pdm_bench::json` re-exports
+//! it.)
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +36,22 @@ impl Json {
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value of `key`, if the key exists and is a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of `key`, if the key exists and is a number.
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Json::Num(n)) => Some(*n),
             _ => None,
         }
     }
@@ -70,6 +93,69 @@ impl Json {
             _ => {}
         }
     }
+}
+
+/// Serialize a [`Json`] value to compact standard JSON. Numbers emit
+/// through Rust's shortest-round-trip `f64` formatting (integral values
+/// print without a fractional part); strings escape quotes, backslashes,
+/// and control characters. [`parse`] reads the output back identically.
+pub fn render(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => write_string(s, out),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Null => out.push_str("null"),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse a JSON document. The entire input (modulo trailing whitespace)
@@ -275,5 +361,35 @@ mod tests {
         assert!(parse("[1, ]").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse(r#"{"a": nope}"#).is_err());
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let v = Json::Obj(vec![
+            ("op".into(), Json::Str("plan".into())),
+            ("n".into(), Json::Num(64.0)),
+            ("ratio".into(), Json::Num(1.5)),
+            ("weird".into(), Json::Str("a\"b\\c\nd\u{1}".into())),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Num(-3.0), Json::Str("s".into())]),
+            ),
+        ]);
+        let text = render(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+        // Integral numbers print without a fractional part.
+        assert!(text.contains("\"n\":64,"), "{text}");
+        assert!(text.contains("\"ratio\":1.5"), "{text}");
+    }
+
+    #[test]
+    fn accessors_pick_typed_fields() {
+        let v = parse(r#"{"op": "run", "seed": 7}"#).unwrap();
+        assert_eq!(v.get_str("op"), Some("run"));
+        assert_eq!(v.get_num("seed"), Some(7.0));
+        assert_eq!(v.get_str("seed"), None);
+        assert_eq!(v.get_num("missing"), None);
     }
 }

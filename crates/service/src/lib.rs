@@ -1,0 +1,94 @@
+//! # pdm-service — the plan-serving layer behind the [`Session`] API
+//!
+//! Planning a loop nest (dependence analysis, uniformization, wavefront
+//! partitioning) costs far more than instantiating or running the
+//! resulting template. This crate turns the pipeline into a long-running
+//! *service*: a process plans each nest **shape** once, caches the
+//! symbolic [`PlanTemplate`](pdm_core::template::PlanTemplate) in a
+//! sharded single-flight cache, and serves instantiations and runs to
+//! many clients at memory speed.
+//!
+//! Two entry points:
+//!
+//! * **In-process:** [`Session`] — the unified front end. One object,
+//!   one error type ([`PdmError`]), `&self` everywhere, safe to share
+//!   across threads.
+//!
+//!   ```
+//!   use pdm_service::Session;
+//!
+//!   let session = Session::new();
+//!   let shape = session
+//!       .parse_symbolic("for i = 1..=N { A[i + 2] = A[i] + 1; }", &["N"])
+//!       .unwrap();
+//!   let outcome = session.run(&shape, &[("N", 50)], 1).unwrap();
+//!   assert_eq!(outcome.iterations, 50);
+//!   ```
+//!
+//! * **Over TCP:** [`PlanServer`] / [`ServiceClient`] — the same
+//!   session fronted by a socket, with per-operation metrics and a
+//!   Prometheus-style `/metrics` page.
+//!
+//! ## Wire protocol
+//!
+//! Transport: TCP. Every message — request or response — is one
+//! **frame**: a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON (max [`wire::MAX_FRAME`] = 16 MiB). A client
+//! sends one request frame and reads one response frame; responses come
+//! back in request order on each connection. Malformed requests produce
+//! `{"ok": false}` responses, never a dropped connection.
+//!
+//! Requests are objects with an `"op"` field. A nest shape is named
+//! either by `"source"` (DSL text, with `"params"` listing the names
+//! left symbolic) or by `"shape_hash"` — the structural hash of a shape
+//! this server already planned, as a `"0x"`-prefixed 16-digit hex
+//! string (JSON numbers are doubles and cannot carry 64 bits).
+//!
+//! | op | request fields | response fields |
+//! |----|----------------|-----------------|
+//! | `plan` | `source` + `params`, or `shape_hash` | `shape_hash`, `depth`, `doall`, `partitions`, `params` |
+//! | `instantiate` | shape + `values` (`{"N": 64}`) | plan fields + `groups` |
+//! | `run` | shape + `values`, optional `seed` | plan fields + `iterations`, `checksum`, `observed_threads`, `observed_steals` |
+//! | `stats` | — | `cache` (counters), `shards` (per-shard), `requests_total`, `template_acquire_mean_us` |
+//! | `metrics` | — | `text`: the Prometheus-style exposition page |
+//! | `shutdown` | — | confirms, then the server drains and exits |
+//!
+//! Every response carries `"ok"` (bool) and `"op"` (echo); failures add
+//! `"kind"` (one of `parse`, `plan`, `runtime`, `unknown_shape`,
+//! `protocol`, `io`) and `"error"` (message). `unknown_shape` means the
+//! hash was never planned here or was evicted — resubmit the source.
+//!
+//! Example exchange (frame lengths omitted):
+//!
+//! ```text
+//! → {"op":"plan","source":"for i = 1..=N { A[i+2] = A[i] + 1; }","params":["N"]}
+//! ← {"ok":true,"op":"plan","shape_hash":"0x5b2d...","depth":1,...}
+//! → {"op":"run","shape_hash":"0x5b2d...","values":{"N":100},"seed":7}
+//! ← {"ok":true,"op":"run","iterations":100,"checksum":4950,...}
+//! ```
+//!
+//! ## Concurrency model
+//!
+//! The server runs entirely inside one work-stealing region of the
+//! vendored pool ([`rayon::scope_with`]): the accept loop is a spawned
+//! job, and each connection becomes another job that idle workers
+//! steal. Template planning is deduplicated by the session's
+//! [`ShardedPlanCache`](pdm_runtime::ShardedPlanCache): when several
+//! connections request an unplanned shape at once, exactly one plans
+//! and the rest block on a condvar and share the leader's `Arc`.
+//!
+//! This crate also owns the dependency-free [`json`] module (parser +
+//! serializer) used for both wire frames and bench snapshots —
+//! `pdm_bench::json` re-exports it.
+
+pub mod error;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use error::PdmError;
+pub use metrics::{LatencyHistogram, OpMetrics, ServiceMetrics};
+pub use server::{PlanServer, ServiceClient};
+pub use session::{RunOutcome, Session, SessionBuilder};

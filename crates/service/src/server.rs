@@ -1,0 +1,264 @@
+//! [`PlanServer`] — a long-running plan-serving process, and
+//! [`ServiceClient`] — the matching blocking client.
+//!
+//! The server owns a [`Session`] (so every connection shares one
+//! sharded template cache and one metrics sink) and a bound
+//! `TcpListener`. [`PlanServer::serve`] runs the whole thing inside one
+//! work-stealing region from the vendored pool: the accept loop is a
+//! spawned job, and each accepted connection becomes another spawned
+//! job that idle workers steal. No threads are created beyond the
+//! region's workers, and a `shutdown` request (or
+//! [`PlanServer::shutdown_handle`]) drains the region cleanly: the
+//! acceptor stops accepting and every handler notices the flag at its
+//! next read timeout.
+
+use crate::session::Session;
+use crate::wire::{self, Frame, ShutdownFlag};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A plan-serving endpoint: one shared [`Session`] behind a TCP
+/// listener speaking the length-prefixed JSON protocol (crate docs).
+pub struct PlanServer {
+    listener: TcpListener,
+    session: Arc<Session>,
+    workers: usize,
+    shutdown: Arc<ShutdownFlag>,
+}
+
+impl PlanServer {
+    /// Bind to `addr` (use port 0 for an OS-assigned port) serving
+    /// `session`, handling connections on `workers` pool workers (at
+    /// least 2: one accepts, the rest handle).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        session: Arc<Session>,
+        workers: usize,
+    ) -> std::io::Result<PlanServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Nonblocking so the acceptor can poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+        Ok(PlanServer {
+            listener,
+            session,
+            workers: workers.max(2),
+            shutdown: Arc::new(ShutdownFlag::new()),
+        })
+    }
+
+    /// The bound address (ask after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag another thread can set to stop [`PlanServer::serve`].
+    pub fn shutdown_handle(&self) -> Arc<ShutdownFlag> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The session this server fronts.
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// Accept and serve until a `shutdown` request arrives or the
+    /// [`PlanServer::shutdown_handle`] flag is set. Blocks the calling
+    /// thread (it becomes one of the region's workers).
+    pub fn serve(&self) -> std::io::Result<()> {
+        rayon::scope_with(self.workers, |sc| {
+            sc.spawn(|sc| self.accept_loop(sc));
+        });
+        Ok(())
+    }
+
+    /// The acceptor job: poll-accept, spawn a handler job per
+    /// connection, stop when the flag goes up.
+    fn accept_loop<'env>(&'env self, sc: &rayon::Scope<'env>) {
+        while !self.shutdown.is_set() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.session
+                        .metrics()
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    sc.spawn(move |_| self.handle_connection(stream));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // Listener-level failure: stop serving.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// One connection: frames in, responses out, until EOF, shutdown,
+    /// or a socket error.
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        // Timeouts turn blocked reads into Frame::Idle so the handler
+        // can poll the shutdown flag.
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let mut reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        let mut writer = stream;
+        loop {
+            match wire::read_frame(&mut reader) {
+                Ok(Frame::Message(text)) => {
+                    let t0 = Instant::now();
+                    let resp = wire::dispatch(&self.session, &text);
+                    let metrics = self.session.metrics();
+                    let op = match resp.op_family {
+                        "plan" => &metrics.plan,
+                        "instantiate" => &metrics.instantiate,
+                        "run" => &metrics.run,
+                        _ => &metrics.control,
+                    };
+                    op.record(t0.elapsed(), resp.ok);
+                    if wire::write_frame(&mut writer, &resp.body).is_err() {
+                        return;
+                    }
+                    if resp.shutdown {
+                        self.shutdown.set();
+                        return;
+                    }
+                }
+                Ok(Frame::Idle) => {
+                    if self.shutdown.is_set() {
+                        return;
+                    }
+                }
+                Ok(Frame::Eof) | Err(_) => return,
+            }
+        }
+    }
+}
+
+/// A blocking client for the wire protocol: send one request document,
+/// receive one response document, in order, over a persistent
+/// connection.
+pub struct ServiceClient {
+    stream: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to a serving endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServiceClient { stream })
+    }
+
+    /// Send `request` (a JSON document) and block for the response
+    /// text. Responses arrive strictly in request order.
+    pub fn call_raw(&mut self, request: &str) -> std::io::Result<String> {
+        wire::write_frame(&mut self.stream, request)?;
+        match wire::read_frame(&mut self.stream)? {
+            Frame::Message(text) => Ok(text),
+            Frame::Eof => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            // No read timeout is set on the client socket, so Idle
+            // cannot occur; treat it as a torn read if it somehow does.
+            Frame::Idle => Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for response",
+            )),
+        }
+    }
+
+    /// [`ServiceClient::call_raw`] plus JSON parsing of the response.
+    pub fn call(&mut self, request: &str) -> Result<crate::json::Json, crate::error::PdmError> {
+        let text = self.call_raw(request)?;
+        crate::json::parse(&text)
+            .map_err(|e| crate::error::PdmError::Protocol(format!("bad response JSON: {e}")))
+    }
+
+    /// Ask the server for its metrics page (the `metrics` op).
+    pub fn metrics_text(&mut self) -> Result<String, crate::error::PdmError> {
+        let body = self.call(r#"{"op":"metrics"}"#)?;
+        body.get_str("text")
+            .map(str::to_string)
+            .ok_or_else(|| crate::error::PdmError::Protocol("metrics response lacked text".into()))
+    }
+
+    /// Tell the server to shut down. The server confirms, then stops
+    /// accepting and drains.
+    pub fn shutdown(&mut self) -> Result<(), crate::error::PdmError> {
+        self.call(r#"{"op":"shutdown"}"#).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_server(
+        workers: usize,
+    ) -> (
+        std::net::SocketAddr,
+        Arc<ShutdownFlag>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let session = Arc::new(Session::builder().cache_capacity(4, 16).threads(1).build());
+        let server = PlanServer::bind("127.0.0.1:0", session, workers).unwrap();
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_handle();
+        let handle = std::thread::spawn(move || {
+            server.serve().unwrap();
+        });
+        (addr, flag, handle)
+    }
+
+    #[test]
+    fn serves_plan_and_run_over_tcp() {
+        let (addr, _flag, handle) = start_server(2);
+        let mut client = ServiceClient::connect(addr).unwrap();
+
+        let resp = client
+            .call(
+                r#"{"op":"plan","source":"for i = 1..=N { A[i + 3] = A[i] + 1; }","params":["N"]}"#,
+            )
+            .unwrap();
+        assert_eq!(resp.get("ok"), Some(&crate::json::Json::Bool(true)));
+        let hash = resp.get_str("shape_hash").unwrap().to_string();
+
+        let resp = client
+            .call(&format!(
+                r#"{{"op":"run","shape_hash":"{hash}","values":{{"N":12}},"seed":3}}"#
+            ))
+            .unwrap();
+        assert_eq!(resp.get_num("iterations"), Some(12.0));
+
+        let text = client.metrics_text().unwrap();
+        assert!(text.contains("pdm_connections_total 1"));
+        assert!(text.contains("pdm_requests_total{op=\"plan\"} 1"));
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_flag_stops_an_idle_server() {
+        let (addr, flag, handle) = start_server(2);
+        // Prove it is alive, then stop it externally.
+        let mut client = ServiceClient::connect(addr).unwrap();
+        client.call(r#"{"op":"stats"}"#).unwrap();
+        flag.set();
+        handle.join().unwrap();
+    }
+}

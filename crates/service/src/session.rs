@@ -1,0 +1,406 @@
+//! [`Session`] — the unified front end to the whole pipeline.
+//!
+//! A session wraps parse → analyze → template → cache → execute behind
+//! one object with one error type ([`PdmError`]). It is `Sync` and
+//! meant to be shared: every method takes `&self`, template planning is
+//! deduplicated through the session's [`ShardedPlanCache`], and the
+//! execution schedule plus thread count are fixed at construction (from
+//! [`RuntimeConfig`] unless overridden) instead of re-read from the
+//! environment per call.
+//!
+//! ```
+//! use pdm_service::Session;
+//!
+//! let session = Session::builder().cache_capacity(4, 32).build();
+//! let shape = session
+//!     .parse_symbolic("for i = 1..=N { A[i] = A[i - 1] + 1; }", &["N"])
+//!     .unwrap();
+//! let template = session.plan(&shape).unwrap(); // cached for next time
+//! let outcome = session.run(&shape, &[("N", 100)], 1).unwrap();
+//! assert_eq!(outcome.iterations, 100);
+//! assert_eq!(template.depth(), 1);
+//! ```
+
+use crate::error::PdmError;
+use crate::metrics::ServiceMetrics;
+use pdm_core::pdm::PdmAnalysis;
+use pdm_core::plan::ParallelPlan;
+use pdm_core::program::ProgramPlan;
+use pdm_core::template::PlanTemplate;
+use pdm_loopir::imperfect::ImperfectNest;
+use pdm_loopir::nest::LoopNest;
+use pdm_runtime::sharded::{CacheStats, ShardedPlanCache};
+use pdm_runtime::template::{instantiate_compiled, CompiledInstance};
+use pdm_runtime::{RuntimeConfig, Schedule};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default shard count for the session's template cache.
+pub const DEFAULT_SHARDS: usize = 8;
+/// Default template capacity per shard.
+pub const DEFAULT_CAPACITY_PER_SHARD: usize = 64;
+
+/// Builder for [`Session`]. All knobs optional:
+///
+/// ```
+/// use pdm_service::Session;
+/// let session = Session::builder()
+///     .cache_capacity(4, 16) // 4 shards × 16 templates
+///     .threads(2)            // execution pool width
+///     .build();
+/// assert_eq!(session.cache().shard_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    shards: usize,
+    capacity_per_shard: usize,
+    threads: Option<usize>,
+    config: Option<RuntimeConfig>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            shards: DEFAULT_SHARDS,
+            capacity_per_shard: DEFAULT_CAPACITY_PER_SHARD,
+            threads: None,
+            config: None,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Shape of the template cache: `shards` independent shards of
+    /// `capacity_per_shard` templates each.
+    pub fn cache_capacity(mut self, shards: usize, capacity_per_shard: usize) -> Self {
+        self.shards = shards;
+        self.capacity_per_shard = capacity_per_shard;
+        self
+    }
+
+    /// Worker threads for parallel execution (default: the machine
+    /// width, as [`rayon::current_num_threads`] reports it).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Runtime configuration override (default:
+    /// [`RuntimeConfig::global`], the environment read once per
+    /// process).
+    pub fn config(mut self, config: RuntimeConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> Session {
+        let config = self
+            .config
+            .unwrap_or_else(|| RuntimeConfig::global().clone());
+        let schedule = config.schedule();
+        Session {
+            cache: Arc::new(ShardedPlanCache::new(self.shards, self.capacity_per_shard)),
+            pool: self.threads.map(|n| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .expect("the vendored pool builder is infallible")
+            }),
+            schedule,
+            config,
+            metrics: Arc::new(ServiceMetrics::new()),
+        }
+    }
+}
+
+/// What [`Session::run`] returns: the executed instance (memory holds
+/// the results) plus the iteration count.
+pub struct RunOutcome {
+    /// The instance that ran; `instance.memory` holds the output.
+    pub instance: CompiledInstance,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Wrapping sum over every array cell after the run — a cheap
+    /// order-independent digest for wire responses and differential
+    /// checks.
+    pub checksum: i64,
+}
+
+/// The unified, shareable front end: parse → analyze → template →
+/// cache → execute, one error type, internally synchronized.
+///
+/// Construction fixes the execution environment: the range-splitting
+/// [`Schedule`] comes from the session's [`RuntimeConfig`] (by default
+/// the process-wide environment read), and parallel runs use the
+/// session's thread count. Templates are cached in a sharded
+/// single-flight [`ShardedPlanCache`] shared by every clone of the
+/// session's `Arc`s — concurrent requests for one shape plan once.
+pub struct Session {
+    cache: Arc<ShardedPlanCache>,
+    pool: Option<rayon::ThreadPool>,
+    schedule: Schedule,
+    config: RuntimeConfig,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with default cache shape, machine thread count, and
+    /// the process-wide [`RuntimeConfig`].
+    pub fn new() -> Session {
+        Session::builder().build()
+    }
+
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    // --- parsing ----------------------------------------------------
+
+    /// Parse a concrete loop nest from DSL source.
+    pub fn parse(&self, source: &str) -> Result<LoopNest, PdmError> {
+        Ok(pdm_loopir::parse::parse_loop(source)?)
+    }
+
+    /// Parse with named values substituted (`parse_loop_with`).
+    pub fn parse_with(&self, source: &str, binds: &[(&str, i64)]) -> Result<LoopNest, PdmError> {
+        Ok(pdm_loopir::parse::parse_loop_with(source, binds)?)
+    }
+
+    /// Parse keeping `params` symbolic — the shape templates plan over.
+    pub fn parse_symbolic(&self, source: &str, params: &[&str]) -> Result<LoopNest, PdmError> {
+        Ok(pdm_loopir::parse::parse_loop_symbolic(source, params)?)
+    }
+
+    /// Parse an imperfect nest (statements between loop levels).
+    pub fn parse_imperfect(&self, source: &str) -> Result<ImperfectNest, PdmError> {
+        Ok(pdm_loopir::parse::parse_imperfect(source)?)
+    }
+
+    // --- analysis & planning ----------------------------------------
+
+    /// The pseudo-distance-matrix analysis of a nest.
+    pub fn analyze(&self, nest: &LoopNest) -> Result<PdmAnalysis, PdmError> {
+        Ok(pdm_core::analyze(nest)?)
+    }
+
+    /// The plan template for `nest`'s shape — served from the session
+    /// cache, planned at most once per shape across all threads
+    /// (single-flight). Records acquisition latency in the session
+    /// metrics.
+    pub fn plan(&self, nest: &LoopNest) -> Result<Arc<PlanTemplate>, PdmError> {
+        let t0 = Instant::now();
+        let result = self.cache.get_or_plan(nest);
+        self.metrics.template_acquire.record(t0.elapsed());
+        Ok(result?)
+    }
+
+    /// A cached template by structural hash alone (the wire protocol's
+    /// replay path). Fails with [`PdmError::UnknownShape`] when nothing
+    /// with that hash is cached — resubmit the source.
+    pub fn plan_by_hash(&self, hash: u64) -> Result<Arc<PlanTemplate>, PdmError> {
+        self.cache
+            .get_by_hash(hash)
+            .ok_or(PdmError::UnknownShape(hash))
+    }
+
+    /// A concrete [`ParallelPlan`] for a concrete nest — template
+    /// planning through the cache, then parameter-free instantiation
+    /// (pure bound-row evaluation). Equivalent to
+    /// `pdm_core::parallelize(nest)` with caching.
+    pub fn parallelize(&self, nest: &LoopNest) -> Result<ParallelPlan, PdmError> {
+        Ok(self.plan(nest)?.instantiate(&[])?)
+    }
+
+    /// Plan an imperfect nest: normalize to perfect kernels and stage
+    /// them by the dependence DAG. (Program plans are not cached —
+    /// imperfect sources are not yet hashed structurally.)
+    pub fn plan_program(&self, nest: &ImperfectNest) -> Result<ProgramPlan, PdmError> {
+        Ok(pdm_core::parallelize_program(nest)?)
+    }
+
+    // --- instantiation & execution ----------------------------------
+
+    /// Lower `shape` at `params` to a ready-to-run
+    /// [`CompiledInstance`], planning through the cache.
+    pub fn instantiate(
+        &self,
+        shape: &LoopNest,
+        params: &[(&str, i64)],
+    ) -> Result<CompiledInstance, PdmError> {
+        let template = self.plan(shape)?;
+        Ok(instantiate_compiled(&template, params)?)
+    }
+
+    /// [`Session::instantiate`] from an already-acquired template (the
+    /// by-hash wire path).
+    pub fn instantiate_template(
+        &self,
+        template: &PlanTemplate,
+        params: &[(&str, i64)],
+    ) -> Result<CompiledInstance, PdmError> {
+        Ok(instantiate_compiled(template, params)?)
+    }
+
+    /// Instantiate and execute in parallel on the session's pool and
+    /// schedule. Memory is seeded deterministically with `seed` before
+    /// the run, so equal requests produce equal checksums.
+    pub fn run(
+        &self,
+        shape: &LoopNest,
+        params: &[(&str, i64)],
+        seed: u64,
+    ) -> Result<RunOutcome, PdmError> {
+        let template = self.plan(shape)?;
+        self.run_template(&template, params, seed)
+    }
+
+    /// [`Session::run`] from an already-acquired template (the by-hash
+    /// wire path).
+    pub fn run_template(
+        &self,
+        template: &PlanTemplate,
+        params: &[(&str, i64)],
+        seed: u64,
+    ) -> Result<RunOutcome, PdmError> {
+        let mut instance = self.instantiate_template(template, params)?;
+        instance.memory.init_deterministic(seed);
+        let iterations = self.execute(&instance)?;
+        let checksum = checksum(&instance.memory);
+        Ok(RunOutcome {
+            instance,
+            iterations,
+            checksum,
+        })
+    }
+
+    /// Execute an already-prepared instance on the session's pool with
+    /// the session's schedule (memory as-is — initialize it first).
+    pub fn execute(&self, instance: &CompiledInstance) -> Result<u64, PdmError> {
+        let run = || {
+            instance
+                .compiled
+                .run_parallel_scheduled(&instance.memory, self.schedule)
+        };
+        let iterations = match &self.pool {
+            Some(pool) => pool.install(run),
+            None => run(),
+        }?;
+        Ok(iterations)
+    }
+
+    // --- introspection ----------------------------------------------
+
+    /// The session's template cache (shared; hand it to a server).
+    pub fn cache(&self) -> &Arc<ShardedPlanCache> {
+        &self.cache
+    }
+
+    /// Aggregated cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The session's metrics sink (shared with the server layer).
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// The runtime configuration the session was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The range-splitting schedule the session executes with.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The execution thread count (`None` = machine default).
+    pub fn threads(&self) -> Option<usize> {
+        self.pool.as_ref().map(|p| p.current_num_threads())
+    }
+}
+
+/// Wrapping sum over every array cell — the run checksum.
+fn checksum(memory: &pdm_runtime::Memory) -> i64 {
+    memory
+        .snapshot()
+        .iter()
+        .flat_map(|arr| arr.iter())
+        .fold(0i64, |acc, &v| acc.wrapping_add(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYM: &str = "for i1 = 0..N { for i2 = 0..N {
+        A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+    } }";
+
+    #[test]
+    fn session_pipeline_matches_free_functions() {
+        let session = Session::builder().cache_capacity(2, 8).threads(2).build();
+        let nest = session
+            .parse("for i = 0..=20 { A[3*i + 9] = A[3*i] + 1; }")
+            .unwrap();
+        let analysis = session.analyze(&nest).unwrap();
+        assert_eq!(analysis.depth(), 1);
+
+        let via_session = session.parallelize(&nest).unwrap();
+        let direct = pdm_core::parallelize(&nest).unwrap();
+        assert_eq!(via_session.doall_count(), direct.doall_count());
+        assert_eq!(via_session.partition_count(), direct.partition_count());
+    }
+
+    #[test]
+    fn run_is_deterministic_and_checksummed() {
+        let session = Session::builder().threads(2).build();
+        let shape = session.parse_symbolic(SYM, &["N"]).unwrap();
+        let a = session.run(&shape, &[("N", 16)], 7).unwrap();
+        let b = session.run(&shape, &[("N", 16)], 7).unwrap();
+        assert_eq!(a.iterations, 256);
+        assert_eq!(a.checksum, b.checksum);
+        // One template served both runs.
+        let s = session.cache_stats();
+        assert_eq!(s.planned, 1);
+        assert_eq!(s.hits, 1);
+        assert!(session.metrics().template_acquire.count() >= 2);
+    }
+
+    #[test]
+    fn plan_by_hash_replays_and_rejects_unknown() {
+        let session = Session::new();
+        let shape = session.parse_symbolic(SYM, &["N"]).unwrap();
+        let hash = shape.structural_hash();
+        assert!(matches!(
+            session.plan_by_hash(hash),
+            Err(PdmError::UnknownShape(h)) if h == hash
+        ));
+        let planned = session.plan(&shape).unwrap();
+        let by_hash = session.plan_by_hash(hash).unwrap();
+        assert!(Arc::ptr_eq(&planned, &by_hash));
+        let inst = session.instantiate_template(&by_hash, &[("N", 8)]).unwrap();
+        assert_eq!(session.execute(&inst).unwrap(), 64);
+    }
+
+    #[test]
+    fn errors_unify_under_pdm_error() {
+        let session = Session::new();
+        assert!(matches!(
+            session.parse("for broken {"),
+            Err(PdmError::Parse(_))
+        ));
+        let shape = session.parse_symbolic(SYM, &["N"]).unwrap();
+        // Missing parameter valuation surfaces as a runtime error.
+        assert!(session.instantiate(&shape, &[]).is_err());
+    }
+}

@@ -1,0 +1,483 @@
+//! Wire protocol: length-prefixed JSON frames and the request
+//! dispatcher.
+//!
+//! See the crate docs for the full message catalogue. This module owns
+//! the two halves the server and clients share:
+//!
+//! * **Framing** — [`write_frame`] / [`read_frame`]: a 4-byte
+//!   big-endian length followed by that many bytes of UTF-8 JSON, with
+//!   frames capped at [`MAX_FRAME`] bytes. Reads distinguish clean EOF
+//!   (peer closed between frames) from idleness (read timeout with no
+//!   header byte yet) so server workers can poll a shutdown flag
+//!   without dropping half-received frames.
+//! * **Dispatch** — [`dispatch`]: one request JSON in, one response
+//!   JSON out, every [`PdmError`] mapped to an `{"ok": false, ...}`
+//!   response rather than a torn connection.
+
+use crate::error::PdmError;
+use crate::json::{self, Json};
+use crate::session::Session;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Maximum frame payload (16 MiB) — far above any legitimate nest
+/// source, small enough to bound a malicious header.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// One read attempt's outcome.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete payload.
+    Message(String),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// Read timeout fired before any header byte arrived — the
+    /// connection is alive but idle (poll your shutdown flag and call
+    /// again).
+    Idle,
+}
+
+/// Write one frame: `u32` big-endian payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one frame. Timeouts before the first header byte return
+/// [`Frame::Idle`]; timeouts *mid-frame* keep retrying (the peer is
+/// mid-send), so a returned `Message` is always complete.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Frame> {
+    let mut header = [0u8; 4];
+    match read_exact_retrying(r, &mut header, true)? {
+        ReadOutcome::Done => {}
+        ReadOutcome::Eof => return Ok(Frame::Eof),
+        ReadOutcome::Idle => return Ok(Frame::Idle),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame header claims {len} bytes (max {MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_retrying(r, &mut payload, false)? {
+        ReadOutcome::Done => {}
+        // EOF or persistent idleness mid-frame is a torn frame.
+        ReadOutcome::Eof | ReadOutcome::Idle => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+    }
+    String::from_utf8(payload)
+        .map(Frame::Message)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+enum ReadOutcome {
+    Done,
+    Eof,
+    Idle,
+}
+
+/// `read_exact` that survives read timeouts: a timeout with zero bytes
+/// read so far reports `Idle` when `idle_ok` (header position) — once
+/// bytes have arrived, timeouts retry until the buffer fills.
+fn read_exact_retrying(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    idle_ok: bool,
+) -> std::io::Result<ReadOutcome> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-read",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && idle_ok {
+                    return Ok(ReadOutcome::Idle);
+                }
+                // Mid-frame stall: keep waiting for the rest.
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+/// Format a structural hash the way the wire expects: `"0x"` + 16 hex
+/// digits. (JSON numbers are `f64`, which cannot carry 64 bits.)
+pub fn hash_to_hex(hash: u64) -> String {
+    format!("{hash:#018x}")
+}
+
+/// Parse a wire shape hash (with or without the `0x` prefix).
+pub fn hex_to_hash(text: &str) -> Option<u64> {
+    let digits = text.trim().trim_start_matches("0x");
+    u64::from_str_radix(digits, 16).ok()
+}
+
+/// A dispatched response: the rendered body plus what the server's
+/// metrics layer needs.
+pub struct Response {
+    /// Rendered response JSON (always a complete `{...}` document).
+    pub body: String,
+    /// Did the request succeed?
+    pub ok: bool,
+    /// Which op-metrics family this request belongs to:
+    /// `"plan" | "instantiate" | "run" | "control"`.
+    pub op_family: &'static str,
+    /// Did the request ask the server to shut down?
+    pub shutdown: bool,
+}
+
+/// Handle one request against a session. Never panics on malformed
+/// input: every failure renders as `{"ok": false, "kind": ..., "error":
+/// ...}`.
+pub fn dispatch(session: &Session, request_text: &str) -> Response {
+    let (op, result) = match json::parse(request_text) {
+        Ok(req) => {
+            let op = req.get_str("op").unwrap_or("").to_string();
+            let result = handle(session, &op, &req);
+            (op, result)
+        }
+        Err(e) => (
+            String::new(),
+            Err(PdmError::Protocol(format!("bad request JSON: {e}"))),
+        ),
+    };
+    let op_family = match op.as_str() {
+        "plan" => "plan",
+        "instantiate" => "instantiate",
+        "run" => "run",
+        _ => "control",
+    };
+    let shutdown = op == "shutdown";
+    match result {
+        Ok(mut fields) => {
+            fields.insert(0, ("ok".into(), Json::Bool(true)));
+            fields.insert(1, ("op".into(), Json::Str(op)));
+            Response {
+                body: json::render(&Json::Obj(fields)),
+                ok: true,
+                op_family,
+                shutdown,
+            }
+        }
+        Err(e) => Response {
+            body: json::render(&Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("op".into(), Json::Str(op)),
+                ("kind".into(), Json::Str(e.kind().into())),
+                ("error".into(), Json::Str(e.to_string())),
+            ])),
+            ok: false,
+            op_family,
+            // A shutdown request takes effect even if rendering extras
+            // failed — but errors can only arise pre-dispatch here, so
+            // keep it simple: only successful shutdowns stop the server.
+            shutdown: false,
+        },
+    }
+}
+
+type Fields = Vec<(String, Json)>;
+
+fn handle(session: &Session, op: &str, req: &Json) -> Result<Fields, PdmError> {
+    match op {
+        "plan" => op_plan(session, req),
+        "instantiate" => op_instantiate(session, req),
+        "run" => op_run(session, req),
+        "metrics" => Ok(vec![(
+            "text".into(),
+            Json::Str(crate::metrics::render_metrics(
+                session.metrics(),
+                session.cache(),
+            )),
+        )]),
+        "stats" => Ok(op_stats(session)),
+        "shutdown" => Ok(Vec::new()),
+        "" => Err(PdmError::Protocol("missing \"op\" field".into())),
+        other => Err(PdmError::Protocol(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Resolve the template a request refers to: by `source` (+ optional
+/// `params` name list), or by `shape_hash` for shapes planned earlier.
+fn resolve_template(
+    session: &Session,
+    req: &Json,
+) -> Result<std::sync::Arc<pdm_core::template::PlanTemplate>, PdmError> {
+    if let Some(source) = req.get_str("source") {
+        let params = param_names(req)?;
+        let refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+        let nest = if refs.is_empty() {
+            session.parse(source)?
+        } else {
+            session.parse_symbolic(source, &refs)?
+        };
+        session.plan(&nest)
+    } else if let Some(hex) = req.get_str("shape_hash") {
+        let hash = hex_to_hash(hex)
+            .ok_or_else(|| PdmError::Protocol(format!("bad shape_hash {hex:?}")))?;
+        session.plan_by_hash(hash)
+    } else {
+        Err(PdmError::Protocol(
+            "request needs \"source\" or \"shape_hash\"".into(),
+        ))
+    }
+}
+
+fn param_names(req: &Json) -> Result<Vec<String>, PdmError> {
+    match req.get("params") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|p| match p {
+                Json::Str(s) => Ok(s.clone()),
+                other => Err(PdmError::Protocol(format!(
+                    "params entries must be strings, got {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(other) => Err(PdmError::Protocol(format!(
+            "params must be an array of names, got {other:?}"
+        ))),
+    }
+}
+
+/// `values`: `{"N": 64, ...}` → integer valuation.
+fn param_values(req: &Json) -> Result<Vec<(String, i64)>, PdmError> {
+    match req.get("values") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| match v {
+                Json::Num(n) if n.fract() == 0.0 => Ok((k.clone(), *n as i64)),
+                other => Err(PdmError::Protocol(format!(
+                    "value for {k:?} must be an integer, got {other:?}"
+                ))),
+            })
+            .collect(),
+        Some(other) => Err(PdmError::Protocol(format!(
+            "values must be an object, got {other:?}"
+        ))),
+    }
+}
+
+fn template_fields(template: &pdm_core::template::PlanTemplate) -> Fields {
+    vec![
+        (
+            "shape_hash".into(),
+            Json::Str(hash_to_hex(template.nest().structural_hash())),
+        ),
+        ("depth".into(), Json::Num(template.depth() as f64)),
+        ("doall".into(), Json::Num(template.doall_count() as f64)),
+        (
+            "partitions".into(),
+            Json::Num(template.partition_count() as f64),
+        ),
+        (
+            "params".into(),
+            Json::Arr(
+                template
+                    .param_names()
+                    .iter()
+                    .map(|p| Json::Str(p.clone()))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+fn op_plan(session: &Session, req: &Json) -> Result<Fields, PdmError> {
+    let template = resolve_template(session, req)?;
+    Ok(template_fields(&template))
+}
+
+fn op_instantiate(session: &Session, req: &Json) -> Result<Fields, PdmError> {
+    let template = resolve_template(session, req)?;
+    let values = param_values(req)?;
+    let refs: Vec<(&str, i64)> = values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let instance = session.instantiate_template(&template, &refs)?;
+    let groups = pdm_runtime::exec::group_count(&instance.plan)?;
+    let mut fields = template_fields(&template);
+    fields.push(("groups".into(), Json::Num(groups as f64)));
+    Ok(fields)
+}
+
+fn op_run(session: &Session, req: &Json) -> Result<Fields, PdmError> {
+    let template = resolve_template(session, req)?;
+    let values = param_values(req)?;
+    let refs: Vec<(&str, i64)> = values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let seed = match req.get("seed") {
+        None | Some(Json::Null) => 1u64,
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => *n as u64,
+        Some(other) => {
+            return Err(PdmError::Protocol(format!(
+                "seed must be a non-negative integer, got {other:?}"
+            )))
+        }
+    };
+    let outcome = session.run_template(&template, &refs, seed)?;
+    let mut fields = template_fields(&template);
+    fields.push(("iterations".into(), Json::Num(outcome.iterations as f64)));
+    fields.push(("checksum".into(), Json::Num(outcome.checksum as f64)));
+    fields.push((
+        "observed_threads".into(),
+        Json::Num(rayon::last_region_threads() as f64),
+    ));
+    fields.push((
+        "observed_steals".into(),
+        Json::Num(rayon::last_region_steals() as f64),
+    ));
+    Ok(fields)
+}
+
+fn op_stats(session: &Session) -> Fields {
+    let stats = session.cache_stats();
+    let shards = session
+        .cache()
+        .shard_stats()
+        .iter()
+        .map(|s| Json::Obj(crate::metrics::cache_stats_fields(s)))
+        .collect();
+    vec![
+        (
+            "cache".into(),
+            Json::Obj(crate::metrics::cache_stats_fields(&stats)),
+        ),
+        ("shards".into(), Json::Arr(shards)),
+        (
+            "requests_total".into(),
+            Json::Num(session.metrics().total_requests() as f64),
+        ),
+        (
+            "template_acquire_mean_us".into(),
+            Json::Num(session.metrics().template_acquire.mean_us()),
+        ),
+    ]
+}
+
+/// Poll-friendly shutdown flag shared between a server and its workers.
+#[derive(Debug, Default)]
+pub struct ShutdownFlag(AtomicBool);
+
+impl ShutdownFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Request shutdown.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"op":"stats"}"#).unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Frame::Message(r#"{"op":"stats"}"#.into())
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Message("second".into()));
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_error() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+
+        let mut torn = Vec::new();
+        write_frame(&mut torn, "hello").unwrap();
+        torn.truncate(torn.len() - 2);
+        assert!(read_frame(&mut torn.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hash_hex_round_trips() {
+        for h in [0u64, 1, 0xdead_beef_1234_5678, u64::MAX] {
+            assert_eq!(hex_to_hash(&hash_to_hex(h)), Some(h));
+        }
+        assert_eq!(hex_to_hash("nope"), None);
+        assert_eq!(hex_to_hash("0xdeadbeef"), Some(0xdead_beef));
+    }
+
+    #[test]
+    fn dispatch_answers_plan_and_errors_in_band() {
+        let session = Session::builder().cache_capacity(2, 8).threads(1).build();
+        let resp = dispatch(
+            &session,
+            r#"{"op":"plan","source":"for i = 1..=N { A[i] = A[i - 1] + 1; }","params":["N"]}"#,
+        );
+        assert!(resp.ok, "{}", resp.body);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_num("depth"), Some(1.0));
+        let hash = body.get_str("shape_hash").unwrap().to_string();
+
+        // Replay by hash, then run at a size.
+        let resp = dispatch(
+            &session,
+            &format!(r#"{{"op":"run","shape_hash":"{hash}","values":{{"N":10}}}}"#),
+        );
+        assert!(resp.ok, "{}", resp.body);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_num("iterations"), Some(10.0));
+
+        // Malformed request: in-band error, connection-safe.
+        let resp = dispatch(&session, "{nope");
+        assert!(!resp.ok);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_str("kind"), Some("protocol"));
+
+        // Unknown hash: typed error.
+        let resp = dispatch(
+            &session,
+            r#"{"op":"plan","shape_hash":"0x0000000000000001"}"#,
+        );
+        assert!(!resp.ok);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_str("kind"), Some("unknown_shape"));
+    }
+}

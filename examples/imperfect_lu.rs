@@ -53,8 +53,11 @@ fn lu_source(n: i64) -> String {
 }
 
 fn main() {
+    let session = Session::new();
     let n = 24;
-    let imp = parse_imperfect(&lu_source(n)).expect("LU source parses");
+    let imp = session
+        .parse_imperfect(&lu_source(n))
+        .expect("LU source parses");
     println!(
         "imperfect LU nest, {n} x {n} ({} statements at 3 depths):\n",
         imp.stmt_count()
@@ -80,7 +83,7 @@ fn main() {
     }
 
     // --- 2. plan: per-kernel analysis + partitioning + DAG stages ----
-    let pp = parallelize_program(&imp).expect("program plan");
+    let pp = session.plan_program(&imp).expect("program plan");
     println!("\n{}", render_program_plan(&pp).unwrap());
 
     // --- 3. execute: all four executors, bit-identical ---------------

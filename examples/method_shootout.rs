@@ -18,19 +18,20 @@ fn main() {
         Box::new(pdm_baselines::pdm_method::PdmMethod),
     ];
 
+    let session = Session::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(src) = args.first() {
-        let nest = parse_loop(src).expect("loop parses");
-        run_one("user loop", &nest, &methods);
+        let nest = session.parse(src).expect("loop parses");
+        run_one(&session, "user loop", &nest, &methods);
         return;
     }
 
     for (name, nest) in pdm_baselines::suite::all(16) {
-        run_one(name, &nest, &methods);
+        run_one(&session, name, &nest, &methods);
     }
 }
 
-fn run_one(name: &str, nest: &LoopNest, methods: &[Box<dyn Parallelizer>]) {
+fn run_one(session: &Session, name: &str, nest: &LoopNest, methods: &[Box<dyn Parallelizer>]) {
     println!("=== {name} ===");
     println!("{}", vardep_loops::loopir::pretty::render(nest));
     for m in methods {
@@ -40,7 +41,7 @@ fn run_one(name: &str, nest: &LoopNest, methods: &[Box<dyn Parallelizer>]) {
         }
     }
     // And the PDM plan actually executes correctly:
-    let plan = parallelize(nest).expect("plan");
+    let plan = session.parallelize(nest).expect("plan");
     let rep = vardep_loops::runtime::equivalence::compare(nest, &plan, 1).expect("run");
     println!(
         "  [exec] {} iterations, {} groups, identical: {}\n",

@@ -13,19 +13,21 @@
 use vardep_loops::prelude::*;
 
 fn main() {
-    let nest = parse_loop(
-        "for i1 = -10..=10 { for i2 = -10..=10 {
+    let session = Session::new();
+    let nest = session
+        .parse(
+            "for i1 = -10..=10 { for i2 = -10..=10 {
            A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
          } }",
-    )
-    .unwrap();
+        )
+        .unwrap();
     println!(
         "§4.1 loop:\n{}",
         vardep_loops::loopir::pretty::render(&nest)
     );
 
     // Per-pair dependence equations and distance lattices (eq. 4.1-4.6).
-    let analysis = analyze(&nest).unwrap();
+    let analysis = session.analyze(&nest).unwrap();
     for (k, pair) in analysis.pairs().iter().enumerate() {
         println!(
             "pair {k}: stmts ({}, {}), solvable: {}",
@@ -52,7 +54,7 @@ fn main() {
     );
 
     // Algorithm 1 (eq. 4.8): a legal unimodular T zeroing one column.
-    let plan = parallelize(&nest).unwrap();
+    let plan = session.parallelize(&nest).unwrap();
     println!("legal unimodular transformation T:\n{}", plan.transform());
     println!(
         "H*T (leading zero column = outer doall loop):\n{}",

@@ -12,19 +12,21 @@
 use vardep_loops::prelude::*;
 
 fn main() {
-    let nest = parse_loop(
-        "for i1 = -10..=10 { for i2 = -10..=10 {
+    let session = Session::new();
+    let nest = session
+        .parse(
+            "for i1 = -10..=10 { for i2 = -10..=10 {
            A[i1, 3*i2 + 2] = B[i1, i2] + 1;
            B[3*i1 + 2, i1 + i2 + 1] = A[i1, i2] + 2;
          } }",
-    )
-    .unwrap();
+        )
+        .unwrap();
     println!(
         "§4.2 loop:\n{}",
         vardep_loops::loopir::pretty::render(&nest)
     );
 
-    let analysis = analyze(&nest).unwrap();
+    let analysis = session.analyze(&nest).unwrap();
     println!("PDM (eq. 4.12):\n{}", analysis.pdm());
     assert_eq!(
         analysis.pdm(),
@@ -33,7 +35,7 @@ fn main() {
     assert!(analysis.is_full_rank());
     assert_eq!(analysis.lattice().unwrap().index(), Some(4));
 
-    let plan = parallelize(&nest).unwrap();
+    let plan = session.parallelize(&nest).unwrap();
     assert_eq!(plan.doall_count(), 0, "full rank: no free direction");
     assert_eq!(plan.partition_count(), 4, "det(H) = 4 partitions");
     println!("{}", render_plan(&nest, &plan).unwrap());

@@ -1,4 +1,4 @@
-//! Quickstart: parse a loop, analyze it, transform it, run it in parallel.
+//! Quickstart: one [`Session`], four calls — parse, analyze, plan, run.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -7,19 +7,25 @@
 use vardep_loops::prelude::*;
 
 fn main() {
+    // A session is the front door to the whole pipeline: one object,
+    // one error type, a template cache keyed by nest shape, and a fixed
+    // execution schedule.
+    let session = Session::new();
+
     // A loop with *variable* dependence distances: iteration (i1, i2)
     // writes an element that iteration (i1 + k, i2 + k) reads, where k
     // varies across the space. Classic uniform-distance parallelizers
     // give up here; the pseudo distance matrix does not.
-    let nest = parse_loop(
-        "for i1 = 0..64 { for i2 = 0..64 {
-           A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
-         } }",
-    )
-    .expect("the DSL source is well-formed");
+    let nest = session
+        .parse(
+            "for i1 = 0..64 { for i2 = 0..64 {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+        )
+        .expect("the DSL source is well-formed");
 
     // --- 1. analysis: the pseudo distance matrix --------------------
-    let analysis = analyze(&nest).expect("analysis");
+    let analysis = session.analyze(&nest).expect("analysis");
     println!("pseudo distance matrix (every dependence distance is an");
     println!("integer combination of these rows):\n{}", analysis.pdm());
     println!(
@@ -30,18 +36,29 @@ fn main() {
     );
 
     // --- 2. transformation: legal unimodular + partitioning ----------
-    let plan = parallelize(&nest).expect("planning");
+    // Planned through the session's cache: a second call for the same
+    // shape would be a cache hit, not another Fourier–Motzkin run.
+    let plan = session.parallelize(&nest).expect("planning");
     println!("\ntransformed program:\n");
     println!("{}", render_plan(&nest, &plan).unwrap());
 
-    // --- 3. execution: rayon doall over the independent groups -------
-    let mut seq = Memory::for_nest(&nest).unwrap();
-    let mut par = Memory::for_nest(&nest).unwrap();
-    seq.init_deterministic(2024);
-    par.init_deterministic(2024);
-    let n1 = run_sequential(&nest, &seq).unwrap();
-    let n2 = run_parallel(&nest, &plan, &par).unwrap();
-    assert_eq!(n1, n2);
-    assert_eq!(seq.snapshot(), par.snapshot(), "results must be identical");
-    println!("executed {n1} iterations sequentially and in parallel — results identical.");
+    // --- 3. execution: doall over the independent groups -------------
+    // `run` instantiates, seeds memory deterministically, and executes
+    // on the session's pool in one call.
+    let outcome = session.run(&nest, &[], 2024).expect("parallel run");
+
+    // Pin the result to a fresh sequential reference run.
+    let mut reference = Memory::for_nest(&nest).unwrap();
+    reference.init_deterministic(2024);
+    let seq = run_sequential(&nest, &reference).unwrap();
+    assert_eq!(outcome.iterations, seq);
+    assert_eq!(
+        outcome.instance.memory.snapshot(),
+        reference.snapshot(),
+        "results must be identical"
+    );
+    println!(
+        "executed {} iterations sequentially and in parallel — results identical.",
+        outcome.iterations
+    );
 }

@@ -13,10 +13,10 @@
 
 use vardep_loops::prelude::*;
 
-fn show(name: &str, src: &str) {
-    let nest = parse_loop(src).unwrap();
-    let analysis = analyze(&nest).unwrap();
-    let plan = parallelize(&nest).unwrap();
+fn show(session: &Session, name: &str, src: &str) {
+    let nest = session.parse(src).unwrap();
+    let analysis = session.analyze(&nest).unwrap();
+    let plan = session.parallelize(&nest).unwrap();
     println!("=== {name} ===");
     println!("PDM:\n{}", analysis.pdm());
     println!(
@@ -34,9 +34,12 @@ fn show(name: &str, src: &str) {
 }
 
 fn main() {
+    let session = Session::new();
+
     // Dense first-order stencil: PDM = I, nothing to partition — the
     // honest negative case (wavefront methods win here; see Table 1).
     show(
+        &session,
         "2-D stencil A[i,j] += A[i-1,j] + A[i,j-1]",
         "for i = 1..=40 { for j = 1..=40 { A[i, j] = A[i - 1, j] + A[i, j - 1]; } }",
     );
@@ -44,6 +47,7 @@ fn main() {
     // Strided recurrences: the lattice has index 6 -> six independent
     // interleaved computations, found automatically.
     show(
+        &session,
         "strided pair A[i,j] = A[i-2,j]; B[i,j] = B[i,j-3]",
         "for i = 2..=40 { for j = 3..=40 {
            A[i, j] = A[i - 2, j] + 1;
@@ -54,6 +58,7 @@ fn main() {
     // Zero-column case: dependence only along i, the j loop is doall
     // directly (Lemma 1).
     show(
+        &session,
         "row recurrence A[i,j] = A[i-1,j]",
         "for i = 1..=40 { for j = 0..=40 { A[i, j] = A[i - 1, j] + 1; } }",
     );
@@ -61,6 +66,7 @@ fn main() {
     // Diagonal chain with stride 2: one doall direction AND two
     // partitions — the combination the paper's machinery is built for.
     show(
+        &session,
         "diagonal stride-2 A[i,j] = A[i-2,j-2]",
         "for i = 2..=40 { for j = 2..=40 { A[i, j] = A[i - 2, j - 2] + 1; } }",
     );

@@ -7,29 +7,32 @@
 //! The paper's transformation is valid for any loop bounds, so a service
 //! that receives the same kernel at many problem sizes should not re-run
 //! dependence testing and Fourier–Motzkin per request. This example is
-//! that service in miniature: a [`PlanCache`] keyed by nest shape, one
-//! [`PlanTemplate`] per kernel, and per-request instantiation that only
-//! evaluates affine bound rows.
+//! that service in miniature: a [`Session`] whose sharded single-flight
+//! cache holds one [`PlanTemplate`] per kernel shape, and per-request
+//! instantiation that only evaluates affine bound rows. (The full
+//! networked version of this loop is `PlanServer` — see the
+//! `vardep_loops::service` crate docs for the wire protocol.)
 
 use std::time::Instant;
 use vardep_loops::prelude::*;
 
 fn main() {
+    let session = Session::new();
+
     // The kernel arrives symbolically: N is a named parameter, kept as a
     // live column of the loop bounds instead of substituted at parse.
-    let shape = parse_loop_symbolic(
-        "for i1 = 0..N { for i2 = 0..N {
-           A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
-         } }",
-        &["N"],
-    )
-    .expect("the DSL source is well-formed");
+    let shape = session
+        .parse_symbolic(
+            "for i1 = 0..N { for i2 = 0..N {
+               A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+             } }",
+            &["N"],
+        )
+        .expect("the DSL source is well-formed");
 
-    // --- the service's plan cache -----------------------------------
-    let mut cache = PlanCache::new(16);
-
+    // --- first request plans the shape ------------------------------
     let t0 = Instant::now();
-    let template = cache.get_or_plan(&shape).expect("planning");
+    let template = session.plan(&shape).expect("planning");
     let planned_in = t0.elapsed();
     println!(
         "planned shape once in {:.1} us: {} doall loop(s), {} partition(s), {} parameter(s)",
@@ -42,14 +45,13 @@ fn main() {
     // --- requests at many sizes -------------------------------------
     for n in [8i64, 32, 64, 128] {
         let t1 = Instant::now();
-        let template = cache.get_or_plan(&shape).expect("cache");
-        let mut inst = template
-            .instantiate_compiled(&[("N", n)])
+        let mut inst = session
+            .instantiate(&shape, &[("N", n)])
             .expect("instantiate");
         let instantiated_in = t1.elapsed();
 
         inst.memory.init_deterministic(2024);
-        let ran = inst.compiled.run_parallel(&inst.memory).unwrap();
+        let ran = session.execute(&inst).unwrap();
 
         // Pin the instantiated plan to a fresh sequential run.
         let mut reference = Memory::for_nest(&inst.nest).unwrap();
@@ -69,11 +71,10 @@ fn main() {
         );
     }
 
+    let stats = session.cache_stats();
     println!(
-        "cache: {} template(s), {} hit(s), {} miss(es)",
-        cache.len(),
-        cache.hits(),
-        cache.misses()
+        "cache: {} template(s), {} hit(s), {} planned",
+        stats.entries, stats.hits, stats.planned
     );
-    assert_eq!(cache.misses(), 1, "one shape must plan exactly once");
+    assert_eq!(stats.planned, 1, "one shape must plan exactly once");
 }

@@ -13,9 +13,12 @@
 use vardep_loops::prelude::*;
 
 fn main() {
-    let nest = parse_loop("for i = 1..=64 { A[2*i] = A[i] + 1; }").unwrap();
+    let session = Session::new();
+    let nest = session
+        .parse("for i = 1..=64 { A[2*i] = A[i] + 1; }")
+        .unwrap();
 
-    let analysis = analyze(&nest).unwrap();
+    let analysis = session.analyze(&nest).unwrap();
     println!("A[2i] = A[i]: PDM = {:?}", analysis.pdm().row(0));
     // The lattice is all of Z (distances d = i take every value), so no
     // transformation parallelism exists at the lattice level...
@@ -33,11 +36,13 @@ fn main() {
 
     // Contrast with the strided variable-distance loop where the PDM DOES
     // expose parallelism: every distance a multiple of 3.
-    let strided = parse_loop("for i = 0..=63 { A[3*i + 9] = A[3*i] + 1; }").unwrap();
-    let a2 = analyze(&strided).unwrap();
+    let strided = session
+        .parse("for i = 0..=63 { A[3*i + 9] = A[3*i] + 1; }")
+        .unwrap();
+    let a2 = session.analyze(&strided).unwrap();
     println!("\nA[3i+9] = A[3i]: PDM = {:?}", a2.pdm().row(0));
     assert_eq!(a2.pdm(), &IMat::from_rows(&[vec![3]]).unwrap());
-    let plan = parallelize(&strided).unwrap();
+    let plan = session.parallelize(&strided).unwrap();
     assert_eq!(plan.partition_count(), 3);
     println!("three independent partitions found:");
     println!("{}", render_plan(&strided, &plan).unwrap());

@@ -71,7 +71,11 @@ fn main() -> ExitCode {
         }
     };
     let params: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let nest = match parse_loop_with(&args.source, &params) {
+    // One session for the whole invocation: every command that plans
+    // does so through the session's template cache, and all pipeline
+    // failures surface as one PdmError.
+    let session = Session::new();
+    let nest = match session.parse_with(&args.source, &params) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("parse error: {e}");
@@ -80,9 +84,9 @@ fn main() -> ExitCode {
     };
 
     let outcome = match args.command.as_str() {
-        "analyze" => cmd_analyze(&nest),
-        "plan" => cmd_plan(&nest),
-        "run" => cmd_run(&nest),
+        "analyze" => cmd_analyze(&session, &nest),
+        "plan" => cmd_plan(&session, &nest),
+        "run" => cmd_run(&session, &nest),
         "isdg" => cmd_isdg(&nest),
         "shootout" => cmd_shootout(&nest),
         _ => {
@@ -100,9 +104,9 @@ fn main() -> ExitCode {
 
 type AnyError = Box<dyn std::error::Error>;
 
-fn cmd_analyze(nest: &LoopNest) -> Result<(), AnyError> {
+fn cmd_analyze(session: &Session, nest: &LoopNest) -> Result<(), AnyError> {
     println!("{}", vardep_loops::loopir::pretty::render(nest));
-    let analysis = analyze(nest)?;
+    let analysis = session.analyze(nest)?;
     println!(
         "pseudo distance matrix ({} x {}):",
         analysis.rank(),
@@ -150,14 +154,14 @@ fn cmd_analyze(nest: &LoopNest) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_plan(nest: &LoopNest) -> Result<(), AnyError> {
-    let plan = parallelize(nest)?;
+fn cmd_plan(session: &Session, nest: &LoopNest) -> Result<(), AnyError> {
+    let plan = session.parallelize(nest)?;
     println!("{}", render_plan(nest, &plan)?);
     Ok(())
 }
 
-fn cmd_run(nest: &LoopNest) -> Result<(), AnyError> {
-    let plan = parallelize(nest)?;
+fn cmd_run(session: &Session, nest: &LoopNest) -> Result<(), AnyError> {
+    let plan = session.parallelize(nest)?;
     // Allocate, initialize, and compile up front so every timer below
     // covers execution only — the three speedups stay comparable.
     let mut m_seq = Memory::for_nest(nest)?;

@@ -6,58 +6,77 @@
 //!
 //! ## One-minute tour
 //!
+//! A [`Session`] is the front door: it wraps parse → analyze → template
+//! → cache → execute behind one object with one error type
+//! ([`PdmError`]), caches plan templates per nest *shape*, and fixes the
+//! execution schedule and thread pool at construction.
+//!
 //! ```
-//! use vardep_loops::prelude::*;
+//! use vardep_loops::Session;
+//!
+//! let session = Session::new();
 //!
 //! // The paper's §4.1-style loop: variable-distance dependences
 //! // (every distance is a multiple of (2,2), but the multiple varies
 //! // with the iteration).
-//! let nest = parse_loop(
+//! let nest = session.parse(
 //!     "for i1 = 0..10 { for i2 = 0..10 {
 //!        A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
 //!     } }",
 //! ).unwrap();
 //!
 //! // Analyze: derive the pseudo distance matrix (PDM).
-//! let analysis = analyze(&nest).unwrap();
+//! let analysis = session.analyze(&nest).unwrap();
 //! assert_eq!(analysis.pdm().rows(), 1);          // rank-1 lattice [[2,2]]
 //!
-//! // Transform: a legal schedule with one outer doall loop and two
-//! // independent partitions (det = 2).
-//! let plan = parallelize(&nest).unwrap();
+//! // Plan: a legal schedule with one outer doall loop and two
+//! // independent partitions (det = 2) — served from the session's
+//! // template cache, planned at most once for this shape.
+//! let plan = session.parallelize(&nest).unwrap();
 //! assert_eq!(plan.doall_count(), 1);
 //! assert_eq!(plan.partition_count(), 2);
 //!
-//! // Execute: rayon-parallel run is bit-identical to sequential.
-//! let report = vardep_loops::runtime::equivalence::compare(&nest, &plan, 7).unwrap();
-//! assert!(report.equal);
+//! // Execute: instantiate, seed memory deterministically, run on the
+//! // session's pool, and digest the result.
+//! let outcome = session.run(&nest, &[], 7).unwrap();
+//! assert_eq!(outcome.iterations, 100);
 //! ```
 //!
 //! ## Serving many sizes of one kernel
 //!
 //! The transformation is valid for any loop bounds, so one kernel shape
-//! can be planned **once** and re-bounded per problem size — no repeated
-//! dependence testing or Fourier–Motzkin:
+//! is planned **once** — symbolic analysis plus parametric
+//! Fourier–Motzkin — and re-bounded per problem size. The session does
+//! the caching: the first `run` plans, every later size instantiates.
 //!
 //! ```
-//! use vardep_loops::prelude::*;
+//! use vardep_loops::Session;
 //!
-//! let shape = parse_loop_symbolic(
+//! let session = Session::new();
+//! let shape = session.parse_symbolic(
 //!     "for i1 = 0..N { for i2 = 0..N {
 //!        A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
 //!     } }",
 //!     &["N"],
 //! ).unwrap();
-//! let template = plan_template(&shape).unwrap();   // analysis + FM, once
-//! for n in [10i64, 1000] {
-//!     let plan = template.instantiate(&[("N", n)]).unwrap(); // no FM
-//!     assert_eq!(plan.partition_count(), 2);
+//! for n in [10i64, 100] {
+//!     let outcome = session.run(&shape, &[("N", n)], 1).unwrap();
+//!     assert_eq!(outcome.iterations, (n * n) as u64);
 //! }
+//! // One template served both sizes.
+//! assert_eq!(session.cache_stats().planned, 1);
 //! ```
+//!
+//! Behind a socket, the same session becomes a long-running service:
+//! [`PlanServer`] speaks a length-prefixed JSON protocol (shapes
+//! addressable by source or by structural hash), deduplicates
+//! concurrent planning through a sharded single-flight cache, and
+//! exposes a `/metrics`-style text page — see the [`service`] crate
+//! docs for the wire format.
 //!
 //! ## Imperfect nests: the LU example
 //!
-//! The paper's machinery assumes a perfect nest, but the pipeline now
+//! The paper's machinery assumes a perfect nest, but the pipeline
 //! accepts **imperfect** ones — statements between loop levels — by
 //! normalizing them into perfect kernels (code sinking with `when`
 //! guards, or loop fission with a dependence-direction proof) and
@@ -68,7 +87,8 @@
 //! ```
 //! use vardep_loops::prelude::*;
 //!
-//! let imp = parse_imperfect(
+//! let session = Session::new();
+//! let imp = session.parse_imperfect(
 //!     "for k = 0..=5 {
 //!        A[k, k] = A[k, k] + 1;                       # pivot, depth 1
 //!        for i = k + 1..=7 {
@@ -90,7 +110,7 @@
 //!
 //! // Plan + execute: staged parallel runs are bit-identical to the
 //! // imperfect reference interpreter.
-//! let pp = parallelize_program(&imp).unwrap();
+//! let pp = session.plan_program(&imp).unwrap();
 //! let rep = vardep_loops::runtime::equivalence::compare_program(&imp, &pp, 7).unwrap();
 //! assert!(rep.all_equal());
 //! ```
@@ -102,9 +122,10 @@
 //! Crate map: [`matrix`] (exact integer linear algebra), [`poly`]
 //! (Fourier–Motzkin), [`loopir`] (nest IR + DSL, perfect and
 //! imperfect), [`core`] (the paper's analysis and transformations),
-//! [`runtime`] (rayon execution, staged multi-kernel programs),
-//! [`isdg`] (ground-truth dependence graphs), [`baselines`] (the
-//! related-work methods of Table 1).
+//! [`runtime`] (work-stealing execution, sharded plan cache, staged
+//! multi-kernel programs), [`service`] (the `Session` facade, TCP plan
+//! server, wire protocol, metrics), [`isdg`] (ground-truth dependence
+//! graphs), [`baselines`] (the related-work methods of Table 1).
 
 pub use pdm_baselines as baselines;
 pub use pdm_core as core;
@@ -113,25 +134,107 @@ pub use pdm_loopir as loopir;
 pub use pdm_matrix as matrix;
 pub use pdm_poly as poly;
 pub use pdm_runtime as runtime;
+pub use pdm_service as service;
+
+pub use pdm_service::{PdmError, PlanServer, RunOutcome, ServiceClient, Session, SessionBuilder};
 
 /// Convenient glob-import surface for examples and quick scripts.
+///
+/// [`Session`] is the primary entry point; the lower-level types stay
+/// re-exported for code that inspects plans, memory, or the IR
+/// directly. The single-shot pipeline free functions that used to live
+/// here (`parse_loop`, `analyze`, `parallelize`, `plan_template`, ...)
+/// are deprecated shims at the crate root now — each one re-parses,
+/// re-analyzes, and re-plans on every call, which a session avoids.
 pub mod prelude {
+    pub use crate::{PdmError, PlanServer, RunOutcome, ServiceClient, Session, SessionBuilder};
     pub use pdm_core::codegen::{render_plan, render_program_plan};
     pub use pdm_core::pdm::PdmAnalysis;
-    pub use pdm_core::pipeline::{analyze, parallelize, parallelize_program};
     pub use pdm_core::plan::ParallelPlan;
     pub use pdm_core::program::ProgramPlan;
-    pub use pdm_core::template::{plan_template, PlanTemplate};
+    pub use pdm_core::template::PlanTemplate;
     pub use pdm_isdg::graph::Isdg;
     pub use pdm_loopir::imperfect::ImperfectNest;
     pub use pdm_loopir::nest::LoopNest;
     pub use pdm_loopir::normalize::{sink_fully, to_perfect_kernels, unsink};
-    pub use pdm_loopir::parse::{
-        parse_imperfect, parse_loop, parse_loop_symbolic, parse_loop_with,
-    };
     pub use pdm_matrix::{IMat, IVec, Lattice, Unimodular};
     pub use pdm_runtime::exec::{run_parallel, run_sequential};
     pub use pdm_runtime::memory::Memory;
     pub use pdm_runtime::staged::{run_imperfect_sequential, CompiledProgram};
     pub use pdm_runtime::template::{InstantiateCompiled, PlanCache};
+    pub use pdm_runtime::{RuntimeConfig, ShardedPlanCache};
+}
+
+// ---------------------------------------------------------------------
+// Deprecated single-shot shims.
+//
+// The pre-Session API: free functions that run one pipeline stage per
+// call, with per-crate error types and no caching. Each is a thin
+// delegation kept for source compatibility; new code should hold a
+// `Session`, which shares parsed schedules, pools templates per shape,
+// and unifies errors under `PdmError`.
+// ---------------------------------------------------------------------
+
+/// Parse a concrete loop nest from DSL source.
+#[deprecated(note = "use `Session::parse` — a session caches downstream planning per shape")]
+pub fn parse_loop(src: &str) -> Result<loopir::nest::LoopNest, loopir::IrError> {
+    loopir::parse::parse_loop(src)
+}
+
+/// Parse with named values substituted.
+#[deprecated(note = "use `Session::parse_with`")]
+pub fn parse_loop_with(
+    src: &str,
+    params: &[(&str, i64)],
+) -> Result<loopir::nest::LoopNest, loopir::IrError> {
+    loopir::parse::parse_loop_with(src, params)
+}
+
+/// Parse keeping `params` symbolic.
+#[deprecated(note = "use `Session::parse_symbolic`")]
+pub fn parse_loop_symbolic(
+    src: &str,
+    params: &[&str],
+) -> Result<loopir::nest::LoopNest, loopir::IrError> {
+    loopir::parse::parse_loop_symbolic(src, params)
+}
+
+/// Parse an imperfect nest (statements between loop levels).
+#[deprecated(note = "use `Session::parse_imperfect`")]
+pub fn parse_imperfect(src: &str) -> Result<loopir::imperfect::ImperfectNest, loopir::IrError> {
+    loopir::parse::parse_imperfect(src)
+}
+
+/// Derive the pseudo-distance-matrix analysis of a nest.
+#[deprecated(note = "use `Session::analyze`")]
+pub fn analyze(nest: &loopir::nest::LoopNest) -> Result<core::pdm::PdmAnalysis, core::CoreError> {
+    core::analyze(nest)
+}
+
+/// Plan a concrete nest from scratch (no caching).
+#[deprecated(
+    note = "use `Session::parallelize` — the session plans each shape once and caches the template"
+)]
+pub fn parallelize(
+    nest: &loopir::nest::LoopNest,
+) -> Result<core::plan::ParallelPlan, core::CoreError> {
+    core::parallelize(nest)
+}
+
+/// Plan an imperfect nest into a staged multi-kernel program.
+#[deprecated(note = "use `Session::plan_program`")]
+pub fn parallelize_program(
+    imp: &loopir::imperfect::ImperfectNest,
+) -> Result<core::program::ProgramPlan, core::CoreError> {
+    core::parallelize_program(imp)
+}
+
+/// Plan a symbolic shape into a reusable template (no caching).
+#[deprecated(
+    note = "use `Session::plan` — the session deduplicates planning through its sharded cache"
+)]
+pub fn plan_template(
+    nest: &loopir::nest::LoopNest,
+) -> Result<core::template::PlanTemplate, core::CoreError> {
+    core::plan_template(nest)
 }

@@ -11,7 +11,9 @@
 //! the default pool width.
 
 use proptest::prelude::*;
+use vardep_loops::core::parallelize;
 use vardep_loops::loopir::generator::{random_nest, GenConfig};
+use vardep_loops::loopir::parse::parse_loop;
 use vardep_loops::prelude::*;
 use vardep_loops::runtime::equivalence::{assert_three_way_equivalent, compare_three_way};
 use vardep_loops::runtime::{CompiledNest, Memory};

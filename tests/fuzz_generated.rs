@@ -7,8 +7,8 @@
 //! reproduce from a seed alone, covers depths 1–3 and multi-statement
 //! bodies, and runs more total cases.
 
+use vardep_loops::core::{analyze, parallelize};
 use vardep_loops::loopir::generator::{random_nest, GenConfig};
-use vardep_loops::prelude::*;
 
 fn validate_seed(seed: u64, cfg: &GenConfig) {
     let nest = random_nest(seed, cfg).expect("generator produces valid nests");

@@ -31,7 +31,9 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
+use vardep_loops::core::parallelize_program;
 use vardep_loops::loopir::generator::{random_imperfect_nest, GenConfig};
+use vardep_loops::loopir::parse::{parse_imperfect, parse_loop};
 use vardep_loops::loopir::pretty::{render, render_imperfect};
 use vardep_loops::prelude::*;
 use vardep_loops::runtime::equivalence::assert_program_equivalent;

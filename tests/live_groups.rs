@@ -8,10 +8,9 @@
 //! group structs at all. Kept as a single `#[test]` in its own binary so
 //! no concurrently-running test pollutes the process-wide gauge.
 
-use vardep_loops::prelude::*;
-use vardep_loops::runtime::schedule::{
-    live_groups, peak_live_groups, reset_peak_live_groups, Schedule,
-};
+use vardep_loops::core::{parallelize, parallelize_program};
+use vardep_loops::loopir::parse::{parse_imperfect, parse_loop};
+use vardep_loops::runtime::schedule::{live_groups, peak_live_groups, reset_peak_live_groups};
 use vardep_loops::runtime::{CompiledPlan, Memory};
 
 #[test]
@@ -32,7 +31,7 @@ fn streaming_replaces_the_group_materialization_spike() {
     let mem = Memory::for_nest(&nest).unwrap();
     let cp = CompiledPlan::compile(&nest, &plan, &mem).unwrap();
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let streaming_bound = (threads * Schedule::from_env().chunks_per_thread) as i64;
+    let streaming_bound = (threads * pdm_runtime::RuntimeConfig::global().chunks_per_thread) as i64;
 
     // 1. Materializing spikes to the full group count.
     reset_peak_live_groups();
@@ -84,7 +83,7 @@ fn streaming_replaces_the_group_materialization_spike() {
     //    transient groups before the next one starts, so the peak stays
     //    within the single-stage streaming bound and the live count
     //    returns exactly to base after each staged run.
-    let imp = vardep_loops::prelude::parse_imperfect(
+    let imp = parse_imperfect(
         "for a = 0..=17 {
            B[a, 0, 0, 0] = a;
            for b = 0..=17 { for c = 0..=17 { for d = 0..=17 {
@@ -93,7 +92,7 @@ fn streaming_replaces_the_group_materialization_spike() {
          }",
     )
     .unwrap();
-    let pp = vardep_loops::prelude::parallelize_program(&imp).unwrap();
+    let pp = parallelize_program(&imp).unwrap();
     assert!(pp.kernel_count() >= 2, "program must be multi-kernel");
     assert!(pp.barrier_count() >= 1, "program must cross a barrier");
     let pmem = vardep_loops::runtime::Memory::for_imperfect(&imp).unwrap();

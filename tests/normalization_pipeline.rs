@@ -1,5 +1,7 @@
 //! Normalized (non-unit-step) loops through the whole pipeline.
 
+use vardep_loops::core::{analyze, parallelize};
+use vardep_loops::loopir::parse::parse_loop;
 use vardep_loops::prelude::*;
 
 #[test]

@@ -1,6 +1,8 @@
 //! Integration tests: the paper's §4 examples, end to end across every
 //! crate (analysis → transformation → ISDG validation → execution).
 
+use vardep_loops::core::{analyze, parallelize};
+use vardep_loops::loopir::parse::parse_loop;
 use vardep_loops::prelude::*;
 
 fn nest41() -> LoopNest {

@@ -7,6 +7,8 @@
 //! 3. parallel execution is bit-identical to sequential.
 
 use proptest::prelude::*;
+use vardep_loops::core::{analyze, parallelize};
+use vardep_loops::loopir::parse::parse_loop;
 use vardep_loops::prelude::*;
 
 /// A random affine 2-D loop nest with one write and one read of a shared

@@ -1,0 +1,179 @@
+//! Facade-level integration tests for the plan-serving layer: a real
+//! [`PlanServer`] on a real TCP socket, driven entirely through the
+//! `vardep_loops` re-exports — the same surface a downstream user sees.
+
+use std::sync::{Arc, Barrier};
+use vardep_loops::service::json;
+use vardep_loops::{PlanServer, ServiceClient, Session};
+
+/// The §4.1-style symbolic shape used throughout: one parameter N.
+const SHAPE_SOURCE: &str = "for i1 = 0..N { for i2 = 0..N {
+   A[5*i1 + i2, 7*i1 + 2*i2] = A[i1 + i2 + 4, i1 + 2*i2 + 6] + 1;
+ } }";
+
+fn start_server(
+    session: Arc<Session>,
+    workers: usize,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = PlanServer::bind("127.0.0.1:0", session, workers).expect("bind");
+    let addr = server.local_addr().expect("local_addr");
+    let handle = std::thread::spawn(move || server.serve());
+    (addr, handle)
+}
+
+#[test]
+fn round_trip_plan_run_instantiate_through_facade() {
+    let session = Arc::new(Session::builder().cache_capacity(2, 8).threads(1).build());
+    let (addr, handle) = start_server(session, 2);
+    let mut client = ServiceClient::connect(addr).expect("connect");
+
+    // Plan by source; the response carries the shape hash for replays.
+    let req = format!(
+        r#"{{"op":"plan","source":{},"params":["N"]}}"#,
+        json::render(&json::Json::Str(SHAPE_SOURCE.into()))
+    );
+    let body = client.call(&req).expect("plan");
+    assert_eq!(body.get("ok"), Some(&json::Json::Bool(true)), "{body:?}");
+    assert_eq!(body.get_num("doall"), Some(1.0));
+    assert_eq!(body.get_num("partitions"), Some(2.0));
+    let hash = body.get_str("shape_hash").expect("shape_hash").to_string();
+
+    // Instantiate by hash only — no source resent.
+    let body = client
+        .call(&format!(
+            r#"{{"op":"instantiate","shape_hash":"{hash}","values":{{"N":32}}}}"#
+        ))
+        .expect("instantiate");
+    assert_eq!(body.get("ok"), Some(&json::Json::Bool(true)), "{body:?}");
+    assert!(body.get_num("groups").unwrap() >= 1.0);
+
+    // Equal run requests produce equal checksums (deterministic seed).
+    let run = |client: &mut ServiceClient| {
+        let body = client
+            .call(&format!(
+                r#"{{"op":"run","shape_hash":"{hash}","values":{{"N":16}},"seed":7}}"#
+            ))
+            .expect("run");
+        assert_eq!(body.get("ok"), Some(&json::Json::Bool(true)), "{body:?}");
+        (
+            body.get_num("iterations").unwrap(),
+            body.get_num("checksum").unwrap(),
+        )
+    };
+    let (iters_a, sum_a) = run(&mut client);
+    let (iters_b, sum_b) = run(&mut client);
+    assert_eq!(iters_a, 256.0);
+    assert_eq!((iters_a, sum_a), (iters_b, sum_b));
+
+    // The whole exchange planned the shape exactly once.
+    let stats = client.call(r#"{"op":"stats"}"#).expect("stats");
+    let cache = stats.get("cache").expect("cache object");
+    assert_eq!(cache.get_num("planned"), Some(1.0));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("serve");
+}
+
+#[test]
+fn concurrent_clients_single_flight_over_the_wire() {
+    const CLIENTS: usize = 3;
+    let session = Arc::new(Session::builder().cache_capacity(2, 8).threads(1).build());
+    // One worker accepts; each client connection occupies another.
+    let (addr, handle) = start_server(Arc::clone(&session), CLIENTS + 2);
+
+    // All clients connect first, then fire the same plan request at
+    // once — the sharded cache's single-flight must plan once and give
+    // the other requests the cached/waited-on template.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                let req = format!(
+                    r#"{{"op":"plan","source":{},"params":["N"]}}"#,
+                    json::render(&json::Json::Str(SHAPE_SOURCE.into()))
+                );
+                barrier.wait();
+                let body = client.call(&req).expect("plan");
+                assert_eq!(body.get("ok"), Some(&json::Json::Bool(true)), "{body:?}");
+                body.get_str("shape_hash").expect("shape_hash").to_string()
+            })
+        })
+        .collect();
+    let hashes: Vec<String> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(hashes.windows(2).all(|w| w[0] == w[1]));
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.planned, 1, "single-flight must plan exactly once");
+    assert_eq!(stats.hits + stats.waited, (CLIENTS - 1) as u64);
+    assert_eq!(stats.requests(), CLIENTS as u64);
+
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("serve");
+}
+
+#[test]
+fn metrics_endpoint_is_consistent_with_traffic() {
+    let session = Arc::new(Session::builder().cache_capacity(2, 8).threads(1).build());
+    let (addr, handle) = start_server(Arc::clone(&session), 2);
+    let mut client = ServiceClient::connect(addr).expect("connect");
+
+    let plan_req = format!(
+        r#"{{"op":"plan","source":{},"params":["N"]}}"#,
+        json::render(&json::Json::Str(SHAPE_SOURCE.into()))
+    );
+    let hash = client
+        .call(&plan_req)
+        .expect("plan")
+        .get_str("shape_hash")
+        .expect("shape_hash")
+        .to_string();
+    for n in [8i64, 12, 16] {
+        let body = client
+            .call(&format!(
+                r#"{{"op":"run","shape_hash":"{hash}","values":{{"N":{n}}}}}"#
+            ))
+            .expect("run");
+        assert_eq!(body.get("ok"), Some(&json::Json::Bool(true)), "{body:?}");
+    }
+    // One in-band error: unknown hash. Errors still count as requests.
+    let body = client
+        .call(r#"{"op":"run","shape_hash":"0x0000000000000001","values":{"N":8}}"#)
+        .expect("transport ok");
+    assert_eq!(body.get("ok"), Some(&json::Json::Bool(false)));
+    assert_eq!(body.get_str("kind"), Some("unknown_shape"));
+
+    let text = client.metrics_text().expect("metrics");
+    let count = |needle: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(needle))
+            .unwrap_or_else(|| panic!("metric {needle} missing from:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(count("pdm_connections_total"), 1.0);
+    assert_eq!(count(r#"pdm_requests_total{op="plan"}"#), 1.0);
+    assert_eq!(count(r#"pdm_requests_total{op="run"}"#), 4.0);
+    assert_eq!(count(r#"pdm_request_errors_total{op="run"}"#), 1.0);
+
+    // The stats op agrees with the session's own view, and the cache
+    // invariant holds: every request is a hit, a planning run, or a
+    // wait on another request's flight.
+    let stats = client.call(r#"{"op":"stats"}"#).expect("stats");
+    let cache = stats.get("cache").expect("cache object");
+    let s = session.cache_stats();
+    assert_eq!(cache.get_num("hits"), Some(s.hits as f64));
+    assert_eq!(cache.get_num("planned"), Some(s.planned as f64));
+    assert_eq!(s.hits + s.planned + s.waited, s.requests());
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("serve");
+}

@@ -16,7 +16,9 @@
 //! `k = group_count − 1`, one past the end, and empty iteration spaces.
 
 use proptest::prelude::*;
+use vardep_loops::core::parallelize;
 use vardep_loops::loopir::generator::{random_nest, GenConfig};
+use vardep_loops::loopir::parse::parse_loop_with;
 use vardep_loops::prelude::*;
 use vardep_loops::runtime::exec;
 use vardep_loops::runtime::schedule::{group_count, plan_range_tasks, GroupCursor, Schedule};

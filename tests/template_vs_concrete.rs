@@ -32,8 +32,10 @@
 //! replays identically on any machine with the same variable set.
 
 use proptest::prelude::*;
+use vardep_loops::core::parallelize;
 use vardep_loops::core::template::plan_template;
 use vardep_loops::loopir::generator::{random_symbolic_nest, GenConfig};
+use vardep_loops::loopir::parse::parse_loop_with;
 use vardep_loops::loopir::pretty;
 use vardep_loops::poly::bounds::LoopBounds;
 use vardep_loops::prelude::*;

@@ -20,9 +20,12 @@
 //!   remaining jobs return without calling the closure again;
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a thread-count
 //!   override scoped to the closure (used by thread-scaling benches);
-//! * [`current_num_threads`], plus [`last_region_threads`] — how many
-//!   workers the most recent parallel region on this process actually
-//!   used (bench snapshots record it per case).
+//! * [`current_num_threads`], plus [`last_region_threads`] /
+//!   [`last_region_steals`] — how many workers the most recent parallel
+//!   region on this thread actually used and how many jobs changed
+//!   hands between deques while it ran (bench snapshots record both
+//!   per case; steal counts are the raw signal for adaptive chunk
+//!   sizing).
 //!
 //! Blocking and termination: a region's caller runs as worker 0, so a
 //! `scope` call occupies `threads` OS threads total. Workers exit when
@@ -44,6 +47,9 @@ thread_local! {
     static WORKER_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
     /// Worker count of the most recent region opened from this thread.
     static LAST_REGION_THREADS: Cell<usize> = const { Cell::new(1) };
+    /// Successful cross-deque steals in the most recent region opened
+    /// from this thread.
+    static LAST_REGION_STEALS: Cell<usize> = const { Cell::new(0) };
 }
 
 fn machine_threads() -> usize {
@@ -75,6 +81,22 @@ fn note_region_threads(n: usize) {
     LAST_REGION_THREADS.with(|c| c.set(n));
 }
 
+/// Number of jobs the most recent parallel region opened from this
+/// thread moved between deques — each count is one idle worker taking a
+/// job from the FIFO top of another worker's queue. Zero means every
+/// job ran where it was spawned (perfectly balanced chunks, or an
+/// inline region); high counts relative to the job total mean the
+/// initial split was skewed and the deques did the rebalancing.
+/// Thread-local like [`last_region_threads`], so concurrent regions on
+/// other threads cannot interleave readings.
+pub fn last_region_steals() -> usize {
+    LAST_REGION_STEALS.with(|c| c.get())
+}
+
+fn note_region_steals(n: usize) {
+    LAST_REGION_STEALS.with(|c| c.set(n));
+}
+
 /// One parallel region: per-worker job deques plus the pending-job
 /// count that decides termination.
 pub struct Scope<'env> {
@@ -83,6 +105,8 @@ pub struct Scope<'env> {
     /// Round-robin cursor for spawns from outside any worker (the
     /// region caller before workers start).
     next: AtomicUsize,
+    /// Successful cross-deque steals in this region.
+    steals: AtomicUsize,
 }
 
 type Job<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
@@ -112,6 +136,7 @@ impl<'env> Scope<'env> {
             deques: (0..workers).map(|_| JobDeque::new()).collect(),
             pending: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
         }
     }
 
@@ -144,7 +169,11 @@ impl<'env> Scope<'env> {
             return Some(job);
         }
         let n = self.deques.len();
-        (1..n).find_map(|i| self.deques[(w + i) % n].steal())
+        let stolen = (1..n).find_map(|i| self.deques[(w + i) % n].steal());
+        if stolen.is_some() {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        stolen
     }
 
     fn run_worker(&self, w: usize) {
@@ -179,6 +208,7 @@ pub fn scope_with<'env, R>(threads: usize, f: impl FnOnce(&Scope<'env>) -> R) ->
     let out = f(&sc);
     if sc.pending.load(Ordering::Acquire) == 0 {
         note_region_threads(1);
+        note_region_steals(0);
         return out;
     }
     note_region_threads(workers);
@@ -193,6 +223,7 @@ pub fn scope_with<'env, R>(threads: usize, f: impl FnOnce(&Scope<'env>) -> R) ->
             sc.run_worker(0);
         });
     }
+    note_region_steals(sc.steals.load(Ordering::Relaxed));
     out
 }
 
@@ -274,7 +305,7 @@ pub mod iter {
     //! Parallel iterator subset: `par_iter().map(f).collect()`, executed
     //! on the work-stealing [`crate::scope`].
 
-    use super::{current_num_threads, note_region_threads, scope_with};
+    use super::{current_num_threads, note_region_steals, note_region_threads, scope_with};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
 
@@ -386,6 +417,7 @@ pub mod iter {
         let threads = current_num_threads().min(items.len().max(1));
         if threads <= 1 || items.len() <= 1 {
             note_region_threads(1);
+            note_region_steals(0);
             return items.iter().map(f).collect();
         }
         let blocks = (threads * BLOCKS_PER_WORKER).min(items.len());
@@ -423,6 +455,7 @@ pub mod iter {
         let threads = current_num_threads().min(items.len().max(1));
         if threads <= 1 || items.len() <= 1 {
             note_region_threads(1);
+            note_region_steals(0);
             // `collect` into `Result` stops at the first `Err`.
             return items.iter().map(f).collect();
         }
@@ -596,6 +629,44 @@ mod tests {
         assert_eq!(ids.len(), 32);
         let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
         assert!(distinct.len() > 1, "expected stolen work on >1 thread");
+    }
+
+    #[test]
+    fn steal_counter_counts_rebalanced_jobs() {
+        if machine_threads() < 2 {
+            return;
+        }
+        // All 32 jobs are spawned from the region caller before workers
+        // start, dealt round-robin across 4 deques; the first is fat, so
+        // the other workers must steal to drain its owner's queue.
+        scope_with(4, |sc| {
+            for i in 0..32 {
+                sc.spawn(move |_| {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                });
+            }
+        });
+        assert!(
+            last_region_steals() > 0,
+            "a deliberately skewed region should record steals"
+        );
+
+        // An inline region (no jobs spawned) resets the gauge.
+        scope_with(4, |_| {});
+        assert_eq!(last_region_steals(), 0);
+    }
+
+    #[test]
+    fn single_worker_region_never_steals() {
+        scope_with(1, |sc| {
+            for _ in 0..16 {
+                sc.spawn(|_| {});
+            }
+        });
+        assert_eq!(last_region_threads(), 1);
+        assert_eq!(last_region_steals(), 0);
     }
 
     #[test]
