@@ -1,0 +1,49 @@
+//! Write the committed `BENCH_faults.json` snapshot: the cost and the
+//! worth of the fault-hardening layer. Three storms over real TCP:
+//!
+//! 1. probes disarmed (the plain service path),
+//! 2. every probe armed at probability 0 (full fault-layer bookkeeping,
+//!    no fault ever fires),
+//! 3. probabilistic handler panics, torn frames, and dropped sockets
+//!    against reconnecting clients (the server must keep serving).
+//!
+//! ```sh
+//! cargo run --release -p pdm-bench --bin bench_faults
+//! ```
+//!
+//! Gated by `bench_check`: `service_hardened_overhead`, the ratio of
+//! armed-at-zero to disarmed throughput — the hardening layer must stay
+//! (near-)free when faults are off. This binary refuses to write a
+//! snapshot below the absolute 0.95 floor (fault-free overhead > 5%).
+
+use pdm_bench::perf;
+
+fn main() {
+    println!("bench_faults: hardening overhead + fault-injection storms");
+    let cases = perf::faults_cases();
+    for c in &cases {
+        let overhead = c.hardened_overhead();
+        assert!(
+            overhead >= 0.95,
+            "{}: armed-at-zero throughput is {overhead:.3}x the disarmed baseline — \
+             fault-free hardening overhead exceeds the 5% floor",
+            c.name
+        );
+        assert_eq!(
+            c.fault_errors, 0,
+            "{}: faulting storm surfaced in-band errors to resilient clients",
+            c.name
+        );
+        assert!(
+            c.fault_panics > 0 && c.fault_reconnects > 0,
+            "{}: faulting storm injected nothing ({} panics, {} reconnects) — \
+             the resilience leg proved nothing",
+            c.name,
+            c.fault_panics,
+            c.fault_reconnects
+        );
+    }
+    let json = perf::faults_json(&cases);
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!("\nwrote BENCH_faults.json");
+}

@@ -1281,6 +1281,7 @@ impl Zipf {
 fn service_client(
     addr: std::net::SocketAddr,
     seed: u64,
+    total: usize,
 ) -> Result<(u64, u64), pdm_service::PdmError> {
     use pdm_service::ServiceClient;
 
@@ -1307,7 +1308,7 @@ fn service_client(
     }
 
     let mut zipf = Zipf::new(SERVICE_SHAPES, SERVICE_ZIPF_S, seed);
-    for r in 0..SERVICE_REQUESTS_PER_CLIENT - SERVICE_SHAPES {
+    for r in 0..total.saturating_sub(SERVICE_SHAPES) {
         let idx = zipf.draw();
         let hash = &hashes[idx];
         let req = match r % 10 {
@@ -1352,7 +1353,11 @@ pub fn service_cases() -> Vec<ServiceCase> {
 
     let t0 = std::time::Instant::now();
     let clients: Vec<_> = (0..SERVICE_CLIENTS)
-        .map(|c| std::thread::spawn(move || service_client(addr, 0x5eed + c as u64)))
+        .map(|c| {
+            std::thread::spawn(move || {
+                service_client(addr, 0x5eed + c as u64, SERVICE_REQUESTS_PER_CLIENT)
+            })
+        })
         .collect();
     let mut requests = 0u64;
     let mut errors = 0u64;
@@ -1471,6 +1476,270 @@ pub fn service_json(cases: &[ServiceCase]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Fault-hardening: storms with probes disarmed, armed-at-zero, firing.
+// ---------------------------------------------------------------------
+
+/// Requests per client in the hardening storms (three storms run back
+/// to back, so each is smaller than the main service storm).
+pub const FAULT_REQUESTS_PER_CLIENT: usize = 300;
+
+/// Every probe armed at probability zero: the full bookkeeping cost of
+/// the fault layer with no fault ever firing — the fault-free overhead
+/// the `service_hardened_overhead` gate bounds.
+pub const ARMED_ZERO_SPEC: &str =
+    "plan.leader:0,server.handler:0,wire.torn:0,wire.delay:0,net.drop:0";
+
+/// Probabilistic probes for the resilience leg: enough failures to
+/// prove recovery, capped so the storm terminates briskly.
+pub const FAULT_STORM_SPEC: &str = "server.handler:0.02:40,wire.torn:0.01:20,net.drop:0.01:20";
+
+/// One fault-hardening measurement: two clean storms (probes disarmed
+/// vs. armed-at-zero) for the overhead ratio, plus a faulting storm
+/// that must complete with the server still serving.
+pub struct FaultsCase {
+    /// Case label (stable; the JSON metric path).
+    pub name: &'static str,
+    /// Clean-storm throughput with no probes compiled-in armed.
+    pub baseline_per_s: f64,
+    /// Clean-storm throughput with every probe armed at probability 0.
+    pub armed_per_s: f64,
+    /// Requests in the faulting storm.
+    pub fault_requests: u64,
+    /// In-band error responses in the faulting storm.
+    pub fault_errors: u64,
+    /// Client reconnects forced by dropped/torn connections.
+    pub fault_reconnects: u64,
+    /// Handler panics caught by the region sink.
+    pub fault_panics: u64,
+    /// Faulting-storm throughput (context only; retries inflate time).
+    pub fault_per_s: f64,
+}
+
+impl FaultsCase {
+    /// Armed-at-zero throughput over disarmed throughput — `1.0` means
+    /// the hardening layer is free when faults are off; the snapshot
+    /// gate keeps this from silently decaying.
+    pub fn hardened_overhead(&self) -> f64 {
+        self.armed_per_s / self.baseline_per_s
+    }
+}
+
+/// One clean storm against a dedicated server; returns requests/sec.
+fn clean_storm(faults: pdm_service::Faults) -> f64 {
+    use pdm_service::{PlanServer, Session};
+    use std::sync::Arc;
+
+    let session = Arc::new(
+        Session::builder()
+            .cache_capacity(8, 16)
+            .threads(1)
+            .faults(faults)
+            .build(),
+    );
+    let server = PlanServer::bind("127.0.0.1:0", Arc::clone(&session), SERVICE_CLIENTS + 2)
+        .expect("bind faults bench");
+    let addr = server.local_addr().expect("local addr");
+    let serve = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let t0 = std::time::Instant::now();
+    let clients: Vec<_> = (0..SERVICE_CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                service_client(addr, 0xfa17 + c as u64, FAULT_REQUESTS_PER_CLIENT)
+            })
+        })
+        .collect();
+    let mut requests = 0u64;
+    for c in clients {
+        let (r, e) = c.join().expect("client thread").expect("client io");
+        assert_eq!(e, 0, "clean storm produced error responses");
+        requests += r;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    pdm_service::ServiceClient::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    serve.join().expect("server thread");
+    requests as f64 / elapsed
+}
+
+/// A storm client that expects the server to misbehave: on any
+/// transport failure it reconnects and retries the same request
+/// (bounded), counting reconnects. Returns `(requests, errors,
+/// reconnects)`.
+fn service_client_resilient(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    total: usize,
+) -> (u64, u64, u64) {
+    use pdm_service::ServiceClient;
+    use std::time::Duration;
+
+    let connect = || {
+        ServiceClient::builder()
+            .read_timeout(Duration::from_secs(30))
+            .connect(addr)
+            .expect("connect resilient client")
+    };
+    let mut client = connect();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut reconnects = 0u64;
+    let mut zipf = Zipf::new(SERVICE_SHAPES, SERVICE_ZIPF_S, seed);
+    for r in 0..total {
+        let idx = zipf.draw();
+        let src = service_shape_source(idx);
+        let req = if r % 4 == 0 {
+            format!(
+                r#"{{"op":"run","source":{},"params":["N"],"values":{{"N":24}},"seed":1,"deadline_ms":30000}}"#,
+                quote(&src)
+            )
+        } else {
+            format!(r#"{{"op":"plan","source":{},"params":["N"]}}"#, quote(&src))
+        };
+        requests += 1;
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts <= 50, "request retried 50 times — server wedged");
+            match client.call(&req) {
+                Ok(body) => {
+                    if body.get("ok") != Some(&pdm_service::json::Json::Bool(true)) {
+                        errors += 1;
+                    }
+                    break;
+                }
+                Err(_) => {
+                    reconnects += 1;
+                    client = connect();
+                }
+            }
+        }
+    }
+    (requests, errors, reconnects)
+}
+
+/// Measure the fault-hardening layer: overhead ratio from two clean
+/// storms, then a probabilistic faulting storm that must complete.
+pub fn faults_cases() -> Vec<FaultsCase> {
+    use pdm_service::{Faults, PlanServer, Session};
+    use std::sync::Arc;
+
+    println!("faults: clean storm, probes disarmed...");
+    let baseline_per_s = clean_storm(Faults::disabled());
+    println!("faults: clean storm, probes armed at probability 0...");
+    let armed_per_s = clean_storm(Faults::parse(ARMED_ZERO_SPEC, 1).expect("armed-zero spec"));
+
+    println!("faults: probabilistic faulting storm ({FAULT_STORM_SPEC})...");
+    let session = Arc::new(
+        Session::builder()
+            .cache_capacity(8, 16)
+            .threads(1)
+            .faults(Faults::parse(FAULT_STORM_SPEC, 1).expect("fault spec"))
+            .build(),
+    );
+    let server = PlanServer::bind("127.0.0.1:0", Arc::clone(&session), SERVICE_CLIENTS + 2)
+        .expect("bind faulting storm");
+    let addr = server.local_addr().expect("local addr");
+    let serve = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let t0 = std::time::Instant::now();
+    let clients: Vec<_> = (0..SERVICE_CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                service_client_resilient(addr, 0xbad + c as u64, FAULT_REQUESTS_PER_CLIENT)
+            })
+        })
+        .collect();
+    let mut fault_requests = 0u64;
+    let mut fault_errors = 0u64;
+    let mut fault_reconnects = 0u64;
+    for c in clients {
+        let (r, e, rc) = c.join().expect("resilient client thread");
+        fault_requests += r;
+        fault_errors += e;
+        fault_reconnects += rc;
+    }
+    let fault_elapsed = t0.elapsed().as_secs_f64();
+    let fault_panics = session
+        .metrics()
+        .panics
+        .load(std::sync::atomic::Ordering::Relaxed);
+    pdm_service::ServiceClient::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown");
+    serve.join().expect("server thread");
+
+    let cases = vec![FaultsCase {
+        name: "hardening_c4",
+        baseline_per_s,
+        armed_per_s,
+        fault_requests,
+        fault_errors,
+        fault_reconnects,
+        fault_panics,
+        fault_per_s: fault_requests as f64 / fault_elapsed,
+    }];
+    for c in &cases {
+        println!(
+            "{:<14} baseline {:>7.0} req/s, armed-at-0 {:>7.0} req/s (overhead ratio {:.3})   \
+             faulting: {} reqs, {} errors, {} reconnects, {} panics, {:>6.0} req/s",
+            c.name,
+            c.baseline_per_s,
+            c.armed_per_s,
+            c.hardened_overhead(),
+            c.fault_requests,
+            c.fault_errors,
+            c.fault_reconnects,
+            c.fault_panics,
+            c.fault_per_s,
+        );
+    }
+    cases
+}
+
+/// Serialize fault-hardening cases into the committed
+/// `BENCH_faults.json` shape. Gated: `service_hardened_overhead` (the
+/// armed-at-zero / disarmed throughput ratio, both storms on the same
+/// host in the same run — the fault layer must stay free when faults
+/// are off). The gated ratio is clamped to 1.0: a lucky armed leg can
+/// measure *faster* than the baseline, and committing that noise would
+/// silently tighten the gate below its design floor. The
+/// faulting-storm counters are context: fire counts are seeded but
+/// arrival interleaving is scheduler-dependent.
+pub fn faults_json(cases: &[FaultsCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"service_faults\",\n");
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!(
+        "  \"machine_threads\": {machine},\n  \"cases\": [\n"
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_per_s\": {:.0}, \"armed_per_s\": {:.0}, \
+             \"service_hardened_overhead\": {:.4}, \
+             \"fault_requests\": {}, \"fault_errors\": {}, \"fault_reconnects\": {}, \
+             \"fault_panics\": {}, \"fault_per_s\": {:.0}}}{}\n",
+            c.name,
+            c.baseline_per_s,
+            c.armed_per_s,
+            c.hardened_overhead().min(1.0),
+            c.fault_requests,
+            c.fault_errors,
+            c.fault_reconnects,
+            c.fault_panics,
+            c.fault_per_s,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
 // Regression comparison.
 // ---------------------------------------------------------------------
 
@@ -1485,18 +1754,31 @@ pub struct Regression {
     pub fresh: Option<f64>,
 }
 
-/// Is this metric key gated? Ratio metrics always are; absolute
-/// throughput only under strict mode.
+/// Allowed drop for `_overhead` ratios: both legs of the ratio run
+/// back-to-back on the same host, so their noise is correlated and a
+/// tight band is safe. (The regeneration path is stricter still:
+/// `bench_faults` refuses to write a snapshot below the absolute 0.95
+/// floor.)
+pub const OVERHEAD_TOLERANCE: f64 = 0.10;
+
+/// Is this metric key gated? Ratio metrics (`_speedup`, `_reduction`,
+/// `_overhead`) always are; absolute throughput only under strict mode.
 pub fn is_gated(key: &str, strict: bool) -> bool {
-    key.ends_with("_speedup") || key.ends_with("_reduction") || (strict && key.ends_with("_per_s"))
+    key.ends_with("_speedup")
+        || key.ends_with("_reduction")
+        || key.ends_with("_overhead")
+        || (strict && key.ends_with("_per_s"))
 }
 
 /// The allowed relative drop for a gated key: deterministic count
-/// ratios use [`TOLERANCE`], timing-derived metrics the wider
+/// ratios use [`TOLERANCE`], same-run overhead ratios the tight
+/// [`OVERHEAD_TOLERANCE`], timing-derived metrics the wider
 /// [`TIMING_TOLERANCE`].
 pub fn tolerance_for(key: &str) -> f64 {
     if key.ends_with("_reduction") {
         TOLERANCE
+    } else if key.ends_with("_overhead") {
+        OVERHEAD_TOLERANCE
     } else {
         TIMING_TOLERANCE
     }
@@ -1572,6 +1854,53 @@ mod tests {
         assert_eq!(regressions(&committed, &fresh, false).len(), 1);
         let fresh = m(&[("b.peak_reduction", 3.1)]);
         assert!(regressions(&committed, &fresh, false).is_empty());
+    }
+
+    #[test]
+    fn gate_holds_overhead_ratios_to_the_tight_band() {
+        let key = "cases.hardening_c4.service_hardened_overhead";
+        assert!(is_gated(key, false), "overhead key must be gated");
+        assert_eq!(tolerance_for(key), OVERHEAD_TOLERANCE);
+        // A same-run ratio near 1.0 passes; a real decay trips.
+        let committed = m(&[(key, 1.0)]);
+        assert!(regressions(&committed, &m(&[(key, 0.93)]), false).is_empty());
+        assert_eq!(regressions(&committed, &m(&[(key, 0.85)]), false).len(), 1);
+    }
+
+    #[test]
+    fn faults_json_exposes_the_gated_overhead_metric() {
+        let c = FaultsCase {
+            name: "t",
+            baseline_per_s: 2000.0,
+            armed_per_s: 1960.0,
+            fault_requests: 1200,
+            fault_errors: 3,
+            fault_reconnects: 40,
+            fault_panics: 40,
+            fault_per_s: 800.0,
+        };
+        assert!((c.hardened_overhead() - 0.98).abs() < 1e-9);
+        let json = faults_json(std::slice::from_ref(&c));
+        let metrics = crate::json::parse(&json).unwrap().metrics();
+        let key = "cases.t.service_hardened_overhead";
+        assert!(
+            metrics.iter().any(|(k, v)| k == key && *v > 0.9),
+            "{metrics:?}"
+        );
+        // The faulting-storm counters ride along ungated.
+        assert!(metrics.iter().any(|(k, _)| k == "cases.t.fault_panics"));
+        assert!(!is_gated("cases.t.fault_per_s", false));
+
+        // A lucky armed leg measuring above 1.0 is clamped, so noise
+        // never tightens the committed gate.
+        let lucky = FaultsCase {
+            armed_per_s: 2100.0,
+            ..c
+        };
+        let metrics = crate::json::parse(&faults_json(&[lucky]))
+            .unwrap()
+            .metrics();
+        assert!(metrics.iter().any(|(k, v)| k == key && *v == 1.0));
     }
 
     #[test]

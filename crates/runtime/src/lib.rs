@@ -125,6 +125,12 @@ pub enum RuntimeError {
         /// A sample description.
         sample: String,
     },
+    /// A single-flight planning run died without producing a result —
+    /// the leader panicked (or was otherwise torn down) mid-plan.
+    /// Followers of the failed flight receive this instead of
+    /// deadlocking; the shape is retryable (the in-flight entry is
+    /// cleared, so the next request leads a fresh planning run).
+    PlanningFailed(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -138,6 +144,9 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::RaceDetected { conflicts, sample } => {
                 write!(f, "race detected on {conflicts} cells, e.g. {sample}")
+            }
+            RuntimeError::PlanningFailed(m) => {
+                write!(f, "planning failed: {m} (retry the request)")
             }
         }
     }

@@ -30,26 +30,60 @@
 //! degrades to two independent planning runs instead of aliasing two
 //! kernels (the same guarantee [`PlanCache`] makes for cached entries).
 //!
+//! **Fault hardening.** The flight slot is a tri-state
+//! (`Pending`/`Ready`/`Failed`), and the leader's planning run executes
+//! under a completion guard: if the leader unwinds (a panic inside
+//! planning — injectable via `pdm-service`'s fault harness, or a real
+//! bug), the guard's `Drop` still clears the in-flight entry and fills
+//! the slot with [`RuntimeError::PlanningFailed`], so every follower
+//! wakes with a typed, retryable error instead of parking forever on a
+//! condvar nobody will signal. Flight locks use the same
+//! poison-recovery policy as the shard cache lock (`lock_cache`):
+//! both structures are consistent between critical sections, so a
+//! panicked thread elsewhere must not cascade into every later request.
+//!
 //! Lock ordering: the flight table's lock may be held while taking the
 //! shard's cache lock (miss re-check), never the reverse — leaders
 //! insert into the cache and then clear their flight in two separate
 //! critical sections.
 
 use crate::template::PlanCache;
-use crate::Result;
+use crate::{Result, RuntimeError};
 use pdm_core::template::{plan_template, PlanTemplate};
 use pdm_loopir::nest::LoopNest;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// One in-flight planning run: the leader fills `slot` and notifies;
-/// followers wait until it is `Some`.
+/// Lock with poison recovery: both flight structures keep their state
+/// consistent between critical sections, so a panic that poisons the
+/// mutex must not wedge later requests (same policy as [`lock_cache`]).
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The tri-state slot of a [`Flight`].
+enum FlightState {
+    /// The leader is still planning.
+    Pending,
+    /// The leader finished (`Ok` or a typed planning error) — this
+    /// exact result is shared with every follower.
+    Ready(Result<Arc<PlanTemplate>>),
+    /// The leader died without publishing (panic mid-plan). Followers
+    /// receive [`RuntimeError::PlanningFailed`]; the shape is
+    /// retryable.
+    Failed,
+}
+
+/// One in-flight planning run: the leader resolves `slot` out of
+/// `Pending` and notifies; followers wait until it is resolved.
 struct Flight {
     /// The shape being planned — followers join only on equality.
     nest: LoopNest,
-    /// `None` while the leader is still planning.
-    slot: Mutex<Option<Result<Arc<PlanTemplate>>>>,
+    slot: Mutex<FlightState>,
     ready: Condvar,
 }
 
@@ -57,26 +91,36 @@ impl Flight {
     fn new(nest: LoopNest) -> Flight {
         Flight {
             nest,
-            slot: Mutex::new(None),
+            slot: Mutex::new(FlightState::Pending),
             ready: Condvar::new(),
         }
     }
 
     /// Leader side: publish the outcome and wake every follower.
-    fn fill(&self, result: Result<Arc<PlanTemplate>>) {
-        let mut slot = self.slot.lock().expect("flight slot poisoned");
-        *slot = Some(result);
+    fn fill(&self, state: FlightState) {
+        let mut slot = lock_recovering(&self.slot);
+        *slot = state;
         self.ready.notify_all();
     }
 
-    /// Follower side: block until the leader publishes.
+    /// Follower side: block until the leader publishes (or dies — the
+    /// leader's completion guard turns that into `Failed`).
     fn wait(&self) -> Result<Arc<PlanTemplate>> {
-        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        let mut slot = lock_recovering(&self.slot);
         loop {
-            if let Some(result) = slot.as_ref() {
-                return result.clone();
+            match &*slot {
+                FlightState::Pending => {}
+                FlightState::Ready(result) => return result.clone(),
+                FlightState::Failed => {
+                    return Err(RuntimeError::PlanningFailed(
+                        "the planning run for this shape panicked".into(),
+                    ))
+                }
             }
-            slot = self.ready.wait(slot).expect("flight slot poisoned");
+            slot = match self.ready.wait(slot) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 }
@@ -197,8 +241,34 @@ impl ShardedPlanCache {
     ///
     /// Errors are delivered to the leader *and* every follower of the
     /// failed flight, but are not cached: a later request for the same
-    /// shape plans again.
+    /// shape plans again. A leader that *panics* mid-plan cannot strand
+    /// its followers either — they receive
+    /// [`RuntimeError::PlanningFailed`] and the in-flight entry is
+    /// cleared so the next request re-plans (see
+    /// [`get_or_plan_with`](ShardedPlanCache::get_or_plan_with)).
     pub fn get_or_plan(&self, nest: &LoopNest) -> Result<Arc<PlanTemplate>> {
+        self.get_or_plan_with(nest, || {
+            plan_template(nest)
+                .map(Arc::new)
+                .map_err(RuntimeError::from)
+        })
+    }
+
+    /// [`get_or_plan`](ShardedPlanCache::get_or_plan) with the planning
+    /// step supplied by the caller — the hook `pdm-service` uses to
+    /// wrap planning with fault probes and deadline checks. `plan` runs
+    /// at most once, outside every lock, only when this call leads a
+    /// flight; its result must be the template for `nest` (inserting
+    /// anything else would alias shapes).
+    ///
+    /// The leader runs under a completion guard: if `plan` unwinds, the
+    /// guard clears the in-flight entry and fails the flight, so
+    /// followers get a typed error instead of a deadlock, and the panic
+    /// resumes on the leader's thread.
+    pub fn get_or_plan_with<F>(&self, nest: &LoopNest, plan: F) -> Result<Arc<PlanTemplate>>
+    where
+        F: FnOnce() -> Result<Arc<PlanTemplate>>,
+    {
         let hash = nest.structural_hash();
         let shard = self.shard_for(hash);
 
@@ -213,7 +283,7 @@ impl ShardedPlanCache {
         // cleared its flight between our probe and this lock, and
         // missing that window would replan a cached shape.
         let flight = {
-            let mut inflight = shard.inflight.lock().expect("flight table poisoned");
+            let mut inflight = lock_recovering(&shard.inflight);
             if let Some(t) = lock_cache(shard).probe(nest) {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(t);
@@ -231,26 +301,17 @@ impl ShardedPlanCache {
             f
         };
 
-        // Leader: plan with no locks held.
-        let result = plan_template(nest)
-            .map(Arc::new)
-            .map_err(crate::RuntimeError::from);
-        if let Ok(template) = &result {
-            lock_cache(shard).insert(nest, template.clone());
-        }
-        // Clear the flight *after* the insert: a request that finds
-        // neither a cached entry nor a flight must be safe to lead.
-        {
-            let mut inflight = shard.inflight.lock().expect("flight table poisoned");
-            if let Some(flights) = inflight.get_mut(&hash) {
-                flights.retain(|f| !Arc::ptr_eq(f, &flight));
-                if flights.is_empty() {
-                    inflight.remove(&hash);
-                }
-            }
-        }
-        shard.planned.fetch_add(1, Ordering::Relaxed);
-        flight.fill(result.clone());
+        // Leader: plan with no locks held, under the completion guard —
+        // if `plan` unwinds, the guard's Drop fails the flight and
+        // clears the entry so followers wake and retries can lead.
+        let guard = FlightGuard {
+            shard,
+            hash,
+            flight: &flight,
+            completed: false,
+        };
+        let result = plan();
+        guard.complete(nest, result.clone());
         result
     }
 
@@ -309,6 +370,59 @@ impl ShardedPlanCache {
                 }
             })
             .collect()
+    }
+}
+
+/// The leader's completion guard: planning runs between its creation
+/// and [`FlightGuard::complete`]. If the planning closure unwinds, the
+/// `Drop` impl runs *during* that unwind and performs the same protocol
+/// as completion — clear the in-flight entry, count the run, wake the
+/// followers — but with [`FlightState::Failed`] so followers receive a
+/// typed, retryable error rather than waiting on a condvar the dead
+/// leader will never signal.
+struct FlightGuard<'a> {
+    shard: &'a Shard,
+    hash: u64,
+    flight: &'a Arc<Flight>,
+    completed: bool,
+}
+
+impl FlightGuard<'_> {
+    /// Normal completion: publish `result` (caching it when `Ok`).
+    fn complete(mut self, nest: &LoopNest, result: Result<Arc<PlanTemplate>>) {
+        if let Ok(template) = &result {
+            lock_cache(self.shard).insert(nest, template.clone());
+        }
+        // Clear the flight *after* the insert: a request that finds
+        // neither a cached entry nor a flight must be safe to lead.
+        clear_flight(self.shard, self.hash, self.flight);
+        self.shard.planned.fetch_add(1, Ordering::Relaxed);
+        self.flight.fill(FlightState::Ready(result));
+        self.completed = true;
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        // Leader panicked mid-plan. The attempt still counts as a
+        // planning run (CacheStats bucket accounting), the entry is
+        // cleared so a retry can lead, and followers wake with Failed.
+        clear_flight(self.shard, self.hash, self.flight);
+        self.shard.planned.fetch_add(1, Ordering::Relaxed);
+        self.flight.fill(FlightState::Failed);
+    }
+}
+
+fn clear_flight(shard: &Shard, hash: u64, flight: &Arc<Flight>) {
+    let mut inflight = lock_recovering(&shard.inflight);
+    if let Some(flights) = inflight.get_mut(&hash) {
+        flights.retain(|f| !Arc::ptr_eq(f, flight));
+        if flights.is_empty() {
+            inflight.remove(&hash);
+        }
     }
 }
 
@@ -427,6 +541,90 @@ mod tests {
         assert_eq!(s.evictions, 5, "every insert after the first evicts");
         assert_eq!(s.entries, 1);
         assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn leader_panic_frees_followers_and_allows_retry() {
+        let followers = 6;
+        let cache = ShardedPlanCache::new(2, 8);
+        let shape = &shapes(1)[0];
+        let in_plan = Barrier::new(followers + 1);
+
+        std::thread::scope(|sc| {
+            // Leader: enters planning, waits until every follower has
+            // had time to join the flight, then panics mid-plan.
+            let leader = sc.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_plan_with(shape, || {
+                        in_plan.wait();
+                        // Give followers a moment to actually park on
+                        // the flight condvar before dying.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("injected leader fault");
+                    })
+                }));
+                assert!(result.is_err(), "the leader must observe its own panic");
+            });
+            let handles: Vec<_> = (0..followers)
+                .map(|_| {
+                    sc.spawn(|| {
+                        in_plan.wait(); // leader is inside `plan` now
+                        cache.get_or_plan(shape)
+                    })
+                })
+                .collect();
+            leader.join().unwrap();
+            let mut failed = 0;
+            let mut planned_ok = 0;
+            for h in handles {
+                match h.join().unwrap() {
+                    // Followers parked on the flight get the typed error...
+                    Err(RuntimeError::PlanningFailed(_)) => failed += 1,
+                    // ...unless they arrived after the guard cleared the
+                    // entry, in which case they led a fresh (successful)
+                    // planning run or hit its cached result.
+                    Ok(t) => {
+                        assert_eq!(t.nest(), shape);
+                        planned_ok += 1;
+                    }
+                    Err(e) => panic!("unexpected follower error: {e}"),
+                }
+            }
+            assert_eq!(failed + planned_ok, followers);
+        });
+
+        // No deadlock above; the shape is retryable and the flight
+        // table is clean (a fresh request leads or hits, not waits).
+        let t = cache.get_or_plan(shape).unwrap();
+        assert_eq!(t.nest(), shape);
+        let s = cache.stats();
+        assert_eq!(
+            s.requests(),
+            s.hits + s.planned + s.waited,
+            "CacheStats bucket invariant: {s:?}"
+        );
+        assert!(
+            s.planned >= 2,
+            "the panicked run and the successful retry both count: {s:?}"
+        );
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn planning_error_is_typed_and_not_cached() {
+        let cache = ShardedPlanCache::new(1, 4);
+        let shape = &shapes(1)[0];
+        let err = cache
+            .get_or_plan_with(shape, || {
+                Err(RuntimeError::PlanningFailed("synthetic".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::PlanningFailed(_)));
+        assert_eq!(cache.len(), 0, "errors are not cached");
+        // The same shape plans fine afterwards.
+        assert!(cache.get_or_plan(shape).is_ok());
+        let s = cache.stats();
+        assert_eq!(s.planned, 2);
     }
 
     #[test]

@@ -28,6 +28,19 @@ pub enum PdmError {
     /// Socket-level failure (stringified — `std::io::Error` is neither
     /// `Clone` nor `PartialEq`).
     Io(String),
+    /// The single-flight planning run for this shape died (leader
+    /// panic) before publishing a result. Transient: the in-flight
+    /// entry was cleared, so retrying the request re-plans.
+    PlanningFailed(String),
+    /// The request's cooperative `deadline_ms` budget expired between
+    /// pipeline stages; partial work was abandoned.
+    DeadlineExceeded,
+    /// The server is at its connection cap and shed this connection
+    /// instead of queuing it. Back off and reconnect.
+    Overloaded,
+    /// A client-side read deadline expired while waiting for a
+    /// response (stalled or unreachable server).
+    Timeout(String),
 }
 
 impl std::fmt::Display for PdmError {
@@ -41,6 +54,16 @@ impl std::fmt::Display for PdmError {
             }
             PdmError::Protocol(m) => write!(f, "protocol error: {m}"),
             PdmError::Io(m) => write!(f, "io error: {m}"),
+            PdmError::PlanningFailed(m) => {
+                write!(f, "planning failed: {m} (retry the request)")
+            }
+            PdmError::DeadlineExceeded => {
+                write!(f, "deadline exceeded: request budget expired mid-pipeline")
+            }
+            PdmError::Overloaded => {
+                write!(f, "server overloaded: connection shed, back off and retry")
+            }
+            PdmError::Timeout(m) => write!(f, "client timeout: {m}"),
         }
     }
 }
@@ -61,7 +84,13 @@ impl From<CoreError> for PdmError {
 
 impl From<RuntimeError> for PdmError {
     fn from(e: RuntimeError) -> Self {
-        PdmError::Runtime(e)
+        match e {
+            // A torn single-flight run is transient (the inflight entry
+            // was cleared); surface it under its own retryable kind
+            // rather than the generic "runtime" bucket.
+            RuntimeError::PlanningFailed(m) => PdmError::PlanningFailed(m),
+            other => PdmError::Runtime(other),
+        }
     }
 }
 
@@ -81,7 +110,26 @@ impl PdmError {
             PdmError::UnknownShape(_) => "unknown_shape",
             PdmError::Protocol(_) => "protocol",
             PdmError::Io(_) => "io",
+            PdmError::PlanningFailed(_) => "planning_failed",
+            PdmError::DeadlineExceeded => "deadline_exceeded",
+            PdmError::Overloaded => "overloaded",
+            PdmError::Timeout(_) => "timeout",
         }
+    }
+}
+
+impl PdmError {
+    /// Whether a retry of the *same* request can reasonably succeed
+    /// without any change on the caller's side. Used by clients to
+    /// decide between backing off and giving up.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PdmError::PlanningFailed(_)
+                | PdmError::Overloaded
+                | PdmError::Timeout(_)
+                | PdmError::Io(_)
+        )
     }
 }
 
@@ -101,5 +149,28 @@ mod tests {
 
         let io: PdmError = std::io::Error::other("boom").into();
         assert_eq!(io, PdmError::Io("boom".into()));
+    }
+
+    #[test]
+    fn fault_kinds_are_typed_and_retryable() {
+        let planning: PdmError = RuntimeError::PlanningFailed("leader panicked".into()).into();
+        assert_eq!(planning.kind(), "planning_failed");
+        assert!(planning.is_retryable());
+
+        assert_eq!(PdmError::DeadlineExceeded.kind(), "deadline_exceeded");
+        assert!(!PdmError::DeadlineExceeded.is_retryable());
+
+        assert_eq!(PdmError::Overloaded.kind(), "overloaded");
+        assert!(PdmError::Overloaded.is_retryable());
+
+        assert_eq!(PdmError::Timeout("read stalled".into()).kind(), "timeout");
+
+        // Non-transient runtime errors keep the generic kind.
+        let oob: PdmError = RuntimeError::OutOfBounds {
+            array: "A".into(),
+            subscript: vec![9],
+        }
+        .into();
+        assert_eq!(oob.kind(), "runtime");
     }
 }

@@ -53,10 +53,31 @@
 //! | `metrics` | — | `text`: the Prometheus-style exposition page |
 //! | `shutdown` | — | confirms, then the server drains and exits |
 //!
+//! Any request may additionally carry `"deadline_ms"` (non-negative
+//! integer): a cooperative budget for that one request. The server
+//! checks it **between** pipeline stages (never preemptively — a stage
+//! already running completes), and abandons remaining work with a
+//! `deadline_exceeded` failure once it has passed.
+//!
 //! Every response carries `"ok"` (bool) and `"op"` (echo); failures add
-//! `"kind"` (one of `parse`, `plan`, `runtime`, `unknown_shape`,
-//! `protocol`, `io`) and `"error"` (message). `unknown_shape` means the
-//! hash was never planned here or was evicted — resubmit the source.
+//! `"kind"` and `"error"` (message). The kinds:
+//!
+//! | kind | meaning | retry? |
+//! |------|---------|--------|
+//! | `parse`, `plan`, `runtime`, `protocol` | the request itself is at fault | no — fix the request |
+//! | `unknown_shape` | hash never planned here, or evicted | no — resubmit the `source` |
+//! | `overloaded` | connection shed at the [`RuntimeConfig`](pdm_runtime::RuntimeConfig) `max_connections` cap | yes, after backoff |
+//! | `deadline_exceeded` | the request's `deadline_ms` budget ran out | yes, with a larger budget |
+//! | `planning_failed` | the planning run for this shape panicked; the flight is cleared | yes — the retry re-plans |
+//! | `timeout`, `io` | transport-level failure (client-side kinds) | yes, usually on a fresh connection |
+//!
+//! Retry semantics: `plan`/`instantiate`/`stats`/`metrics` are
+//! idempotent, and `run` is deterministic for a given `seed`, so
+//! retrying any of them is always safe.
+//! [`ServiceClient::call_retrying`] implements the recommended policy —
+//! capped exponential backoff (25 ms doubling to 1 s), reconnecting on
+//! transport errors, retrying the retryable kinds above and surfacing
+//! everything else immediately.
 //!
 //! Example exchange (frame lengths omitted):
 //!
@@ -77,11 +98,39 @@
 //! connections request an unplanned shape at once, exactly one plans
 //! and the rest block on a condvar and share the leader's `Arc`.
 //!
+//! ## Hardening
+//!
+//! The serving path is built to degrade, not die:
+//!
+//! * **Panic isolation** — every connection job and planning run is
+//!   unwind-caught; a panic kills one request, increments
+//!   `pdm_panics_total`, and poisons nothing. A panicked single-flight
+//!   leader wakes its followers with `planning_failed` and clears the
+//!   flight so the next request re-plans.
+//! * **Backpressure** — beyond `max_connections`
+//!   (`PDM_MAX_CONNECTIONS`, default 64) new connections are shed with
+//!   one in-band `overloaded` frame (counted in `pdm_shed_total`)
+//!   instead of queueing without bound.
+//! * **Timeouts** — clients never hang: reads time out
+//!   (`PDM_CLIENT_READ_TIMEOUT_MS`, default 10 000, overridable per
+//!   client via [`ClientBuilder`]), and both sides abandon peers that
+//!   stall mid-frame. Sessions fall back to checked sequential
+//!   execution when a parallel run fails
+//!   (`pdm_fallback_runs_total` / `pdm_fallback_successes_total`).
+//! * **Fault injection** — the [`faults`] module plants probes on the
+//!   serving path (leader panics, handler panics, torn frames, delayed
+//!   reads, dropped sockets), armed via `PDM_FAULTS`
+//!   (`"probe:probability[:limit],…"`, seeded by `PDM_PROPTEST_SEED`)
+//!   or per-session through [`SessionBuilder::faults`]. Disarmed
+//!   probes cost one relaxed atomic load; the `BENCH_faults.json` gate
+//!   holds the armed-at-zero overhead under 5%.
+//!
 //! This crate also owns the dependency-free [`json`] module (parser +
 //! serializer) used for both wire frames and bench snapshots —
 //! `pdm_bench::json` re-exports it.
 
 pub mod error;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod server;
@@ -89,6 +138,7 @@ pub mod session;
 pub mod wire;
 
 pub use error::PdmError;
+pub use faults::Faults;
 pub use metrics::{LatencyHistogram, OpMetrics, ServiceMetrics};
-pub use server::{PlanServer, ServiceClient};
-pub use session::{RunOutcome, Session, SessionBuilder};
+pub use server::{ClientBuilder, PlanServer, ServiceClient};
+pub use session::{Deadline, RunOutcome, Session, SessionBuilder};

@@ -150,6 +150,26 @@ pub struct ServiceMetrics {
     pub template_acquire: LatencyHistogram,
     /// Connections accepted by the server.
     pub connections: AtomicU64,
+    /// Connection-handler (and other pool-job) panics caught by the
+    /// region sink instead of tearing down the server.
+    pub panics: AtomicU64,
+    /// Connections shed at the max-connections gate (answered with an
+    /// in-band `overloaded` error, then closed).
+    pub shed: AtomicU64,
+    /// Requests abandoned mid-pipeline because their `deadline_ms`
+    /// budget expired.
+    pub deadline_exceeded: AtomicU64,
+    /// Parallel executions that fell back to the sequential checked
+    /// path after a primary failure (graceful degradation).
+    pub fallback_runs: AtomicU64,
+    /// Fallback executions that then succeeded.
+    pub fallback_successes: AtomicU64,
+    /// Fatal acceptor errors (each one shuts the server down — this is
+    /// effectively 0 or 1, kept as a counter for scrapers).
+    pub accept_errors: AtomicU64,
+    /// Connections being served right now (gauge; the max-connections
+    /// gate compares against this).
+    pub active_connections: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -236,6 +256,48 @@ pub fn render_metrics(metrics: &ServiceMetrics, cache: &ShardedPlanCache) -> Str
         "pdm_connections_total",
         "connections accepted",
         metrics.connections.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_panics_total",
+        "pool-job panics caught by the region sink",
+        metrics.panics.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_shed_total",
+        "connections shed at the max-connections gate",
+        metrics.shed.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_deadline_exceeded_total",
+        "requests abandoned on an expired deadline budget",
+        metrics.deadline_exceeded.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_fallback_runs_total",
+        "parallel runs degraded to the sequential checked path",
+        metrics.fallback_runs.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_fallback_successes_total",
+        "degraded runs that then succeeded",
+        metrics.fallback_successes.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_accept_errors_total",
+        "fatal acceptor errors (shut the server down)",
+        metrics.accept_errors.load(Ordering::Relaxed),
+    );
+    push_gauge(
+        &mut out,
+        "pdm_active_connections",
+        "connections being served right now",
+        metrics.active_connections.load(Ordering::Relaxed),
     );
 
     // The runtime's live gauges: transient group structures alive right
@@ -331,5 +393,23 @@ mod tests {
         assert!(text.contains("le=\"+Inf\""));
         // Cumulative bucket counts end at the total count.
         assert!(text.contains("pdm_request_latency_us_plan_count 1"));
+    }
+
+    #[test]
+    fn renders_hardening_counters() {
+        let m = ServiceMetrics::new();
+        m.panics.store(3, Ordering::Relaxed);
+        m.shed.store(2, Ordering::Relaxed);
+        m.deadline_exceeded.store(1, Ordering::Relaxed);
+        m.fallback_runs.store(4, Ordering::Relaxed);
+        m.active_connections.store(5, Ordering::Relaxed);
+        let cache = ShardedPlanCache::new(1, 2);
+        let text = render_metrics(&m, &cache);
+        assert!(text.contains("pdm_panics_total 3"));
+        assert!(text.contains("pdm_shed_total 2"));
+        assert!(text.contains("pdm_deadline_exceeded_total 1"));
+        assert!(text.contains("pdm_fallback_runs_total 4"));
+        assert!(text.contains("pdm_accept_errors_total 0"));
+        assert!(text.contains("pdm_active_connections 5"));
     }
 }

@@ -12,15 +12,29 @@
 //! acceptor stops accepting and every handler notices the flag at its
 //! next read timeout.
 
+use crate::error::PdmError;
+use crate::faults;
+use crate::metrics::ServiceMetrics;
 use crate::session::Session;
 use crate::wire::{self, Frame, ShutdownFlag};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Decrement-on-drop guard for the live-connection gauge: the count
+/// stays honest even when a handler panics (the drop runs during the
+/// unwind, before the region sink swallows the payload).
+struct ActiveGuard<'a>(&'a ServiceMetrics);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
 
 /// A plan-serving endpoint: one shared [`Session`] behind a TCP
 /// listener speaking the length-prefixed JSON protocol (crate docs).
@@ -29,12 +43,17 @@ pub struct PlanServer {
     session: Arc<Session>,
     workers: usize,
     shutdown: Arc<ShutdownFlag>,
+    max_connections: usize,
+    /// A fatal acceptor error, parked here by the accept loop for
+    /// [`PlanServer::serve`] to surface after the region drains.
+    accept_error: Mutex<Option<std::io::Error>>,
 }
 
 impl PlanServer {
     /// Bind to `addr` (use port 0 for an OS-assigned port) serving
     /// `session`, handling connections on `workers` pool workers (at
-    /// least 2: one accepts, the rest handle).
+    /// least 2: one accepts, the rest handle). The connection cap
+    /// defaults to the session's `PDM_MAX_CONNECTIONS` knob.
     pub fn bind(
         addr: impl ToSocketAddrs,
         session: Arc<Session>,
@@ -43,12 +62,23 @@ impl PlanServer {
         let listener = TcpListener::bind(addr)?;
         // Nonblocking so the acceptor can poll the shutdown flag.
         listener.set_nonblocking(true)?;
+        let max_connections = session.config().max_connections.max(1);
         Ok(PlanServer {
             listener,
             session,
             workers: workers.max(2),
             shutdown: Arc::new(ShutdownFlag::new()),
+            max_connections,
+            accept_error: Mutex::new(None),
         })
+    }
+
+    /// Override the connection cap (the backpressure gate: connections
+    /// past this are answered with an in-band `overloaded` error and
+    /// closed instead of queuing unboundedly).
+    pub fn with_max_connections(mut self, max: usize) -> PlanServer {
+        self.max_connections = max.max(1);
+        self
     }
 
     /// The bound address (ask after binding port 0).
@@ -69,23 +99,58 @@ impl PlanServer {
     /// Accept and serve until a `shutdown` request arrives or the
     /// [`PlanServer::shutdown_handle`] flag is set. Blocks the calling
     /// thread (it becomes one of the region's workers).
+    ///
+    /// Handler jobs run under a panic **sink**: a panicking handler
+    /// increments `pdm_panics_total` and dies alone — the region, the
+    /// other connections, and the acceptor keep going. A fatal
+    /// listener error stops the acceptor, sets the shutdown flag (so
+    /// handlers drain), and is returned from here instead of being
+    /// swallowed.
     pub fn serve(&self) -> std::io::Result<()> {
-        rayon::scope_with(self.workers, |sc| {
-            sc.spawn(|sc| self.accept_loop(sc));
-        });
-        Ok(())
+        let metrics = self.session.metrics();
+        rayon::scope_with_sink(
+            self.workers,
+            |payload| {
+                metrics.panics.fetch_add(1, Ordering::Relaxed);
+                // The payload is intentionally dropped: the panic is
+                // already isolated to its connection, whose socket
+                // closed when the handler's stack unwound.
+                let _ = rayon::panic_message(&*payload);
+            },
+            |sc| {
+                sc.spawn(|sc| self.accept_loop(sc));
+            },
+        );
+        match lock_recovering(&self.accept_error).take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// The acceptor job: poll-accept, spawn a handler job per
-    /// connection, stop when the flag goes up.
+    /// connection (or shed it at the cap), stop when the flag goes up.
     fn accept_loop<'env>(&'env self, sc: &rayon::Scope<'env>) {
+        let metrics = self.session.metrics();
         while !self.shutdown.is_set() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    self.session
-                        .metrics()
-                        .connections
-                        .fetch_add(1, Ordering::Relaxed);
+                    // Backpressure gate: past the cap, answer with an
+                    // in-band `overloaded` error and close, instead of
+                    // queuing the connection behind busy workers.
+                    let active = metrics.active_connections.load(Ordering::Relaxed);
+                    if active >= self.max_connections as u64 {
+                        metrics.shed.fetch_add(1, Ordering::Relaxed);
+                        let mut s = stream;
+                        let _ =
+                            wire::write_frame(&mut s, &wire::error_body("", &PdmError::Overloaded));
+                        continue;
+                    }
+                    // Count the connection as live *here*, before the
+                    // handler job is stolen, so a burst of accepts
+                    // cannot overshoot the cap; the handler's guard
+                    // decrements on any exit, panic included.
+                    metrics.active_connections.fetch_add(1, Ordering::Relaxed);
+                    metrics.connections.fetch_add(1, Ordering::Relaxed);
                     sc.spawn(move |_| self.handle_connection(stream));
                 }
                 Err(e)
@@ -97,8 +162,15 @@ impl PlanServer {
                     std::thread::sleep(POLL_INTERVAL);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                // Listener-level failure: stop serving.
-                Err(_) => break,
+                // Listener-level failure: record it, stop everything
+                // (handlers notice the flag at their next poll), and
+                // let serve() surface it — never die silently.
+                Err(e) => {
+                    metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    *lock_recovering(&self.accept_error) = Some(e);
+                    self.shutdown.set();
+                    break;
+                }
             }
         }
     }
@@ -106,6 +178,9 @@ impl PlanServer {
     /// One connection: frames in, responses out, until EOF, shutdown,
     /// or a socket error.
     fn handle_connection(&self, stream: TcpStream) {
+        let metrics = self.session.metrics();
+        let _active = ActiveGuard(metrics);
+        let fault = self.session.faults();
         let _ = stream.set_nodelay(true);
         // Timeouts turn blocked reads into Frame::Idle so the handler
         // can poll the shutdown flag.
@@ -118,9 +193,18 @@ impl PlanServer {
         loop {
             match wire::read_frame(&mut reader) {
                 Ok(Frame::Message(text)) => {
+                    // Fault probes, in arrival order: a stalled read, a
+                    // dropped socket, a handler panic — each models a
+                    // distinct production failure at this exact point.
+                    if fault.fire(faults::WIRE_DELAY) {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    if fault.fire(faults::NET_DROP) {
+                        return;
+                    }
+                    fault.panic_if(faults::SERVER_HANDLER);
                     let t0 = Instant::now();
                     let resp = wire::dispatch(&self.session, &text);
-                    let metrics = self.session.metrics();
                     let op = match resp.op_family {
                         "plan" => &metrics.plan,
                         "instantiate" => &metrics.instantiate,
@@ -128,6 +212,10 @@ impl PlanServer {
                         _ => &metrics.control,
                     };
                     op.record(t0.elapsed(), resp.ok);
+                    if fault.fire(faults::WIRE_TORN) {
+                        let _ = write_torn_frame(&mut writer, &resp.body);
+                        return;
+                    }
                     if wire::write_frame(&mut writer, &resp.body).is_err() {
                         return;
                     }
@@ -147,45 +235,245 @@ impl PlanServer {
     }
 }
 
+/// Mutex lock with poison recovery: a panicked handler cannot make the
+/// accept-error slot unusable (same policy as the runtime's caches).
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The `wire.torn` fault: a header promising the full payload followed
+/// by only half of it, then the socket closes — what a crashed or
+/// misbehaving server looks like to a client mid-response.
+fn write_torn_frame(w: &mut impl std::io::Write, payload: &str) -> std::io::Result<()> {
+    let bytes = payload.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(&bytes[..bytes.len() / 2])?;
+    w.flush()
+}
+
+/// Maximum backoff delay between reconnect attempts.
+const MAX_BACKOFF: Duration = Duration::from_secs(1);
+
+/// Configuration for a [`ServiceClient`] connection.
+///
+/// ```no_run
+/// use pdm_service::ServiceClient;
+/// use std::time::Duration;
+///
+/// let client = ServiceClient::builder()
+///     .read_timeout(Duration::from_millis(500))
+///     .connect_timeout(Duration::from_millis(200))
+///     .retries(5)
+///     .connect("127.0.0.1:7077")
+///     .unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    read_timeout: Duration,
+    connect_timeout: Option<Duration>,
+    retries: u32,
+    backoff_base: Duration,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            read_timeout: Duration::from_millis(
+                pdm_runtime::RuntimeConfig::global().client_read_timeout_ms,
+            ),
+            connect_timeout: None,
+            retries: 3,
+            backoff_base: Duration::from_millis(25),
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// How long one [`ServiceClient::call_raw`] waits for a response
+    /// before giving up with a timeout error (default: the
+    /// `PDM_CLIENT_READ_TIMEOUT_MS` knob, 10 s out of the box — a
+    /// stalled server can no longer hang a client forever).
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Bound the TCP connect itself (default: the OS default).
+    pub fn connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = Some(t);
+        self
+    }
+
+    /// Reconnect-and-retry attempts for
+    /// [`ServiceClient::call_retrying`] (default 3, on top of the
+    /// initial attempt).
+    pub fn retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// Connect with this configuration.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
+        let mut last = None;
+        for candidate in addr.to_socket_addrs()? {
+            let attempt = match self.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(&candidate, t),
+                None => TcpStream::connect(candidate),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    // Short socket timeout + Idle retries in call_raw:
+                    // the *effective* deadline is read_timeout, but the
+                    // loop stays responsive for mid-frame progress.
+                    stream.set_read_timeout(Some(POLL_INTERVAL.min(self.read_timeout)))?;
+                    return Ok(ServiceClient {
+                        stream,
+                        addr: candidate,
+                        config: self,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        }))
+    }
+}
+
 /// A blocking client for the wire protocol: send one request document,
 /// receive one response document, in order, over a persistent
-/// connection.
+/// connection. Reads are bounded by the builder's timeout, and
+/// [`ServiceClient::call_retrying`] reconnects with capped exponential
+/// backoff on transient failures.
 pub struct ServiceClient {
     stream: TcpStream,
+    addr: std::net::SocketAddr,
+    config: ClientBuilder,
 }
 
 impl ServiceClient {
-    /// Connect to a serving endpoint.
+    /// Connect to a serving endpoint with default timeouts.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServiceClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(ServiceClient { stream })
+        ClientBuilder::default().connect(addr)
+    }
+
+    /// Start configuring a client.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Drop the current connection and dial the same endpoint again.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let fresh = self.config.clone().connect(self.addr)?;
+        self.stream = fresh.stream;
+        Ok(())
     }
 
     /// Send `request` (a JSON document) and block for the response
-    /// text. Responses arrive strictly in request order.
+    /// text, at most the configured read timeout. Responses arrive
+    /// strictly in request order. A timeout leaves the connection in an
+    /// indeterminate state (a late response may still be in flight) —
+    /// [`ServiceClient::reconnect`] before reusing it.
     pub fn call_raw(&mut self, request: &str) -> std::io::Result<String> {
         wire::write_frame(&mut self.stream, request)?;
-        match wire::read_frame(&mut self.stream)? {
-            Frame::Message(text) => Ok(text),
-            Frame::Eof => Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )),
-            // No read timeout is set on the client socket, so Idle
-            // cannot occur; treat it as a torn read if it somehow does.
-            Frame::Idle => Err(std::io::Error::new(
-                std::io::ErrorKind::TimedOut,
-                "timed out waiting for response",
-            )),
+        let start = Instant::now();
+        loop {
+            match wire::read_frame(&mut self.stream)? {
+                Frame::Message(text) => return Ok(text),
+                Frame::Eof => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                // The socket timeout fired with no header byte yet:
+                // retry until the configured deadline, then surface a
+                // typed timeout instead of hanging forever.
+                Frame::Idle => {
+                    if start.elapsed() >= self.config.read_timeout {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "no response within {:?} (server stalled or unreachable)",
+                                self.config.read_timeout
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
 
     /// [`ServiceClient::call_raw`] plus JSON parsing of the response.
+    /// Read timeouts surface as [`PdmError::Timeout`].
     pub fn call(&mut self, request: &str) -> Result<crate::json::Json, crate::error::PdmError> {
-        let text = self.call_raw(request)?;
+        let text = self.call_raw(request).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                crate::error::PdmError::Timeout(e.to_string())
+            } else {
+                crate::error::PdmError::from(e)
+            }
+        })?;
         crate::json::parse(&text)
             .map_err(|e| crate::error::PdmError::Protocol(format!("bad response JSON: {e}")))
+    }
+
+    /// [`ServiceClient::call`] with capped exponential-backoff
+    /// reconnect on transient failures (timeouts, dropped sockets,
+    /// in-band `overloaded` / `planning_failed` sheds).
+    ///
+    /// **Only for idempotent requests** (`plan`, `instantiate`, `run`
+    /// with a seed, `stats`, `metrics`): after a timeout the original
+    /// request may still execute server-side, so a retried non-idempotent
+    /// op could run twice.
+    pub fn call_retrying(
+        &mut self,
+        request: &str,
+    ) -> Result<crate::json::Json, crate::error::PdmError> {
+        let mut delay = self.config.backoff_base;
+        let mut last_err: Option<crate::error::PdmError> = None;
+        let mut last_body: Option<crate::json::Json> = None;
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2).min(MAX_BACKOFF);
+                if let Err(e) = self.reconnect() {
+                    last_err = Some(e.into());
+                    last_body = None;
+                    continue;
+                }
+            }
+            match self.call(request) {
+                Ok(body) => {
+                    let retryable_in_band = body.get("ok") == Some(&crate::json::Json::Bool(false))
+                        && matches!(
+                            body.get_str("kind"),
+                            Some("overloaded") | Some("planning_failed") | Some("timeout")
+                        );
+                    if !retryable_in_band {
+                        return Ok(body);
+                    }
+                    last_body = Some(body);
+                    last_err = None;
+                }
+                Err(e) if e.is_retryable() => {
+                    last_err = Some(e);
+                    last_body = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Retries exhausted: hand back whatever the final attempt saw.
+        match last_body {
+            Some(body) => Ok(body),
+            None => Err(last_err
+                .unwrap_or_else(|| crate::error::PdmError::Io("no attempts were made".into()))),
+        }
     }
 
     /// Ask the server for its metrics page (the `metrics` op).
@@ -258,6 +546,98 @@ mod tests {
         // Prove it is alive, then stop it externally.
         let mut client = ServiceClient::connect(addr).unwrap();
         client.call(r#"{"op":"stats"}"#).unwrap();
+        flag.set();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn client_times_out_on_a_silent_server() {
+        // A listener that accepts nothing: connects land in the backlog
+        // and every read stalls. Before the timeout work this hung
+        // forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = ServiceClient::builder()
+            .read_timeout(Duration::from_millis(150))
+            .connect_timeout(Duration::from_millis(500))
+            .connect(addr)
+            .unwrap();
+        let t0 = Instant::now();
+        let err = client.call(r#"{"op":"stats"}"#).unwrap_err();
+        assert!(matches!(err, PdmError::Timeout(_)), "{err:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "timeout took {:?}",
+            t0.elapsed()
+        );
+        drop(listener);
+    }
+
+    #[test]
+    fn overloaded_connections_are_shed_in_band() {
+        let session = Arc::new(Session::builder().cache_capacity(2, 8).threads(1).build());
+        let server = PlanServer::bind("127.0.0.1:0", session, 3)
+            .unwrap()
+            .with_max_connections(1);
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_handle();
+        let handle = std::thread::spawn(move || {
+            server.serve().unwrap();
+        });
+
+        // First connection occupies the only slot (the call guarantees
+        // it was accepted and is being served).
+        let mut c1 = ServiceClient::connect(addr).unwrap();
+        c1.call(r#"{"op":"stats"}"#).unwrap();
+
+        // Second connection: shed at accept with an in-band error
+        // before any request is even sent.
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        c2.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let text = loop {
+            match wire::read_frame(&mut c2).unwrap() {
+                Frame::Message(t) => break t,
+                Frame::Idle => assert!(Instant::now() < deadline, "no shed frame arrived"),
+                Frame::Eof => panic!("connection closed without a shed frame"),
+            }
+        };
+        let body = crate::json::parse(&text).unwrap();
+        assert_eq!(body.get_str("kind"), Some("overloaded"));
+
+        // The surviving connection still serves, and the shed shows up
+        // on the metrics page.
+        let metrics = c1.metrics_text().unwrap();
+        assert!(metrics.contains("pdm_shed_total 1"), "{metrics}");
+        flag.set();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn call_retrying_survives_a_dropped_socket() {
+        // Arm net.drop for exactly one fire: the first request's socket
+        // drops with no response; the retry reconnects and succeeds.
+        let session = Arc::new(
+            Session::builder()
+                .cache_capacity(2, 8)
+                .threads(1)
+                .faults(crate::faults::Faults::parse("net.drop:1:1", 0).unwrap())
+                .build(),
+        );
+        let server = PlanServer::bind("127.0.0.1:0", session, 3).unwrap();
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_handle();
+        let handle = std::thread::spawn(move || {
+            server.serve().unwrap();
+        });
+
+        let mut client = ServiceClient::builder()
+            .read_timeout(Duration::from_secs(5))
+            .connect(addr)
+            .unwrap();
+        let body = client.call_retrying(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(body.get("ok"), Some(&crate::json::Json::Bool(true)));
         flag.set();
         handle.join().unwrap();
     }

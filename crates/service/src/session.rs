@@ -22,18 +22,46 @@
 //! ```
 
 use crate::error::PdmError;
+use crate::faults::{self, Faults};
 use crate::metrics::ServiceMetrics;
 use pdm_core::pdm::PdmAnalysis;
 use pdm_core::plan::ParallelPlan;
 use pdm_core::program::ProgramPlan;
-use pdm_core::template::PlanTemplate;
+use pdm_core::template::{plan_template, PlanTemplate};
 use pdm_loopir::imperfect::ImperfectNest;
 use pdm_loopir::nest::LoopNest;
 use pdm_runtime::sharded::{CacheStats, ShardedPlanCache};
 use pdm_runtime::template::{instantiate_compiled, CompiledInstance};
-use pdm_runtime::{RuntimeConfig, Schedule};
+use pdm_runtime::{RuntimeConfig, RuntimeError, Schedule};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A cooperative per-request budget: stages check it between (never
+/// inside) their bulk work, so an expired deadline abandons the request
+/// at the next stage boundary rather than preempting anything.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline(Instant);
+
+impl Deadline {
+    /// A budget of `ms` milliseconds starting now.
+    pub fn in_ms(ms: u64) -> Deadline {
+        Deadline(Instant::now() + std::time::Duration::from_millis(ms))
+    }
+
+    /// Has the budget expired?
+    pub fn expired(&self) -> bool {
+        Instant::now() > self.0
+    }
+
+    /// Error out if the budget expired (the stage-boundary check).
+    pub fn check(deadline: Option<Deadline>) -> Result<(), PdmError> {
+        match deadline {
+            Some(d) if d.expired() => Err(PdmError::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+}
 
 /// Default shard count for the session's template cache.
 pub const DEFAULT_SHARDS: usize = 8;
@@ -50,12 +78,14 @@ pub const DEFAULT_CAPACITY_PER_SHARD: usize = 64;
 ///     .build();
 /// assert_eq!(session.cache().shard_count(), 4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SessionBuilder {
     shards: usize,
     capacity_per_shard: usize,
     threads: Option<usize>,
     config: Option<RuntimeConfig>,
+    faults: Option<Faults>,
+    sequential_fallback: bool,
 }
 
 impl Default for SessionBuilder {
@@ -65,6 +95,8 @@ impl Default for SessionBuilder {
             capacity_per_shard: DEFAULT_CAPACITY_PER_SHARD,
             threads: None,
             config: None,
+            faults: None,
+            sequential_fallback: true,
         }
     }
 }
@@ -93,6 +125,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Fault-injection probes for this session (default: armed from
+    /// `PDM_FAULTS` via [`Faults::from_env`], i.e. disabled unless the
+    /// environment says otherwise). Tests pass probes here directly so
+    /// parallel test binaries never race on global state.
+    pub fn faults(mut self, faults: Faults) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Whether a failed parallel execution degrades to the sequential
+    /// *checked* path before the error is surfaced (default: on).
+    pub fn sequential_fallback(mut self, on: bool) -> Self {
+        self.sequential_fallback = on;
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         let config = self
@@ -110,6 +158,8 @@ impl SessionBuilder {
             schedule,
             config,
             metrics: Arc::new(ServiceMetrics::new()),
+            faults: Arc::new(self.faults.unwrap_or_else(Faults::from_env)),
+            sequential_fallback: self.sequential_fallback,
         }
     }
 }
@@ -142,6 +192,8 @@ pub struct Session {
     schedule: Schedule,
     config: RuntimeConfig,
     metrics: Arc<ServiceMetrics>,
+    faults: Arc<Faults>,
+    sequential_fallback: bool,
 }
 
 impl Default for Session {
@@ -196,8 +248,28 @@ impl Session {
     /// (single-flight). Records acquisition latency in the session
     /// metrics.
     pub fn plan(&self, nest: &LoopNest) -> Result<Arc<PlanTemplate>, PdmError> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         let t0 = Instant::now();
-        let result = self.cache.get_or_plan(nest);
+        // A panicking planning run (a planner bug, or the plan.leader
+        // fault probe) must reach this session's caller as a typed
+        // error, same as the flight's followers see — never an unwind
+        // through the service. The cache is internally synchronized
+        // with poison recovery, so crossing it with catch_unwind is
+        // sound.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.cache.get_or_plan_with(nest, || {
+                self.faults.panic_if(faults::PLAN_LEADER);
+                plan_template(nest)
+                    .map(Arc::new)
+                    .map_err(RuntimeError::from)
+            })
+        }))
+        .unwrap_or_else(|payload| {
+            Err(RuntimeError::PlanningFailed(format!(
+                "the planning run for this shape panicked: {}",
+                rayon::panic_message(&*payload)
+            )))
+        });
         self.metrics.template_acquire.record(t0.elapsed());
         Ok(result?)
     }
@@ -270,9 +342,63 @@ impl Session {
         params: &[(&str, i64)],
         seed: u64,
     ) -> Result<RunOutcome, PdmError> {
+        self.run_template_within(template, params, seed, None)
+    }
+
+    /// [`Session::run_template`] under a cooperative [`Deadline`]: the
+    /// budget is checked between pipeline stages (after instantiate,
+    /// after execute) — an expired budget abandons the request with
+    /// [`PdmError::DeadlineExceeded`] at the next boundary. A failed
+    /// parallel execution degrades to the sequential *checked* path
+    /// (race-audited, one thread) when the session allows it, counted
+    /// in `fallback_runs` / `fallback_successes`.
+    pub fn run_template_within(
+        &self,
+        template: &PlanTemplate,
+        params: &[(&str, i64)],
+        seed: u64,
+        deadline: Option<Deadline>,
+    ) -> Result<RunOutcome, PdmError> {
+        Deadline::check(deadline)?;
         let mut instance = self.instantiate_template(template, params)?;
+        Deadline::check(deadline)?;
         instance.memory.init_deterministic(seed);
-        let iterations = self.execute(&instance)?;
+        let iterations = match self.execute(&instance) {
+            Ok(n) => n,
+            Err(primary) => {
+                if !self.sequential_fallback {
+                    return Err(primary);
+                }
+                // Graceful degradation: re-seed and re-run on the
+                // audited sequential path. If even that fails, the
+                // primary error is the truth worth surfacing.
+                self.metrics.fallback_runs.fetch_add(1, Ordering::Relaxed);
+                Deadline::check(deadline)?;
+                instance.memory.init_deterministic(seed);
+                // One thread (sequential) + the race-auditing checked
+                // executor: the slowest, most-validated path we have.
+                let sequential = rayon::ThreadPoolBuilder::new()
+                    .num_threads(1)
+                    .build()
+                    .expect("the vendored pool builder is infallible");
+                match sequential.install(|| {
+                    pdm_runtime::checked::run_parallel_checked(
+                        &instance.nest,
+                        &instance.plan,
+                        &instance.memory,
+                    )
+                }) {
+                    Ok(n) => {
+                        self.metrics
+                            .fallback_successes
+                            .fetch_add(1, Ordering::Relaxed);
+                        n
+                    }
+                    Err(_) => return Err(primary),
+                }
+            }
+        };
+        Deadline::check(deadline)?;
         let checksum = checksum(&instance.memory);
         Ok(RunOutcome {
             instance,
@@ -311,6 +437,12 @@ impl Session {
     /// The session's metrics sink (shared with the server layer).
     pub fn metrics(&self) -> &Arc<ServiceMetrics> {
         &self.metrics
+    }
+
+    /// The session's fault-injection probes (disabled unless armed via
+    /// builder or `PDM_FAULTS`).
+    pub fn faults(&self) -> &Arc<Faults> {
+        &self.faults
     }
 
     /// The runtime configuration the session was built with.
@@ -390,6 +522,46 @@ mod tests {
         assert!(Arc::ptr_eq(&planned, &by_hash));
         let inst = session.instantiate_template(&by_hash, &[("N", 8)]).unwrap();
         assert_eq!(session.execute(&inst).unwrap(), 64);
+    }
+
+    #[test]
+    fn expired_deadline_abandons_the_run() {
+        let session = Session::builder().threads(1).build();
+        let shape = session.parse_symbolic(SYM, &["N"]).unwrap();
+        let template = session.plan(&shape).unwrap();
+        // A zero-millisecond budget that has certainly expired by the
+        // first stage boundary.
+        let d = Deadline::in_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = session
+            .run_template_within(&template, &[("N", 8)], 1, Some(d))
+            .map(|o| o.iterations)
+            .unwrap_err();
+        assert_eq!(err, PdmError::DeadlineExceeded);
+        // A generous budget runs to completion.
+        let ok = session
+            .run_template_within(&template, &[("N", 8)], 1, Some(Deadline::in_ms(60_000)))
+            .unwrap();
+        assert_eq!(ok.iterations, 64);
+    }
+
+    #[test]
+    fn injected_leader_panic_is_typed_and_retryable() {
+        let session = Session::builder()
+            .threads(1)
+            .faults(Faults::parse("plan.leader:1:1", 0).unwrap())
+            .build();
+        let shape = session.parse_symbolic(SYM, &["N"]).unwrap();
+        // First plan: the leader panics (limit 1); the caller must see
+        // a typed planning failure, not a poisoned-lock cascade.
+        let err = session.plan(&shape).unwrap_err();
+        assert_eq!(err.kind(), "planning_failed");
+        // Retry: the probe is exhausted, planning succeeds, and the
+        // cache bucket invariant still holds.
+        let template = session.plan(&shape).unwrap();
+        assert_eq!(template.depth(), 2);
+        let s = session.cache_stats();
+        assert_eq!(s.hits + s.planned + s.waited, s.requests());
     }
 
     #[test]

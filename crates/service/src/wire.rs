@@ -16,7 +16,7 @@
 
 use crate::error::PdmError;
 use crate::json::{self, Json};
-use crate::session::Session;
+use crate::session::{Deadline, Session};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -90,15 +90,23 @@ enum ReadOutcome {
     Idle,
 }
 
+/// How many *consecutive* zero-progress read timeouts a mid-frame read
+/// tolerates before declaring the peer stalled. With the 50 ms socket
+/// timeouts both sides use, this bounds a torn-frame-held-open peer
+/// (client or server) to ~12 s instead of hanging the reader forever.
+const MID_FRAME_STALL_LIMIT: u32 = 240;
+
 /// `read_exact` that survives read timeouts: a timeout with zero bytes
 /// read so far reports `Idle` when `idle_ok` (header position) — once
-/// bytes have arrived, timeouts retry until the buffer fills.
+/// bytes have arrived, timeouts retry until the buffer fills or the
+/// peer stalls past [`MID_FRAME_STALL_LIMIT`] consecutive timeouts.
 fn read_exact_retrying(
     r: &mut impl Read,
     buf: &mut [u8],
     idle_ok: bool,
 ) -> std::io::Result<ReadOutcome> {
     let mut filled = 0usize;
+    let mut stalls = 0u32;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -111,7 +119,10 @@ fn read_exact_retrying(
                     ))
                 };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -121,7 +132,15 @@ fn read_exact_retrying(
                 if filled == 0 && idle_ok {
                     return Ok(ReadOutcome::Idle);
                 }
-                // Mid-frame stall: keep waiting for the rest.
+                // Mid-frame stall: keep waiting for the rest — but not
+                // forever, or a half-sent frame pins this reader.
+                stalls += 1;
+                if stalls >= MID_FRAME_STALL_LIMIT {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -163,7 +182,8 @@ pub fn dispatch(session: &Session, request_text: &str) -> Response {
     let (op, result) = match json::parse(request_text) {
         Ok(req) => {
             let op = req.get_str("op").unwrap_or("").to_string();
-            let result = handle(session, &op, &req);
+            let result =
+                request_deadline(&req).and_then(|deadline| handle(session, &op, &req, deadline));
             (op, result)
         }
         Err(e) => (
@@ -171,6 +191,12 @@ pub fn dispatch(session: &Session, request_text: &str) -> Response {
             Err(PdmError::Protocol(format!("bad request JSON: {e}"))),
         ),
     };
+    if matches!(result, Err(PdmError::DeadlineExceeded)) {
+        session
+            .metrics()
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+    }
     let op_family = match op.as_str() {
         "plan" => "plan",
         "instantiate" => "instantiate",
@@ -190,12 +216,7 @@ pub fn dispatch(session: &Session, request_text: &str) -> Response {
             }
         }
         Err(e) => Response {
-            body: json::render(&Json::Obj(vec![
-                ("ok".into(), Json::Bool(false)),
-                ("op".into(), Json::Str(op)),
-                ("kind".into(), Json::Str(e.kind().into())),
-                ("error".into(), Json::Str(e.to_string())),
-            ])),
+            body: error_body(&op, &e),
             ok: false,
             op_family,
             // A shutdown request takes effect even if rendering extras
@@ -206,13 +227,43 @@ pub fn dispatch(session: &Session, request_text: &str) -> Response {
     }
 }
 
+/// Render the `{"ok": false, ...}` body for `e` — shared by dispatch
+/// and by server paths that answer before dispatching (the
+/// max-connections shed writes an `overloaded` body straight onto the
+/// fresh socket).
+pub fn error_body(op: &str, e: &PdmError) -> String {
+    json::render(&Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("op".into(), Json::Str(op.into())),
+        ("kind".into(), Json::Str(e.kind().into())),
+        ("error".into(), Json::Str(e.to_string())),
+    ]))
+}
+
 type Fields = Vec<(String, Json)>;
 
-fn handle(session: &Session, op: &str, req: &Json) -> Result<Fields, PdmError> {
+/// Parse the optional `deadline_ms` field into a cooperative budget
+/// starting now (the budget covers dispatch, not network transit).
+fn request_deadline(req: &Json) -> Result<Option<Deadline>, PdmError> {
+    match req.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => Ok(Some(Deadline::in_ms(*n as u64))),
+        Some(other) => Err(PdmError::Protocol(format!(
+            "deadline_ms must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+fn handle(
+    session: &Session,
+    op: &str,
+    req: &Json,
+    deadline: Option<Deadline>,
+) -> Result<Fields, PdmError> {
     match op {
         "plan" => op_plan(session, req),
         "instantiate" => op_instantiate(session, req),
-        "run" => op_run(session, req),
+        "run" => op_run(session, req, deadline),
         "metrics" => Ok(vec![(
             "text".into(),
             Json::Str(crate::metrics::render_metrics(
@@ -331,7 +382,7 @@ fn op_instantiate(session: &Session, req: &Json) -> Result<Fields, PdmError> {
     Ok(fields)
 }
 
-fn op_run(session: &Session, req: &Json) -> Result<Fields, PdmError> {
+fn op_run(session: &Session, req: &Json, deadline: Option<Deadline>) -> Result<Fields, PdmError> {
     let template = resolve_template(session, req)?;
     let values = param_values(req)?;
     let refs: Vec<(&str, i64)> = values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
@@ -344,7 +395,7 @@ fn op_run(session: &Session, req: &Json) -> Result<Fields, PdmError> {
             )))
         }
     };
-    let outcome = session.run_template(&template, &refs, seed)?;
+    let outcome = session.run_template_within(&template, &refs, seed, deadline)?;
     let mut fields = template_fields(&template);
     fields.push(("iterations".into(), Json::Num(outcome.iterations as f64)));
     fields.push(("checksum".into(), Json::Num(outcome.checksum as f64)));
@@ -479,5 +530,46 @@ mod tests {
         assert!(!resp.ok);
         let body = crate::json::parse(&resp.body).unwrap();
         assert_eq!(body.get_str("kind"), Some("unknown_shape"));
+    }
+
+    #[test]
+    fn deadline_ms_is_honored_and_validated() {
+        let session = Session::builder().cache_capacity(2, 8).threads(1).build();
+        // Invalid budget: typed protocol error.
+        let resp = dispatch(&session, r#"{"op":"run","deadline_ms":-5}"#);
+        assert!(!resp.ok);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_str("kind"), Some("protocol"));
+
+        // A generous budget completes normally.
+        let resp = dispatch(
+            &session,
+            r#"{"op":"run","source":"for i = 1..=N { A[i] = A[i - 1] + 1; }","params":["N"],"values":{"N":10},"deadline_ms":60000}"#,
+        );
+        assert!(resp.ok, "{}", resp.body);
+
+        // A zero budget expires before the run stage boundary.
+        let resp = dispatch(
+            &session,
+            r#"{"op":"run","source":"for i = 1..=N { A[i] = A[i - 1] + 1; }","params":["N"],"values":{"N":10},"deadline_ms":0}"#,
+        );
+        assert!(!resp.ok, "{}", resp.body);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_str("kind"), Some("deadline_exceeded"));
+        assert_eq!(
+            session
+                .metrics()
+                .deadline_exceeded
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn error_body_renders_overloaded() {
+        let body = error_body("", &PdmError::Overloaded);
+        let parsed = crate::json::parse(&body).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get_str("kind"), Some("overloaded"));
     }
 }

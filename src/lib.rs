@@ -136,7 +136,10 @@ pub use pdm_poly as poly;
 pub use pdm_runtime as runtime;
 pub use pdm_service as service;
 
-pub use pdm_service::{PdmError, PlanServer, RunOutcome, ServiceClient, Session, SessionBuilder};
+pub use pdm_service::{
+    ClientBuilder, Deadline, Faults, PdmError, PlanServer, RunOutcome, ServiceClient, Session,
+    SessionBuilder,
+};
 
 /// Convenient glob-import surface for examples and quick scripts.
 ///

@@ -32,12 +32,28 @@
 //! the pending-job count hits zero; the count is decremented only
 //! *after* a job finishes (even by panic), so no worker can exit while
 //! a running job might still spawn.
+//!
+//! Panic isolation: every job runs under `catch_unwind`, so one
+//! panicking job can never tear down another worker's thread or wedge
+//! the region. What happens to the payload depends on how the region
+//! was opened: [`scope`] / [`scope_with`] (and `par_iter` regions)
+//! re-raise the *first* payload on the region's caller after every
+//! other job has finished — the region's result is poisoned, the rest
+//! of the process is not — while [`scope_with_sink`] hands each payload
+//! to a caller-supplied sink and keeps serving (the mode a long-running
+//! server wants: a panicking connection handler becomes a counter, not
+//! an outage). [`last_region_panics`] reports how many jobs panicked in
+//! the most recent region, next to [`last_region_threads`] and
+//! [`last_region_steals`].
 
 pub mod deque;
 
 use deque::JobDeque;
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 thread_local! {
     /// 0 = "use the machine default".
@@ -50,6 +66,9 @@ thread_local! {
     /// Successful cross-deque steals in the most recent region opened
     /// from this thread.
     static LAST_REGION_STEALS: Cell<usize> = const { Cell::new(0) };
+    /// Jobs that panicked in the most recent region opened from this
+    /// thread.
+    static LAST_REGION_PANICS: Cell<usize> = const { Cell::new(0) };
 }
 
 fn machine_threads() -> usize {
@@ -97,6 +116,37 @@ fn note_region_steals(n: usize) {
     LAST_REGION_STEALS.with(|c| c.set(n));
 }
 
+/// Number of jobs that panicked in the most recent parallel region
+/// opened from this thread. Zero on a healthy region. For a plain
+/// [`scope`] / [`scope_with`] region this is observable only by a sink
+/// wrapped around the call — the first payload re-raises on the caller
+/// after the region drains — but a [`scope_with_sink`] region returns
+/// normally and leaves the count here for the caller to read.
+pub fn last_region_panics() -> usize {
+    LAST_REGION_PANICS.with(|c| c.get())
+}
+
+fn note_region_panics(n: usize) {
+    LAST_REGION_PANICS.with(|c| c.set(n));
+}
+
+/// Best-effort text of a panic payload (`&str` / `String` payloads —
+/// what `panic!` produces — or a placeholder).
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A panic payload as `catch_unwind` delivers it.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+type Sink<'env> = Box<dyn Fn(PanicPayload) + Send + Sync + 'env>;
+
 /// One parallel region: per-worker job deques plus the pending-job
 /// count that decides termination.
 pub struct Scope<'env> {
@@ -107,6 +157,13 @@ pub struct Scope<'env> {
     next: AtomicUsize,
     /// Successful cross-deque steals in this region.
     steals: AtomicUsize,
+    /// Jobs that panicked in this region.
+    panics: AtomicUsize,
+    /// Where panic payloads go ([`scope_with_sink`]); `None` means the
+    /// first payload is re-raised on the region caller after the drain.
+    sink: Option<Sink<'env>>,
+    /// First caught payload, held for the re-raise when no sink is set.
+    first_panic: Mutex<Option<PanicPayload>>,
 }
 
 type Job<'env> = Box<dyn FnOnce(&Scope<'env>) + Send + 'env>;
@@ -131,12 +188,15 @@ impl Drop for PendingGuard<'_> {
 }
 
 impl<'env> Scope<'env> {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, sink: Option<Sink<'env>>) -> Self {
         Scope {
             deques: (0..workers).map(|_| JobDeque::new()).collect(),
             pending: AtomicUsize::new(0),
             next: AtomicUsize::new(0),
             steals: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
+            sink,
+            first_panic: Mutex::new(None),
         }
     }
 
@@ -182,7 +242,22 @@ impl<'env> Scope<'env> {
         loop {
             if let Some(job) = self.find_job(w) {
                 let _done = PendingGuard(&self.pending);
-                job(self);
+                // Isolate the job: a panic must neither unwind this
+                // worker thread (tearing down the region) nor skip the
+                // pending-count decrement.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(self))) {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    match &self.sink {
+                        Some(sink) => sink(payload),
+                        None => {
+                            let mut first =
+                                self.first_panic.lock().unwrap_or_else(|p| p.into_inner());
+                            if first.is_none() {
+                                *first = Some(payload);
+                            }
+                        }
+                    }
+                }
             } else if self.pending.load(Ordering::Acquire) == 0 {
                 break;
             } else {
@@ -202,13 +277,40 @@ pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
 
 /// [`scope`] with an explicit worker count. The calling thread works
 /// too (as worker 0), so `threads` is the region's total concurrency.
+///
+/// A panicking job poisons only this region: every other job still
+/// runs, and the first payload is re-raised here (on the caller) once
+/// the region has drained.
 pub fn scope_with<'env, R>(threads: usize, f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    scope_impl(threads, None, f)
+}
+
+/// [`scope_with`] for callers that must outlive their jobs' panics: the
+/// region never re-raises — every caught payload is handed to `sink`
+/// (on whichever worker caught it), the region keeps draining, and the
+/// call returns normally. Read [`last_region_panics`] afterwards. This
+/// is the mode a server wants for connection-handler jobs: one bad
+/// request must not stop the accept loop.
+pub fn scope_with_sink<'env, R>(
+    threads: usize,
+    sink: impl Fn(PanicPayload) + Send + Sync + 'env,
+    f: impl FnOnce(&Scope<'env>) -> R,
+) -> R {
+    scope_impl(threads, Some(Box::new(sink)), f)
+}
+
+fn scope_impl<'env, R>(
+    threads: usize,
+    sink: Option<Sink<'env>>,
+    f: impl FnOnce(&Scope<'env>) -> R,
+) -> R {
     let workers = threads.max(1);
-    let sc = Scope::new(workers);
+    let sc = Scope::new(workers, sink);
     let out = f(&sc);
     if sc.pending.load(Ordering::Acquire) == 0 {
         note_region_threads(1);
         note_region_steals(0);
+        note_region_panics(0);
         return out;
     }
     note_region_threads(workers);
@@ -224,6 +326,17 @@ pub fn scope_with<'env, R>(threads: usize, f: impl FnOnce(&Scope<'env>) -> R) ->
         });
     }
     note_region_steals(sc.steals.load(Ordering::Relaxed));
+    note_region_panics(sc.panics.load(Ordering::Relaxed));
+    // No sink: the region's caller owns the failure. Re-raise the first
+    // payload now that every job has finished (and the gauges are set).
+    if let Some(payload) = sc
+        .first_panic
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .take()
+    {
+        resume_unwind(payload);
+    }
     out
 }
 
@@ -305,7 +418,10 @@ pub mod iter {
     //! Parallel iterator subset: `par_iter().map(f).collect()`, executed
     //! on the work-stealing [`crate::scope`].
 
-    use super::{current_num_threads, note_region_steals, note_region_threads, scope_with};
+    use super::{
+        current_num_threads, note_region_panics, note_region_steals, note_region_threads,
+        scope_with,
+    };
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
 
@@ -418,6 +534,7 @@ pub mod iter {
         if threads <= 1 || items.len() <= 1 {
             note_region_threads(1);
             note_region_steals(0);
+            note_region_panics(0);
             return items.iter().map(f).collect();
         }
         let blocks = (threads * BLOCKS_PER_WORKER).min(items.len());
@@ -456,6 +573,7 @@ pub mod iter {
         if threads <= 1 || items.len() <= 1 {
             note_region_threads(1);
             note_region_steals(0);
+            note_region_panics(0);
             // `collect` into `Result` stops at the first `Err`.
             return items.iter().map(f).collect();
         }
@@ -667,6 +785,79 @@ mod tests {
         });
         assert_eq!(last_region_threads(), 1);
         assert_eq!(last_region_steals(), 0);
+    }
+
+    #[test]
+    fn sink_scope_survives_panicking_jobs() {
+        let ran = AtomicUsize::new(0);
+        let caught = std::sync::Mutex::new(Vec::new());
+        scope_with_sink(
+            3,
+            |payload| caught.lock().unwrap().push(panic_message(&*payload)),
+            |sc| {
+                for i in 0..20 {
+                    let ran = &ran;
+                    sc.spawn(move |_| {
+                        if i % 5 == 0 {
+                            panic!("boom {i}");
+                        }
+                        ran.fetch_add(1, AtOrd::Relaxed);
+                    });
+                }
+            },
+        );
+        // Every non-panicking job still ran; every panic was delivered.
+        assert_eq!(ran.load(AtOrd::Relaxed), 16);
+        assert_eq!(last_region_panics(), 4);
+        let mut msgs = caught.into_inner().unwrap();
+        msgs.sort();
+        assert_eq!(msgs, ["boom 0", "boom 10", "boom 15", "boom 5"]);
+
+        // A healthy region resets the gauge.
+        scope_with_sink(2, |_| {}, |sc| sc.spawn(|_| {}));
+        assert_eq!(last_region_panics(), 0);
+    }
+
+    #[test]
+    fn plain_scope_re_raises_after_draining() {
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope_with(2, |sc| {
+                for i in 0..8 {
+                    let ran = &ran;
+                    sc.spawn(move |_| {
+                        if i == 3 {
+                            panic!("one bad job");
+                        }
+                        ran.fetch_add(1, AtOrd::Relaxed);
+                    });
+                }
+            })
+        }));
+        let payload = result.expect_err("region must re-raise");
+        assert_eq!(panic_message(&*payload), "one bad job");
+        // The panic poisoned only the region result — the other jobs
+        // completed before the re-raise.
+        assert_eq!(ran.load(AtOrd::Relaxed), 7);
+        assert_eq!(last_region_panics(), 1);
+    }
+
+    #[test]
+    fn par_iter_panic_poisons_only_its_region() {
+        let v: Vec<i64> = (0..256).collect();
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            let _: Vec<i64> = pool.install(|| {
+                v.par_iter()
+                    .map(|&x| if x == 100 { panic!("elem {x}") } else { x })
+                    .collect()
+            });
+        }));
+        assert!(poisoned.is_err());
+        // The executor is fully usable afterwards.
+        let sq: Vec<i64> = v.par_iter().map(|x| x * x).collect();
+        assert_eq!(sq.len(), 256);
+        assert_eq!(last_region_panics(), 0);
     }
 
     #[test]
