@@ -1,7 +1,7 @@
 //! CI perf-regression gate: re-measure the `BENCH_runtime.json`,
 //! `BENCH_fm.json`, `BENCH_groups.json`, `BENCH_template.json`,
 //! `BENCH_imperfect.json`, `BENCH_scaling.json`, `BENCH_service.json`,
-//! and `BENCH_faults.json` workloads and fail
+//! `BENCH_faults.json`, and `BENCH_inspector.json` workloads and fail
 //! when a gated metric drops below the committed
 //! snapshot by more than its tolerance (25% for deterministic count
 //! ratios, 40% for timing-based speedups — see `pdm_bench::perf`).
@@ -122,6 +122,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let committed_inspector = match committed_metrics("BENCH_inspector.json") {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("bench_check: re-measuring runtime throughput...");
     let runtime_fresh = perf::runtime_json(&perf::runtime_cases());
@@ -140,6 +147,8 @@ fn main() -> ExitCode {
     let service_fresh = perf::service_json(&perf::service_cases());
     println!("bench_check: re-measuring the fault-hardening storms...");
     let faults_fresh = perf::faults_json(&perf::faults_cases());
+    println!("bench_check: re-measuring the inspector verdicts...");
+    let inspector_fresh = perf::inspector_json(&perf::inspector_cases());
 
     let mut regressions = Vec::new();
     for (label, committed, fresh) in [
@@ -159,6 +168,11 @@ fn main() -> ExitCode {
         ("BENCH_scaling", &committed_scaling, scaling_fresh.as_str()),
         ("BENCH_service", &committed_service, service_fresh.as_str()),
         ("BENCH_faults", &committed_faults, faults_fresh.as_str()),
+        (
+            "BENCH_inspector",
+            &committed_inspector,
+            inspector_fresh.as_str(),
+        ),
     ] {
         match check(label, committed, fresh, strict) {
             Ok(mut r) => regressions.append(&mut r),
@@ -192,7 +206,7 @@ fn main() -> ExitCode {
         eprintln!(
             "(intentional? regenerate the snapshots with bench_runtime / bench_fm / \
              bench_groups / bench_template / bench_imperfect / bench_scaling / \
-             bench_service / bench_faults)"
+             bench_service / bench_faults / bench_inspector)"
         );
         ExitCode::FAILURE
     }

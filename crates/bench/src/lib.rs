@@ -22,7 +22,9 @@
 //! | `bench_imperfect` | writes `BENCH_imperfect.json` (imperfect-nest staged pipelines) |
 //! | `bench_scaling` | writes `BENCH_scaling.json` (work-stealing thread scaling, stealing vs. contiguous split) |
 //! | `bench_service` | writes `BENCH_service.json` (plan-serving storm: zipf-mixed requests over TCP) |
-//! | `bench_check` | re-measures all seven and fails on regression of gated metrics |
+//! | `bench_faults` | writes `BENCH_faults.json` (fault-hardening overhead + resilience storms) |
+//! | `bench_inspector` | writes `BENCH_inspector.json` (inspector audit cost, verdict-picked executors) |
+//! | `bench_check` | re-measures every snapshot and fails on regression of gated metrics |
 //!
 //! Criterion benches (`cargo bench -p pdm-bench`) measure the quantitative
 //! side: analysis cost, transformation scaling, and the speedup of the

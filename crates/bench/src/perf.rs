@@ -1740,6 +1740,282 @@ pub fn faults_json(cases: &[FaultsCase]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Inspector/executor speculation: audit cost vs. replan, and the
+// executor each verdict picks.
+// ---------------------------------------------------------------------
+
+/// Parametric paper41: every first subscript coordinate shifted by the
+/// named parameter `K`, so the concrete dependence structure at any
+/// valuation is exactly paper41's — the hull plan certifies for every
+/// `K` and the speculative executor is the plain parallel one.
+pub const INSPECTOR_CERTIFIED_SRC: &str = "for i1 = 0..=199 { for i2 = 0..=199 {
+   A[5*i1 + i2 + K, 7*i1 + 2*i2] = A[i1 + i2 + 4 + K, i1 + 2*i2 + 6] + 1;
+ } }";
+
+/// Uniform row shift: at `K = 1` each iteration writes the next row, so
+/// the hull plan's single-iteration groups chain into row stages — the
+/// audit demotes to the refined (staged) executor.
+pub const INSPECTOR_REFINED_SRC: &str = "for i1 = 0..=149 { for i2 = 0..=149 {
+   A[i1 + K, i2] = A[i1, i2] + 1;
+ } }";
+
+/// Parity-mixing shift: at `K = 1` the write walks one hull partition
+/// while the read trails the other, interleaved, so no stage order over
+/// the groups exists — the audit demotes all the way to sequential.
+pub const INSPECTOR_REJECTED_SRC: &str = "for i = 0..=9999 { A[i + K] = A[i - 2] + 1; }";
+
+/// Runs per steady-state batch when timing the verdict-cached session
+/// path against the uninspected one.
+pub const INSPECTOR_BATCH: usize = 16;
+
+/// Steady-state session throughput with the inspector on the path
+/// (verdict served from the [`pdm_runtime::sharded::VerdictCache`])
+/// versus the same concrete nest with no inspection at all.
+pub struct InspectorSteadyState {
+    /// Session runs per timed batch.
+    pub batch: usize,
+    /// Seconds per batch through the parametric (inspected) template.
+    pub t_inspected: f64,
+    /// Seconds per batch through the concrete (uninspected) nest.
+    pub t_uninspected: f64,
+}
+
+impl InspectorSteadyState {
+    /// Inspected over uninspected throughput, clamped to 1.0 for the
+    /// same reason as [`FaultsCase::hardened_overhead`]'s snapshot: a
+    /// lucky inspected leg must not tighten the committed gate.
+    pub fn audit_overhead(&self) -> f64 {
+        (self.t_uninspected / self.t_inspected).min(1.0)
+    }
+}
+
+/// One inspector case: a parametric nest planned on its hull, audited
+/// at a concrete valuation, and executed by whatever the verdict picks.
+pub struct InspectorCase {
+    /// Case label (stable; the JSON metric path).
+    pub name: &'static str,
+    /// The audit verdict at this case's valuation.
+    pub verdict: &'static str,
+    /// Iterations per full execution.
+    pub iterations: u64,
+    /// One audit of the concrete access lattice, seconds.
+    pub audit: f64,
+    /// Planning the concrete nest from scratch (the no-inspector
+    /// alternative: replan per valuation), seconds.
+    pub replan: f64,
+    /// Forced-sequential execution, seconds.
+    pub t_seq: f64,
+    /// Execution under the verdict-picked executor, seconds.
+    pub t_verdict: f64,
+    /// Rayon threads available to the parallel executors.
+    pub threads: usize,
+    /// Steady-state session comparison (certified case only).
+    pub steady: Option<InspectorSteadyState>,
+}
+
+impl InspectorCase {
+    /// Forced-sequential (interpreted reference) time over
+    /// verdict-executor time — the win the speculation exists to
+    /// deliver when the audit certifies. Without certification a
+    /// parametric nest must assume the worst and take the sequential
+    /// fallback; a certified audit unlocks the compiled parallel
+    /// engine.
+    pub fn certified_speedup(&self) -> f64 {
+        self.t_seq / self.t_verdict
+    }
+}
+
+fn run_inspector_case(
+    name: &'static str,
+    expected: &'static str,
+    src: &str,
+    k: i64,
+    steady: bool,
+) -> InspectorCase {
+    use pdm_core::template::plan_template;
+    use pdm_loopir::parse::parse_loop_symbolic;
+    use pdm_runtime::inspector::{audit, run_with_verdict};
+
+    let shape = parse_loop_symbolic(src, &["K"]).expect("parse inspector shape");
+    let template = plan_template(&shape).expect("hull plan");
+    assert!(template.requires_inspection(), "{name}: not parametric");
+    let vals = [("K", k)];
+    let plan = template.instantiate(&vals).expect("instantiate plan");
+    let nest = template.instantiate_nest(&vals).expect("instantiate nest");
+
+    let verdict = audit(&nest, &plan).expect("audit");
+    assert_eq!(
+        verdict.kind(),
+        expected,
+        "{name}: the workload no longer produces its designed verdict"
+    );
+
+    let audit_t = best(FM_REPS, || audit(&nest, &plan).unwrap());
+    let replan_t = best(FM_REPS, || pdm_core::parallelize(&nest).unwrap());
+
+    let mut mem = Memory::for_nest(&nest).expect("alloc");
+    mem.init_deterministic(1);
+    let iterations = run_with_verdict(&nest, &plan, &mem, &verdict).expect("verdict run");
+    let t_seq = best(RUNTIME_REPS, || {
+        pdm_runtime::run_sequential(&nest, &mem).unwrap()
+    });
+    // Time the executor the *session* dispatches on this verdict: a
+    // certified audit unlocks the compiled parallel engine, a refined
+    // one the staged interpreter, a rejected one the interpreted
+    // sequential reference (exactly the forced-sequential baseline).
+    let t_verdict = if verdict.kind() == "certified" {
+        let cplan = CompiledPlan::compile(&nest, &plan, &mem).expect("compile plan");
+        best(RUNTIME_REPS, || cplan.run_parallel(&mem).unwrap())
+    } else {
+        best(RUNTIME_REPS, || {
+            run_with_verdict(&nest, &plan, &mem, &verdict).unwrap()
+        })
+    };
+
+    let steady = steady.then(|| {
+        use pdm_service::Session;
+        let session = Session::builder().cache_capacity(2, 4).threads(1).build();
+        // Warm both paths: plan caches filled, the one audit taken.
+        session.run(&shape, &vals, 1).expect("inspected warm-up");
+        session.run(&nest, &[], 1).expect("uninspected warm-up");
+        let t_inspected = best(RUNTIME_REPS, || {
+            for _ in 0..INSPECTOR_BATCH {
+                session.run(&shape, &vals, 1).unwrap();
+            }
+        });
+        let t_uninspected = best(RUNTIME_REPS, || {
+            for _ in 0..INSPECTOR_BATCH {
+                session.run(&nest, &[], 1).unwrap();
+            }
+        });
+        InspectorSteadyState {
+            batch: INSPECTOR_BATCH,
+            t_inspected,
+            t_uninspected,
+        }
+    });
+
+    InspectorCase {
+        name,
+        verdict: verdict.kind(),
+        iterations,
+        audit: audit_t,
+        replan: replan_t,
+        t_seq,
+        t_verdict,
+        threads: rayon::current_num_threads(),
+        steady,
+    }
+}
+
+/// Measure the three verdict-shaped workloads, printing one summary
+/// line per case.
+pub fn inspector_cases() -> Vec<InspectorCase> {
+    let cases = vec![
+        run_inspector_case(
+            "certified_paper41",
+            "certified",
+            INSPECTOR_CERTIFIED_SRC,
+            3,
+            true,
+        ),
+        run_inspector_case(
+            "refined_rowshift",
+            "refined",
+            INSPECTOR_REFINED_SRC,
+            1,
+            false,
+        ),
+        run_inspector_case(
+            "rejected_parity",
+            "rejected",
+            INSPECTOR_REJECTED_SRC,
+            1,
+            false,
+        ),
+    ];
+    for c in &cases {
+        print!(
+            "{:<18} {:>9} verdict {:<9}  audit {:>7.1}us vs replan {:>7.1}us   seq {:>6.2}ms, picked {:>6.2}ms ({:.2}x, {} threads)",
+            c.name,
+            c.iterations,
+            c.verdict,
+            c.audit * 1e6,
+            c.replan * 1e6,
+            c.t_seq * 1e3,
+            c.t_verdict * 1e3,
+            c.certified_speedup(),
+            c.threads,
+        );
+        if let Some(s) = &c.steady {
+            print!(
+                "   steady x{}: inspected {:.2}ms vs uninspected {:.2}ms (overhead {:.3})",
+                s.batch,
+                s.t_inspected * 1e3,
+                s.t_uninspected * 1e3,
+                s.audit_overhead(),
+            );
+        }
+        println!();
+    }
+    cases
+}
+
+/// Serialize inspector cases into the committed `BENCH_inspector.json`
+/// shape. Gated: `inspector_certified_speedup` (forced-sequential over
+/// certified-parallel, both timed on the same host in the same run) and
+/// `inspector_audit_overhead` (verdict-cached inspected over
+/// uninspected session throughput, clamped to 1.0 — steady-state
+/// inspection must stay free). The audit-vs-replan timings and the
+/// demoted executors' timings ride along as context.
+pub fn inspector_json(cases: &[InspectorCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"inspector\",\n");
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    out.push_str(&format!(
+        "  \"machine_threads\": {machine},\n  \"cases\": [\n"
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"iterations\": {}, \
+             \"threads\": {}, \"audit_us\": {:.2}, \"replan_us\": {:.2}, \
+             \"seq_ms\": {:.3}, \"run_ms\": {:.3}",
+            c.name,
+            c.verdict,
+            c.iterations,
+            c.threads,
+            c.audit * 1e6,
+            c.replan * 1e6,
+            c.t_seq * 1e3,
+            c.t_verdict * 1e3,
+        ));
+        if c.verdict == "certified" {
+            out.push_str(&format!(
+                ", \"inspector_certified_speedup\": {:.2}",
+                c.certified_speedup()
+            ));
+        }
+        if let Some(s) = &c.steady {
+            out.push_str(&format!(
+                ", \"steady_batch\": {}, \"inspected_ms\": {:.3}, \"uninspected_ms\": {:.3}, \
+                 \"inspector_audit_overhead\": {:.4}",
+                s.batch,
+                s.t_inspected * 1e3,
+                s.t_uninspected * 1e3,
+                s.audit_overhead(),
+            ));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
 // Regression comparison.
 // ---------------------------------------------------------------------
 
@@ -1901,6 +2177,52 @@ mod tests {
             .unwrap()
             .metrics();
         assert!(metrics.iter().any(|(k, v)| k == key && *v == 1.0));
+    }
+
+    #[test]
+    fn inspector_case_measures_and_exposes_gated_metrics() {
+        let c = run_inspector_case(
+            "t",
+            "certified",
+            "for i = 0..=19 { A[i + K] = A[i] + 1; }",
+            0,
+            true,
+        );
+        assert_eq!(c.verdict, "certified");
+        assert_eq!(c.iterations, 20);
+        assert!(c.audit > 0.0 && c.replan > 0.0 && c.t_seq > 0.0 && c.t_verdict > 0.0);
+        let json = inspector_json(std::slice::from_ref(&c));
+        let metrics = crate::json::parse(&json).unwrap().metrics();
+        for key in [
+            "cases.t.inspector_certified_speedup",
+            "cases.t.inspector_audit_overhead",
+        ] {
+            assert!(
+                metrics.iter().any(|(k, v)| k == key && *v > 0.0),
+                "{key} missing: {metrics:?}"
+            );
+            assert!(is_gated(key, false), "{key} must be gated");
+        }
+        // The overhead clamp: the committed ratio never exceeds 1.0.
+        let (_, overhead) = metrics
+            .iter()
+            .find(|(k, _)| k == "cases.t.inspector_audit_overhead")
+            .unwrap();
+        assert!(*overhead <= 1.0);
+
+        // The demoted verdicts keep their designed shapes.
+        let c = run_inspector_case(
+            "r",
+            "refined",
+            "for i1 = 0..=7 { for i2 = 0..=7 { A[i1 + K, i2] = A[i1, i2] + 1; } }",
+            1,
+            false,
+        );
+        assert!(c.steady.is_none());
+        let metrics = crate::json::parse(&inspector_json(&[c])).unwrap().metrics();
+        assert!(!metrics
+            .iter()
+            .any(|(k, _)| k.contains("inspector_certified_speedup")));
     }
 
     #[test]

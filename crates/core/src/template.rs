@@ -175,6 +175,15 @@ impl PlanTemplate {
         &self.bounds
     }
 
+    /// Was the template planned **speculatively** — do any array
+    /// subscripts read a symbolic parameter? The static analysis saw
+    /// only the parameter-free hull of those accesses, so every
+    /// instantiation must be audited by the runtime inspector before
+    /// the parallel plan may run (`pdm_runtime::inspector`).
+    pub fn requires_inspection(&self) -> bool {
+        self.nest.has_parametric_accesses()
+    }
+
     /// Order a `(name, value)` valuation into bound-column order,
     /// validating exactly like [`LoopNest::substitute`]: every parameter
     /// must be bound (else [`IrError::UnboundParameter`]), unknown names

@@ -13,16 +13,30 @@ pub struct ArrayId(pub usize);
 /// Row-vector convention, matching the paper's eq. (2.3): an iteration
 /// `i ∈ Zⁿ` accesses element `i·A + b` of an `m`-dimensional array, where
 /// `A` is `n × m` (one *column* per subscript position) and `b ∈ Zᵐ`.
+///
+/// A **parametric** access additionally carries `params`, a `p × m`
+/// coefficient matrix over the nest's symbolic parameters: the full map
+/// is `i·A + q·P + b` for a parameter valuation `q ∈ Zᵖ`. Parametric
+/// accesses cannot be evaluated directly — substitute the nest first
+/// ([`crate::nest::LoopNest::substitute`] folds `q·P` into the offset) —
+/// and static planning sees only the parameter-free hull `(A, b)`;
+/// the runtime inspector audits each concrete valuation. Accesses keep
+/// `params` **canonically empty** (zero rows) when every parameter
+/// coefficient is zero, so non-parametric nests hash and compare
+/// exactly as before.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AffineAccess {
     /// Coefficient matrix, `n × m`.
     pub matrix: IMat,
     /// Constant offsets, length `m`.
     pub offset: IVec,
+    /// Parameter coefficient matrix, `p × m` — or `0 × m` for the
+    /// common parameter-free case.
+    pub params: IMat,
 }
 
 impl AffineAccess {
-    /// Build and validate shape consistency.
+    /// Build and validate shape consistency (parameter-free).
     pub fn new(matrix: IMat, offset: IVec) -> Result<Self> {
         if matrix.cols() != offset.dim() {
             return Err(IrError::Invalid(format!(
@@ -31,7 +45,31 @@ impl AffineAccess {
                 offset.dim()
             )));
         }
-        Ok(AffineAccess { matrix, offset })
+        let cols = matrix.cols();
+        Ok(AffineAccess {
+            matrix,
+            offset,
+            params: IMat::zeros(0, cols),
+        })
+    }
+
+    /// Build a parametric access `i·A + q·P + b`. A `params` matrix
+    /// that is all zeros is canonicalized away (dropped to zero rows),
+    /// so structurally identical accesses always compare equal.
+    pub fn with_params(matrix: IMat, params: IMat, offset: IVec) -> Result<Self> {
+        let mut access = AffineAccess::new(matrix, offset)?;
+        if params.cols() != access.matrix.cols() {
+            return Err(IrError::Invalid(format!(
+                "access params matrix has {} subscript columns but matrix has {}",
+                params.cols(),
+                access.matrix.cols()
+            )));
+        }
+        let nonzero = (0..params.rows()).any(|r| (0..params.cols()).any(|c| params.get(r, c) != 0));
+        if nonzero {
+            access.params = params;
+        }
+        Ok(access)
     }
 
     /// Identity access `A[i1, …, in]`.
@@ -39,6 +77,7 @@ impl AffineAccess {
         AffineAccess {
             matrix: IMat::identity(n),
             offset: IVec::zeros(n),
+            params: IMat::zeros(0, n),
         }
     }
 
@@ -52,9 +91,46 @@ impl AffineAccess {
         self.matrix.cols()
     }
 
-    /// Evaluate the subscripts at iteration `i`.
+    /// Does any subscript read a symbolic parameter?
+    pub fn is_parametric(&self) -> bool {
+        self.params.rows() > 0
+    }
+
+    /// Evaluate the subscripts at iteration `i`. Parametric accesses
+    /// refuse: their subscripts are undefined until the enclosing nest
+    /// is substituted at a concrete valuation.
     pub fn eval(&self, i: &IVec) -> Result<IVec> {
+        if self.is_parametric() {
+            return Err(IrError::Invalid(
+                "cannot evaluate a parametric access; substitute the nest first".into(),
+            ));
+        }
         Ok(self.matrix.vec_mul(i)?.add(&self.offset)?)
+    }
+
+    /// The access with `q·P` folded into the offset at valuation `q`
+    /// (length `p`, ordered as the nest's parameters) — the concrete
+    /// access [`crate::nest::LoopNest::substitute`] installs.
+    pub fn substitute_params(&self, values: &IVec) -> Result<Self> {
+        if !self.is_parametric() {
+            return Ok(self.clone());
+        }
+        if values.dim() < self.params.rows() {
+            return Err(IrError::Invalid(format!(
+                "access reads {} parameters but valuation has {}",
+                self.params.rows(),
+                values.dim()
+            )));
+        }
+        let mut offset = self.offset.clone();
+        for c in 0..self.params.cols() {
+            let mut extra = 0i64;
+            for r in 0..self.params.rows() {
+                extra += self.params.get(r, c) * values[r];
+            }
+            offset[c] += extra;
+        }
+        AffineAccess::new(self.matrix.clone(), offset)
     }
 
     /// Is the access *uniform enough* for a constant-distance method —

@@ -160,6 +160,83 @@ pub fn random_symbolic_nest(seed: u64, cfg: &GenConfig, params: &[&str]) -> Resu
     )
 }
 
+/// Generate a random nest with **parametric subscripts**: concrete
+/// rectangular bounds, but subscripts mix index terms with `c·p` terms
+/// over the named parameters — the inspector/executor shapes. Static
+/// planning sees only the parameter-free hull `(A, b)`; the runtime
+/// inspector audits each concrete valuation
+/// ([`LoopNest::substitute`] folds the parameter terms into offsets).
+/// At least one access per nest is genuinely parametric.
+pub fn random_inspector_nest(seed: u64, cfg: &GenConfig, params: &[&str]) -> Result<LoopNest> {
+    assert!(!params.is_empty(), "need at least one parameter name");
+    let mut rng = Rng::new(seed ^ 0x5851_F42D_4C95_7F2D);
+    let n = cfg.depth;
+    let p = params.len();
+    let width = n + p;
+    let names: Vec<String> = (1..=n).map(|k| format!("i{k}")).collect();
+    let lower = vec![AffineExpr::constant(width, 0); n];
+    let upper = vec![AffineExpr::constant(width, cfg.extent.max(1)); n];
+    let arrays: Vec<ArrayDecl> = (0..cfg.arrays.max(1))
+        .map(|a| ArrayDecl {
+            name: format!("A{a}"),
+            dims: n,
+        })
+        .collect();
+    let aref = |rng: &mut Rng, parametric: bool| -> Result<ArrayRef> {
+        let array = ArrayId(rng.below(arrays.len()));
+        let mut mat = IMat::zeros(n, n);
+        let mut par = IMat::zeros(p, n);
+        let mut off = IVec::zeros(n);
+        for d in 0..n {
+            for k in 0..n {
+                mat.set(k, d, rng.pm(cfg.coeff));
+            }
+            if parametric {
+                // Small parameter coefficients keep the touched region
+                // near the hull for moderate valuations; zeros are fine,
+                // a nonzero entry is forced below.
+                for k in 0..p {
+                    par.set(k, d, rng.pm(1));
+                }
+            }
+            off[d] = rng.pm(cfg.offset);
+        }
+        if parametric {
+            let zero = (0..p).all(|k| (0..n).all(|d| par.get(k, d) == 0));
+            if zero {
+                par.set(
+                    rng.below(p),
+                    rng.below(n),
+                    if rng.below(2) == 0 { 1 } else { -1 },
+                );
+            }
+        }
+        Ok(ArrayRef {
+            array,
+            access: AffineAccess::with_params(mat, par, off)?,
+        })
+    };
+    let mut body = Vec::new();
+    for s in 0..cfg.stmts.max(1) {
+        let lhs_parametric = s == 0 || rng.below(2) == 0;
+        let lhs = aref(&mut rng, lhs_parametric)?;
+        let read_parametric = rng.below(2) == 0;
+        let read = aref(&mut rng, read_parametric)?;
+        body.push(Statement::new(
+            lhs,
+            Expr::add(Expr::Read(read), Expr::Const(1)),
+        ));
+    }
+    LoopNest::new_symbolic(
+        names,
+        params.iter().map(|s| s.to_string()).collect(),
+        lower,
+        upper,
+        arrays,
+        body,
+    )
+}
+
 /// Generate a random **imperfect** nest: a perfect random body (as in
 /// [`random_nest`]) plus `between` statements placed at random levels
 /// before or after the nested loop, each restricted to its level's
@@ -279,6 +356,29 @@ mod tests {
         let conc = a.substitute(&[("N", 5), ("M", 4)]).unwrap();
         assert!(!conc.is_symbolic());
         conc.iterations().unwrap();
+    }
+
+    #[test]
+    fn inspector_generator_is_deterministic_and_parametric() {
+        for seed in 0..30 {
+            let cfg = GenConfig {
+                depth: 1 + (seed as usize % 2),
+                extent: 6,
+                ..GenConfig::default()
+            };
+            let a = random_inspector_nest(seed, &cfg, &["N"]).unwrap();
+            let b = random_inspector_nest(seed, &cfg, &["N"]).unwrap();
+            assert_eq!(a, b);
+            assert!(a.has_parametric_accesses(), "seed {seed} not parametric");
+            // Bounds are concrete even though the nest is symbolic.
+            for k in 0..a.depth() {
+                assert!(a.lower(k).is_constant() && a.upper(k).is_constant());
+            }
+            // Substitution folds parameters into offsets and executes.
+            let conc = a.substitute(&[("N", 2)]).unwrap();
+            assert!(!conc.has_parametric_accesses());
+            assert!(!conc.iterations().unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -31,10 +31,15 @@ pub struct ArrayDecl {
 /// bound expressions then live over `depth + params` columns — loop
 /// indices first, parameters after — and stay symbolic until
 /// [`LoopNest::substitute`] folds an integer valuation into the
-/// constants. Subscripts and body expressions are always parameter-free
-/// (the dependence analysis is bounds-independent, which is exactly what
-/// makes plan templates sound). Concrete-only APIs reject symbolic nests
-/// with [`IrError::UnboundParameter`].
+/// constants. Array **subscripts** may also read parameters (a
+/// [`crate::access::AffineAccess`] with nonzero `params` rows): the
+/// dependence structure of such a nest varies with problem size, so
+/// static planning sees only the parameter-free hull and the runtime
+/// inspector must audit each concrete valuation before running a
+/// speculative parallel plan ([`LoopNest::has_parametric_accesses`]
+/// flags this). Body *expressions* (the values computed, as opposed to
+/// the cells addressed) stay parameter-free. Concrete-only APIs reject
+/// symbolic nests with [`IrError::UnboundParameter`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopNest {
     index_names: Vec<String>,
@@ -155,6 +160,13 @@ impl LoopNest {
                         r.access.depth()
                     )));
                 }
+                let pr = r.access.params.rows();
+                if pr != 0 && pr != self.param_names.len() {
+                    return Err(IrError::Invalid(format!(
+                        "statement {si}: access reads {pr} parameters, nest has {}",
+                        self.param_names.len()
+                    )));
+                }
                 let Some(decl) = self.arrays.get(r.array.0) else {
                     return Err(IrError::Invalid(format!(
                         "statement {si}: unknown array id {}",
@@ -195,6 +207,18 @@ impl LoopNest {
         !self.param_names.is_empty()
     }
 
+    /// Does any array subscript read a symbolic parameter? Such a nest's
+    /// dependence structure changes with problem size: static planning
+    /// covers only the parameter-free hull, and a plan built from it is
+    /// **speculative** — the runtime inspector must certify each
+    /// concrete valuation before parallel execution.
+    pub fn has_parametric_accesses(&self) -> bool {
+        self.body
+            .iter()
+            .flat_map(|s| s.accesses())
+            .any(|(_, r)| r.access.is_parametric())
+    }
+
     /// Error unless the nest is concrete; names the first unbound
     /// parameter otherwise.
     fn require_concrete(&self) -> Result<()> {
@@ -220,7 +244,9 @@ impl LoopNest {
     /// parameter is an [`IrError::UnboundParameter`], an unknown name an
     /// [`IrError::Invalid`] (catching typos loudly instead of silently
     /// ignoring a binding). Cheap: one pass over the `2·depth` bound
-    /// rows; body and subscripts are shared unchanged.
+    /// rows; body and subscripts are shared unchanged unless a subscript
+    /// is itself parametric, in which case the body is rebuilt with each
+    /// access's parameter terms folded into its offsets.
     pub fn substitute(&self, params: &[(&str, i64)]) -> Result<LoopNest> {
         for (name, _) in params {
             if !self.param_names.iter().any(|p| p == name) {
@@ -251,12 +277,21 @@ impl LoopNest {
         };
         let lower = self.lower.iter().map(&fold).collect::<Result<Vec<_>>>()?;
         let upper = self.upper.iter().map(&fold).collect::<Result<Vec<_>>>()?;
+        let body = if self.has_parametric_accesses() {
+            let values = IVec::from_slice(&vals);
+            self.body
+                .iter()
+                .map(|s| substitute_stmt(s, &values))
+                .collect::<Result<Vec<_>>>()?
+        } else {
+            self.body.clone()
+        };
         LoopNest::new(
             self.index_names.clone(),
             lower,
             upper,
             self.arrays.clone(),
-            self.body.clone(),
+            body,
         )
     }
 
@@ -438,6 +473,44 @@ impl LoopNest {
     }
 }
 
+/// One statement with every parametric access folded to its concrete
+/// form at `values` (ordered as the nest's parameters).
+fn substitute_stmt(stmt: &Statement, values: &IVec) -> Result<Statement> {
+    Ok(Statement {
+        lhs: substitute_ref(&stmt.lhs, values)?,
+        rhs: substitute_body_expr(&stmt.rhs, values)?,
+        guards: stmt.guards.clone(),
+    })
+}
+
+fn substitute_ref(r: &ArrayRef, values: &IVec) -> Result<ArrayRef> {
+    Ok(ArrayRef {
+        array: r.array,
+        access: r.access.substitute_params(values)?,
+    })
+}
+
+fn substitute_body_expr(e: &crate::expr::Expr, values: &IVec) -> Result<crate::expr::Expr> {
+    use crate::expr::Expr;
+    Ok(match e {
+        Expr::Const(_) | Expr::Index(_) => e.clone(),
+        Expr::Read(r) => Expr::Read(substitute_ref(r, values)?),
+        Expr::Add(a, b) => Expr::add(
+            substitute_body_expr(a, values)?,
+            substitute_body_expr(b, values)?,
+        ),
+        Expr::Sub(a, b) => Expr::sub(
+            substitute_body_expr(a, values)?,
+            substitute_body_expr(b, values)?,
+        ),
+        Expr::Mul(a, b) => Expr::mul(
+            substitute_body_expr(a, values)?,
+            substitute_body_expr(b, values)?,
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(substitute_body_expr(a, values)?)),
+    })
+}
+
 /// FNV-1a folding over the nest structure (see
 /// [`LoopNest::structural_hash`]): deliberately hand-rolled instead of
 /// `std::hash::Hash` so the value is stable across processes, platforms,
@@ -481,6 +554,16 @@ impl Fnv {
         }
         for &o in r.access.offset.iter() {
             self.word(o as u64);
+        }
+        // Parameter coefficient rows — hashed only when present, so the
+        // hash of every pre-existing (parameter-free) shape is unchanged.
+        if r.access.params.rows() > 0 {
+            self.word(r.access.params.rows() as u64);
+            for k in 0..r.access.params.rows() {
+                for d in 0..r.access.params.cols() {
+                    self.word(r.access.params.get(k, d) as u64);
+                }
+            }
         }
     }
     fn body_expr(&mut self, e: &crate::expr::Expr) {

@@ -235,7 +235,8 @@ fn substitute_ref(r: &ArrayRef, steps: &[i64], bases: &[i64]) -> Result<ArrayRef
     }
     Ok(ArrayRef {
         array: r.array,
-        access: AffineAccess::new(mat, off)?,
+        // Parameters are not strided: their coefficients pass through.
+        access: AffineAccess::with_params(mat, r.access.params.clone(), off)?,
     })
 }
 
@@ -336,7 +337,10 @@ fn truncate_ref(r: &ArrayRef, d: usize) -> Result<ArrayRef> {
     }
     Ok(ArrayRef {
         array: r.array,
-        access: AffineAccess::new(mat, r.access.offset.clone())?,
+        // Truncation drops trailing index rows only; parameter
+        // coefficients (zero rows for the concrete nests this path
+        // handles) pass through unchanged.
+        access: AffineAccess::with_params(mat, r.access.params.clone(), r.access.offset.clone())?,
     })
 }
 

@@ -46,10 +46,13 @@
 //! **Symbolic** ([`parse_loop_symbolic`]) keeps the named parameters as
 //! live columns of the bound expressions, producing one nest *shape* that
 //! `pdm-core` plans once (`PlanTemplate`) and instantiates per size with
-//! no re-analysis — the template → instantiate flow. Parameters may
-//! appear only in loop **bounds**: the dependence analysis reads
-//! subscripts, and keeping those parameter-free is what makes a single
-//! symbolic plan valid for every instantiation.
+//! no re-analysis — the template → instantiate flow. Parameters in loop
+//! **bounds** are free: the dependence analysis never reads bounds, so
+//! one symbolic plan is valid for every instantiation. Parameters in
+//! **subscripts** (`A[i + N]`) are accepted too, but make the plan
+//! *speculative* — the dependence structure changes with the valuation,
+//! and the runtime inspector must certify each instantiation before it
+//! may run in parallel (see `pdm-runtime`'s `inspector` module).
 //!
 //! ```
 //! use pdm_loopir::parse::parse_loop_symbolic;
@@ -93,14 +96,20 @@ pub fn parse_loop_stepped(src: &str) -> Result<crate::normalize::SteppedNest> {
     parse_loop_stepped_with(src, &[])
 }
 
-/// Parse a nest keeping the named parameters **symbolic** in its loop
-/// bounds: the result is one nest *shape* ([`LoopNest::is_symbolic`])
-/// whose bound expressions carry a column per parameter, ready for
-/// template planning; lower it per problem size with
-/// [`LoopNest::substitute`]. A parameter occurring anywhere except a
-/// bound (subscript, body expression, `step` clause) is a parse error —
-/// symbolic nests keep the dependence structure size-independent by
-/// construction. `step` clauses are normalized away as usual.
+/// Parse a nest keeping the named parameters **symbolic**: the result
+/// is one nest *shape* ([`LoopNest::is_symbolic`]) whose bound
+/// expressions carry a column per parameter, ready for template
+/// planning; lower it per problem size with [`LoopNest::substitute`].
+///
+/// Parameters may appear in loop bounds **and in array subscripts**
+/// (`A[i + N]` — the access carries parameter coefficient rows,
+/// [`LoopNest::has_parametric_accesses`]). A parametric subscript makes
+/// the dependence structure size-dependent, so plans built from the
+/// shape are speculative: static planning covers only the
+/// parameter-free hull, and the runtime inspector must certify each
+/// concrete valuation before parallel execution. A parameter in a body
+/// *expression* (a computed value) or a `step` clause is still a parse
+/// error. `step` clauses are normalized away as usual.
 pub fn parse_loop_symbolic(src: &str, params: &[&str]) -> Result<LoopNest> {
     let tokens = lex(src)?;
     let mut p = Parser {
@@ -764,8 +773,9 @@ impl Parser {
     /// indices (plus, when `allow_params`, the symbolic parameter
     /// columns). `bound_level` restricts which indices may appear (only
     /// strictly-outer ones for a bound at that level; `None` = all).
-    /// Symbolic parameters outside a bound position are rejected: the
-    /// dependence analysis must stay size-independent.
+    /// Symbolic parameters outside a bound or subscript position (guard
+    /// values, `step` clauses) are rejected — those must stay
+    /// valuation-independent.
     fn lin_to_affine(
         &self,
         lf: &LinForm,
@@ -970,18 +980,29 @@ impl Parser {
             });
             self.arrays.len() - 1
         };
+        // Subscripts may read symbolic parameters: the coefficients
+        // split into index rows (the hull static planning sees) and
+        // parameter rows (folded in per valuation; audited at runtime
+        // by the inspector). `with_params` drops an all-zero parameter
+        // block, so parameter-free subscripts build the same access as
+        // before.
+        let p = self.symbolic.len();
         let mut mat = IMat::zeros(n, m);
+        let mut par = IMat::zeros(p, m);
         let mut off = IVec::zeros(m);
         for (j, lf) in subs.iter().enumerate() {
-            let ae = self.lin_to_affine(lf, n, None, false, at)?;
+            let ae = self.lin_to_affine(lf, n, None, true, at)?;
             for k in 0..n {
                 mat.set(k, j, ae.coeff(k));
+            }
+            for k in 0..p {
+                par.set(k, j, ae.coeff(n + k));
             }
             off[j] = ae.constant;
         }
         Ok(ArrayRef {
             array: ArrayId(id),
-            access: AffineAccess::new(mat, off)?,
+            access: AffineAccess::with_params(mat, par, off)?,
         })
     }
 
@@ -1124,15 +1145,40 @@ mod tests {
     }
 
     #[test]
-    fn symbolic_param_rejected_outside_bounds() {
-        // In a subscript.
-        assert!(parse_loop_symbolic("for i = 0..=9 { A[i + N] = 1; }", &["N"]).is_err());
-        // In a body expression.
+    fn symbolic_param_rejected_outside_bounds_and_subscripts() {
+        // In a body expression (a computed value, not an address).
         assert!(parse_loop_symbolic("for i = 0..=9 { A[i] = N; }", &["N"]).is_err());
         // In a step clause.
         assert!(parse_loop_symbolic("for i = 0..=9 step N { A[i] = 1; }", &["N"]).is_err());
         // Shadowing a loop index.
         assert!(parse_loop_symbolic("for N = 0..=9 { A[N] = 1; }", &["N"]).is_err());
+    }
+
+    #[test]
+    fn symbolic_param_in_subscript_parses_parametrically() {
+        let shape =
+            parse_loop_symbolic("for i = 0..=9 { A[i + 2*N] = A[i] + 1; }", &["N"]).unwrap();
+        assert!(shape.has_parametric_accesses());
+        let lhs = &shape.body()[0].lhs.access;
+        assert!(lhs.is_parametric());
+        assert_eq!(lhs.params.rows(), 1);
+        assert_eq!(lhs.params.get(0, 0), 2);
+        // Evaluation is refused until substitution makes it concrete.
+        assert!(lhs.eval(&pdm_matrix::vec::IVec::from_slice(&[3])).is_err());
+        // Substitution folds 2·N into the offset and agrees with the
+        // substituting parser.
+        for n in [0i64, 3, -1] {
+            let a = shape.substitute(&[("N", n)]).unwrap();
+            let b =
+                parse_loop_with("for i = 0..=9 { A[i + 2*N] = A[i] + 1; }", &[("N", n)]).unwrap();
+            assert_eq!(a, b, "N={n}");
+            assert!(!a.has_parametric_accesses());
+        }
+        // A parameter-free subscript still builds the canonical
+        // (zero-row) access, so old shapes hash identically.
+        let plain = parse_loop_symbolic("for i = 0..=N { A[i + 2] = A[i] + 1; }", &["N"]).unwrap();
+        assert!(!plain.has_parametric_accesses());
+        assert!(!plain.body()[0].lhs.access.is_parametric());
     }
 
     #[test]

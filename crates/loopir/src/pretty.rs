@@ -101,9 +101,14 @@ pub fn render_guards(names: &[String], guards: &[crate::stmt::IndexGuard]) -> St
 
 /// Render an array reference with real names.
 pub fn render_ref(nest: &LoopNest, r: &ArrayRef) -> String {
-    render_ref_names(nest.index_names(), nest.arrays(), r)
+    let mut names: Vec<String> = nest.index_names().to_vec();
+    names.extend(nest.param_names().iter().cloned());
+    render_ref_names(&names, nest.arrays(), r)
 }
 
+/// Render an access's subscripts: index terms (`names[..depth]`), then
+/// parameter terms (`names[depth..]`, for parametric accesses), then the
+/// constant offset.
 fn render_ref_names(names: &[String], arrays: &[crate::nest::ArrayDecl], r: &ArrayRef) -> String {
     let arr = &arrays[r.array.0].name;
     let mut out = format!("{arr}[");
@@ -126,6 +131,22 @@ fn render_ref_names(names: &[String], arrays: &[crate::nest::ArrayDecl], r: &Arr
                 let _ = write!(out, "{}*", coef.abs());
             }
             out.push_str(&names[k]);
+            first = false;
+        }
+        for k in 0..r.access.params.rows() {
+            let coef = r.access.params.get(k, c);
+            if coef == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(if coef > 0 { " + " } else { " - " });
+            } else if coef < 0 {
+                out.push('-');
+            }
+            if coef.abs() != 1 {
+                let _ = write!(out, "{}*", coef.abs());
+            }
+            out.push_str(&names[r.access.depth() + k]);
             first = false;
         }
         let b = r.access.offset[c];
@@ -211,6 +232,18 @@ mod tests {
         let text = render(&nest);
         assert!(text.contains("when j == i + 1"), "got: {text}");
         assert_eq!(parse_loop(&text).unwrap(), nest);
+    }
+
+    #[test]
+    fn parametric_subscripts_roundtrip() {
+        let src = "for i = 0..=9 { A[i + 2*N] = A[i - N] + 1; }";
+        let nest = crate::parse::parse_loop_symbolic(src, &["N"]).unwrap();
+        assert!(nest.has_parametric_accesses());
+        let text = render(&nest);
+        assert!(text.contains("A[i + 2*N]"), "got: {text}");
+        assert!(text.contains("A[i - N]"), "got: {text}");
+        let nest2 = crate::parse::parse_loop_symbolic(&text, &["N"]).unwrap();
+        assert_eq!(nest, nest2);
     }
 
     #[test]

@@ -49,6 +49,22 @@ impl fmt::Display for ArrayRef {
                 write!(f, "i{}", k + 1)?;
                 first = false;
             }
+            for k in 0..self.access.params.rows() {
+                let coef = self.access.params.get(k, c);
+                if coef == 0 {
+                    continue;
+                }
+                if !first {
+                    write!(f, "{}", if coef > 0 { " + " } else { " - " })?;
+                } else if coef < 0 {
+                    write!(f, "-")?;
+                }
+                if coef.abs() != 1 {
+                    write!(f, "{}*", coef.abs())?;
+                }
+                write!(f, "p{}", k + 1)?;
+                first = false;
+            }
             let b = self.access.offset[c];
             if first {
                 write!(f, "{b}")?;

@@ -156,9 +156,11 @@ pub fn run_parallel_checked(nest: &LoopNest, plan: &ParallelPlan, mem: &Memory) 
 /// checkers — [`run_parallel_checked`] keys units by global group id,
 /// [`run_program_parallel_checked`] by `(kernel, group)` — so the
 /// subtle first-owner/wrote-flag merge rule lives in exactly one place.
-/// Returns the conflict count and a sample description (empty when
-/// clean).
-fn detect_conflicts<'a, K: Copy + PartialEq>(
+/// It is also the **certifier** of the speculative inspector
+/// ([`crate::inspector::audit`]), which feeds it synthesized per-group
+/// logs instead of execution traces. Returns the conflict count and a
+/// sample description (empty when clean).
+pub(crate) fn detect_conflicts<'a, K: Copy + PartialEq>(
     logs: impl IntoIterator<Item = (K, &'a [LoggedAccess])>,
     describe: impl Fn(K, K, &LoggedAccess) -> String,
 ) -> (usize, String) {

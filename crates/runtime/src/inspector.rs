@@ -1,0 +1,450 @@
+//! Inspector/executor speculation for **size-dependent dependences**.
+//!
+//! A nest whose array subscripts read symbolic parameters (e.g.
+//! `A[i + K] = A[i] + 1`) has dependence distances that change with the
+//! parameter valuation — exactly the case the paper's static framework
+//! cannot decide once and for all. The planner therefore plans
+//! **speculatively** on the parameter-free *hull* of the accesses (the
+//! `i·A + b` part, ignoring `q·P`), and this module supplies the
+//! runtime half of the classic inspector/executor bargain: once per
+//! concrete valuation, *inspect* the real access pattern and decide
+//! whether the speculative parallel plan is safe to run.
+//!
+//! [`audit`] walks the concrete access lattice of the substituted nest
+//! under the planned partitioning — every group, every iteration, every
+//! access, **without executing the body** — and returns a [`Verdict`]:
+//!
+//! * [`Verdict::Certified`] — no two groups touch a common cell with a
+//!   write, and within every group the touch order of every written
+//!   cell is consistent with original program order. The parallel
+//!   executors run unchanged.
+//! * [`Verdict::Refined`] — groups conflict, but every conflict is
+//!   *directed*: for each shared cell one group's touches all precede
+//!   the other's in original order. The conflict graph is a DAG and
+//!   its longest-path layering yields **stages**; [`run_refined`] runs
+//!   stages sequentially with the groups of one stage in parallel.
+//! * [`Verdict::Rejected`] — intra-group touch order disagrees with
+//!   program order, conflicting touch ranges overlap, or the direction
+//!   graph has a cycle. The caller falls back to
+//!   [`crate::exec::run_sequential`].
+//!
+//! The cross-group certifier is [`crate::checked`]'s conflict detector
+//! (`detect_conflicts`), fed synthesized per-group access summaries —
+//! the same first-owner/wrote-flag merge rule the race checker trusts.
+//!
+//! Soundness: cross-group conflict freedom alone is **not** enough. The
+//! hull plan also fixes a *within-group* walk order (transformed lex
+//! order), and a parametric offset can redirect a dependence between
+//! two iterations of one group. [`audit`] therefore checks, per
+//! `(cell, group)`, that every write is walked after every earlier
+//! touch of that cell in original-lex terms and every read is walked
+//! after every original-lex-earlier write — the exact pairwise
+//! condition for the group walk to reproduce sequential semantics on
+//! that cell.
+//!
+//! Verdicts are cached per `(structural_hash, valuation)` in
+//! [`crate::sharded::VerdictCache`], so a service audits each valuation
+//! once and every later request dispatches straight to the certified
+//! executor.
+
+use crate::checked::{detect_conflicts, LoggedAccess};
+use crate::exec::{exec_body, groups, offset_table, walk_group, GroupSpec};
+use crate::memory::Memory;
+use crate::schedule;
+use crate::{Result, RuntimeError};
+use pdm_core::plan::ParallelPlan;
+use pdm_loopir::nest::LoopNest;
+use pdm_loopir::stmt::AccessKind;
+use pdm_matrix::vec::IVec;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+/// The inspector's decision for one `(shape, valuation)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The speculative plan is safe as-is: run the parallel executors.
+    Certified,
+    /// The plan's groups conflict, but acyclically: run `stages`
+    /// sequentially (each inner `Vec` holds global group indices that
+    /// may run concurrently) via [`run_refined`].
+    Refined {
+        /// Longest-path layers of the group-dependence DAG, in
+        /// execution order. Every group index appears exactly once.
+        stages: Vec<Vec<u64>>,
+    },
+    /// Speculation failed; the caller must run sequentially.
+    Rejected {
+        /// Human-readable cause (first violation found).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Stable lowercase tag (`certified` / `refined` / `rejected`) —
+    /// the wire-protocol and metrics label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Verdict::Certified => "certified",
+            Verdict::Refined { .. } => "refined",
+            Verdict::Rejected { .. } => "rejected",
+        }
+    }
+}
+
+/// Per-`(cell, group)` touch summary, updated in walk order.
+struct Touches {
+    wrote: bool,
+    /// Original-lex minimum over all touches.
+    min: Vec<i64>,
+    /// Original-lex maximum over all touches (doubles as the running
+    /// "latest touch so far" during the walk — its final value is the
+    /// same either way).
+    max: Vec<i64>,
+    /// Original-lex maximum over writes walked so far.
+    max_write: Option<Vec<i64>>,
+}
+
+/// Audit the concrete nest (parameters already substituted) against the
+/// speculative `plan`: walk every group's iterations in plan order,
+/// log every access (guards respected, body **not** executed), and
+/// classify the result. See the [module docs](self) for the decision
+/// rules. Cost is one extra pass over the iteration space — compare
+/// `replan_ms` vs `audit_ms` in `BENCH_inspector.json` for why this
+/// beats re-planning per valuation.
+pub fn audit(nest: &LoopNest, plan: &ParallelPlan) -> Result<Verdict> {
+    let offsets = offset_table(plan);
+    // Cells interned as (array, subscripts) → dense id, so the audit
+    // needs no Memory and never faults on out-of-range subscripts.
+    let mut intern: HashMap<(usize, Vec<i64>), usize> = HashMap::new();
+    let mut touches: HashMap<(usize, u64), Touches> = HashMap::new();
+    let mut all_groups: Vec<u64> = Vec::new();
+    let mut disorder: Option<String> = None;
+    schedule::for_each_group_in_range(
+        plan.bounds(),
+        plan.doall_count(),
+        offsets.len(),
+        0,
+        u64::MAX,
+        |gid, prefix, o| {
+            all_groups.push(gid);
+            let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
+            walk_group(nest, plan, &g, |idx| {
+                for stmt in nest.body() {
+                    if !stmt.guards_hold(idx) {
+                        continue;
+                    }
+                    for (kind, r) in stmt.accesses() {
+                        let sub = r.access.eval(&IVec(idx.to_vec()))?;
+                        let next = intern.len();
+                        let cell = *intern.entry((r.array.0, sub.0)).or_insert(next);
+                        let write = kind == AccessKind::Write;
+                        match touches.get_mut(&(cell, gid)) {
+                            None => {
+                                touches.insert(
+                                    (cell, gid),
+                                    Touches {
+                                        wrote: write,
+                                        min: idx.to_vec(),
+                                        max: idx.to_vec(),
+                                        max_write: write.then(|| idx.to_vec()),
+                                    },
+                                );
+                            }
+                            Some(t) => {
+                                // Pairwise order check against everything
+                                // already walked in this group: a write
+                                // must be lex-after every prior touch, a
+                                // read lex-after every prior write.
+                                let bad = if write {
+                                    idx < t.max.as_slice()
+                                } else {
+                                    t.max_write.as_deref().is_some_and(|w| idx < w)
+                                };
+                                if bad && disorder.is_none() {
+                                    disorder = Some(format!(
+                                        "group {gid} walks cell {cell} (array {}) against \
+                                         program order at iteration {idx:?}",
+                                        r.array.0
+                                    ));
+                                }
+                                t.wrote |= write;
+                                if idx < t.min.as_slice() {
+                                    t.min = idx.to_vec();
+                                }
+                                if idx > t.max.as_slice() {
+                                    t.max = idx.to_vec();
+                                }
+                                if write && t.max_write.as_deref().is_none_or(|w| idx > w) {
+                                    t.max_write = Some(idx.to_vec());
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            })
+        },
+    )?;
+    if let Some(reason) = disorder {
+        // Intra-group misordering cannot be repaired by staging whole
+        // groups — only sequential execution preserves semantics.
+        return Ok(Verdict::Rejected { reason });
+    }
+
+    // Certify cross-group independence with the race checker's scan,
+    // over synthesized one-entry-per-(cell, group) logs.
+    let mut per_group: BTreeMap<u64, Vec<LoggedAccess>> = BTreeMap::new();
+    for ((cell, gid), t) in &touches {
+        per_group.entry(*gid).or_default().push(LoggedAccess {
+            array: 0,
+            cell: *cell,
+            write: t.wrote,
+        });
+    }
+    let (conflicts, _) = detect_conflicts(
+        per_group.iter().map(|(gid, log)| (*gid, log.as_slice())),
+        |g0, g1, a| format!("cell {} touched by groups {g0} and {g1}", a.cell),
+    );
+    if conflicts == 0 {
+        return Ok(Verdict::Certified);
+    }
+
+    // Refinement: direct each conflict, reject overlaps, layer the DAG.
+    let mut by_cell: HashMap<usize, Vec<(u64, &Touches)>> = HashMap::new();
+    for ((cell, gid), t) in &touches {
+        by_cell.entry(*cell).or_default().push((*gid, t));
+    }
+    let mut edges: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+    for (cell, list) in &by_cell {
+        for (i, (ga, ta)) in list.iter().enumerate() {
+            for (gb, tb) in &list[i + 1..] {
+                if !ta.wrote && !tb.wrote {
+                    continue;
+                }
+                if ta.max < tb.min {
+                    edges.insert((*ga, *gb));
+                } else if tb.max < ta.min {
+                    edges.insert((*gb, *ga));
+                } else {
+                    return Ok(Verdict::Rejected {
+                        reason: format!(
+                            "groups {ga} and {gb} interleave conflicting touches of cell {cell}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Kahn longest-path layering over all groups (isolated groups land
+    // in stage 0). A cycle means contradictory directions → reject.
+    let mut indeg: HashMap<u64, usize> = all_groups.iter().map(|&g| (g, 0)).collect();
+    let mut succ: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(a, b) in &edges {
+        *indeg.get_mut(&b).expect("edge endpoint is a group") += 1;
+        succ.entry(a).or_default().push(b);
+    }
+    let mut layer: HashMap<u64, usize> = HashMap::new();
+    let mut queue: Vec<u64> = all_groups
+        .iter()
+        .copied()
+        .filter(|g| indeg[g] == 0)
+        .collect();
+    for &g in &queue {
+        layer.insert(g, 0);
+    }
+    let mut done = 0usize;
+    while let Some(g) = queue.pop() {
+        done += 1;
+        let lg = layer[&g];
+        for &s in succ.get(&g).map(Vec::as_slice).unwrap_or(&[]) {
+            let e = layer.entry(s).or_insert(0);
+            *e = (*e).max(lg + 1);
+            let d = indeg.get_mut(&s).expect("edge endpoint is a group");
+            *d -= 1;
+            if *d == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if done != all_groups.len() {
+        return Ok(Verdict::Rejected {
+            reason: "group-dependence graph has a cycle".into(),
+        });
+    }
+    let depth = layer.values().copied().max().unwrap_or(0) + 1;
+    let mut stages: Vec<Vec<u64>> = vec![Vec::new(); depth];
+    for &g in &all_groups {
+        stages[layer[&g]].push(g);
+    }
+    for s in &mut stages {
+        s.sort_unstable();
+    }
+    Ok(Verdict::Refined { stages })
+}
+
+/// Execute a [`Verdict::Refined`] staging: stages run one after the
+/// other, the groups of one stage concurrently on the rayon pool.
+/// Returns the number of iterations executed.
+pub fn run_refined(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    mem: &Memory,
+    stages: &[Vec<u64>],
+) -> Result<u64> {
+    let group_table = groups(plan)?;
+    let mut total = 0u64;
+    for stage in stages {
+        let counts: std::result::Result<Vec<u64>, RuntimeError> = stage
+            .par_iter()
+            .map(|&gid| {
+                let g = group_table.get(gid as usize).ok_or_else(|| {
+                    RuntimeError::Core(format!("refined stage names group {gid}"))
+                })?;
+                let mut count = 0u64;
+                walk_group(nest, plan, g, |idx| {
+                    exec_body(nest, mem, idx)?;
+                    count += 1;
+                    Ok(())
+                })?;
+                Ok(count)
+            })
+            .collect();
+        total += counts?.into_iter().sum::<u64>();
+    }
+    Ok(total)
+}
+
+/// Dispatch execution on a verdict: certified → the parallel
+/// interpreter, refined → [`run_refined`], rejected → the sequential
+/// reference order. Returns the iterations executed.
+pub fn run_with_verdict(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    mem: &Memory,
+    verdict: &Verdict,
+) -> Result<u64> {
+    match verdict {
+        Verdict::Certified => crate::exec::run_parallel(nest, plan, mem),
+        Verdict::Refined { stages } => run_refined(nest, plan, mem, stages),
+        Verdict::Rejected { .. } => crate::exec::run_sequential(nest, mem),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_core::template::plan_template;
+    use pdm_loopir::parse::{parse_loop_symbolic, parse_loop_with};
+
+    /// Plan the hull of `src`, substitute at `vals`, audit.
+    fn audit_at(
+        src: &str,
+        params: &[&str],
+        vals: &[(&str, i64)],
+    ) -> (LoopNest, ParallelPlan, Verdict) {
+        let shape = parse_loop_symbolic(src, params).unwrap();
+        assert!(shape.has_parametric_accesses());
+        let t = plan_template(&shape).unwrap();
+        assert!(t.requires_inspection());
+        let plan = t.instantiate(vals).unwrap();
+        let nest = t.instantiate_nest(vals).unwrap();
+        let v = audit(&nest, &plan).unwrap();
+        (nest, plan, v)
+    }
+
+    const SHIFTED_CHAIN: &str = "for i = 0..=19 { A[i + K] = A[i] + 1; }";
+
+    #[test]
+    fn zero_offset_chain_certifies_nothing_but_k0_is_race_free() {
+        // Hull of A[i + K] = A[i] + 1 is A[i] = A[i] + 1: fully
+        // parallel. K = 0 really is race-free → certified.
+        let (nest, plan, v) = audit_at(SHIFTED_CHAIN, &["K"], &[("K", 0)]);
+        assert_eq!(v, Verdict::Certified);
+        let mem = Memory::for_nest(&nest).unwrap();
+        let n = run_with_verdict(&nest, &plan, &mem, &v).unwrap();
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn nonzero_offset_chain_is_not_certified() {
+        // K = 1 turns the nest into a true sequential chain; the
+        // speculative fully-parallel plan must not be certified.
+        let (nest, plan, v) = audit_at(SHIFTED_CHAIN, &["K"], &[("K", 1)]);
+        assert_ne!(v, Verdict::Certified, "{v:?}");
+        // Execution through the verdict still matches the reference.
+        let mem = Memory::for_nest(&nest).unwrap();
+        let m_ref = Memory::for_nest(&nest).unwrap();
+        run_with_verdict(&nest, &plan, &mem, &v).unwrap();
+        crate::exec::run_sequential(&nest, &m_ref).unwrap();
+        assert_eq!(mem.snapshot(), m_ref.snapshot());
+    }
+
+    #[test]
+    fn directed_conflicts_refine_into_stages() {
+        // Hull A[i1, i2] = A[i1, i2] + 1 is fully parallel (every
+        // iteration its own group); K = 1 shifts the write one row
+        // down, so cell (i1 + 1, i2) is written by group (i1, i2) and
+        // read by group (i1 + 1, i2) — conflicts directed along i1.
+        // The layering must recover row-by-row stages with the four
+        // groups of one row still concurrent.
+        let src = "for i1 = 0..=3 { for i2 = 0..=3 { A[i1 + K, i2] = A[i1, i2] + 1; } }";
+        let (nest, plan, v) = audit_at(src, &["K"], &[("K", 1)]);
+        match &v {
+            Verdict::Refined { stages } => {
+                let total: usize = stages.iter().map(Vec::len).sum();
+                assert_eq!(total as u64, crate::exec::group_count(&plan).unwrap());
+                assert_eq!(stages.len(), 4, "one stage per i1 row: {stages:?}");
+                assert!(stages.iter().all(|s| s.len() == 4), "{stages:?}");
+            }
+            other => panic!("expected refinement, got {other:?}"),
+        }
+        let mem = Memory::for_nest(&nest).unwrap();
+        let m_ref = Memory::for_nest(&nest).unwrap();
+        let n = run_with_verdict(&nest, &plan, &mem, &v).unwrap();
+        crate::exec::run_sequential(&nest, &m_ref).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(mem.snapshot(), m_ref.snapshot());
+    }
+
+    #[test]
+    fn interleaved_conflicts_reject() {
+        // Hull A[i] = A[i - 2] + 1 partitions into even/odd chains;
+        // K = 1 shifts only the write, so each chain writes the cells
+        // the other reads, interleaved across the whole range — no
+        // stage order exists and speculation must fail closed.
+        let src = "for i = 2..=21 { A[i + K] = A[i - 2] + 1; }";
+        let (nest, plan, v) = audit_at(src, &["K"], &[("K", 1)]);
+        assert!(matches!(v, Verdict::Rejected { .. }), "{v:?}");
+        // The rejected path still executes correctly (sequentially).
+        let mem = Memory::for_nest(&nest).unwrap();
+        let m_ref = Memory::for_nest(&nest).unwrap();
+        let n = run_with_verdict(&nest, &plan, &mem, &v).unwrap();
+        crate::exec::run_sequential(&nest, &m_ref).unwrap();
+        assert_eq!(n, 20);
+        assert_eq!(mem.snapshot(), m_ref.snapshot());
+    }
+
+    #[test]
+    fn audit_respects_guards() {
+        // The guarded statement touches row 0 only at i2 == 0; with a
+        // parametric column shift on a separate array the hull stays
+        // parallel and K = 0 certifies.
+        let src = "for i1 = 0..=3 { for i2 = 0..=3 {
+            A[i1, i2 + K] = A[i1, i2] + 1;
+            B[i1, 0] = A[i1, 0] when i2 == 0;
+        } }";
+        let (_, _, v) = audit_at(src, &["K"], &[("K", 0)]);
+        assert_eq!(v, Verdict::Certified);
+    }
+
+    #[test]
+    fn substituted_nest_matches_direct_parse() {
+        // The audited nest is exactly what parsing with the valuation
+        // inlined would give.
+        let shape = parse_loop_symbolic(SHIFTED_CHAIN, &["K"]).unwrap();
+        let sub = shape.substitute(&[("K", 3)]).unwrap();
+        let direct = parse_loop_with(SHIFTED_CHAIN, &[("K", 3)]).unwrap();
+        assert_eq!(sub, direct);
+    }
+}

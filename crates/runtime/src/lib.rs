@@ -67,6 +67,12 @@
 //!   polyhedron), with a `Sync` shared view for `doall` execution;
 //! * [`checked`] — a group-conflict race checker: every access is logged
 //!   per group and cross-group conflicts (≥ 1 write) are reported;
+//! * [`inspector`] — inspector/executor speculation for nests whose
+//!   *subscripts* read symbolic parameters: the plan is computed on the
+//!   parameter-free hull, and once per valuation [`inspector::audit`]
+//!   walks the concrete access lattice to certify the parallel plan,
+//!   refine it into stages, or reject it back to sequential order, with
+//!   verdicts cached in [`sharded::VerdictCache`];
 //! * [`equivalence`] — the soundness harness: two-way (sequential vs.
 //!   interpreted-parallel) and three-way (… vs. compiled-parallel)
 //!   output comparison, used all over the test suite and benches.
@@ -83,6 +89,7 @@ pub mod compile;
 pub mod config;
 pub mod equivalence;
 pub mod exec;
+pub mod inspector;
 pub mod memory;
 pub mod program;
 pub mod schedule;
@@ -93,6 +100,7 @@ pub mod template;
 pub use compile::{CompiledNest, CompiledPlan};
 pub use config::RuntimeConfig;
 pub use exec::{run_parallel, run_sequential, run_transformed_sequential};
+pub use inspector::{audit, run_refined, run_with_verdict, Verdict};
 pub use memory::Memory;
 pub use schedule::{GroupCursor, Schedule};
 pub use sharded::{CacheStats, ShardedPlanCache};

@@ -46,7 +46,13 @@
 //! shard's cache lock (miss re-check), never the reverse — leaders
 //! insert into the cache and then clear their flight in two separate
 //! critical sections.
+//!
+//! The module also hosts [`VerdictCache`], the sharded store of
+//! inspector verdicts keyed by `(structural_hash, valuation)` — the
+//! per-size companion of the per-shape template cache, so a service
+//! audits each `(shape, size)` pair once (see [`crate::inspector`]).
 
+use crate::inspector::Verdict;
 use crate::template::PlanCache;
 use crate::{Result, RuntimeError};
 use pdm_core::template::{plan_template, PlanTemplate};
@@ -158,6 +164,15 @@ impl Shard {
 /// ([`CacheStats::requests`]) and `planned` is the number of actual
 /// planning runs — with single-flight dedup, at most one per distinct
 /// shape concurrently, and exactly one per shape when nothing evicts.
+///
+/// The bucket invariant holds on **every** exit path, including the
+/// `planning_failed` ones: a leader whose planning closure returns an
+/// error counts `planned` in the flight guard's `complete`, a leader
+/// that *panics* counts `planned` in the guard's `Drop` (the same
+/// `Drop` that fails the flight), and every follower of either counted
+/// `waited` before parking. A storm of panicking leaders therefore
+/// cannot leak or double-count a request — pinned by the
+/// `panicking_leader_storm_keeps_stats_invariant` regression test.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered from the cache.
@@ -436,6 +451,101 @@ fn lock_cache(shard: &Shard) -> std::sync::MutexGuard<'_, PlanCache> {
     }
 }
 
+/// Sharded store of inspector verdicts, keyed by
+/// `(structural_hash, parameter valuation)`: the template cache
+/// amortizes *planning* per shape, this cache amortizes *auditing* per
+/// `(shape, size)` — every later request for an audited valuation
+/// dispatches straight to the verdict's executor
+/// ([`crate::inspector::run_with_verdict`]).
+///
+/// Audits are cheap relative to planning (one logging pass over the
+/// iteration space, no Fourier–Motzkin), so there is no single-flight
+/// layer here: concurrent first requests for one valuation may audit
+/// twice and insert the same (deterministic) verdict — harmless, and
+/// much simpler than the flight protocol above.
+pub struct VerdictCache {
+    shards: Vec<Mutex<HashMap<(u64, Vec<i64>), Verdict>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    /// A cache of `shards` independent shards (≥ 1), unbounded within
+    /// each shard (verdicts are a few words; valuation churn is the
+    /// caller's capacity concern).
+    pub fn new(shards: usize) -> VerdictCache {
+        VerdictCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<HashMap<(u64, Vec<i64>), Verdict>> {
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// The cached verdict for a `(shape, valuation)` pair, counting a
+    /// hit or miss.
+    pub fn get(&self, hash: u64, valuation: &[i64]) -> Option<Verdict> {
+        let shard = lock_recovering(self.shard_for(hash));
+        // Allocation-free probe would need a borrowed key; valuations
+        // are short, one Vec per miss-path lookup is fine.
+        let found = shard.get(&(hash, valuation.to_vec())).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record the verdict for a `(shape, valuation)` pair.
+    pub fn insert(&self, hash: u64, valuation: Vec<i64>, verdict: Verdict) {
+        let mut shard = lock_recovering(self.shard_for(hash));
+        shard.insert((hash, valuation), verdict);
+    }
+
+    /// The verdict for a pair — cached, or computed by `audit` and
+    /// cached (errors are returned uncached, so a transient failure
+    /// does not pin a wrong verdict).
+    pub fn get_or_audit<F>(&self, hash: u64, valuation: &[i64], audit: F) -> Result<Verdict>
+    where
+        F: FnOnce() -> Result<Verdict>,
+    {
+        if let Some(v) = self.get(hash, valuation) {
+            return Ok(v);
+        }
+        let v = audit()?;
+        self.insert(hash, valuation.to_vec(), v.clone());
+        Ok(v)
+    }
+
+    /// Verdicts currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock_recovering(s).len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counter snapshot.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +718,93 @@ mod tests {
             "the panicked run and the successful retry both count: {s:?}"
         );
         assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn panicking_leader_storm_keeps_stats_invariant() {
+        // Satellite regression for the CacheStats bucket accounting on
+        // the planning_failed path: several rounds of concurrent
+        // requests where EVERY planning run panics. Each call — leader
+        // (counted by the guard's Drop), follower (counted before
+        // parking), or late re-leader — must land in exactly one
+        // bucket, and the cache must come out clean and retryable.
+        let rounds = 4;
+        let threads = 6;
+        let cache = ShardedPlanCache::new(2, 8);
+        let shape = &shapes(1)[0];
+        for _ in 0..rounds {
+            let barrier = Barrier::new(threads);
+            std::thread::scope(|sc| {
+                for _ in 0..threads {
+                    let (cache, barrier) = (&cache, &barrier);
+                    sc.spawn(move || {
+                        barrier.wait();
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            cache.get_or_plan_with(shape, || panic!("storm fault"))
+                        }));
+                        // Either this call led (and panicked) or it
+                        // followed a doomed flight (typed error).
+                        if let Ok(outcome) = result {
+                            assert!(
+                                matches!(outcome, Err(RuntimeError::PlanningFailed(_))),
+                                "follower must see the typed error"
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        let s = cache.stats();
+        assert_eq!(
+            s.requests(),
+            (rounds * threads) as u64,
+            "every stormed request lands in exactly one bucket: {s:?}"
+        );
+        assert_eq!(s.hits, 0, "nothing was ever cached during the storm");
+        assert_eq!(s.entries, 0);
+
+        // Recovery: a clean request leads a fresh flight and caches.
+        let t = cache.get_or_plan(shape).unwrap();
+        assert_eq!(t.nest(), shape);
+        let s = cache.stats();
+        assert_eq!(
+            s.requests(),
+            (rounds * threads) as u64 + 1,
+            "post-recovery accounting still balances: {s:?}"
+        );
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn verdict_cache_round_trips_and_counts() {
+        use crate::inspector::Verdict;
+        let vc = VerdictCache::new(4);
+        assert!(vc.is_empty());
+        assert_eq!(vc.get(7, &[1, 2]), None);
+        vc.insert(7, vec![1, 2], Verdict::Certified);
+        assert_eq!(vc.get(7, &[1, 2]), Some(Verdict::Certified));
+        // Distinct valuations of one shape are distinct entries.
+        assert_eq!(vc.get(7, &[1, 3]), None);
+        let mut audits = 0;
+        let v = vc
+            .get_or_audit(7, &[1, 3], || {
+                audits += 1;
+                Ok(Verdict::Rejected {
+                    reason: "test".into(),
+                })
+            })
+            .unwrap();
+        assert_eq!(v.kind(), "rejected");
+        assert_eq!(audits, 1);
+        // Second call hits without re-auditing.
+        vc.get_or_audit(7, &[1, 3], || {
+            panic!("must not re-audit a cached valuation")
+        })
+        .unwrap();
+        assert_eq!(vc.len(), 2);
+        let (hits, misses) = vc.hit_stats();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 3);
     }
 
     #[test]

@@ -38,6 +38,14 @@
 //! back in request order on each connection. Malformed requests produce
 //! `{"ok": false}` responses, never a dropped connection.
 //!
+//! The frame limit is enforced in **both** directions without tearing
+//! the stream: [`ServiceClient::call`] refuses an oversized request
+//! with a typed `protocol` error before any byte hits the socket (the
+//! connection stays usable), and a handler whose response body would
+//! exceed the limit has that body replaced by an in-band
+//! `{"ok": false, "kind": "protocol"}` frame rather than a torn or
+//! half-written frame.
+//!
 //! Requests are objects with an `"op"` field. A nest shape is named
 //! either by `"source"` (DSL text, with `"params"` listing the names
 //! left symbolic) or by `"shape_hash"` — the structural hash of a shape
@@ -48,16 +56,20 @@
 //! |----|----------------|-----------------|
 //! | `plan` | `source` + `params`, or `shape_hash` | `shape_hash`, `depth`, `doall`, `partitions`, `params` |
 //! | `instantiate` | shape + `values` (`{"N": 64}`) | plan fields + `groups` |
-//! | `run` | shape + `values`, optional `seed` | plan fields + `iterations`, `checksum`, `observed_threads`, `observed_steals` |
+//! | `run` | shape + `values`, optional `seed` | plan fields + `iterations`, `checksum`, `observed_threads`, `observed_steals`, and `verdict` for inspected (parametric-subscript) shapes |
 //! | `stats` | — | `cache` (counters), `shards` (per-shard), `requests_total`, `template_acquire_mean_us` |
 //! | `metrics` | — | `text`: the Prometheus-style exposition page |
 //! | `shutdown` | — | confirms, then the server drains and exits |
 //!
 //! Any request may additionally carry `"deadline_ms"` (non-negative
-//! integer): a cooperative budget for that one request. The server
-//! checks it **between** pipeline stages (never preemptively — a stage
-//! already running completes), and abandons remaining work with a
-//! `deadline_exceeded` failure once it has passed.
+//! integer): a cooperative budget for that one request, honored by
+//! **every** op — `plan` and `instantiate` check it around template
+//! resolution and lowering exactly as `run` checks it around planning,
+//! inspection, memory initialization, and each execution stage. The
+//! server checks the budget **between** pipeline stages (never
+//! preemptively — a stage already running completes), and abandons
+//! remaining work with a `deadline_exceeded` failure once it has
+//! passed.
 //!
 //! Every response carries `"ok"` (bool) and `"op"` (echo); failures add
 //! `"kind"` and `"error"` (message). The kinds:

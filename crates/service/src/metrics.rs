@@ -159,6 +159,16 @@ pub struct ServiceMetrics {
     /// Requests abandoned mid-pipeline because their `deadline_ms`
     /// budget expired.
     pub deadline_exceeded: AtomicU64,
+    /// Inspected runs whose verdict certified the speculative parallel
+    /// plan as-is.
+    pub inspector_certified: AtomicU64,
+    /// Inspected runs demoted to a staged (refined) schedule.
+    pub inspector_refined: AtomicU64,
+    /// Inspected runs rejected back to sequential order.
+    pub inspector_rejected: AtomicU64,
+    /// Latency of *fresh* inspector audits (verdict-cache hits skip the
+    /// walk and are not recorded here).
+    pub inspector_audit: LatencyHistogram,
     /// Parallel executions that fell back to the sequential checked
     /// path after a primary failure (graceful degradation).
     pub fallback_runs: AtomicU64,
@@ -275,6 +285,25 @@ pub fn render_metrics(metrics: &ServiceMetrics, cache: &ShardedPlanCache) -> Str
         "requests abandoned on an expired deadline budget",
         metrics.deadline_exceeded.load(Ordering::Relaxed),
     );
+    push_counter(
+        &mut out,
+        "pdm_inspector_certified_total",
+        "inspected runs whose speculative parallel plan was certified",
+        metrics.inspector_certified.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_inspector_refined_total",
+        "inspected runs demoted to a staged schedule",
+        metrics.inspector_refined.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_inspector_rejected_total",
+        "inspected runs rejected back to sequential order",
+        metrics.inspector_rejected.load(Ordering::Relaxed),
+    );
+    push_histogram(&mut out, "pdm_inspector_audit_us", &metrics.inspector_audit);
     push_counter(
         &mut out,
         "pdm_fallback_runs_total",
@@ -403,8 +432,16 @@ mod tests {
         m.deadline_exceeded.store(1, Ordering::Relaxed);
         m.fallback_runs.store(4, Ordering::Relaxed);
         m.active_connections.store(5, Ordering::Relaxed);
+        m.inspector_certified.store(7, Ordering::Relaxed);
+        m.inspector_refined.store(2, Ordering::Relaxed);
+        m.inspector_rejected.store(1, Ordering::Relaxed);
+        m.inspector_audit.record(Duration::from_micros(80));
         let cache = ShardedPlanCache::new(1, 2);
         let text = render_metrics(&m, &cache);
+        assert!(text.contains("pdm_inspector_certified_total 7"));
+        assert!(text.contains("pdm_inspector_refined_total 2"));
+        assert!(text.contains("pdm_inspector_rejected_total 1"));
+        assert!(text.contains("pdm_inspector_audit_us_count 1"));
         assert!(text.contains("pdm_panics_total 3"));
         assert!(text.contains("pdm_shed_total 2"));
         assert!(text.contains("pdm_deadline_exceeded_total 1"));

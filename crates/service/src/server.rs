@@ -410,8 +410,18 @@ impl ServiceClient {
     }
 
     /// [`ServiceClient::call_raw`] plus JSON parsing of the response.
-    /// Read timeouts surface as [`PdmError::Timeout`].
+    /// Read timeouts surface as [`PdmError::Timeout`]; a request too
+    /// large to frame is refused with a typed [`PdmError::Protocol`]
+    /// *before* anything touches the socket, so the connection stays
+    /// usable.
     pub fn call(&mut self, request: &str) -> Result<crate::json::Json, crate::error::PdmError> {
+        if request.len() > wire::MAX_FRAME {
+            return Err(crate::error::PdmError::Protocol(format!(
+                "request of {} bytes exceeds the {}-byte frame limit",
+                request.len(),
+                wire::MAX_FRAME
+            )));
+        }
         let text = self.call_raw(request).map_err(|e| {
             if e.kind() == std::io::ErrorKind::TimedOut {
                 crate::error::PdmError::Timeout(e.to_string())
@@ -612,6 +622,30 @@ mod tests {
         assert!(metrics.contains("pdm_shed_total 1"), "{metrics}");
         flag.set();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn oversize_requests_are_refused_before_the_socket() {
+        // A listener that never accepts: if the guard missed, the call
+        // would block writing 16 MiB into a dead backlog.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = ServiceClient::builder()
+            .read_timeout(Duration::from_millis(100))
+            .connect(addr)
+            .unwrap();
+        let huge = format!(
+            r#"{{"op":"plan","source":"{}"}}"#,
+            "x".repeat(wire::MAX_FRAME)
+        );
+        let err = client.call(&huge).unwrap_err();
+        assert!(matches!(err, PdmError::Protocol(_)), "{err:?}");
+        assert_eq!(err.kind(), "protocol");
+        // The connection is still usable for in-bounds requests (it
+        // just times out here because nobody is serving).
+        let err = client.call(r#"{"op":"stats"}"#).unwrap_err();
+        assert!(matches!(err, PdmError::Timeout(_)), "{err:?}");
+        drop(listener);
     }
 
     #[test]

@@ -30,7 +30,8 @@ use pdm_core::program::ProgramPlan;
 use pdm_core::template::{plan_template, PlanTemplate};
 use pdm_loopir::imperfect::ImperfectNest;
 use pdm_loopir::nest::LoopNest;
-use pdm_runtime::sharded::{CacheStats, ShardedPlanCache};
+use pdm_runtime::inspector::{self, Verdict};
+use pdm_runtime::sharded::{CacheStats, ShardedPlanCache, VerdictCache};
 use pdm_runtime::template::{instantiate_compiled, CompiledInstance};
 use pdm_runtime::{RuntimeConfig, RuntimeError, Schedule};
 use std::sync::atomic::Ordering;
@@ -149,6 +150,7 @@ impl SessionBuilder {
         let schedule = config.schedule();
         Session {
             cache: Arc::new(ShardedPlanCache::new(self.shards, self.capacity_per_shard)),
+            verdicts: Arc::new(VerdictCache::new(self.shards)),
             pool: self.threads.map(|n| {
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
@@ -175,6 +177,10 @@ pub struct RunOutcome {
     /// order-independent digest for wire responses and differential
     /// checks.
     pub checksum: i64,
+    /// The inspector's verdict when the template was planned
+    /// speculatively (parametric subscripts) — `None` for templates
+    /// whose plan needs no runtime audit.
+    pub verdict: Option<Verdict>,
 }
 
 /// The unified, shareable front end: parse → analyze → template →
@@ -188,6 +194,7 @@ pub struct RunOutcome {
 /// session's `Arc`s — concurrent requests for one shape plan once.
 pub struct Session {
     cache: Arc<ShardedPlanCache>,
+    verdicts: Arc<VerdictCache>,
     pool: Option<rayon::ThreadPool>,
     schedule: Schedule,
     config: RuntimeConfig,
@@ -347,11 +354,21 @@ impl Session {
 
     /// [`Session::run_template`] under a cooperative [`Deadline`]: the
     /// budget is checked between pipeline stages (after instantiate,
-    /// after execute) — an expired budget abandons the request with
-    /// [`PdmError::DeadlineExceeded`] at the next boundary. A failed
-    /// parallel execution degrades to the sequential *checked* path
-    /// (race-audited, one thread) when the session allows it, counted
-    /// in `fallback_runs` / `fallback_successes`.
+    /// after the inspector audit, after execute) — an expired budget
+    /// abandons the request with [`PdmError::DeadlineExceeded`] at the
+    /// next boundary. A failed parallel execution degrades to the
+    /// sequential *checked* path (race-audited, one thread) when the
+    /// session allows it, counted in `fallback_runs` /
+    /// `fallback_successes`.
+    ///
+    /// Templates planned **speculatively** (parametric subscripts —
+    /// [`PlanTemplate::requires_inspection`]) pass through the
+    /// inspector first: the verdict for this `(shape, valuation)` pair
+    /// — cached in the session's [`VerdictCache`] — picks the executor.
+    /// Certified verdicts run the compiled parallel engine unchanged,
+    /// refined verdicts run the staged group schedule, and rejected
+    /// verdicts run the sequential reference order. The outcome's
+    /// `verdict` field reports which path ran.
     pub fn run_template_within(
         &self,
         template: &PlanTemplate,
@@ -362,41 +379,67 @@ impl Session {
         Deadline::check(deadline)?;
         let mut instance = self.instantiate_template(template, params)?;
         Deadline::check(deadline)?;
+        let verdict = if template.requires_inspection() {
+            Some(self.audit_instance(template, params, &instance)?)
+        } else {
+            None
+        };
+        Deadline::check(deadline)?;
         instance.memory.init_deterministic(seed);
-        let iterations = match self.execute(&instance) {
-            Ok(n) => n,
-            Err(primary) => {
-                if !self.sequential_fallback {
-                    return Err(primary);
-                }
-                // Graceful degradation: re-seed and re-run on the
-                // audited sequential path. If even that fails, the
-                // primary error is the truth worth surfacing.
-                self.metrics.fallback_runs.fetch_add(1, Ordering::Relaxed);
-                Deadline::check(deadline)?;
-                instance.memory.init_deterministic(seed);
-                // One thread (sequential) + the race-auditing checked
-                // executor: the slowest, most-validated path we have.
-                let sequential = rayon::ThreadPoolBuilder::new()
-                    .num_threads(1)
-                    .build()
-                    .expect("the vendored pool builder is infallible");
-                match sequential.install(|| {
-                    pdm_runtime::checked::run_parallel_checked(
-                        &instance.nest,
-                        &instance.plan,
-                        &instance.memory,
-                    )
-                }) {
-                    Ok(n) => {
-                        self.metrics
-                            .fallback_successes
-                            .fetch_add(1, Ordering::Relaxed);
-                        n
-                    }
-                    Err(_) => return Err(primary),
-                }
+        let iterations = match &verdict {
+            // Refined: the plan's groups are safe only in dependence
+            // stages — run the interpreter's staged executor (the
+            // compiled engine assumes one fully-independent sweep).
+            Some(Verdict::Refined { stages }) => {
+                let run = || {
+                    inspector::run_refined(&instance.nest, &instance.plan, &instance.memory, stages)
+                };
+                match &self.pool {
+                    Some(pool) => pool.install(run),
+                    None => run(),
+                }?
             }
+            // Rejected: this valuation's dependences defeat the hull
+            // plan entirely — sequential reference order.
+            Some(Verdict::Rejected { .. }) => {
+                pdm_runtime::run_sequential(&instance.nest, &instance.memory)?
+            }
+            // Uninspected or certified: the compiled parallel engine.
+            None | Some(Verdict::Certified) => match self.execute(&instance) {
+                Ok(n) => n,
+                Err(primary) => {
+                    if !self.sequential_fallback {
+                        return Err(primary);
+                    }
+                    // Graceful degradation: re-seed and re-run on the
+                    // audited sequential path. If even that fails, the
+                    // primary error is the truth worth surfacing.
+                    self.metrics.fallback_runs.fetch_add(1, Ordering::Relaxed);
+                    Deadline::check(deadline)?;
+                    instance.memory.init_deterministic(seed);
+                    // One thread (sequential) + the race-auditing checked
+                    // executor: the slowest, most-validated path we have.
+                    let sequential = rayon::ThreadPoolBuilder::new()
+                        .num_threads(1)
+                        .build()
+                        .expect("the vendored pool builder is infallible");
+                    match sequential.install(|| {
+                        pdm_runtime::checked::run_parallel_checked(
+                            &instance.nest,
+                            &instance.plan,
+                            &instance.memory,
+                        )
+                    }) {
+                        Ok(n) => {
+                            self.metrics
+                                .fallback_successes
+                                .fetch_add(1, Ordering::Relaxed);
+                            n
+                        }
+                        Err(_) => return Err(primary),
+                    }
+                }
+            },
         };
         Deadline::check(deadline)?;
         let checksum = checksum(&instance.memory);
@@ -404,7 +447,50 @@ impl Session {
             instance,
             iterations,
             checksum,
+            verdict,
         })
+    }
+
+    /// The inspector gate for speculatively planned templates: fetch
+    /// (or compute and cache) the verdict for this `(shape, valuation)`
+    /// pair. Fresh audits record their latency in `inspector_audit`;
+    /// every inspected run bumps the verdict-kind counter, so the
+    /// `pdm_inspector_*_total` metrics count *served runs*, not
+    /// distinct valuations.
+    fn audit_instance(
+        &self,
+        template: &PlanTemplate,
+        params: &[(&str, i64)],
+        instance: &CompiledInstance,
+    ) -> Result<Verdict, PdmError> {
+        // The cache key orders values by the template's parameter list,
+        // so `[("M",1),("N",2)]` and `[("N",2),("M",1)]` share an entry.
+        let valuation: Vec<i64> = template
+            .param_names()
+            .iter()
+            .map(|name| {
+                params
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0) // unreachable: instantiation validated presence
+            })
+            .collect();
+        let verdict =
+            self.verdicts
+                .get_or_audit(template.nest().structural_hash(), &valuation, || {
+                    let t0 = Instant::now();
+                    let v = inspector::audit(&instance.nest, &instance.plan);
+                    self.metrics.inspector_audit.record(t0.elapsed());
+                    v
+                })?;
+        let counter = match &verdict {
+            Verdict::Certified => &self.metrics.inspector_certified,
+            Verdict::Refined { .. } => &self.metrics.inspector_refined,
+            Verdict::Rejected { .. } => &self.metrics.inspector_rejected,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Ok(verdict)
     }
 
     /// Execute an already-prepared instance on the session's pool with
@@ -432,6 +518,12 @@ impl Session {
     /// Aggregated cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The session's inspector verdict cache (one audit per
+    /// `(shape, valuation)` pair across all threads).
+    pub fn verdicts(&self) -> &Arc<VerdictCache> {
+        &self.verdicts
     }
 
     /// The session's metrics sink (shared with the server layer).
@@ -562,6 +654,75 @@ mod tests {
         assert_eq!(template.depth(), 2);
         let s = session.cache_stats();
         assert_eq!(s.hits + s.planned + s.waited, s.requests());
+    }
+
+    /// The 1D shifted chain: the hull (`K` dropped) carries no
+    /// dependence, so the template plans fully parallel and every run
+    /// must pass through the inspector.
+    const SHIFTED: &str = "for i = 0..=19 { A[i + K] = A[i] + 1; }";
+
+    #[test]
+    fn inspected_runs_dispatch_on_the_verdict() {
+        let session = Session::builder().threads(2).build();
+        let shape = session.parse_symbolic(SHIFTED, &["K"]).unwrap();
+        let template = session.plan(&shape).unwrap();
+        assert!(template.requires_inspection());
+
+        // K = 0: the accesses coincide, the hull plan is exact —
+        // certified, parallel, 20 iterations.
+        let ok = session.run(&shape, &[("K", 0)], 5).unwrap();
+        assert_eq!(ok.iterations, 20);
+        assert_eq!(ok.verdict, Some(Verdict::Certified));
+
+        // K = 1: a real loop-carried chain the hull missed — the
+        // verdict must demote the run, and the output must match the
+        // sequential reference for the same concrete nest and seed.
+        let demoted = session.run(&shape, &[("K", 1)], 5).unwrap();
+        assert!(matches!(
+            demoted.verdict,
+            Some(Verdict::Refined { .. }) | Some(Verdict::Rejected { .. })
+        ));
+        let concrete = session
+            .parse("for i = 0..=19 { A[i + 1] = A[i] + 1; }")
+            .unwrap();
+        let mut reference = pdm_runtime::Memory::for_nest(&concrete).unwrap();
+        reference.init_deterministic(5);
+        pdm_runtime::run_sequential(&concrete, &reference).unwrap();
+        let ref_sum = reference
+            .snapshot()
+            .iter()
+            .flat_map(|a| a.iter())
+            .fold(0i64, |acc, &v| acc.wrapping_add(v));
+        assert_eq!(demoted.iterations, 20);
+        assert_eq!(demoted.checksum, ref_sum);
+
+        // Parameter-free templates skip the inspector entirely.
+        let plain = session.run(&concrete, &[], 5).unwrap();
+        assert_eq!(plain.verdict, None);
+    }
+
+    #[test]
+    fn verdicts_are_cached_per_valuation_and_counted() {
+        let session = Session::builder().threads(1).build();
+        let shape = session.parse_symbolic(SHIFTED, &["K"]).unwrap();
+        for _ in 0..3 {
+            session.run(&shape, &[("K", 0)], 1).unwrap();
+        }
+        session.run(&shape, &[("K", 1)], 1).unwrap();
+        // Two distinct valuations audited once each; the other two
+        // K = 0 runs were verdict-cache hits.
+        let (hits, misses) = session.verdicts().hit_stats();
+        assert_eq!((hits, misses), (2, 2));
+        assert_eq!(session.verdicts().len(), 2);
+        // Counters tally served runs, not distinct valuations.
+        let m = session.metrics();
+        assert_eq!(m.inspector_certified.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            m.inspector_refined.load(Ordering::Relaxed)
+                + m.inspector_rejected.load(Ordering::Relaxed),
+            1
+        );
+        assert!(m.inspector_audit.count() >= 2);
     }
 
     #[test]

@@ -207,10 +207,11 @@ pub fn dispatch(session: &Session, request_text: &str) -> Response {
     match result {
         Ok(mut fields) => {
             fields.insert(0, ("ok".into(), Json::Bool(true)));
-            fields.insert(1, ("op".into(), Json::Str(op)));
+            fields.insert(1, ("op".into(), Json::Str(op.clone())));
+            let (body, ok) = cap_frame(&op, json::render(&Json::Obj(fields)));
             Response {
-                body: json::render(&Json::Obj(fields)),
-                ok: true,
+                body,
+                ok,
                 op_family,
                 shutdown,
             }
@@ -225,6 +226,23 @@ pub fn dispatch(session: &Session, request_text: &str) -> Response {
             shutdown: false,
         },
     }
+}
+
+/// Send-side [`MAX_FRAME`] enforcement. A response body too large to
+/// frame is replaced by an in-band typed `protocol` error — without
+/// this, [`write_frame`] refuses the oversize body with an untyped
+/// `io::Error` and the server tears the connection down, leaving the
+/// client nothing to diagnose. Error bodies are always small, so the
+/// replacement itself always fits.
+fn cap_frame(op: &str, body: String) -> (String, bool) {
+    if body.len() <= MAX_FRAME {
+        return (body, true);
+    }
+    let e = PdmError::Protocol(format!(
+        "response of {} bytes exceeds the {MAX_FRAME}-byte frame limit",
+        body.len()
+    ));
+    (error_body(op, &e), false)
 }
 
 /// Render the `{"ok": false, ...}` body for `e` — shared by dispatch
@@ -261,8 +279,8 @@ fn handle(
     deadline: Option<Deadline>,
 ) -> Result<Fields, PdmError> {
     match op {
-        "plan" => op_plan(session, req),
-        "instantiate" => op_instantiate(session, req),
+        "plan" => op_plan(session, req, deadline),
+        "instantiate" => op_instantiate(session, req, deadline),
         "run" => op_run(session, req, deadline),
         "metrics" => Ok(vec![(
             "text".into(),
@@ -366,16 +384,27 @@ fn template_fields(template: &pdm_core::template::PlanTemplate) -> Fields {
     ]
 }
 
-fn op_plan(session: &Session, req: &Json) -> Result<Fields, PdmError> {
+fn op_plan(session: &Session, req: &Json, deadline: Option<Deadline>) -> Result<Fields, PdmError> {
+    // Every op honors `deadline_ms`: checked on entry (the request may
+    // have queued behind slow frames) and after each pipeline stage.
+    Deadline::check(deadline)?;
     let template = resolve_template(session, req)?;
+    Deadline::check(deadline)?;
     Ok(template_fields(&template))
 }
 
-fn op_instantiate(session: &Session, req: &Json) -> Result<Fields, PdmError> {
+fn op_instantiate(
+    session: &Session,
+    req: &Json,
+    deadline: Option<Deadline>,
+) -> Result<Fields, PdmError> {
+    Deadline::check(deadline)?;
     let template = resolve_template(session, req)?;
+    Deadline::check(deadline)?;
     let values = param_values(req)?;
     let refs: Vec<(&str, i64)> = values.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let instance = session.instantiate_template(&template, &refs)?;
+    Deadline::check(deadline)?;
     let groups = pdm_runtime::exec::group_count(&instance.plan)?;
     let mut fields = template_fields(&template);
     fields.push(("groups".into(), Json::Num(groups as f64)));
@@ -399,6 +428,12 @@ fn op_run(session: &Session, req: &Json, deadline: Option<Deadline>) -> Result<F
     let mut fields = template_fields(&template);
     fields.push(("iterations".into(), Json::Num(outcome.iterations as f64)));
     fields.push(("checksum".into(), Json::Num(outcome.checksum as f64)));
+    // Speculatively planned templates report which executor the
+    // inspector's verdict picked ("certified" | "refined" | "rejected");
+    // uninspected runs omit the field.
+    if let Some(verdict) = &outcome.verdict {
+        fields.push(("verdict".into(), Json::Str(verdict.kind().into())));
+    }
     fields.push((
         "observed_threads".into(),
         Json::Num(rayon::last_region_threads() as f64),
@@ -563,6 +598,70 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
+    }
+
+    #[test]
+    fn oversize_response_bodies_degrade_to_a_typed_protocol_error() {
+        let (body, ok) = cap_frame("run", "x".repeat(MAX_FRAME + 1));
+        assert!(!ok);
+        let parsed = crate::json::parse(&body).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(parsed.get_str("kind"), Some("protocol"));
+        assert_eq!(parsed.get_str("op"), Some("run"));
+        assert!(body.len() <= MAX_FRAME, "the replacement must fit");
+        // In-bounds bodies pass through untouched.
+        let (body, ok) = cap_frame("run", "{}".into());
+        assert!(ok);
+        assert_eq!(body, "{}");
+        // The io-level guard in write_frame still refuses oversize
+        // payloads outright (defense in depth for non-dispatch
+        // callers), and nothing reaches the wire when it fires.
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &"y".repeat(MAX_FRAME + 1)).is_err());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn every_op_honors_deadline_ms() {
+        let session = Session::builder().cache_capacity(2, 8).threads(1).build();
+        // Regression: plan and instantiate used to ignore the budget
+        // entirely — only run checked it.
+        for op in ["plan", "instantiate", "run"] {
+            let resp = dispatch(
+                &session,
+                &format!(
+                    r#"{{"op":"{op}","source":"for i = 1..=N {{ A[i] = A[i - 1] + 1; }}","params":["N"],"values":{{"N":10}},"deadline_ms":0}}"#
+                ),
+            );
+            assert!(!resp.ok, "{op}: {}", resp.body);
+            let body = crate::json::parse(&resp.body).unwrap();
+            assert_eq!(body.get_str("kind"), Some("deadline_exceeded"), "{op}");
+        }
+        assert_eq!(
+            session.metrics().deadline_exceeded.load(Ordering::Relaxed),
+            3
+        );
+    }
+
+    #[test]
+    fn run_reports_the_inspector_verdict() {
+        let session = Session::builder().cache_capacity(2, 8).threads(1).build();
+        let resp = dispatch(
+            &session,
+            r#"{"op":"run","source":"for i = 0..=19 { A[i + K] = A[i] + 1; }","params":["K"],"values":{"K":0}}"#,
+        );
+        assert!(resp.ok, "{}", resp.body);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_str("verdict"), Some("certified"));
+        assert_eq!(body.get_num("iterations"), Some(20.0));
+        // Parameter-free runs omit the field.
+        let resp = dispatch(
+            &session,
+            r#"{"op":"run","source":"for i = 0..=9 { A[i] = A[i] + 1; }"}"#,
+        );
+        assert!(resp.ok, "{}", resp.body);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert!(body.get_str("verdict").is_none());
     }
 
     #[test]

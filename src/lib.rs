@@ -74,6 +74,50 @@
 //! exposes a `/metrics`-style text page — see the [`service`] crate
 //! docs for the wire format.
 //!
+//! ## Size-dependent dependences: inspector/executor speculation
+//!
+//! When a parameter appears in a *subscript* — not just a bound — the
+//! dependence structure itself changes with the problem size, and no
+//! static plan can be exact for every valuation. The session plans the
+//! parameter-free conservative **hull** once, and a runtime
+//! **inspector** audits each concrete valuation by walking its access
+//! lattice (the race checker's conflict detection turned certifier).
+//! The verdict is cached per `(shape, valuation)` and picks the
+//! executor:
+//!
+//! * **certified** — the hull plan is exact here; run fully parallel;
+//! * **refined** — cross-group conflicts admit a stage order; run the
+//!   hull groups in audited stages;
+//! * **rejected** — no stage order exists; fall back to the sequential
+//!   reference. Never wrong, at worst not parallel.
+//!
+//! ```
+//! use vardep_loops::Session;
+//!
+//! let session = Session::new();
+//! let shape = session
+//!     .parse_symbolic("for i = 0..=19 { A[i + K] = A[i] + 1; }", &["K"])
+//!     .unwrap();
+//!
+//! // K = 0: every write lands on its own read cell — certified.
+//! let outcome = session.run(&shape, &[("K", 0)], 1).unwrap();
+//! assert_eq!(outcome.verdict.as_ref().unwrap().kind(), "certified");
+//!
+//! // K = 1: each write feeds a neighboring group — demoted, not wrong.
+//! let outcome = session.run(&shape, &[("K", 1)], 1).unwrap();
+//! assert_ne!(outcome.verdict.as_ref().unwrap().kind(), "certified");
+//!
+//! // One audit per valuation; later runs hit the verdict cache.
+//! assert_eq!(session.verdicts().hit_stats(), (0, 2));
+//! session.run(&shape, &[("K", 0)], 2).unwrap();
+//! assert_eq!(session.verdicts().hit_stats(), (1, 2));
+//! ```
+//!
+//! Over the wire, `run` responses carry the `verdict`, and the metrics
+//! page counts `pdm_inspector_{certified,refined,rejected}_total` plus
+//! audit latency. `BENCH_inspector.json` gates the certified speedup
+//! and the steady-state audit overhead.
+//!
 //! ## Imperfect nests: the LU example
 //!
 //! The paper's machinery assumes a perfect nest, but the pipeline
@@ -122,8 +166,9 @@
 //! Crate map: [`matrix`] (exact integer linear algebra), [`poly`]
 //! (Fourier–Motzkin), [`loopir`] (nest IR + DSL, perfect and
 //! imperfect), [`core`] (the paper's analysis and transformations),
-//! [`runtime`] (work-stealing execution, sharded plan cache, staged
-//! multi-kernel programs), [`service`] (the `Session` facade, TCP plan
+//! [`runtime`] (work-stealing execution, sharded plan + verdict caches,
+//! the speculative inspector, staged multi-kernel programs),
+//! [`service`] (the `Session` facade, TCP plan
 //! server, wire protocol, metrics), [`isdg`] (ground-truth dependence
 //! graphs), [`baselines`] (the related-work methods of Table 1).
 
@@ -165,7 +210,7 @@ pub mod prelude {
     pub use pdm_runtime::memory::Memory;
     pub use pdm_runtime::staged::{run_imperfect_sequential, CompiledProgram};
     pub use pdm_runtime::template::{InstantiateCompiled, PlanCache};
-    pub use pdm_runtime::{RuntimeConfig, ShardedPlanCache};
+    pub use pdm_runtime::{audit, run_with_verdict, RuntimeConfig, ShardedPlanCache, Verdict};
 }
 
 // ---------------------------------------------------------------------
