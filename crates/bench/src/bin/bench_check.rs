@@ -148,7 +148,7 @@ fn main() -> ExitCode {
     println!("bench_check: re-measuring the fault-hardening storms...");
     let faults_fresh = perf::faults_json(&perf::faults_cases());
     println!("bench_check: re-measuring the inspector verdicts...");
-    let inspector_fresh = perf::inspector_json(&perf::inspector_cases());
+    let inspector_fresh = perf::inspector_json(&perf::inspector_cases(), &perf::inspector_storm());
 
     let mut regressions = Vec::new();
     for (label, committed, fresh) in [

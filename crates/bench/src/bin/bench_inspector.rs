@@ -9,16 +9,23 @@
 //! 3. a parity-mixing shift with interleaved touch ranges at `K = 1` —
 //!    **rejected**, falls back to the sequential reference.
 //!
+//! Plus one in-interval valuation storm: 32 distinct valuations inside
+//! a single certified stability interval, which must cost exactly one
+//! audit.
+//!
 //! ```sh
 //! cargo run --release -p pdm-bench --bin bench_inspector
 //! ```
 //!
 //! Gated by `bench_check`: `inspector_certified_speedup` (forced
-//! sequential over certified-parallel) and `inspector_audit_overhead`
+//! sequential over certified-parallel), `inspector_audit_overhead`
 //! (verdict-cached session throughput over the uninspected path,
-//! clamped to 1.0). This binary refuses to write a snapshot where
-//! certification buys no speedup or steady-state inspection costs more
-//! than 5%.
+//! clamped to 1.0), `refined_compiled_speedup` (interpreted over
+//! compiled staged execution), and `interval_skip_ratio` (storm
+//! requests answered without auditing). This binary refuses to write a
+//! snapshot where certification buys no speedup, steady-state
+//! inspection costs more than 5%, compiling the refined stages buys
+//! less than 2x, or the storm audits more than once.
 
 use pdm_bench::perf;
 
@@ -45,8 +52,26 @@ fn main() {
                 s.audit_overhead()
             );
         }
+        if let Some(r) = &c.refined {
+            assert!(
+                r.refined_compiled_speedup() >= 2.0,
+                "{}: compiled staged execution ({:.2}ms) is only {:.2}x the interpreted \
+                 walker ({:.2}ms) — below the 2x floor",
+                c.name,
+                r.t_compiled * 1e3,
+                r.refined_compiled_speedup(),
+                r.t_interpreted * 1e3,
+            );
+        }
     }
-    let json = perf::inspector_json(&cases);
+    let storm = perf::inspector_storm();
+    assert_eq!(
+        storm.audits, 1,
+        "in-interval storm took {} audits for {} requests — interval \
+         certification is not short-circuiting the inspector",
+        storm.audits, storm.requests,
+    );
+    let json = perf::inspector_json(&cases, &storm);
     std::fs::write("BENCH_inspector.json", &json).expect("write BENCH_inspector.json");
     println!("\nwrote BENCH_inspector.json");
 }

@@ -1754,9 +1754,13 @@ pub const INSPECTOR_CERTIFIED_SRC: &str = "for i1 = 0..=199 { for i2 = 0..=199 {
 
 /// Uniform row shift: at `K = 1` each iteration writes the next row, so
 /// the hull plan's single-iteration groups chain into row stages — the
-/// audit demotes to the refined (staged) executor.
+/// audit demotes to the refined (staged) executor. The read-only `B`
+/// and `C` operands contribute no conflicts (the chain is `A`'s alone)
+/// but give the body realistic subscript arithmetic, which is what the
+/// compiled stage driver strength-reduces and the interpreted walker
+/// re-evaluates per access.
 pub const INSPECTOR_REFINED_SRC: &str = "for i1 = 0..=149 { for i2 = 0..=149 {
-   A[i1 + K, i2] = A[i1, i2] + 1;
+   A[i1 + K, i2] = A[i1, i2] + B[2*i1 + i2, i1] + C[i1 + 2*i2, i2] + D[i1 + i2, 2*i1] + 1;
  } }";
 
 /// Parity-mixing shift: at `K = 1` the write walks one hull partition
@@ -1789,6 +1793,24 @@ impl InspectorSteadyState {
     }
 }
 
+/// Interpreted vs. compiled execution of the same refined staging
+/// (refined case only), both timed on the same host in the same run.
+pub struct RefinedCompare {
+    /// Seconds per staged run through the interpreted group walker.
+    pub t_interpreted: f64,
+    /// Seconds per staged run through the compiled range-task driver.
+    pub t_compiled: f64,
+}
+
+impl RefinedCompare {
+    /// Interpreted over compiled staged execution — the win of staging
+    /// `CompiledPlan` range tasks instead of interpreting `exec_body`
+    /// group by group.
+    pub fn refined_compiled_speedup(&self) -> f64 {
+        self.t_interpreted / self.t_compiled
+    }
+}
+
 /// One inspector case: a parametric nest planned on its hull, audited
 /// at a concrete valuation, and executed by whatever the verdict picks.
 pub struct InspectorCase {
@@ -1811,6 +1833,8 @@ pub struct InspectorCase {
     pub threads: usize,
     /// Steady-state session comparison (certified case only).
     pub steady: Option<InspectorSteadyState>,
+    /// Interpreted-vs-compiled staged execution (refined case only).
+    pub refined: Option<RefinedCompare>,
 }
 
 impl InspectorCase {
@@ -1872,6 +1896,28 @@ fn run_inspector_case(
         })
     };
 
+    // For a refined verdict, pit the interpreted stage walker against
+    // the compiled range-task driver on the exact same staging — the
+    // ratio is the gated `refined_compiled_speedup`.
+    let refined = match &verdict {
+        pdm_runtime::Verdict::Refined { stages } => {
+            use pdm_runtime::inspector::{run_refined, run_refined_compiled};
+            let cplan = CompiledPlan::compile(&nest, &plan, &mem).expect("compile refined plan");
+            let sched = pdm_runtime::RuntimeConfig::global().schedule();
+            let t_interpreted = best(RUNTIME_REPS, || {
+                run_refined(&nest, &plan, &mem, stages).unwrap()
+            });
+            let t_compiled = best(RUNTIME_REPS, || {
+                run_refined_compiled(&cplan, &mem, stages, sched).unwrap()
+            });
+            Some(RefinedCompare {
+                t_interpreted,
+                t_compiled,
+            })
+        }
+        _ => None,
+    };
+
     let steady = steady.then(|| {
         use pdm_service::Session;
         let session = Session::builder().cache_capacity(2, 4).threads(1).build();
@@ -1905,7 +1951,65 @@ fn run_inspector_case(
         t_verdict,
         threads: rayon::current_num_threads(),
         steady,
+        refined,
     }
+}
+
+/// In-interval valuation storm: the first audit of a shifted-chain
+/// template certifies a stability interval, and every subsequent
+/// valuation inside it is answered from the interval tier of the
+/// verdict cache without auditing.
+pub struct IntervalStorm {
+    /// Session runs dispatched.
+    pub requests: u64,
+    /// Audits actually performed (session audit-histogram count).
+    pub audits: u64,
+    /// Verdicts served from the interval tier.
+    pub interval_hits: u64,
+}
+
+impl IntervalStorm {
+    /// Fraction of requests whose audit was skipped:
+    /// `(requests − audits) / requests`. Count-derived and
+    /// deterministic, so it gates with the tight count tolerance.
+    pub fn interval_skip_ratio(&self) -> f64 {
+        (self.requests - self.audits) as f64 / self.requests as f64
+    }
+}
+
+/// Drive 32 distinct valuations of the shifted dependence chain, all
+/// inside one certified stability interval (`K ∈ [20, ∞)` keeps the
+/// write range disjoint from the read range), through a fresh session.
+/// Exactly the first request should audit.
+pub fn inspector_storm() -> IntervalStorm {
+    use pdm_loopir::parse::parse_loop_symbolic;
+    use pdm_service::Session;
+    use std::sync::atomic::Ordering;
+
+    let shape = parse_loop_symbolic("for i = 0..=19 { A[i + K] = A[i] + 1; }", &["K"])
+        .expect("parse storm shape");
+    let session = Session::builder().threads(1).build();
+    let mut requests = 0u64;
+    for k in 40..72i64 {
+        session.run(&shape, &[("K", k)], 1).expect("storm run");
+        requests += 1;
+    }
+    let storm = IntervalStorm {
+        requests,
+        audits: session.metrics().inspector_audit.count(),
+        interval_hits: session
+            .metrics()
+            .inspector_interval_hits
+            .load(Ordering::Relaxed),
+    };
+    println!(
+        "interval_storm      {:>3} requests   {} audit(s), {} interval hits (skip ratio {:.4})",
+        storm.requests,
+        storm.audits,
+        storm.interval_hits,
+        storm.interval_skip_ratio(),
+    );
+    storm
 }
 
 /// Measure the three verdict-shaped workloads, printing one summary
@@ -1956,6 +2060,14 @@ pub fn inspector_cases() -> Vec<InspectorCase> {
                 s.audit_overhead(),
             );
         }
+        if let Some(r) = &c.refined {
+            print!(
+                "   stages: interpreted {:.2}ms vs compiled {:.2}ms ({:.2}x)",
+                r.t_interpreted * 1e3,
+                r.t_compiled * 1e3,
+                r.refined_compiled_speedup(),
+            );
+        }
         println!();
     }
     cases
@@ -1963,19 +2075,29 @@ pub fn inspector_cases() -> Vec<InspectorCase> {
 
 /// Serialize inspector cases into the committed `BENCH_inspector.json`
 /// shape. Gated: `inspector_certified_speedup` (forced-sequential over
-/// certified-parallel, both timed on the same host in the same run) and
+/// certified-parallel, both timed on the same host in the same run),
 /// `inspector_audit_overhead` (verdict-cached inspected over
 /// uninspected session throughput, clamped to 1.0 — steady-state
-/// inspection must stay free). The audit-vs-replan timings and the
-/// demoted executors' timings ride along as context.
-pub fn inspector_json(cases: &[InspectorCase]) -> String {
+/// inspection must stay free), `refined_compiled_speedup` (interpreted
+/// over compiled staged execution of the refined verdict), and
+/// `interval_skip_ratio` (fraction of storm requests answered without
+/// auditing — count-derived, so it gates tight). The audit-vs-replan
+/// timings ride along as context.
+pub fn inspector_json(cases: &[InspectorCase], storm: &IntervalStorm) -> String {
     let mut out = String::from("{\n  \"bench\": \"inspector\",\n");
     let machine = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    out.push_str(&format!("  \"machine_threads\": {machine},\n"));
     out.push_str(&format!(
-        "  \"machine_threads\": {machine},\n  \"cases\": [\n"
+        "  \"storm\": {{\"requests\": {}, \"audits\": {}, \"interval_hits\": {}, \
+         \"interval_skip_ratio\": {:.4}}},\n",
+        storm.requests,
+        storm.audits,
+        storm.interval_hits,
+        storm.interval_skip_ratio(),
     ));
+    out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"iterations\": {}, \
@@ -1994,6 +2116,15 @@ pub fn inspector_json(cases: &[InspectorCase]) -> String {
             out.push_str(&format!(
                 ", \"inspector_certified_speedup\": {:.2}",
                 c.certified_speedup()
+            ));
+        }
+        if let Some(r) = &c.refined {
+            out.push_str(&format!(
+                ", \"refined_interpreted_ms\": {:.3}, \"refined_compiled_ms\": {:.3}, \
+                 \"refined_compiled_speedup\": {:.2}",
+                r.t_interpreted * 1e3,
+                r.t_compiled * 1e3,
+                r.refined_compiled_speedup(),
             ));
         }
         if let Some(s) = &c.steady {
@@ -2038,23 +2169,28 @@ pub struct Regression {
 pub const OVERHEAD_TOLERANCE: f64 = 0.10;
 
 /// Is this metric key gated? Ratio metrics (`_speedup`, `_reduction`,
-/// `_overhead`) always are; absolute throughput only under strict mode.
+/// `_overhead`, `_ratio`) always are — except the explicitly
+/// informational `_time_ratio` timings, which flake at µs scale;
+/// absolute throughput is gated only under strict mode.
 pub fn is_gated(key: &str, strict: bool) -> bool {
     key.ends_with("_speedup")
         || key.ends_with("_reduction")
         || key.ends_with("_overhead")
+        || (key.ends_with("_ratio") && !key.ends_with("_time_ratio"))
         || (strict && key.ends_with("_per_s"))
 }
 
 /// The allowed relative drop for a gated key: deterministic count
-/// ratios use [`TOLERANCE`], same-run overhead ratios the tight
-/// [`OVERHEAD_TOLERANCE`], timing-derived metrics the wider
-/// [`TIMING_TOLERANCE`].
+/// ratios (`_reduction`, `_ratio`) use [`TOLERANCE`], same-run
+/// overhead ratios the tight [`OVERHEAD_TOLERANCE`], timing-derived
+/// metrics the wider [`TIMING_TOLERANCE`].
 pub fn tolerance_for(key: &str) -> f64 {
     if key.ends_with("_reduction") {
         TOLERANCE
     } else if key.ends_with("_overhead") {
         OVERHEAD_TOLERANCE
+    } else if key.ends_with("_ratio") && !key.ends_with("_time_ratio") {
+        TOLERANCE
     } else {
         TIMING_TOLERANCE
     }
@@ -2191,11 +2327,17 @@ mod tests {
         assert_eq!(c.verdict, "certified");
         assert_eq!(c.iterations, 20);
         assert!(c.audit > 0.0 && c.replan > 0.0 && c.t_seq > 0.0 && c.t_verdict > 0.0);
-        let json = inspector_json(std::slice::from_ref(&c));
+        assert!(c.refined.is_none(), "certified case has no staged compare");
+        let storm = inspector_storm();
+        assert_eq!(storm.requests, 32);
+        assert_eq!(storm.audits, 1, "storm must audit exactly once");
+        assert_eq!(storm.interval_hits, storm.requests - 1);
+        let json = inspector_json(std::slice::from_ref(&c), &storm);
         let metrics = crate::json::parse(&json).unwrap().metrics();
         for key in [
             "cases.t.inspector_certified_speedup",
             "cases.t.inspector_audit_overhead",
+            "storm.interval_skip_ratio",
         ] {
             assert!(
                 metrics.iter().any(|(k, v)| k == key && *v > 0.0),
@@ -2203,6 +2345,11 @@ mod tests {
             );
             assert!(is_gated(key, false), "{key} must be gated");
         }
+        // The skip ratio is count-derived, so it gates tight — and the
+        // legacy informational timing ratios must stay ungated.
+        assert_eq!(tolerance_for("storm.interval_skip_ratio"), TOLERANCE);
+        assert!(!is_gated("elim_cases.x.elim_time_ratio", true));
+        assert!(!is_gated("cases.x.enum_time_ratio", true));
         // The overhead clamp: the committed ratio never exceeds 1.0.
         let (_, overhead) = metrics
             .iter()
@@ -2210,7 +2357,8 @@ mod tests {
             .unwrap();
         assert!(*overhead <= 1.0);
 
-        // The demoted verdicts keep their designed shapes.
+        // The demoted verdicts keep their designed shapes — and the
+        // refined case carries the gated staged-execution compare.
         let c = run_inspector_case(
             "r",
             "refined",
@@ -2219,10 +2367,20 @@ mod tests {
             false,
         );
         assert!(c.steady.is_none());
-        let metrics = crate::json::parse(&inspector_json(&[c])).unwrap().metrics();
+        let r = c.refined.as_ref().expect("refined compare");
+        assert!(r.t_interpreted > 0.0 && r.t_compiled > 0.0);
+        let metrics = crate::json::parse(&inspector_json(&[c], &storm))
+            .unwrap()
+            .metrics();
         assert!(!metrics
             .iter()
             .any(|(k, _)| k.contains("inspector_certified_speedup")));
+        let key = "cases.r.refined_compiled_speedup";
+        assert!(
+            metrics.iter().any(|(k, v)| k == key && *v > 0.0),
+            "{key} missing: {metrics:?}"
+        );
+        assert!(is_gated(key, false), "{key} must be gated");
     }
 
     #[test]

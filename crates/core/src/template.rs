@@ -239,6 +239,259 @@ impl PlanTemplate {
     pub fn instantiate_nest(&self, params: &[(&str, i64)]) -> Result<LoopNest> {
         self.nest.substitute(params).map_err(CoreError::Ir)
     }
+
+    /// The **stability box** of the inspector verdict at `params`: a
+    /// per-parameter interval vector (ordered like
+    /// [`PlanTemplate::param_names`]; `i64::MIN`/`i64::MAX` encode
+    /// unbounded sides) such that *every* valuation inside the box
+    /// provably audits to the same verdict as `params` — or `None`
+    /// when no such box can be certified and the verdict must be
+    /// cached per point.
+    ///
+    /// Why this is sound: the audit's verdict is a function of (a) the
+    /// walk geometry — groups, walk order — and (b) the *equality
+    /// relation* on access instances (which `(iteration, access)`
+    /// pairs touch the same cell). The box is built so both are
+    /// valuation-invariant inside it:
+    ///
+    /// * (a) holds whenever the transformed bound rows and guards read
+    ///   no parameter ([`pdm_poly::bounds::LoopBounds::reads_params`])
+    ///   — the iteration set, grouping, and walk order are then
+    ///   literally identical at every valuation.
+    /// * (b) two occurrences of accesses `a`, `b` on one array collide
+    ///   at iterations `i`, `i'` iff for every subscript `r`:
+    ///   `(v·D)_r = (i'·A_b − i·A_a + b_b − b_a)_r` where
+    ///   `D = P_a − P_b`. The right side ranges over a box `S_r`
+    ///   computed *exactly* from the enumerated (guard-filtered)
+    ///   iteration points. If at the audited valuation some row `r`
+    ///   has `(v·D)_r ∉ S_r`, the pair collides **nowhere**, and the
+    ///   box constrains the parameters to keep that row excluded. A
+    ///   pair with `D = 0` collides identically at every valuation and
+    ///   constrains nothing. If some variable pair (`D ≠ 0`) has *no*
+    ///   excluding row, the equality relation may shift with the
+    ///   valuation — return `None`.
+    ///
+    /// Note read–read pairs are **not** skipped: a read–read collision
+    /// changes the audit's touch-class structure (which cells merge),
+    /// so it too must stay invariant across the box.
+    ///
+    /// Conservative by construction (the box excludes the same rows,
+    /// it never proves a *different* verdict), and exact enough in
+    /// practice: for `A[i + K] = A[i]` over `i ∈ 0..=19` at `K = 25`
+    /// it certifies `K ∈ [20, ∞)`.
+    pub fn stability_box(&self, params: &[(&str, i64)]) -> Result<Option<Vec<(i64, i64)>>> {
+        let p = self.param_names().len();
+        if p == 0 || !self.requires_inspection() {
+            return Ok(None);
+        }
+        if self.bounds.reads_params() {
+            return Ok(None);
+        }
+        let vals = self.param_values(params)?;
+        // Valuation-independent by the reads_params check above; any
+        // valuation would enumerate the same points.
+        let nest_v = self.instantiate_nest(params)?;
+        let pts = nest_v.iterations().map_err(CoreError::Ir)?;
+        let mut boxes: Vec<(i64, i64)> = vec![(i64::MIN, i64::MAX); p];
+        if pts.is_empty() {
+            // Empty spaces audit identically (trivially certified)
+            // everywhere.
+            return Ok(Some(boxes));
+        }
+
+        // Access occurrences with exact per-subscript envelopes of
+        // i·A over the statement's guarded iteration points. The
+        // symbolic accesses carry (A, b, P); guards read indices only.
+        struct Occ<'a> {
+            array: usize,
+            access: &'a pdm_loopir::access::AffineAccess,
+            ranges: Vec<(i128, i128)>,
+        }
+        let mut occs: Vec<Occ<'_>> = Vec::new();
+        for stmt in self.nest.body() {
+            let guarded: Vec<&IVec> = pts.iter().filter(|i| stmt.guards_hold(&i.0)).collect();
+            if guarded.is_empty() {
+                continue;
+            }
+            for (_, r) in stmt.accesses() {
+                let a = &r.access;
+                let ranges = (0..a.dims())
+                    .map(|col| {
+                        let mut lo = i128::MAX;
+                        let mut hi = i128::MIN;
+                        for i in &guarded {
+                            let v: i128 = (0..a.depth())
+                                .map(|k| a.matrix.get(k, col) as i128 * i.0[k] as i128)
+                                .sum();
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        (lo, hi)
+                    })
+                    .collect();
+                occs.push(Occ {
+                    array: r.array.0,
+                    access: a,
+                    ranges,
+                });
+            }
+        }
+
+        // Parameter coefficient of q_k in subscript col of (P_a - P_b);
+        // canonically-empty params matrices read as zero.
+        let dcoef = |a: &pdm_loopir::access::AffineAccess,
+                     b: &pdm_loopir::access::AffineAccess,
+                     k: usize,
+                     col: usize| {
+            let pa = if k < a.params.rows() {
+                a.params.get(k, col)
+            } else {
+                0
+            };
+            let pb = if k < b.params.rows() {
+                b.params.get(k, col)
+            } else {
+                0
+            };
+            pa - pb
+        };
+
+        for ai in 0..occs.len() {
+            for bi in ai + 1..occs.len() {
+                let (oa, ob) = (&occs[ai], &occs[bi]);
+                if oa.array != ob.array {
+                    continue;
+                }
+                let m = oa.access.dims();
+                if (0..p).all(|k| (0..m).all(|col| dcoef(oa.access, ob.access, k, col) == 0)) {
+                    continue; // collides identically at every valuation
+                }
+                // Candidate excluding rows at the audited valuation.
+                struct Row {
+                    coeffs: Vec<i64>,
+                    above: bool,
+                    s_lo: i128,
+                    s_hi: i128,
+                    lhs: i128,
+                }
+                let mut rows: Vec<Row> = Vec::new();
+                for col in 0..m {
+                    let coeffs: Vec<i64> = (0..p)
+                        .map(|k| dcoef(oa.access, ob.access, k, col))
+                        .collect();
+                    if coeffs.iter().all(|&c| c == 0) {
+                        continue;
+                    }
+                    let (alo, ahi) = oa.ranges[col];
+                    let (blo, bhi) = ob.ranges[col];
+                    let db = ob.access.offset[col] as i128 - oa.access.offset[col] as i128;
+                    let s_lo = blo - ahi + db;
+                    let s_hi = bhi - alo + db;
+                    let lhs: i128 = coeffs
+                        .iter()
+                        .zip(&vals)
+                        .map(|(&c, &v)| c as i128 * v as i128)
+                        .sum();
+                    if lhs < s_lo || lhs > s_hi {
+                        rows.push(Row {
+                            coeffs,
+                            above: lhs > s_hi,
+                            s_lo,
+                            s_hi,
+                            lhs,
+                        });
+                    }
+                }
+                let Some(row) = rows.iter().min_by_key(|r| {
+                    // Prefer rows touching fewest parameters (least
+                    // pinning), then the widest margin outside the hull.
+                    let nz = r.coeffs.iter().filter(|&&c| c != 0).count();
+                    let margin = if r.above {
+                        r.lhs - r.s_hi
+                    } else {
+                        r.s_lo - r.lhs
+                    };
+                    (nz, std::cmp::Reverse(margin))
+                }) else {
+                    // No row excludes this variable pair: its collision
+                    // set can change with the valuation.
+                    return Ok(None);
+                };
+                // Keep the excluding row excluded: pin every secondary
+                // parameter to its audited value and bound the primary
+                // one so Σ c_k·q_k stays on the audited side of S.
+                let k0 = row
+                    .coeffs
+                    .iter()
+                    .position(|&c| c != 0)
+                    .expect("candidate row has a nonzero coefficient");
+                for (k, &c) in row.coeffs.iter().enumerate() {
+                    if k != k0 && c != 0 {
+                        boxes[k].0 = boxes[k].0.max(vals[k]);
+                        boxes[k].1 = boxes[k].1.min(vals[k]);
+                    }
+                }
+                let c = row.coeffs[k0] as i128;
+                let rest: i128 = row
+                    .coeffs
+                    .iter()
+                    .zip(&vals)
+                    .enumerate()
+                    .filter(|&(k, _)| k != k0)
+                    .map(|(_, (&cc, &v))| cc as i128 * v as i128)
+                    .sum();
+                if row.above {
+                    // c·q_{k0} ≥ s_hi + 1 − rest
+                    let rhs = row.s_hi + 1 - rest;
+                    if c > 0 {
+                        boxes[k0].0 = boxes[k0].0.max(clamp_i64(ceil_div_i128(rhs, c)));
+                    } else {
+                        boxes[k0].1 = boxes[k0].1.min(clamp_i64(floor_div_i128(rhs, c)));
+                    }
+                } else {
+                    // c·q_{k0} ≤ s_lo − 1 − rest
+                    let rhs = row.s_lo - 1 - rest;
+                    if c > 0 {
+                        boxes[k0].1 = boxes[k0].1.min(clamp_i64(floor_div_i128(rhs, c)));
+                    } else {
+                        boxes[k0].0 = boxes[k0].0.max(clamp_i64(ceil_div_i128(rhs, c)));
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            boxes
+                .iter()
+                .zip(&vals)
+                .all(|(&(lo, hi), &v)| lo <= v && v <= hi),
+            "stability box must contain the audited valuation: {boxes:?} vs {vals:?}"
+        );
+        Ok(Some(boxes))
+    }
+}
+
+/// Floor division on `i128` (round toward −∞ for any sign of `b`).
+fn floor_div_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division on `i128` (round toward +∞ for any sign of `b`).
+fn ceil_div_i128(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn clamp_i64(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
 }
 
 #[cfg(test)]
@@ -302,6 +555,65 @@ mod tests {
         assert_eq!(inst.bounds().enumerate().unwrap().len(), 0);
         let nest = t.instantiate_nest(&[("N", -1)]).unwrap();
         assert_eq!(nest.iterations().unwrap().len(), 0);
+    }
+
+    const SHIFTED_CHAIN: &str = "for i = 0..=19 { A[i + K] = A[i] + 1; }";
+
+    #[test]
+    fn stability_box_certifies_disjoint_shift_ranges() {
+        let shape = parse_loop_symbolic(SHIFTED_CHAIN, &["K"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        // Inside the overlap range (|K| <= 19) the write/read collision
+        // set changes with K — no box.
+        for k in [0i64, 1, -5, 19] {
+            assert_eq!(t.stability_box(&[("K", k)]).unwrap(), None, "K={k}");
+        }
+        // Beyond the extent the accesses are provably disjoint for
+        // every larger (resp. smaller) shift.
+        assert_eq!(
+            t.stability_box(&[("K", 25)]).unwrap(),
+            Some(vec![(20, i64::MAX)])
+        );
+        assert_eq!(
+            t.stability_box(&[("K", -30)]).unwrap(),
+            Some(vec![(i64::MIN, -20)])
+        );
+    }
+
+    #[test]
+    fn stability_box_is_universal_when_parameters_cancel() {
+        // Both accesses shift by the same K: every collision is
+        // valuation-invariant, so the verdict is stable on all of Z.
+        let src = "for i1 = 0..=9 { for i2 = 0..=9 {
+            A[5*i1 + i2 + K, 7*i1 + 2*i2] = A[i1 + i2 + 4 + K, i1 + 2*i2 + 6] + 1;
+        } }";
+        let shape = parse_loop_symbolic(src, &["K"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        assert_eq!(
+            t.stability_box(&[("K", 3)]).unwrap(),
+            Some(vec![(i64::MIN, i64::MAX)])
+        );
+    }
+
+    #[test]
+    fn stability_box_refuses_parametric_bounds_and_concrete_nests() {
+        // Parameter in a loop bound: the walk geometry itself moves.
+        let src = "for i = 0..=N { A[i + K] = A[i] + 1; }";
+        let shape = parse_loop_symbolic(src, &["N", "K"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        assert_eq!(t.stability_box(&[("N", 9), ("K", 100)]).unwrap(), None);
+        // No parametric accesses: nothing to certify.
+        let conc = parse_loop("for i = 0..=9 { A[i] = A[i] + 1; }").unwrap();
+        let t = plan_template(&conc).unwrap();
+        assert_eq!(t.stability_box(&[]).unwrap(), None);
+    }
+
+    #[test]
+    fn stability_box_validates_the_valuation() {
+        let shape = parse_loop_symbolic(SHIFTED_CHAIN, &["K"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        assert!(t.stability_box(&[]).is_err());
+        assert!(t.stability_box(&[("Z", 1)]).is_err());
     }
 
     #[test]

@@ -300,6 +300,25 @@ impl LoopBounds {
         self.params
     }
 
+    /// Does any bound row or feasibility guard read a parameter
+    /// column with a nonzero coefficient? `false` means the described
+    /// iteration set is *identical at every valuation* — the
+    /// geometric precondition interval certification
+    /// (`PlanTemplate::stability_box` in `pdm-core`) needs before it
+    /// can reason about valuations purely through access offsets.
+    pub fn reads_params(&self) -> bool {
+        if self.params == 0 {
+            return false;
+        }
+        let n = self.dim;
+        let reads = |e: &AffineExpr| (n..n + self.params).any(|c| e.coeff(c) != 0);
+        self.guards.iter().any(reads)
+            || self
+                .levels
+                .iter()
+                .any(|l| l.lowers.iter().chain(&l.uppers).any(|b| reads(&b.num)))
+    }
+
     /// Fold an integer valuation of the parameters into the row
     /// constants, yielding concrete bounds — the cheap instantiation step
     /// of a plan template: one pass over the rows, **no Fourier–Motzkin,
@@ -663,9 +682,11 @@ mod tests {
         let pb = LoopBounds::from_system_parametric(&sym, 2).unwrap();
         assert_eq!(pb.dim(), 2);
         assert_eq!(pb.params(), 1);
+        assert!(pb.reads_params(), "x0 <= N reads the parameter column");
         for n in [-1i64, 0, 1, 5, 9] {
             let inst = pb.substitute_params(&[n]).unwrap();
             assert_eq!(inst.params(), 0);
+            assert!(!inst.reads_params(), "concrete bounds read no params");
             let mut conc = System::universe(2);
             conc.add_range(0, 0, n).unwrap();
             conc.add_ge0(ge0(&[0, 1], 0)).unwrap();
@@ -673,6 +694,19 @@ mod tests {
             let cb = LoopBounds::from_system(&conc).unwrap();
             assert_eq!(inst.enumerate().unwrap(), cb.enumerate().unwrap(), "N={n}");
         }
+    }
+
+    /// A parametric column that no row actually uses (concrete extents,
+    /// parameters only in the nest's accesses) reads no params — the
+    /// shape interval certification keys on.
+    #[test]
+    fn unused_parameter_columns_read_nothing() {
+        let mut sym = System::universe(2); // x0, K (K never constrained)
+        sym.add_ge0(ge0(&[1, 0], 0)).unwrap();
+        sym.add_ge0(ge0(&[-1, 0], 9)).unwrap(); // x0 <= 9
+        let pb = LoopBounds::from_system_parametric(&sym, 1).unwrap();
+        assert_eq!(pb.params(), 1);
+        assert!(!pb.reads_params());
     }
 
     /// Divided parametric bounds: `0 ≤ 2·x_0 ≤ N` must instantiate to the

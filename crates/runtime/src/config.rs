@@ -15,6 +15,7 @@
 //! | `PDM_MAX_CONNECTIONS` | [`max_connections`](RuntimeConfig::max_connections) | 64 | `pdm-service` load-shedding gate (connections above the cap get an in-band `overloaded` response) |
 //! | `PDM_CLIENT_READ_TIMEOUT_MS` | [`client_read_timeout_ms`](RuntimeConfig::client_read_timeout_ms) | 10000 | `pdm-service` `ServiceClient` default read deadline (builder-overridable) |
 //! | `PDM_FAULTS` | [`faults`](RuntimeConfig::faults) | unset | `pdm-service` fault-injection probe spec (`probe:prob[:limit],...`) |
+//! | `PDM_VERDICT_CAPACITY` | [`verdict_capacity`](RuntimeConfig::verdict_capacity) | 256 | per-shard point-entry bound of the inspector's `VerdictCache` (LRU beyond it) |
 //!
 //! [`RuntimeConfig::global`] is the cached process-wide instance: the
 //! environment is read on first use and never again, so per-request
@@ -74,6 +75,12 @@ pub struct RuntimeConfig {
     /// seeded from [`proptest_seed`](RuntimeConfig::proptest_seed) so a
     /// probabilistic CI leg replays exactly.
     pub faults: Option<String>,
+    /// Per-shard point-entry capacity of
+    /// [`crate::sharded::VerdictCache`] (`PDM_VERDICT_CAPACITY`,
+    /// default [`crate::sharded::DEFAULT_VERDICT_CAPACITY`]). Least
+    /// recently used `(shape, valuation)` verdicts are evicted beyond
+    /// this bound; certified intervals are capped separately.
+    pub verdict_capacity: usize,
 }
 
 /// Default [`RuntimeConfig::max_connections`].
@@ -90,6 +97,7 @@ impl Default for RuntimeConfig {
             max_connections: DEFAULT_MAX_CONNECTIONS,
             client_read_timeout_ms: DEFAULT_CLIENT_READ_TIMEOUT_MS,
             faults: None,
+            verdict_capacity: crate::sharded::DEFAULT_VERDICT_CAPACITY,
         }
     }
 }
@@ -104,6 +112,7 @@ impl RuntimeConfig {
             std::env::var("PDM_MAX_CONNECTIONS").ok().as_deref(),
             std::env::var("PDM_CLIENT_READ_TIMEOUT_MS").ok().as_deref(),
             std::env::var("PDM_FAULTS").ok().as_deref(),
+            std::env::var("PDM_VERDICT_CAPACITY").ok().as_deref(),
         )
     }
 
@@ -116,6 +125,7 @@ impl RuntimeConfig {
         raw_max_conns: Option<&str>,
         raw_client_timeout: Option<&str>,
         raw_faults: Option<&str>,
+        raw_verdict_capacity: Option<&str>,
     ) -> RuntimeConfig {
         let sched = Schedule::from_env_value(raw_chunks, raw_steal);
         RuntimeConfig {
@@ -134,6 +144,10 @@ impl RuntimeConfig {
             faults: raw_faults
                 .map(|v| v.trim().to_string())
                 .filter(|v| !v.is_empty()),
+            verdict_capacity: raw_verdict_capacity
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(crate::sharded::DEFAULT_VERDICT_CAPACITY),
         }
     }
 
@@ -171,7 +185,7 @@ mod tests {
 
     #[test]
     fn defaults_match_schedule_defaults() {
-        let c = RuntimeConfig::from_env_values(None, None, None, None, None, None);
+        let c = RuntimeConfig::from_env_values(None, None, None, None, None, None, None);
         assert_eq!(c, RuntimeConfig::default());
         assert_eq!(c.chunks_per_thread, DEFAULT_CHUNKS_PER_THREAD);
         assert_eq!(c.steal_chunks_per_thread, DEFAULT_STEAL_CHUNKS_PER_THREAD);
@@ -191,6 +205,7 @@ mod tests {
             Some("128"),
             Some("2500"),
             Some("server.handler:0.5"),
+            Some("8"),
         );
         assert_eq!(c.chunks_per_thread, 2);
         assert_eq!(c.steal_chunks_per_thread, 32);
@@ -198,6 +213,7 @@ mod tests {
         assert_eq!(c.max_connections, 128);
         assert_eq!(c.client_read_timeout_ms, 2500);
         assert_eq!(c.faults.as_deref(), Some("server.handler:0.5"));
+        assert_eq!(c.verdict_capacity, 8);
 
         let c = RuntimeConfig::from_env_values(
             Some("0"),
@@ -206,20 +222,26 @@ mod tests {
             Some("0"),
             Some("-3"),
             Some("   "),
+            Some("0"),
         );
         assert_eq!(c.chunks_per_thread, DEFAULT_CHUNKS_PER_THREAD);
         assert_eq!(c.steal_chunks_per_thread, DEFAULT_STEAL_CHUNKS_PER_THREAD);
         assert_eq!(c.max_connections, DEFAULT_MAX_CONNECTIONS);
         assert_eq!(c.client_read_timeout_ms, DEFAULT_CLIENT_READ_TIMEOUT_MS);
         assert_eq!(c.faults, None, "a blank spec disarms every probe");
+        assert_eq!(
+            c.verdict_capacity,
+            crate::sharded::DEFAULT_VERDICT_CAPACITY,
+            "a zero capacity falls back instead of disabling the cache"
+        );
     }
 
     #[test]
     fn seed_strings_hash_like_proptest() {
         // Mirrors vendor/proptest's rule: non-integer seeds hash FNV-1a.
-        let c = RuntimeConfig::from_env_values(None, None, Some("tuesday"), None, None, None);
+        let c = RuntimeConfig::from_env_values(None, None, Some("tuesday"), None, None, None, None);
         assert_eq!(c.proptest_seed, Some(fnv1a("tuesday")));
-        let c = RuntimeConfig::from_env_values(None, None, Some(" 42 "), None, None, None);
+        let c = RuntimeConfig::from_env_values(None, None, Some(" 42 "), None, None, None, None);
         assert_eq!(c.proptest_seed, Some(42));
     }
 

@@ -21,8 +21,11 @@
 //! * [`Verdict::Refined`] — groups conflict, but every conflict is
 //!   *directed*: for each shared cell one group's touches all precede
 //!   the other's in original order. The conflict graph is a DAG and
-//!   its longest-path layering yields **stages**; [`run_refined`] runs
-//!   stages sequentially with the groups of one stage in parallel.
+//!   its longest-path layering yields **stages**;
+//!   [`run_refined_compiled`] runs stages sequentially with the
+//!   groups of one stage in parallel as compiled range tasks
+//!   ([`run_refined`] is the interpreted fallback). Both reach groups
+//!   through seeked range cursors — no group table materialization.
 //! * [`Verdict::Rejected`] — intra-group touch order disagrees with
 //!   program order, conflicting touch ranges overlap, or the direction
 //!   graph has a cycle. The caller falls back to
@@ -45,17 +48,22 @@
 //! Verdicts are cached per `(structural_hash, valuation)` in
 //! [`crate::sharded::VerdictCache`], so a service audits each valuation
 //! once and every later request dispatches straight to the certified
-//! executor.
+//! executor. When the planner's template can additionally certify a
+//! whole valuation *interval* (`PlanTemplate::stability_box` in
+//! `pdm-core`), the cache stores the interval ahead of point entries
+//! and every in-interval valuation skips the audit entirely.
 
 use crate::checked::{detect_conflicts, LoggedAccess};
-use crate::exec::{exec_body, groups, offset_table, walk_group, GroupSpec};
+use crate::compile::CompiledPlan;
+use crate::exec::{exec_body, offset_table, walk_group, GroupSpec};
 use crate::memory::Memory;
-use crate::schedule;
+use crate::schedule::{self, Schedule};
 use crate::{Result, RuntimeError};
 use pdm_core::plan::ParallelPlan;
 use pdm_loopir::nest::LoopNest;
 use pdm_loopir::stmt::AccessKind;
 use pdm_matrix::vec::IVec;
+use pdm_poly::bounds::LoopBounds;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 
@@ -104,87 +112,155 @@ struct Touches {
     max_write: Option<Vec<i64>>,
 }
 
+/// One range task's worth of audit state, merged at the barrier.
+/// Cell ids are task-local (first-touch order within the range);
+/// `keys[local_id]` is the `(array, subscripts)` key, so the merge can
+/// remap local ids onto a global intern table deterministically.
+struct AuditLocal {
+    keys: Vec<(usize, Vec<i64>)>,
+    touches: HashMap<(usize, u64), Touches>,
+    groups: Vec<u64>,
+    disorder: Option<String>,
+}
+
+/// Walk one contiguous group range and summarize its touches. The
+/// intra-group order check is complete here: a group lies wholly within
+/// one range, so `touches` entries never need cross-task merging.
+fn audit_range(
+    nest: &LoopNest,
+    plan: &ParallelPlan,
+    offsets: &[IVec],
+    task: &schedule::RangeTask<'_, LoopBounds>,
+) -> Result<AuditLocal> {
+    let mut intern: HashMap<(usize, Vec<i64>), usize> = HashMap::new();
+    let mut local = AuditLocal {
+        keys: Vec::new(),
+        touches: HashMap::new(),
+        groups: Vec::new(),
+        disorder: None,
+    };
+    task.for_each(|gid, prefix, o| {
+        local.groups.push(gid);
+        let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
+        walk_group(nest, plan, &g, |idx| {
+            for stmt in nest.body() {
+                if !stmt.guards_hold(idx) {
+                    continue;
+                }
+                for (kind, r) in stmt.accesses() {
+                    let sub = r.access.eval(&IVec(idx.to_vec()))?;
+                    let next = local.keys.len();
+                    let cell = match intern.entry((r.array.0, sub.0)) {
+                        std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            local.keys.push(e.key().clone());
+                            *e.insert(next)
+                        }
+                    };
+                    let write = kind == AccessKind::Write;
+                    match local.touches.get_mut(&(cell, gid)) {
+                        None => {
+                            local.touches.insert(
+                                (cell, gid),
+                                Touches {
+                                    wrote: write,
+                                    min: idx.to_vec(),
+                                    max: idx.to_vec(),
+                                    max_write: write.then(|| idx.to_vec()),
+                                },
+                            );
+                        }
+                        Some(t) => {
+                            // Pairwise order check against everything
+                            // already walked in this group: a write
+                            // must be lex-after every prior touch, a
+                            // read lex-after every prior write.
+                            let bad = if write {
+                                idx < t.max.as_slice()
+                            } else {
+                                t.max_write.as_deref().is_some_and(|w| idx < w)
+                            };
+                            if bad && local.disorder.is_none() {
+                                local.disorder = Some(format!(
+                                    "group {gid} walks cell {cell} (array {}) against \
+                                     program order at iteration {idx:?}",
+                                    r.array.0
+                                ));
+                            }
+                            t.wrote |= write;
+                            if idx < t.min.as_slice() {
+                                t.min = idx.to_vec();
+                            }
+                            if idx > t.max.as_slice() {
+                                t.max = idx.to_vec();
+                            }
+                            if write && t.max_write.as_deref().is_none_or(|w| idx > w) {
+                                t.max_write = Some(idx.to_vec());
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })
+    })?;
+    Ok(local)
+}
+
 /// Audit the concrete nest (parameters already substituted) against the
 /// speculative `plan`: walk every group's iterations in plan order,
 /// log every access (guards respected, body **not** executed), and
 /// classify the result. See the [module docs](self) for the decision
 /// rules. Cost is one extra pass over the iteration space — compare
 /// `replan_ms` vs `audit_ms` in `BENCH_inspector.json` for why this
-/// beats re-planning per valuation.
+/// beats re-planning per valuation — and the walk fans out over the
+/// same steal-aware group ranges the executors use, so first-contact
+/// audits scale with cores.
+///
+/// Determinism: tasks cover disjoint ascending ranges and are merged
+/// in task order, so the global intern table, the group order, and the
+/// verdict are identical to a sequential walk regardless of thread
+/// schedule.
 pub fn audit(nest: &LoopNest, plan: &ParallelPlan) -> Result<Verdict> {
     let offsets = offset_table(plan);
-    // Cells interned as (array, subscripts) → dense id, so the audit
-    // needs no Memory and never faults on out-of-range subscripts.
+    let sched = crate::config::RuntimeConfig::global().schedule();
+    let tasks = schedule::plan_range_tasks(
+        plan.bounds(),
+        plan.doall_count(),
+        offsets.len(),
+        &sched,
+        rayon::current_num_threads().max(1),
+    )?;
+    let locals: std::result::Result<Vec<AuditLocal>, RuntimeError> = tasks
+        .par_iter()
+        .map(|task| audit_range(nest, plan, &offsets, task))
+        .collect();
+
+    // Merge in task order: walking each task's keys in first-touch
+    // order reproduces the sequential intern numbering exactly.
     let mut intern: HashMap<(usize, Vec<i64>), usize> = HashMap::new();
     let mut touches: HashMap<(usize, u64), Touches> = HashMap::new();
     let mut all_groups: Vec<u64> = Vec::new();
     let mut disorder: Option<String> = None;
-    schedule::for_each_group_in_range(
-        plan.bounds(),
-        plan.doall_count(),
-        offsets.len(),
-        0,
-        u64::MAX,
-        |gid, prefix, o| {
-            all_groups.push(gid);
-            let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
-            walk_group(nest, plan, &g, |idx| {
-                for stmt in nest.body() {
-                    if !stmt.guards_hold(idx) {
-                        continue;
-                    }
-                    for (kind, r) in stmt.accesses() {
-                        let sub = r.access.eval(&IVec(idx.to_vec()))?;
-                        let next = intern.len();
-                        let cell = *intern.entry((r.array.0, sub.0)).or_insert(next);
-                        let write = kind == AccessKind::Write;
-                        match touches.get_mut(&(cell, gid)) {
-                            None => {
-                                touches.insert(
-                                    (cell, gid),
-                                    Touches {
-                                        wrote: write,
-                                        min: idx.to_vec(),
-                                        max: idx.to_vec(),
-                                        max_write: write.then(|| idx.to_vec()),
-                                    },
-                                );
-                            }
-                            Some(t) => {
-                                // Pairwise order check against everything
-                                // already walked in this group: a write
-                                // must be lex-after every prior touch, a
-                                // read lex-after every prior write.
-                                let bad = if write {
-                                    idx < t.max.as_slice()
-                                } else {
-                                    t.max_write.as_deref().is_some_and(|w| idx < w)
-                                };
-                                if bad && disorder.is_none() {
-                                    disorder = Some(format!(
-                                        "group {gid} walks cell {cell} (array {}) against \
-                                         program order at iteration {idx:?}",
-                                        r.array.0
-                                    ));
-                                }
-                                t.wrote |= write;
-                                if idx < t.min.as_slice() {
-                                    t.min = idx.to_vec();
-                                }
-                                if idx > t.max.as_slice() {
-                                    t.max = idx.to_vec();
-                                }
-                                if write && t.max_write.as_deref().is_none_or(|w| idx > w) {
-                                    t.max_write = Some(idx.to_vec());
-                                }
-                            }
-                        }
-                    }
-                }
-                Ok(())
+    for local in locals? {
+        let remap: Vec<usize> = local
+            .keys
+            .into_iter()
+            .map(|key| {
+                let next = intern.len();
+                *intern.entry(key).or_insert(next)
             })
-        },
-    )?;
+            .collect();
+        // Plain inserts: a group lives in exactly one range task, so
+        // (cell, gid) keys are disjoint across tasks.
+        for ((cell, gid), t) in local.touches {
+            touches.insert((remap[cell], gid), t);
+        }
+        all_groups.extend(local.groups);
+        if disorder.is_none() {
+            disorder = local.disorder;
+        }
+    }
     if let Some(reason) = disorder {
         // Intra-group misordering cannot be repaired by staging whole
         // groups — only sequential execution preserves semantics.
@@ -283,30 +359,79 @@ pub fn audit(nest: &LoopNest, plan: &ParallelPlan) -> Result<Verdict> {
     Ok(Verdict::Refined { stages })
 }
 
-/// Execute a [`Verdict::Refined`] staging: stages run one after the
-/// other, the groups of one stage concurrently on the rayon pool.
-/// Returns the number of iterations executed.
+/// Coalesce one stage's group ids into contiguous `[start, end)` runs
+/// and split fat runs so the stage yields roughly `target` similarly
+/// sized chunks — the unit of parallelism for the refined executors.
+/// Chunks are cursor ranges, so no group table is ever materialized.
+fn stage_chunks(stage: &[u64], target: usize) -> Vec<(u64, u64)> {
+    let mut gids = stage.to_vec();
+    gids.sort_unstable();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for g in gids {
+        match runs.last_mut() {
+            Some(r) if r.1 == g => r.1 = g + 1,
+            _ => runs.push((g, g + 1)),
+        }
+    }
+    let per = (stage.len() as u64 / target.max(1) as u64).max(1);
+    let mut chunks = Vec::new();
+    for (mut s, e) in runs {
+        while e - s > per {
+            chunks.push((s, s + per));
+            s += per;
+        }
+        if s < e {
+            chunks.push((s, e));
+        }
+    }
+    chunks
+}
+
+/// Target chunk count per stage for the current pool and schedule.
+fn stage_chunk_target(sched: &Schedule) -> usize {
+    rayon::current_num_threads().max(1) * sched.chunks_per_thread.max(1)
+}
+
+/// Execute a [`Verdict::Refined`] staging through the interpreter:
+/// stages run one after the other, the groups of one stage
+/// concurrently on the rayon pool. Groups are reached with seeked
+/// range cursors — no group table is materialized, so peak live
+/// groups stays bounded by threads × chunks. Returns the number of
+/// iterations executed.
+///
+/// Prefer [`run_refined_compiled`] when a [`CompiledPlan`] for the
+/// nest exists; this interpreted walker is the fallback for bodies
+/// the compiler cannot stage.
 pub fn run_refined(
     nest: &LoopNest,
     plan: &ParallelPlan,
     mem: &Memory,
     stages: &[Vec<u64>],
 ) -> Result<u64> {
-    let group_table = groups(plan)?;
+    let offsets = offset_table(plan);
+    let z = plan.doall_count();
+    let target = stage_chunk_target(&crate::config::RuntimeConfig::global().schedule());
     let mut total = 0u64;
     for stage in stages {
-        let counts: std::result::Result<Vec<u64>, RuntimeError> = stage
+        let counts: std::result::Result<Vec<u64>, RuntimeError> = stage_chunks(stage, target)
             .par_iter()
-            .map(|&gid| {
-                let g = group_table.get(gid as usize).ok_or_else(|| {
-                    RuntimeError::Core(format!("refined stage names group {gid}"))
-                })?;
+            .map(|&(start, end)| {
                 let mut count = 0u64;
-                walk_group(nest, plan, g, |idx| {
-                    exec_body(nest, mem, idx)?;
-                    count += 1;
-                    Ok(())
-                })?;
+                schedule::for_each_group_in_range(
+                    plan.bounds(),
+                    z,
+                    offsets.len(),
+                    start,
+                    end,
+                    |_gid, prefix, o| {
+                        let g = GroupSpec::new(prefix.to_vec(), offsets[o].clone());
+                        walk_group(nest, plan, &g, |idx| {
+                            exec_body(nest, mem, idx)?;
+                            count += 1;
+                            Ok(())
+                        })
+                    },
+                )?;
                 Ok(count)
             })
             .collect();
@@ -315,9 +440,37 @@ pub fn run_refined(
     Ok(total)
 }
 
+/// Execute a [`Verdict::Refined`] staging through a [`CompiledPlan`]:
+/// each stage's contiguous group runs become compiled range tasks
+/// (one scratch per chunk, the streaming `run_range` driver — the
+/// same machinery `run_parallel_scheduled` uses), with a barrier
+/// between stages. Returns the iterations executed.
+pub fn run_refined_compiled(
+    plan: &CompiledPlan,
+    mem: &Memory,
+    stages: &[Vec<u64>],
+    sched: Schedule,
+) -> Result<u64> {
+    let target = stage_chunk_target(&sched);
+    let mut total = 0u64;
+    for stage in stages {
+        let counts: std::result::Result<Vec<u64>, RuntimeError> = stage_chunks(stage, target)
+            .par_iter()
+            .map(|&(start, end)| {
+                let mut scratch = plan.new_scratch();
+                plan.run_range(mem, start, end, &mut scratch)
+            })
+            .collect();
+        total += counts?.into_iter().sum::<u64>();
+    }
+    Ok(total)
+}
+
 /// Dispatch execution on a verdict: certified → the parallel
-/// interpreter, refined → [`run_refined`], rejected → the sequential
-/// reference order. Returns the iterations executed.
+/// interpreter, refined → the compiled staged executor (falling back
+/// to interpreted [`run_refined`] if the body defeats the compiler),
+/// rejected → the sequential reference order. Returns the iterations
+/// executed.
 pub fn run_with_verdict(
     nest: &LoopNest,
     plan: &ParallelPlan,
@@ -326,7 +479,15 @@ pub fn run_with_verdict(
 ) -> Result<u64> {
     match verdict {
         Verdict::Certified => crate::exec::run_parallel(nest, plan, mem),
-        Verdict::Refined { stages } => run_refined(nest, plan, mem, stages),
+        Verdict::Refined { stages } => match CompiledPlan::compile(nest, plan, mem) {
+            Ok(cp) => run_refined_compiled(
+                &cp,
+                mem,
+                stages,
+                crate::config::RuntimeConfig::global().schedule(),
+            ),
+            Err(_) => run_refined(nest, plan, mem, stages),
+        },
         Verdict::Rejected { .. } => crate::exec::run_sequential(nest, mem),
     }
 }
@@ -436,6 +597,74 @@ mod tests {
         } }";
         let (_, _, v) = audit_at(src, &["K"], &[("K", 0)]);
         assert_eq!(v, Verdict::Certified);
+    }
+
+    #[test]
+    fn refined_compiled_matches_interpreted_and_sequential() {
+        // Row-shift refinement: both refined executors must agree with
+        // each other and with the sequential reference, bit for bit.
+        let src = "for i1 = 0..=7 { for i2 = 0..=7 { A[i1 + K, i2] = A[i1, i2] + 1; } }";
+        let (nest, plan, v) = audit_at(src, &["K"], &[("K", 1)]);
+        let stages = match &v {
+            Verdict::Refined { stages } => stages.clone(),
+            other => panic!("expected refinement, got {other:?}"),
+        };
+        let m_ref = Memory::for_nest(&nest).unwrap();
+        crate::exec::run_sequential(&nest, &m_ref).unwrap();
+
+        let m_interp = Memory::for_nest(&nest).unwrap();
+        let n_interp = run_refined(&nest, &plan, &m_interp, &stages).unwrap();
+        assert_eq!(n_interp, 64);
+        assert_eq!(m_interp.snapshot(), m_ref.snapshot());
+
+        let cp = CompiledPlan::compile(&nest, &plan, &m_ref).unwrap();
+        let m_comp = Memory::for_nest(&nest).unwrap();
+        let sched = crate::config::RuntimeConfig::global().schedule();
+        let n_comp = run_refined_compiled(&cp, &m_comp, &stages, sched).unwrap();
+        assert_eq!(n_comp, 64);
+        assert_eq!(m_comp.snapshot(), m_ref.snapshot());
+    }
+
+    #[test]
+    fn stage_chunks_cover_each_stage_exactly() {
+        // Contiguous and gapped stages, various targets: the chunks
+        // must partition exactly the stage's gids, in order.
+        let cases: [&[u64]; 4] = [&[0, 1, 2, 3, 4, 5, 6, 7], &[3], &[2, 3, 7, 8, 9, 20], &[]];
+        for stage in cases {
+            for target in [1usize, 3, 16] {
+                let chunks = stage_chunks(stage, target);
+                let mut covered: Vec<u64> = Vec::new();
+                for &(s, e) in &chunks {
+                    assert!(s < e, "empty chunk in {chunks:?}");
+                    covered.extend(s..e);
+                }
+                assert_eq!(covered, stage, "target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn audit_verdict_is_identical_across_pool_sizes() {
+        // The parallel walk's task-order merge must reproduce the
+        // single-threaded audit exactly — intern ids and stages
+        // included.
+        let src = "for i1 = 0..=5 { for i2 = 0..=5 { A[i1 + K, i2] = A[i1, i2] + 1; } }";
+        let shape = parse_loop_symbolic(src, &["K"]).unwrap();
+        let t = plan_template(&shape).unwrap();
+        let plan = t.instantiate(&[("K", 1)]).unwrap();
+        let nest = t.instantiate_nest(&[("K", 1)]).unwrap();
+        let one = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let four = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let v1 = one.install(|| audit(&nest, &plan)).unwrap();
+        let v4 = four.install(|| audit(&nest, &plan)).unwrap();
+        assert_eq!(v1, v4);
+        assert!(matches!(v1, Verdict::Refined { .. }), "{v1:?}");
     }
 
     #[test]

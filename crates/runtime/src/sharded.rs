@@ -451,12 +451,103 @@ fn lock_cache(shard: &Shard) -> std::sync::MutexGuard<'_, PlanCache> {
     }
 }
 
-/// Sharded store of inspector verdicts, keyed by
-/// `(structural_hash, parameter valuation)`: the template cache
-/// amortizes *planning* per shape, this cache amortizes *auditing* per
-/// `(shape, size)` — every later request for an audited valuation
-/// dispatches straight to the verdict's executor
-/// ([`crate::inspector::run_with_verdict`]).
+/// Default per-shard point-entry capacity. Override globally with
+/// `PDM_VERDICT_CAPACITY` ([`crate::config::RuntimeConfig`]) or per
+/// cache with [`VerdictCache::with_capacity`].
+pub const DEFAULT_VERDICT_CAPACITY: usize = 256;
+
+/// Interval entries retained per shape; beyond this the oldest
+/// interval is dropped (counted as an eviction). Certified intervals
+/// are few per shape in practice — this is a churn backstop.
+const MAX_INTERVALS_PER_SHAPE: usize = 32;
+
+/// Which tier answered a [`VerdictCache::get_with_source`] probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictSource {
+    /// A certified valuation interval contained the probe — no audit
+    /// for this valuation ever ran.
+    Interval,
+    /// An exact `(shape, valuation)` point entry.
+    Point,
+}
+
+/// Counter and occupancy snapshot of a [`VerdictCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictCacheStats {
+    /// Point-entry hits.
+    pub hits: u64,
+    /// Probes answered by a certified interval.
+    pub interval_hits: u64,
+    /// Probes answered by neither tier.
+    pub misses: u64,
+    /// Point entries evicted by the LRU bound plus interval entries
+    /// dropped by the per-shape cap.
+    pub evictions: u64,
+    /// Point entries currently cached.
+    pub entries: u64,
+    /// Interval entries currently cached.
+    pub intervals: u64,
+}
+
+/// One certified valuation box: every valuation `v` with
+/// `lo[j] <= v[j] <= hi[j]` for all `j` provably audits to `verdict`.
+struct IntervalEntry {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    verdict: Verdict,
+}
+
+impl IntervalEntry {
+    fn contains(&self, valuation: &[i64]) -> bool {
+        self.lo.len() == valuation.len()
+            && valuation
+                .iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(&v, (&lo, &hi))| lo <= v && v <= hi)
+    }
+}
+
+/// Point-entry shard: shape hash → valuation → (verdict, last-used
+/// tick). Two map levels so the hit path probes the inner map with a
+/// borrowed `&[i64]` (`Vec<i64>: Borrow<[i64]>`) — no allocation per
+/// `get`. `len` tracks total entries across the outer map; `tick` is
+/// the shard-local LRU clock.
+#[derive(Default)]
+struct PointShard {
+    map: HashMap<u64, HashMap<Vec<i64>, (Verdict, u64)>>,
+    len: usize,
+    tick: u64,
+}
+
+/// RwLock with poison recovery, mirroring [`lock_recovering`]: the
+/// interval tier is read-mostly and its state is consistent between
+/// method calls.
+fn read_recovering<T>(l: &std::sync::RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn write_recovering<T>(l: &std::sync::RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Sharded store of inspector verdicts: the template cache amortizes
+/// *planning* per shape, this cache amortizes *auditing*. Two tiers:
+///
+/// * **Intervals** — certified valuation boxes
+///   (`PlanTemplate::stability_box` in `pdm-core`), sharded by shape
+///   hash under read-mostly `RwLock`s and probed *first*: any
+///   in-interval valuation is answered without ever having been
+///   audited.
+/// * **Points** — exact `(shape, valuation)` entries, LRU-bounded per
+///   shard. The shard index mixes the **valuation** into the hash, so
+///   valuation churn on one hot shape spreads across shards instead
+///   of serializing on a single mutex.
 ///
 /// Audits are cheap relative to planning (one logging pass over the
 /// iteration space, no Fourier–Motzkin), so there is no single-flight
@@ -464,57 +555,171 @@ fn lock_cache(shard: &Shard) -> std::sync::MutexGuard<'_, PlanCache> {
 /// twice and insert the same (deterministic) verdict — harmless, and
 /// much simpler than the flight protocol above.
 pub struct VerdictCache {
-    shards: Vec<Mutex<HashMap<(u64, Vec<i64>), Verdict>>>,
+    points: Vec<Mutex<PointShard>>,
+    intervals: Vec<std::sync::RwLock<HashMap<u64, Vec<IntervalEntry>>>>,
+    capacity: usize,
     hits: AtomicU64,
+    interval_hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl VerdictCache {
-    /// A cache of `shards` independent shards (≥ 1), unbounded within
-    /// each shard (verdicts are a few words; valuation churn is the
-    /// caller's capacity concern).
+    /// A cache of `shards` independent shards (≥ 1) with the default
+    /// per-shard point capacity.
     pub fn new(shards: usize) -> VerdictCache {
+        VerdictCache::with_capacity(shards, DEFAULT_VERDICT_CAPACITY)
+    }
+
+    /// A cache of `shards` shards, each holding at most
+    /// `capacity_per_shard` point entries (≥ 1; least-recently-used
+    /// entries are evicted beyond that).
+    pub fn with_capacity(shards: usize, capacity_per_shard: usize) -> VerdictCache {
+        let shards = shards.max(1);
         VerdictCache {
-            shards: (0..shards.max(1))
-                .map(|_| Mutex::new(HashMap::new()))
+            points: (0..shards)
+                .map(|_| Mutex::new(PointShard::default()))
                 .collect(),
+            intervals: (0..shards)
+                .map(|_| std::sync::RwLock::new(HashMap::new()))
+                .collect(),
+            capacity: capacity_per_shard.max(1),
             hits: AtomicU64::new(0),
+            interval_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard_for(&self, hash: u64) -> &Mutex<HashMap<(u64, Vec<i64>), Verdict>> {
-        &self.shards[(hash % self.shards.len() as u64) as usize]
+    /// Point-entry capacity per shard.
+    pub fn capacity_per_shard(&self) -> usize {
+        self.capacity
+    }
+
+    fn point_shard_for(&self, hash: u64, valuation: &[i64]) -> &Mutex<PointShard> {
+        // FNV-1a over the shape hash and the valuation, so distinct
+        // sizes of one hot shape land on distinct shard mutexes.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ hash;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+        for &v in valuation {
+            h ^= v as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        &self.points[(h % self.points.len() as u64) as usize]
+    }
+
+    fn interval_shard_for(
+        &self,
+        hash: u64,
+    ) -> &std::sync::RwLock<HashMap<u64, Vec<IntervalEntry>>> {
+        &self.intervals[(hash % self.intervals.len() as u64) as usize]
     }
 
     /// The cached verdict for a `(shape, valuation)` pair, counting a
-    /// hit or miss.
+    /// point hit, an interval hit, or a miss.
     pub fn get(&self, hash: u64, valuation: &[i64]) -> Option<Verdict> {
-        let shard = lock_recovering(self.shard_for(hash));
-        // Allocation-free probe would need a borrowed key; valuations
-        // are short, one Vec per miss-path lookup is fine.
-        let found = shard.get(&(hash, valuation.to_vec())).cloned();
-        match found {
-            Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
+        self.get_with_source(hash, valuation).map(|(v, _)| v)
+    }
+
+    /// [`VerdictCache::get`] plus which tier answered. Intervals are
+    /// probed first: a certified box answers every valuation inside it,
+    /// audited or not.
+    pub fn get_with_source(
+        &self,
+        hash: u64,
+        valuation: &[i64],
+    ) -> Option<(Verdict, VerdictSource)> {
+        {
+            let shard = read_recovering(self.interval_shard_for(hash));
+            if let Some(entries) = shard.get(&hash) {
+                if let Some(e) = entries.iter().find(|e| e.contains(valuation)) {
+                    self.interval_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((e.verdict.clone(), VerdictSource::Interval));
+                }
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        }
+        let mut shard = lock_recovering(self.point_shard_for(hash, valuation));
+        let tick = shard.tick;
+        shard.tick += 1;
+        // Borrowed-key probe: no allocation on the hit path.
+        if let Some(entry) = shard.map.get_mut(&hash).and_then(|m| m.get_mut(valuation)) {
+            entry.1 = tick;
+            let v = entry.0.clone();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((v, VerdictSource::Point));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Record the verdict for a `(shape, valuation)` point. At
+    /// capacity the shard's least-recently-used entry is evicted
+    /// first (and counted).
+    pub fn insert(&self, hash: u64, valuation: Vec<i64>, verdict: Verdict) {
+        let mut shard = lock_recovering(self.point_shard_for(hash, &valuation));
+        let tick = shard.tick;
+        shard.tick += 1;
+        let is_new = shard
+            .map
+            .get(&hash)
+            .is_none_or(|m| !m.contains_key(valuation.as_slice()));
+        if is_new && shard.len >= self.capacity {
+            // Exact LRU: an O(entries) scan, paid only at capacity —
+            // shards are small (capacity ≤ a few hundred entries).
+            let victim = shard
+                .map
+                .iter()
+                .flat_map(|(&h, m)| m.iter().map(move |(v, &(_, t))| (t, h, v.clone())))
+                .min_by_key(|e| e.0);
+            if let Some((_, h, v)) = victim {
+                let emptied = {
+                    let m = shard.map.get_mut(&h).expect("victim shape present");
+                    m.remove(&v);
+                    m.is_empty()
+                };
+                if emptied {
+                    shard.map.remove(&h);
+                }
+                shard.len -= 1;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if shard
+            .map
+            .entry(hash)
+            .or_default()
+            .insert(valuation, (verdict, tick))
+            .is_none()
+        {
+            shard.len += 1;
         }
     }
 
-    /// Record the verdict for a `(shape, valuation)` pair.
-    pub fn insert(&self, hash: u64, valuation: Vec<i64>, verdict: Verdict) {
-        let mut shard = lock_recovering(self.shard_for(hash));
-        shard.insert((hash, valuation), verdict);
+    /// Record a certified valuation interval for a shape: every
+    /// valuation inside `bounds` (closed per-parameter ranges, indexed
+    /// like the valuation) is answered with `verdict` without an
+    /// audit. Duplicate boxes (e.g. from two concurrent first
+    /// requests) are deduplicated; beyond
+    /// [`MAX_INTERVALS_PER_SHAPE`] the oldest interval is dropped and
+    /// counted as an eviction.
+    pub fn insert_interval(&self, hash: u64, bounds: &[(i64, i64)], verdict: Verdict) {
+        let (lo, hi): (Vec<i64>, Vec<i64>) = bounds.iter().copied().unzip();
+        let mut shard = write_recovering(self.interval_shard_for(hash));
+        let entries = shard.entry(hash).or_default();
+        if entries.iter().any(|e| e.lo == lo && e.hi == hi) {
+            return;
+        }
+        entries.push(IntervalEntry { lo, hi, verdict });
+        if entries.len() > MAX_INTERVALS_PER_SHAPE {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The verdict for a pair — cached, or computed by `audit` and
-    /// cached (errors are returned uncached, so a transient failure
-    /// does not pin a wrong verdict).
+    /// cached as a point entry (errors are returned uncached, so a
+    /// transient failure does not pin a wrong verdict). The `audit`
+    /// closure runs outside every cache lock.
     pub fn get_or_audit<F>(&self, hash: u64, valuation: &[i64], audit: F) -> Result<Verdict>
     where
         F: FnOnce() -> Result<Verdict>,
@@ -527,22 +732,40 @@ impl VerdictCache {
         Ok(v)
     }
 
-    /// Verdicts currently cached.
+    /// Point verdicts currently cached (intervals are counted
+    /// separately — see [`VerdictCache::stats`]).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock_recovering(s).len()).sum()
+        self.points.iter().map(|s| lock_recovering(s).len).sum()
     }
 
-    /// Is the cache empty?
+    /// Is the cache empty of point entries?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// `(hits, misses)` counter snapshot.
+    /// `(point hits, misses)` counter snapshot — the legacy shape;
+    /// interval hits are separate in [`VerdictCache::stats`].
     pub fn hit_stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Full counter and occupancy snapshot.
+    pub fn stats(&self) -> VerdictCacheStats {
+        VerdictCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            interval_hits: self.interval_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            intervals: self
+                .intervals
+                .iter()
+                .map(|s| read_recovering(s).values().map(Vec::len).sum::<usize>())
+                .sum::<usize>() as u64,
+        }
     }
 }
 
@@ -805,6 +1028,122 @@ mod tests {
         let (hits, misses) = vc.hit_stats();
         assert_eq!(hits, 2);
         assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn verdict_cache_bounds_points_with_lru_eviction() {
+        use crate::inspector::Verdict;
+        // One shard so every valuation shares a capacity pool.
+        let vc = VerdictCache::with_capacity(1, 2);
+        assert_eq!(vc.capacity_per_shard(), 2);
+        vc.insert(7, vec![1], Verdict::Certified);
+        vc.insert(7, vec![2], Verdict::Certified);
+        // Touch [1] so [2] becomes least-recently-used, then overflow.
+        assert!(vc.get(7, &[1]).is_some());
+        vc.insert(7, vec![3], Verdict::Certified);
+        assert_eq!(vc.len(), 2, "capacity bound holds");
+        assert!(vc.get(7, &[1]).is_some(), "recently used survives");
+        assert!(vc.get(7, &[3]).is_some(), "new entry present");
+        assert!(vc.get(7, &[2]).is_none(), "LRU victim evicted");
+        let s = vc.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // Re-inserting an existing key is an update, not an eviction.
+        vc.insert(7, vec![3], Verdict::Certified);
+        assert_eq!(vc.stats().evictions, 1);
+        assert_eq!(vc.len(), 2);
+    }
+
+    #[test]
+    fn verdict_cache_intervals_answer_ahead_of_points() {
+        use crate::inspector::Verdict;
+        let vc = VerdictCache::new(4);
+        vc.insert_interval(9, &[(20, i64::MAX)], Verdict::Certified);
+        // In-interval valuations hit without any point entry.
+        assert_eq!(vc.get(9, &[20]), Some(Verdict::Certified));
+        assert_eq!(
+            vc.get_with_source(9, &[1_000_000]),
+            Some((Verdict::Certified, VerdictSource::Interval))
+        );
+        // Outside the box falls through to the point tier.
+        assert_eq!(vc.get(9, &[19]), None);
+        vc.insert(9, vec![19], Verdict::Rejected { reason: "t".into() });
+        assert_eq!(
+            vc.get_with_source(9, &[19]).map(|(v, s)| (v.kind(), s)),
+            Some(("rejected", VerdictSource::Point))
+        );
+        // A duplicate box is deduplicated, a distinct one is kept.
+        vc.insert_interval(9, &[(20, i64::MAX)], Verdict::Certified);
+        vc.insert_interval(9, &[(i64::MIN, -20)], Verdict::Certified);
+        let s = vc.stats();
+        assert_eq!(s.intervals, 2);
+        assert_eq!(s.interval_hits, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.entries, 1);
+        // get_or_audit never audits inside a certified interval.
+        vc.get_or_audit(9, &[500], || panic!("in-interval audit"))
+            .unwrap();
+    }
+
+    #[test]
+    fn bounded_verdict_cache_storm_keeps_stats_invariant() {
+        use crate::inspector::Verdict;
+        use std::sync::atomic::AtomicU64;
+        // Tiny capacity so the storm constantly evicts, plus auditors
+        // that panic or error mid-flight: every probe must still land
+        // in exactly one counter bucket, the bound must hold, and the
+        // cache must stay usable (no poisoned shard).
+        let vc = std::sync::Arc::new(VerdictCache::with_capacity(2, 4));
+        vc.insert_interval(1, &[(1_000, i64::MAX)], Verdict::Certified);
+        let threads = 8usize;
+        let rounds = 60usize;
+        let probes = AtomicU64::new(0);
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let vc = std::sync::Arc::clone(&vc);
+                let probes = &probes;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for r in 0..rounds {
+                        let k = ((t * rounds + r) % 40) as i64;
+                        // Mix shapes: shape 1 carries the interval, so
+                        // large valuations are interval hits.
+                        let hash = if r % 3 == 0 { 1 } else { 2 };
+                        let val = if r % 5 == 0 { k + 1_000 } else { k };
+                        probes.fetch_add(1, Ordering::Relaxed);
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            vc.get_or_audit(hash, &[val], || match r % 4 {
+                                0 => panic!("injected auditor panic"),
+                                1 => Err(RuntimeError::Core("injected".into())),
+                                _ => Ok(Verdict::Certified),
+                            })
+                        }));
+                        if let Ok(Ok(v)) = out {
+                            assert_eq!(v, Verdict::Certified);
+                        }
+                    }
+                });
+            }
+        });
+        let s = vc.stats();
+        let probes = probes.load(Ordering::Relaxed);
+        assert_eq!(
+            s.hits + s.interval_hits + s.misses,
+            probes,
+            "every probe lands in exactly one bucket: {s:?}"
+        );
+        assert!(s.interval_hits > 0, "storm exercised the interval tier");
+        assert!(s.entries <= (2 * 4) as u64, "LRU bound violated: {s:?}");
+        assert_eq!(s.entries as usize, vc.len());
+        // Eviction accounting balances: successful audits that
+        // inserted minus evictions equals what is still resident.
+        assert!(s.evictions > 0, "tiny capacity must have evicted: {s:?}");
+        // The cache is not wedged: a clean probe still round-trips.
+        vc.insert(3, vec![0], Verdict::Certified);
+        assert_eq!(vc.get(3, &[0]), Some(Verdict::Certified));
     }
 
     #[test]

@@ -157,3 +157,100 @@ fn verdicts_agree_with_the_brute_force_oracle() {
         "all {audited} audits certified — the demoted executors went untested"
     );
 }
+
+/// The facts the audit verdict is compared on across an interval:
+/// the kind, plus the exact staging for refinements. (Rejection
+/// *reasons* are intentionally excluded — they name the first
+/// violation found, which depends on hash-map iteration order.)
+fn verdict_shape(v: &Verdict) -> (String, Option<Vec<Vec<u64>>>) {
+    match v {
+        Verdict::Refined { stages } => (v.kind().into(), Some(stages.clone())),
+        other => (other.kind().into(), None),
+    }
+}
+
+/// Interval certification vs. the per-point oracle: every valuation
+/// inside a certified stability box must audit to the same verdict the
+/// box was derived at — kind and (for refinements) the exact stages.
+#[test]
+fn certified_intervals_match_the_per_point_audit() {
+    let base = base_seed();
+    let cfgs = [
+        GenConfig {
+            depth: 1,
+            extent: 7,
+            coeff: 1,
+            offset: 2,
+            stmts: 1,
+            arrays: 1,
+        },
+        GenConfig {
+            depth: 2,
+            extent: 4,
+            coeff: 2,
+            offset: 3,
+            stmts: 2,
+            arrays: 2,
+        },
+    ];
+    let mut boxes_checked = 0usize;
+    let mut points_checked = 0usize;
+    for case in 0..40u64 {
+        let cfg = &cfgs[(case % cfgs.len() as u64) as usize];
+        let seed = base.wrapping_add(1_000).wrapping_add(case);
+        let shape = match random_inspector_nest(seed, cfg, &["K"]) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let template = match plan_template(&shape) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        for k0 in [0i64, 3, 25, -25] {
+            let vals = [("K", k0)];
+            let Ok(plan) = template.instantiate(&vals) else {
+                continue;
+            };
+            let nest = template.instantiate_nest(&vals).unwrap();
+            let expected = verdict_shape(&audit(&nest, &plan).unwrap());
+            let bx = match template.stability_box(&vals) {
+                Ok(Some(b)) => b,
+                _ => continue, // point-only valuation: nothing to check
+            };
+            boxes_checked += 1;
+            let (lo, hi) = bx[0];
+            assert!(
+                lo <= k0 && k0 <= hi,
+                "seed {seed}: box {bx:?} must contain its own valuation K={k0}"
+            );
+            // Probe the box: its finite edges, and a spread around the
+            // audited point, all clamped inside.
+            let mut probes = vec![k0 + 1, k0 - 1, k0 + 5, k0 - 5, k0 + 97, k0 - 97];
+            if lo > i64::MIN {
+                probes.extend([lo, lo + 1]);
+            }
+            if hi < i64::MAX {
+                probes.extend([hi, hi - 1]);
+            }
+            probes.retain(|&k| lo <= k && k <= hi && k != k0);
+            probes.sort_unstable();
+            probes.dedup();
+            for k in probes {
+                let vals_k = [("K", k)];
+                let plan_k = template.instantiate(&vals_k).unwrap();
+                let nest_k = template.instantiate_nest(&vals_k).unwrap();
+                let got = verdict_shape(&audit(&nest_k, &plan_k).unwrap());
+                assert_eq!(
+                    got, expected,
+                    "seed {seed}: K={k} inside box {bx:?} (derived at K={k0}) \
+                     audits differently"
+                );
+                points_checked += 1;
+            }
+        }
+    }
+    // Vacuity guards: the generator must keep producing certifiable
+    // boxes with probe-able interiors.
+    assert!(boxes_checked >= 5, "only {boxes_checked} boxes certified");
+    assert!(points_checked >= 10, "only {points_checked} in-box audits");
+}

@@ -56,7 +56,7 @@
 //! |----|----------------|-----------------|
 //! | `plan` | `source` + `params`, or `shape_hash` | `shape_hash`, `depth`, `doall`, `partitions`, `params` |
 //! | `instantiate` | shape + `values` (`{"N": 64}`) | plan fields + `groups` |
-//! | `run` | shape + `values`, optional `seed` | plan fields + `iterations`, `checksum`, `observed_threads`, `observed_steals`, and `verdict` for inspected (parametric-subscript) shapes |
+//! | `run` | shape + `values`, optional `seed` | plan fields + `iterations`, `checksum`, `observed_threads`, `observed_steals`, and — for inspected (parametric-subscript) shapes — `verdict` plus `interval_hit` (true when the verdict came from a certified stability interval instead of an audit) |
 //! | `stats` | — | `cache` (counters), `shards` (per-shard), `requests_total`, `template_acquire_mean_us` |
 //! | `metrics` | — | `text`: the Prometheus-style exposition page |
 //! | `shutdown` | — | confirms, then the server drains and exits |
@@ -136,6 +136,22 @@
 //!   or per-session through [`SessionBuilder::faults`]. Disarmed
 //!   probes cost one relaxed atomic load; the `BENCH_faults.json` gate
 //!   holds the armed-at-zero overhead under 5%.
+//!
+//! ## Inspection and the verdict cache
+//!
+//! Parametric-subscript shapes are audited per valuation and the
+//! verdict cached in a bounded, sharded
+//! [`VerdictCache`](pdm_runtime::sharded::VerdictCache) (LRU per
+//! shard; capacity via `PDM_VERDICT_CAPACITY` or
+//! [`SessionBuilder::verdict_capacity`]). When the audited access
+//! geometry admits it, the session also derives a **stability
+//! interval** — a box of valuations on which the verdict provably
+//! holds — and caches it ahead of the point entries, so in-interval
+//! valuations skip the audit entirely. The `/metrics` page exposes
+//! `pdm_inspector_{certified,refined,rejected}_total`,
+//! `pdm_inspector_interval_hits_total`, audit latency, and
+//! `pdm_verdict_cache_{hits,interval_hits,misses,evictions}_total`
+//! with the `pdm_verdict_cache_{entries,intervals}` gauges.
 //!
 //! This crate also owns the dependency-free [`json`] module (parser +
 //! serializer) used for both wire frames and bench snapshots —

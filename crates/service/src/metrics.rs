@@ -166,6 +166,9 @@ pub struct ServiceMetrics {
     pub inspector_refined: AtomicU64,
     /// Inspected runs rejected back to sequential order.
     pub inspector_rejected: AtomicU64,
+    /// Inspected runs answered by a certified valuation *interval* in
+    /// the verdict cache — no audit ever ran for that valuation.
+    pub inspector_interval_hits: AtomicU64,
     /// Latency of *fresh* inspector audits (verdict-cache hits skip the
     /// walk and are not recorded here).
     pub inspector_audit: LatencyHistogram,
@@ -198,9 +201,14 @@ impl ServiceMetrics {
 }
 
 /// Render the full metrics page: cache counters (aggregate and
-/// per-shard), per-operation request counts and latency histograms, and
-/// the runtime's live group gauges.
-pub fn render_metrics(metrics: &ServiceMetrics, cache: &ShardedPlanCache) -> String {
+/// per-shard), verdict-cache counters (point/interval tiers and LRU
+/// evictions), per-operation request counts and latency histograms,
+/// and the runtime's live group gauges.
+pub fn render_metrics(
+    metrics: &ServiceMetrics,
+    cache: &ShardedPlanCache,
+    verdicts: &pdm_runtime::sharded::VerdictCache,
+) -> String {
     let mut out = String::new();
     let total = cache.stats();
     push_counter(&mut out, "pdm_cache_hits_total", "cache hits", total.hits);
@@ -235,6 +243,44 @@ pub fn render_metrics(metrics: &ServiceMetrics, cache: &ShardedPlanCache) -> Str
             s.requests()
         ));
     }
+
+    let v = verdicts.stats();
+    push_counter(
+        &mut out,
+        "pdm_verdict_cache_hits_total",
+        "verdict point-entry hits",
+        v.hits,
+    );
+    push_counter(
+        &mut out,
+        "pdm_verdict_cache_interval_hits_total",
+        "verdict probes answered by a certified interval",
+        v.interval_hits,
+    );
+    push_counter(
+        &mut out,
+        "pdm_verdict_cache_misses_total",
+        "verdict probes answered by neither tier",
+        v.misses,
+    );
+    push_counter(
+        &mut out,
+        "pdm_verdict_cache_evictions_total",
+        "verdict entries evicted (point LRU + interval cap)",
+        v.evictions,
+    );
+    push_gauge(
+        &mut out,
+        "pdm_verdict_cache_entries",
+        "point verdicts currently cached",
+        v.entries,
+    );
+    push_gauge(
+        &mut out,
+        "pdm_verdict_cache_intervals",
+        "certified valuation intervals currently cached",
+        v.intervals,
+    );
 
     for (name, op) in [
         ("plan", &metrics.plan),
@@ -302,6 +348,12 @@ pub fn render_metrics(metrics: &ServiceMetrics, cache: &ShardedPlanCache) -> Str
         "pdm_inspector_rejected_total",
         "inspected runs rejected back to sequential order",
         metrics.inspector_rejected.load(Ordering::Relaxed),
+    );
+    push_counter(
+        &mut out,
+        "pdm_inspector_interval_hits_total",
+        "inspected runs answered by a certified interval (audit skipped)",
+        metrics.inspector_interval_hits.load(Ordering::Relaxed),
     );
     push_histogram(&mut out, "pdm_inspector_audit_us", &metrics.inspector_audit);
     push_counter(
@@ -415,7 +467,8 @@ mod tests {
         m.plan.record(Duration::from_micros(250), true);
         m.run.record(Duration::from_micros(4000), false);
         let cache = ShardedPlanCache::new(2, 4);
-        let text = render_metrics(&m, &cache);
+        let verdicts = pdm_runtime::sharded::VerdictCache::new(2);
+        let text = render_metrics(&m, &cache, &verdicts);
         assert!(text.contains("pdm_requests_total{op=\"plan\"} 1"));
         assert!(text.contains("pdm_request_errors_total{op=\"run\"} 1"));
         assert!(text.contains("pdm_cache_hits_total 0"));
@@ -436,12 +489,27 @@ mod tests {
         m.inspector_refined.store(2, Ordering::Relaxed);
         m.inspector_rejected.store(1, Ordering::Relaxed);
         m.inspector_audit.record(Duration::from_micros(80));
+        m.inspector_interval_hits.store(5, Ordering::Relaxed);
         let cache = ShardedPlanCache::new(1, 2);
-        let text = render_metrics(&m, &cache);
+        let verdicts = pdm_runtime::sharded::VerdictCache::with_capacity(1, 2);
+        use pdm_runtime::Verdict;
+        verdicts.insert_interval(9, &[(10, i64::MAX)], Verdict::Certified);
+        verdicts.get(9, &[50]);
+        verdicts.get(9, &[0]);
+        verdicts.insert(9, vec![0], Verdict::Certified);
+        verdicts.insert(9, vec![1], Verdict::Certified);
+        verdicts.insert(9, vec![2], Verdict::Certified);
+        let text = render_metrics(&m, &cache, &verdicts);
         assert!(text.contains("pdm_inspector_certified_total 7"));
         assert!(text.contains("pdm_inspector_refined_total 2"));
         assert!(text.contains("pdm_inspector_rejected_total 1"));
         assert!(text.contains("pdm_inspector_audit_us_count 1"));
+        assert!(text.contains("pdm_inspector_interval_hits_total 5"));
+        assert!(text.contains("pdm_verdict_cache_interval_hits_total 1"));
+        assert!(text.contains("pdm_verdict_cache_misses_total 1"));
+        assert!(text.contains("pdm_verdict_cache_evictions_total 1"));
+        assert!(text.contains("pdm_verdict_cache_entries 2"));
+        assert!(text.contains("pdm_verdict_cache_intervals 1"));
         assert!(text.contains("pdm_panics_total 3"));
         assert!(text.contains("pdm_shed_total 2"));
         assert!(text.contains("pdm_deadline_exceeded_total 1"));

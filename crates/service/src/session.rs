@@ -31,7 +31,7 @@ use pdm_core::template::{plan_template, PlanTemplate};
 use pdm_loopir::imperfect::ImperfectNest;
 use pdm_loopir::nest::LoopNest;
 use pdm_runtime::inspector::{self, Verdict};
-use pdm_runtime::sharded::{CacheStats, ShardedPlanCache, VerdictCache};
+use pdm_runtime::sharded::{CacheStats, ShardedPlanCache, VerdictCache, VerdictSource};
 use pdm_runtime::template::{instantiate_compiled, CompiledInstance};
 use pdm_runtime::{RuntimeConfig, RuntimeError, Schedule};
 use std::sync::atomic::Ordering;
@@ -83,6 +83,7 @@ pub const DEFAULT_CAPACITY_PER_SHARD: usize = 64;
 pub struct SessionBuilder {
     shards: usize,
     capacity_per_shard: usize,
+    verdict_capacity: Option<usize>,
     threads: Option<usize>,
     config: Option<RuntimeConfig>,
     faults: Option<Faults>,
@@ -94,6 +95,7 @@ impl Default for SessionBuilder {
         SessionBuilder {
             shards: DEFAULT_SHARDS,
             capacity_per_shard: DEFAULT_CAPACITY_PER_SHARD,
+            verdict_capacity: None,
             threads: None,
             config: None,
             faults: None,
@@ -108,6 +110,16 @@ impl SessionBuilder {
     pub fn cache_capacity(mut self, shards: usize, capacity_per_shard: usize) -> Self {
         self.shards = shards;
         self.capacity_per_shard = capacity_per_shard;
+        self
+    }
+
+    /// Per-shard point-entry bound of the inspector's
+    /// [`VerdictCache`] (default: the session config's
+    /// `verdict_capacity`, i.e. `PDM_VERDICT_CAPACITY` or 256).
+    /// Least-recently-used `(shape, valuation)` verdicts are evicted
+    /// beyond it; certified intervals are capped separately.
+    pub fn verdict_capacity(mut self, capacity_per_shard: usize) -> Self {
+        self.verdict_capacity = Some(capacity_per_shard);
         self
     }
 
@@ -150,7 +162,10 @@ impl SessionBuilder {
         let schedule = config.schedule();
         Session {
             cache: Arc::new(ShardedPlanCache::new(self.shards, self.capacity_per_shard)),
-            verdicts: Arc::new(VerdictCache::new(self.shards)),
+            verdicts: Arc::new(VerdictCache::with_capacity(
+                self.shards,
+                self.verdict_capacity.unwrap_or(config.verdict_capacity),
+            )),
             pool: self.threads.map(|n| {
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
@@ -181,6 +196,10 @@ pub struct RunOutcome {
     /// speculatively (parametric subscripts) — `None` for templates
     /// whose plan needs no runtime audit.
     pub verdict: Option<Verdict>,
+    /// Did a certified valuation *interval* answer the inspector gate
+    /// (no audit ran or was ever needed for this valuation)? Always
+    /// `false` for uninspected templates.
+    pub interval_hit: bool,
 }
 
 /// The unified, shareable front end: parse → analyze → template →
@@ -379,20 +398,27 @@ impl Session {
         Deadline::check(deadline)?;
         let mut instance = self.instantiate_template(template, params)?;
         Deadline::check(deadline)?;
-        let verdict = if template.requires_inspection() {
-            Some(self.audit_instance(template, params, &instance)?)
+        let (verdict, interval_hit) = if template.requires_inspection() {
+            let (v, interval_hit) = self.audit_instance(template, params, &instance)?;
+            (Some(v), interval_hit)
         } else {
-            None
+            (None, false)
         };
         Deadline::check(deadline)?;
         instance.memory.init_deterministic(seed);
         let iterations = match &verdict {
             // Refined: the plan's groups are safe only in dependence
-            // stages — run the interpreter's staged executor (the
-            // compiled engine assumes one fully-independent sweep).
+            // stages — run the compiled engine's range tasks stage by
+            // stage (a barrier between stages, the groups of one stage
+            // concurrent).
             Some(Verdict::Refined { stages }) => {
                 let run = || {
-                    inspector::run_refined(&instance.nest, &instance.plan, &instance.memory, stages)
+                    inspector::run_refined_compiled(
+                        &instance.compiled,
+                        &instance.memory,
+                        stages,
+                        self.schedule,
+                    )
                 };
                 match &self.pool {
                     Some(pool) => pool.install(run),
@@ -448,21 +474,26 @@ impl Session {
             iterations,
             checksum,
             verdict,
+            interval_hit,
         })
     }
 
     /// The inspector gate for speculatively planned templates: fetch
     /// (or compute and cache) the verdict for this `(shape, valuation)`
-    /// pair. Fresh audits record their latency in `inspector_audit`;
-    /// every inspected run bumps the verdict-kind counter, so the
-    /// `pdm_inspector_*_total` metrics count *served runs*, not
-    /// distinct valuations.
+    /// pair, reporting whether a certified *interval* answered it.
+    /// Fresh audits record their latency in `inspector_audit` and then
+    /// try [`PlanTemplate::stability_box`]: a certifiable valuation
+    /// interval is cached ahead of point entries, so every in-interval
+    /// valuation that follows skips the audit entirely (counted in
+    /// `inspector_interval_hits`). Every inspected run bumps the
+    /// verdict-kind counter, so the `pdm_inspector_*_total` metrics
+    /// count *served runs*, not distinct valuations.
     fn audit_instance(
         &self,
         template: &PlanTemplate,
         params: &[(&str, i64)],
         instance: &CompiledInstance,
-    ) -> Result<Verdict, PdmError> {
+    ) -> Result<(Verdict, bool), PdmError> {
         // The cache key orders values by the template's parameter list,
         // so `[("M",1),("N",2)]` and `[("N",2),("M",1)]` share an entry.
         let valuation: Vec<i64> = template
@@ -476,21 +507,39 @@ impl Session {
                     .unwrap_or(0) // unreachable: instantiation validated presence
             })
             .collect();
-        let verdict =
-            self.verdicts
-                .get_or_audit(template.nest().structural_hash(), &valuation, || {
-                    let t0 = Instant::now();
-                    let v = inspector::audit(&instance.nest, &instance.plan);
-                    self.metrics.inspector_audit.record(t0.elapsed());
-                    v
-                })?;
+        let hash = template.nest().structural_hash();
+        let (verdict, interval_hit) = match self.verdicts.get_with_source(hash, &valuation) {
+            Some((v, source)) => {
+                let interval = source == VerdictSource::Interval;
+                if interval {
+                    self.metrics
+                        .inspector_interval_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                (v, interval)
+            }
+            None => {
+                let t0 = Instant::now();
+                let result = inspector::audit(&instance.nest, &instance.plan);
+                self.metrics.inspector_audit.record(t0.elapsed());
+                let v = result?;
+                // Certify a whole valuation interval when the geometry
+                // allows it; a failed derivation (or a genuinely
+                // point-local verdict) degrades to a point entry.
+                match template.stability_box(params) {
+                    Ok(Some(bounds)) => self.verdicts.insert_interval(hash, &bounds, v.clone()),
+                    _ => self.verdicts.insert(hash, valuation, v.clone()),
+                }
+                (v, false)
+            }
+        };
         let counter = match &verdict {
             Verdict::Certified => &self.metrics.inspector_certified,
             Verdict::Refined { .. } => &self.metrics.inspector_refined,
             Verdict::Rejected { .. } => &self.metrics.inspector_rejected,
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        Ok(verdict)
+        Ok((verdict, interval_hit))
     }
 
     /// Execute an already-prepared instance on the session's pool with
@@ -723,6 +772,33 @@ mod tests {
             1
         );
         assert!(m.inspector_audit.count() >= 2);
+    }
+
+    #[test]
+    fn interval_storm_audits_once_and_skips_thereafter() {
+        // Far shifts certify the interval K ∈ [20, ∞): the first
+        // in-interval request audits once, every other valuation in
+        // the storm is an interval hit — no audit, no point entry.
+        let session = Session::builder().threads(1).build();
+        let shape = session.parse_symbolic(SHIFTED, &["K"]).unwrap();
+        for k in 40..72 {
+            let out = session.run(&shape, &[("K", k)], 1).unwrap();
+            assert_eq!(out.verdict, Some(Verdict::Certified), "K={k}");
+            assert_eq!(out.interval_hit, k != 40, "K={k}");
+            assert_eq!(out.iterations, 20);
+        }
+        let m = session.metrics();
+        assert_eq!(m.inspector_audit.count(), 1, "exactly one audit");
+        assert_eq!(m.inspector_interval_hits.load(Ordering::Relaxed), 31);
+        assert_eq!(m.inspector_certified.load(Ordering::Relaxed), 32);
+        let stats = session.verdicts().stats();
+        assert_eq!(stats.interval_hits, 31);
+        assert_eq!(stats.intervals, 1);
+        assert_eq!(stats.entries, 0, "no point entries for boxed valuations");
+        // A fresh out-of-interval valuation still audits normally.
+        session.run(&shape, &[("K", 1)], 1).unwrap();
+        assert_eq!(m.inspector_audit.count(), 2);
+        assert_eq!(session.verdicts().len(), 1);
     }
 
     #[test]

@@ -287,6 +287,7 @@ fn handle(
             Json::Str(crate::metrics::render_metrics(
                 session.metrics(),
                 session.cache(),
+                session.verdicts(),
             )),
         )]),
         "stats" => Ok(op_stats(session)),
@@ -429,10 +430,12 @@ fn op_run(session: &Session, req: &Json, deadline: Option<Deadline>) -> Result<F
     fields.push(("iterations".into(), Json::Num(outcome.iterations as f64)));
     fields.push(("checksum".into(), Json::Num(outcome.checksum as f64)));
     // Speculatively planned templates report which executor the
-    // inspector's verdict picked ("certified" | "refined" | "rejected");
-    // uninspected runs omit the field.
+    // inspector's verdict picked ("certified" | "refined" | "rejected")
+    // and whether a certified valuation interval answered the gate
+    // without an audit; uninspected runs omit both fields.
     if let Some(verdict) = &outcome.verdict {
         fields.push(("verdict".into(), Json::Str(verdict.kind().into())));
+        fields.push(("interval_hit".into(), Json::Bool(outcome.interval_hit)));
     }
     fields.push((
         "observed_threads".into(),
@@ -654,7 +657,25 @@ mod tests {
         let body = crate::json::parse(&resp.body).unwrap();
         assert_eq!(body.get_str("verdict"), Some("certified"));
         assert_eq!(body.get_num("iterations"), Some(20.0));
-        // Parameter-free runs omit the field.
+        // K = 0 sits inside the shift-overlap range, so no interval
+        // certifies it — the audit ran and the flag is false.
+        assert_eq!(body.get("interval_hit"), Some(&Json::Bool(false)));
+        // A far shift certifies K ∈ [20, ∞); a second distinct
+        // valuation inside that interval reports an interval hit.
+        let resp = dispatch(
+            &session,
+            r#"{"op":"run","source":"for i = 0..=19 { A[i + K] = A[i] + 1; }","params":["K"],"values":{"K":40}}"#,
+        );
+        assert!(resp.ok, "{}", resp.body);
+        let resp = dispatch(
+            &session,
+            r#"{"op":"run","source":"for i = 0..=19 { A[i + K] = A[i] + 1; }","params":["K"],"values":{"K":41}}"#,
+        );
+        assert!(resp.ok, "{}", resp.body);
+        let body = crate::json::parse(&resp.body).unwrap();
+        assert_eq!(body.get_str("verdict"), Some("certified"));
+        assert_eq!(body.get("interval_hit"), Some(&Json::Bool(true)));
+        // Parameter-free runs omit the fields.
         let resp = dispatch(
             &session,
             r#"{"op":"run","source":"for i = 0..=9 { A[i] = A[i] + 1; }"}"#,
@@ -662,6 +683,7 @@ mod tests {
         assert!(resp.ok, "{}", resp.body);
         let body = crate::json::parse(&resp.body).unwrap();
         assert!(body.get_str("verdict").is_none());
+        assert!(body.get("interval_hit").is_none());
     }
 
     #[test]

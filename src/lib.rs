@@ -82,12 +82,16 @@
 //! parameter-free conservative **hull** once, and a runtime
 //! **inspector** audits each concrete valuation by walking its access
 //! lattice (the race checker's conflict detection turned certifier).
-//! The verdict is cached per `(shape, valuation)` and picks the
-//! executor:
+//! The verdict is cached per `(shape, valuation)` — and, when the
+//! audited access geometry admits it, the template derives a whole
+//! **stability interval** of valuations on which the verdict provably
+//! holds, cached ahead of the point entries so every later in-interval
+//! valuation skips the audit outright. The verdict picks the executor:
 //!
 //! * **certified** — the hull plan is exact here; run fully parallel;
 //! * **refined** — cross-group conflicts admit a stage order; run the
-//!   hull groups in audited stages;
+//!   hull groups in audited stages through the compiled range driver
+//!   (interpreted stage walker as fallback);
 //! * **rejected** — no stage order exists; fall back to the sequential
 //!   reference. Never wrong, at worst not parallel.
 //!
@@ -113,10 +117,15 @@
 //! assert_eq!(session.verdicts().hit_stats(), (1, 2));
 //! ```
 //!
-//! Over the wire, `run` responses carry the `verdict`, and the metrics
-//! page counts `pdm_inspector_{certified,refined,rejected}_total` plus
-//! audit latency. `BENCH_inspector.json` gates the certified speedup
-//! and the steady-state audit overhead.
+//! Over the wire, `run` responses carry the `verdict` and whether it
+//! was served from a certified interval (`interval_hit`); the metrics
+//! page counts `pdm_inspector_{certified,refined,rejected}_total`,
+//! `pdm_inspector_interval_hits_total`, the verdict cache's
+//! hit/miss/eviction counters, and audit latency. The verdict cache
+//! itself is bounded (LRU per shard, `PDM_VERDICT_CAPACITY`).
+//! `BENCH_inspector.json` gates the certified speedup, the
+//! steady-state audit overhead, the compiled-over-interpreted refined
+//! stage speedup, and the in-interval storm's audit-skip ratio.
 //!
 //! ## Imperfect nests: the LU example
 //!

@@ -132,4 +132,58 @@ fn streaming_replaces_the_group_materialization_spike() {
         "checked staged peak {checked_staged_peak} exceeds {streaming_bound}"
     );
     assert_eq!(live_groups(), base, "checked staged run leaked groups");
+
+    // 6. The refined executors stream too. A parametric row-shift nest
+    //    audits to Refined (18 stages × 18 groups); the interpreted
+    //    stage walker must reach each group through seeked cursors —
+    //    never a materialized table — and the compiled stage driver
+    //    constructs no group structs at all.
+    let template = vardep_loops::core::plan_template(
+        &vardep_loops::loopir::parse::parse_loop_symbolic(
+            "for i1 = 0..=17 { for i2 = 0..=17 {
+               A[i1 + K, i2] = A[i1, i2] + 1;
+             } }",
+            &["K"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let vals = [("K", 1i64)];
+    let rplan = template.instantiate(&vals).unwrap();
+    let rnest = template.instantiate_nest(&vals).unwrap();
+    let verdict = vardep_loops::runtime::inspector::audit(&rnest, &rplan).unwrap();
+    let stages = match &verdict {
+        vardep_loops::runtime::Verdict::Refined { stages } => stages.clone(),
+        other => panic!("row-shift nest must refine, got {other:?}"),
+    };
+    let rtotal = 18u64 * 18;
+    let rmem = Memory::for_nest(&rnest).unwrap();
+
+    reset_peak_live_groups();
+    let count =
+        vardep_loops::runtime::inspector::run_refined(&rnest, &rplan, &rmem, &stages).unwrap();
+    assert_eq!(count, rtotal);
+    let refined_peak = peak_live_groups() - base;
+    assert!(
+        refined_peak >= 1 && refined_peak <= streaming_bound,
+        "interpreted refined peak {refined_peak} exceeds \
+         threads × chunks_per_thread = {streaming_bound}"
+    );
+    assert_eq!(live_groups(), base, "interpreted refined run leaked groups");
+
+    let rcp = CompiledPlan::compile(&rnest, &rplan, &rmem).unwrap();
+    reset_peak_live_groups();
+    let count = vardep_loops::runtime::inspector::run_refined_compiled(
+        &rcp,
+        &rmem,
+        &stages,
+        pdm_runtime::RuntimeConfig::global().schedule(),
+    )
+    .unwrap();
+    assert_eq!(count, rtotal);
+    assert_eq!(
+        peak_live_groups(),
+        base,
+        "compiled refined run must not construct any group structs"
+    );
 }
